@@ -1,0 +1,86 @@
+//! E1 — Bit transmission: reproduce the derived protocol and the
+//! knowledge ladder, then measure solver scaling over the horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::SyncSolver;
+use kbp_logic::{AgentSet, Formula};
+use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+use kbp_systems::{ActionId, Evaluator, Obs};
+use std::time::Duration;
+
+fn reproduce() {
+    let mut rows = Vec::new();
+    // The coordinated-attack contrast: common knowledge of the bit is
+    // attainable over a reliable channel but never over a lossy one.
+    for (label, channel, ck_expected) in [
+        ("lossy", Channel::Lossy, false),
+        ("reliable", Channel::Reliable, true),
+    ] {
+        let sc = BitTransmission::new(channel);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(6).solve().expect("solves");
+        let sys = solution.system();
+
+        // Paper fact 1: the derived sender sends at time 0.
+        let sends_initially =
+            solution.protocol().get(sc.sender(), &[Obs(0)]) == Some(&[ActionId(1)][..]);
+        // Paper fact 2: safety of the ladder.
+        let ladder = sys.holds_initially(&sc.ladder()).expect("evaluable");
+        // Paper fact 3: no common knowledge of the bit, ever.
+        let group: AgentSet = [sc.sender(), sc.receiver()].into_iter().collect();
+        let ck = Formula::common(group, Formula::prop(sc.bit()));
+        let ev = Evaluator::new(sys, &ck).expect("evaluable");
+        let ck_ever = sys.points().any(|p| ev.holds(p));
+
+        rows.push(vec![
+            cell(label),
+            expect("sender sends initially", true, sends_initially),
+            expect("knowledge ladder", true, ladder),
+            expect("common knowledge attained", ck_expected, ck_ever),
+        ]);
+    }
+    report_table(
+        "E1 bit transmission (CK attained iff the channel is reliable)",
+        &["channel", "sends@0", "ladder", "CK-as-expected"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("e1_bit_transmission_solve");
+    for horizon in [4usize, 8, 12, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("lossy", horizon),
+            &horizon,
+            |b, &horizon| {
+                let sc = BitTransmission::new(Channel::Lossy);
+                let ctx = sc.context();
+                let kbp = sc.kbp();
+                b.iter(|| {
+                    SyncSolver::new(&ctx, &kbp)
+                        .horizon(horizon)
+                        .solve()
+                        .expect("solves")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E6 — Common knowledge as the limit of `E_G^k`: reproduce the strictly
+//! descending everyone-knows chain converging to `C_G`, then measure the
+//! `C_G` fixpoint on growing random S5 models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, report_table};
+use kbp_kripke::{S5Builder, S5Model};
+use kbp_logic::{Agent, AgentSet, Formula, PropId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const AGENTS: usize = 3;
+
+/// A random S5 model: `n` worlds, random prop valuation, each agent's
+/// partition built from `n / cell_size` random classes.
+fn random_model(seed: u64, n: usize, classes: usize) -> S5Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = S5Builder::new(AGENTS, 1);
+    let mut keys: Vec<Vec<u32>> = (0..AGENTS).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        // p true on ~95% of worlds so knowledge chains are nontrivial.
+        let props = if rng.gen_ratio(19, 20) {
+            vec![PropId::new(0)]
+        } else {
+            vec![]
+        };
+        b.add_world(props);
+        for ks in &mut keys {
+            ks.push(rng.gen_range(0..classes as u32));
+        }
+    }
+    for (i, ks) in keys.iter().enumerate() {
+        let ks = ks.clone();
+        b.partition_by_key(Agent::new(i), move |w| ks[w.index()]);
+    }
+    b.build()
+}
+
+fn reproduce() {
+    let m = random_model(7, 4000, 80);
+    let g = AgentSet::all(AGENTS);
+    let p = Formula::prop(PropId::new(0));
+    let mut rows = Vec::new();
+    let mut f = p.clone();
+    let mut prev = m.satisfying(&p).expect("evaluable").count();
+    rows.push(vec![cell("p"), cell(prev)]);
+    for k in 1..=4 {
+        f = Formula::Everyone(g, Box::new(f));
+        let count = m.satisfying(&f).expect("evaluable").count();
+        assert!(count <= prev, "E^k chain must be descending");
+        prev = count;
+        rows.push(vec![cell(format!("E^{k} p")), cell(count)]);
+    }
+    let c = m.satisfying(&Formula::common(g, p)).expect("evaluable").count();
+    assert!(c <= prev, "C p is below every E^k p");
+    rows.push(vec![cell("C p"), cell(c)]);
+    report_table(
+        "E6 common knowledge (descending E^k chain, C below all of it; 4000 worlds)",
+        &["formula", "worlds satisfying"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let g = AgentSet::all(AGENTS);
+    let p = Formula::prop(PropId::new(0));
+    let mut group = c.benchmark_group("e6_common_knowledge");
+    for &n in &[1_000usize, 4_000, 16_000, 64_000] {
+        let m = random_model(42, n, n / 50);
+        let ck = Formula::common(g, p.clone());
+        group.bench_with_input(BenchmarkId::new("C", n), &n, |b, _| {
+            b.iter(|| m.satisfying(&ck).expect("evaluable"));
+        });
+        let e2 = Formula::Everyone(g, Box::new(Formula::Everyone(g, Box::new(p.clone()))));
+        group.bench_with_input(BenchmarkId::new("EE", n), &n, |b, _| {
+            b.iter(|| m.satisfying(&e2).expect("evaluable"));
+        });
+        let d = Formula::Distributed(g, Box::new(p.clone()));
+        group.bench_with_input(BenchmarkId::new("D", n), &n, |b, _| {
+            b.iter(|| m.satisfying(&d).expect("evaluable"));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E12 — Controller extraction: the derived protocol table grows with the
+//! horizon, the extracted Moore machines do not. Measures extraction cost
+//! and reports table-entries vs machine-states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::{ControllerProtocol, SyncSolver};
+use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+use std::time::Duration;
+
+fn reproduce() {
+    let sc = BitTransmission::new(Channel::Lossy);
+    let ctx = sc.context();
+    let kbp = sc.kbp();
+    let mut rows = Vec::new();
+    for horizon in [4usize, 8, 12] {
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(horizon).solve().expect("solves");
+        let table_entries = solution.protocol().len();
+        let machines = ControllerProtocol::from_solution(&solution, &kbp).expect("extracts");
+        let sender_states = machines.controller(sc.sender()).expect("present").state_count();
+        let receiver_states = machines
+            .controller(sc.receiver())
+            .expect("present")
+            .state_count();
+        rows.push(vec![
+            cell(horizon),
+            cell(table_entries),
+            expect("sender states", 2, sender_states),
+            expect("receiver states", 2, receiver_states),
+        ]);
+    }
+    report_table(
+        "E12 controller extraction (table grows, machines stay 2-state)",
+        &["horizon", "table entries", "sender", "receiver"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let sc = BitTransmission::new(Channel::Lossy);
+    let ctx = sc.context();
+    let kbp = sc.kbp();
+    let mut group = c.benchmark_group("e12_controllers");
+    for horizon in [4usize, 8, 12, 16] {
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(horizon).solve().expect("solves");
+        group.bench_with_input(
+            BenchmarkId::new("extract", horizon),
+            &horizon,
+            |b, _| {
+                b.iter(|| ControllerProtocol::from_solution(&solution, &kbp).expect("extracts"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E11 — Coordinated attack: reproduce the impossibility verdicts
+//! (paralysis over a lossy channel, lock-step attack over a reliable
+//! one), then measure solving with the common-knowledge guard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::SyncSolver;
+use kbp_scenarios::coordinated_attack::{Channel, CoordinatedAttack};
+use std::time::Duration;
+
+fn reproduce() {
+    let mut rows = Vec::new();
+    for (channel, exp_paralysis) in [(Channel::Lossy, true), (Channel::Reliable, false)] {
+        let sc = CoordinatedAttack::new(channel);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(5).solve().expect("solves");
+        let sys = solution.system();
+        let coordination = sys.holds_initially(&sc.coordination()).expect("evaluable");
+        let validity = sys.holds_initially(&sc.validity()).expect("evaluable");
+        let paralysis = sys.holds_initially(&sc.nobody_attacks()).expect("evaluable");
+        rows.push(vec![
+            cell(format!("{channel:?}")),
+            expect("coordination", true, coordination),
+            expect("validity", true, validity),
+            expect("paralysis", exp_paralysis, paralysis),
+        ]);
+    }
+    report_table(
+        "E11 coordinated attack (lossy: paralysed; reliable: attacks, still coordinated)",
+        &["channel", "coordinated", "valid", "paralysis-as-expected"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("e11_coordinated_attack_solve");
+    for horizon in [3usize, 5, 7, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("lossy", horizon),
+            &horizon,
+            |b, &horizon| {
+                let sc = CoordinatedAttack::new(Channel::Lossy);
+                let ctx = sc.context();
+                let kbp = sc.kbp();
+                b.iter(|| {
+                    SyncSolver::new(&ctx, &kbp)
+                        .horizon(horizon)
+                        .solve()
+                        .expect("solves")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

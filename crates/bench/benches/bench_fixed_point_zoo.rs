@@ -1,0 +1,68 @@
+//! E3 — The fixed-point zoo: reproduce the 0/1/2-implementation counts,
+//! then measure exhaustive enumeration against the horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::Enumerator;
+use kbp_scenarios::fixed_point_zoo;
+use std::time::Duration;
+
+fn reproduce() {
+    let ctx = fixed_point_zoo::lamp_context();
+    let mut rows = Vec::new();
+    for entry in fixed_point_zoo::all() {
+        let found = Enumerator::new(&ctx, &entry.kbp)
+            .horizon(3)
+            .enumerate()
+            .expect("enumerates");
+        rows.push(vec![
+            cell(entry.name),
+            cell(entry.expected.count()),
+            cell(found.count()),
+            cell(found.branches_explored()),
+            expect("implementation count", entry.expected.count(), found.count()),
+        ]);
+    }
+    report_table(
+        "E3 fixed-point zoo (expected: 0 / 1 / 2 implementations)",
+        &["program", "expected", "found", "branches", "check"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let ctx = fixed_point_zoo::lamp_context();
+    let mut group = c.benchmark_group("e3_fixed_point_zoo_enumerate");
+    for horizon in [2usize, 3, 4] {
+        for entry in fixed_point_zoo::all() {
+            group.bench_with_input(
+                BenchmarkId::new(entry.name, horizon),
+                &horizon,
+                |b, &horizon| {
+                    b.iter(|| {
+                        Enumerator::new(&ctx, &entry.kbp)
+                            .horizon(horizon)
+                            .enumerate()
+                            .expect("enumerates")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

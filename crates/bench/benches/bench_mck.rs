@@ -1,0 +1,114 @@
+//! E7 — CTLK model checking: reproduce a known verdict matrix on the
+//! bit-transmission graph, then measure fixpoint checking on growing
+//! random reachable-state graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_logic::{Agent, Formula, PropId};
+use kbp_mck::{ctl, Mck, StateGraph};
+use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+use kbp_systems::random::{random_context, RandomContextConfig};
+use kbp_systems::{ActionId, FnContext, LocalView};
+use std::time::Duration;
+
+fn reproduce() {
+    let sc = BitTransmission::new(Channel::Lossy);
+    let ctx = sc.context();
+    // Explore under the full protocol: every agent behaviour allowed.
+    let full = kbp_systems::FullProtocol::for_context(&ctx);
+    let graph = StateGraph::explore(&ctx, &full, 100_000).expect("explores");
+    let mck = Mck::new(&graph);
+    let sack = Formula::prop(sc.sender_has_ack());
+    let rbit = Formula::prop(sc.receiver_has_bit());
+
+    let verdicts = [
+        ("G(sack -> rbit)", Formula::always(Formula::implies(sack.clone(), rbit.clone())), true),
+        ("EF sack", ctl::ef(sack.clone()), true),
+        ("AF rbit", Formula::eventually(rbit.clone()), false),
+        ("EG !rbit", ctl::eg(Formula::not(rbit)), true),
+    ];
+    let rows: Vec<Vec<String>> = verdicts
+        .into_iter()
+        .map(|(name, f, expected)| {
+            let got = mck.check(&f).expect("checks").holds_initially();
+            vec![cell(name), cell(got), expect(name, expected, got)]
+        })
+        .collect();
+    report_table(
+        &format!(
+            "E7 CTLK verdicts on the bit-transmission graph ({} states)",
+            graph.state_count()
+        ),
+        &["formula", "verdict", "check"],
+        &rows,
+    );
+}
+
+fn big_graph(states: u32) -> (FnContext, usize) {
+    let cfg = RandomContextConfig {
+        states,
+        agents: 2,
+        actions: 2,
+        env_moves: 2,
+        initial: 4,
+        obs_classes: (states / 8).max(2),
+        props: 2,
+    };
+    (random_context(9, &cfg), states as usize)
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("e7_mck");
+    let first = |_: &LocalView<'_>| vec![ActionId(0), ActionId(1)];
+    for states in [200u32, 1_000, 5_000, 20_000] {
+        let (ctx, _) = big_graph(states);
+        let graph = StateGraph::explore(&ctx, &first, 10 * states as usize).expect("explores");
+        let p = Formula::prop(PropId::new(0));
+        let spec_ag = Formula::always(Formula::implies(
+            p.clone(),
+            Formula::knows(Agent::new(0), Formula::or([p.clone(), Formula::not(p.clone())])),
+        ));
+        let spec_af = Formula::eventually(p.clone());
+        let spec_k = Formula::knows(Agent::new(1), Formula::not(p));
+        group.bench_with_input(
+            BenchmarkId::new("AG_impl_K", graph.state_count()),
+            &states,
+            |b, _| {
+                let m = Mck::new(&graph);
+                b.iter(|| m.check(&spec_ag).expect("checks"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("AF", graph.state_count()),
+            &states,
+            |b, _| {
+                let m = Mck::new(&graph);
+                b.iter(|| m.check(&spec_af).expect("checks"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("K", graph.state_count()),
+            &states,
+            |b, _| {
+                let m = Mck::new(&graph);
+                b.iter(|| m.check(&spec_k).expect("checks"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

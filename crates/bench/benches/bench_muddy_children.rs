@@ -1,0 +1,72 @@
+//! E2 — Muddy children: reproduce "yes exactly in round k" for every
+//! mask, then measure KBP solving and announcement updating as n grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::SyncSolver;
+use kbp_scenarios::muddy_children::MuddyChildren;
+use std::time::Duration;
+
+fn reproduce() {
+    let mut rows = Vec::new();
+    for n in 3..=5usize {
+        let sc = MuddyChildren::new(n);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(n + 1).solve().expect("solves");
+        let mut all_ok = true;
+        for mask in 1u32..(1 << n) {
+            let k = mask.count_ones() as usize;
+            all_ok &= sc.yes_round(solution.system(), mask) == Some(k);
+            all_ok &= sc.rounds_until_known(mask) == k;
+        }
+        rows.push(vec![
+            cell(n),
+            cell((1 << n) - 1),
+            expect("yes-round = k for all masks", true, all_ok),
+        ]);
+    }
+    report_table(
+        "E2 muddy children (expected: yes in round k, both renditions)",
+        &["n", "masks", "all = k"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("e2_muddy_children");
+    for n in [3usize, 4, 5, 6, 7] {
+        group.bench_with_input(BenchmarkId::new("kbp_solve", n), &n, |b, &n| {
+            let sc = MuddyChildren::new(n);
+            let ctx = sc.context();
+            let kbp = sc.kbp();
+            b.iter(|| {
+                SyncSolver::new(&ctx, &kbp)
+                    .horizon(n + 1)
+                    .solve()
+                    .expect("solves")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("announcements", n), &n, |b, &n| {
+            let sc = MuddyChildren::new(n);
+            let full_mask = (1u32 << n) - 1;
+            b.iter(|| sc.rounds_until_known(full_mask));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

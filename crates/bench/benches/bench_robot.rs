@@ -1,0 +1,68 @@
+//! E5 — Robot stopping: reproduce safety/liveness/no-overshoot, then
+//! measure solver scaling against the goal distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::SyncSolver;
+use kbp_scenarios::robot::Robot;
+use std::time::Duration;
+
+fn reproduce() {
+    let mut rows = Vec::new();
+    for (track, lo, hi) in [(12u32, 4u32, 7u32), (16, 6, 9), (20, 8, 12)] {
+        let sc = Robot::new(track, lo, hi);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp())
+            .horizon((lo + 3) as usize)
+            .solve()
+            .expect("solves");
+        let sys = solution.system();
+        let safety = sys.holds_initially(&sc.safety()).expect("evaluable");
+        let liveness = sys.holds_initially(&sc.liveness()).expect("evaluable");
+        let no_over = sys.holds_initially(&sc.no_overshoot()).expect("evaluable");
+        rows.push(vec![
+            cell(format!("[{lo},{hi}]/{track}")),
+            expect("safety", true, safety),
+            expect("liveness", true, liveness),
+            expect("no overshoot", true, no_over),
+        ]);
+    }
+    report_table(
+        "E5 robot stopping (halting on knowledge is safe and timely)",
+        &["goal/track", "safe", "halts", "no-overshoot"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("e5_robot_solve");
+    for lo in [4u32, 5, 6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(lo), &lo, |b, &lo| {
+            let sc = Robot::new(lo + 8, lo, lo + 3);
+            let ctx = sc.context();
+            let kbp = sc.kbp();
+            b.iter(|| {
+                SyncSolver::new(&ctx, &kbp)
+                    .horizon((lo + 2) as usize)
+                    .solve()
+                    .expect("solves")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E4 — Sequence transmission: reproduce the tagging × channel matrix
+//! (the alternating-bit protocol's correctness and its untagged failure),
+//! then measure solving against the sequence length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::SyncSolver;
+use kbp_scenarios::sequence_transmission::{Channel, SequenceTransmission, Tagging};
+use std::time::Duration;
+
+fn reproduce() {
+    let cases = [
+        (Tagging::Alternating, Channel::Lossy, true, false),
+        (Tagging::Alternating, Channel::Reliable, true, true),
+        (Tagging::None, Channel::Lossy, false, false),
+        (Tagging::None, Channel::Reliable, false, true),
+    ];
+    let mut rows = Vec::new();
+    for (tagging, channel, exp_safe, exp_complete) in cases {
+        let sc = SequenceTransmission::new(2, tagging, channel);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(8).solve().expect("solves");
+        let sys = solution.system();
+        let safe = sys.holds_initially(&sc.prefix_safety()).expect("evaluable");
+        let complete = sys.holds_initially(&sc.liveness()).expect("evaluable");
+        rows.push(vec![
+            cell(format!("{tagging:?}")),
+            cell(format!("{channel:?}")),
+            cell(safe),
+            cell(complete),
+            expect("prefix safety", exp_safe, safe),
+            expect("completion", exp_complete, complete),
+        ]);
+    }
+    report_table(
+        "E4 sequence transmission (alternating-bit emerges; untagged corrupts)",
+        &["tagging", "channel", "safe", "completes", "safety", "liveness"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("e4_sequence_transmission_solve");
+    for m in [1u32, 2] {
+        group.bench_with_input(BenchmarkId::new("lossy", m), &m, |b, &m| {
+            let sc = SequenceTransmission::new(m, Tagging::Alternating, Channel::Lossy);
+            let ctx = sc.context();
+            let kbp = sc.kbp();
+            let horizon = (2 * m as usize) + 2;
+            b.iter(|| {
+                SyncSolver::new(&ctx, &kbp)
+                    .horizon(horizon)
+                    .solve()
+                    .expect("solves")
+            });
+        });
+    }
+    for m in [1u32, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("reliable", m), &m, |b, &m| {
+            let sc = SequenceTransmission::new(m, Tagging::Alternating, Channel::Reliable);
+            let ctx = sc.context();
+            let kbp = sc.kbp();
+            let horizon = (2 * m as usize) + 2;
+            b.iter(|| {
+                SyncSolver::new(&ctx, &kbp)
+                    .horizon(horizon)
+                    .solve()
+                    .expect("solves")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E10 — Ablation: the stabilisation certificate. Reproduce the layer at
+//! which the scenarios provably stop changing, measure the detection
+//! cost, and quantify the horizon work an early-stopping client saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, report_table};
+use kbp_core::SyncSolver;
+use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+use kbp_scenarios::muddy_children::MuddyChildren;
+use kbp_scenarios::robot::Robot;
+use kbp_systems::Recall;
+use std::time::Duration;
+
+fn reproduce() {
+    let mut rows = Vec::new();
+
+    let mc = MuddyChildren::new(3);
+    let mc_ctx = mc.context();
+    let mc_sol = SyncSolver::new(&mc_ctx, &mc.kbp()).horizon(8).solve().expect("solves");
+    rows.push(vec![
+        cell("muddy children (n=3)"),
+        cell(8),
+        cell(format!("{:?}", mc_sol.stabilized())),
+    ]);
+    assert!(mc_sol.stabilized().is_some());
+
+    let rb = Robot::new(12, 4, 7);
+    let rb_ctx = rb.context();
+    let rb_sol = SyncSolver::new(&rb_ctx, &rb.kbp()).horizon(10).solve().expect("solves");
+    rows.push(vec![
+        cell("robot [4,7]"),
+        cell(10),
+        cell(format!("{:?}", rb_sol.stabilized())),
+    ]);
+    assert!(rb_sol.stabilized().is_some());
+
+    let bt = BitTransmission::new(Channel::Lossy);
+    let bt_ctx = bt.context();
+    let bt_obs = SyncSolver::new(&bt_ctx, &bt.kbp())
+        .horizon(10)
+        .recall(Recall::Observational)
+        .solve()
+        .expect("solves");
+    rows.push(vec![
+        cell("bit transmission (obs.)"),
+        cell(10),
+        cell(format!("{:?}", bt_obs.stabilized())),
+    ]);
+    assert!(bt_obs.stabilized().is_some());
+
+    let bt_perfect = SyncSolver::new(&bt_ctx, &bt.kbp()).horizon(10).solve().expect("solves");
+    rows.push(vec![
+        cell("bit transmission (perf.)"),
+        cell(10),
+        cell(format!("{:?}", bt_perfect.stabilized())),
+    ]);
+    assert!(bt_perfect.stabilized().is_none(), "histories keep splitting");
+
+    report_table(
+        "E10 stabilisation certificates (None = genuinely keeps changing)",
+        &["scenario", "horizon", "stabilized at"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let mut group = c.benchmark_group("e10_stabilization");
+
+    // Detection cost on a solved system.
+    let mc = MuddyChildren::new(4);
+    let ctx = mc.context();
+    let solution = SyncSolver::new(&ctx, &mc.kbp()).horizon(8).solve().expect("solves");
+    group.bench_function("detect_muddy_n4_h8", |b| {
+        b.iter(|| solution.system().stabilization());
+    });
+
+    // The work early stopping would save: solve to just-past-stabilisation
+    // vs solving to oversized horizons.
+    let stab = solution.stabilized().expect("stabilizes") + 1;
+    for factor in [1usize, 2, 4] {
+        let horizon = stab * factor;
+        group.bench_with_input(
+            BenchmarkId::new("solve_horizon", horizon),
+            &horizon,
+            |b, &horizon| {
+                b.iter(|| {
+                    SyncSolver::new(&ctx, &mc.kbp())
+                        .horizon(horizon)
+                        .solve()
+                        .expect("solves")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

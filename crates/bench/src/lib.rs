@@ -1,0 +1,101 @@
+//! Shared helpers for the experiment/benchmark harness.
+//!
+//! The PODC'95 paper is a theory paper: it reports theorems and worked
+//! examples rather than measured tables. Each bench target therefore does
+//! two jobs:
+//!
+//! 1. **Reproduce** — print the qualitative result the paper states
+//!    (derived protocol shape, yes-rounds, implementation counts, …),
+//!    verified against expectations, as a table on stderr;
+//! 2. **Measure** — criterion timings of the algorithms over parameter
+//!    sweeps, which is what a tool paper for this system would report.
+//!
+//! `EXPERIMENTS.md` at the workspace root indexes the targets and records
+//! expected-vs-measured rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a titled, aligned table to stderr (criterion owns stdout).
+///
+/// # Example
+///
+/// ```
+/// kbp_bench::report_table(
+///     "E2 muddy children",
+///     &["n", "k", "yes round"],
+///     &[vec!["3".into(), "2".into(), "2".into()]],
+/// );
+/// ```
+pub fn report_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    eprintln!("\n== {title} ==");
+    let fmt_row = |cells: Vec<String>| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(4)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    eprintln!("{}", fmt_row(header.iter().map(|s| (*s).to_owned()).collect()));
+    for row in rows {
+        eprintln!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Formats any displayable cell.
+pub fn cell(x: impl Display) -> String {
+    x.to_string()
+}
+
+/// Asserts a reproduced value against the paper's expectation, recording
+/// the comparison in the table row.
+///
+/// Returns `"ok"` for the row; panics on mismatch so regressions are
+/// caught even in bench runs.
+///
+/// # Panics
+///
+/// Panics when `expected != measured`.
+pub fn expect<T: PartialEq + Display>(what: &str, expected: T, measured: T) -> String {
+    assert!(
+        expected == measured,
+        "experiment regression: {what}: expected {expected}, measured {measured}"
+    );
+    "ok".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expect_passes_on_equal() {
+        assert_eq!(expect("x", 3, 3), "ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment regression")]
+    fn expect_panics_on_mismatch() {
+        let _ = expect("x", 3, 4);
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        report_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "22".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! A concrete syntax for whole knowledge-based programs.
+//!
+//! ```text
+//! agent sender {
+//!     if !K{sender} (K{receiver} bit | K{receiver} !bit) do send
+//!     default noop
+//! }
+//! agent receiver {
+//!     if (K{receiver} bit | K{receiver} !bit) do sendack
+//!     default noop
+//! }
+//! ```
+//!
+//! Guards use the formula syntax of [`kbp_logic::parse`]; agent and
+//! action names resolve against a [`Context`] (its vocabulary and action
+//! repertoires), so a parsed program is ready for
+//! [`validate`](crate::Kbp::validate) and the solvers.
+
+use crate::program::{Kbp, KbpBuilder};
+use kbp_logic::Agent;
+use kbp_systems::{ActionId, Context};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a program fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramParseError {
+    line: usize,
+    message: String,
+}
+
+impl ProgramParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ProgramParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the problem.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ProgramParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ProgramParseError {}
+
+/// Parses a knowledge-based program from its concrete syntax, resolving
+/// names against `ctx`.
+///
+/// Grammar (line oriented; `#` starts a comment):
+///
+/// ```text
+/// program := agent-block*
+/// agent-block := "agent" NAME "{" clause* default? "}"
+/// clause  := "if" FORMULA "do" ACTION-NAME
+/// default := "default" ACTION-NAME
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ProgramParseError`] with a line number for syntax errors,
+/// unknown agents, unknown actions, or malformed guards.
+///
+/// # Example
+///
+/// ```
+/// use kbp_core::parse_kbp;
+/// use kbp_systems::{ActionId, ContextBuilder, GlobalState, Obs};
+/// use kbp_logic::Vocabulary;
+///
+/// let mut voc = Vocabulary::new();
+/// let tender = voc.add_agent("tender");
+/// let lit = voc.add_prop("lit");
+/// let ctx = ContextBuilder::new(voc)
+///     .initial_state(GlobalState::new(vec![0]))
+///     .agent_actions(tender, ["noop", "switch"])
+///     .transition(|s, j| if j.acts[0] == ActionId(1) { s.with_reg(0, 1) } else { s.clone() })
+///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+///     .props(move |p, s| p == lit && s.reg(0) == 1)
+///     .build();
+///
+/// let kbp = parse_kbp(r"
+///     agent tender {
+///         if !K{tender} lit do switch
+///         default noop
+///     }
+/// ", &ctx)?;
+/// assert_eq!(kbp.validate(&ctx), Ok(()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_kbp(source: &str, ctx: &dyn Context) -> Result<Kbp, ProgramParseError> {
+    let voc = ctx.vocabulary().clone();
+    let mut builder: KbpBuilder = Kbp::builder();
+    let mut current: Option<Agent> = None;
+    let mut saw_default = false;
+
+    // Pre-pass: join continuation lines (a clause may wrap) — a line
+    // belongs to the previous one when it does not start with a keyword.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let starts_new = line.starts_with("agent")
+            || line.starts_with("if ")
+            || line == "if"
+            || line.starts_with("default")
+            || line.starts_with('}');
+        if starts_new || logical.is_empty() {
+            logical.push((idx + 1, line));
+        } else {
+            let last = logical.last_mut().expect("nonempty");
+            last.1.push(' ');
+            last.1.push_str(&line);
+        }
+    }
+
+    let resolve_action = |agent: Agent, name: &str, line: usize| -> Result<ActionId, ProgramParseError> {
+        for k in 0..ctx.action_count(agent) {
+            let a = ActionId(k as u32);
+            if ctx.action_name(agent, a) == name {
+                return Ok(a);
+            }
+        }
+        Err(ProgramParseError::new(
+            line,
+            format!("unknown action `{name}` for this agent"),
+        ))
+    };
+
+    for (line_no, line) in logical {
+        if let Some(rest) = line.strip_prefix("agent") {
+            if current.is_some() {
+                return Err(ProgramParseError::new(
+                    line_no,
+                    "nested `agent` block (missing `}`?)",
+                ));
+            }
+            let rest = rest.trim();
+            let name = rest
+                .strip_suffix('{')
+                .ok_or_else(|| ProgramParseError::new(line_no, "expected `{` after agent name"))?
+                .trim();
+            let agent = voc.agent(name).ok_or_else(|| {
+                ProgramParseError::new(line_no, format!("unknown agent `{name}`"))
+            })?;
+            current = Some(agent);
+            saw_default = false;
+        } else if line == "}" {
+            if current.take().is_none() {
+                return Err(ProgramParseError::new(line_no, "unmatched `}`"));
+            }
+        } else if let Some(rest) = line.strip_prefix("if ") {
+            let agent = current.ok_or_else(|| {
+                ProgramParseError::new(line_no, "`if` outside an agent block")
+            })?;
+            // The guard ends at the LAST ` do ` (guards cannot contain
+            // the token `do`, which is not in the formula grammar).
+            let split = rest.rfind(" do ").ok_or_else(|| {
+                ProgramParseError::new(line_no, "expected `do <action>` after the guard")
+            })?;
+            let (guard_src, action_src) = rest.split_at(split);
+            let action_name = action_src[4..].trim();
+            let mut guard_voc = voc.clone();
+            let guard = kbp_logic::parse::parse(guard_src.trim(), &mut guard_voc)
+                .map_err(|e| ProgramParseError::new(line_no, format!("bad guard: {e}")))?;
+            if guard_voc.prop_count() != voc.prop_count()
+                || guard_voc.agent_count() != voc.agent_count()
+            {
+                return Err(ProgramParseError::new(
+                    line_no,
+                    "guard mentions names not declared by the context",
+                ));
+            }
+            let action = resolve_action(agent, action_name, line_no)?;
+            builder = builder.clause(agent, guard, action);
+        } else if let Some(rest) = line.strip_prefix("default") {
+            let agent = current.ok_or_else(|| {
+                ProgramParseError::new(line_no, "`default` outside an agent block")
+            })?;
+            if saw_default {
+                return Err(ProgramParseError::new(line_no, "two `default` lines"));
+            }
+            saw_default = true;
+            let action = resolve_action(agent, rest.trim(), line_no)?;
+            builder = builder.default_action(agent, action);
+        } else {
+            return Err(ProgramParseError::new(
+                line_no,
+                format!("expected `agent`, `if`, `default` or `}}`, found `{line}`"),
+            ));
+        }
+    }
+    if current.is_some() {
+        return Err(ProgramParseError::new(
+            source.lines().count(),
+            "unterminated agent block",
+        ));
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_logic::{Formula, PropId, Vocabulary};
+    use kbp_systems::{ContextBuilder, FnContext, GlobalState, Obs};
+
+    fn lamp_ctx() -> FnContext {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("tender");
+        let lit = voc.add_prop("lit");
+        ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["noop", "switch"])
+            .transition(|s, j| {
+                if j.acts[0] == ActionId(1) {
+                    s.with_reg(0, 1)
+                } else {
+                    s.clone()
+                }
+            })
+            .observe(|_, s| Obs(u64::from(s.reg(0))))
+            .props(move |p, s| p == lit && s.reg(0) == 1)
+            .build()
+    }
+
+    #[test]
+    fn parses_a_simple_program() {
+        let ctx = lamp_ctx();
+        let kbp = parse_kbp(
+            r"
+            # the lamp tender
+            agent tender {
+                if !K{tender} lit do switch
+                default noop
+            }
+            ",
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(kbp.validate(&ctx), Ok(()));
+        let prog = kbp.program(Agent::new(0)).unwrap();
+        assert_eq!(prog.clauses().len(), 1);
+        assert_eq!(prog.clauses()[0].action, ActionId(1));
+        assert_eq!(prog.default_action(), ActionId(0));
+        assert_eq!(
+            prog.clauses()[0].guard,
+            Formula::not(Formula::knows(Agent::new(0), Formula::prop(PropId::new(0))))
+        );
+    }
+
+    #[test]
+    fn multiline_guards_join() {
+        let ctx = lamp_ctx();
+        let kbp = parse_kbp(
+            "agent tender {\nif !K{tender} lit\n   & !K{tender} !lit\n   do switch\ndefault noop\n}",
+            &ctx,
+        )
+        .unwrap();
+        let prog = kbp.program(Agent::new(0)).unwrap();
+        assert_eq!(prog.clauses().len(), 1);
+        assert!(matches!(prog.clauses()[0].guard, Formula::And(_)));
+    }
+
+    #[test]
+    fn parsed_program_solves_like_the_built_one() {
+        let ctx = lamp_ctx();
+        let parsed = parse_kbp(
+            "agent tender { if !K{tender} lit do switch\n default noop }",
+            &ctx,
+        );
+        // `{` on the same line as clauses is not in the grammar — expect
+        // a clean error, not a mis-parse.
+        assert!(parsed.is_err());
+        let parsed = parse_kbp(
+            "agent tender {\n if !K{tender} lit do switch\n default noop\n}",
+            &ctx,
+        )
+        .unwrap();
+        let a = Agent::new(0);
+        let built = Kbp::builder()
+            .clause(
+                a,
+                Formula::not(Formula::knows(a, Formula::prop(PropId::new(0)))),
+                ActionId(1),
+            )
+            .default_action(a, ActionId(0))
+            .build();
+        assert_eq!(parsed, built);
+        let s1 = crate::SyncSolver::new(&ctx, &parsed).horizon(3).solve().unwrap();
+        let s2 = crate::SyncSolver::new(&ctx, &built).horizon(3).solve().unwrap();
+        assert_eq!(s1.protocol(), s2.protocol());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let ctx = lamp_ctx();
+        let e = parse_kbp("agent nobody {\n}\n", &ctx).unwrap_err();
+        assert_eq!(e.line(), 1);
+        assert!(e.to_string().contains("unknown agent"));
+
+        let e = parse_kbp("agent tender {\nif K{tender} lit do explode\n}", &ctx).unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.to_string().contains("unknown action"));
+
+        let e = parse_kbp("agent tender {\nif K{tender} ( do switch\n}", &ctx).unwrap_err();
+        assert!(e.to_string().contains("bad guard"));
+
+        let e = parse_kbp("agent tender {\nif K{tender} ghost do switch\n}", &ctx).unwrap_err();
+        assert!(e.to_string().contains("not declared"), "{e}");
+
+        let e = parse_kbp("default noop\n", &ctx).unwrap_err();
+        assert!(e.to_string().contains("outside"));
+
+        let e = parse_kbp("agent tender {\n", &ctx).unwrap_err();
+        assert!(e.to_string().contains("unterminated"));
+    }
+}

@@ -1,0 +1,640 @@
+//! The constructive synchronous solver — FHMV's unique-implementation
+//! theorem as an algorithm.
+//!
+//! **Theorem (FHMV, PODC'95).** In a synchronous context, a knowledge-based
+//! program whose tests do not refer to the future has *exactly one*
+//! implementation.
+//!
+//! The proof is an induction on time, and this module runs that induction:
+//! the points at time `t` are determined by the actions chosen at times
+//! `< t`; past-free tests at time `t` are evaluated on the time-`t` layer
+//! alone; so the induced actions at time `t` are forced, which determines
+//! the time-`t+1` layer, and so on. No search, no fixed-point iteration —
+//! the fixed point is *constructed*, and uniqueness is immediate.
+//!
+//! Programs with future-referring tests (`K_i F φ` …) fall outside the
+//! theorem; use the [`Enumerator`](crate::Enumerator), which searches for
+//! all bounded fixed points and may find zero, one or many.
+
+use crate::program::{Kbp, KbpError};
+use kbp_kripke::{BitSet, EvalError};
+use kbp_systems::{
+    Context, GenerateError, InterpretedSystem, MapProtocol, Recall, StepChoices, SystemBuilder,
+};
+use kbp_logic::Agent;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from solving or implementation checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The program failed validation against the context.
+    Kbp(KbpError),
+    /// System generation failed.
+    Generate(GenerateError),
+    /// Formula evaluation failed.
+    Eval(EvalError),
+    /// The program has future-referring guards; the inductive solver does
+    /// not apply (use the enumerator).
+    FutureGuards,
+    /// A guard declared over "local" propositions turned out not to be a
+    /// function of the agent's local state: two indistinguishable points
+    /// disagreed on the guard.
+    LocalityViolation {
+        /// The agent whose guard misbehaved.
+        agent: Agent,
+        /// Index of the clause.
+        clause: usize,
+        /// The time step at which the disagreement was found.
+        time: usize,
+    },
+    /// Under observational (memoryless) recall, the program induced
+    /// *different* actions at different times for the same observation —
+    /// no memoryless protocol can implement it (the induced table is not
+    /// time-invariant). Solve with [`Recall::Perfect`] instead.
+    ObservationalConflict {
+        /// The agent whose induced table conflicts.
+        agent: Agent,
+        /// The time step at which the conflict surfaced.
+        time: usize,
+    },
+    /// Controller extraction produced a machine that fails to replay a
+    /// protocol entry (internal invariant; never expected to surface).
+    ControllerReplay {
+        /// The agent whose controller misreplayed.
+        agent: Agent,
+        /// Length of the offending history.
+        history_len: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Kbp(e) => write!(f, "invalid knowledge-based program: {e}"),
+            SolveError::Generate(e) => write!(f, "system generation failed: {e}"),
+            SolveError::Eval(e) => write!(f, "guard evaluation failed: {e}"),
+            SolveError::FutureGuards => write!(
+                f,
+                "program has future-referring guards; the unique-implementation \
+                 theorem does not apply — use the Enumerator"
+            ),
+            SolveError::LocalityViolation {
+                agent,
+                clause,
+                time,
+            } => write!(
+                f,
+                "guard of clause {clause} (agent {agent}) is not a function of the \
+                 agent's local state at time {time}: a proposition declared local is not"
+            ),
+            SolveError::ObservationalConflict { agent, time } => write!(
+                f,
+                "agent {agent}'s induced actions at time {time} differ from an \
+                 earlier time for the same observation; no memoryless protocol \
+                 implements this program (use perfect recall)"
+            ),
+            SolveError::ControllerReplay { agent, history_len } => write!(
+                f,
+                "extracted controller for agent {agent} fails to replay a \
+                 length-{history_len} history (internal error)"
+            ),
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Kbp(e) => Some(e),
+            SolveError::Generate(e) => Some(e),
+            SolveError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KbpError> for SolveError {
+    fn from(e: KbpError) -> Self {
+        SolveError::Kbp(e)
+    }
+}
+
+impl From<GenerateError> for SolveError {
+    fn from(e: GenerateError) -> Self {
+        SolveError::Generate(e)
+    }
+}
+
+impl From<EvalError> for SolveError {
+    fn from(e: EvalError) -> Self {
+        SolveError::Eval(e)
+    }
+}
+
+/// Statistics collected while solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Layers built (horizon + 1).
+    pub layers: usize,
+    /// Total points across all layers.
+    pub points: usize,
+    /// Distinct `(agent, local state)` pairs given protocol entries.
+    pub protocol_entries: usize,
+    /// Guard evaluations performed (clause × layer).
+    pub guard_evaluations: usize,
+}
+
+/// The unique implementation of a past-determined KBP, as constructed by
+/// [`SyncSolver::solve`].
+#[derive(Debug)]
+pub struct Solution {
+    system: InterpretedSystem,
+    protocol: MapProtocol,
+    stabilized: Option<usize>,
+    stats: SolveStats,
+}
+
+impl Solution {
+    /// The standard protocol implementing the program (an explicit entry
+    /// for every local state reached within the horizon).
+    #[must_use]
+    pub fn protocol(&self) -> &MapProtocol {
+        &self.protocol
+    }
+
+    /// The generated system `R^rep(P, γ)` (bounded): the system the
+    /// implementation produces, which is also the system the program's
+    /// tests were evaluated in — the fixed point made visible.
+    #[must_use]
+    pub fn system(&self) -> &InterpretedSystem {
+        &self.system
+    }
+
+    /// The first layer at which the unrolling provably stopped changing,
+    /// if within the horizon (see
+    /// [`InterpretedSystem::stabilization`]).
+    #[must_use]
+    pub fn stabilized(&self) -> Option<usize> {
+        self.stabilized
+    }
+
+    /// Solving statistics.
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Consumes the solution, returning protocol and system.
+    #[must_use]
+    pub fn into_parts(self) -> (MapProtocol, InterpretedSystem) {
+        (self.protocol, self.system)
+    }
+}
+
+/// Builder-style driver for the inductive construction.
+///
+/// # Example
+///
+/// ```
+/// use kbp_core::{Kbp, SyncSolver};
+/// use kbp_logic::{Formula, Vocabulary};
+/// use kbp_systems::{ContextBuilder, GlobalState, Obs, ActionId};
+///
+/// // One agent, hidden bit; action "announce" requires knowing the bit —
+/// // the program says: if you know whether bit, announce, else noop.
+/// let mut voc = Vocabulary::new();
+/// let a = voc.add_agent("a");
+/// let bit = voc.add_prop("bit");
+/// let ctx = ContextBuilder::new(voc)
+///     .initial_states([GlobalState::new(vec![0]), GlobalState::new(vec![1])])
+///     .agent_actions(a, ["noop", "announce"])
+///     .transition(|s, _| s.clone())
+///     .observe(|_, s| Obs(u64::from(s.reg(0)))) // bit is visible
+///     .props(move |p, s| p == bit && s.reg(0) == 1)
+///     .build();
+///
+/// let kbp = Kbp::builder()
+///     .clause(a, Formula::knows_whether(a, Formula::prop(bit)), ActionId(1))
+///     .default_action(a, ActionId(0))
+///     .build();
+///
+/// let solution = SyncSolver::new(&ctx, &kbp).horizon(2).solve()?;
+/// // The bit is observable, so the unique implementation always announces.
+/// assert!(solution.protocol().iter().all(|(_, _, acts)| acts == [ActionId(1)]));
+/// # Ok::<(), kbp_core::SolveError>(())
+/// ```
+pub struct SyncSolver<'a> {
+    ctx: &'a dyn Context,
+    kbp: &'a Kbp,
+    horizon: usize,
+    recall: Recall,
+    node_limit: Option<usize>,
+}
+
+impl fmt::Debug for SyncSolver<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SyncSolver")
+            .field("horizon", &self.horizon)
+            .field("recall", &self.recall)
+            .field("node_limit", &self.node_limit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SyncSolver<'a> {
+    /// Creates a solver with horizon 16 and perfect recall.
+    #[must_use]
+    pub fn new(ctx: &'a dyn Context, kbp: &'a Kbp) -> Self {
+        SyncSolver {
+            ctx,
+            kbp,
+            horizon: 16,
+            recall: Recall::Perfect,
+            node_limit: None,
+        }
+    }
+
+    /// Sets the unrolling horizon (time steps).
+    #[must_use]
+    pub fn horizon(mut self, horizon: usize) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the recall discipline (default: perfect recall).
+    #[must_use]
+    pub fn recall(mut self, recall: Recall) -> Self {
+        self.recall = recall;
+        self
+    }
+
+    /// Caps the number of points the unrolling may create.
+    #[must_use]
+    pub fn node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Runs the inductive construction.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Kbp`] — the program is invalid for the context.
+    /// * [`SolveError::FutureGuards`] — a guard refers to the future.
+    /// * [`SolveError::LocalityViolation`] — a "local" proposition is not.
+    /// * [`SolveError::Generate`] / [`SolveError::Eval`] — propagated.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.kbp.validate(self.ctx)?;
+        if self.kbp.has_future_guards() {
+            return Err(SolveError::FutureGuards);
+        }
+        let mut builder = SystemBuilder::new(self.ctx, self.recall)?;
+        if let Some(limit) = self.node_limit {
+            builder.set_node_limit(limit);
+        }
+        let mut protocol = MapProtocol::new(vec![kbp_systems::ActionId(0)]);
+        for program in self.kbp.programs() {
+            protocol.set_agent_default(program.agent(), vec![program.default_action()]);
+        }
+        let mut stats = SolveStats::default();
+
+        for t in 0..=self.horizon {
+            let choices = self.induce_layer(&builder, t, &mut protocol, &mut stats)?;
+            if t < self.horizon {
+                builder.step(&choices)?;
+            }
+        }
+
+        let system = builder.finish();
+        stats.layers = system.layer_count();
+        stats.points = system.point_count();
+        let stabilized = system.stabilization();
+        Ok(Solution {
+            system,
+            protocol,
+            stabilized,
+            stats,
+        })
+    }
+
+    /// Evaluates every guard on the frontier layer, records protocol
+    /// entries, and produces the step choices.
+    fn induce_layer(
+        &self,
+        builder: &SystemBuilder<'_>,
+        time: usize,
+        protocol: &mut MapProtocol,
+        stats: &mut SolveStats,
+    ) -> Result<StepChoices, SolveError> {
+        let layer = builder.current();
+        let model = layer.model();
+        let mut choices = StepChoices::new();
+
+        for program in self.kbp.programs() {
+            let agent = program.agent();
+            // Satisfaction set of every clause guard over this layer.
+            let guard_sets: Vec<BitSet> = program
+                .clauses()
+                .iter()
+                .map(|c| model.satisfying(&c.guard))
+                .collect::<Result<_, _>>()?;
+            stats.guard_evaluations += guard_sets.len();
+
+            // Group nodes by the agent's local state; the guard valuation
+            // must be constant on each group.
+            let mut seen: std::collections::HashMap<kbp_systems::LocalId, (usize, Vec<bool>)> =
+                std::collections::HashMap::new();
+            for (ni, node) in layer.nodes().iter().enumerate() {
+                let local = node.local(agent);
+                let truths: Vec<bool> =
+                    guard_sets.iter().map(|s| s.contains(ni)).collect();
+                match seen.get(&local) {
+                    Some((_, prev)) if *prev != truths => {
+                        let clause = prev
+                            .iter()
+                            .zip(&truths)
+                            .position(|(a, b)| a != b)
+                            .unwrap_or(0);
+                        return Err(SolveError::LocalityViolation {
+                            agent,
+                            clause,
+                            time,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        seen.insert(local, (ni, truths));
+                    }
+                }
+            }
+
+            for (local, (_, truths)) in seen {
+                let actions = program.induced_actions(&truths);
+                let history = builder.local_history(agent, local);
+                // Under perfect recall a history occurs at exactly one
+                // time, so entries never collide. Under observational
+                // recall the same observation recurs; a memoryless
+                // protocol exists only if the induced actions agree.
+                if let Some(prev) = protocol.get(agent, &history) {
+                    if prev != actions.as_slice() {
+                        return Err(SolveError::ObservationalConflict { agent, time });
+                    }
+                } else {
+                    stats.protocol_entries += 1;
+                }
+                protocol.insert(agent, history, actions.clone());
+                choices.set(agent, local, actions);
+            }
+        }
+        Ok(choices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_logic::{Formula, PropId, Vocabulary};
+    use kbp_systems::{ActionId, ContextBuilder, FnContext, GlobalState, Obs, ProtocolFn};
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    /// Hidden bit; "peek" makes the bit visible from the next step on;
+    /// "announce" sets a flag; announcing is only sensible once the bit is
+    /// known. The KBP: if you know whether bit, announce; else peek.
+    fn peek_announce_context() -> FnContext {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("a");
+        let bit = voc.add_prop("bit");
+        let announced = voc.add_prop("announced");
+        // regs: [bit, visible, announced]
+        ContextBuilder::new(voc)
+            .initial_states([
+                GlobalState::new(vec![0, 0, 0]),
+                GlobalState::new(vec![1, 0, 0]),
+            ])
+            .agent_actions(a, ["noop", "peek", "announce"])
+            .transition(|s, j| match j.acts[0] {
+                ActionId(1) => s.with_reg(1, 1),
+                ActionId(2) => s.with_reg(2, 1),
+                _ => s.clone(),
+            })
+            .observe(|_, s| {
+                if s.reg(1) == 1 {
+                    Obs(u64::from(s.reg(0)) + 1)
+                } else {
+                    Obs(0)
+                }
+            })
+            .props(move |q, s| {
+                (q == bit && s.reg(0) == 1) || (q == announced && s.reg(2) == 1)
+            })
+            .build()
+    }
+
+    fn peek_announce_kbp() -> Kbp {
+        let a = Agent::new(0);
+        Kbp::builder()
+            .clause(a, Formula::knows_whether(a, p(0)), ActionId(2))
+            .clause(
+                a,
+                Formula::not(Formula::knows_whether(a, p(0))),
+                ActionId(1),
+            )
+            .default_action(a, ActionId(0))
+            .build()
+    }
+
+    #[test]
+    fn solves_peek_then_announce() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        let proto = solution.protocol();
+        // At time 0 the agent is ignorant: peeks.
+        assert_eq!(
+            proto.get(Agent::new(0), &[Obs(0)]),
+            Some(&[ActionId(1)][..])
+        );
+        // After peeking, the bit is visible: announce (both outcomes).
+        assert_eq!(
+            proto.get(Agent::new(0), &[Obs(0), Obs(1)]),
+            Some(&[ActionId(2)][..])
+        );
+        assert_eq!(
+            proto.get(Agent::new(0), &[Obs(0), Obs(2)]),
+            Some(&[ActionId(2)][..])
+        );
+        // The generated system reaches "announced" by time 2.
+        let announced = p(1);
+        let ev =
+            kbp_systems::Evaluator::new(solution.system(), &Formula::eventually(announced))
+                .unwrap();
+        assert!(ev.holds(kbp_systems::Point { time: 0, node: 0 }));
+    }
+
+    #[test]
+    fn solution_is_a_fixed_point() {
+        // Re-running the derived protocol reproduces the same system
+        // layer sizes and the same induced actions — the defining
+        // property of an implementation.
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        let replay =
+            kbp_systems::generate(&ctx, solution.protocol(), Recall::Perfect, 3).unwrap();
+        for t in 0..=3 {
+            assert_eq!(
+                replay.layer(t).len(),
+                solution.system().layer(t).len(),
+                "layer {t} differs"
+            );
+        }
+        let report = crate::check_implementation(
+            &ctx,
+            &kbp,
+            solution.protocol(),
+            Recall::Perfect,
+            3,
+        )
+        .unwrap();
+        assert!(report.is_implementation(), "{report}");
+    }
+
+    #[test]
+    fn rejects_future_guards() {
+        let ctx = peek_announce_context();
+        let a = Agent::new(0);
+        let kbp = Kbp::builder()
+            .clause(
+                a,
+                Formula::knows(a, Formula::eventually(p(1))),
+                ActionId(0),
+            )
+            .default_action(a, ActionId(0))
+            .build();
+        assert_eq!(
+            SyncSolver::new(&ctx, &kbp).solve().unwrap_err(),
+            SolveError::FutureGuards
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_program() {
+        let ctx = peek_announce_context();
+        let a = Agent::new(0);
+        let kbp = Kbp::builder()
+            .clause(a, p(0), ActionId(0)) // bare prop, not declared local
+            .default_action(a, ActionId(0))
+            .build();
+        assert!(matches!(
+            SyncSolver::new(&ctx, &kbp).solve(),
+            Err(SolveError::Kbp(KbpError::NotSubjective { .. }))
+        ));
+    }
+
+    #[test]
+    fn detects_locality_violation() {
+        // Declare the hidden bit "local" although the agent cannot see it:
+        // the two initial points share a local state but disagree on bit.
+        let ctx = peek_announce_context();
+        let a = Agent::new(0);
+        let kbp = Kbp::builder()
+            .clause(a, p(0), ActionId(2))
+            .local_prop(a, PropId::new(0))
+            .default_action(a, ActionId(0))
+            .build();
+        assert!(matches!(
+            SyncSolver::new(&ctx, &kbp).solve(),
+            Err(SolveError::LocalityViolation {
+                clause: 0,
+                time: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truly_local_props_are_fine() {
+        // "announced" is a function of... no: announced is global but the
+        // agent may not see it. Make a context where the agent observes
+        // the flag, declare it local — solver must accept.
+        let mut voc = Vocabulary::new();
+        let a_name = voc.add_agent("a");
+        let flag = voc.add_prop("flag");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a_name, ["noop", "set"])
+            .transition(|s, j| {
+                if j.acts[0] == ActionId(1) {
+                    s.with_reg(0, 1)
+                } else {
+                    s.clone()
+                }
+            })
+            .observe(|_, s| Obs(u64::from(s.reg(0))))
+            .props(move |q, s| q == flag && s.reg(0) == 1)
+            .build();
+        let a = Agent::new(0);
+        let kbp = Kbp::builder()
+            .clause(a, Formula::not(p(0)), ActionId(1))
+            .local_prop(a, PropId::new(0))
+            .default_action(a, ActionId(0))
+            .build();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        // Flag set at t=1 and stays; protocol sets once then noops.
+        assert_eq!(
+            solution.protocol().get(a, &[Obs(0)]),
+            Some(&[ActionId(1)][..])
+        );
+        assert_eq!(
+            solution.protocol().get(a, &[Obs(0), Obs(1)]),
+            Some(&[ActionId(0)][..])
+        );
+        assert_eq!(solution.stabilized(), Some(1));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        let stats = solution.stats();
+        assert_eq!(stats.layers, 4);
+        assert!(stats.points >= 4);
+        assert!(stats.protocol_entries >= 4);
+        assert!(stats.guard_evaluations >= 8);
+    }
+
+    #[test]
+    fn node_limit_is_respected() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let err = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .node_limit(2)
+            .solve()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::Generate(GenerateError::NodeLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn derived_protocol_is_deterministic_here() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(2).solve().unwrap();
+        assert!(solution.protocol().is_deterministic());
+        // And replays identically through the ProtocolFn interface.
+        let history = [Obs(0)];
+        let acts = solution.protocol().actions(&kbp_systems::LocalView {
+            agent: Agent::new(0),
+            history: &history,
+        });
+        assert_eq!(acts, vec![ActionId(1)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Bisimulation quotienting of S5 models.
+//!
+//! Two worlds are *bisimilar* when they satisfy the same propositions and,
+//! for every agent, their information cells contain bisimilar worlds
+//! (S5 partitions make the usual back-and-forth conditions symmetric).
+//! Quotienting by bisimilarity yields the smallest model satisfying
+//! exactly the same formulas at corresponding worlds — useful to keep
+//! iterated announcement/update pipelines from blowing up.
+
+use crate::model::{S5Model, WorldId};
+use crate::partition::Partition;
+use kbp_logic::{Agent, PropId};
+use std::collections::BTreeSet;
+
+/// The result of quotienting a model by bisimilarity.
+#[derive(Debug, Clone)]
+pub struct Quotient {
+    model: S5Model,
+    class_of: Vec<WorldId>,
+}
+
+impl Quotient {
+    /// The quotient model.
+    #[must_use]
+    pub fn model(&self) -> &S5Model {
+        &self.model
+    }
+
+    /// Consumes the quotient, returning the model.
+    #[must_use]
+    pub fn into_model(self) -> S5Model {
+        self.model
+    }
+
+    /// The quotient world corresponding to an original world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is out of range for the original model.
+    #[must_use]
+    pub fn class_of(&self, old: WorldId) -> WorldId {
+        self.class_of[old.index()]
+    }
+}
+
+impl S5Model {
+    /// Computes the partition of worlds into maximal bisimilarity classes.
+    ///
+    /// Runs partition refinement: start from valuation equality and
+    /// repeatedly split classes whose members see different sets of classes
+    /// in some agent's cell, until stable.
+    #[must_use]
+    pub fn bisimilarity(&self) -> Partition {
+        let n = self.world_count();
+        // Initial: same valuation signature.
+        let mut part = Partition::from_keys(n, |w| {
+            (0..self.prop_count())
+                .map(|p| self.prop_holds(WorldId::new(w), PropId::new(p as u32)))
+                .collect::<Vec<bool>>()
+        });
+        loop {
+            let next = Partition::from_keys(n, |w| {
+                let mut sig: Vec<usize> = vec![part.block_of(w)];
+                for a in 0..self.agent_count() {
+                    let cell = self.cell(Agent::new(a), WorldId::new(w));
+                    let classes: BTreeSet<usize> =
+                        cell.iter().map(|&v| part.block_of(v as usize)).collect();
+                    sig.push(classes.len());
+                    sig.extend(classes);
+                    sig.push(usize::MAX); // separator between agents
+                }
+                sig
+            });
+            if next.block_count() == part.block_count() {
+                return next;
+            }
+            part = next;
+        }
+    }
+
+    /// Quotients the model by bisimilarity, returning the reduced model and
+    /// the mapping from old worlds to their classes.
+    ///
+    /// The quotient satisfies the same epistemic formulas: for every world
+    /// `w` and formula `φ`, `self, w ⊨ φ` iff `quotient, class_of(w) ⊨ φ`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_kripke::S5Builder;
+    /// use kbp_logic::PropId;
+    ///
+    /// let p = PropId::new(0);
+    /// let mut b = S5Builder::new(1, 1);
+    /// let w0 = b.add_world([p]);
+    /// let w1 = b.add_world([p]); // duplicate of w0
+    /// let m = b.build();
+    /// let q = m.quotient();
+    /// assert_eq!(q.model().world_count(), 1);
+    /// assert_eq!(q.class_of(w0), q.class_of(w1));
+    /// ```
+    #[must_use]
+    pub fn quotient(&self) -> Quotient {
+        let part = self.bisimilarity();
+        let n_new = part.block_count();
+        let valuation = (0..self.prop_count())
+            .map(|p| {
+                crate::bitset::BitSet::from_indices(
+                    n_new,
+                    (0..n_new).filter(|&b| {
+                        let rep = part.block(b)[0] as usize;
+                        self.prop_holds(WorldId::new(rep), PropId::new(p as u32))
+                    }),
+                )
+            })
+            .collect();
+        // Two classes are agent-linked iff some members are linked; since
+        // bisimilar worlds have cells covering the same classes, linking by
+        // representative is sound. Build via union-find over classes.
+        let partitions = (0..self.agent_count())
+            .map(|a| {
+                let ag = Agent::new(a);
+                let mut uf = crate::partition::UnionFind::new(n_new);
+                for w in 0..self.world_count() {
+                    let cw = part.block_of(w);
+                    for &v in self.cell(ag, WorldId::new(w)) {
+                        uf.union(cw, part.block_of(v as usize));
+                    }
+                }
+                uf.into_partition()
+            })
+            .collect();
+        let model = S5Model::from_parts(self.prop_count(), valuation, partitions, n_new);
+        let class_of = (0..self.world_count())
+            .map(|w| WorldId::new(part.block_of(w)))
+            .collect();
+        Quotient { model, class_of }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::S5Builder;
+    use kbp_logic::{Agent, AgentSet, Formula};
+    use kbp_logic::random::{random_formula, FormulaConfig, SplitMix64};
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    #[test]
+    fn duplicate_worlds_collapse() {
+        let a = Agent::new(0);
+        let mut b = S5Builder::new(1, 1);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([PropId::new(0)]);
+        let w2 = b.add_world([]);
+        b.link(a, w0, w2);
+        b.link(a, w1, w2);
+        let m = b.build();
+        let q = m.quotient();
+        assert_eq!(q.model().world_count(), 2);
+        assert_eq!(q.class_of(w0), q.class_of(w1));
+        assert_ne!(q.class_of(w0), q.class_of(w2));
+    }
+
+    #[test]
+    fn different_valuations_do_not_collapse() {
+        let mut b = S5Builder::new(1, 1);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([]);
+        let m = b.build();
+        let q = m.quotient();
+        assert_ne!(q.class_of(w0), q.class_of(w1));
+        assert_eq!(q.model().world_count(), 2);
+    }
+
+    #[test]
+    fn epistemic_structure_distinguishes_worlds() {
+        // w0: agent's cell is {w0}; w1: cell is {w1, w2} with w2 differing
+        // in valuation. Same valuation at w0, w1 — but different knowledge.
+        let a = Agent::new(0);
+        let mut b = S5Builder::new(1, 1);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([PropId::new(0)]);
+        let w2 = b.add_world([]);
+        b.link(a, w1, w2);
+        let m = b.build();
+        let q = m.quotient();
+        assert_ne!(q.class_of(w0), q.class_of(w1));
+        // Knowledge is preserved: agent knows p at w0, not at w1.
+        let kp = Formula::knows(a, p(0));
+        assert!(q.model().check(q.class_of(w0), &kp).unwrap());
+        assert!(!q.model().check(q.class_of(w1), &kp).unwrap());
+    }
+
+    #[test]
+    fn quotient_preserves_random_formulas() {
+        let mut rng = SplitMix64::new(20240706);
+        // Model: 6 worlds, 2 agents, 2 props with some sharing.
+        let mut b = S5Builder::new(2, 2);
+        let mut ws = Vec::new();
+        for i in 0..6u32 {
+            let mut props = Vec::new();
+            if i % 2 == 0 {
+                props.push(PropId::new(0));
+            }
+            if i < 3 {
+                props.push(PropId::new(1));
+            }
+            ws.push(b.add_world(props));
+        }
+        b.link(Agent::new(0), ws[0], ws[2]);
+        b.link(Agent::new(0), ws[1], ws[3]);
+        b.link(Agent::new(1), ws[2], ws[4]);
+        b.link(Agent::new(1), ws[3], ws[5]);
+        let m = b.build();
+        let q = m.quotient();
+        let cfg = FormulaConfig {
+            props: 2,
+            agents: 2,
+            max_depth: 5,
+            temporal: false,
+            groups: true,
+        };
+        for _ in 0..120 {
+            let f = random_formula(&mut rng, &cfg);
+            for &w in &ws {
+                let orig = m.check(w, &f).unwrap();
+                let quot = q.model().check(q.class_of(w), &f).unwrap();
+                assert_eq!(orig, quot, "formula {f} differs at {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_is_idempotent() {
+        let mut b = S5Builder::new(2, 1);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([PropId::new(0)]);
+        let w2 = b.add_world([]);
+        b.link(Agent::new(0), w0, w1);
+        b.link(Agent::new(1), w1, w2);
+        let m = b.build();
+        let q1 = m.quotient().into_model();
+        let q2 = q1.quotient().into_model();
+        assert_eq!(q1.world_count(), q2.world_count());
+    }
+
+    #[test]
+    fn common_knowledge_survives_quotient() {
+        let g = AgentSet::all(2);
+        let mut b = S5Builder::new(2, 1);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([PropId::new(0)]);
+        b.link(Agent::new(0), w0, w1);
+        let m = b.build();
+        let f = Formula::common(g, p(0));
+        let q = m.quotient();
+        assert_eq!(
+            m.check(w0, &f).unwrap(),
+            q.model().check(q.class_of(w0), &f).unwrap()
+        );
+    }
+}

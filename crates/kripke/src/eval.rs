@@ -1,0 +1,420 @@
+//! Evaluation of epistemic formulas on S5 models.
+
+use crate::bitset::BitSet;
+use crate::model::{S5Model, WorldId};
+use crate::partition::Partition;
+use kbp_logic::{Agent, AgentSet, Formula, PropId};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a formula cannot be evaluated on a static model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The formula contains a temporal operator; static Kripke models have
+    /// no notion of time (use the systems/mck crates for runs).
+    Temporal,
+    /// A proposition id exceeds the model's proposition count.
+    PropOutOfRange(PropId),
+    /// An agent id exceeds the model's agent count.
+    AgentOutOfRange(Agent),
+    /// A group modality was applied to the empty group.
+    EmptyGroup,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Temporal => {
+                write!(f, "temporal operators cannot be evaluated on a static model")
+            }
+            EvalError::PropOutOfRange(p) => {
+                write!(f, "proposition {p} is out of range for this model")
+            }
+            EvalError::AgentOutOfRange(a) => {
+                write!(f, "agent {a} is out of range for this model")
+            }
+            EvalError::EmptyGroup => write!(f, "group modality applied to the empty group"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+impl S5Model {
+    /// The set of worlds at which `formula` holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if the formula contains temporal operators,
+    /// mentions out-of-range propositions or agents, or applies a group
+    /// modality to an empty group.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_kripke::S5Builder;
+    /// use kbp_logic::{Agent, Formula, PropId};
+    ///
+    /// let a = Agent::new(0);
+    /// let p = PropId::new(0);
+    /// let mut b = S5Builder::new(1, 1);
+    /// let w0 = b.add_world([p]);
+    /// let w1 = b.add_world([p]);
+    /// b.link(a, w0, w1);
+    /// let m = b.build();
+    /// let sat = m.satisfying(&Formula::knows(a, Formula::prop(p)))?;
+    /// assert_eq!(sat.count(), 2); // p holds in the whole cell
+    /// # Ok::<(), kbp_kripke::EvalError>(())
+    /// ```
+    pub fn satisfying(&self, formula: &Formula) -> Result<BitSet, EvalError> {
+        let n = self.world_count();
+        match formula {
+            Formula::True => Ok(BitSet::full(n)),
+            Formula::False => Ok(BitSet::new(n)),
+            Formula::Prop(p) => {
+                if p.index() >= self.prop_count() {
+                    return Err(EvalError::PropOutOfRange(*p));
+                }
+                Ok(self.prop_worlds(*p).clone())
+            }
+            Formula::Not(f) => Ok(self.satisfying(f)?.complemented()),
+            Formula::And(items) => {
+                let mut acc = BitSet::full(n);
+                for f in items {
+                    acc.intersect_with(&self.satisfying(f)?);
+                }
+                Ok(acc)
+            }
+            Formula::Or(items) => {
+                let mut acc = BitSet::new(n);
+                for f in items {
+                    acc.union_with(&self.satisfying(f)?);
+                }
+                Ok(acc)
+            }
+            Formula::Implies(a, b) => {
+                let mut acc = self.satisfying(a)?.complemented();
+                acc.union_with(&self.satisfying(b)?);
+                Ok(acc)
+            }
+            Formula::Iff(a, b) => {
+                let sa = self.satisfying(a)?;
+                let sb = self.satisfying(b)?;
+                let mut both = sa.clone();
+                both.intersect_with(&sb);
+                let mut neither = sa.complemented();
+                neither.intersect_with(&sb.complemented());
+                both.union_with(&neither);
+                Ok(both)
+            }
+            Formula::Knows(agent, f) => {
+                if agent.index() >= self.agent_count() {
+                    return Err(EvalError::AgentOutOfRange(*agent));
+                }
+                let sat = self.satisfying(f)?;
+                Ok(self.knowing(*agent, &sat))
+            }
+            Formula::Everyone(group, f) => {
+                self.check_group(*group)?;
+                let sat = self.satisfying(f)?;
+                Ok(self.everyone_knowing(*group, &sat))
+            }
+            Formula::Common(group, f) => {
+                self.check_group(*group)?;
+                let sat = self.satisfying(f)?;
+                Ok(self.common_knowing(*group, &sat))
+            }
+            Formula::Distributed(group, f) => {
+                self.check_group(*group)?;
+                let sat = self.satisfying(f)?;
+                Ok(self.distributed_knowing(*group, &sat))
+            }
+            Formula::Next(_)
+            | Formula::Eventually(_)
+            | Formula::Always(_)
+            | Formula::Until(..) => Err(EvalError::Temporal),
+        }
+    }
+
+    /// Semantic `K_i`: the worlds whose whole `agent`-cell lies inside
+    /// `sat`. This is the set-level counterpart of
+    /// `satisfying(K_i φ)` for `sat = satisfying(φ)`; evaluators that
+    /// compute their own satisfaction sets (e.g. the bounded-temporal
+    /// evaluator of `kbp-systems`) call it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent is out of range or `sat` has the wrong length.
+    #[must_use]
+    pub fn knowing(&self, agent: Agent, sat: &BitSet) -> BitSet {
+        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
+        blocks_inside(self.partition(agent), sat)
+    }
+
+    /// Semantic `E_G`: worlds where every agent in `group` knows `sat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or out of range, or `sat` has the
+    /// wrong length.
+    #[must_use]
+    pub fn everyone_knowing(&self, group: AgentSet, sat: &BitSet) -> BitSet {
+        let mut acc = BitSet::full(self.world_count());
+        for agent in group.iter() {
+            acc.intersect_with(&self.knowing(agent, sat));
+        }
+        assert!(!group.is_empty(), "empty group");
+        acc
+    }
+
+    /// Semantic `C_G`: worlds whose whole `group`-connected component lies
+    /// inside `sat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or out of range, or `sat` has the
+    /// wrong length.
+    #[must_use]
+    pub fn common_knowing(&self, group: AgentSet, sat: &BitSet) -> BitSet {
+        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
+        blocks_inside(&self.group_join(group), sat)
+    }
+
+    /// Semantic `D_G`: worlds whose block in the common refinement of the
+    /// group's partitions lies inside `sat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or out of range, or `sat` has the
+    /// wrong length.
+    #[must_use]
+    pub fn distributed_knowing(&self, group: AgentSet, sat: &BitSet) -> BitSet {
+        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
+        blocks_inside(&self.group_refinement(group), sat)
+    }
+
+    fn check_group(&self, group: AgentSet) -> Result<(), EvalError> {
+        if group.is_empty() {
+            return Err(EvalError::EmptyGroup);
+        }
+        for a in group.iter() {
+            if a.index() >= self.agent_count() {
+                return Err(EvalError::AgentOutOfRange(a));
+            }
+        }
+        Ok(())
+    }
+
+    /// The partition whose blocks are the `group`-connected components —
+    /// the accessibility relation of common knowledge `C_G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or mentions out-of-range agents; the
+    /// formula-level entry point [`satisfying`](Self::satisfying) checks
+    /// first.
+    #[must_use]
+    pub fn group_join(&self, group: AgentSet) -> Partition {
+        let mut it = group.iter();
+        let first = it.next().expect("nonempty group");
+        let mut acc = self.partition(first).clone();
+        for a in it {
+            acc = acc.join_with(self.partition(a));
+        }
+        acc
+    }
+
+    /// The common refinement of the group's partitions — the accessibility
+    /// relation of distributed knowledge `D_G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is empty or mentions out-of-range agents.
+    #[must_use]
+    pub fn group_refinement(&self, group: AgentSet) -> Partition {
+        let mut it = group.iter();
+        let first = it.next().expect("nonempty group");
+        let mut acc = self.partition(first).clone();
+        for a in it {
+            acc = acc.refine_with(self.partition(a));
+        }
+        acc
+    }
+
+    /// Whether `formula` holds at `world`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`satisfying`](Self::satisfying).
+    pub fn check(&self, world: WorldId, formula: &Formula) -> Result<bool, EvalError> {
+        Ok(self.satisfying(formula)?.contains(world.index()))
+    }
+
+    /// Whether `formula` holds at every world of the model (validity in
+    /// the model).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`satisfying`](Self::satisfying).
+    pub fn holds_everywhere(&self, formula: &Formula) -> Result<bool, EvalError> {
+        Ok(self.satisfying(formula)?.count() == self.world_count())
+    }
+}
+
+/// Worlds whose whole block (in `partition`) is inside `sat`.
+fn blocks_inside(partition: &Partition, sat: &BitSet) -> BitSet {
+    let mut out = BitSet::new(sat.len());
+    for block in partition.blocks() {
+        if block.iter().all(|&w| sat.contains(w as usize)) {
+            for &w in block {
+                out.insert(w as usize);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::S5Builder;
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    /// Two agents, three worlds: p true in w0,w1; q true in w1 only.
+    /// Agent 0 can't distinguish w0/w1; agent 1 can't distinguish w1/w2.
+    fn sample() -> (S5Model, [WorldId; 3]) {
+        let mut b = S5Builder::new(2, 2);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([PropId::new(0), PropId::new(1)]);
+        let w2 = b.add_world([]);
+        b.link(Agent::new(0), w0, w1);
+        b.link(Agent::new(1), w1, w2);
+        (b.build(), [w0, w1, w2])
+    }
+
+    #[test]
+    fn propositional_connectives() {
+        let (m, [w0, w1, w2]) = sample();
+        assert!(m.check(w0, &p(0)).unwrap());
+        assert!(!m.check(w2, &p(0)).unwrap());
+        assert!(m.check(w1, &Formula::and([p(0), p(1)])).unwrap());
+        assert!(m.check(w2, &Formula::not(p(0))).unwrap());
+        assert!(m.check(w2, &Formula::implies(p(0), p(1))).unwrap());
+        assert!(m
+            .check(w1, &Formula::iff(p(0), p(1)))
+            .unwrap());
+        assert!(m.check(w2, &Formula::iff(p(0), p(1))).unwrap());
+        assert!(!m.check(w0, &Formula::iff(p(0), p(1))).unwrap());
+    }
+
+    #[test]
+    fn knowledge_quantifies_over_cells() {
+        let (m, [w0, w1, w2]) = sample();
+        let a0 = Agent::new(0);
+        let a1 = Agent::new(1);
+        // Agent 0's cell at w0 is {w0,w1}: p holds at both.
+        assert!(m.check(w0, &Formula::knows(a0, p(0))).unwrap());
+        // But q holds only at w1, so agent 0 does not know q at w1.
+        assert!(!m.check(w1, &Formula::knows(a0, p(1))).unwrap());
+        // Agent 1's cell at w1 is {w1,w2}: p fails at w2.
+        assert!(!m.check(w1, &Formula::knows(a1, p(0))).unwrap());
+        // At w0, agent 1's cell is {w0}: knows everything true there.
+        assert!(m.check(w0, &Formula::knows(a1, p(0))).unwrap());
+        assert!(!m.check(w2, &Formula::knows(a1, p(0))).unwrap());
+    }
+
+    #[test]
+    fn s5_validities_hold() {
+        let (m, _) = sample();
+        let a = Agent::new(0);
+        // T: K p -> p
+        let t = Formula::implies(Formula::knows(a, p(0)), p(0));
+        assert!(m.holds_everywhere(&t).unwrap());
+        // 4: K p -> K K p
+        let four = Formula::implies(
+            Formula::knows(a, p(0)),
+            Formula::knows(a, Formula::knows(a, p(0))),
+        );
+        assert!(m.holds_everywhere(&four).unwrap());
+        // 5: !K p -> K !K p
+        let five = Formula::implies(
+            Formula::not(Formula::knows(a, p(0))),
+            Formula::knows(a, Formula::not(Formula::knows(a, p(0)))),
+        );
+        assert!(m.holds_everywhere(&five).unwrap());
+    }
+
+    #[test]
+    fn everyone_is_conjunction_of_knows() {
+        let (m, _) = sample();
+        let g = AgentSet::all(2);
+        let e = Formula::Everyone(g, Box::new(p(0)));
+        let conj = Formula::and([
+            Formula::knows(Agent::new(0), p(0)),
+            Formula::knows(Agent::new(1), p(0)),
+        ]);
+        assert_eq!(m.satisfying(&e).unwrap(), m.satisfying(&conj).unwrap());
+    }
+
+    #[test]
+    fn common_knowledge_uses_components() {
+        let (m, [w0, _, _]) = sample();
+        let g = AgentSet::all(2);
+        // The whole model is one {0,1}-component (w0~0 w1~1 w2), and p
+        // fails at w2, so C p holds nowhere.
+        assert!(m.satisfying(&Formula::common(g, p(0))).unwrap().is_empty());
+        // C true holds everywhere.
+        assert!(m.check(w0, &Formula::common(g, Formula::True)).unwrap());
+    }
+
+    #[test]
+    fn common_knowledge_entails_everyone_chain() {
+        let (m, _) = sample();
+        let g = AgentSet::all(2);
+        // C p -> E E p is S5-valid; check on the model.
+        let f = Formula::implies(
+            Formula::common(g, p(0)),
+            Formula::Everyone(g, Box::new(Formula::Everyone(g, Box::new(p(0))))),
+        );
+        assert!(m.holds_everywhere(&f).unwrap());
+    }
+
+    #[test]
+    fn distributed_knowledge_pools_information() {
+        let (m, [w0, w1, w2]) = sample();
+        let g = AgentSet::all(2);
+        // Intersection of the partitions is discrete: {w0},{w1},{w2}.
+        // So D_G q holds exactly where q holds.
+        let d = Formula::Distributed(g, Box::new(p(1)));
+        assert!(!m.check(w0, &d).unwrap());
+        assert!(m.check(w1, &d).unwrap());
+        assert!(!m.check(w2, &d).unwrap());
+        // Neither agent alone knows q at w1.
+        assert!(!m.check(w1, &Formula::knows(Agent::new(0), p(1))).unwrap());
+        assert!(!m.check(w1, &Formula::knows(Agent::new(1), p(1))).unwrap());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (m, _) = sample();
+        assert_eq!(
+            m.satisfying(&Formula::eventually(p(0))),
+            Err(EvalError::Temporal)
+        );
+        assert_eq!(
+            m.satisfying(&p(9)),
+            Err(EvalError::PropOutOfRange(PropId::new(9)))
+        );
+        assert_eq!(
+            m.satisfying(&Formula::knows(Agent::new(9), p(0))),
+            Err(EvalError::AgentOutOfRange(Agent::new(9)))
+        );
+        assert_eq!(
+            m.satisfying(&Formula::Common(AgentSet::EMPTY, Box::new(p(0)))),
+            Err(EvalError::EmptyGroup)
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! Event models and product update — dynamic epistemic logic on top of
+//! the S5 substrate.
+//!
+//! A public announcement removes worlds; richer informational events
+//! (private or semi-private observations, agent-specific signals) are
+//! modelled by an [`EventModel`]: a set of possible events, each with a
+//! *precondition*, plus one indistinguishability partition per agent over
+//! the events. The [`product update`](S5Model::product_update) builds the
+//! model whose worlds are the pairs `(world, event)` with the
+//! precondition satisfied; two pairs are indistinguishable for an agent
+//! iff both components are.
+//!
+//! Public announcement is the one-event special case (asserted equivalent
+//! to [`S5Model::announce`] in the tests); the muddy-children father and
+//! the per-round public answers are single events; a *private* message to
+//! one agent is a two-event model where everyone else cannot tell the
+//! message from silence.
+//!
+//! Events may also carry *postconditions* (proposition assignments),
+//! giving factual change — enough to model ontic actions inside the
+//! static-model world when a full runs-and-systems context is overkill.
+
+use crate::bitset::BitSet;
+use crate::eval::EvalError;
+use crate::model::{S5Model, WorldId};
+use crate::partition::{Partition, UnionFind};
+use kbp_logic::{Agent, Formula, PropId};
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of an event within an [`EventModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u32);
+
+impl EventId {
+    /// The dense index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One possible event: a precondition restricting where it can happen,
+/// and postcondition assignments applied to the resulting worlds.
+#[derive(Debug, Clone)]
+pub struct Event {
+    precondition: Formula,
+    assignments: Vec<(PropId, bool)>,
+}
+
+impl Event {
+    /// The event's precondition.
+    #[must_use]
+    pub fn precondition(&self) -> &Formula {
+        &self.precondition
+    }
+
+    /// The event's factual-change assignments.
+    #[must_use]
+    pub fn assignments(&self) -> &[(PropId, bool)] {
+        &self.assignments
+    }
+}
+
+/// A finite S5 event model. Build with [`EventModelBuilder`].
+#[derive(Debug, Clone)]
+pub struct EventModel {
+    events: Vec<Event>,
+    partitions: Vec<Partition>,
+}
+
+impl EventModel {
+    /// Starts building an event model for `num_agents` agents.
+    #[must_use]
+    pub fn builder(num_agents: usize) -> EventModelBuilder {
+        EventModelBuilder {
+            num_agents,
+            events: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// The public announcement of `phi`, as a one-event model.
+    #[must_use]
+    pub fn public_announcement(num_agents: usize, phi: Formula) -> EventModel {
+        let mut b = Self::builder(num_agents);
+        b.add_event(phi);
+        b.build()
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events, by id order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Agent `i`'s partition over events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent index is out of range.
+    #[must_use]
+    pub fn partition(&self, agent: Agent) -> &Partition {
+        &self.partitions[agent.index()]
+    }
+}
+
+/// Builder for [`EventModel`].
+#[derive(Debug)]
+pub struct EventModelBuilder {
+    num_agents: usize,
+    events: Vec<Event>,
+    links: Vec<(usize, u32, u32)>,
+}
+
+impl EventModelBuilder {
+    /// Adds an event with the given precondition and no factual change.
+    pub fn add_event(&mut self, precondition: Formula) -> EventId {
+        self.add_event_with(precondition, [])
+    }
+
+    /// Adds an event with precondition and postcondition assignments.
+    pub fn add_event_with(
+        &mut self,
+        precondition: Formula,
+        assignments: impl IntoIterator<Item = (PropId, bool)>,
+    ) -> EventId {
+        let id = EventId(self.events.len() as u32);
+        self.events.push(Event {
+            precondition,
+            assignments: assignments.into_iter().collect(),
+        });
+        id
+    }
+
+    /// Declares two events indistinguishable for `agent` (equivalence
+    /// closure is taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent or either event is out of range.
+    pub fn link(&mut self, agent: Agent, a: EventId, b: EventId) -> &mut Self {
+        assert!(agent.index() < self.num_agents, "agent out of range");
+        let n = self.events.len() as u32;
+        assert!(a.0 < n && b.0 < n, "event out of range");
+        self.links.push((agent.index(), a.0, b.0));
+        self
+    }
+
+    /// Finalises the event model.
+    #[must_use]
+    pub fn build(self) -> EventModel {
+        let n = self.events.len();
+        let mut partitions = Vec::with_capacity(self.num_agents);
+        for i in 0..self.num_agents {
+            let mut uf = UnionFind::new(n);
+            for &(agent, a, b) in &self.links {
+                if agent == i {
+                    uf.union(a as usize, b as usize);
+                }
+            }
+            partitions.push(uf.into_partition());
+        }
+        EventModel {
+            events: self.events,
+            partitions,
+        }
+    }
+}
+
+/// Errors from [`S5Model::product_update`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// A precondition could not be evaluated.
+    Eval(EvalError),
+    /// No `(world, event)` pair survives; the update is inconsistent.
+    Empty,
+    /// The event model declares a different number of agents than the
+    /// state model.
+    AgentMismatch {
+        /// Agents in the state model.
+        model: usize,
+        /// Agents in the event model.
+        events: usize,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Eval(e) => write!(f, "cannot evaluate precondition: {e}"),
+            UpdateError::Empty => write!(f, "no world satisfies any event precondition"),
+            UpdateError::AgentMismatch { model, events } => write!(
+                f,
+                "agent count mismatch: state model has {model}, event model has {events}"
+            ),
+        }
+    }
+}
+
+impl Error for UpdateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UpdateError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for UpdateError {
+    fn from(e: EvalError) -> Self {
+        UpdateError::Eval(e)
+    }
+}
+
+/// The result of a product update.
+#[derive(Debug, Clone)]
+pub struct Product {
+    model: S5Model,
+    origins: Vec<(WorldId, EventId)>,
+}
+
+impl Product {
+    /// The updated model.
+    #[must_use]
+    pub fn model(&self) -> &S5Model {
+        &self.model
+    }
+
+    /// Consumes the product, returning the model.
+    #[must_use]
+    pub fn into_model(self) -> S5Model {
+        self.model
+    }
+
+    /// The `(old world, event)` pair a new world came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is out of range.
+    #[must_use]
+    pub fn origin(&self, new: WorldId) -> (WorldId, EventId) {
+        self.origins[new.index()]
+    }
+
+    /// The new world for `(old world, event)`, if it survived.
+    #[must_use]
+    pub fn locate(&self, old: WorldId, event: EventId) -> Option<WorldId> {
+        self.origins
+            .iter()
+            .position(|&(w, e)| w == old && e == event)
+            .map(WorldId::new)
+    }
+}
+
+impl S5Model {
+    /// Performs the product update of this model with `events`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateError`] on agent-count mismatch, unevaluable
+    /// preconditions, or an empty product.
+    ///
+    /// # Example
+    ///
+    /// A semi-private announcement: Alice learns `p`; Bob only learns
+    /// *that Alice may have learned something*.
+    ///
+    /// ```
+    /// use kbp_kripke::{S5Builder, EventModel};
+    /// use kbp_logic::{Agent, Formula, PropId};
+    ///
+    /// let (alice, bob) = (Agent::new(0), Agent::new(1));
+    /// let p = PropId::new(0);
+    /// let mut b = S5Builder::new(2, 1);
+    /// let w0 = b.add_world([p]);
+    /// let w1 = b.add_world([]);
+    /// b.link(alice, w0, w1);
+    /// b.link(bob, w0, w1);
+    /// let m = b.build();
+    ///
+    /// // Two events: "Alice is shown p" / "Alice is shown ¬p".
+    /// // Alice tells them apart; Bob cannot.
+    /// let mut eb = EventModel::builder(2);
+    /// let shown_p = eb.add_event(Formula::prop(p));
+    /// let shown_np = eb.add_event(Formula::not(Formula::prop(p)));
+    /// eb.link(bob, shown_p, shown_np);
+    /// let upd = m.product_update(&eb.build())?;
+    ///
+    /// let w = upd.locate(w0, shown_p).expect("survives");
+    /// let know_p = Formula::knows(alice, Formula::prop(p));
+    /// assert!(upd.model().check(w, &know_p)?);                      // Alice knows
+    /// assert!(!upd.model().check(w, &Formula::knows(bob, Formula::prop(p)))?); // Bob doesn't
+    /// // But Bob knows that Alice knows whether p:
+    /// let bob_meta = Formula::knows(bob, Formula::knows_whether(alice, Formula::prop(p)));
+    /// assert!(upd.model().check(w, &bob_meta)?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn product_update(&self, events: &EventModel) -> Result<Product, UpdateError> {
+        if events.partitions.len() != self.agent_count() {
+            return Err(UpdateError::AgentMismatch {
+                model: self.agent_count(),
+                events: events.partitions.len(),
+            });
+        }
+        // Evaluate all preconditions up front.
+        let pre_sets: Vec<BitSet> = events
+            .events
+            .iter()
+            .map(|e| self.satisfying(&e.precondition))
+            .collect::<Result<_, _>>()?;
+
+        let mut origins: Vec<(WorldId, EventId)> = Vec::new();
+        for (ei, pre) in pre_sets.iter().enumerate() {
+            for w in pre.iter() {
+                origins.push((WorldId::new(w), EventId(ei as u32)));
+            }
+        }
+        if origins.is_empty() {
+            return Err(UpdateError::Empty);
+        }
+
+        let n_new = origins.len();
+        let mut builder = crate::model::S5Builder::new(self.agent_count(), self.prop_count());
+        for &(w, e) in &origins {
+            let ev = &events.events[e.index()];
+            let props = (0..self.prop_count()).map(|p| PropId::new(p as u32)).filter(|&p| {
+                match ev.assignments.iter().find(|&&(q, _)| q == p) {
+                    Some(&(_, v)) => v,
+                    None => self.prop_holds(w, p),
+                }
+            });
+            builder.add_world(props);
+        }
+        for i in 0..self.agent_count() {
+            let agent = Agent::new(i);
+            let wp = self.partition(agent).clone();
+            let ep = events.partitions[i].clone();
+            let origins_ref = origins.clone();
+            builder.partition_by_key(agent, move |nw| {
+                let (w, e) = origins_ref[nw.index()];
+                (wp.block_of(w.index()), ep.block_of(e.index()))
+            });
+        }
+        let _ = n_new;
+        Ok(Product {
+            model: builder.build(),
+            origins,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::S5Builder;
+    use kbp_logic::Formula;
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    /// Two agents, both ignorant of p.
+    fn blind_pair() -> (S5Model, WorldId, WorldId) {
+        let mut b = S5Builder::new(2, 1);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([]);
+        b.link(Agent::new(0), w0, w1);
+        b.link(Agent::new(1), w0, w1);
+        (b.build(), w0, w1)
+    }
+
+    #[test]
+    fn public_announcement_agrees_with_announce() {
+        let (m, w0, _) = blind_pair();
+        let ev = EventModel::public_announcement(2, p(0));
+        let prod = m.product_update(&ev).unwrap();
+        let ann = m.announce(&p(0)).unwrap();
+        assert_eq!(prod.model().world_count(), ann.model().world_count());
+        // Check a few formulas agree at the surviving world.
+        let pw = prod.locate(w0, EventId(0)).unwrap();
+        let aw = ann.map_world(w0).unwrap();
+        for f in [
+            Formula::knows(Agent::new(0), p(0)),
+            Formula::knows(Agent::new(1), p(0)),
+            Formula::common(kbp_logic::AgentSet::all(2), p(0)),
+        ] {
+            assert_eq!(
+                prod.model().check(pw, &f).unwrap(),
+                ann.model().check(aw, &f).unwrap(),
+                "disagree on {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn private_announcement_keeps_outsider_fully_ignorant() {
+        // Alice privately learns whether p; Bob cannot even tell whether
+        // the lesson happened (the real event is confused with "nothing").
+        let (m, w0, _) = blind_pair();
+        let (alice, bob) = (Agent::new(0), Agent::new(1));
+        let mut eb = EventModel::builder(2);
+        let lesson = eb.add_event(p(0));
+        let nothing = eb.add_event(Formula::True);
+        eb.link(bob, lesson, nothing);
+        let prod = m.product_update(&eb.build()).unwrap();
+        let w = prod.locate(w0, lesson).unwrap();
+        // Alice knows p.
+        assert!(prod.model().check(w, &Formula::knows(alice, p(0))).unwrap());
+        // Bob does not know p, and does NOT know that Alice knows whether p.
+        assert!(!prod.model().check(w, &Formula::knows(bob, p(0))).unwrap());
+        let meta = Formula::knows(bob, Formula::knows_whether(alice, p(0)));
+        assert!(!prod.model().check(w, &meta).unwrap());
+    }
+
+    #[test]
+    fn postconditions_change_facts() {
+        let (m, w0, _) = blind_pair();
+        let mut eb = EventModel::builder(2);
+        // Publicly set p to false.
+        let reset = eb.add_event_with(Formula::True, [(PropId::new(0), false)]);
+        let prod = m.product_update(&eb.build()).unwrap();
+        let w = prod.locate(w0, reset).unwrap();
+        assert!(!prod.model().prop_holds(w, PropId::new(0)));
+        // And it is common knowledge that ¬p now.
+        let ck = Formula::common(kbp_logic::AgentSet::all(2), Formula::not(p(0)));
+        assert!(prod.model().check(w, &ck).unwrap());
+    }
+
+    #[test]
+    fn empty_product_is_an_error() {
+        let (m, _, _) = blind_pair();
+        let ev = EventModel::public_announcement(2, Formula::False);
+        assert!(matches!(m.product_update(&ev), Err(UpdateError::Empty)));
+    }
+
+    #[test]
+    fn agent_mismatch_is_an_error() {
+        let (m, _, _) = blind_pair();
+        let ev = EventModel::public_announcement(3, p(0));
+        assert!(matches!(
+            m.product_update(&ev),
+            Err(UpdateError::AgentMismatch { model: 2, events: 3 })
+        ));
+    }
+
+    #[test]
+    fn origins_roundtrip() {
+        let (m, w0, w1) = blind_pair();
+        let mut eb = EventModel::builder(2);
+        let e0 = eb.add_event(Formula::True);
+        let prod = m.product_update(&eb.build()).unwrap();
+        let n0 = prod.locate(w0, e0).unwrap();
+        assert_eq!(prod.origin(n0), (w0, e0));
+        assert_eq!(prod.model().world_count(), 2);
+        assert!(prod.locate(w1, e0).is_some());
+        assert_eq!(prod.locate(w1, EventId(5)), None);
+    }
+
+    #[test]
+    fn muddy_children_round_as_event_model() {
+        // One round of simultaneous public "no" answers = public
+        // announcement event "nobody knows own state"; cross-check a step
+        // of the muddy-children cascade through the event-model route.
+        let n = 3usize;
+        let mut b = S5Builder::new(n, n);
+        for mask in 0u32..(1 << n) {
+            let props = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| PropId::new(i as u32));
+            b.add_world(props);
+        }
+        for i in 0..n {
+            b.partition_by_key(Agent::new(i), |w| (w.index() as u32) & !(1u32 << i));
+        }
+        let cube = b.build();
+        let father = Formula::or((0..n).map(|i| p(i as u32)));
+        let after_father = cube
+            .product_update(&EventModel::public_announcement(n, father))
+            .unwrap()
+            .into_model();
+        let nobody = Formula::and((0..n).map(|i| {
+            Formula::not(Formula::knows_whether(Agent::new(i), p(i as u32)))
+        }));
+        let after_round = after_father
+            .product_update(&EventModel::public_announcement(n, nobody))
+            .unwrap()
+            .into_model();
+        // Worlds with exactly one muddy child are eliminated by the round.
+        assert_eq!(after_father.world_count(), 7);
+        assert_eq!(after_round.world_count(), 4);
+    }
+}

@@ -1,0 +1,343 @@
+//! Negation normal form and light semantic simplification.
+
+use crate::formula::Formula;
+
+impl Formula {
+    /// Rewrites the formula into negation normal form: `->` and `<->` are
+    /// expanded, and negations are pushed inward through the propositional
+    /// connectives and the temporal operators `X`, `F`, `G`.
+    ///
+    /// Negations directly above atoms, above epistemic modalities and above
+    /// `U` are kept (the AST has no dual operators for those), matching the
+    /// "knowledge negative normal form" convention of the KBP literature.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_logic::{Formula, PropId};
+    ///
+    /// let p = Formula::prop(PropId::new(0));
+    /// let q = Formula::prop(PropId::new(1));
+    /// let f = Formula::not(Formula::and([p.clone(), q.clone()]));
+    /// assert_eq!(f.nnf(), Formula::or([Formula::not(p), Formula::not(q)]));
+    /// ```
+    #[must_use]
+    pub fn nnf(&self) -> Formula {
+        self.nnf_signed(false)
+    }
+
+    fn nnf_signed(&self, negated: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negated {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negated {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Prop(p) => {
+                let atom = Formula::Prop(*p);
+                if negated {
+                    Formula::not(atom)
+                } else {
+                    atom
+                }
+            }
+            Formula::Not(f) => f.nnf_signed(!negated),
+            Formula::And(items) => {
+                let mapped = items.iter().map(|f| f.nnf_signed(negated));
+                if negated {
+                    Formula::or(mapped)
+                } else {
+                    Formula::and(mapped)
+                }
+            }
+            Formula::Or(items) => {
+                let mapped = items.iter().map(|f| f.nnf_signed(negated));
+                if negated {
+                    Formula::and(mapped)
+                } else {
+                    Formula::or(mapped)
+                }
+            }
+            Formula::Implies(a, b) => {
+                // a -> b  ==  !a | b
+                if negated {
+                    // !(a -> b) == a & !b
+                    Formula::and([a.nnf_signed(false), b.nnf_signed(true)])
+                } else {
+                    Formula::or([a.nnf_signed(true), b.nnf_signed(false)])
+                }
+            }
+            Formula::Iff(a, b) => {
+                // a <-> b == (a & b) | (!a & !b); negated: (a & !b) | (!a & b)
+                let (pa, na) = (a.nnf_signed(false), a.nnf_signed(true));
+                let (pb, nb) = (b.nnf_signed(false), b.nnf_signed(true));
+                if negated {
+                    Formula::or([
+                        Formula::and([pa, nb]),
+                        Formula::and([na, pb]),
+                    ])
+                } else {
+                    Formula::or([
+                        Formula::and([pa, pb]),
+                        Formula::and([na, nb]),
+                    ])
+                }
+            }
+            Formula::Knows(a, f) => {
+                let inner = Formula::knows(*a, f.nnf_signed(false));
+                if negated {
+                    Formula::not(inner)
+                } else {
+                    inner
+                }
+            }
+            Formula::Everyone(g, f) => {
+                let inner = Formula::everyone(*g, f.nnf_signed(false));
+                if negated {
+                    Formula::not(inner)
+                } else {
+                    inner
+                }
+            }
+            Formula::Common(g, f) => {
+                let inner = Formula::common(*g, f.nnf_signed(false));
+                if negated {
+                    Formula::not(inner)
+                } else {
+                    inner
+                }
+            }
+            Formula::Distributed(g, f) => {
+                let inner = Formula::distributed(*g, f.nnf_signed(false));
+                if negated {
+                    Formula::not(inner)
+                } else {
+                    inner
+                }
+            }
+            Formula::Next(f) => Formula::next(f.nnf_signed(negated)),
+            Formula::Eventually(f) => {
+                if negated {
+                    Formula::always(f.nnf_signed(true))
+                } else {
+                    Formula::eventually(f.nnf_signed(false))
+                }
+            }
+            Formula::Always(f) => {
+                if negated {
+                    Formula::eventually(f.nnf_signed(true))
+                } else {
+                    Formula::always(f.nnf_signed(false))
+                }
+            }
+            Formula::Until(a, b) => {
+                let inner = Formula::until(a.nnf_signed(false), b.nnf_signed(false));
+                if negated {
+                    Formula::not(inner)
+                } else {
+                    inner
+                }
+            }
+        }
+    }
+
+    /// Light semantic simplification: constant folding, deduplication of
+    /// conjuncts/disjuncts, complementary-literal collapse
+    /// (`p ∧ ¬p ⇒ false`, `p ∨ ¬p ⇒ true`) and `K_i true ⇒ true`.
+    ///
+    /// Produces an equivalent formula; not a canonical form.
+    #[must_use]
+    pub fn simplify(&self) -> Formula {
+        match self {
+            Formula::True | Formula::False | Formula::Prop(_) => self.clone(),
+            Formula::Not(f) => Formula::not(f.simplify()),
+            Formula::And(items) => {
+                let mut seen: Vec<Formula> = Vec::new();
+                for f in items {
+                    let s = f.simplify();
+                    match s {
+                        Formula::True => {}
+                        Formula::False => return Formula::False,
+                        other => {
+                            if seen.iter().any(|g| *g == Formula::not(other.clone())) {
+                                return Formula::False;
+                            }
+                            if !seen.contains(&other) {
+                                seen.push(other);
+                            }
+                        }
+                    }
+                }
+                Formula::and(seen)
+            }
+            Formula::Or(items) => {
+                let mut seen: Vec<Formula> = Vec::new();
+                for f in items {
+                    let s = f.simplify();
+                    match s {
+                        Formula::False => {}
+                        Formula::True => return Formula::True,
+                        other => {
+                            if seen.iter().any(|g| *g == Formula::not(other.clone())) {
+                                return Formula::True;
+                            }
+                            if !seen.contains(&other) {
+                                seen.push(other);
+                            }
+                        }
+                    }
+                }
+                Formula::or(seen)
+            }
+            Formula::Implies(a, b) => Formula::implies(a.simplify(), b.simplify()),
+            Formula::Iff(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                if a == b {
+                    Formula::True
+                } else {
+                    Formula::iff(a, b)
+                }
+            }
+            Formula::Knows(ag, f) => match f.simplify() {
+                Formula::True => Formula::True,
+                s => Formula::knows(*ag, s),
+            },
+            Formula::Everyone(g, f) => match f.simplify() {
+                Formula::True => Formula::True,
+                s => Formula::everyone(*g, s),
+            },
+            Formula::Common(g, f) => match f.simplify() {
+                Formula::True => Formula::True,
+                s => Formula::common(*g, s),
+            },
+            Formula::Distributed(g, f) => match f.simplify() {
+                Formula::True => Formula::True,
+                s => Formula::distributed(*g, s),
+            },
+            Formula::Next(f) => match f.simplify() {
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+                s => Formula::next(s),
+            },
+            Formula::Eventually(f) => match f.simplify() {
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+                s => Formula::eventually(s),
+            },
+            Formula::Always(f) => match f.simplify() {
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+                s => Formula::always(s),
+            },
+            Formula::Until(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (_, Formula::True) => Formula::True,
+                    (_, Formula::False) => Formula::False,
+                    (Formula::False, _) => b,
+                    _ => Formula::until(a, b),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Agent, AgentSet, PropId};
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    #[test]
+    fn nnf_de_morgan() {
+        let f = Formula::not(Formula::and([p(0), p(1)]));
+        assert_eq!(f.nnf(), Formula::or([Formula::not(p(0)), Formula::not(p(1))]));
+        let g = Formula::not(Formula::or([p(0), p(1)]));
+        assert_eq!(g.nnf(), Formula::and([Formula::not(p(0)), Formula::not(p(1))]));
+    }
+
+    #[test]
+    fn nnf_expands_implication() {
+        let f = Formula::Implies(Box::new(p(0)), Box::new(p(1)));
+        assert_eq!(f.nnf(), Formula::or([Formula::not(p(0)), p(1)]));
+        let g = Formula::not(f);
+        assert_eq!(g.nnf(), Formula::and([p(0), Formula::not(p(1))]));
+    }
+
+    #[test]
+    fn nnf_temporal_duals() {
+        let f = Formula::not(Formula::eventually(p(0)));
+        assert_eq!(f.nnf(), Formula::always(Formula::not(p(0))));
+        let g = Formula::not(Formula::always(p(0)));
+        assert_eq!(g.nnf(), Formula::eventually(Formula::not(p(0))));
+        let h = Formula::not(Formula::next(p(0)));
+        assert_eq!(h.nnf(), Formula::next(Formula::not(p(0))));
+    }
+
+    #[test]
+    fn nnf_keeps_negated_knowledge() {
+        let a = Agent::new(0);
+        let f = Formula::not(Formula::knows(a, Formula::not(Formula::not(p(0)))));
+        // Inner double negation removed, outer negation kept over K.
+        assert_eq!(f.nnf(), Formula::not(Formula::knows(a, p(0))));
+    }
+
+    #[test]
+    fn nnf_iff_expansion_preserves_props() {
+        let f = Formula::Iff(Box::new(p(0)), Box::new(p(1)));
+        let n = f.nnf();
+        assert!(n.props().contains(&PropId::new(0)));
+        assert!(n.props().contains(&PropId::new(1)));
+        assert!(!format!("{n}").contains("<->"));
+    }
+
+    #[test]
+    fn nnf_is_idempotent_on_samples() {
+        let a = Agent::new(0);
+        let samples = vec![
+            Formula::not(Formula::and([p(0), Formula::not(p(1))])),
+            Formula::not(Formula::knows(a, Formula::eventually(p(0)))),
+            Formula::Iff(Box::new(p(0)), Box::new(Formula::not(p(1)))),
+        ];
+        for f in samples {
+            let once = f.nnf();
+            assert_eq!(once.nnf(), once, "nnf not idempotent for {f}");
+        }
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let f = Formula::And(vec![p(0), Formula::True, p(0)]);
+        assert_eq!(f.simplify(), p(0));
+        let g = Formula::Or(vec![p(0), Formula::not(p(0))]);
+        assert_eq!(g.simplify(), Formula::True);
+        let h = Formula::And(vec![p(0), Formula::not(p(0))]);
+        assert_eq!(h.simplify(), Formula::False);
+    }
+
+    #[test]
+    fn simplify_knowledge_of_truth() {
+        let f = Formula::knows(Agent::new(0), Formula::Or(vec![p(0), Formula::True]));
+        assert_eq!(f.simplify(), Formula::True);
+        let g = Formula::common(AgentSet::all(2), Formula::True);
+        assert_eq!(g.simplify(), Formula::True);
+    }
+
+    #[test]
+    fn simplify_iff_reflexive() {
+        let f = Formula::Iff(Box::new(p(0)), Box::new(p(0)));
+        assert_eq!(f.simplify(), Formula::True);
+    }
+}

@@ -1,0 +1,212 @@
+//! Direct evaluation of *objective* (modality-free) formulas.
+//!
+//! Objective formulas speak only about the current global state, so they
+//! can be evaluated against a plain truth assignment — no Kripke model
+//! needed. Contexts use this to define valuations from formulas, and
+//! tests use the brute-force tautology checker to validate rewrites.
+
+use crate::formula::{Formula, PropId};
+use std::error::Error;
+use std::fmt;
+
+/// Error: the formula contains a modal or temporal operator, so it has no
+/// truth value under a bare assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotObjective;
+
+impl fmt::Display for NotObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "formula contains modal or temporal operators")
+    }
+}
+
+impl Error for NotObjective {}
+
+impl Formula {
+    /// Evaluates an objective formula under a truth assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotObjective`] if the formula contains any modal or
+    /// temporal operator.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_logic::{Formula, PropId};
+    ///
+    /// let p = PropId::new(0);
+    /// let q = PropId::new(1);
+    /// let f = Formula::implies(Formula::prop(p), Formula::prop(q));
+    /// assert_eq!(f.eval_objective(&|x| x == q), Ok(true));
+    /// assert_eq!(f.eval_objective(&|x| x == p), Ok(false));
+    /// ```
+    pub fn eval_objective(
+        &self,
+        truth: &impl Fn(PropId) -> bool,
+    ) -> Result<bool, NotObjective> {
+        match self {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Prop(p) => Ok(truth(*p)),
+            Formula::Not(f) => Ok(!f.eval_objective(truth)?),
+            Formula::And(items) => {
+                for f in items {
+                    if !f.eval_objective(truth)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(items) => {
+                for f in items {
+                    if f.eval_objective(truth)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Implies(a, b) => {
+                Ok(!a.eval_objective(truth)? || b.eval_objective(truth)?)
+            }
+            Formula::Iff(a, b) => Ok(a.eval_objective(truth)? == b.eval_objective(truth)?),
+            _ => Err(NotObjective),
+        }
+    }
+
+    /// Brute-force classification of an objective formula over its
+    /// mentioned propositions: `(satisfiable, valid)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotObjective`] for non-objective formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula mentions more than 24 distinct propositions
+    /// (2²⁴ assignments is the supported brute-force budget).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_logic::{Formula, PropId};
+    ///
+    /// let p = Formula::prop(PropId::new(0));
+    /// let excluded_middle = Formula::or([p.clone(), Formula::not(p.clone())]);
+    /// assert_eq!(excluded_middle.classify_objective(), Ok((true, true)));
+    /// let contradiction = Formula::and([p.clone(), Formula::not(p)]);
+    /// assert_eq!(contradiction.classify_objective(), Ok((false, false)));
+    /// ```
+    pub fn classify_objective(&self) -> Result<(bool, bool), NotObjective> {
+        let props = self.props();
+        assert!(props.len() <= 24, "too many propositions for brute force");
+        let mut satisfiable = false;
+        let mut valid = true;
+        for mask in 0u32..(1u32 << props.len()) {
+            let truth = |p: PropId| -> bool {
+                props
+                    .iter()
+                    .position(|&q| q == p)
+                    .is_some_and(|i| mask & (1 << i) != 0)
+            };
+            if self.eval_objective(&truth)? {
+                satisfiable = true;
+            } else {
+                valid = false;
+            }
+            if satisfiable && !valid {
+                break;
+            }
+        }
+        Ok((satisfiable, valid))
+    }
+
+    /// Whether two objective formulas agree under every assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotObjective`] if either formula is not objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formulas jointly mention more than 24 propositions.
+    pub fn equivalent_objective(&self, other: &Formula) -> Result<bool, NotObjective> {
+        Formula::iff(self.clone(), other.clone())
+            .classify_objective()
+            .map(|(_, valid)| valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_formula, FormulaConfig, SplitMix64};
+    use crate::Agent;
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    #[test]
+    fn truth_tables_of_connectives() {
+        let f = Formula::iff(p(0), p(1));
+        assert_eq!(f.eval_objective(&|_| true), Ok(true));
+        assert_eq!(f.eval_objective(&|_| false), Ok(true));
+        assert_eq!(f.eval_objective(&|q| q == PropId::new(0)), Ok(false));
+    }
+
+    #[test]
+    fn modalities_are_rejected() {
+        let f = Formula::knows(Agent::new(0), p(0));
+        assert_eq!(f.eval_objective(&|_| true), Err(NotObjective));
+        assert_eq!(Formula::eventually(p(0)).classify_objective(), Err(NotObjective));
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(p(0).classify_objective(), Ok((true, false)));
+        assert_eq!(Formula::True.classify_objective(), Ok((true, true)));
+        assert_eq!(Formula::False.classify_objective(), Ok((false, false)));
+        // De Morgan as a validity.
+        let dm = Formula::iff(
+            Formula::not(Formula::and([p(0), p(1)])),
+            Formula::or([Formula::not(p(0)), Formula::not(p(1))]),
+        );
+        assert_eq!(dm.classify_objective(), Ok((true, true)));
+    }
+
+    #[test]
+    fn nnf_and_simplify_preserve_objective_meaning() {
+        let cfg = FormulaConfig {
+            props: 4,
+            agents: 1,
+            max_depth: 6,
+            temporal: false,
+            groups: false,
+        };
+        let mut rng = SplitMix64::new(77);
+        let mut tested = 0;
+        while tested < 60 {
+            let f = random_formula(&mut rng, &cfg);
+            if !f.is_objective() {
+                continue;
+            }
+            tested += 1;
+            assert_eq!(f.equivalent_objective(&f.nnf()), Ok(true), "nnf broke {f}");
+            assert_eq!(
+                f.equivalent_objective(&f.simplify()),
+                Ok(true),
+                "simplify broke {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_is_semantic_not_syntactic() {
+        let a = Formula::implies(p(0), p(1));
+        let b = Formula::or([Formula::not(p(0)), p(1)]);
+        assert_ne!(a, b);
+        assert_eq!(a.equivalent_objective(&b), Ok(true));
+        assert_eq!(a.equivalent_objective(&p(1)), Ok(false));
+    }
+}

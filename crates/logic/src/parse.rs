@@ -1,0 +1,495 @@
+//! A small concrete syntax for formulas.
+//!
+//! The grammar (loosest-binding first):
+//!
+//! ```text
+//! formula := iff
+//! iff     := implies ( "<->" iff )?                (right associative)
+//! implies := or ( "->" implies )?                  (right associative)
+//! or      := and ( "|" and )*
+//! and     := until ( "&" until )*
+//! until   := unary ( "U" until )?                  (right associative)
+//! unary   := "!" unary
+//!          | "K" "{" name "}" unary
+//!          | ("E"|"C"|"D") "{" name ("," name)* "}" unary
+//!          | ("X"|"F"|"G") unary
+//!          | "true" | "false" | name | "(" formula ")"
+//! ```
+//!
+//! The single-letter names `K E C D X F G U` and the words `true`/`false`
+//! are reserved. Unknown proposition and agent names are interned into the
+//! supplied [`Vocabulary`] on first use, so the parser doubles as a model
+//! declaration mechanism.
+//!
+//! # Example
+//!
+//! ```
+//! use kbp_logic::{parse::parse, Vocabulary, Formula};
+//!
+//! let mut voc = Vocabulary::new();
+//! let f = parse("K{alice} (rain -> wet)", &mut voc)?;
+//! assert_eq!(f.to_string_with(&voc), "K{alice} (rain -> wet)");
+//! # Ok::<(), kbp_logic::parse::ParseError>(())
+//! ```
+
+use crate::agents::{Agent, AgentSet};
+use crate::formula::Formula;
+use crate::vocabulary::Vocabulary;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a formula fails.
+///
+/// Carries the byte offset in the input at which the problem was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pos: usize,
+    message: String,
+}
+
+impl ParseError {
+    fn new(pos: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset in the input at which the error was detected.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    True,
+    False,
+    Not,
+    AndOp,
+    OrOp,
+    Implies,
+    Iff,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    KOp,
+    EOp,
+    COp,
+    DOp,
+    XOp,
+    FOp,
+    GOp,
+    UOp,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '!' => {
+                toks.push((i, Tok::Not));
+                i += 1;
+            }
+            '&' => {
+                toks.push((i, Tok::AndOp));
+                i += 1;
+            }
+            '|' => {
+                toks.push((i, Tok::OrOp));
+                i += 1;
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '{' => {
+                toks.push((i, Tok::LBrace));
+                i += 1;
+            }
+            '}' => {
+                toks.push((i, Tok::RBrace));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((i, Tok::Implies));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected '->' after '-'"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    toks.push((i, Tok::Iff));
+                    i += 3;
+                } else {
+                    return Err(ParseError::new(i, "expected '<->' after '<'"));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let tok = match word {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "K" => Tok::KOp,
+                    "E" => Tok::EOp,
+                    "C" => Tok::COp,
+                    "D" => Tok::DOp,
+                    "X" => Tok::XOp,
+                    "F" => Tok::FOp,
+                    "G" => Tok::GOp,
+                    "U" => Tok::UOp,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                toks.push((start, tok));
+            }
+            other => {
+                return Err(ParseError::new(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+    voc: &'a mut Vocabulary,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map_or(self.input_len, |(off, _)| *off)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError::new(self.here(), format!("expected {what}")))
+        }
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.implication()?;
+        if self.peek() == Some(&Tok::Iff) {
+            self.pos += 1;
+            let rhs = self.iff()?; // right associative, matching Display
+            Ok(Formula::Iff(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn implication(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.pos += 1;
+            let rhs = self.implication()?;
+            Ok(Formula::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut items = vec![self.conjunction()?];
+        while self.peek() == Some(&Tok::OrOp) {
+            self.pos += 1;
+            items.push(self.conjunction()?);
+        }
+        if items.len() == 1 {
+            Ok(items.pop().expect("len 1"))
+        } else {
+            Ok(Formula::Or(items))
+        }
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut items = vec![self.until()?];
+        while self.peek() == Some(&Tok::AndOp) {
+            self.pos += 1;
+            items.push(self.until()?);
+        }
+        if items.len() == 1 {
+            Ok(items.pop().expect("len 1"))
+        } else {
+            Ok(Formula::And(items))
+        }
+    }
+
+    fn until(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.unary()?;
+        if self.peek() == Some(&Tok::UOp) {
+            self.pos += 1;
+            let rhs = self.until()?;
+            Ok(Formula::until(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn group(&mut self) -> Result<AgentSet, ParseError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut set = AgentSet::new();
+        loop {
+            match self.bump() {
+                Some(Tok::Ident(name)) => {
+                    set.insert(self.intern_agent(&name)?);
+                }
+                _ => return Err(ParseError::new(self.here(), "expected agent name")),
+            }
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBrace) => break,
+                _ => return Err(ParseError::new(self.here(), "expected ',' or '}'")),
+            }
+        }
+        Ok(set)
+    }
+
+    fn intern_agent(&mut self, name: &str) -> Result<Agent, ParseError> {
+        if self.voc.agent(name).is_none() && self.voc.agent_count() >= Agent::MAX_AGENTS {
+            return Err(ParseError::new(self.here(), "too many agents"));
+        }
+        Ok(self.voc.add_agent(name))
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        let start = self.here();
+        match self.bump() {
+            Some(Tok::Not) => Ok(Formula::not(self.unary()?)),
+            Some(Tok::KOp) => {
+                self.expect(&Tok::LBrace, "'{'")?;
+                let name = match self.bump() {
+                    Some(Tok::Ident(n)) => n,
+                    _ => return Err(ParseError::new(self.here(), "expected agent name")),
+                };
+                let agent = self.intern_agent(&name)?;
+                self.expect(&Tok::RBrace, "'}'")?;
+                Ok(Formula::knows(agent, self.unary()?))
+            }
+            Some(Tok::EOp) => {
+                let g = self.group()?;
+                Ok(Formula::everyone(g, self.unary()?))
+            }
+            Some(Tok::COp) => {
+                let g = self.group()?;
+                Ok(Formula::common(g, self.unary()?))
+            }
+            Some(Tok::DOp) => {
+                let g = self.group()?;
+                Ok(Formula::distributed(g, self.unary()?))
+            }
+            Some(Tok::XOp) => Ok(Formula::next(self.unary()?)),
+            Some(Tok::FOp) => Ok(Formula::eventually(self.unary()?)),
+            Some(Tok::GOp) => Ok(Formula::always(self.unary()?)),
+            Some(Tok::True) => Ok(Formula::True),
+            Some(Tok::False) => Ok(Formula::False),
+            Some(Tok::Ident(name)) => Ok(Formula::prop(self.voc.add_prop(name))),
+            Some(Tok::LParen) => {
+                let f = self.iff()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            _ => Err(ParseError::new(start, "expected a formula")),
+        }
+    }
+}
+
+/// Parses a formula, interning any new proposition or agent names into
+/// `voc`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use kbp_logic::{parse::parse, Vocabulary};
+///
+/// let mut voc = Vocabulary::new();
+/// let f = parse("C{a,b} (p | !q)", &mut voc)?;
+/// assert_eq!(f.agents().len(), 2);
+/// # Ok::<(), kbp_logic::parse::ParseError>(())
+/// ```
+pub fn parse(input: &str, voc: &mut Vocabulary) -> Result<Formula, ParseError> {
+    let toks = tokenize(input)?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        input_len: input.len(),
+        voc,
+    };
+    let f = parser.iff()?;
+    if parser.pos != parser.toks.len() {
+        return Err(ParseError::new(parser.here(), "trailing input"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let mut voc = Vocabulary::new();
+        let f = parse(src, &mut voc).unwrap_or_else(|e| panic!("parse {src}: {e}"));
+        let printed = f.to_string_with(&voc);
+        let mut voc2 = voc.clone();
+        let f2 = parse(&printed, &mut voc2).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert_eq!(f, f2, "round-trip failed: {src} -> {printed}");
+    }
+
+    #[test]
+    fn parses_atoms_and_constants() {
+        let mut voc = Vocabulary::new();
+        assert_eq!(parse("true", &mut voc).unwrap(), Formula::True);
+        assert_eq!(parse("false", &mut voc).unwrap(), Formula::False);
+        let f = parse("rain", &mut voc).unwrap();
+        assert_eq!(f, Formula::prop(voc.prop("rain").unwrap()));
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let mut voc = Vocabulary::new();
+        let f = parse("p & q | r", &mut voc).unwrap();
+        // & binds tighter than |
+        match f {
+            Formula::Or(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(items[0], Formula::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let mut voc = Vocabulary::new();
+        let f = parse("p -> q -> r", &mut voc).unwrap();
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(..))),
+            other => panic!("expected Implies, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_knowledge_and_groups() {
+        let mut voc = Vocabulary::new();
+        let f = parse("K{alice} p & C{alice,bob} q", &mut voc).unwrap();
+        let alice = voc.agent("alice").unwrap();
+        let bob = voc.agent("bob").unwrap();
+        assert!(f.agents().contains(alice));
+        assert!(f.agents().contains(bob));
+    }
+
+    #[test]
+    fn singleton_group_modalities_normalize_to_k() {
+        let mut voc = Vocabulary::new();
+        let f = parse("E{alice} p", &mut voc).unwrap();
+        assert!(matches!(f, Formula::Knows(..)));
+        let g = parse("D{alice} p", &mut voc).unwrap();
+        assert!(matches!(g, Formula::Knows(..)));
+    }
+
+    #[test]
+    fn parses_temporal() {
+        let mut voc = Vocabulary::new();
+        let f = parse("G (req -> F ack)", &mut voc).unwrap();
+        assert!(f.has_temporal());
+        let g = parse("p U q U r", &mut voc).unwrap();
+        // Right associative: p U (q U r)
+        match g {
+            Formula::Until(_, rhs) => assert!(matches!(*rhs, Formula::Until(..))),
+            other => panic!("expected Until, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_error_positions() {
+        let mut voc = Vocabulary::new();
+        let e = parse("p & ", &mut voc).unwrap_err();
+        assert_eq!(e.position(), 4);
+        let e = parse("p @ q", &mut voc).unwrap_err();
+        assert_eq!(e.position(), 2);
+        let e = parse("p q", &mut voc).unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+        let e = parse("K{", &mut voc).unwrap_err();
+        assert!(e.to_string().contains("agent name"));
+    }
+
+    #[test]
+    fn display_parse_roundtrips() {
+        for src in [
+            "p & q | r",
+            "!(p & q)",
+            "K{alice} (p -> q)",
+            "C{a,b} p <-> D{a,b} q",
+            "G (req -> F ack)",
+            "p U (q & r)",
+            "!K{a} !p",
+            "E{a,b} (p | !q) & X p",
+            "((p))",
+            "true & false | p",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn interns_names_in_first_use_order() {
+        let mut voc = Vocabulary::new();
+        parse("zeta & alpha", &mut voc).unwrap();
+        let names: Vec<&str> = voc.props().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["zeta", "alpha"]);
+    }
+}

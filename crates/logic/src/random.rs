@@ -1,0 +1,237 @@
+//! Random formula generation, for property tests and benchmarks.
+//!
+//! The generator is deliberately dependency-light: it consumes any source of
+//! pseudo-randomness through the [`RandomSource`] trait, so the crate itself
+//! does not depend on `rand` (test and bench crates adapt their own RNGs).
+
+use crate::agents::{Agent, AgentSet};
+use crate::formula::{Formula, PropId};
+
+/// A minimal source of pseudo-random numbers.
+///
+/// Implemented by the built-in [`SplitMix64`]; downstream crates can adapt
+/// `rand::Rng` in a one-line impl.
+pub trait RandomSource {
+    /// Returns the next pseudo-random 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A value uniform in `0..bound` (`bound > 0`).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A tiny, fast, reproducible PRNG (SplitMix64), adequate for generating
+/// test inputs.
+///
+/// # Example
+///
+/// ```
+/// use kbp_logic::random::{RandomSource, SplitMix64};
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // reproducible
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RandomSource for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Configuration for [`random_formula`].
+#[derive(Debug, Clone)]
+pub struct FormulaConfig {
+    /// Number of distinct propositions to draw from (ids `0..props`).
+    pub props: usize,
+    /// Number of agents to draw from (ids `0..agents`).
+    pub agents: usize,
+    /// Maximum syntax-tree depth.
+    pub max_depth: usize,
+    /// Whether to generate temporal operators.
+    pub temporal: bool,
+    /// Whether to generate group modalities (`E`, `C`, `D`).
+    pub groups: bool,
+}
+
+impl Default for FormulaConfig {
+    fn default() -> Self {
+        FormulaConfig {
+            props: 4,
+            agents: 2,
+            max_depth: 5,
+            temporal: false,
+            groups: true,
+        }
+    }
+}
+
+/// Generates a pseudo-random formula according to `cfg`.
+///
+/// The output always mentions only propositions `< cfg.props` and agents
+/// `< cfg.agents`, and has depth at most `cfg.max_depth`.
+///
+/// # Panics
+///
+/// Panics if `cfg.props == 0` or `cfg.agents == 0`.
+///
+/// # Example
+///
+/// ```
+/// use kbp_logic::random::{random_formula, FormulaConfig, SplitMix64};
+///
+/// let mut rng = SplitMix64::new(7);
+/// let f = random_formula(&mut rng, &FormulaConfig::default());
+/// assert!(f.depth() <= 5);
+/// ```
+pub fn random_formula(rng: &mut impl RandomSource, cfg: &FormulaConfig) -> Formula {
+    assert!(cfg.props > 0, "need at least one proposition");
+    assert!(cfg.agents > 0, "need at least one agent");
+    gen(rng, cfg, cfg.max_depth)
+}
+
+fn random_group(rng: &mut impl RandomSource, cfg: &FormulaConfig) -> AgentSet {
+    let mut g = AgentSet::new();
+    // Ensure at least one member.
+    g.insert(Agent::new(rng.below(cfg.agents)));
+    for i in 0..cfg.agents {
+        if rng.below(2) == 0 {
+            g.insert(Agent::new(i));
+        }
+    }
+    g
+}
+
+fn gen(rng: &mut impl RandomSource, cfg: &FormulaConfig, depth: usize) -> Formula {
+    if depth <= 1 {
+        return match rng.below(8) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::prop(PropId::new(rng.below(cfg.props) as u32)),
+        };
+    }
+    let n_choices = 8 + usize::from(cfg.groups) * 3 + usize::from(cfg.temporal) * 4;
+    match rng.below(n_choices) {
+        0 => Formula::prop(PropId::new(rng.below(cfg.props) as u32)),
+        1 => Formula::not(gen(rng, cfg, depth - 1)),
+        2 => {
+            let k = 2 + rng.below(2);
+            Formula::and((0..k).map(|_| gen(rng, cfg, depth - 1)))
+        }
+        3 => {
+            let k = 2 + rng.below(2);
+            Formula::or((0..k).map(|_| gen(rng, cfg, depth - 1)))
+        }
+        4 => Formula::implies(gen(rng, cfg, depth - 1), gen(rng, cfg, depth - 1)),
+        5 => Formula::iff(gen(rng, cfg, depth - 1), gen(rng, cfg, depth - 1)),
+        6 | 7 => Formula::knows(Agent::new(rng.below(cfg.agents)), gen(rng, cfg, depth - 1)),
+        8 if cfg.groups => Formula::everyone(random_group(rng, cfg), gen(rng, cfg, depth - 1)),
+        9 if cfg.groups => Formula::common(random_group(rng, cfg), gen(rng, cfg, depth - 1)),
+        10 if cfg.groups => {
+            Formula::distributed(random_group(rng, cfg), gen(rng, cfg, depth - 1))
+        }
+        k if cfg.temporal => match k % 4 {
+            0 => Formula::next(gen(rng, cfg, depth - 1)),
+            1 => Formula::eventually(gen(rng, cfg, depth - 1)),
+            2 => Formula::always(gen(rng, cfg, depth - 1)),
+            _ => Formula::until(gen(rng, cfg, depth - 1), gen(rng, cfg, depth - 1)),
+        },
+        _ => Formula::knows(Agent::new(rng.below(cfg.agents)), gen(rng, cfg, depth - 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_depth_bound() {
+        let mut rng = SplitMix64::new(123);
+        let cfg = FormulaConfig {
+            max_depth: 4,
+            ..FormulaConfig::default()
+        };
+        for _ in 0..200 {
+            let f = random_formula(&mut rng, &cfg);
+            assert!(f.depth() <= 4, "depth {} > 4 for {f}", f.depth());
+        }
+    }
+
+    #[test]
+    fn respects_vocabulary_bounds() {
+        let mut rng = SplitMix64::new(99);
+        let cfg = FormulaConfig {
+            props: 3,
+            agents: 2,
+            max_depth: 6,
+            temporal: true,
+            groups: true,
+        };
+        for _ in 0..200 {
+            let f = random_formula(&mut rng, &cfg);
+            for p in f.props() {
+                assert!(p.index() < 3);
+            }
+            for a in f.agents() {
+                assert!(a.index() < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn no_temporal_when_disabled() {
+        let mut rng = SplitMix64::new(5);
+        let cfg = FormulaConfig {
+            temporal: false,
+            max_depth: 7,
+            ..FormulaConfig::default()
+        };
+        for _ in 0..200 {
+            assert!(!random_formula(&mut rng, &cfg).has_temporal());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = FormulaConfig::default();
+        let f1 = random_formula(&mut SplitMix64::new(7), &cfg);
+        let f2 = random_formula(&mut SplitMix64::new(7), &cfg);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn nnf_preserves_depth_boundedness_sanity() {
+        // NNF can grow formulas but must never produce Implies/Iff.
+        let mut rng = SplitMix64::new(2024);
+        let cfg = FormulaConfig {
+            temporal: true,
+            ..FormulaConfig::default()
+        };
+        for _ in 0..100 {
+            let f = random_formula(&mut rng, &cfg).nnf();
+            for sub in f.subformulas() {
+                assert!(!matches!(
+                    sub,
+                    Formula::Implies(..) | Formula::Iff(..)
+                ));
+            }
+        }
+    }
+}

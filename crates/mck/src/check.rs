@@ -1,0 +1,513 @@
+//! CTLK model checking over a [`StateGraph`].
+//!
+//! Formulas are the shared [`kbp_logic::Formula`] language. Epistemic
+//! operators use the graph's observational partitions; temporal operators
+//! are read as **universally path-quantified** CTL over the (total)
+//! transition relation:
+//!
+//! * `X φ` = `AX φ`, `F φ` = `AF φ`, `G φ` = `AG φ`, `φ U ψ` = `A[φ U ψ]`.
+//! * Existential duals are expressible by negation: `EF φ ≡ ¬AG ¬φ`,
+//!   `EX φ ≡ ¬AX ¬φ`, `EG φ ≡ ¬AF ¬φ` — see the [`ctl`] helpers.
+//!
+//! `AF`/`AU` are least fixpoints, `AG` a greatest fixpoint, all computed
+//! with bitsets in time `O(|φ| · (|S| + |→|) · iterations)`.
+
+use crate::graph::StateGraph;
+use kbp_kripke::{BitSet, EvalError};
+use kbp_logic::{AgentSet, Formula};
+
+/// Existential-path helper constructors, via duality with the universal
+/// reading of the temporal operators.
+pub mod ctl {
+    use kbp_logic::Formula;
+
+    /// `EX φ ≡ ¬AX ¬φ` — some successor satisfies `φ`.
+    #[must_use]
+    pub fn ex(f: Formula) -> Formula {
+        Formula::not(Formula::next(Formula::not(f)))
+    }
+
+    /// `EF φ ≡ ¬AG ¬φ` — some path eventually reaches `φ`.
+    #[must_use]
+    pub fn ef(f: Formula) -> Formula {
+        Formula::not(Formula::always(Formula::not(f)))
+    }
+
+    /// `EG φ ≡ ¬AF ¬φ` — some path satisfies `φ` forever.
+    #[must_use]
+    pub fn eg(f: Formula) -> Formula {
+        Formula::not(Formula::eventually(Formula::not(f)))
+    }
+}
+
+/// The result of checking one formula over a graph.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    sat: BitSet,
+    initial: Vec<u32>,
+}
+
+impl CheckResult {
+    pub(crate) fn from_parts(sat: BitSet, initial: Vec<u32>) -> Self {
+        CheckResult { sat, initial }
+    }
+
+    /// The set of states satisfying the formula.
+    #[must_use]
+    pub fn satisfying(&self) -> &BitSet {
+        &self.sat
+    }
+
+    /// Whether every initial state satisfies the formula.
+    #[must_use]
+    pub fn holds_initially(&self) -> bool {
+        self.initial.iter().all(|&s| self.sat.contains(s as usize))
+    }
+
+    /// An initial state violating the formula, if any.
+    #[must_use]
+    pub fn initial_counterexample(&self) -> Option<usize> {
+        self.initial
+            .iter()
+            .map(|&s| s as usize)
+            .find(|&s| !self.sat.contains(s))
+    }
+}
+
+/// A model checker bound to one graph.
+///
+/// # Example
+///
+/// ```
+/// use kbp_mck::{Mck, StateGraph, ctl};
+/// use kbp_systems::{ContextBuilder, GlobalState, Obs, ActionId, LocalView};
+/// use kbp_logic::{Agent, Formula, Vocabulary};
+///
+/// // A counter 0..3 that saturates; `done` marks 3; agent sees everything.
+/// let mut voc = Vocabulary::new();
+/// let a = voc.add_agent("w");
+/// let done = voc.add_prop("done");
+/// let ctx = ContextBuilder::new(voc)
+///     .initial_state(GlobalState::new(vec![0]))
+///     .agent_actions(a, ["step"])
+///     .transition(|s, _| s.with_reg(0, (s.reg(0) + 1).min(3)))
+///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+///     .props(move |p, s| p == done && s.reg(0) == 3)
+///     .build();
+/// let step = |_: &LocalView<'_>| vec![ActionId(0)];
+/// let graph = StateGraph::explore(&ctx, &step, 100)?;
+/// let mck = Mck::new(&graph);
+///
+/// // AF done holds initially; and once done, the agent knows it forever.
+/// assert!(mck.check(&Formula::eventually(Formula::prop(done)))?.holds_initially());
+/// let safety = Formula::always(Formula::implies(
+///     Formula::prop(done),
+///     Formula::knows(Agent::new(0), Formula::prop(done)),
+/// ));
+/// assert!(mck.check(&safety)?.holds_initially());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Mck<'g> {
+    graph: &'g StateGraph,
+}
+
+impl<'g> Mck<'g> {
+    /// Creates a checker over `graph`.
+    #[must_use]
+    pub fn new(graph: &'g StateGraph) -> Self {
+        Mck { graph }
+    }
+
+    /// Checks `formula`, returning the satisfying state set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for out-of-range propositions/agents or empty
+    /// group modalities.
+    pub fn check(&self, formula: &Formula) -> Result<CheckResult, EvalError> {
+        let sat = self.sat_set(formula)?;
+        Ok(CheckResult {
+            sat,
+            initial: self.graph.initial_states().to_vec(),
+        })
+    }
+
+    /// States all of whose successors are in `target`.
+    fn ax(&self, target: &BitSet) -> BitSet {
+        let n = self.graph.state_count();
+        let mut out = BitSet::new(n);
+        for s in 0..n {
+            if self
+                .graph
+                .successors(s)
+                .iter()
+                .all(|&t| target.contains(t as usize))
+            {
+                out.insert(s);
+            }
+        }
+        out
+    }
+
+    fn sat_set(&self, formula: &Formula) -> Result<BitSet, EvalError> {
+        let n = self.graph.state_count();
+        let model = self.graph.model();
+        match formula {
+            Formula::True => Ok(BitSet::full(n)),
+            Formula::False => Ok(BitSet::new(n)),
+            Formula::Prop(p) => {
+                if p.index() >= model.prop_count() {
+                    return Err(EvalError::PropOutOfRange(*p));
+                }
+                Ok(model.prop_worlds(*p).clone())
+            }
+            Formula::Not(f) => Ok(self.sat_set(f)?.complemented()),
+            Formula::And(items) => {
+                let mut acc = BitSet::full(n);
+                for f in items {
+                    acc.intersect_with(&self.sat_set(f)?);
+                }
+                Ok(acc)
+            }
+            Formula::Or(items) => {
+                let mut acc = BitSet::new(n);
+                for f in items {
+                    acc.union_with(&self.sat_set(f)?);
+                }
+                Ok(acc)
+            }
+            Formula::Implies(a, b) => {
+                let mut out = self.sat_set(a)?.complemented();
+                out.union_with(&self.sat_set(b)?);
+                Ok(out)
+            }
+            Formula::Iff(a, b) => {
+                let sa = self.sat_set(a)?;
+                let sb = self.sat_set(b)?;
+                let mut both = sa.clone();
+                both.intersect_with(&sb);
+                let mut neither = sa.complemented();
+                neither.intersect_with(&sb.complemented());
+                both.union_with(&neither);
+                Ok(both)
+            }
+            Formula::Knows(agent, f) => {
+                if agent.index() >= model.agent_count() {
+                    return Err(EvalError::AgentOutOfRange(*agent));
+                }
+                let sat = self.sat_set(f)?;
+                Ok(model.knowing(*agent, &sat))
+            }
+            Formula::Everyone(g, f) => {
+                self.check_group(*g)?;
+                let sat = self.sat_set(f)?;
+                Ok(model.everyone_knowing(*g, &sat))
+            }
+            Formula::Common(g, f) => {
+                self.check_group(*g)?;
+                let sat = self.sat_set(f)?;
+                Ok(model.common_knowing(*g, &sat))
+            }
+            Formula::Distributed(g, f) => {
+                self.check_group(*g)?;
+                let sat = self.sat_set(f)?;
+                Ok(model.distributed_knowing(*g, &sat))
+            }
+            Formula::Next(f) => {
+                let sat = self.sat_set(f)?;
+                Ok(self.ax(&sat))
+            }
+            Formula::Eventually(f) => {
+                // AF φ: least fixpoint of Z = φ ∨ AX Z.
+                let sat = self.sat_set(f)?;
+                let mut z = sat.clone();
+                loop {
+                    let mut next = self.ax(&z);
+                    next.union_with(&sat);
+                    if next == z {
+                        return Ok(z);
+                    }
+                    z = next;
+                }
+            }
+            Formula::Always(f) => {
+                // AG φ: greatest fixpoint of Z = φ ∧ AX Z.
+                let sat = self.sat_set(f)?;
+                let mut z = sat.clone();
+                loop {
+                    let mut next = self.ax(&z);
+                    next.intersect_with(&sat);
+                    if next == z {
+                        return Ok(z);
+                    }
+                    z = next;
+                }
+            }
+            Formula::Until(a, b) => {
+                // A[a U b]: least fixpoint of Z = b ∨ (a ∧ AX Z).
+                let sa = self.sat_set(a)?;
+                let sb = self.sat_set(b)?;
+                let mut z = sb.clone();
+                loop {
+                    let mut next = self.ax(&z);
+                    next.intersect_with(&sa);
+                    next.union_with(&sb);
+                    if next == z {
+                        return Ok(z);
+                    }
+                    z = next;
+                }
+            }
+        }
+    }
+
+    fn check_group(&self, group: AgentSet) -> Result<(), EvalError> {
+        if group.is_empty() {
+            return Err(EvalError::EmptyGroup);
+        }
+        for a in group.iter() {
+            if a.index() >= self.graph.model().agent_count() {
+                return Err(EvalError::AgentOutOfRange(a));
+            }
+        }
+        Ok(())
+    }
+
+    /// A shortest counterexample for an invariant claim `G φ`: a path
+    /// from an initial state to a state violating `φ`, or `None` if the
+    /// invariant holds on every reachable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if `φ` cannot be evaluated.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_mck::{Mck, StateGraph};
+    /// use kbp_systems::{ContextBuilder, GlobalState, Obs, ActionId, LocalView};
+    /// use kbp_logic::{Formula, Vocabulary};
+    ///
+    /// let mut voc = Vocabulary::new();
+    /// let a = voc.add_agent("w");
+    /// let small = voc.add_prop("small");
+    /// let ctx = ContextBuilder::new(voc)
+    ///     .initial_state(GlobalState::new(vec![0]))
+    ///     .agent_actions(a, ["step"])
+    ///     .transition(|s, _| s.with_reg(0, (s.reg(0) + 1).min(3)))
+    ///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+    ///     .props(move |p, s| p == small && s.reg(0) < 2)
+    ///     .build();
+    /// let step = |_: &LocalView<'_>| vec![ActionId(0)];
+    /// let graph = StateGraph::explore(&ctx, &step, 100)?;
+    /// let mck = Mck::new(&graph);
+    /// // "The counter stays small" is violated after two steps.
+    /// let path = mck.violation_path(&Formula::prop(small))?.expect("violated");
+    /// assert_eq!(path, vec![0, 1, 2]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn violation_path(&self, phi: &Formula) -> Result<Option<Vec<usize>>, EvalError> {
+        let bad = self.check(phi)?.satisfying().complemented();
+        Ok(self.reach_witness(&bad))
+    }
+
+    /// A shortest path (by BFS) from an initial state into `target`, if
+    /// one exists — useful as a witness for `EF target` or a
+    /// counterexample for `AG ¬target`.
+    #[must_use]
+    pub fn reach_witness(&self, target: &BitSet) -> Option<Vec<usize>> {
+        let n = self.graph.state_count();
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut seen = BitSet::new(n);
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in self.graph.initial_states() {
+            let s = s as usize;
+            if seen.insert(s) {
+                queue.push(s);
+            }
+        }
+        let mut qh = 0;
+        while qh < queue.len() {
+            let s = queue[qh];
+            qh += 1;
+            if target.contains(s) {
+                // Reconstruct.
+                let mut path = vec![s];
+                let mut cur = s;
+                while let Some(p) = pred[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &t in self.graph.successors(s) {
+                let t = t as usize;
+                if seen.insert(t) {
+                    pred[t] = Some(s);
+                    queue.push(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_logic::{Agent, Formula, PropId, Vocabulary};
+    use kbp_systems::{ActionId, ContextBuilder, EnvActionId, GlobalState, LocalView, Obs};
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    /// Saturating counter to 3, `done` at 3, fully observable.
+    fn counter_graph() -> StateGraph {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("w");
+        let done = voc.add_prop("done");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["step"])
+            .transition(|s, _| s.with_reg(0, (s.reg(0) + 1).min(3)))
+            .observe(|_, s| Obs(u64::from(s.reg(0))))
+            .props(move |q, s| q == done && s.reg(0) == 3)
+            .build();
+        let step = |_: &LocalView<'_>| vec![ActionId(0)];
+        StateGraph::explore(&ctx, &step, 100).unwrap()
+    }
+
+    /// Env may set a latch at any time (or never); agent blind.
+    fn latch_graph() -> StateGraph {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("w");
+        let flag = voc.add_prop("flag");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["noop"])
+            .env_protocol(|s| {
+                if s.reg(0) == 1 {
+                    vec![EnvActionId(0)]
+                } else {
+                    vec![EnvActionId(0), EnvActionId(1)]
+                }
+            })
+            .transition(|s, j| {
+                if j.env == EnvActionId(1) {
+                    s.with_reg(0, 1)
+                } else {
+                    s.clone()
+                }
+            })
+            .observe(|_, _| Obs(0))
+            .props(move |q, s| q == flag && s.reg(0) == 1)
+            .build();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        StateGraph::explore(&ctx, &noop, 100).unwrap()
+    }
+
+    #[test]
+    fn af_on_deterministic_counter() {
+        let g = counter_graph();
+        let m = Mck::new(&g);
+        assert!(m.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+        // AG done fails initially, holds at the sink.
+        let ag = m.check(&Formula::always(p(0))).unwrap();
+        assert!(!ag.holds_initially());
+        assert!(ag.satisfying().contains(3));
+        assert_eq!(ag.initial_counterexample(), Some(0));
+    }
+
+    #[test]
+    fn ax_and_until() {
+        let g = counter_graph();
+        let m = Mck::new(&g);
+        // AX done holds exactly at states 2 and 3.
+        let ax = m.check(&Formula::next(p(0))).unwrap();
+        assert_eq!(ax.satisfying().iter().collect::<Vec<_>>(), vec![2, 3]);
+        // A[¬done U done] holds initially.
+        let u = Formula::until(Formula::not(p(0)), p(0));
+        assert!(m.check(&u).unwrap().holds_initially());
+    }
+
+    #[test]
+    fn existential_duals_on_branching() {
+        let g = latch_graph();
+        let m = Mck::new(&g);
+        // Not all paths set the flag...
+        assert!(!m.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+        // ...but some path does (EF flag), and some path never does (EG ¬flag).
+        assert!(m.check(&ctl::ef(p(0))).unwrap().holds_initially());
+        assert!(m
+            .check(&ctl::eg(Formula::not(p(0))))
+            .unwrap()
+            .holds_initially());
+        // EX flag holds at the initial state.
+        assert!(m.check(&ctl::ex(p(0))).unwrap().holds_initially());
+    }
+
+    #[test]
+    fn knowledge_on_graph_uses_observational_relation() {
+        let g = latch_graph();
+        let m = Mck::new(&g);
+        let a = Agent::new(0);
+        // The agent is blind: even where flag holds, it does not know it.
+        let kf = m.check(&Formula::knows(a, p(0))).unwrap();
+        assert!(kf.satisfying().is_empty());
+        // It does know flag ∨ ¬flag everywhere.
+        let taut = Formula::knows(a, Formula::or([p(0), Formula::not(p(0))]));
+        assert_eq!(m.check(&taut).unwrap().satisfying().count(), 2);
+    }
+
+    #[test]
+    fn once_done_agent_knows_done_forever() {
+        let g = counter_graph();
+        let m = Mck::new(&g);
+        let a = Agent::new(0);
+        let spec = Formula::always(Formula::implies(
+            p(0),
+            Formula::knows(a, p(0)),
+        ));
+        assert!(m.check(&spec).unwrap().holds_initially());
+    }
+
+    #[test]
+    fn reach_witness_finds_shortest_path() {
+        let g = counter_graph();
+        let m = Mck::new(&g);
+        let target = m.check(&p(0)).unwrap().satisfying().clone();
+        let path = m.reach_witness(&target).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        // Unreachable target: none.
+        let empty = BitSet::new(g.state_count());
+        assert_eq!(m.reach_witness(&empty), None);
+    }
+
+    #[test]
+    fn violation_path_finds_shortest_counterexample() {
+        let g = counter_graph();
+        let m = Mck::new(&g);
+        // Invariant "not done" is violated at state 3, reached via 0-1-2-3.
+        let path = m.violation_path(&Formula::not(p(0))).unwrap().unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        // A true invariant has no violation path.
+        assert_eq!(m.violation_path(&Formula::True).unwrap(), None);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let g = counter_graph();
+        let m = Mck::new(&g);
+        assert!(matches!(
+            m.check(&p(9)),
+            Err(EvalError::PropOutOfRange(_))
+        ));
+        assert!(matches!(
+            m.check(&Formula::knows(Agent::new(9), p(0))),
+            Err(EvalError::AgentOutOfRange(_))
+        ));
+    }
+}

@@ -1,0 +1,420 @@
+//! Fair CTLK: model checking under generalized-Büchi fairness
+//! constraints.
+//!
+//! FHMV's liveness claims for the transmission protocols hold only under
+//! *fairness*: "the channel does not lose messages forever". This module
+//! implements CTLK where the path quantifiers range over **fair paths** —
+//! infinite paths visiting every fairness set infinitely often — using
+//! the Emerson–Lei fixpoint characterisation:
+//!
+//! ```text
+//! E_fair G φ  =  νZ. φ ∧ ⋀_i EX E[φ U (Z ∧ F_i)]
+//! ```
+//!
+//! Temporal operators in formulas keep their universal reading, now over
+//! fair paths only: `F φ` = "on every fair path, eventually φ". With the
+//! fairness set "channel kind this step", `F sack` fails in plain CTL
+//! (the adversary can drop everything forever) but holds fairly — exactly
+//! the paper's statement.
+
+use crate::graph::StateGraph;
+use kbp_kripke::{BitSet, EvalError};
+use kbp_logic::{AgentSet, Formula};
+
+/// A CTLK model checker whose path quantifiers range over fair paths.
+///
+/// # Example
+///
+/// ```
+/// use kbp_mck::{FairMck, StateGraph};
+/// use kbp_systems::{ContextBuilder, GlobalState, Obs, ActionId, LocalView, EnvActionId};
+/// use kbp_logic::{Formula, PropId, Vocabulary};
+///
+/// // A coin the environment may flip to heads (and then leave alone);
+/// // nothing forces it to — unless fairness says "flips happen".
+/// let mut voc = Vocabulary::new();
+/// let a = voc.add_agent("w");
+/// let heads = voc.add_prop("heads");
+/// let flipped = voc.add_prop("flipped");
+/// let ctx = ContextBuilder::new(voc)
+///     .initial_state(GlobalState::new(vec![0, 0]))
+///     .agent_actions(a, ["noop"])
+///     .env_protocol(|s| if s.reg(0) == 1 { vec![EnvActionId(0)] }
+///                       else { vec![EnvActionId(0), EnvActionId(1)] })
+///     .transition(|s, j| if j.env == EnvActionId(1) {
+///         GlobalState::new(vec![1, 1])
+///     } else {
+///         GlobalState::new(vec![s.reg(0), s.reg(0)])
+///     })
+///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+///     .props(move |p, s| (p == heads && s.reg(0) == 1) || (p == flipped && s.reg(1) == 1))
+///     .build();
+/// let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+/// let graph = StateGraph::explore(&ctx, &noop, 100)?;
+///
+/// // Plain CTL: AF heads fails. Under "flipped-or-done infinitely often"
+/// // fairness... here simply: fair set = states where heads ∨ flipped —
+/// // any path looping on tails forever is unfair.
+/// let fair = FairMck::new(&graph, &[Formula::prop(heads)])?;
+/// assert!(fair.check(&Formula::eventually(Formula::prop(heads)))?.holds_initially());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FairMck<'g> {
+    graph: &'g StateGraph,
+    fair_sets: Vec<BitSet>,
+    /// States from which some fair path starts (`E_fair G true`).
+    fair: BitSet,
+}
+
+impl<'g> FairMck<'g> {
+    /// Creates a fair checker with one fairness set per constraint
+    /// formula (each must hold infinitely often along a fair path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if a constraint cannot be evaluated.
+    /// An empty constraint list is allowed and makes every (infinite)
+    /// path fair — the checker then agrees with [`Mck`](crate::Mck).
+    pub fn new(graph: &'g StateGraph, constraints: &[Formula]) -> Result<Self, EvalError> {
+        let plain = crate::Mck::new(graph);
+        let fair_sets: Vec<BitSet> = constraints
+            .iter()
+            .map(|f| plain.check(f).map(|r| r.satisfying().clone()))
+            .collect::<Result<_, _>>()?;
+        let mut this = FairMck {
+            graph,
+            fair_sets,
+            fair: BitSet::new(graph.state_count()),
+        };
+        this.fair = this.eg_fair(&BitSet::full(graph.state_count()));
+        Ok(this)
+    }
+
+    /// The states from which at least one fair path starts.
+    #[must_use]
+    pub fn fair_states(&self) -> &BitSet {
+        &self.fair
+    }
+
+    /// States with a successor in `target`.
+    fn ex(&self, target: &BitSet) -> BitSet {
+        let n = self.graph.state_count();
+        let mut out = BitSet::new(n);
+        for s in 0..n {
+            if self
+                .graph
+                .successors(s)
+                .iter()
+                .any(|&t| target.contains(t as usize))
+            {
+                out.insert(s);
+            }
+        }
+        out
+    }
+
+    /// Existential until: `E[hold U target]` (least fixpoint).
+    fn eu(&self, hold: &BitSet, target: &BitSet) -> BitSet {
+        let mut z = target.clone();
+        loop {
+            let mut next = self.ex(&z);
+            next.intersect_with(hold);
+            next.union_with(target);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
+    /// Emerson–Lei: `E_fair G φ` for `φ` given as a state set.
+    fn eg_fair(&self, phi: &BitSet) -> BitSet {
+        let mut z = phi.clone();
+        loop {
+            let mut next = z.clone();
+            if self.fair_sets.is_empty() {
+                // No constraints: EG φ = νZ. φ ∧ EX Z.
+                let mut step = self.ex(&z);
+                step.intersect_with(phi);
+                next = step;
+            } else {
+                for f in &self.fair_sets {
+                    let mut zf = z.clone();
+                    zf.intersect_with(f);
+                    let reach = self.eu(phi, &zf);
+                    let mut step = self.ex(&reach);
+                    step.intersect_with(phi);
+                    next.intersect_with(&step);
+                }
+            }
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
+    /// `E_fair F φ` = `E[true U (φ ∧ fair)]`.
+    fn ef_fair(&self, phi: &BitSet) -> BitSet {
+        let mut target = phi.clone();
+        target.intersect_with(&self.fair);
+        self.eu(&BitSet::full(self.graph.state_count()), &target)
+    }
+
+    /// Checks `formula`, with temporal operators universally quantified
+    /// over fair paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for out-of-range propositions/agents or empty
+    /// group modalities.
+    pub fn check(&self, formula: &Formula) -> Result<crate::CheckResult, EvalError> {
+        let sat = self.sat_set(formula)?;
+        Ok(crate::CheckResult::from_parts(
+            sat,
+            self.graph.initial_states().to_vec(),
+        ))
+    }
+
+    fn sat_set(&self, formula: &Formula) -> Result<BitSet, EvalError> {
+        let n = self.graph.state_count();
+        let model = self.graph.model();
+        match formula {
+            Formula::True => Ok(BitSet::full(n)),
+            Formula::False => Ok(BitSet::new(n)),
+            Formula::Prop(p) => {
+                if p.index() >= model.prop_count() {
+                    return Err(EvalError::PropOutOfRange(*p));
+                }
+                Ok(model.prop_worlds(*p).clone())
+            }
+            Formula::Not(f) => Ok(self.sat_set(f)?.complemented()),
+            Formula::And(items) => {
+                let mut acc = BitSet::full(n);
+                for f in items {
+                    acc.intersect_with(&self.sat_set(f)?);
+                }
+                Ok(acc)
+            }
+            Formula::Or(items) => {
+                let mut acc = BitSet::new(n);
+                for f in items {
+                    acc.union_with(&self.sat_set(f)?);
+                }
+                Ok(acc)
+            }
+            Formula::Implies(a, b) => {
+                let mut out = self.sat_set(a)?.complemented();
+                out.union_with(&self.sat_set(b)?);
+                Ok(out)
+            }
+            Formula::Iff(a, b) => {
+                let sa = self.sat_set(a)?;
+                let sb = self.sat_set(b)?;
+                let mut both = sa.clone();
+                both.intersect_with(&sb);
+                let mut neither = sa.complemented();
+                neither.intersect_with(&sb.complemented());
+                both.union_with(&neither);
+                Ok(both)
+            }
+            Formula::Knows(agent, f) => {
+                if agent.index() >= model.agent_count() {
+                    return Err(EvalError::AgentOutOfRange(*agent));
+                }
+                let sat = self.sat_set(f)?;
+                Ok(model.knowing(*agent, &sat))
+            }
+            Formula::Everyone(g, f) => {
+                self.check_group(*g)?;
+                let sat = self.sat_set(f)?;
+                Ok(model.everyone_knowing(*g, &sat))
+            }
+            Formula::Common(g, f) => {
+                self.check_group(*g)?;
+                let sat = self.sat_set(f)?;
+                Ok(model.common_knowing(*g, &sat))
+            }
+            Formula::Distributed(g, f) => {
+                self.check_group(*g)?;
+                let sat = self.sat_set(f)?;
+                Ok(model.distributed_knowing(*g, &sat))
+            }
+            Formula::Next(f) => {
+                // A_fair X φ = ¬ EX (fair ∧ ¬φ).
+                let mut bad = self.sat_set(f)?.complemented();
+                bad.intersect_with(&self.fair);
+                Ok(self.ex(&bad).complemented())
+            }
+            Formula::Eventually(f) => {
+                // A_fair F φ = ¬ E_fair G ¬φ.
+                let nphi = self.sat_set(f)?.complemented();
+                Ok(self.eg_fair(&nphi).complemented())
+            }
+            Formula::Always(f) => {
+                // A_fair G φ = ¬ E_fair F ¬φ.
+                let nphi = self.sat_set(f)?.complemented();
+                Ok(self.ef_fair(&nphi).complemented())
+            }
+            Formula::Until(a, b) => {
+                // A_fair[a U b] = ¬( E_fair[¬b U ¬a∧¬b] ∨ E_fair G ¬b ).
+                let sa = self.sat_set(a)?;
+                let sb = self.sat_set(b)?;
+                let nb = sb.complemented();
+                let mut na_nb = sa.complemented();
+                na_nb.intersect_with(&nb);
+                // E_fair[α U β] = E[α U (β ∧ fair)].
+                let mut target = na_nb;
+                target.intersect_with(&self.fair);
+                let e_until = self.eu(&nb, &target);
+                let eg_nb = self.eg_fair(&nb);
+                let mut bad = e_until;
+                bad.union_with(&eg_nb);
+                Ok(bad.complemented())
+            }
+        }
+    }
+
+    fn check_group(&self, group: AgentSet) -> Result<(), EvalError> {
+        if group.is_empty() {
+            return Err(EvalError::EmptyGroup);
+        }
+        for a in group.iter() {
+            if a.index() >= self.graph.model().agent_count() {
+                return Err(EvalError::AgentOutOfRange(a));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_logic::{Formula, PropId, Vocabulary};
+    use kbp_systems::{
+        ActionId, ContextBuilder, EnvActionId, GlobalState, LocalView, Obs,
+    };
+
+    fn p(i: u32) -> Formula {
+        Formula::prop(PropId::new(i))
+    }
+
+    /// Env may set a latch or not, forever; prop 0 = latch set.
+    fn latch_graph() -> StateGraph {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("w");
+        voc.add_prop("flag");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["noop"])
+            .env_protocol(|s| {
+                if s.reg(0) == 1 {
+                    vec![EnvActionId(0)]
+                } else {
+                    vec![EnvActionId(0), EnvActionId(1)]
+                }
+            })
+            .transition(|s, j| {
+                if j.env == EnvActionId(1) {
+                    s.with_reg(0, 1)
+                } else {
+                    s.clone()
+                }
+            })
+            .observe(|_, _| Obs(0))
+            .props(|q, s| q == PropId::new(0) && s.reg(0) == 1)
+            .build();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        StateGraph::explore(&ctx, &noop, 100).unwrap()
+    }
+
+    #[test]
+    fn fairness_turns_possible_into_inevitable() {
+        let g = latch_graph();
+        // Plain CTL: AF flag fails (the env can stall forever).
+        let plain = crate::Mck::new(&g);
+        assert!(!plain.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+        // Fairness "flag infinitely often": stalling forever is unfair.
+        let fair = FairMck::new(&g, &[p(0)]).unwrap();
+        assert!(fair.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+    }
+
+    #[test]
+    fn empty_constraints_agree_with_plain_mck() {
+        let g = latch_graph();
+        let plain = crate::Mck::new(&g);
+        let fair = FairMck::new(&g, &[]).unwrap();
+        for f in [
+            Formula::eventually(p(0)),
+            Formula::always(p(0)),
+            Formula::next(p(0)),
+            Formula::until(Formula::not(p(0)), p(0)),
+        ] {
+            assert_eq!(
+                plain.check(&f).unwrap().satisfying(),
+                fair.check(&f).unwrap().satisfying(),
+                "disagree on {f}"
+            );
+        }
+        assert_eq!(fair.fair_states().count(), g.state_count());
+    }
+
+    #[test]
+    fn unsatisfiable_fairness_empties_fair_states() {
+        let g = latch_graph();
+        // "flag ∧ ¬flag infinitely often" is impossible.
+        let fair = FairMck::new(&g, &[Formula::and([p(0), Formula::not(p(0))])]).unwrap();
+        assert!(fair.fair_states().is_empty());
+        // Universally-quantified temporal claims then hold vacuously.
+        assert!(fair
+            .check(&Formula::eventually(Formula::False))
+            .unwrap()
+            .holds_initially());
+    }
+
+    #[test]
+    fn fair_always_still_detects_violations() {
+        let g = latch_graph();
+        let fair = FairMck::new(&g, &[p(0)]).unwrap();
+        // AG ¬flag is false: fair paths must reach flag.
+        assert!(!fair
+            .check(&Formula::always(Formula::not(p(0))))
+            .unwrap()
+            .holds_initially());
+        // AG (flag -> flag) trivially true.
+        assert!(fair
+            .check(&Formula::always(Formula::implies(p(0), p(0))))
+            .unwrap()
+            .holds_initially());
+    }
+
+    #[test]
+    fn fair_until_and_next() {
+        let g = latch_graph();
+        let fair = FairMck::new(&g, &[p(0)]).unwrap();
+        // A_fair[¬flag U flag] holds initially.
+        let u = Formula::until(Formula::not(p(0)), p(0));
+        assert!(fair.check(&u).unwrap().holds_initially());
+        // A_fair X (flag ∨ ¬flag) trivially true; A_fair X flag false at
+        // the initial state (a fair successor with ¬flag exists).
+        assert!(fair
+            .check(&Formula::next(Formula::or([p(0), Formula::not(p(0))])))
+            .unwrap()
+            .holds_initially());
+        assert!(!fair.check(&Formula::next(p(0))).unwrap().holds_initially());
+    }
+
+    #[test]
+    fn knowledge_is_unaffected_by_fairness() {
+        let g = latch_graph();
+        let fair = FairMck::new(&g, &[p(0)]).unwrap();
+        let plain = crate::Mck::new(&g);
+        let f = Formula::knows(kbp_logic::Agent::new(0), p(0));
+        assert_eq!(
+            plain.check(&f).unwrap().satisfying(),
+            fair.check(&f).unwrap().satisfying()
+        );
+    }
+}

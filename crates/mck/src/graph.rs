@@ -1,0 +1,322 @@
+//! The stationary representation of a generated system: the reachable
+//! global-state graph of a (memoryless) protocol in a context.
+//!
+//! Where the unrolling of `kbp-systems` keeps one node per *run prefix*,
+//! the state graph keeps one node per reachable *global state* — the
+//! representation on which CTLK fixpoint algorithms run in time linear in
+//! the graph. Knowledge here uses the **observational** relation: two
+//! states are indistinguishable to an agent iff it observes the same thing
+//! in them (MCMAS-style).
+
+use kbp_kripke::{S5Builder, S5Model};
+use kbp_logic::{Agent, PropId};
+use kbp_systems::{
+    ActionId, Context, GenerateError, GlobalState, JointAction, LocalView, Obs, ProtocolFn,
+};
+use std::collections::HashMap;
+
+/// A reachable-state graph with valuation and observational knowledge
+/// partitions.
+///
+/// Build with [`StateGraph::explore`]. The transition relation is total
+/// (environment protocols are nonempty and protocols always act), so CTL
+/// path quantifiers are well-defined.
+#[derive(Debug)]
+pub struct StateGraph {
+    states: Vec<GlobalState>,
+    successors: Vec<Vec<u32>>,
+    initial: Vec<u32>,
+    model: S5Model,
+}
+
+impl StateGraph {
+    /// Explores the states reachable under `protocol` (read
+    /// memorylessly: the protocol is shown each state's current
+    /// observation as a one-element history).
+    ///
+    /// `max_states` caps exploration.
+    ///
+    /// # Errors
+    ///
+    /// * [`GenerateError::Context`] — the context is malformed.
+    /// * [`GenerateError::EmptyChoice`] — the protocol returned no action.
+    /// * [`GenerateError::ActionOutOfRange`] — the protocol returned an
+    ///   action outside an agent's repertoire.
+    /// * [`GenerateError::EnvStuck`] — the environment has no move at a
+    ///   reachable state.
+    /// * [`GenerateError::NodeLimit`] — more than `max_states` states.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_mck::StateGraph;
+    /// use kbp_systems::{ContextBuilder, GlobalState, Obs, ActionId, LocalView};
+    /// use kbp_logic::Vocabulary;
+    ///
+    /// let mut voc = Vocabulary::new();
+    /// let a = voc.add_agent("walker");
+    /// let ctx = ContextBuilder::new(voc)
+    ///     .initial_state(GlobalState::new(vec![0]))
+    ///     .agent_actions(a, ["step"])
+    ///     .transition(|s, _| s.with_reg(0, (s.reg(0) + 1) % 4))
+    ///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+    ///     .props(|_, _| false)
+    ///     .build();
+    /// let step = |_: &LocalView<'_>| vec![ActionId(0)];
+    /// let graph = StateGraph::explore(&ctx, &step, 100)?;
+    /// assert_eq!(graph.state_count(), 4); // the 4-cycle
+    /// # Ok::<(), kbp_systems::GenerateError>(())
+    /// ```
+    pub fn explore(
+        ctx: &dyn Context,
+        protocol: &dyn ProtocolFn,
+        max_states: usize,
+    ) -> Result<Self, GenerateError> {
+        ctx.validate()?;
+        let agents = ctx.agent_count();
+        let mut ids: HashMap<GlobalState, u32> = HashMap::new();
+        let mut states: Vec<GlobalState> = Vec::new();
+        let mut successors: Vec<Vec<u32>> = Vec::new();
+        let mut queue: Vec<u32> = Vec::new();
+        let mut initial = Vec::new();
+
+        let mut intern = |s: GlobalState,
+                          states: &mut Vec<GlobalState>,
+                          successors: &mut Vec<Vec<u32>>,
+                          queue: &mut Vec<u32>|
+         -> Result<u32, GenerateError> {
+            if let Some(&id) = ids.get(&s) {
+                return Ok(id);
+            }
+            if states.len() >= max_states {
+                return Err(GenerateError::NodeLimit { limit: max_states });
+            }
+            let id = states.len() as u32;
+            ids.insert(s.clone(), id);
+            states.push(s);
+            successors.push(Vec::new());
+            queue.push(id);
+            Ok(id)
+        };
+
+        for s in ctx.initial_states() {
+            let id = intern(s, &mut states, &mut successors, &mut queue)?;
+            if !initial.contains(&id) {
+                initial.push(id);
+            }
+        }
+
+        let mut qhead = 0;
+        while qhead < queue.len() {
+            let sid = queue[qhead];
+            qhead += 1;
+            let state = states[sid as usize].clone();
+
+            // Resolve each agent's action set from its current observation.
+            let mut action_sets: Vec<Vec<ActionId>> = Vec::with_capacity(agents);
+            for i in 0..agents {
+                let agent = Agent::new(i);
+                let obs = [ctx.observe(agent, &state)];
+                let acts = protocol.actions(&LocalView {
+                    agent,
+                    history: &obs,
+                });
+                if acts.is_empty() {
+                    return Err(GenerateError::EmptyChoice {
+                        agent,
+                        local: kbp_systems::LocalId::from_raw(sid),
+                    });
+                }
+                for &a in &acts {
+                    if a.index() >= ctx.action_count(agent) {
+                        return Err(GenerateError::ActionOutOfRange { agent, action: a });
+                    }
+                }
+                action_sets.push(acts);
+            }
+            let env_moves = ctx.env_actions(&state);
+            if env_moves.is_empty() {
+                return Err(GenerateError::EnvStuck(state));
+            }
+
+            let mut combo = vec![0usize; agents];
+            loop {
+                let acts: Vec<ActionId> = (0..agents).map(|i| action_sets[i][combo[i]]).collect();
+                for &env in &env_moves {
+                    let next = ctx.transition(&state, &JointAction::new(env, acts.clone()));
+                    let nid = intern(next, &mut states, &mut successors, &mut queue)?;
+                    if !successors[sid as usize].contains(&nid) {
+                        successors[sid as usize].push(nid);
+                    }
+                }
+                let mut k = 0;
+                loop {
+                    if k == agents {
+                        break;
+                    }
+                    combo[k] += 1;
+                    if combo[k] < action_sets[k].len() {
+                        break;
+                    }
+                    combo[k] = 0;
+                    k += 1;
+                }
+                if k == agents {
+                    break;
+                }
+            }
+        }
+
+        // Build the S5 model: valuation + observational partitions.
+        let prop_count = ctx.vocabulary().prop_count();
+        let mut mb = S5Builder::new(agents, prop_count);
+        for s in &states {
+            let props = (0..prop_count)
+                .map(|p| PropId::new(p as u32))
+                .filter(|&p| ctx.prop_holds(p, s));
+            mb.add_world(props);
+        }
+        let observations: Vec<Vec<Obs>> = (0..agents)
+            .map(|i| {
+                states
+                    .iter()
+                    .map(|s| ctx.observe(Agent::new(i), s))
+                    .collect()
+            })
+            .collect();
+        for (i, obs) in observations.iter().enumerate() {
+            mb.partition_by_key(Agent::new(i), |w| obs[w.index()]);
+        }
+
+        Ok(StateGraph {
+            states,
+            successors,
+            initial,
+            model: mb.build(),
+        })
+    }
+
+    /// Number of reachable states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The global state with index `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn state(&self, id: usize) -> &GlobalState {
+        &self.states[id]
+    }
+
+    /// Successor state indices of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn successors(&self, id: usize) -> &[u32] {
+        &self.successors[id]
+    }
+
+    /// Indices of the initial states.
+    #[must_use]
+    pub fn initial_states(&self) -> &[u32] {
+        &self.initial
+    }
+
+    /// The S5 model over the states (valuation + observational
+    /// partitions).
+    #[must_use]
+    pub fn model(&self) -> &S5Model {
+        &self.model
+    }
+
+    /// Total number of transitions.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_systems::{ContextBuilder, EnvActionId};
+    use kbp_logic::Vocabulary;
+
+    #[test]
+    fn explores_a_cycle() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("w");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["step"])
+            .transition(|s, _| s.with_reg(0, (s.reg(0) + 1) % 5))
+            .observe(|_, s| Obs(u64::from(s.reg(0))))
+            .props(|_, _| false)
+            .build();
+        let step = |_: &LocalView<'_>| vec![ActionId(0)];
+        let g = StateGraph::explore(&ctx, &step, 100).unwrap();
+        assert_eq!(g.state_count(), 5);
+        assert_eq!(g.transition_count(), 5);
+        assert_eq!(g.successors(4), &[0]);
+        assert_eq!(g.initial_states(), &[0]);
+    }
+
+    #[test]
+    fn env_nondeterminism_creates_branching() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("w");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["noop"])
+            .env_protocol(|_| vec![EnvActionId(0), EnvActionId(1)])
+            .transition(|s, j| s.with_reg(0, j.env.0))
+            .observe(|_, _| Obs(0))
+            .props(|_, _| false)
+            .build();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let g = StateGraph::explore(&ctx, &noop, 100).unwrap();
+        assert_eq!(g.state_count(), 2);
+        assert_eq!(g.successors(0).len(), 2);
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("w");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["step"])
+            .transition(|s, _| s.with_reg(0, s.reg(0) + 1)) // unbounded
+            .observe(|_, _| Obs(0))
+            .props(|_, _| false)
+            .build();
+        let step = |_: &LocalView<'_>| vec![ActionId(0)];
+        let err = StateGraph::explore(&ctx, &step, 10).unwrap_err();
+        assert!(matches!(err, GenerateError::NodeLimit { limit: 10 }));
+    }
+
+    #[test]
+    fn observational_partitions_group_states() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("w");
+        // Register 0 cycles 0..4; the agent sees only parity.
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["step"])
+            .transition(|s, _| s.with_reg(0, (s.reg(0) + 1) % 4))
+            .observe(|_, s| Obs(u64::from(s.reg(0) % 2)))
+            .props(|_, _| false)
+            .build();
+        let step = |_: &LocalView<'_>| vec![ActionId(0)];
+        let g = StateGraph::explore(&ctx, &step, 100).unwrap();
+        assert_eq!(g.state_count(), 4);
+        let part = g.model().partition(Agent::new(0));
+        assert_eq!(part.block_count(), 2); // even / odd
+    }
+}

@@ -1,0 +1,50 @@
+//! An explicit-state CTLK model checker (MCK/MCMAS-style) for the
+//! `knowledge-programs` workspace.
+//!
+//! Once a knowledge-based program has been solved into a standard
+//! protocol, this crate *verifies* the result: it explores the protocol's
+//! reachable global-state graph ([`StateGraph`]) and checks
+//! epistemic–temporal specifications on it ([`Mck`]) — safety (`G φ`),
+//! liveness (`F φ`), and knowledge-over-time properties like "whenever the
+//! receiver has the bit, the sender eventually knows it has it".
+//!
+//! Temporal operators are read with the universal path quantifier (`AF`,
+//! `AG`, `AX`, `AU`); existential duals are in [`ctl`]. Knowledge uses the
+//! observational relation (same current observation ⇒ indistinguishable);
+//! for perfect-recall knowledge use the bounded unrollings of
+//! `kbp-systems` instead.
+//!
+//! # Example
+//!
+//! ```
+//! use kbp_mck::{Mck, StateGraph};
+//! use kbp_systems::{ContextBuilder, GlobalState, Obs, ActionId, LocalView};
+//! use kbp_logic::{Formula, Vocabulary};
+//!
+//! let mut voc = Vocabulary::new();
+//! let a = voc.add_agent("w");
+//! let goal = voc.add_prop("goal");
+//! let ctx = ContextBuilder::new(voc)
+//!     .initial_state(GlobalState::new(vec![0]))
+//!     .agent_actions(a, ["step"])
+//!     .transition(|s, _| s.with_reg(0, (s.reg(0) + 1).min(2)))
+//!     .observe(|_, s| Obs(u64::from(s.reg(0))))
+//!     .props(move |p, s| p == goal && s.reg(0) == 2)
+//!     .build();
+//! let step = |_: &LocalView<'_>| vec![ActionId(0)];
+//! let graph = StateGraph::explore(&ctx, &step, 1000)?;
+//! let mck = Mck::new(&graph);
+//! assert!(mck.check(&Formula::eventually(Formula::prop(goal)))?.holds_initially());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod fair;
+mod graph;
+
+pub use check::{ctl, CheckResult, Mck};
+pub use fair::FairMck;
+pub use graph::StateGraph;

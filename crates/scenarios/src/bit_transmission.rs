@@ -1,0 +1,488 @@
+//! The bit-transmission problem — FHMV's flagship example.
+//!
+//! A sender `S` knows a bit and must convey it to a receiver `R` over a
+//! channel that may lose messages in either direction. The natural
+//! *knowledge-based* description of the protocol is:
+//!
+//! ```text
+//! S: case of  if ¬K_S(R knows the bit)              do send_bit   end
+//! R: case of  if R knows the bit ∧ ¬K_R K_S(R knows the bit)  do send_ack  end
+//! ```
+//!
+//! Its unique implementation is the classic protocol: *S retransmits until
+//! it receives an acknowledgement; R acknowledges forever once it has the
+//! bit* (R can never learn that its ack arrived — the famous ladder
+//! `K_R bit`, `K_S K_R bit`, `K_R K_S K_R bit`, … climbs one rung per
+//! delivered message and no protocol can reach common knowledge over a
+//! lossy channel).
+
+use kbp_core::Kbp;
+use kbp_logic::{Agent, Formula, PropId, Vocabulary};
+use kbp_systems::{
+    ActionId, ContextBuilder, EnvActionId, FnContext, GlobalState, Obs,
+};
+
+/// Channel behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Channel {
+    /// Every message and acknowledgement is delivered.
+    Reliable,
+    /// The environment may lose any message and any acknowledgement
+    /// (adversarial nondeterminism).
+    #[default]
+    Lossy,
+}
+
+/// The bit-transmission scenario: builds the context and the
+/// knowledge-based program.
+///
+/// # Example
+///
+/// ```
+/// use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+/// use kbp_core::SyncSolver;
+///
+/// let scenario = BitTransmission::new(Channel::Lossy);
+/// let ctx = scenario.context();
+/// let kbp = scenario.kbp();
+/// let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve()?;
+/// // The derived protocol sends while no ack has been received.
+/// # Ok::<(), kbp_core::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BitTransmission {
+    channel: Channel,
+}
+
+/// State registers: `[bit, rbit, sack, fair_msg, fair_ack]`.
+///
+/// The last two are bookkeeping for fairness constraints: `fair_msg` is 1
+/// when the data channel did *not* drop anything this step (either no
+/// message was sent, or it was delivered), and symmetrically `fair_ack`.
+/// A run on which `fair_msg` holds infinitely often is one where the
+/// channel does not lose messages forever — the weak-fairness assumption
+/// under which FHMV's liveness claims hold.
+const R_BIT: usize = 0;
+const R_RBIT: usize = 1;
+const R_SACK: usize = 2;
+const R_FMSG: usize = 3;
+const R_FACK: usize = 4;
+
+impl BitTransmission {
+    /// Creates the scenario.
+    #[must_use]
+    pub fn new(channel: Channel) -> Self {
+        BitTransmission { channel }
+    }
+
+    /// The sender agent.
+    #[must_use]
+    pub fn sender(&self) -> Agent {
+        Agent::new(0)
+    }
+
+    /// The receiver agent.
+    #[must_use]
+    pub fn receiver(&self) -> Agent {
+        Agent::new(1)
+    }
+
+    /// The sender's `send` action.
+    #[must_use]
+    pub fn send(&self) -> ActionId {
+        ActionId(1)
+    }
+
+    /// The receiver's `sendack` action.
+    #[must_use]
+    pub fn sendack(&self) -> ActionId {
+        ActionId(1)
+    }
+
+    /// Proposition: the hidden bit is 1.
+    #[must_use]
+    pub fn bit(&self) -> PropId {
+        PropId::new(0)
+    }
+
+    /// Proposition: the receiver has received the bit.
+    #[must_use]
+    pub fn receiver_has_bit(&self) -> PropId {
+        PropId::new(1)
+    }
+
+    /// Proposition: the sender has received an acknowledgement.
+    #[must_use]
+    pub fn sender_has_ack(&self) -> PropId {
+        PropId::new(2)
+    }
+
+    /// Proposition: the data channel did not drop anything this step.
+    /// `fair_msg` holding infinitely often = weak fairness of delivery.
+    #[must_use]
+    pub fn fair_msg(&self) -> PropId {
+        PropId::new(3)
+    }
+
+    /// Proposition: the ack channel did not drop anything this step.
+    #[must_use]
+    pub fn fair_ack(&self) -> PropId {
+        PropId::new(4)
+    }
+
+    /// Builds the context: two initial states (bit 0 / bit 1), channel
+    /// nondeterminism as the environment protocol.
+    ///
+    /// Environment action encoding: bit 0 set = lose the data message this
+    /// step, bit 1 set = lose the acknowledgement this step.
+    #[must_use]
+    pub fn context(&self) -> FnContext {
+        let mut voc = Vocabulary::new();
+        let sender = voc.add_agent("sender");
+        let receiver = voc.add_agent("receiver");
+        voc.add_prop("bit");
+        voc.add_prop("rbit");
+        voc.add_prop("sack");
+        voc.add_prop("fair_msg");
+        voc.add_prop("fair_ack");
+        let channel = self.channel;
+        ContextBuilder::new(voc)
+            .initial_states([
+                GlobalState::new(vec![0, 0, 0, 1, 1]),
+                GlobalState::new(vec![1, 0, 0, 1, 1]),
+            ])
+            .agent_actions(sender, ["noop", "send"])
+            .agent_actions(receiver, ["noop", "sendack"])
+            .env_actions(["deliver_all", "lose_msg", "lose_ack", "lose_both"])
+            .env_protocol(move |_| match channel {
+                Channel::Reliable => vec![EnvActionId(0)],
+                Channel::Lossy => vec![
+                    EnvActionId(0),
+                    EnvActionId(1),
+                    EnvActionId(2),
+                    EnvActionId(3),
+                ],
+            })
+            .transition(|s, j| {
+                let lose_msg = j.env.0 & 1 != 0;
+                let lose_ack = j.env.0 & 2 != 0;
+                let mut next = s.clone();
+                let sending = j.acts[0] == ActionId(1);
+                if sending && !lose_msg {
+                    next = next.with_reg(R_RBIT, 1);
+                }
+                // The ack is meaningful only if R already has the bit
+                // (based on the pre-step state, as actions are chosen
+                // simultaneously).
+                let acking = j.acts[1] == ActionId(1) && s.reg(R_RBIT) == 1;
+                if acking && !lose_ack {
+                    next = next.with_reg(R_SACK, 1);
+                }
+                // Fairness bookkeeping: the channel was "kind" this step
+                // if nothing in flight was dropped.
+                next = next.with_reg(R_FMSG, u32::from(!sending || !lose_msg));
+                next.with_reg(R_FACK, u32::from(!acking || !lose_ack))
+            })
+            .observe(|agent, s| {
+                if agent.index() == 0 {
+                    // Sender: its own bit, and whether an ack arrived.
+                    Obs(u64::from(s.reg(R_BIT)) | (u64::from(s.reg(R_SACK)) << 1))
+                } else {
+                    // Receiver: the bit value once received, else nothing.
+                    if s.reg(R_RBIT) == 1 {
+                        Obs(u64::from(s.reg(R_BIT)) + 1)
+                    } else {
+                        Obs(0)
+                    }
+                }
+            })
+            .props(|p, s| match p.index() {
+                0 => s.reg(R_BIT) == 1,
+                1 => s.reg(R_RBIT) == 1,
+                2 => s.reg(R_SACK) == 1,
+                3 => s.reg(R_FMSG) == 1,
+                4 => s.reg(R_FACK) == 1,
+                _ => false,
+            })
+            .build()
+    }
+
+    /// "R knows the bit": `K_R bit ∨ K_R ¬bit`.
+    #[must_use]
+    pub fn receiver_knows_bit(&self) -> Formula {
+        Formula::knows_whether(self.receiver(), Formula::prop(self.bit()))
+    }
+
+    /// The knowledge-based program from the paper.
+    #[must_use]
+    pub fn kbp(&self) -> Kbp {
+        let s = self.sender();
+        let r = self.receiver();
+        let r_knows = self.receiver_knows_bit();
+        Kbp::builder()
+            // S: if ¬K_S(R knows the bit) do send.
+            .clause(
+                s,
+                Formula::not(Formula::knows(s, r_knows.clone())),
+                self.send(),
+            )
+            .default_action(s, ActionId(0))
+            // R: if (R knows the bit) ∧ ¬K_R K_S(R knows the bit) do ack.
+            .clause(
+                r,
+                Formula::and([
+                    r_knows.clone(),
+                    Formula::not(Formula::knows(r, Formula::knows(s, r_knows))),
+                ]),
+                self.sendack(),
+            )
+            .default_action(r, ActionId(0))
+            .build()
+    }
+
+    /// The safety specification: whenever the sender has an ack, the
+    /// receiver really knows the bit — `G (sack → K_R-knows-bit)`.
+    #[must_use]
+    pub fn safety(&self) -> Formula {
+        Formula::always(Formula::implies(
+            Formula::prop(self.sender_has_ack()),
+            self.receiver_knows_bit(),
+        ))
+    }
+
+    /// The knowledge-ladder specification: whenever the sender has an
+    /// ack, it knows the receiver knows the bit —
+    /// `G (sack → K_S(K_R bit ∨ K_R ¬bit))`.
+    #[must_use]
+    pub fn ladder(&self) -> Formula {
+        Formula::always(Formula::implies(
+            Formula::prop(self.sender_has_ack()),
+            Formula::knows(self.sender(), self.receiver_knows_bit()),
+        ))
+    }
+}
+
+impl Default for BitTransmission {
+    fn default() -> Self {
+        BitTransmission::new(Channel::Lossy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_core::{check_implementation, SyncSolver};
+    use kbp_systems::{Evaluator, Point, Recall};
+
+    #[test]
+    fn kbp_validates() {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        assert_eq!(sc.kbp().validate(&ctx), Ok(()));
+    }
+
+    #[test]
+    fn derived_sender_sends_until_ack() {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        let proto = solution.protocol();
+        let s = sc.sender();
+        // At time 0, no ack: send (for both bit values).
+        assert_eq!(proto.get(s, &[Obs(0)]), Some(&[ActionId(1)][..]));
+        assert_eq!(proto.get(s, &[Obs(1)]), Some(&[ActionId(1)][..]));
+        // History "bit=0, still no ack": keep sending.
+        assert_eq!(proto.get(s, &[Obs(0), Obs(0)]), Some(&[ActionId(1)][..]));
+        // Earliest possible ack: message delivered at t=1, ack at t=2
+        // (obs 2 = sack bit set). Then the sender stops.
+        assert_eq!(
+            proto.get(s, &[Obs(0), Obs(0), Obs(2)]),
+            Some(&[ActionId(0)][..])
+        );
+        // An ack cannot arrive at t=1 (R had nothing to acknowledge).
+        assert_eq!(proto.get(s, &[Obs(0), Obs(2)]), None);
+    }
+
+    #[test]
+    fn derived_receiver_acks_forever_once_it_has_the_bit() {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(5).solve().unwrap();
+        let proto = solution.protocol();
+        let r = sc.receiver();
+        // Once R has the bit (obs 1 or 2), it acks — and keeps acking,
+        // because it can never learn that the ack arrived.
+        assert_eq!(proto.get(r, &[Obs(0), Obs(1)]), Some(&[ActionId(1)][..]));
+        assert_eq!(
+            proto.get(r, &[Obs(0), Obs(1), Obs(1)]),
+            Some(&[ActionId(1)][..])
+        );
+        assert_eq!(
+            proto.get(r, &[Obs(0), Obs(1), Obs(1), Obs(1)]),
+            Some(&[ActionId(1)][..])
+        );
+        // Without the bit: no ack.
+        assert_eq!(proto.get(r, &[Obs(0)]), Some(&[ActionId(0)][..]));
+        assert_eq!(proto.get(r, &[Obs(0), Obs(0)]), Some(&[ActionId(0)][..]));
+    }
+
+    #[test]
+    fn solution_is_a_fixed_point() {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        let report =
+            check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 4).unwrap();
+        assert!(report.is_implementation(), "{report}");
+    }
+
+    #[test]
+    fn safety_and_ladder_hold_on_the_generated_system() {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(5).solve().unwrap();
+        let sys = solution.system();
+        assert!(sys.holds_initially(&sc.safety()).unwrap());
+        assert!(sys.holds_initially(&sc.ladder()).unwrap());
+    }
+
+    #[test]
+    fn reliable_channel_delivers_in_two_steps() {
+        let sc = BitTransmission::new(Channel::Reliable);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        let sys = solution.system();
+        // t=1: R has the bit; t=2: S has the ack.
+        let ev = Evaluator::new(sys, &sc.receiver_knows_bit()).unwrap();
+        for node in 0..sys.layer(1).len() {
+            assert!(ev.holds(Point { time: 1, node }));
+        }
+        let ladder = Formula::knows(sc.sender(), sc.receiver_knows_bit());
+        let ev = Evaluator::new(sys, &ladder).unwrap();
+        for node in 0..sys.layer(2).len() {
+            assert!(ev.holds(Point { time: 2, node }));
+        }
+    }
+
+    #[test]
+    fn lossy_channel_admits_runs_where_nothing_arrives() {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        let sys = solution.system();
+        // Not all runs deliver: AF(rbit) fails initially.
+        let rbit = Formula::prop(sc.receiver_has_bit());
+        assert!(!sys.holds_initially(&Formula::eventually(rbit.clone())).unwrap());
+        // But delivery is possible: ¬AG¬rbit.
+        let possible = Formula::not(Formula::always(Formula::not(rbit)));
+        assert!(sys.holds_initially(&possible).unwrap());
+    }
+
+    #[test]
+    fn no_common_knowledge_over_lossy_channel() {
+        // The coordinated-attack insight: C_{S,R}(bit) never holds.
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(5).solve().unwrap();
+        let sys = solution.system();
+        let group: kbp_logic::AgentSet = [sc.sender(), sc.receiver()].into_iter().collect();
+        let ck = Formula::common(group, Formula::prop(sc.bit()));
+        let ev = Evaluator::new(sys, &ck).unwrap();
+        for p in sys.points() {
+            assert!(!ev.holds(p), "common knowledge at {p}?!");
+        }
+    }
+
+    #[test]
+    fn extracted_controllers_are_tiny_and_still_a_fixed_point() {
+        // The horizon-6 table has dozens of entries; the extracted Moore
+        // machines are the textbook two-state automata — and running
+        // *them* through the fixed-point checker still succeeds.
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(6).solve().unwrap();
+        let machines =
+            kbp_core::ControllerProtocol::from_solution(&solution, &kbp).unwrap();
+        let sender = machines.controller(sc.sender()).unwrap();
+        let receiver = machines.controller(sc.receiver()).unwrap();
+        assert_eq!(sender.state_count(), 2, "{sender}");
+        assert_eq!(receiver.state_count(), 2, "{receiver}");
+        let report =
+            check_implementation(&ctx, &kbp, &machines, Recall::Perfect, 6).unwrap();
+        assert!(report.is_implementation(), "{report}");
+    }
+
+    #[test]
+    fn fairness_turns_liveness_on() {
+        // FHMV's liveness claim needs fairness: against an adversarial
+        // channel nothing is ever guaranteed to arrive, but if the
+        // channel cannot drop traffic forever, the ack provably arrives.
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(6)
+            .recall(Recall::Observational)
+            .solve()
+            .unwrap();
+        let graph = kbp_mck::StateGraph::explore(&ctx, solution.protocol(), 10_000).unwrap();
+        let goal = Formula::eventually(Formula::prop(sc.sender_has_ack()));
+        // Plain CTL: fails (the adversary drops everything forever).
+        assert!(!kbp_mck::Mck::new(&graph).check(&goal).unwrap().holds_initially());
+        // Under weak fairness of both channel directions: holds.
+        let fair = kbp_mck::FairMck::new(
+            &graph,
+            &[
+                Formula::prop(sc.fair_msg()),
+                Formula::prop(sc.fair_ack()),
+            ],
+        )
+        .unwrap();
+        assert!(fair.check(&goal).unwrap().holds_initially());
+    }
+
+    #[test]
+    fn common_knowledge_attained_on_reliable_channel() {
+        // The contrast to `no_common_knowledge_over_lossy_channel`:
+        // reliable delivery is a public event, so CK of the bit arrives
+        // with the first message.
+        let sc = BitTransmission::new(Channel::Reliable);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        let sys = solution.system();
+        let group: kbp_logic::AgentSet = [sc.sender(), sc.receiver()].into_iter().collect();
+        let ck = Formula::common(group, Formula::knows_whether(sc.receiver(), Formula::prop(sc.bit())));
+        let ev = Evaluator::new(sys, &ck).unwrap();
+        for node in 0..sys.layer(1).len() {
+            assert!(ev.holds(Point { time: 1, node }), "no CK at t=1 node {node}");
+        }
+    }
+
+    #[test]
+    fn observational_recall_stabilizes() {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(6)
+            .recall(Recall::Observational)
+            .solve()
+            .unwrap();
+        assert!(solution.stabilized().is_some());
+        // Perfect recall keeps distinguishing histories, so layers grow.
+        let perfect = SyncSolver::new(&ctx, &kbp).horizon(6).solve().unwrap();
+        assert!(
+            perfect.system().layer(6).len() > solution.system().layer(6).len(),
+            "perfect-recall layers should be larger"
+        );
+    }
+}

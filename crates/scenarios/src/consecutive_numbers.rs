@@ -1,0 +1,246 @@
+//! The consecutive-numbers puzzle — a pure announcement-dynamics workout
+//! for the Kripke substrate.
+//!
+//! Alice and Bob are given consecutive natural numbers in `1..=n` (one
+//! has `k`, the other `k+1`); each sees only their own number. They take
+//! turns truthfully announcing "I don't know your number" until one of
+//! them knows. Iterated public announcements peel the extremes off the
+//! chain of possible worlds, so the number of announcements needed grows
+//! with the distance from the ends — the same cascade mechanism as muddy
+//! children, on a path instead of a cube.
+
+use kbp_kripke::{S5Builder, S5Model, WorldId};
+use kbp_logic::{Agent, Formula, PropId, Vocabulary};
+
+/// The consecutive-numbers puzzle for numbers in `1..=n`.
+///
+/// # Example
+///
+/// ```
+/// use kbp_scenarios::consecutive_numbers::ConsecutiveNumbers;
+///
+/// let puzzle = ConsecutiveNumbers::new(5);
+/// // Alice has 3, Bob has 4: after Alice's first "I don't know",
+/// // Bob knows Alice's number.
+/// let (rounds, knower) = puzzle.play(3, 4);
+/// assert_eq!((rounds, knower), (1, "bob"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ConsecutiveNumbers {
+    n: u32,
+}
+
+impl ConsecutiveNumbers {
+    /// Numbers range over `1..=n` (`n ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "need at least two numbers");
+        ConsecutiveNumbers { n }
+    }
+
+    /// Alice.
+    #[must_use]
+    pub fn alice(&self) -> Agent {
+        Agent::new(0)
+    }
+
+    /// Bob.
+    #[must_use]
+    pub fn bob(&self) -> Agent {
+        Agent::new(1)
+    }
+
+    /// Proposition "Alice's number is `k`".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=n`.
+    #[must_use]
+    pub fn alice_is(&self, k: u32) -> PropId {
+        assert!((1..=self.n).contains(&k));
+        PropId::new(k - 1)
+    }
+
+    /// Proposition "Bob's number is `k`".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=n`.
+    #[must_use]
+    pub fn bob_is(&self, k: u32) -> PropId {
+        assert!((1..=self.n).contains(&k));
+        PropId::new(self.n + k - 1)
+    }
+
+    /// The vocabulary used by [`model`](Self::model).
+    #[must_use]
+    pub fn vocabulary(&self) -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        voc.add_agent("alice");
+        voc.add_agent("bob");
+        for k in 1..=self.n {
+            voc.add_prop(format!("alice_is_{k}"));
+        }
+        for k in 1..=self.n {
+            voc.add_prop(format!("bob_is_{k}"));
+        }
+        voc
+    }
+
+    /// The worlds, in model order: all `(a, b)` with `|a − b| = 1`.
+    #[must_use]
+    pub fn worlds(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for a in 1..=self.n {
+            if a >= 2 {
+                out.push((a, a - 1));
+            }
+            if a < self.n {
+                out.push((a, a + 1));
+            }
+        }
+        out
+    }
+
+    /// Builds the initial Kripke model: Alice's partition groups worlds
+    /// by her number, Bob's by his.
+    #[must_use]
+    pub fn model(&self) -> S5Model {
+        let worlds = self.worlds();
+        let mut b = S5Builder::new(2, 2 * self.n as usize);
+        for &(a, bo) in &worlds {
+            b.add_world([self.alice_is(a), self.bob_is(bo)]);
+        }
+        let wa: Vec<u32> = worlds.iter().map(|&(a, _)| a).collect();
+        let wb: Vec<u32> = worlds.iter().map(|&(_, bo)| bo).collect();
+        b.partition_by_key(self.alice(), move |w: WorldId| wa[w.index()]);
+        b.partition_by_key(self.bob(), move |w: WorldId| wb[w.index()]);
+        b.build()
+    }
+
+    /// "Alice knows Bob's number" — `⋁_k K_alice (bob_is_k)`.
+    #[must_use]
+    pub fn alice_knows(&self) -> Formula {
+        Formula::or(
+            (1..=self.n).map(|k| Formula::knows(self.alice(), Formula::prop(self.bob_is(k)))),
+        )
+    }
+
+    /// "Bob knows Alice's number".
+    #[must_use]
+    pub fn bob_knows(&self) -> Formula {
+        Formula::or(
+            (1..=self.n)
+                .map(|k| Formula::knows(self.bob(), Formula::prop(self.alice_is(k)))),
+        )
+    }
+
+    /// Plays the puzzle at the actual world `(a, b)`: Alice and Bob
+    /// alternately announce "I don't know your number" (Alice first)
+    /// until one of them knows. Returns the number of *ignorance
+    /// announcements made* and who then knows (`"alice"` / `"bob"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(a, b)` are not consecutive in range, or if the puzzle
+    /// fails to terminate within `2n` rounds (impossible).
+    #[must_use]
+    pub fn play(&self, a: u32, b: u32) -> (usize, &'static str) {
+        assert!(a.abs_diff(b) == 1 && (1..=self.n).contains(&a) && (1..=self.n).contains(&b));
+        let mut model = self.model();
+        let find = |m: &S5Model| -> WorldId {
+            m.worlds()
+                .find(|&w| {
+                    m.prop_holds(w, self.alice_is(a)) && m.prop_holds(w, self.bob_is(b))
+                })
+                .expect("actual world never eliminated (announcements are truthful)")
+        };
+        for round in 0..=(2 * self.n as usize) {
+            let w = find(&model);
+            let alices_turn = round % 2 == 0;
+            let knows = if alices_turn {
+                self.alice_knows()
+            } else {
+                self.bob_knows()
+            };
+            if model.check(w, &knows).expect("evaluable") {
+                return (round, if alices_turn { "alice" } else { "bob" });
+            }
+            model = model
+                .announce(&Formula::not(knows))
+                .expect("truthful ignorance announcement")
+                .into_model();
+        }
+        unreachable!("the puzzle terminates within 2n announcements")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_know_immediately() {
+        let p = ConsecutiveNumbers::new(5);
+        // Bob has 1: Alice must have 2 — he knows before any announcement,
+        // but Alice speaks first; her announcement does not remove his
+        // knowledge. Round count: Alice announces ignorance (round 0 check
+        // fails for her), then Bob checks at round 1 and knows.
+        assert_eq!(p.play(2, 1), (1, "bob"));
+        // Alice has 1: she knows immediately, zero announcements.
+        assert_eq!(p.play(1, 2), (0, "alice"));
+    }
+
+    #[test]
+    fn the_cascade_peels_from_the_ends() {
+        let p = ConsecutiveNumbers::new(5);
+        // (3,4): Alice's "don't know" eliminates (5,4); Bob's cell
+        // {(3,4),(5,4)} collapses — he knows after 1 announcement.
+        assert_eq!(p.play(3, 4), (1, "bob"));
+        // (3,2): after Alice's announcement kills (1,2), Bob knows too.
+        assert_eq!(p.play(3, 2), (1, "bob"));
+        // (4,3): needs a second peel — Alice knows after two
+        // announcements (hers and Bob's).
+        assert_eq!(p.play(4, 3), (2, "alice"));
+    }
+
+    #[test]
+    fn deeper_worlds_take_longer() {
+        // Far from the right end (n = 20), learning time grows with the
+        // distance from the left end.
+        let p = ConsecutiveNumbers::new(20);
+        let (r1, _) = p.play(2, 3);
+        let (r2, _) = p.play(5, 6);
+        let (r3, _) = p.play(9, 10);
+        assert!(r1 < r2, "{r1} !< {r2}");
+        assert!(r2 < r3, "{r2} !< {r3}");
+    }
+
+    #[test]
+    fn somebody_always_learns() {
+        let p = ConsecutiveNumbers::new(7);
+        for a in 1..=7u32 {
+            for b in [a.wrapping_sub(1), a + 1] {
+                if (1..=7).contains(&b) {
+                    let (rounds, who) = p.play(a, b);
+                    assert!(rounds <= 14, "({a},{b}) took {rounds}");
+                    assert!(who == "alice" || who == "bob");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_shape() {
+        let p = ConsecutiveNumbers::new(5);
+        let m = p.model();
+        assert_eq!(m.world_count(), 8);
+        // Alice's partition has 5 cells (one per value of a).
+        assert_eq!(m.partition(p.alice()).block_count(), 5);
+        assert_eq!(m.partition(p.bob()).block_count(), 5);
+    }
+}

@@ -1,0 +1,330 @@
+//! The coordinated-attack (two generals) problem.
+//!
+//! Two generals must attack *simultaneously*, and only if the enemy is
+//! weak — which only general 1 can see. Messengers between them may be
+//! captured. The epistemic analysis made famous by Halpern–Moses and
+//! retold in the knowledge-based-programs paper: simultaneous coordinated
+//! attack requires **common knowledge** of the enemy's weakness, and no
+//! number of delivered messages ever creates common knowledge over an
+//! unreliable channel.
+//!
+//! The knowledge-based program states the requirement directly — the
+//! attack guard *is* a common-knowledge test (legal in a KBP because
+//! `C_G φ` is subjective for every member of `G`):
+//!
+//! ```text
+//! general 1: case of  if C_{1,2} weak        do attack
+//!                     if ¬C_{1,2} weak       do send      end
+//! general 2: case of  if C_{1,2} weak        do attack
+//!                     if K_2-whether-weak ∧ ¬C_{1,2} weak do ack  end
+//! ```
+//!
+//! The derived implementation over a lossy channel **never attacks** (the
+//! guard never fires — the impossibility theorem, computed); over a
+//! reliable channel both generals attack in lock-step as soon as delivery
+//! is commonly known.
+
+use kbp_core::Kbp;
+use kbp_logic::{Agent, AgentSet, Formula, PropId, Vocabulary};
+use kbp_systems::{ActionId, ContextBuilder, EnvActionId, FnContext, GlobalState, Obs};
+
+pub use crate::bit_transmission::Channel;
+
+/// State registers: `[weak, r2, r1, att1, att2]`.
+const R_WEAK: usize = 0;
+const R_R2: usize = 1;
+const R_R1: usize = 2;
+const R_ATT1: usize = 3;
+const R_ATT2: usize = 4;
+
+/// The coordinated-attack scenario.
+///
+/// # Example
+///
+/// ```
+/// use kbp_scenarios::coordinated_attack::{CoordinatedAttack, Channel};
+/// use kbp_core::SyncSolver;
+///
+/// let sc = CoordinatedAttack::new(Channel::Lossy);
+/// let solution = SyncSolver::new(&sc.context(), &sc.kbp()).horizon(5).solve()?;
+/// // Over a lossy channel, nobody ever attacks.
+/// assert!(solution.system().holds_initially(&sc.nobody_attacks())?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatedAttack {
+    channel: Channel,
+}
+
+impl CoordinatedAttack {
+    /// Creates the scenario.
+    #[must_use]
+    pub fn new(channel: Channel) -> Self {
+        CoordinatedAttack { channel }
+    }
+
+    /// General 1 (sees the enemy).
+    #[must_use]
+    pub fn general1(&self) -> Agent {
+        Agent::new(0)
+    }
+
+    /// General 2.
+    #[must_use]
+    pub fn general2(&self) -> Agent {
+        Agent::new(1)
+    }
+
+    /// Both generals as a group.
+    #[must_use]
+    pub fn generals(&self) -> AgentSet {
+        [self.general1(), self.general2()].into_iter().collect()
+    }
+
+    /// Proposition: the enemy is weak.
+    #[must_use]
+    pub fn weak(&self) -> PropId {
+        PropId::new(0)
+    }
+
+    /// Proposition: general 1 has attacked.
+    #[must_use]
+    pub fn attacked1(&self) -> PropId {
+        PropId::new(1)
+    }
+
+    /// Proposition: general 2 has attacked.
+    #[must_use]
+    pub fn attacked2(&self) -> PropId {
+        PropId::new(2)
+    }
+
+    /// Builds the context. Initial states: enemy weak or not; both
+    /// generals undecided. Env action encoding: bit 0 = capture general
+    /// 1's messenger this step, bit 1 = capture general 2's.
+    #[must_use]
+    pub fn context(&self) -> FnContext {
+        let mut voc = Vocabulary::new();
+        let g1 = voc.add_agent("general1");
+        let g2 = voc.add_agent("general2");
+        voc.add_prop("weak");
+        voc.add_prop("attacked1");
+        voc.add_prop("attacked2");
+        let channel = self.channel;
+        ContextBuilder::new(voc)
+            .initial_states([
+                GlobalState::new(vec![0, 0, 0, 0, 0]),
+                GlobalState::new(vec![1, 0, 0, 0, 0]),
+            ])
+            .agent_actions(g1, ["noop", "send", "attack"])
+            .agent_actions(g2, ["noop", "ack", "attack"])
+            .env_actions(["deliver_all", "capture_1", "capture_2", "capture_both"])
+            .env_protocol(move |_| match channel {
+                Channel::Reliable => vec![EnvActionId(0)],
+                Channel::Lossy => vec![
+                    EnvActionId(0),
+                    EnvActionId(1),
+                    EnvActionId(2),
+                    EnvActionId(3),
+                ],
+            })
+            .transition(|s, j| {
+                let capture1 = j.env.0 & 1 != 0;
+                let capture2 = j.env.0 & 2 != 0;
+                let mut next = s.clone();
+                if j.acts[0] == ActionId(1) && !capture1 {
+                    next = next.with_reg(R_R2, 1);
+                }
+                if j.acts[1] == ActionId(1) && s.reg(R_R2) == 1 && !capture2 {
+                    next = next.with_reg(R_R1, 1);
+                }
+                if j.acts[0] == ActionId(2) {
+                    next = next.with_reg(R_ATT1, 1);
+                }
+                if j.acts[1] == ActionId(2) {
+                    next = next.with_reg(R_ATT2, 1);
+                }
+                next
+            })
+            .observe(|agent, s| {
+                if agent.index() == 0 {
+                    Obs(u64::from(s.reg(R_WEAK))
+                        | (u64::from(s.reg(R_R1)) << 1)
+                        | (u64::from(s.reg(R_ATT1)) << 2))
+                } else {
+                    let seen = if s.reg(R_R2) == 1 {
+                        u64::from(s.reg(R_WEAK)) + 1
+                    } else {
+                        0
+                    };
+                    Obs(seen | (u64::from(s.reg(R_ATT2)) << 2))
+                }
+            })
+            .props(|p, s| match p.index() {
+                0 => s.reg(R_WEAK) == 1,
+                1 => s.reg(R_ATT1) == 1,
+                2 => s.reg(R_ATT2) == 1,
+                _ => false,
+            })
+            .build()
+    }
+
+    /// The knowledge-based program with the common-knowledge attack
+    /// guard.
+    #[must_use]
+    pub fn kbp(&self) -> Kbp {
+        let g1 = self.general1();
+        let g2 = self.general2();
+        let ck_weak = Formula::common(self.generals(), Formula::prop(self.weak()));
+        Kbp::builder()
+            .clause(g1, ck_weak.clone(), ActionId(2))
+            .clause(g1, Formula::not(ck_weak.clone()), ActionId(1))
+            .default_action(g1, ActionId(0))
+            .clause(g2, ck_weak.clone(), ActionId(2))
+            .clause(
+                g2,
+                Formula::and([
+                    Formula::knows_whether(g2, Formula::prop(self.weak())),
+                    Formula::not(ck_weak),
+                ]),
+                ActionId(1),
+            )
+            .default_action(g2, ActionId(0))
+            .build()
+    }
+
+    /// Coordination: `G (attacked1 <-> attacked2)` — never one without
+    /// the other.
+    #[must_use]
+    pub fn coordination(&self) -> Formula {
+        Formula::always(Formula::iff(
+            Formula::prop(self.attacked1()),
+            Formula::prop(self.attacked2()),
+        ))
+    }
+
+    /// Validity: `G (attacked1 -> weak)` — attacks only on weak enemies.
+    #[must_use]
+    pub fn validity(&self) -> Formula {
+        Formula::always(Formula::implies(
+            Formula::prop(self.attacked1()),
+            Formula::prop(self.weak()),
+        ))
+    }
+
+    /// Paralysis: `G (!attacked1 & !attacked2)` — the lossy-channel
+    /// verdict.
+    #[must_use]
+    pub fn nobody_attacks(&self) -> Formula {
+        Formula::always(Formula::and([
+            Formula::not(Formula::prop(self.attacked1())),
+            Formula::not(Formula::prop(self.attacked2())),
+        ]))
+    }
+
+    /// Success: `F (attacked1 & attacked2 & weak)` on the weak-enemy run.
+    #[must_use]
+    pub fn attack_happens(&self) -> Formula {
+        Formula::eventually(Formula::and([
+            Formula::prop(self.attacked1()),
+            Formula::prop(self.attacked2()),
+            Formula::prop(self.weak()),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_core::{check_implementation, SyncSolver};
+    use kbp_systems::{Evaluator, Point, Recall};
+
+    #[test]
+    fn kbp_with_common_knowledge_guard_validates() {
+        let sc = CoordinatedAttack::new(Channel::Lossy);
+        assert_eq!(sc.kbp().validate(&sc.context()), Ok(()));
+    }
+
+    #[test]
+    fn lossy_channel_paralyzes_the_generals() {
+        let sc = CoordinatedAttack::new(Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(5).solve().unwrap();
+        let sys = solution.system();
+        assert!(sys.holds_initially(&sc.nobody_attacks()).unwrap());
+        // …and coordination/validity hold vacuously.
+        assert!(sys.holds_initially(&sc.coordination()).unwrap());
+        assert!(sys.holds_initially(&sc.validity()).unwrap());
+    }
+
+    #[test]
+    fn common_knowledge_never_arises_over_lossy_channel() {
+        // The impossibility theorem, evaluated: C{1,2} weak fails at every
+        // point of the generated system, no matter how many messages got
+        // through on a particular run.
+        let sc = CoordinatedAttack::new(Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(6).solve().unwrap();
+        let sys = solution.system();
+        let ck = Formula::common(sc.generals(), Formula::prop(sc.weak()));
+        let ev = Evaluator::new(sys, &ck).unwrap();
+        for p in sys.points() {
+            assert!(!ev.holds(p), "common knowledge at {p}");
+        }
+    }
+
+    #[test]
+    fn reliable_channel_attacks_in_lockstep() {
+        let sc = CoordinatedAttack::new(Channel::Reliable);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(4).solve().unwrap();
+        let sys = solution.system();
+        assert!(sys.holds_initially(&sc.coordination()).unwrap());
+        assert!(sys.holds_initially(&sc.validity()).unwrap());
+        // On the weak-enemy run the attack happens.
+        let ev = Evaluator::new(sys, &sc.attack_happens()).unwrap();
+        let weak_start = (0..sys.layer(0).len())
+            .find(|&node| sys.global_state(Point { time: 0, node }).reg(0) == 1)
+            .unwrap();
+        assert!(ev.holds(Point { time: 0, node: weak_start }));
+        // On the strong-enemy run it never does.
+        let strong_start = (0..sys.layer(0).len())
+            .find(|&node| sys.global_state(Point { time: 0, node }).reg(0) == 0)
+            .unwrap();
+        let never = Formula::always(Formula::not(Formula::prop(sc.attacked1())));
+        assert!(sys.eval(Point { time: 0, node: strong_start }, &never).unwrap());
+    }
+
+    #[test]
+    fn fixed_points_in_both_channel_regimes() {
+        for channel in [Channel::Lossy, Channel::Reliable] {
+            let sc = CoordinatedAttack::new(channel);
+            let ctx = sc.context();
+            let kbp = sc.kbp();
+            let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+            let report =
+                check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 4)
+                    .unwrap();
+            assert!(report.is_implementation(), "{channel:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn messages_climb_the_ladder_but_never_reach_ck() {
+        // After a delivered message K_2 weak holds; after a delivered ack
+        // K_1 K_2 weak holds; C still never does.
+        let sc = CoordinatedAttack::new(Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(4).solve().unwrap();
+        let sys = solution.system();
+        let weak = Formula::prop(sc.weak());
+        let k2 = Formula::knows(sc.general2(), weak.clone());
+        let k1k2 = Formula::knows(sc.general1(), Formula::knows_whether(sc.general2(), weak.clone()));
+        let ev2 = Evaluator::new(sys, &k2).unwrap();
+        let ev12 = Evaluator::new(sys, &k1k2).unwrap();
+        // Some point at t=1 satisfies K_2 weak (message delivered, weak).
+        assert!((0..sys.layer(1).len()).any(|node| ev2.holds(Point { time: 1, node })));
+        // Some point at t=2 satisfies K_1 K_2-whether-weak (ack delivered).
+        assert!((0..sys.layer(2).len()).any(|node| ev12.holds(Point { time: 2, node })));
+    }
+}

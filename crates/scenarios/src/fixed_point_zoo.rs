@@ -1,0 +1,220 @@
+//! The fixed-point zoo: FHMV's canonical programs with zero, one, and two
+//! implementations.
+//!
+//! The defining equation of a knowledge-based program,
+//! `P = Pg^{I^rep(P, γ)}`, is a genuine fixed-point equation, and FHMV's
+//! central cautionary examples show it can have any number of solutions
+//! once tests refer to the *future*:
+//!
+//! * **plain** — "if you don't know the lamp is lit, switch it on": a
+//!   past-determined test; exactly **one** implementation (the
+//!   unique-implementation theorem applies).
+//! * **self-fulfilling** — "if you know the lamp will eventually be lit,
+//!   switch it on": **two** implementations (always switch — the
+//!   prophecy fulfils itself; never switch — it never comes true).
+//! * **self-defeating** — "if you know the lamp will eventually be lit,
+//!   do nothing; otherwise switch it on": **zero** implementations (any
+//!   protocol's behaviour contradicts the test it induces).
+//!
+//! All three live in the same one-lamp context, so the number of
+//! implementations is purely a property of the *program*.
+
+use kbp_core::Kbp;
+use kbp_logic::{Agent, Formula, PropId, Vocabulary};
+use kbp_systems::{ActionId, ContextBuilder, FnContext, GlobalState, Obs};
+
+/// How many implementations a zoo program is expected to have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// No implementation exists.
+    Zero,
+    /// Exactly one implementation (past-determined tests).
+    One,
+    /// Exactly two implementations (self-fulfilling prophecy).
+    Two,
+}
+
+impl Expected {
+    /// The expected count as a number.
+    #[must_use]
+    pub fn count(self) -> usize {
+        match self {
+            Expected::Zero => 0,
+            Expected::One => 1,
+            Expected::Two => 2,
+        }
+    }
+}
+
+/// One entry of the zoo: a program over the shared lamp context and its
+/// expected number of implementations.
+#[derive(Debug)]
+pub struct ZooEntry {
+    /// A human-readable name.
+    pub name: &'static str,
+    /// The program.
+    pub kbp: Kbp,
+    /// The expected number of bounded implementations.
+    pub expected: Expected,
+}
+
+/// The shared one-agent lamp context: a visible lamp, initially off;
+/// `switch` latches it on.
+#[must_use]
+pub fn lamp_context() -> FnContext {
+    let mut voc = Vocabulary::new();
+    let a = voc.add_agent("a");
+    voc.add_prop("lit");
+    ContextBuilder::new(voc)
+        .initial_state(GlobalState::new(vec![0]))
+        .agent_actions(a, ["noop", "switch"])
+        .transition(|s, j| {
+            if j.acts[0] == ActionId(1) {
+                s.with_reg(0, 1)
+            } else {
+                s.clone()
+            }
+        })
+        .observe(|_, s| Obs(u64::from(s.reg(0))))
+        .props(|p, s| p == PropId::new(0) && s.reg(0) == 1)
+        .build()
+}
+
+/// The lamp proposition of [`lamp_context`].
+#[must_use]
+pub fn lit() -> Formula {
+    Formula::prop(PropId::new(0))
+}
+
+/// The acting agent of [`lamp_context`].
+#[must_use]
+pub fn agent() -> Agent {
+    Agent::new(0)
+}
+
+/// "If you don't know the lamp is lit, switch it on" — unique
+/// implementation.
+#[must_use]
+pub fn plain() -> ZooEntry {
+    let a = agent();
+    ZooEntry {
+        name: "plain",
+        kbp: Kbp::builder()
+            .clause(a, Formula::not(Formula::knows(a, lit())), ActionId(1))
+            .default_action(a, ActionId(0))
+            .build(),
+        expected: Expected::One,
+    }
+}
+
+/// "If you know the lamp will eventually be lit, switch it on" — two
+/// implementations.
+#[must_use]
+pub fn self_fulfilling() -> ZooEntry {
+    let a = agent();
+    ZooEntry {
+        name: "self-fulfilling",
+        kbp: Kbp::builder()
+            .clause(
+                a,
+                Formula::knows(a, Formula::eventually(lit())),
+                ActionId(1),
+            )
+            .default_action(a, ActionId(0))
+            .build(),
+        expected: Expected::Two,
+    }
+}
+
+/// "If you know the lamp will eventually be lit, do nothing; otherwise
+/// switch it on" — no implementation.
+#[must_use]
+pub fn self_defeating() -> ZooEntry {
+    let a = agent();
+    let knows_f = Formula::knows(a, Formula::eventually(lit()));
+    ZooEntry {
+        name: "self-defeating",
+        kbp: Kbp::builder()
+            .clause(a, knows_f.clone(), ActionId(0))
+            .clause(a, Formula::not(knows_f), ActionId(1))
+            .default_action(a, ActionId(0))
+            .build(),
+        expected: Expected::Zero,
+    }
+}
+
+/// The whole zoo, in increasing order of implementations.
+#[must_use]
+pub fn all() -> Vec<ZooEntry> {
+    vec![self_defeating(), plain(), self_fulfilling()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_core::{Enumerator, SyncSolver};
+
+    #[test]
+    fn zoo_counts_are_exact() {
+        let ctx = lamp_context();
+        for entry in all() {
+            let found = Enumerator::new(&ctx, &entry.kbp)
+                .horizon(3)
+                .enumerate()
+                .unwrap();
+            assert!(found.is_complete(), "{}: search incomplete", entry.name);
+            assert_eq!(
+                found.count(),
+                entry.expected.count(),
+                "{}: wrong number of implementations",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn plain_agrees_with_sync_solver() {
+        let ctx = lamp_context();
+        let entry = plain();
+        let solver = SyncSolver::new(&ctx, &entry.kbp).horizon(3).solve().unwrap();
+        let found = Enumerator::new(&ctx, &entry.kbp)
+            .horizon(3)
+            .enumerate()
+            .unwrap();
+        assert_eq!(found.count(), 1);
+        assert_eq!(
+            found.implementations()[0].protocol,
+            *solver.protocol()
+        );
+    }
+
+    #[test]
+    fn future_programs_are_rejected_by_sync_solver() {
+        let ctx = lamp_context();
+        for entry in [self_fulfilling(), self_defeating()] {
+            assert!(matches!(
+                SyncSolver::new(&ctx, &entry.kbp).solve(),
+                Err(kbp_core::SolveError::FutureGuards)
+            ));
+        }
+    }
+
+    #[test]
+    fn counts_stable_across_horizons() {
+        let ctx = lamp_context();
+        for horizon in 1..=4 {
+            for entry in all() {
+                let found = Enumerator::new(&ctx, &entry.kbp)
+                    .horizon(horizon)
+                    .enumerate()
+                    .unwrap();
+                assert_eq!(
+                    found.count(),
+                    entry.expected.count(),
+                    "{} at horizon {horizon}",
+                    entry.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The worked examples of *Knowledge-Based Programs* (FHMV, PODC 1995) as
+//! reusable, parameterised scenarios.
+//!
+//! Each module packages one example as a context + knowledge-based
+//! program + specification formulas, ready for the solver, the
+//! enumerator, and the model checker:
+//!
+//! * [`bit_transmission`] — the bit-transmission problem; derives
+//!   *send-until-ack* and exhibits the knowledge ladder and the
+//!   impossibility of common knowledge over a lossy channel.
+//! * [`muddy_children`] — the muddy-children puzzle; the muddy children
+//!   answer "yes" exactly in round `k`, in both the dynamic (KBP) and the
+//!   classic public-announcement rendition.
+//! * [`sequence_transmission`] — sequence transmission; derives the
+//!   alternating-bit protocol, with an untagged ablation that corrupts.
+//! * [`robot`] — the noisy-sensor robot-stopping problem; halting on
+//!   knowledge is safe and timely.
+//! * [`fixed_point_zoo`] — the programs with zero, one and two
+//!   implementations that motivate the fixed-point semantics.
+//! * [`coordinated_attack`] — the two-generals problem; the
+//!   common-knowledge attack guard never fires over a lossy channel
+//!   (the impossibility theorem, computed) and fires in lock-step over a
+//!   reliable one.
+//! * [`consecutive_numbers`] — a pure announcement-dynamics puzzle on the
+//!   Kripke substrate (the muddy-children cascade on a path).
+//!
+//! # Example
+//!
+//! ```
+//! use kbp_scenarios::muddy_children::MuddyChildren;
+//! use kbp_core::SyncSolver;
+//!
+//! let sc = MuddyChildren::new(3);
+//! let solution = SyncSolver::new(&sc.context(), &sc.kbp()).horizon(4).solve()?;
+//! // k = 3 muddy children answer "yes" in round 3.
+//! assert_eq!(sc.yes_round(solution.system(), 0b111), Some(3));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bit_transmission;
+pub mod consecutive_numbers;
+pub mod coordinated_attack;
+pub mod fixed_point_zoo;
+pub mod muddy_children;
+pub mod robot;
+pub mod sequence_transmission;

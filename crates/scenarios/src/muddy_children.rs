@@ -1,0 +1,464 @@
+//! The muddy-children puzzle as a knowledge-based program.
+//!
+//! `n` children play; `k ≥ 1` of them have mud on their foreheads. Each
+//! child sees the others but not itself. The father announces "at least
+//! one of you is muddy" and then repeatedly asks "do you know whether you
+//! are muddy?" — all children answer simultaneously.
+//!
+//! The knowledge-based program for child `i` is simply
+//!
+//! ```text
+//! case of  if K_i muddy_i  do say_yes  end   (otherwise say_no)
+//! ```
+//!
+//! and the celebrated theorem is that its unique implementation has the
+//! muddy children answer "yes" for the first time in round `k` (i.e.
+//! after `k−1` rounds of unanimous "no").
+//!
+//! Two renditions are provided:
+//!
+//! * the dynamic one — a [`kbp_systems::Context`] +
+//!   [`kbp_core::Kbp`], solved with the inductive solver;
+//! * the classic static one — a Kripke cube of `2^n` worlds updated by
+//!   public announcements ([`kripke_model`](MuddyChildren::kripke_model),
+//!   [`rounds_until_known`](MuddyChildren::rounds_until_known)).
+//!
+//! Agreement between the two is asserted in the tests (and exercised by
+//! the benchmark suite).
+
+use kbp_core::Kbp;
+use kbp_kripke::{S5Builder, S5Model, WorldId};
+use kbp_logic::{Agent, Formula, PropId, Vocabulary};
+use kbp_systems::{
+    ActionId, ContextBuilder, FnContext, GlobalState, InterpretedSystem, Obs, Point,
+};
+
+/// State registers: `[mud_mask, answers_mask, answered]`.
+const R_MUD: usize = 0;
+const R_ANS: usize = 1;
+const R_ANSWERED: usize = 2;
+
+/// The muddy-children scenario for `n` children.
+///
+/// # Example
+///
+/// ```
+/// use kbp_scenarios::muddy_children::MuddyChildren;
+/// use kbp_core::SyncSolver;
+///
+/// let sc = MuddyChildren::new(3);
+/// let ctx = sc.context();
+/// let kbp = sc.kbp();
+/// let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve()?;
+/// // Mask 0b011 has k = 2 muddy children: they answer yes in round 2.
+/// assert_eq!(sc.yes_round(solution.system(), 0b011), Some(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MuddyChildren {
+    n: usize,
+}
+
+impl MuddyChildren {
+    /// Creates the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 16` (the observation encoding uses
+    /// `2n + 1` bits and layer models enumerate `2^n − 1` initial worlds).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!((1..=16).contains(&n), "n children out of supported range");
+        MuddyChildren { n }
+    }
+
+    /// Number of children.
+    #[must_use]
+    pub fn children(&self) -> usize {
+        self.n
+    }
+
+    /// The agent for child `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn child(&self, i: usize) -> Agent {
+        assert!(i < self.n);
+        Agent::new(i)
+    }
+
+    /// Proposition "child `i` is muddy".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn muddy(&self, i: usize) -> PropId {
+        assert!(i < self.n);
+        PropId::new(i as u32)
+    }
+
+    /// The `say_yes` action.
+    #[must_use]
+    pub fn say_yes(&self) -> ActionId {
+        ActionId(1)
+    }
+
+    /// The `say_no` action.
+    #[must_use]
+    pub fn say_no(&self) -> ActionId {
+        ActionId(0)
+    }
+
+    /// Builds the context. Initial states: every nonzero mud mask (the
+    /// father's announcement "at least one is muddy" is common knowledge
+    /// by construction).
+    #[must_use]
+    pub fn context(&self) -> FnContext {
+        let n = self.n;
+        let mut voc = Vocabulary::new();
+        for i in 0..n {
+            voc.add_agent(format!("child_{i}"));
+        }
+        for i in 0..n {
+            voc.add_prop(format!("muddy_{i}"));
+        }
+        let mut builder = ContextBuilder::new(voc).initial_states(
+            (1u32..(1 << n)).map(|mask| GlobalState::new(vec![mask, 0, 0])),
+        );
+        for i in 0..n {
+            builder = builder.agent_actions(Agent::new(i), ["say_no", "say_yes"]);
+        }
+        builder
+            .transition(move |s, j| {
+                let mut answers = 0u32;
+                for (i, act) in j.acts.iter().enumerate() {
+                    if *act == ActionId(1) {
+                        answers |= 1 << i;
+                    }
+                }
+                GlobalState::new(vec![s.reg(R_MUD), answers, 1])
+            })
+            .observe(move |agent, s| {
+                let i = agent.index();
+                let others = u64::from(s.reg(R_MUD)) & !(1u64 << i);
+                let answers = u64::from(s.reg(R_ANS));
+                let answered = u64::from(s.reg(R_ANSWERED));
+                Obs(others | (answers << n) | (answered << (2 * n)))
+            })
+            .props(move |p, s| {
+                let i = p.index();
+                i < n && s.reg(R_MUD) & (1 << i) != 0
+            })
+            .build()
+    }
+
+    /// The knowledge-based program: child `i` says yes iff it *knows* it
+    /// is muddy.
+    #[must_use]
+    pub fn kbp(&self) -> Kbp {
+        let mut b = Kbp::builder();
+        for i in 0..self.n {
+            let child = self.child(i);
+            b = b
+                .clause(
+                    child,
+                    Formula::knows(child, Formula::prop(self.muddy(i))),
+                    self.say_yes(),
+                )
+                .default_action(child, self.say_no());
+        }
+        b.build()
+    }
+
+    /// Follows the (deterministic) run for a given mud mask through a
+    /// solved system and returns the first round in which some child
+    /// answered "yes" — the answers posted in layer `r` were given in
+    /// round `r`.
+    ///
+    /// Returns `None` if no "yes" appears within the horizon (or the mask
+    /// is not an initial state).
+    #[must_use]
+    pub fn yes_round(&self, system: &InterpretedSystem, mask: u32) -> Option<usize> {
+        let mut node = (0..system.layer(0).len()).find(|&k| {
+            system
+                .global_state(Point { time: 0, node: k })
+                .reg(R_MUD)
+                == mask
+                && system
+                    .global_state(Point { time: 0, node: k })
+                    .reg(R_ANSWERED)
+                    == 0
+        })?;
+        for t in 0..system.layer_count() {
+            let p = Point { time: t, node };
+            let s = system.global_state(p);
+            if s.reg(R_ANSWERED) == 1 && s.reg(R_ANS) != 0 {
+                return Some(t);
+            }
+            let children = system.node(p).children();
+            // The run is deterministic: exactly one child per layer.
+            node = *children.first()?;
+        }
+        None
+    }
+
+    /// The answers posted in layer `t` of the run for `mask`.
+    #[must_use]
+    pub fn answers_at(
+        &self,
+        system: &InterpretedSystem,
+        mask: u32,
+        t: usize,
+    ) -> Option<u32> {
+        let mut node = (0..system.layer(0).len()).find(|&k| {
+            system
+                .global_state(Point { time: 0, node: k })
+                .reg(R_MUD)
+                == mask
+        })?;
+        for time in 0..t {
+            let p = Point {
+                time,
+                node,
+            };
+            node = *system.node(p).children().first()?;
+        }
+        Some(
+            system
+                .global_state(Point { time: t, node })
+                .reg(R_ANS),
+        )
+    }
+
+    // ---- classic Kripke / public-announcement rendition ---------------
+
+    /// The initial Kripke cube: `2^n` worlds (one per mud mask); child `i`
+    /// cannot distinguish worlds differing only in its own bit.
+    #[must_use]
+    pub fn kripke_model(&self) -> S5Model {
+        let n = self.n;
+        let mut b = S5Builder::new(n, n);
+        for mask in 0u32..(1 << n) {
+            let props = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| PropId::new(i as u32));
+            b.add_world(props);
+        }
+        for i in 0..n {
+            b.partition_by_key(Agent::new(i), |w: WorldId| {
+                (w.index() as u32) & !(1u32 << i)
+            });
+        }
+        b.build()
+    }
+
+    /// "At least one child is muddy" — the father's announcement.
+    #[must_use]
+    pub fn father(&self) -> Formula {
+        Formula::or((0..self.n).map(|i| Formula::prop(self.muddy(i))))
+    }
+
+    /// "No child knows whether it is muddy" — one round of unanimous
+    /// "no".
+    #[must_use]
+    pub fn nobody_knows(&self) -> Formula {
+        Formula::and((0..self.n).map(|i| {
+            Formula::not(Formula::knows_whether(
+                self.child(i),
+                Formula::prop(self.muddy(i)),
+            ))
+        }))
+    }
+
+    /// Classic announcement-based analysis: after the father's
+    /// announcement, count how many "nobody knows" announcements are
+    /// consistent before the muddy children in world `mask` know they are
+    /// muddy. Returns the round number in which they answer "yes"
+    /// (`= k`, the number of muddy children).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is zero or out of range (the father's announcement
+    /// would be false).
+    #[must_use]
+    pub fn rounds_until_known(&self, mask: u32) -> usize {
+        assert!(mask != 0 && mask < (1 << self.n), "invalid mud mask");
+        let mut model = self
+            .kripke_model()
+            .announce(&self.father())
+            .expect("father's announcement is consistent")
+            .into_model();
+        // World ids shift as worlds are eliminated; track the actual world.
+        let find_world = |m: &S5Model, mask: u32| -> WorldId {
+            m.worlds()
+                .find(|&w| {
+                    (0..self.n).all(|i| {
+                        m.prop_holds(w, PropId::new(i as u32)) == (mask & (1 << i) != 0)
+                    })
+                })
+                .expect("world for mask present")
+        };
+        for round in 1..=self.n + 1 {
+            let w = find_world(&model, mask);
+            let muddy_know = (0..self.n)
+                .filter(|i| mask & (1 << i) != 0)
+                .all(|i| {
+                    model
+                        .check(w, &Formula::knows(self.child(i), Formula::prop(self.muddy(i))))
+                        .expect("evaluable")
+                });
+            if muddy_know {
+                return round;
+            }
+            model = model
+                .announce(&self.nobody_knows())
+                .expect("announcement consistent while nobody knows")
+                .into_model();
+        }
+        unreachable!("muddy children always learn within n rounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_core::SyncSolver;
+
+    #[test]
+    fn kbp_validates() {
+        let sc = MuddyChildren::new(3);
+        assert_eq!(sc.kbp().validate(&sc.context()), Ok(()));
+    }
+
+    #[test]
+    fn yes_in_round_k_for_all_masks_n3() {
+        let sc = MuddyChildren::new(3);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        for mask in 1u32..8 {
+            let k = mask.count_ones() as usize;
+            assert_eq!(
+                sc.yes_round(solution.system(), mask),
+                Some(k),
+                "mask {mask:#b}"
+            );
+            // And the children who answer yes in round k are exactly the
+            // muddy ones.
+            assert_eq!(
+                sc.answers_at(solution.system(), mask, k),
+                Some(mask),
+                "mask {mask:#b}"
+            );
+            // Round k-1 (if any): unanimous no.
+            if k > 1 {
+                assert_eq!(sc.answers_at(solution.system(), mask, k - 1), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn yes_in_round_k_spot_check_n4() {
+        let sc = MuddyChildren::new(4);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(5).solve().unwrap();
+        for mask in [0b0001u32, 0b0011, 0b0111, 0b1111, 0b1010] {
+            let k = mask.count_ones() as usize;
+            assert_eq!(
+                sc.yes_round(solution.system(), mask),
+                Some(k),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn announcement_rendition_agrees_with_kbp() {
+        let sc = MuddyChildren::new(3);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        for mask in 1u32..8 {
+            assert_eq!(
+                Some(sc.rounds_until_known(mask)),
+                sc.yes_round(solution.system(), mask),
+                "renditions disagree for mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_until_known_equals_k() {
+        let sc = MuddyChildren::new(5);
+        for mask in [0b00001u32, 0b00110, 0b10101, 0b11111] {
+            assert_eq!(sc.rounds_until_known(mask), mask.count_ones() as usize);
+        }
+    }
+
+    #[test]
+    fn clean_children_keep_saying_no() {
+        let sc = MuddyChildren::new(3);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        // Mask 0b001: child 0 muddy. In every round, children 1 and 2 say no.
+        for t in 1..=4 {
+            let answers = sc.answers_at(solution.system(), 0b001, t).unwrap();
+            assert_eq!(answers & 0b110, 0, "clean children said yes at t={t}");
+        }
+    }
+
+    #[test]
+    fn after_yes_everyone_knows_the_whole_configuration() {
+        let sc = MuddyChildren::new(3);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        let sys = solution.system();
+        // In the run for mask 0b011 (k=2), at layer 3 every child knows
+        // every child's state (the yes round revealed everything).
+        let mut node = (0..sys.layer(0).len())
+            .find(|&k| sys.global_state(Point { time: 0, node: k }).reg(0) == 0b011)
+            .unwrap();
+        for t in 0..3 {
+            node = *sys.node(Point { time: t, node }).children().first().unwrap();
+        }
+        let p = Point { time: 3, node };
+        for i in 0..3 {
+            for j in 0..3 {
+                let f = Formula::knows_whether(sc.child(i), Formula::prop(sc.muddy(j)));
+                assert!(
+                    sys.eval(p, &f).unwrap(),
+                    "child {i} does not know child {j}'s state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_child_case() {
+        let sc = MuddyChildren::new(1);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(2).solve().unwrap();
+        // One child, necessarily muddy (mask 1): knows immediately,
+        // answers yes in round 1.
+        assert_eq!(sc.yes_round(solution.system(), 1), Some(1));
+        assert_eq!(sc.rounds_until_known(1), 1);
+    }
+
+    #[test]
+    fn system_stabilizes_after_everyone_knows() {
+        let sc = MuddyChildren::new(3);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(6).solve().unwrap();
+        // After round n (=3) every run repeats its answer pattern forever.
+        let st = solution.stabilized().expect("should stabilize");
+        assert!(st <= 4, "stabilized at {st}");
+    }
+}

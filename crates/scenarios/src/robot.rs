@@ -1,0 +1,312 @@
+//! The robot-stopping problem (FHMV, ch. 7 of *Reasoning About
+//! Knowledge*): acting safely on a noisy sensor.
+//!
+//! A robot starts at an *unknown* position in `{0, 1, 2}` and moves one
+//! cell per step along a track. It must stop in a goal region
+//! `[goal_lo, goal_hi]` of width ≥ 3. Its only information is a sensor
+//! that reads the true position ± 1 (environment-chosen noise). The
+//! knowledge-based program is one line:
+//!
+//! ```text
+//! case of  if K_robot(in_goal)  do halt  end
+//! ```
+//!
+//! The derived implementation is a *sensor-aware threshold rule*: the
+//! robot fuses its reading history with dead reckoning and halts as soon
+//! as every position it considers possible lies in the goal. Because the
+//! initial uncertainty has width 3 and the goal has width ≥ 3, this is
+//! guaranteed to happen no later than step `goal_lo` — and a lucky
+//! reading lets it halt earlier. Safety (`halted → in_goal`) holds on
+//! every run *by construction*: the program only ever acts on knowledge.
+
+use kbp_core::Kbp;
+use kbp_logic::{Agent, Formula, PropId, Vocabulary};
+use kbp_systems::{ActionId, ContextBuilder, EnvActionId, FnContext, GlobalState, Obs};
+
+/// State registers: `[pos, halted, reading]`.
+const R_POS: usize = 0;
+const R_HALTED: usize = 1;
+const R_READING: usize = 2;
+
+/// The robot-stopping scenario.
+///
+/// # Example
+///
+/// ```
+/// use kbp_scenarios::robot::Robot;
+/// use kbp_core::SyncSolver;
+///
+/// let sc = Robot::new(12, 4, 7);
+/// let solution = SyncSolver::new(&sc.context(), &sc.kbp()).horizon(8).solve()?;
+/// // Safety: the robot never halts outside the goal region.
+/// assert!(solution.system().holds_initially(&sc.safety())?);
+/// // Liveness: every run halts.
+/// assert!(solution.system().holds_initially(&sc.liveness())?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Robot {
+    track: u32,
+    goal_lo: u32,
+    goal_hi: u32,
+}
+
+impl Robot {
+    /// A track `0..=track` with goal region `[goal_lo, goal_hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3 <= goal_lo`, `goal_lo + 2 <= goal_hi` (the goal
+    /// must cover the width-3 dead-reckoning uncertainty) and
+    /// `goal_hi + 2 <= track` (room to overshoot, so the no-overshoot
+    /// theorem is not vacuous).
+    #[must_use]
+    pub fn new(track: u32, goal_lo: u32, goal_hi: u32) -> Self {
+        assert!(goal_lo >= 3, "goal must start after the initial uncertainty");
+        assert!(goal_lo + 2 <= goal_hi, "goal region must have width >= 3");
+        assert!(goal_hi + 2 <= track, "track must extend past the goal");
+        Robot {
+            track,
+            goal_lo,
+            goal_hi,
+        }
+    }
+
+    /// The robot agent.
+    #[must_use]
+    pub fn robot(&self) -> Agent {
+        Agent::new(0)
+    }
+
+    /// The `halt` action.
+    #[must_use]
+    pub fn halt(&self) -> ActionId {
+        ActionId(1)
+    }
+
+    /// The goal region `[lo, hi]`.
+    #[must_use]
+    pub fn goal(&self) -> (u32, u32) {
+        (self.goal_lo, self.goal_hi)
+    }
+
+    /// Proposition: the position is inside the goal region.
+    #[must_use]
+    pub fn in_goal(&self) -> PropId {
+        PropId::new(0)
+    }
+
+    /// Proposition: the robot has halted.
+    #[must_use]
+    pub fn halted(&self) -> PropId {
+        PropId::new(1)
+    }
+
+    /// Proposition: the position is beyond the goal region.
+    #[must_use]
+    pub fn overshot(&self) -> PropId {
+        PropId::new(2)
+    }
+
+    /// Builds the context: initial position unknown in `{0, 1, 2}`, one
+    /// cell of motion per step until halted, sensor noise in `{-1, 0, +1}`
+    /// chosen adversarially by the environment (including for the initial
+    /// reading).
+    #[must_use]
+    pub fn context(&self) -> FnContext {
+        let mut voc = Vocabulary::new();
+        let robot = voc.add_agent("robot");
+        voc.add_prop("in_goal");
+        voc.add_prop("halted");
+        voc.add_prop("overshot");
+        let track = self.track;
+        let (goal_lo, goal_hi) = (self.goal_lo, self.goal_hi);
+        let clamp_reading = move |pos: u32, noise: i64| -> u32 {
+            (i64::from(pos) + noise).clamp(0, i64::from(track)) as u32
+        };
+        let mut initial = Vec::new();
+        for pos in 0..=2u32 {
+            for noise in -1i64..=1 {
+                let s = GlobalState::new(vec![pos, 0, clamp_reading(pos, noise)]);
+                if !initial.contains(&s) {
+                    initial.push(s);
+                }
+            }
+        }
+        ContextBuilder::new(voc)
+            .initial_states(initial)
+            .agent_actions(robot, ["go", "halt"])
+            .env_actions(["noise_minus", "noise_zero", "noise_plus"])
+            .env_protocol(|_| vec![EnvActionId(0), EnvActionId(1), EnvActionId(2)])
+            .transition(move |s, j| {
+                let halted = s.reg(R_HALTED) == 1 || j.acts[0] == ActionId(1);
+                if halted {
+                    // Halting shuts the robot down: position and sensor
+                    // freeze (this also keeps the generated system from
+                    // branching pointlessly on post-halt noise).
+                    return GlobalState::new(vec![s.reg(R_POS), 1, s.reg(R_READING)]);
+                }
+                let pos = (s.reg(R_POS) + 1).min(track);
+                let noise = i64::from(j.env.0) - 1;
+                GlobalState::new(vec![pos, 0, clamp_reading(pos, noise)])
+            })
+            .observe(|_, s| {
+                Obs(u64::from(s.reg(R_READING)) | (u64::from(s.reg(R_HALTED)) << 32))
+            })
+            .props(move |p, s| match p.index() {
+                0 => (goal_lo..=goal_hi).contains(&s.reg(R_POS)),
+                1 => s.reg(R_HALTED) == 1,
+                2 => s.reg(R_POS) > goal_hi,
+                _ => false,
+            })
+            .build()
+    }
+
+    /// The knowledge-based program: halt iff you *know* you are in the
+    /// goal region.
+    #[must_use]
+    pub fn kbp(&self) -> Kbp {
+        let r = self.robot();
+        Kbp::builder()
+            .clause(
+                r,
+                Formula::knows(r, Formula::prop(self.in_goal())),
+                self.halt(),
+            )
+            .default_action(r, ActionId(0))
+            .build()
+    }
+
+    /// Safety: `G (halted → in_goal)` — the robot never stops outside the
+    /// goal.
+    #[must_use]
+    pub fn safety(&self) -> Formula {
+        Formula::always(Formula::implies(
+            Formula::prop(self.halted()),
+            Formula::prop(self.in_goal()),
+        ))
+    }
+
+    /// Liveness: `F halted` — every run halts (within horizon ≥
+    /// `goal_lo + 1`).
+    #[must_use]
+    pub fn liveness(&self) -> Formula {
+        Formula::eventually(Formula::prop(self.halted()))
+    }
+
+    /// No overshoot: `G ¬overshot`.
+    #[must_use]
+    pub fn no_overshoot(&self) -> Formula {
+        Formula::always(Formula::not(Formula::prop(self.overshot())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_core::{check_implementation, SyncSolver};
+    use kbp_systems::{Evaluator, Point, Recall};
+
+    #[test]
+    fn kbp_validates() {
+        let sc = Robot::new(12, 4, 7);
+        assert_eq!(sc.kbp().validate(&sc.context()), Ok(()));
+    }
+
+    #[test]
+    fn robot_halts_safely_and_surely() {
+        let sc = Robot::new(12, 4, 7);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(8).solve().unwrap();
+        let sys = solution.system();
+        assert!(sys.holds_initially(&sc.safety()).unwrap());
+        assert!(sys.holds_initially(&sc.liveness()).unwrap());
+        assert!(sys.holds_initially(&sc.no_overshoot()).unwrap());
+    }
+
+    #[test]
+    fn all_runs_halted_by_the_dead_reckoning_deadline() {
+        // At time goal_lo the possible positions {goal_lo, +1, +2} all lie
+        // in the goal, so the robot halts at goal_lo at the latest; by
+        // layer goal_lo + 1 every point is halted.
+        let sc = Robot::new(12, 4, 7);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(8).solve().unwrap();
+        let sys = solution.system();
+        let halted = Formula::prop(sc.halted());
+        let ev = Evaluator::new(sys, &halted).unwrap();
+        let deadline = 4 + 1;
+        for node in 0..sys.layer(deadline).len() {
+            assert!(
+                ev.holds(Point { time: deadline, node }),
+                "unhalted point at the deadline"
+            );
+        }
+    }
+
+    #[test]
+    fn lucky_readings_allow_early_halting() {
+        // Some run halts before the dead-reckoning deadline: a reading of
+        // goal_lo + 1 certifies pos ∈ [goal_lo, goal_lo + 2] ⊆ goal.
+        let sc = Robot::new(12, 4, 7);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(8).solve().unwrap();
+        let sys = solution.system();
+        let halted = Formula::prop(sc.halted());
+        let ev = Evaluator::new(sys, &halted).unwrap();
+        let early = 4; // = goal_lo: halted at layer 4 means the halt action
+                       // was taken at layer 3, before the deadline.
+        let any_early = (0..sys.layer(early).len())
+            .any(|node| ev.holds(Point { time: early, node }));
+        assert!(any_early, "no early halt despite informative sensor");
+    }
+
+    #[test]
+    fn fixed_point_confirmed() {
+        let sc = Robot::new(12, 4, 7);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(6).solve().unwrap();
+        let report =
+            check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 6).unwrap();
+        assert!(report.is_implementation(), "{report}");
+    }
+
+    #[test]
+    fn constructor_guards_parameters() {
+        assert!(std::panic::catch_unwind(|| Robot::new(12, 2, 7)).is_err());
+        assert!(std::panic::catch_unwind(|| Robot::new(12, 4, 5)).is_err());
+        assert!(std::panic::catch_unwind(|| Robot::new(8, 4, 7)).is_err());
+    }
+
+    #[test]
+    fn stabilizes_after_halting() {
+        let sc = Robot::new(12, 4, 7);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(10).solve().unwrap();
+        assert!(solution.stabilized().is_some());
+    }
+
+    #[test]
+    fn wider_goals_halt_no_later() {
+        let narrow = Robot::new(12, 4, 7);
+        let wide = Robot::new(14, 4, 10);
+        let mut deadlines = Vec::new();
+        for sc in [narrow, wide] {
+            let ctx = sc.context();
+            let kbp = sc.kbp();
+            let solution = SyncSolver::new(&ctx, &kbp).horizon(8).solve().unwrap();
+            let sys = solution.system();
+            let ev = Evaluator::new(sys, &Formula::prop(sc.halted())).unwrap();
+            let deadline = (0..sys.layer_count())
+                .find(|&t| (0..sys.layer(t).len()).all(|node| ev.holds(Point { time: t, node })))
+                .expect("all runs halt");
+            deadlines.push(deadline);
+        }
+        assert!(deadlines[1] <= deadlines[0]);
+    }
+}

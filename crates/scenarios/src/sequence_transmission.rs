@@ -1,0 +1,418 @@
+//! Sequence transmission: deriving the alternating-bit protocol.
+//!
+//! FHMV's second transmission example: the sender must convey a whole
+//! *sequence* of bits over the lossy channel. The mechanics of the channel
+//! (parity tags on messages and acknowledgements, append/advance rules)
+//! live in the environment; what the agents decide is only *whether to
+//! keep transmitting*, and the knowledge-based program is the obvious
+//! one:
+//!
+//! ```text
+//! S: case of  if ¬K_S(R has the whole sequence)         do send  end
+//! R: case of  if K_R(got ≥ 1 bit) ∧ ¬K_R K_S(got ≥ 1)   do ack   end
+//! ```
+//!
+//! With parity tagging ([`Tagging::Alternating`]) the derived
+//! implementation *is* the alternating-bit protocol, and the assembled
+//! sequence is provably always a prefix of the data. The
+//! [`Tagging::None`] ablation removes the tags and exhibits the classic
+//! failure: a lost acknowledgement makes the receiver append a duplicate,
+//! corrupting the sequence.
+
+use kbp_core::Kbp;
+use kbp_logic::{Agent, Formula, PropId, Vocabulary};
+use kbp_systems::{ActionId, ContextBuilder, EnvActionId, FnContext, GlobalState, Obs};
+
+/// Whether messages and acks carry the alternating parity tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tagging {
+    /// Alternating-bit tags (the correct protocol).
+    #[default]
+    Alternating,
+    /// No tags — the ablation that corrupts under message loss.
+    None,
+}
+
+pub use crate::bit_transmission::Channel;
+
+/// State registers.
+const R_DATA: usize = 0;
+const R_SCOUNT: usize = 1;
+const R_RCOUNT: usize = 2;
+const R_RBITS: usize = 3;
+const R_RSAW: usize = 4;
+const R_SSAW: usize = 5;
+
+/// The sequence-transmission scenario.
+///
+/// # Example
+///
+/// ```
+/// use kbp_scenarios::sequence_transmission::{SequenceTransmission, Tagging, Channel};
+/// use kbp_core::SyncSolver;
+///
+/// let sc = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+/// let solution = SyncSolver::new(&sc.context(), &sc.kbp()).horizon(6).solve()?;
+/// // The receiver's sequence is always a correct prefix of the data.
+/// assert!(solution.system().holds_initially(&sc.prefix_safety())?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceTransmission {
+    m: u32,
+    tagging: Tagging,
+    channel: Channel,
+}
+
+impl SequenceTransmission {
+    /// Transmits sequences of `m` bits (`1 ..= 8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `1..=8`.
+    #[must_use]
+    pub fn new(m: u32, tagging: Tagging, channel: Channel) -> Self {
+        assert!((1..=8).contains(&m), "sequence length out of range");
+        SequenceTransmission {
+            m,
+            tagging,
+            channel,
+        }
+    }
+
+    /// The sender agent.
+    #[must_use]
+    pub fn sender(&self) -> Agent {
+        Agent::new(0)
+    }
+
+    /// The receiver agent.
+    #[must_use]
+    pub fn receiver(&self) -> Agent {
+        Agent::new(1)
+    }
+
+    /// Proposition: the receiver has assembled the whole sequence.
+    #[must_use]
+    pub fn done_r(&self) -> PropId {
+        PropId::new(0)
+    }
+
+    /// Proposition: the sender knows the whole sequence arrived
+    /// (`scount == m`).
+    #[must_use]
+    pub fn done_s(&self) -> PropId {
+        PropId::new(1)
+    }
+
+    /// Proposition: the receiver has at least one bit.
+    #[must_use]
+    pub fn got_one(&self) -> PropId {
+        PropId::new(2)
+    }
+
+    /// Proposition: the receiver's assembled bits are a correct prefix of
+    /// the data.
+    #[must_use]
+    pub fn prefix_ok(&self) -> PropId {
+        PropId::new(3)
+    }
+
+    /// Proposition: the sender has caught up with the receiver
+    /// (`scount == rcount` — every received bit has been acknowledged all
+    /// the way back).
+    #[must_use]
+    pub fn caught_up(&self) -> PropId {
+        PropId::new(4)
+    }
+
+    /// Builds the context. Initial states: every `m`-bit data word.
+    /// Environment action encoding: bit 0 = lose message, bit 1 = lose
+    /// ack.
+    #[must_use]
+    pub fn context(&self) -> FnContext {
+        let mut voc = Vocabulary::new();
+        let sender = voc.add_agent("sender");
+        let receiver = voc.add_agent("receiver");
+        voc.add_prop("done_r");
+        voc.add_prop("done_s");
+        voc.add_prop("got_one");
+        voc.add_prop("prefix_ok");
+        voc.add_prop("caught_up");
+        let m = self.m;
+        let tagging = self.tagging;
+        let channel = self.channel;
+        ContextBuilder::new(voc)
+            .initial_states(
+                (0u32..(1 << m)).map(|data| GlobalState::new(vec![data, 0, 0, 0, 0, 0])),
+            )
+            .agent_actions(sender, ["noop", "send"])
+            .agent_actions(receiver, ["noop", "sendack"])
+            .env_actions(["deliver_all", "lose_msg", "lose_ack", "lose_both"])
+            .env_protocol(move |_| match channel {
+                Channel::Reliable => vec![EnvActionId(0)],
+                Channel::Lossy => vec![
+                    EnvActionId(0),
+                    EnvActionId(1),
+                    EnvActionId(2),
+                    EnvActionId(3),
+                ],
+            })
+            .transition(move |s, j| {
+                let lose_msg = j.env.0 & 1 != 0;
+                let lose_ack = j.env.0 & 2 != 0;
+                let data = s.reg(R_DATA);
+                let mut scount = s.reg(R_SCOUNT);
+                let mut rcount = s.reg(R_RCOUNT);
+                let mut rbits = s.reg(R_RBITS);
+
+                // Sender transmits the bit at its pointer, tagged with the
+                // pointer's parity.
+                let mut r_saw = 0u32;
+                if j.acts[0] == ActionId(1) && scount < m && !lose_msg {
+                    let val = (data >> scount) & 1;
+                    let tag = scount % 2;
+                    r_saw = 1 + (tag | (val << 1));
+                    let accept = match tagging {
+                        Tagging::Alternating => tag == rcount % 2 && rcount < m,
+                        Tagging::None => rcount < m,
+                    };
+                    if accept {
+                        rbits |= val << rcount;
+                        rcount += 1;
+                    }
+                }
+
+                // Receiver acknowledges with the parity of its (pre-step)
+                // count: "I am now expecting tag rcount mod 2".
+                let mut s_saw = 0u32;
+                if j.acts[1] == ActionId(1) && !lose_ack {
+                    let pre_rcount = s.reg(R_RCOUNT);
+                    let tag = pre_rcount % 2;
+                    s_saw = 1 + tag;
+                    let advance = match tagging {
+                        Tagging::Alternating => scount < m && tag == (scount + 1) % 2,
+                        Tagging::None => scount < m,
+                    };
+                    if advance {
+                        scount += 1;
+                    }
+                }
+
+                GlobalState::new(vec![data, scount, rcount, rbits, r_saw, s_saw])
+            })
+            .observe(move |agent, s| {
+                if agent.index() == 0 {
+                    // Sender: its data, its pointer, and incoming acks.
+                    Obs(u64::from(s.reg(R_DATA))
+                        | (u64::from(s.reg(R_SCOUNT)) << 8)
+                        | (u64::from(s.reg(R_SSAW)) << 16))
+                } else {
+                    // Receiver: its assembled bits, its count, and the
+                    // incoming message.
+                    Obs(u64::from(s.reg(R_RBITS))
+                        | (u64::from(s.reg(R_RCOUNT)) << 8)
+                        | (u64::from(s.reg(R_RSAW)) << 16))
+                }
+            })
+            .props(move |p, s| match p.index() {
+                0 => s.reg(R_RCOUNT) == m,
+                1 => s.reg(R_SCOUNT) == m,
+                2 => s.reg(R_RCOUNT) >= 1,
+                3 => {
+                    let rcount = s.reg(R_RCOUNT).min(31);
+                    let mask = (1u32 << rcount) - 1;
+                    rcount <= m && (s.reg(R_RBITS) & mask) == (s.reg(R_DATA) & mask)
+                }
+                4 => s.reg(R_SCOUNT) == s.reg(R_RCOUNT),
+                _ => false,
+            })
+            .build()
+    }
+
+    /// The knowledge-based program.
+    #[must_use]
+    pub fn kbp(&self) -> Kbp {
+        let s = self.sender();
+        let r = self.receiver();
+        let done_r = Formula::prop(self.done_r());
+        let got_one = Formula::prop(self.got_one());
+        let caught_up = Formula::prop(self.caught_up());
+        Kbp::builder()
+            // S: if ¬K_S(R has everything) do send.
+            .clause(s, Formula::not(Formula::knows(s, done_r)), ActionId(1))
+            .default_action(s, ActionId(0))
+            // R: if K_R(got one) ∧ ¬K_R(sender caught up) do ack — keep
+            // acknowledging until you *know* your count has made it back.
+            .clause(
+                r,
+                Formula::and([
+                    Formula::knows(r, got_one),
+                    Formula::not(Formula::knows(r, caught_up)),
+                ]),
+                ActionId(1),
+            )
+            .default_action(r, ActionId(0))
+            .build()
+    }
+
+    /// Safety: `G prefix_ok` — the assembled bits are always a correct
+    /// prefix of the data.
+    #[must_use]
+    pub fn prefix_safety(&self) -> Formula {
+        Formula::always(Formula::prop(self.prefix_ok()))
+    }
+
+    /// Conservativity: `G (done_s → done_r)` — the sender never believes
+    /// it is done before the receiver is.
+    #[must_use]
+    pub fn conservative(&self) -> Formula {
+        Formula::always(Formula::implies(
+            Formula::prop(self.done_s()),
+            Formula::prop(self.done_r()),
+        ))
+    }
+
+    /// Liveness: `F (done_r ∧ done_s)` — needs a reliable channel and a
+    /// horizon of at least `2m` steps.
+    #[must_use]
+    pub fn liveness(&self) -> Formula {
+        Formula::eventually(Formula::and([
+            Formula::prop(self.done_r()),
+            Formula::prop(self.done_s()),
+        ]))
+    }
+
+    /// Corruption is reachable: `¬ G prefix_ok` — used by the untagged
+    /// ablation.
+    #[must_use]
+    pub fn corruption_possible(&self) -> Formula {
+        Formula::not(self.prefix_safety())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbp_core::{check_implementation, SyncSolver};
+    use kbp_systems::Recall;
+
+    #[test]
+    fn kbp_validates() {
+        let sc = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+        assert_eq!(sc.kbp().validate(&sc.context()), Ok(()));
+    }
+
+    #[test]
+    fn alternating_bit_is_safe_under_loss() {
+        let sc = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(6).solve().unwrap();
+        let sys = solution.system();
+        assert!(sys.holds_initially(&sc.prefix_safety()).unwrap());
+        assert!(sys.holds_initially(&sc.conservative()).unwrap());
+    }
+
+    #[test]
+    fn reliable_channel_completes_in_2m_steps() {
+        let sc = SequenceTransmission::new(2, Tagging::Alternating, Channel::Reliable);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(6).solve().unwrap();
+        let sys = solution.system();
+        assert!(sys.holds_initially(&sc.liveness()).unwrap());
+    }
+
+    #[test]
+    fn untagged_protocol_corrupts_under_loss() {
+        // FHMV's point made mechanical: without the alternating bit, a
+        // retransmission is appended as a new bit — for data words whose
+        // bits differ, some run corrupts the sequence. (Words like 00
+        // survive by luck: the duplicate happens to equal the next bit.)
+        let sc = SequenceTransmission::new(2, Tagging::None, Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(6).solve().unwrap();
+        let sys = solution.system();
+        let ev = kbp_systems::Evaluator::new(sys, &sc.corruption_possible()).unwrap();
+        let corruptible = (0..sys.layer(0).len())
+            .filter(|&node| ev.holds(kbp_systems::Point { time: 0, node }))
+            .count();
+        // Exactly the data words 01 and 10 are corruptible.
+        assert_eq!(corruptible, 2, "untagged transmission should be corruptible");
+        // And the tagged protocol is safe from every initial state.
+        let tagged = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+        let tctx = tagged.context();
+        let tsol = SyncSolver::new(&tctx, &tagged.kbp()).horizon(6).solve().unwrap();
+        assert!(tsol.system().holds_initially(&tagged.prefix_safety()).unwrap());
+    }
+
+    #[test]
+    fn untagged_protocol_corrupts_even_without_loss() {
+        // Subtler than "the tag protects against loss": the sender
+        // retransmits before its ack can arrive (one step of pipelining),
+        // so even a reliable channel duplicates without the tag.
+        let sc = SequenceTransmission::new(2, Tagging::None, Channel::Reliable);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(6).solve().unwrap();
+        let sys = solution.system();
+        assert!(
+            !sys.holds_initially(&sc.prefix_safety()).unwrap(),
+            "retransmission overlap should corrupt the untagged protocol"
+        );
+    }
+
+    #[test]
+    fn derived_sender_sends_while_pointer_short() {
+        let sc = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(5).solve().unwrap();
+        // Every sender entry with scount < m sends; with scount = m stops.
+        for (agent, history, actions) in solution.protocol().iter() {
+            if agent != sc.sender() {
+                continue;
+            }
+            let scount = (history.last().unwrap().0 >> 8) & 0xff;
+            if scount < 2 {
+                assert_eq!(actions, [ActionId(1)], "scount={scount} should send");
+            } else {
+                assert_eq!(actions, [ActionId(0)], "scount={scount} should stop");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_receiver_acks_iff_it_has_a_bit() {
+        let sc = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(5).solve().unwrap();
+        for (agent, history, actions) in solution.protocol().iter() {
+            if agent != sc.receiver() {
+                continue;
+            }
+            let rcount = (history.last().unwrap().0 >> 8) & 0xff;
+            if rcount >= 1 {
+                assert_eq!(actions, [ActionId(1)], "rcount={rcount} should ack");
+            } else {
+                assert_eq!(actions, [ActionId(0)], "rcount=0 should stay quiet");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_confirmed() {
+        let sc = SequenceTransmission::new(1, Tagging::Alternating, Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        let report =
+            check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 4).unwrap();
+        assert!(report.is_implementation(), "{report}");
+    }
+
+    #[test]
+    fn longer_sequences_also_safe() {
+        let sc = SequenceTransmission::new(3, Tagging::Alternating, Channel::Lossy);
+        let ctx = sc.context();
+        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(6).solve().unwrap();
+        assert!(solution.system().holds_initially(&sc.prefix_safety()).unwrap());
+    }
+}

@@ -1,0 +1,503 @@
+//! Evaluation of epistemic–temporal formulas at points of a bounded
+//! generated system.
+//!
+//! Knowledge operators are evaluated on each layer's S5 model (synchronous
+//! semantics: `K_i` quantifies over same-time points with equal local
+//! state). Temporal operators are evaluated by backward induction over the
+//! layers, with **universal path quantification** over the protocol's and
+//! environment's nondeterminism and **bounded-run semantics**: runs end at
+//! the horizon, so `X φ` is false on the last layer, and `F φ` / `G φ` /
+//! `U` are read on the truncated suffix.
+//!
+//! Universal path semantics is the right reading for knowledge tests about
+//! the future: `K_i F φ` holds when, for every point the agent cannot
+//! distinguish and every way the future can unfold from it, `φ` eventually
+//! holds — the agent *knows* `φ` is coming. Dually `¬K_i ¬F φ` ("the agent
+//! considers `F φ` possible") quantifies existentially.
+
+use crate::system::{InterpretedSystem, Point};
+use kbp_kripke::{BitSet, EvalError};
+use kbp_logic::{AgentSet, Formula};
+
+/// A compiled evaluation of one formula over all points of a system.
+///
+/// Construction computes, for every subformula and every layer, the set of
+/// nodes satisfying it; queries are then O(1). Reuse one evaluator for many
+/// point queries of the same formula.
+///
+/// # Example
+///
+/// ```
+/// use kbp_systems::{generate, ContextBuilder, GlobalState, Obs, Recall, ActionId,
+///                   LocalView, Evaluator, Point};
+/// use kbp_logic::{Formula, Vocabulary};
+///
+/// let mut voc = Vocabulary::new();
+/// let agent = voc.add_agent("counter");
+/// let done = voc.add_prop("done");
+/// let ctx = ContextBuilder::new(voc)
+///     .initial_state(GlobalState::new(vec![0]))
+///     .agent_actions(agent, ["tick"])
+///     .transition(|s, _| s.with_reg(0, (s.reg(0) + 1).min(3)))
+///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+///     .props(move |p, s| p == done && s.reg(0) == 3)
+///     .build();
+/// let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+/// let sys = generate(&ctx, &tick, Recall::Perfect, 4)?;
+///
+/// // "done eventually holds" is true from the start.
+/// let ev = Evaluator::new(&sys, &Formula::eventually(Formula::prop(done)))?;
+/// assert!(ev.holds(Point { time: 0, node: 0 }));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'s> {
+    sys: &'s InterpretedSystem,
+    /// sat[t] = nodes of layer t satisfying the (root) formula.
+    sat: Vec<BitSet>,
+}
+
+impl<'s> Evaluator<'s> {
+    /// Compiles `formula` over `sys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] for out-of-range propositions or agents, or an
+    /// empty group modality. (Temporal operators are supported here, unlike
+    /// on static models.)
+    pub fn new(sys: &'s InterpretedSystem, formula: &Formula) -> Result<Self, EvalError> {
+        let sat = eval_layers(sys, formula)?;
+        Ok(Evaluator { sys, sat })
+    }
+
+    /// Whether the formula holds at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is out of range.
+    #[must_use]
+    pub fn holds(&self, point: Point) -> bool {
+        self.sat[point.time].contains(point.node)
+    }
+
+    /// The nodes of layer `t` satisfying the formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn satisfying(&self, t: usize) -> &BitSet {
+        &self.sat[t]
+    }
+
+    /// The system this evaluator is bound to.
+    #[must_use]
+    pub fn system(&self) -> &'s InterpretedSystem {
+        self.sys
+    }
+}
+
+impl InterpretedSystem {
+    /// Evaluates `formula` at a single point (compiles a fresh
+    /// [`Evaluator`]; prefer reusing one for repeated queries).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is out of range.
+    pub fn eval(&self, point: Point, formula: &Formula) -> Result<bool, EvalError> {
+        Ok(Evaluator::new(self, formula)?.holds(point))
+    }
+
+    /// Whether `formula` holds at every point of layer 0 — "the formula
+    /// holds initially, whatever the initial state".
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::new`].
+    pub fn holds_initially(&self, formula: &Formula) -> Result<bool, EvalError> {
+        let ev = Evaluator::new(self, formula)?;
+        Ok(ev.satisfying(0).count() == self.layer(0).len())
+    }
+}
+
+/// For each layer, the nodes all of whose children lie in `next` (nodes of
+/// the next layer). Nodes of the last layer have no children: `vacuous`
+/// decides whether they qualify.
+fn all_children_in(
+    sys: &InterpretedSystem,
+    t: usize,
+    next: Option<&BitSet>,
+    vacuous: bool,
+) -> BitSet {
+    let layer = sys.layer(t);
+    let mut out = BitSet::new(layer.len());
+    match next {
+        None => {
+            if vacuous {
+                out = BitSet::full(layer.len());
+            }
+        }
+        Some(next) => {
+            for (ni, node) in layer.nodes().iter().enumerate() {
+                if node.children().iter().all(|&c| next.contains(c)) {
+                    out.insert(ni);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_group_sys(sys: &InterpretedSystem, group: AgentSet) -> Result<(), EvalError> {
+    if group.is_empty() {
+        return Err(EvalError::EmptyGroup);
+    }
+    for a in group.iter() {
+        if a.index() >= sys.agent_count() {
+            return Err(EvalError::AgentOutOfRange(a));
+        }
+    }
+    Ok(())
+}
+
+fn eval_layers(sys: &InterpretedSystem, formula: &Formula) -> Result<Vec<BitSet>, EvalError> {
+    let layers = sys.layer_count();
+    let full = |b: bool| -> Vec<BitSet> {
+        (0..layers)
+            .map(|t| {
+                if b {
+                    BitSet::full(sys.layer(t).len())
+                } else {
+                    BitSet::new(sys.layer(t).len())
+                }
+            })
+            .collect()
+    };
+    match formula {
+        Formula::True => Ok(full(true)),
+        Formula::False => Ok(full(false)),
+        Formula::Prop(p) => {
+            let model0 = sys.layer(0).model();
+            if p.index() >= model0.prop_count() {
+                return Err(EvalError::PropOutOfRange(*p));
+            }
+            Ok((0..layers)
+                .map(|t| sys.layer(t).model().prop_worlds(*p).clone())
+                .collect())
+        }
+        Formula::Not(f) => {
+            let mut sat = eval_layers(sys, f)?;
+            for s in &mut sat {
+                s.complement();
+            }
+            Ok(sat)
+        }
+        Formula::And(items) => {
+            let mut acc = full(true);
+            for f in items {
+                let sat = eval_layers(sys, f)?;
+                for (a, s) in acc.iter_mut().zip(&sat) {
+                    a.intersect_with(s);
+                }
+            }
+            Ok(acc)
+        }
+        Formula::Or(items) => {
+            let mut acc = full(false);
+            for f in items {
+                let sat = eval_layers(sys, f)?;
+                for (a, s) in acc.iter_mut().zip(&sat) {
+                    a.union_with(s);
+                }
+            }
+            Ok(acc)
+        }
+        Formula::Implies(a, b) => {
+            let sa = eval_layers(sys, a)?;
+            let sb = eval_layers(sys, b)?;
+            Ok(sa
+                .into_iter()
+                .zip(sb)
+                .map(|(sa, sb)| {
+                    let mut out = sa.complemented();
+                    out.union_with(&sb);
+                    out
+                })
+                .collect())
+        }
+        Formula::Iff(a, b) => {
+            let sa = eval_layers(sys, a)?;
+            let sb = eval_layers(sys, b)?;
+            Ok(sa
+                .into_iter()
+                .zip(sb)
+                .map(|(sa, sb)| {
+                    let mut both = sa.clone();
+                    both.intersect_with(&sb);
+                    let mut neither = sa.complemented();
+                    neither.intersect_with(&sb.complemented());
+                    both.union_with(&neither);
+                    both
+                })
+                .collect())
+        }
+        Formula::Knows(agent, f) => {
+            if agent.index() >= sys.agent_count() {
+                return Err(EvalError::AgentOutOfRange(*agent));
+            }
+            let sat = eval_layers(sys, f)?;
+            Ok((0..layers)
+                .map(|t| sys.layer(t).model().knowing(*agent, &sat[t]))
+                .collect())
+        }
+        Formula::Everyone(group, f) => {
+            check_group_sys(sys, *group)?;
+            let sat = eval_layers(sys, f)?;
+            Ok((0..layers)
+                .map(|t| sys.layer(t).model().everyone_knowing(*group, &sat[t]))
+                .collect())
+        }
+        Formula::Common(group, f) => {
+            check_group_sys(sys, *group)?;
+            let sat = eval_layers(sys, f)?;
+            Ok((0..layers)
+                .map(|t| sys.layer(t).model().common_knowing(*group, &sat[t]))
+                .collect())
+        }
+        Formula::Distributed(group, f) => {
+            check_group_sys(sys, *group)?;
+            let sat = eval_layers(sys, f)?;
+            Ok((0..layers)
+                .map(|t| sys.layer(t).model().distributed_knowing(*group, &sat[t]))
+                .collect())
+        }
+        Formula::Next(f) => {
+            let sat = eval_layers(sys, f)?;
+            Ok((0..layers)
+                .map(|t| {
+                    let next = if t + 1 < layers { Some(&sat[t + 1]) } else { None };
+                    // Strong next: false at the horizon.
+                    all_children_in(sys, t, next, false)
+                })
+                .collect())
+        }
+        Formula::Always(f) => {
+            let sat = eval_layers(sys, f)?;
+            let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+            for t in (0..layers).rev() {
+                let next = out.get(t + 1);
+                let mut g = all_children_in(sys, t, next, true);
+                g.intersect_with(&sat[t]);
+                out[t] = g;
+            }
+            Ok(out)
+        }
+        Formula::Eventually(f) => {
+            let sat = eval_layers(sys, f)?;
+            let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+            for t in (0..layers).rev() {
+                let next = out.get(t + 1);
+                // φ now, or all futures reach it (no children ⇒ only "now").
+                let mut fset = all_children_in(sys, t, next, false);
+                fset.union_with(&sat[t]);
+                out[t] = fset;
+            }
+            Ok(out)
+        }
+        Formula::Until(a, b) => {
+            let sa = eval_layers(sys, a)?;
+            let sb = eval_layers(sys, b)?;
+            let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+            for t in (0..layers).rev() {
+                let next = out.get(t + 1);
+                let mut u = all_children_in(sys, t, next, false);
+                u.intersect_with(&sa[t]);
+                u.union_with(&sb[t]);
+                out[t] = u;
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ActionId, ContextBuilder, EnvActionId, FnContext};
+    use crate::protocol::LocalView;
+    use crate::state::{GlobalState, Obs};
+    use crate::system::{generate, Recall};
+    use kbp_logic::{Agent, Vocabulary};
+
+    /// Counter 0..=3, saturating; `done` at 3; agent sees the counter.
+    fn counter_context() -> FnContext {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("counter");
+        let done = voc.add_prop("done");
+        ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["tick"])
+            .transition(|s, _| s.with_reg(0, (s.reg(0) + 1).min(3)))
+            .observe(|_, s| Obs(u64::from(s.reg(0))))
+            .props(move |p, s| p == done && s.reg(0) == 3)
+            .build()
+    }
+
+    fn p0() -> Formula {
+        Formula::prop(kbp_logic::PropId::new(0))
+    }
+
+    #[test]
+    fn eventually_done_holds_from_start() {
+        let ctx = counter_context();
+        let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &tick, Recall::Perfect, 4).unwrap();
+        let ev = Evaluator::new(&sys, &Formula::eventually(p0())).unwrap();
+        assert!(ev.holds(Point { time: 0, node: 0 }));
+        assert!(sys.holds_initially(&Formula::eventually(p0())).unwrap());
+    }
+
+    #[test]
+    fn eventually_fails_if_horizon_too_short() {
+        let ctx = counter_context();
+        let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &tick, Recall::Perfect, 2).unwrap();
+        // Bounded semantics: the run ends at t=2 with counter 2.
+        assert!(!sys.holds_initially(&Formula::eventually(p0())).unwrap());
+    }
+
+    #[test]
+    fn always_and_next() {
+        let ctx = counter_context();
+        let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &tick, Recall::Perfect, 4).unwrap();
+        // From t=3 on, done holds forever (within the bound).
+        let ev = Evaluator::new(&sys, &Formula::always(p0())).unwrap();
+        assert!(ev.holds(Point { time: 3, node: 0 }));
+        assert!(!ev.holds(Point { time: 0, node: 0 }));
+        // Strong next: false at the last layer even for true operand.
+        let nx = Evaluator::new(&sys, &Formula::next(Formula::True)).unwrap();
+        assert!(nx.holds(Point { time: 0, node: 0 }));
+        assert!(!nx.holds(Point { time: 4, node: 0 }));
+    }
+
+    #[test]
+    fn until_semantics() {
+        let ctx = counter_context();
+        let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &tick, Recall::Perfect, 4).unwrap();
+        // (!done) U done holds initially.
+        let u = Formula::until(Formula::not(p0()), p0());
+        assert!(sys.holds_initially(&u).unwrap());
+        // false U done still holds where done already holds.
+        let u2 = Formula::until(Formula::False, p0());
+        let ev = Evaluator::new(&sys, &u2).unwrap();
+        assert!(ev.holds(Point { time: 3, node: 0 }));
+        assert!(!ev.holds(Point { time: 0, node: 0 }));
+    }
+
+    /// Env may or may not ever set the flag; agent observes nothing.
+    fn maybe_context() -> FnContext {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("watcher");
+        let flag = voc.add_prop("flag");
+        ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["noop"])
+            .env_protocol(|s| {
+                if s.reg(0) == 1 {
+                    vec![EnvActionId(0)] // once set, stays
+                } else {
+                    vec![EnvActionId(0), EnvActionId(1)]
+                }
+            })
+            .transition(|s, j| {
+                if j.env == EnvActionId(1) {
+                    s.with_reg(0, 1)
+                } else {
+                    s.clone()
+                }
+            })
+            .observe(|_, _| Obs(0))
+            .props(move |p, s| p == flag && s.reg(0) == 1)
+            .build()
+    }
+
+    #[test]
+    fn universal_path_quantification() {
+        let ctx = maybe_context();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &noop, Recall::Perfect, 3).unwrap();
+        let root = Point { time: 0, node: 0 };
+        // Not all futures set the flag.
+        assert!(!sys.eval(root, &Formula::eventually(p0())).unwrap());
+        // But some future does: ¬G¬flag.
+        let possible = Formula::not(Formula::always(Formula::not(p0())));
+        assert!(sys.eval(root, &possible).unwrap());
+    }
+
+    #[test]
+    fn knowledge_of_the_future() {
+        let ctx = counter_context();
+        let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &tick, Recall::Perfect, 4).unwrap();
+        let a = Agent::new(0);
+        // Deterministic context: the agent knows done is coming.
+        let f = Formula::knows(a, Formula::eventually(p0()));
+        assert!(sys.holds_initially(&f).unwrap());
+    }
+
+    #[test]
+    fn ignorance_of_uncertain_future() {
+        let ctx = maybe_context();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &noop, Recall::Perfect, 3).unwrap();
+        let a = Agent::new(0);
+        let root = Point { time: 0, node: 0 };
+        // The agent does not know the flag will be set...
+        assert!(!sys
+            .eval(root, &Formula::knows(a, Formula::eventually(p0())))
+            .unwrap());
+        // ...and does not know it never will (some future does set it).
+        assert!(!sys
+            .eval(
+                root,
+                &Formula::knows(a, Formula::always(Formula::not(p0())))
+            )
+            .unwrap());
+        // Under universal path quantification, ¬(F flag) means "not all
+        // futures set the flag", which the agent *does* know here.
+        assert!(sys
+            .eval(
+                root,
+                &Formula::knows(a, Formula::not(Formula::eventually(p0())))
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let ctx = counter_context();
+        let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &tick, Recall::Perfect, 1).unwrap();
+        let bad = Formula::prop(kbp_logic::PropId::new(42));
+        assert!(matches!(
+            Evaluator::new(&sys, &bad),
+            Err(EvalError::PropOutOfRange(_))
+        ));
+        let bad_agent = Formula::knows(Agent::new(5), Formula::True);
+        assert!(matches!(
+            Evaluator::new(&sys, &bad_agent),
+            Err(EvalError::AgentOutOfRange(_))
+        ));
+        let empty = Formula::Common(AgentSet::EMPTY, Box::new(Formula::True));
+        assert!(matches!(
+            Evaluator::new(&sys, &empty),
+            Err(EvalError::EmptyGroup)
+        ));
+    }
+}

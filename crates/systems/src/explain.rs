@@ -1,0 +1,233 @@
+//! Diagnostics: *why* does an agent (not) know something, and what does a
+//! run look like?
+//!
+//! Knowledge failures have canonical witnesses: `K_i φ` fails at a point
+//! exactly because of some indistinguishable point where `φ` fails.
+//! Surfacing that point (and its observable history) is the single most
+//! useful debugging aid when a knowledge-based program does not derive
+//! the protocol its author expected.
+
+use crate::context::Context;
+use crate::eval::Evaluator;
+use crate::runs::Run;
+use crate::system::{InterpretedSystem, Point};
+use kbp_kripke::EvalError;
+use kbp_logic::{Agent, Formula};
+use std::fmt;
+
+/// The result of explaining a knowledge test at a point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnowledgeExplanation {
+    /// Whether `K_agent φ` holds at the queried point.
+    pub holds: bool,
+    /// The queried point.
+    pub point: Point,
+    /// If the test fails: an indistinguishable point where `φ` fails —
+    /// the agent "cannot rule this out".
+    pub counter_point: Option<Point>,
+    /// Size of the agent's information cell at the point.
+    pub cell_size: usize,
+}
+
+impl fmt::Display for KnowledgeExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.holds {
+            write!(
+                f,
+                "knowledge holds at {} (formula true at all {} indistinguishable points)",
+                self.point, self.cell_size
+            )
+        } else {
+            write!(
+                f,
+                "knowledge fails at {}: the agent cannot rule out {} (cell of {} points)",
+                self.point,
+                self.counter_point.expect("counterexample present"),
+                self.cell_size
+            )
+        }
+    }
+}
+
+impl InterpretedSystem {
+    /// Explains `K_agent φ` at `point`: result plus, on failure, a
+    /// counterexample point the agent considers possible where `φ` fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if `φ` cannot be evaluated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point or agent is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kbp_systems::{generate, ContextBuilder, GlobalState, Obs, Recall,
+    ///                   ActionId, LocalView, Point};
+    /// use kbp_logic::{Agent, Formula, Vocabulary};
+    ///
+    /// // A hidden bit the agent never observes.
+    /// let mut voc = Vocabulary::new();
+    /// let a = voc.add_agent("blind");
+    /// let bit = voc.add_prop("bit");
+    /// let ctx = ContextBuilder::new(voc)
+    ///     .initial_states([GlobalState::new(vec![0]), GlobalState::new(vec![1])])
+    ///     .agent_actions(a, ["noop"])
+    ///     .transition(|s, _| s.clone())
+    ///     .observe(|_, _| Obs(0))
+    ///     .props(move |p, s| p == bit && s.reg(0) == 1)
+    ///     .build();
+    /// let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+    /// let sys = generate(&ctx, &noop, Recall::Perfect, 1)?;
+    ///
+    /// // Why doesn't the agent know the bit at the bit=1 point?
+    /// let p1 = Point { time: 0, node: 1 };
+    /// let expl = sys.explain_knowledge(Agent::new(0), p1, &Formula::prop(bit))?;
+    /// assert!(!expl.holds);
+    /// assert_eq!(expl.counter_point, Some(Point { time: 0, node: 0 }));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn explain_knowledge(
+        &self,
+        agent: Agent,
+        point: Point,
+        phi: &Formula,
+    ) -> Result<KnowledgeExplanation, EvalError> {
+        let ev = Evaluator::new(self, phi)?;
+        let cell = self.indistinguishable_points(agent, point);
+        let counter_point = cell.iter().copied().find(|&p| !ev.holds(p));
+        Ok(KnowledgeExplanation {
+            holds: counter_point.is_none(),
+            point,
+            counter_point,
+            cell_size: cell.len(),
+        })
+    }
+
+    /// Renders a run as a step-by-step trace using the context's action
+    /// names: one line per time step with the global state, and between
+    /// steps the joint action(s) that realise the transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run does not belong to this system.
+    #[must_use]
+    pub fn describe_run(&self, run: &Run, ctx: &dyn Context) -> String {
+        let mut out = String::new();
+        for t in 0..=run.horizon() {
+            let point = run.point(t);
+            let state = self.global_state(point);
+            out.push_str(&format!("t={t}: {state}\n"));
+            if t < run.horizon() {
+                let node = self.node(point);
+                let next = run.point(t + 1).node as u32;
+                // All joint actions that realise this step.
+                let mut labels: Vec<String> = node
+                    .edges()
+                    .iter()
+                    .filter(|&&(child, _)| child == next)
+                    .map(|(_, joint)| {
+                        let agents: Vec<String> = joint
+                            .acts
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &a)| ctx.action_name(Agent::new(i), a))
+                            .collect();
+                        format!("[{} / {}]", agents.join(","), ctx.env_action_name(joint.env))
+                    })
+                    .collect();
+                labels.sort();
+                labels.dedup();
+                out.push_str(&format!("    {}\n", labels.join(" or ")));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ActionId, ContextBuilder};
+    use crate::protocol::LocalView;
+    use crate::state::{GlobalState, Obs};
+    use crate::system::{generate, Recall};
+    use kbp_logic::{PropId, Vocabulary};
+
+    fn blind_bit() -> crate::context::FnContext {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("blind");
+        let bit = voc.add_prop("bit");
+        ContextBuilder::new(voc)
+            .initial_states([GlobalState::new(vec![0]), GlobalState::new(vec![1])])
+            .agent_actions(a, ["noop", "peek"])
+            .transition(|s, j| {
+                if j.acts[0] == ActionId(1) {
+                    GlobalState::new(vec![s.reg(0), 1])
+                } else {
+                    GlobalState::new(vec![s.reg(0), 0])
+                }
+            })
+            .observe(|_, s| {
+                if s.len() > 1 && s.reg(1) == 1 {
+                    Obs(u64::from(s.reg(0)) + 1)
+                } else {
+                    Obs(0)
+                }
+            })
+            .props(move |p, s| p == bit && s.reg(0) == 1)
+            .build()
+    }
+
+    #[test]
+    fn failure_produces_a_counterexample_point() {
+        let ctx = blind_bit();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &noop, Recall::Perfect, 1).unwrap();
+        let a = Agent::new(0);
+        let bit = Formula::prop(PropId::new(0));
+        let p1 = Point { time: 0, node: 1 };
+        let expl = sys.explain_knowledge(a, p1, &bit).unwrap();
+        assert!(!expl.holds);
+        assert_eq!(expl.cell_size, 2);
+        let cp = expl.counter_point.unwrap();
+        // The counterexample really is indistinguishable and really fails.
+        assert_eq!(sys.local(a, cp), sys.local(a, p1));
+        assert!(!sys.eval(cp, &bit).unwrap());
+        assert!(expl.to_string().contains("cannot rule out"));
+    }
+
+    #[test]
+    fn success_has_no_counterexample() {
+        let ctx = blind_bit();
+        let peek = |_: &LocalView<'_>| vec![ActionId(1)];
+        let sys = generate(&ctx, &peek, Recall::Perfect, 1).unwrap();
+        let a = Agent::new(0);
+        let bit = Formula::prop(PropId::new(0));
+        // After peeking, find the bit=1 node at t=1.
+        let p = (0..sys.layer(1).len())
+            .map(|node| Point { time: 1, node })
+            .find(|&p| sys.global_state(p).reg(0) == 1)
+            .unwrap();
+        let expl = sys.explain_knowledge(a, p, &bit).unwrap();
+        assert!(expl.holds);
+        assert_eq!(expl.counter_point, None);
+        assert_eq!(expl.cell_size, 1);
+        assert!(expl.to_string().contains("holds"));
+    }
+
+    #[test]
+    fn describe_run_shows_states_and_actions() {
+        let ctx = blind_bit();
+        let peek = |_: &LocalView<'_>| vec![ActionId(1)];
+        let sys = generate(&ctx, &peek, Recall::Perfect, 2).unwrap();
+        let run = sys.first_run();
+        let trace = sys.describe_run(&run, &ctx);
+        assert!(trace.contains("t=0:"), "{trace}");
+        assert!(trace.contains("t=2:"), "{trace}");
+        assert!(trace.contains("peek"), "{trace}");
+        assert!(trace.lines().count() >= 5, "{trace}");
+    }
+}

@@ -1,0 +1,343 @@
+//! Protocols: functions from local states to nonempty sets of actions.
+//!
+//! In FHMV a protocol `P_i` maps each local state of agent `i` to the set
+//! of actions it may perform there (a singleton for deterministic
+//! protocols). Here a local state is presented to the protocol as a
+//! [`LocalView`] — the agent's observation history (perfect recall) or its
+//! current observation (observational semantics).
+
+use crate::context::ActionId;
+use crate::state::Obs;
+use kbp_logic::Agent;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An agent's local state as seen by a protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalView<'a> {
+    /// Whose local state this is.
+    pub agent: Agent,
+    /// The observation sequence, oldest first. Under perfect recall this is
+    /// the whole history (length = time + 1); under observational semantics
+    /// it contains only the current observation (length 1).
+    pub history: &'a [Obs],
+}
+
+impl LocalView<'_> {
+    /// The most recent observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty (never produced by the framework).
+    #[must_use]
+    pub fn current(&self) -> Obs {
+        *self.history.last().expect("nonempty history")
+    }
+
+    /// The time step this view belongs to (history length − 1) under
+    /// perfect recall; `0` under observational semantics.
+    #[must_use]
+    pub fn time(&self) -> usize {
+        self.history.len() - 1
+    }
+}
+
+/// A joint protocol: for every agent and local view, the nonempty set of
+/// actions the agent may take.
+///
+/// Implemented by closures `Fn(&LocalView) -> Vec<ActionId>` and by
+/// [`MapProtocol`].
+pub trait ProtocolFn {
+    /// The actions the agent may perform at this local state. Must be
+    /// nonempty and must depend only on the view (same view ⇒ same set).
+    fn actions(&self, view: &LocalView<'_>) -> Vec<ActionId>;
+}
+
+impl<F> ProtocolFn for F
+where
+    F: Fn(&LocalView<'_>) -> Vec<ActionId>,
+{
+    fn actions(&self, view: &LocalView<'_>) -> Vec<ActionId> {
+        self(view)
+    }
+}
+
+/// A finite, table-driven joint protocol keyed by exact observation
+/// histories, with a per-agent default for unlisted histories.
+///
+/// This is the concrete artifact produced by the `kbp-core` solvers: the
+/// standard protocol that implements a knowledge-based program.
+///
+/// # Example
+///
+/// ```
+/// use kbp_systems::{MapProtocol, ProtocolFn, LocalView, ActionId, Obs};
+/// use kbp_logic::Agent;
+///
+/// let a = Agent::new(0);
+/// let mut p = MapProtocol::new(vec![ActionId(0)]); // default: action 0
+/// p.insert(a, vec![Obs(1)], vec![ActionId(1)]);
+///
+/// let seen_one = [Obs(1)];
+/// let view = LocalView { agent: a, history: &seen_one };
+/// assert_eq!(p.actions(&view), vec![ActionId(1)]);
+/// let seen_zero = [Obs(0)];
+/// let view = LocalView { agent: a, history: &seen_zero };
+/// assert_eq!(p.actions(&view), vec![ActionId(0)]); // default
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapProtocol {
+    entries: HashMap<(Agent, Vec<Obs>), Vec<ActionId>>,
+    agent_defaults: HashMap<Agent, Vec<ActionId>>,
+    default: Vec<ActionId>,
+}
+
+impl MapProtocol {
+    /// Creates an empty protocol with the given default action set
+    /// (returned for any history without an explicit entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default` is empty — protocols must always offer an
+    /// action.
+    #[must_use]
+    pub fn new(default: Vec<ActionId>) -> Self {
+        assert!(!default.is_empty(), "default action set must be nonempty");
+        MapProtocol {
+            entries: HashMap::new(),
+            agent_defaults: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Sets a per-agent default action set, overriding the global default
+    /// for that agent's unlisted histories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty.
+    pub fn set_agent_default(&mut self, agent: Agent, actions: Vec<ActionId>) {
+        assert!(!actions.is_empty(), "default action set must be nonempty");
+        self.agent_defaults.insert(agent, actions);
+    }
+
+    /// Sets the action set for one history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty.
+    pub fn insert(&mut self, agent: Agent, history: Vec<Obs>, actions: Vec<ActionId>) {
+        assert!(!actions.is_empty(), "action set must be nonempty");
+        self.entries.insert((agent, history), actions);
+    }
+
+    /// Looks up the explicit entry for a history, if any.
+    #[must_use]
+    pub fn get(&self, agent: Agent, history: &[Obs]) -> Option<&[ActionId]> {
+        self.entries
+            .get(&(agent, history.to_vec()))
+            .map(Vec::as_slice)
+    }
+
+    /// Number of explicit entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the protocol has no explicit entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(agent, history, actions)` entries in arbitrary
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Agent, &[Obs], &[ActionId])> {
+        self.entries
+            .iter()
+            .map(|((a, h), acts)| (*a, h.as_slice(), acts.as_slice()))
+    }
+
+    /// Renders the protocol as a sorted, human-readable table using the
+    /// context's agent and action names.
+    ///
+    /// # Example
+    ///
+    /// (Output shape:)
+    ///
+    /// ```text
+    /// sender:
+    ///   [obs:0]        -> send
+    ///   [obs:0,obs:2]  -> noop
+    /// ```
+    #[must_use]
+    pub fn to_pretty(&self, ctx: &dyn crate::context::Context) -> String {
+        use std::fmt::Write as _;
+        let voc = ctx.vocabulary();
+        let mut entries: Vec<(Agent, &[Obs], &[ActionId])> = self.iter().collect();
+        entries.sort_by(|x, y| (x.0, x.1.len(), x.1).cmp(&(y.0, y.1.len(), y.1)));
+        let mut out = String::new();
+        let mut current: Option<Agent> = None;
+        for (agent, history, actions) in entries {
+            if current != Some(agent) {
+                let name = if agent.index() < voc.agent_count() {
+                    voc.agent_name(agent).to_owned()
+                } else {
+                    agent.to_string()
+                };
+                let _ = writeln!(out, "{name}:");
+                current = Some(agent);
+            }
+            let hist: Vec<String> = history.iter().map(ToString::to_string).collect();
+            let acts: Vec<String> = actions
+                .iter()
+                .map(|&a| ctx.action_name(agent, a))
+                .collect();
+            let _ = writeln!(out, "  [{}] -> {}", hist.join(","), acts.join("|"));
+        }
+        out
+    }
+
+    /// Whether every entry is a singleton (a deterministic protocol).
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        self.default.len() == 1
+            && self.agent_defaults.values().all(|v| v.len() == 1)
+            && self.entries.values().all(|v| v.len() == 1)
+    }
+}
+
+impl ProtocolFn for MapProtocol {
+    fn actions(&self, view: &LocalView<'_>) -> Vec<ActionId> {
+        self.entries
+            .get(&(view.agent, view.history.to_vec()))
+            .or_else(|| self.agent_defaults.get(&view.agent))
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
+    }
+}
+
+/// The maximally permissive protocol: every agent may always take any of
+/// its actions. Running it generates the *full* system of the context —
+/// the right system for verifying context-level properties with the model
+/// checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullProtocol {
+    action_counts: [usize; kbp_logic::Agent::MAX_AGENTS],
+    agents: usize,
+}
+
+impl FullProtocol {
+    /// Creates the full protocol for a context's action repertoires.
+    #[must_use]
+    pub fn for_context(ctx: &dyn crate::context::Context) -> Self {
+        let mut action_counts = [0usize; kbp_logic::Agent::MAX_AGENTS];
+        for (i, slot) in action_counts.iter_mut().take(ctx.agent_count()).enumerate() {
+            *slot = ctx.action_count(Agent::new(i));
+        }
+        FullProtocol {
+            action_counts,
+            agents: ctx.agent_count(),
+        }
+    }
+}
+
+impl ProtocolFn for FullProtocol {
+    fn actions(&self, view: &LocalView<'_>) -> Vec<ActionId> {
+        debug_assert!(view.agent.index() < self.agents);
+        (0..self.action_counts[view.agent.index()])
+            .map(|k| ActionId(k as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_view_accessors() {
+        let h = [Obs(1), Obs(2), Obs(3)];
+        let v = LocalView {
+            agent: Agent::new(0),
+            history: &h,
+        };
+        assert_eq!(v.current(), Obs(3));
+        assert_eq!(v.time(), 2);
+    }
+
+    #[test]
+    fn map_protocol_lookup_and_default() {
+        let a = Agent::new(0);
+        let b = Agent::new(1);
+        let mut p = MapProtocol::new(vec![ActionId(9)]);
+        p.insert(a, vec![Obs(0), Obs(1)], vec![ActionId(1), ActionId(2)]);
+        assert_eq!(p.get(a, &[Obs(0), Obs(1)]), Some(&[ActionId(1), ActionId(2)][..]));
+        assert_eq!(p.get(b, &[Obs(0), Obs(1)]), None, "keyed per agent");
+        let h = [Obs(0), Obs(1)];
+        let v = LocalView { agent: b, history: &h };
+        assert_eq!(p.actions(&v), vec![ActionId(9)]);
+        assert!(!p.is_deterministic());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn closure_protocols_work() {
+        let p = |view: &LocalView<'_>| {
+            if view.current() == Obs(0) {
+                vec![ActionId(0)]
+            } else {
+                vec![ActionId(1)]
+            }
+        };
+        let h = [Obs(5)];
+        assert_eq!(
+            ProtocolFn::actions(&p, &LocalView { agent: Agent::new(0), history: &h }),
+            vec![ActionId(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_default_rejected() {
+        let _ = MapProtocol::new(Vec::new());
+    }
+
+    #[test]
+    fn pretty_rendering_groups_by_agent_and_sorts() {
+        let mut voc = kbp_logic::Vocabulary::new();
+        let a = voc.add_agent("alice");
+        let b = voc.add_agent("bob");
+        let ctx = crate::context::ContextBuilder::new(voc)
+            .initial_state(crate::state::GlobalState::new(vec![0]))
+            .agent_actions(a, ["wait", "go"])
+            .agent_actions(b, ["wait"])
+            .transition(|s, _| s.clone())
+            .observe(|_, _| Obs(0))
+            .props(|_, _| false)
+            .build();
+        let mut p = MapProtocol::new(vec![ActionId(0)]);
+        p.insert(b, vec![Obs(0)], vec![ActionId(0)]);
+        p.insert(a, vec![Obs(0), Obs(1)], vec![ActionId(0)]);
+        p.insert(a, vec![Obs(0)], vec![ActionId(1)]);
+        let s = p.to_pretty(&ctx);
+        let alice_pos = s.find("alice:").unwrap();
+        let bob_pos = s.find("bob:").unwrap();
+        assert!(alice_pos < bob_pos, "{s}");
+        assert!(s.contains("[obs:0] -> go"), "{s}");
+        assert!(s.contains("[obs:0,obs:1] -> wait"), "{s}");
+        // Short history before long one.
+        assert!(s.find("[obs:0] -> go").unwrap() < s.find("[obs:0,obs:1]").unwrap());
+    }
+
+    #[test]
+    fn determinism_check() {
+        let mut p = MapProtocol::new(vec![ActionId(0)]);
+        assert!(p.is_deterministic());
+        p.insert(Agent::new(0), vec![Obs(1)], vec![ActionId(1)]);
+        assert!(p.is_deterministic());
+        p.insert(Agent::new(0), vec![Obs(2)], vec![ActionId(1), ActionId(0)]);
+        assert!(!p.is_deterministic());
+    }
+}

@@ -1,0 +1,174 @@
+//! Reproducible random contexts, for property tests and benchmarks.
+//!
+//! A random context has `n_states` abstract global states (one register),
+//! a pseudo-random deterministic transition table over joint actions, a
+//! pseudo-random observation classing per agent, and pseudo-random
+//! proposition valuations. Everything is a pure function of the seed, so
+//! test failures replay exactly.
+
+use crate::context::{ContextBuilder, EnvActionId, FnContext};
+use crate::state::{GlobalState, Obs};
+use kbp_logic::{Agent, Vocabulary};
+
+/// Parameters for [`random_context`].
+#[derive(Debug, Clone)]
+pub struct RandomContextConfig {
+    /// Number of abstract states (≥ 1).
+    pub states: u32,
+    /// Number of agents (≥ 1).
+    pub agents: usize,
+    /// Actions per agent (≥ 1).
+    pub actions: usize,
+    /// Environment moves per state (≥ 1); > 1 makes transitions
+    /// nondeterministic.
+    pub env_moves: usize,
+    /// Number of initial states (clamped to `states`).
+    pub initial: usize,
+    /// Observation classes per agent (knowledge granularity).
+    pub obs_classes: u32,
+    /// Number of propositions.
+    pub props: usize,
+}
+
+impl Default for RandomContextConfig {
+    fn default() -> Self {
+        RandomContextConfig {
+            states: 12,
+            agents: 2,
+            actions: 2,
+            env_moves: 1,
+            initial: 3,
+            obs_classes: 4,
+            props: 2,
+        }
+    }
+}
+
+/// A tiny splittable hash used to derive the tables from the seed.
+fn mix(seed: u64, parts: &[u64]) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for &p in parts {
+        h ^= p.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Builds a reproducible pseudo-random context.
+///
+/// # Panics
+///
+/// Panics if any size in `cfg` is zero (except `props`, which may be 0).
+///
+/// # Example
+///
+/// ```
+/// use kbp_systems::random::{random_context, RandomContextConfig};
+/// use kbp_systems::Context;
+///
+/// let ctx = random_context(42, &RandomContextConfig::default());
+/// assert!(ctx.validate().is_ok());
+/// let same = random_context(42, &RandomContextConfig::default());
+/// assert_eq!(ctx.initial_states(), same.initial_states()); // reproducible
+/// ```
+#[must_use]
+pub fn random_context(seed: u64, cfg: &RandomContextConfig) -> FnContext {
+    assert!(cfg.states >= 1, "need at least one state");
+    assert!(cfg.agents >= 1, "need at least one agent");
+    assert!(cfg.actions >= 1, "need at least one action per agent");
+    assert!(cfg.env_moves >= 1, "need at least one env move");
+    assert!(cfg.obs_classes >= 1, "need at least one observation class");
+
+    let mut voc = Vocabulary::new();
+    for i in 0..cfg.agents {
+        voc.add_agent(format!("agent_{i}"));
+    }
+    for p in 0..cfg.props {
+        voc.add_prop(format!("q_{p}"));
+    }
+
+    let states = cfg.states;
+    let env_moves = cfg.env_moves;
+    let obs_classes = cfg.obs_classes;
+    let initial_count = cfg.initial.clamp(1, cfg.states as usize);
+
+    let mut builder = ContextBuilder::new(voc).initial_states(
+        (0..initial_count as u32).map(|k| {
+            GlobalState::new(vec![mix(seed, &[1, u64::from(k)]) as u32 % states])
+        }),
+    );
+    for i in 0..cfg.agents {
+        builder = builder.agent_actions(
+            Agent::new(i),
+            (0..cfg.actions).map(|a| format!("act_{a}")),
+        );
+    }
+    builder
+        .env_protocol(move |_| (0..env_moves).map(|e| EnvActionId(e as u32)).collect())
+        .transition(move |s, j| {
+            let mut parts: Vec<u64> = vec![2, u64::from(s.reg(0)), u64::from(j.env.0)];
+            parts.extend(j.acts.iter().map(|a| u64::from(a.0)));
+            GlobalState::new(vec![mix(seed, &parts) as u32 % states])
+        })
+        .observe(move |agent, s| {
+            Obs(mix(
+                seed,
+                &[3, agent.index() as u64, u64::from(s.reg(0))],
+            ) % u64::from(obs_classes))
+        })
+        .props(move |p, s| mix(seed, &[4, p.index() as u64, u64::from(s.reg(0))]) & 1 == 1)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::protocol::LocalView;
+    use crate::system::{generate, Recall};
+    use crate::ActionId;
+
+    #[test]
+    fn random_contexts_validate_and_generate() {
+        for seed in 0..20 {
+            let ctx = random_context(seed, &RandomContextConfig::default());
+            assert!(ctx.validate().is_ok());
+            let first = |view: &LocalView<'_>| {
+                let _ = view;
+                vec![ActionId(0)]
+            };
+            let sys = generate(&ctx, &first, Recall::Perfect, 4).unwrap();
+            assert_eq!(sys.layer_count(), 5);
+            assert!(sys.point_count() >= 5);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_context() {
+        let cfg = RandomContextConfig::default();
+        let a = random_context(7, &cfg);
+        let b = random_context(7, &cfg);
+        assert_eq!(a.initial_states(), b.initial_states());
+        let s = GlobalState::new(vec![3]);
+        let j = crate::JointAction::new(EnvActionId(0), vec![ActionId(1), ActionId(0)]);
+        assert_eq!(a.transition(&s, &j), b.transition(&s, &j));
+        assert_eq!(a.observe(Agent::new(1), &s), b.observe(Agent::new(1), &s));
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let cfg = RandomContextConfig {
+            states: 50,
+            ..RandomContextConfig::default()
+        };
+        let a = random_context(1, &cfg);
+        let b = random_context(2, &cfg);
+        let j = crate::JointAction::new(EnvActionId(0), vec![ActionId(0), ActionId(0)]);
+        let differs = (0..50u32).any(|k| {
+            let s = GlobalState::new(vec![k]);
+            a.transition(&s, &j) != b.transition(&s, &j)
+        });
+        assert!(differs);
+    }
+}

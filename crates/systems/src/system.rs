@@ -1,0 +1,990 @@
+//! Synchronous generated systems: the finite prefix of `R^rep(P, γ)`.
+//!
+//! A [`SystemBuilder`] unrolls a context layer by layer. Layer `t` holds
+//! the *points* at time `t`: epistemically distinct run prefixes, i.e.
+//! (global state, per-agent local state) combinations. Each layer carries
+//! an S5 model (worlds = points, partitions = equal local state) on which
+//! knowledge formulas are evaluated — exactly the synchronous semantics of
+//! FHMV's interpreted systems.
+//!
+//! Points with equal global state *and* equal local states for every agent
+//! are merged: they satisfy the same atemporal, epistemic and
+//! future-temporal formulas, and generate the same subtree, so merging is
+//! sound for everything this workspace evaluates (there are no past-time
+//! operators).
+
+use crate::context::{ActionId, Context, ContextError, JointAction};
+use crate::protocol::{LocalView, ProtocolFn};
+use crate::state::{GlobalState, LocalId, LocalTable, Obs, StateId, StateTable};
+use kbp_kripke::{S5Builder, S5Model};
+use kbp_logic::{Agent, PropId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// How agents' local states evolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Recall {
+    /// Local state = full observation history (FHMV's canonical choice;
+    /// knowledge grows over time).
+    #[default]
+    Perfect,
+    /// Local state = current observation only (memoryless agents;
+    /// MCMAS-style "observational" semantics, still synchronous).
+    Observational,
+}
+
+/// A point of the system: a node of layer `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// The time step (layer index).
+    pub time: usize,
+    /// The node index within the layer.
+    pub node: usize,
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.time, self.node)
+    }
+}
+
+/// One epistemically distinct point at a fixed time.
+#[derive(Debug, Clone)]
+pub struct Node {
+    state: StateId,
+    locals: Vec<LocalId>,
+    parents: Vec<u32>,
+    edges: Vec<(u32, JointAction)>,
+}
+
+impl Node {
+    /// The interned global state at this point.
+    #[must_use]
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+
+    /// The interned local state of `agent` at this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent index is out of range.
+    #[must_use]
+    pub fn local(&self, agent: Agent) -> LocalId {
+        self.locals[agent.index()]
+    }
+
+    /// All agents' local states, indexed by agent.
+    #[must_use]
+    pub fn locals(&self) -> &[LocalId] {
+        &self.locals
+    }
+
+    /// Indices of this node's parents in the previous layer (empty at
+    /// time 0).
+    #[must_use]
+    pub fn parents(&self) -> &[u32] {
+        &self.parents
+    }
+
+    /// Outgoing edges: `(child index in next layer, joint action)`. Several
+    /// edges may lead to the same child (different joint actions with equal
+    /// effect). Empty in the last layer.
+    #[must_use]
+    pub fn edges(&self) -> &[(u32, JointAction)] {
+        &self.edges
+    }
+
+    /// Deduplicated child indices in the next layer.
+    #[must_use]
+    pub fn children(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.edges.iter().map(|&(c, _)| c as usize).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// The points at one time step, together with their S5 knowledge model.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    nodes: Vec<Node>,
+    model: S5Model,
+}
+
+impl Layer {
+    /// The points in this layer.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the layer is empty (never produced by the builder).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The S5 model of this time slice: world `k` is node `k`, each
+    /// agent's partition groups nodes with equal local state, and the
+    /// valuation is the context's valuation of the nodes' global states.
+    #[must_use]
+    pub fn model(&self) -> &S5Model {
+        &self.model
+    }
+}
+
+/// Errors raised while generating a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The context failed validation.
+    Context(ContextError),
+    /// No action set was provided for a local state present in the layer.
+    MissingChoice {
+        /// The agent whose choice is missing.
+        agent: Agent,
+        /// The local state without a choice.
+        local: LocalId,
+    },
+    /// An empty action set was provided (protocols must always act).
+    EmptyChoice {
+        /// The agent with the empty choice.
+        agent: Agent,
+        /// The local state with the empty choice.
+        local: LocalId,
+    },
+    /// An action outside the agent's repertoire was chosen.
+    ActionOutOfRange {
+        /// The agent.
+        agent: Agent,
+        /// The offending action.
+        action: ActionId,
+    },
+    /// The environment protocol offered no action at a reachable state.
+    EnvStuck(GlobalState),
+    /// The unrolling exceeded the configured node budget.
+    NodeLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::Context(e) => write!(f, "invalid context: {e}"),
+            GenerateError::MissingChoice { agent, local } => {
+                write!(f, "no action chosen for agent {agent} at local state {local}")
+            }
+            GenerateError::EmptyChoice { agent, local } => {
+                write!(f, "empty action set for agent {agent} at local state {local}")
+            }
+            GenerateError::ActionOutOfRange { agent, action } => {
+                write!(f, "action {action} outside the repertoire of agent {agent}")
+            }
+            GenerateError::EnvStuck(s) => {
+                write!(f, "environment offers no action at reachable state {s}")
+            }
+            GenerateError::NodeLimit { limit } => {
+                write!(f, "unrolling exceeded the node budget of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for GenerateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenerateError::Context(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ContextError> for GenerateError {
+    fn from(e: ContextError) -> Self {
+        GenerateError::Context(e)
+    }
+}
+
+/// Per-step action choices: for each agent, an action set per local state
+/// occurring in the current layer.
+///
+/// Keying by [`LocalId`] makes class-consistency automatic: all points
+/// where the agent has the same local state necessarily receive the same
+/// action set — the defining property of a protocol.
+#[derive(Debug, Clone, Default)]
+pub struct StepChoices {
+    per_agent: HashMap<(Agent, LocalId), Vec<ActionId>>,
+}
+
+impl StepChoices {
+    /// Creates an empty choice table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the action set for one `(agent, local state)` pair.
+    pub fn set(&mut self, agent: Agent, local: LocalId, actions: Vec<ActionId>) {
+        self.per_agent.insert((agent, local), actions);
+    }
+
+    /// Looks up the action set for a pair, if present.
+    #[must_use]
+    pub fn get(&self, agent: Agent, local: LocalId) -> Option<&[ActionId]> {
+        self.per_agent.get(&(agent, local)).map(Vec::as_slice)
+    }
+}
+
+/// Incrementally unrolls a context under externally supplied action
+/// choices.
+///
+/// The `kbp-core` solver drives this builder directly (it must see each
+/// layer's knowledge before choosing actions); plain protocol execution
+/// uses [`SystemBuilder::step_with`] or the convenience function
+/// [`generate`].
+pub struct SystemBuilder<'c> {
+    ctx: &'c dyn Context,
+    recall: Recall,
+    states: StateTable,
+    locals: Vec<LocalTable>,
+    layers: Vec<Layer>,
+    node_limit: usize,
+    nodes_created: usize,
+}
+
+impl Clone for SystemBuilder<'_> {
+    /// Cloning snapshots the unrolling — used by search procedures that
+    /// explore alternative action choices from a common prefix.
+    fn clone(&self) -> Self {
+        SystemBuilder {
+            ctx: self.ctx,
+            recall: self.recall,
+            states: self.states.clone(),
+            locals: self.locals.clone(),
+            layers: self.layers.clone(),
+            node_limit: self.node_limit,
+            nodes_created: self.nodes_created,
+        }
+    }
+}
+
+impl fmt::Debug for SystemBuilder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("layers", &self.layers.len())
+            .field("nodes_created", &self.nodes_created)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'c> SystemBuilder<'c> {
+    /// Starts an unrolling: validates the context and builds layer 0 from
+    /// the initial states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::Context`] if the context is malformed.
+    pub fn new(ctx: &'c dyn Context, recall: Recall) -> Result<Self, GenerateError> {
+        ctx.validate()?;
+        let agents = ctx.agent_count();
+        let mut b = SystemBuilder {
+            ctx,
+            recall,
+            states: StateTable::new(),
+            locals: (0..agents).map(|_| LocalTable::new()).collect(),
+            layers: Vec::new(),
+            node_limit: 2_000_000,
+            nodes_created: 0,
+        };
+        let mut dedup: HashMap<(StateId, Vec<LocalId>), u32> = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::new();
+        for state in ctx.initial_states() {
+            let sid = b.states.intern(state.clone());
+            let locals: Vec<LocalId> = (0..agents)
+                .map(|i| {
+                    let obs = ctx.observe(Agent::new(i), &state);
+                    b.locals[i].intern_root(obs)
+                })
+                .collect();
+            let key = (sid, locals.clone());
+            dedup.entry(key).or_insert_with(|| {
+                nodes.push(Node {
+                    state: sid,
+                    locals,
+                    parents: Vec::new(),
+                    edges: Vec::new(),
+                });
+                (nodes.len() - 1) as u32
+            });
+        }
+        b.nodes_created = nodes.len();
+        let model = b.layer_model(&nodes);
+        b.layers.push(Layer { nodes, model });
+        Ok(b)
+    }
+
+    /// Caps the total number of nodes the unrolling may create
+    /// (default: two million).
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// The context being unrolled.
+    #[must_use]
+    pub fn context(&self) -> &'c dyn Context {
+        self.ctx
+    }
+
+    /// The recall discipline in force.
+    #[must_use]
+    pub fn recall(&self) -> Recall {
+        self.recall
+    }
+
+    /// Index of the last layer built so far (time of the frontier).
+    #[must_use]
+    pub fn time(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// The frontier layer.
+    #[must_use]
+    pub fn current(&self) -> &Layer {
+        self.layers.last().expect("at least layer 0")
+    }
+
+    /// A previously built layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > self.time()`.
+    #[must_use]
+    pub fn layer(&self, t: usize) -> &Layer {
+        &self.layers[t]
+    }
+
+    /// The observation history of a local state of `agent` (as a protocol
+    /// would see it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are foreign to this builder.
+    #[must_use]
+    pub fn local_history(&self, agent: Agent, local: LocalId) -> Vec<Obs> {
+        self.locals[agent.index()].history(local)
+    }
+
+    /// The global state interned under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is foreign to this builder.
+    #[must_use]
+    pub fn global_state(&self, id: StateId) -> &GlobalState {
+        self.states.state(id)
+    }
+
+    /// The distinct `(agent, local state)` pairs of the frontier layer —
+    /// exactly the pairs a [`StepChoices`] for the next
+    /// [`step`](Self::step) must cover.
+    #[must_use]
+    pub fn frontier_locals(&self) -> Vec<(Agent, LocalId)> {
+        let mut seen: Vec<(Agent, LocalId)> = Vec::new();
+        for node in self.current().nodes() {
+            for (i, &l) in node.locals.iter().enumerate() {
+                let key = (Agent::new(i), l);
+                if !seen.contains(&key) {
+                    seen.push(key);
+                }
+            }
+        }
+        seen
+    }
+
+    fn layer_model(&self, nodes: &[Node]) -> S5Model {
+        let prop_count = self.ctx.vocabulary().prop_count();
+        let mut mb = S5Builder::new(self.ctx.agent_count(), prop_count);
+        for node in nodes {
+            let state = self.states.state(node.state);
+            let props = (0..prop_count)
+                .map(|p| PropId::new(p as u32))
+                .filter(|&p| self.ctx.prop_holds(p, state));
+            mb.add_world(props);
+        }
+        for i in 0..self.ctx.agent_count() {
+            mb.partition_by_key(Agent::new(i), |w| nodes[w.index()].locals[i]);
+        }
+        mb.build()
+    }
+
+    /// Extends the unrolling by one time step using the given choices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GenerateError`] if a choice is missing, empty or out of
+    /// range, if the environment protocol is stuck, or if the node budget
+    /// is exceeded (in which case the builder is left unchanged).
+    pub fn step(&mut self, choices: &StepChoices) -> Result<(), GenerateError> {
+        let agents = self.ctx.agent_count();
+        let t = self.time();
+        // Resolve and validate all action sets up front.
+        let mut action_sets: Vec<Vec<&[ActionId]>> = Vec::with_capacity(self.layers[t].len());
+        for node in self.layers[t].nodes() {
+            let mut per_agent = Vec::with_capacity(agents);
+            for i in 0..agents {
+                let agent = Agent::new(i);
+                let local = node.locals[i];
+                let set = choices
+                    .get(agent, local)
+                    .ok_or(GenerateError::MissingChoice { agent, local })?;
+                if set.is_empty() {
+                    return Err(GenerateError::EmptyChoice { agent, local });
+                }
+                for &a in set {
+                    if a.index() >= self.ctx.action_count(agent) {
+                        return Err(GenerateError::ActionOutOfRange { agent, action: a });
+                    }
+                }
+                per_agent.push(set);
+            }
+            action_sets.push(per_agent);
+        }
+
+        let mut dedup: HashMap<(StateId, Vec<LocalId>), u32> = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut new_edges: Vec<Vec<(u32, JointAction)>> =
+            vec![Vec::new(); self.layers[t].len()];
+
+        for (ni, node) in self.layers[t].nodes().iter().enumerate() {
+            let state = self.states.state(node.state).clone();
+            let env_moves = self.ctx.env_actions(&state);
+            if env_moves.is_empty() {
+                return Err(GenerateError::EnvStuck(state));
+            }
+            // Cartesian product over agents' action sets.
+            let mut combo: Vec<usize> = vec![0; agents];
+            loop {
+                let acts: Vec<ActionId> = (0..agents)
+                    .map(|i| action_sets[ni][i][combo[i]])
+                    .collect();
+                for &env in &env_moves {
+                    let joint = JointAction::new(env, acts.clone());
+                    let next = self.ctx.transition(&state, &joint);
+                    let sid = self.states.intern(next.clone());
+                    let locals: Vec<LocalId> = (0..agents)
+                        .map(|i| {
+                            let obs = self.ctx.observe(Agent::new(i), &next);
+                            match self.recall {
+                                Recall::Perfect => {
+                                    self.locals[i].intern_child(node.locals[i], obs)
+                                }
+                                Recall::Observational => self.locals[i].intern_root(obs),
+                            }
+                        })
+                        .collect();
+                    let key = (sid, locals.clone());
+                    let child = *dedup.entry(key).or_insert_with(|| {
+                        nodes.push(Node {
+                            state: sid,
+                            locals,
+                            parents: Vec::new(),
+                            edges: Vec::new(),
+                        });
+                        (nodes.len() - 1) as u32
+                    });
+                    if !nodes[child as usize].parents.contains(&(ni as u32)) {
+                        nodes[child as usize].parents.push(ni as u32);
+                    }
+                    new_edges[ni].push((child, joint));
+                }
+                // Advance the product counter.
+                let mut k = 0;
+                loop {
+                    if k == agents {
+                        break;
+                    }
+                    combo[k] += 1;
+                    if combo[k] < action_sets[ni][k].len() {
+                        break;
+                    }
+                    combo[k] = 0;
+                    k += 1;
+                }
+                if k == agents {
+                    break;
+                }
+            }
+        }
+
+        if self.nodes_created + nodes.len() > self.node_limit {
+            return Err(GenerateError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+        self.nodes_created += nodes.len();
+        for (ni, edges) in new_edges.into_iter().enumerate() {
+            self.layers[t].nodes[ni].edges = edges;
+        }
+        let model = self.layer_model(&nodes);
+        self.layers.push(Layer { nodes, model });
+        Ok(())
+    }
+
+    /// Extends the unrolling by one step, deriving choices from a
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    pub fn step_with(&mut self, protocol: &dyn ProtocolFn) -> Result<(), GenerateError> {
+        let mut choices = StepChoices::new();
+        for (agent, local) in self.frontier_locals() {
+            let history = self.local_history(agent, local);
+            let view = LocalView {
+                agent,
+                history: &history,
+            };
+            choices.set(agent, local, protocol.actions(&view));
+        }
+        self.step(&choices)
+    }
+
+    /// Finalises the unrolling into an immutable [`InterpretedSystem`].
+    #[must_use]
+    pub fn finish(self) -> InterpretedSystem {
+        InterpretedSystem {
+            layers: self.layers,
+            states: self.states,
+            locals: self.locals,
+            agents: self.ctx.agent_count(),
+            recall: self.recall,
+        }
+    }
+}
+
+/// A finished bounded unrolling of a protocol in a context: FHMV's
+/// interpreted system, truncated at a horizon.
+///
+/// Points are addressed as [`Point`]s; knowledge is evaluated on each
+/// layer's S5 model, temporal operators by backward induction over layers
+/// (see [`Evaluator`](crate::Evaluator)).
+#[derive(Debug)]
+pub struct InterpretedSystem {
+    layers: Vec<Layer>,
+    states: StateTable,
+    locals: Vec<LocalTable>,
+    agents: usize,
+    recall: Recall,
+}
+
+impl InterpretedSystem {
+    /// Number of layers (horizon + 1).
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The horizon: largest time step in the system.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// Number of agents.
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.agents
+    }
+
+    /// The recall discipline the system was generated under.
+    #[must_use]
+    pub fn recall(&self) -> Recall {
+        self.recall
+    }
+
+    /// The layer at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= layer_count`.
+    #[must_use]
+    pub fn layer(&self, t: usize) -> &Layer {
+        &self.layers[t]
+    }
+
+    /// Iterates over all points, layer by layer.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.layers.iter().enumerate().flat_map(|(t, layer)| {
+            (0..layer.len()).map(move |node| Point { time: t, node })
+        })
+    }
+
+    /// Total number of points.
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.layers.iter().map(Layer::len).sum()
+    }
+
+    /// The node behind a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is out of range.
+    #[must_use]
+    pub fn node(&self, point: Point) -> &Node {
+        &self.layers[point.time].nodes[point.node]
+    }
+
+    /// The global state at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is out of range.
+    #[must_use]
+    pub fn global_state(&self, point: Point) -> &GlobalState {
+        self.states.state(self.node(point).state)
+    }
+
+    /// The observation history of `agent`'s local state `local` (length
+    /// `time+1` under perfect recall, `1` under observational semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are foreign to this system.
+    #[must_use]
+    pub fn local_view(&self, agent: Agent, local: LocalId) -> Vec<Obs> {
+        self.locals[agent.index()].history(local)
+    }
+
+    /// The local state of `agent` at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point or agent is out of range.
+    #[must_use]
+    pub fn local(&self, agent: Agent, point: Point) -> LocalId {
+        self.node(point).local(agent)
+    }
+
+    /// Points of layer `point.time` the agent cannot distinguish from
+    /// `point` (including the point itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point or agent is out of range.
+    #[must_use]
+    pub fn indistinguishable_points(&self, agent: Agent, point: Point) -> Vec<Point> {
+        let layer = &self.layers[point.time];
+        layer
+            .model()
+            .cell(agent, kbp_kripke::WorldId::new(point.node))
+            .iter()
+            .map(|&w| Point {
+                time: point.time,
+                node: w as usize,
+            })
+            .collect()
+    }
+}
+
+/// Generates the bounded system of `protocol` in `ctx`: unrolls `horizon`
+/// steps (producing `horizon + 1` layers).
+///
+/// # Errors
+///
+/// Propagates any [`GenerateError`] from the builder.
+///
+/// # Example
+///
+/// ```
+/// use kbp_systems::{generate, ContextBuilder, GlobalState, Obs, Recall, ActionId, LocalView};
+/// use kbp_logic::Vocabulary;
+///
+/// let mut voc = Vocabulary::new();
+/// let agent = voc.add_agent("counter");
+/// let ctx = ContextBuilder::new(voc)
+///     .initial_state(GlobalState::new(vec![0]))
+///     .agent_actions(agent, ["tick"])
+///     .transition(|s, _| s.with_reg(0, s.reg(0) + 1))
+///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+///     .props(|_, _| false)
+///     .build();
+/// let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+/// let sys = generate(&ctx, &tick, Recall::Perfect, 3)?;
+/// assert_eq!(sys.layer_count(), 4);
+/// # Ok::<(), kbp_systems::GenerateError>(())
+/// ```
+pub fn generate(
+    ctx: &dyn Context,
+    protocol: &dyn ProtocolFn,
+    recall: Recall,
+    horizon: usize,
+) -> Result<InterpretedSystem, GenerateError> {
+    let mut b = SystemBuilder::new(ctx, recall)?;
+    for _ in 0..horizon {
+        b.step_with(protocol)?;
+    }
+    Ok(b.finish())
+}
+
+/// Generates the bounded system of `protocol`, stopping early once two
+/// consecutive layers are structurally equivalent (see
+/// [`InterpretedSystem::stabilization`]) or `max_horizon` is reached.
+///
+/// Returns the system together with the stabilisation layer, if found.
+/// Checking signatures after every step costs roughly one colour
+/// refinement per layer — worth it whenever stabilisation is expected
+/// well before the horizon.
+///
+/// # Errors
+///
+/// Propagates any [`GenerateError`] from the builder.
+///
+/// # Example
+///
+/// ```
+/// use kbp_systems::{generate_until_stable, ContextBuilder, GlobalState, Obs,
+///                   Recall, ActionId, LocalView};
+/// use kbp_logic::Vocabulary;
+///
+/// let mut voc = Vocabulary::new();
+/// let agent = voc.add_agent("x");
+/// let ctx = ContextBuilder::new(voc)
+///     .initial_state(GlobalState::new(vec![0]))
+///     .agent_actions(agent, ["tick"])
+///     .transition(|s, _| s.with_reg(0, (s.reg(0) + 1).min(3)))
+///     .observe(|_, s| Obs(u64::from(s.reg(0))))
+///     .props(|_, _| false)
+///     .build();
+/// let tick = |_: &LocalView<'_>| vec![ActionId(0)];
+/// let (sys, stable) = generate_until_stable(&ctx, &tick, Recall::Perfect, 50)?;
+/// assert_eq!(stable, Some(3));       // counter saturates at 3
+/// assert!(sys.layer_count() <= 6);   // far less than the 50 allowed
+/// # Ok::<(), kbp_systems::GenerateError>(())
+/// ```
+pub fn generate_until_stable(
+    ctx: &dyn Context,
+    protocol: &dyn ProtocolFn,
+    recall: Recall,
+    max_horizon: usize,
+) -> Result<(InterpretedSystem, Option<usize>), GenerateError> {
+    let mut b = SystemBuilder::new(ctx, recall)?;
+    // Signatures are defined on finished systems; snapshot via clone.
+    let sig = |b: &SystemBuilder<'_>| {
+        let snapshot = b.clone().finish();
+        snapshot.layer_signature(snapshot.horizon())
+    };
+    let mut prev = sig(&b);
+    for t in 0..max_horizon {
+        b.step_with(protocol)?;
+        let cur = sig(&b);
+        if cur == prev {
+            return Ok((b.finish(), Some(t)));
+        }
+        prev = cur;
+    }
+    Ok((b.finish(), None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ContextBuilder, EnvActionId, FnContext};
+    use kbp_logic::{Formula, Vocabulary};
+
+    /// One agent; hidden bit fixed at start (two initial states); the
+    /// agent observes nothing (obs 0); action "look" flips a flag that
+    /// makes the bit observable afterwards.
+    fn peek_context() -> FnContext {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("peeker");
+        let bit = voc.add_prop("bit");
+        ContextBuilder::new(voc)
+            .initial_states([GlobalState::new(vec![0, 0]), GlobalState::new(vec![1, 0])])
+            .agent_actions(a, ["noop", "look"])
+            .transition(|s, j| {
+                if j.acts[0] == ActionId(1) {
+                    s.with_reg(1, 1)
+                } else {
+                    s.with_reg(1, 0)
+                }
+            })
+            .observe(|_, s| {
+                if s.reg(1) == 1 {
+                    Obs(u64::from(s.reg(0)) + 1) // 1 or 2: reveals bit
+                } else {
+                    Obs(0)
+                }
+            })
+            .props(move |p, s| p == bit && s.reg(0) == 1)
+            .build()
+    }
+
+    #[test]
+    fn layer_zero_has_initial_uncertainty() {
+        let ctx = peek_context();
+        let b = SystemBuilder::new(&ctx, Recall::Perfect).unwrap();
+        assert_eq!(b.time(), 0);
+        assert_eq!(b.current().len(), 2);
+        // The agent's layer-0 partition lumps both worlds together.
+        let a = Agent::new(0);
+        let m = b.current().model();
+        assert!(m.indistinguishable(a, kbp_kripke::WorldId::new(0), kbp_kripke::WorldId::new(1)));
+    }
+
+    #[test]
+    fn looking_reveals_the_bit() {
+        let ctx = peek_context();
+        let bit = ctx.vocabulary().prop("bit").unwrap();
+        let a = Agent::new(0);
+        let look = |_: &LocalView<'_>| vec![ActionId(1)];
+        let sys = generate(&ctx, &look, Recall::Perfect, 1).unwrap();
+        let layer1 = sys.layer(1);
+        assert_eq!(layer1.len(), 2);
+        // After looking, the agent knows whether bit.
+        let f = Formula::knows_whether(a, Formula::prop(bit));
+        let sat = layer1.model().satisfying(&f).unwrap();
+        assert_eq!(sat.count(), 2);
+    }
+
+    #[test]
+    fn not_looking_preserves_ignorance() {
+        let ctx = peek_context();
+        let bit = ctx.vocabulary().prop("bit").unwrap();
+        let a = Agent::new(0);
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &noop, Recall::Perfect, 3).unwrap();
+        for t in 0..=3 {
+            let f = Formula::knows_whether(a, Formula::prop(bit));
+            let sat = sys.layer(t).model().satisfying(&f).unwrap();
+            assert!(sat.is_empty(), "agent should stay ignorant at t={t}");
+        }
+    }
+
+    #[test]
+    fn nondeterministic_choices_branch() {
+        let ctx = peek_context();
+        let either = |_: &LocalView<'_>| vec![ActionId(0), ActionId(1)];
+        let sys = generate(&ctx, &either, Recall::Perfect, 1).unwrap();
+        // 2 initial × 2 actions = 4 (bit,flag,obs-history) combinations.
+        assert_eq!(sys.layer(1).len(), 4);
+        // Each initial node has edges for both actions.
+        let n0 = &sys.layer(0).nodes()[0];
+        assert_eq!(n0.edges().len(), 2);
+        assert_eq!(n0.children().len(), 2);
+    }
+
+    #[test]
+    fn observational_recall_merges_histories() {
+        let ctx = peek_context();
+        // Alternate look/noop so that observations repeat.
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let perfect = generate(&ctx, &noop, Recall::Perfect, 2).unwrap();
+        let obs = generate(&ctx, &noop, Recall::Observational, 2).unwrap();
+        // Under perfect recall, local histories have length t+1.
+        let a = Agent::new(0);
+        let p = Point { time: 2, node: 0 };
+        assert_eq!(perfect.local_view(a, perfect.local(a, p)).len(), 3);
+        assert_eq!(obs.local_view(a, obs.local(a, p)).len(), 1);
+    }
+
+    #[test]
+    fn missing_choice_is_reported() {
+        let ctx = peek_context();
+        let mut b = SystemBuilder::new(&ctx, Recall::Perfect).unwrap();
+        let empty = StepChoices::new();
+        let err = b.step(&empty).unwrap_err();
+        assert!(matches!(err, GenerateError::MissingChoice { .. }));
+    }
+
+    #[test]
+    fn out_of_range_action_is_reported() {
+        let ctx = peek_context();
+        let mut b = SystemBuilder::new(&ctx, Recall::Perfect).unwrap();
+        let mut choices = StepChoices::new();
+        for (agent, local) in b.frontier_locals() {
+            choices.set(agent, local, vec![ActionId(7)]);
+        }
+        let err = b.step(&choices).unwrap_err();
+        assert!(matches!(err, GenerateError::ActionOutOfRange { .. }));
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let ctx = peek_context();
+        let mut b = SystemBuilder::new(&ctx, Recall::Perfect).unwrap();
+        b.set_node_limit(2);
+        let either = |_: &LocalView<'_>| vec![ActionId(0), ActionId(1)];
+        let err = b.step_with(&either).unwrap_err();
+        assert!(matches!(err, GenerateError::NodeLimit { limit: 2 }));
+    }
+
+    #[test]
+    fn env_nondeterminism_branches() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("watcher");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["noop"])
+            .env_actions(["keep", "flip"])
+            .env_protocol(|_| vec![EnvActionId(0), EnvActionId(1)])
+            .transition(|s, j| {
+                if j.env == EnvActionId(1) {
+                    s.with_reg(0, 1 - s.reg(0))
+                } else {
+                    s.clone()
+                }
+            })
+            .observe(|_, s| Obs(u64::from(s.reg(0))))
+            .props(|_, _| false)
+            .build();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &noop, Recall::Perfect, 1).unwrap();
+        assert_eq!(sys.layer(1).len(), 2);
+    }
+
+    #[test]
+    fn points_iteration_and_counts() {
+        let ctx = peek_context();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &noop, Recall::Perfect, 2).unwrap();
+        assert_eq!(sys.point_count(), sys.points().count());
+        assert_eq!(sys.horizon(), 2);
+        for p in sys.points() {
+            let _ = sys.global_state(p);
+        }
+    }
+
+    #[test]
+    fn dedup_merges_epistemically_equal_points() {
+        // Environment flips a register that nobody observes and that no
+        // proposition reads... but it DOES change the global state, so
+        // nodes do not merge. Instead: two env actions with the same
+        // effect — children must merge.
+        let mut voc = Vocabulary::new();
+        let a = voc.add_agent("x");
+        let ctx = ContextBuilder::new(voc)
+            .initial_state(GlobalState::new(vec![0]))
+            .agent_actions(a, ["noop"])
+            .env_protocol(|_| vec![EnvActionId(0), EnvActionId(1)])
+            .transition(|s, _| s.clone()) // both env actions do nothing
+            .observe(|_, _| Obs(0))
+            .props(|_, _| false)
+            .build();
+        let noop = |_: &LocalView<'_>| vec![ActionId(0)];
+        let sys = generate(&ctx, &noop, Recall::Perfect, 1).unwrap();
+        assert_eq!(sys.layer(1).len(), 1, "identical successors merge");
+        // Both joint actions are remembered on the edges.
+        assert_eq!(sys.layer(0).nodes()[0].edges().len(), 2);
+        assert_eq!(sys.layer(0).nodes()[0].children(), vec![0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Tutorial: build a knowledge-based program for YOUR system, from the
+//! raw API — no pre-packaged scenario.
+//!
+//! The system: a *night watchman* and a *door*. The door starts locked or
+//! unlocked (unknown). The watchman can `check` the door (which reveals
+//! its state to him) or `lock` it (which locks it whatever it was), or do
+//! nothing. The building owner wants: the watchman locks the door *only
+//! when needed* — if he knows it's already locked, he should leave it
+//! alone (turning the key in a locked door sets off the alarm, say).
+//!
+//! The knowledge-based program writes itself:
+//!
+//! ```text
+//! if ¬(K locked ∨ K ¬locked)  do check        (find out first)
+//! if K ¬locked                do lock         (act on knowledge)
+//! otherwise                   noop            (already known locked)
+//! ```
+//!
+//! Run with: `cargo run --example custom_scenario`
+
+use knowledge_programs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. Vocabulary: agents and propositions --------------------
+    let mut voc = Vocabulary::new();
+    let watchman = voc.add_agent("watchman");
+    let locked = voc.add_prop("locked");
+    let alarm = voc.add_prop("alarm");
+
+    // ---- 2. The context: states, actions, dynamics, observations ---
+    // Registers: [locked, checked (door state visible), alarm].
+    const NOOP: ActionId = ActionId(0);
+    const CHECK: ActionId = ActionId(1);
+    const LOCK: ActionId = ActionId(2);
+    let ctx = ContextBuilder::new(voc)
+        .initial_states([
+            GlobalState::new(vec![0, 0, 0]),
+            GlobalState::new(vec![1, 0, 0]),
+        ])
+        .agent_actions(watchman, ["noop", "check", "lock"])
+        .transition(|s, j| match j.acts[0] {
+            CHECK => s.with_reg(1, 1),
+            LOCK => {
+                // Locking a locked door trips the alarm.
+                let alarm = u32::from(s.reg(0) == 1);
+                GlobalState::new(vec![1, s.reg(1), alarm])
+            }
+            _ => s.clone(),
+        })
+        .observe(|_, s| {
+            if s.reg(1) == 1 {
+                Obs(u64::from(s.reg(0)) + 1) // door state visible
+            } else {
+                Obs(0)
+            }
+        })
+        .props(move |p, s| {
+            (p == locked && s.reg(0) == 1) || (p == alarm && s.reg(2) == 1)
+        })
+        .build();
+
+    // ---- 3. The knowledge-based program ----------------------------
+    let know_whether = Formula::knows_whether(watchman, Formula::prop(locked));
+    let know_unlocked =
+        Formula::knows(watchman, Formula::not(Formula::prop(locked)));
+    let kbp = Kbp::builder()
+        .clause(watchman, Formula::not(know_whether), CHECK)
+        .clause(watchman, know_unlocked, LOCK)
+        .default_action(watchman, NOOP)
+        .build();
+    println!("{}", kbp.to_pretty(&ctx));
+
+    // ---- 4. Solve: construct the unique implementation -------------
+    let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve()?;
+    println!("Derived protocol (watchman):");
+    let mut entries: Vec<_> = solution.protocol().iter().collect();
+    entries.sort_by_key(|(_, h, _)| (h.len(), h.to_vec()));
+    for (_, history, actions) in entries.iter().take(8) {
+        let name = match actions {
+            a if a == &[CHECK] => "check",
+            a if a == &[LOCK] => "lock",
+            _ => "noop",
+        };
+        println!("  {history:?} -> {name}");
+    }
+    println!();
+
+    // ---- 5. Verify: the fixed point and the owner's requirements ---
+    let report = check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 4)?;
+    println!("Fixed point: {report}");
+
+    let sys = solution.system();
+    let no_alarm = Formula::always(Formula::not(Formula::prop(alarm)));
+    let locked_eventually = Formula::eventually(Formula::prop(locked));
+    println!("G !alarm      : {}", sys.holds_initially(&no_alarm)?);
+    println!("F locked      : {}", sys.holds_initially(&locked_eventually)?);
+
+    // A naive watchman who locks blindly WOULD trip the alarm:
+    let blind = MapProtocol::new(vec![LOCK]);
+    let blind_sys = generate(&ctx, &blind, Recall::Perfect, 2)?;
+    println!(
+        "G !alarm for the lock-blindly protocol: {}",
+        blind_sys.holds_initially(&no_alarm)?
+    );
+
+    // ---- 6. Ship it: extract the finite-state controller -----------
+    let machines = kbp_core::ControllerProtocol::from_solution(&solution, &kbp)?;
+    println!("\n{}", machines.controller(watchman).expect("present"));
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Diagnostics tour: *why* an agent doesn't know something, and what a
+//! run actually looks like — the tools you reach for when a
+//! knowledge-based program doesn't derive the protocol you expected.
+//!
+//! Run with: `cargo run --example diagnose`
+
+use knowledge_programs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sc = BitTransmission::new(Channel::Lossy);
+    let ctx = sc.context();
+    let kbp = sc.kbp();
+    let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve()?;
+    let sys = solution.system();
+
+    // Pick the point at t=1 on the run where the first message was
+    // DELIVERED (bit = 1).
+    let delivered = sys
+        .points()
+        .find(|&p| {
+            p.time == 1
+                && sys.global_state(p).reg(0) == 1 // bit = 1
+                && sys.global_state(p).reg(1) == 1 // receiver has it
+        })
+        .expect("delivered point exists");
+
+    // The receiver now knows the bit:
+    let bit = Formula::prop(sc.bit());
+    let expl = sys.explain_knowledge(sc.receiver(), delivered, &bit)?;
+    println!("Does the receiver know the bit at {delivered}?");
+    println!("  {expl}\n");
+
+    // But the sender does NOT know the receiver knows — and the explainer
+    // hands us the culprit: the indistinguishable point on the
+    // message-lost run.
+    let r_knows = sc.receiver_knows_bit();
+    let expl = sys.explain_knowledge(sc.sender(), delivered, &r_knows)?;
+    println!("Does the sender know that the receiver knows?");
+    println!("  {expl}");
+    if let Some(culprit) = expl.counter_point {
+        let s = sys.global_state(culprit);
+        println!(
+            "  culprit state: {s}  (rbit={}, sack={}) — the lost-message run",
+            s.reg(1),
+            s.reg(2)
+        );
+    }
+    println!();
+
+    // Show a full run, with the actions that drive it.
+    println!("A run of the derived protocol (first run, lossy channel):");
+    let run = sys.first_run();
+    print!("{}", sys.describe_run(&run, &ctx));
+    println!("\nTotal distinct runs in the bounded system: {}", sys.run_count());
+    Ok(())
+}

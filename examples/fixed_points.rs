@@ -1,0 +1,48 @@
+//! The fixed-point zoo: knowledge-based programs with zero, one and two
+//! implementations, found exhaustively by the enumerator.
+//!
+//! Run with: `cargo run --example fixed_points`
+
+use knowledge_programs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = fixed_point_zoo::lamp_context();
+
+    println!("One context (a visible lamp, a latching switch), three programs:\n");
+
+    for entry in fixed_point_zoo::all() {
+        println!("--- {} ---", entry.name);
+        println!("{}", entry.kbp.to_pretty(&ctx));
+
+        let found = Enumerator::new(&ctx, &entry.kbp).horizon(3).enumerate()?;
+        println!(
+            "implementations found: {} (expected {}), search {}",
+            found.count(),
+            entry.expected.count(),
+            if found.is_complete() { "complete" } else { "truncated" },
+        );
+        for (i, imp) in found.implementations().iter().enumerate() {
+            // Describe each implementation by what it does initially.
+            let first = [Obs(0)];
+            let acts = imp.protocol.actions(&LocalView {
+                agent: fixed_point_zoo::agent(),
+                history: &first,
+            });
+            let what = if acts.contains(&ActionId(1)) {
+                "switches the lamp on"
+            } else {
+                "never touches the lamp"
+            };
+            println!("  implementation #{}: {what}", i + 1);
+        }
+        assert_eq!(found.count(), entry.expected.count());
+        println!();
+    }
+
+    println!("Same context, same action repertoire — the number of");
+    println!("implementations is a property of the *program* alone:");
+    println!("  · past-determined tests    -> exactly one (FHMV's theorem)");
+    println!("  · self-fulfilling prophecy -> two fixed points");
+    println!("  · self-defeating prophecy  -> no fixed point at all");
+    Ok(())
+}

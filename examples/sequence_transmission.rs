@@ -1,0 +1,74 @@
+//! Sequence transmission: the alternating-bit protocol emerges from a
+//! two-line knowledge-based program — and corrupts without its parity
+//! tag.
+//!
+//! Run with: `cargo run --example sequence_transmission -- [m]`
+//! (default m = 2 bits).
+
+use knowledge_programs::prelude::*;
+
+fn check(
+    label: &str,
+    sc: &SequenceTransmission,
+    horizon: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = sc.context();
+    let kbp = sc.kbp();
+    let solution = SyncSolver::new(&ctx, &kbp).horizon(horizon).solve()?;
+    let sys = solution.system();
+
+    let safety = sys.holds_initially(&sc.prefix_safety())?;
+    let conservative = sys.holds_initially(&sc.conservative())?;
+    let liveness = sys.holds_initially(&sc.liveness())?;
+    println!(
+        "{label:<28} prefix-safe: {safety:<5}  conservative: {conservative:<5}  completes: {liveness}"
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(2);
+    let horizon = (3 * m as usize) + 2;
+
+    let sc = SequenceTransmission::new(m, Tagging::Alternating, Channel::Lossy);
+    let ctx = sc.context();
+    println!("The knowledge-based program ({m}-bit sequences):\n");
+    println!("{}", sc.kbp().to_pretty(&ctx));
+
+    println!("tagging × channel matrix (horizon {horizon}):\n");
+    check(
+        "alternating-bit / lossy",
+        &SequenceTransmission::new(m, Tagging::Alternating, Channel::Lossy),
+        horizon,
+    )?;
+    check(
+        "alternating-bit / reliable",
+        &SequenceTransmission::new(m, Tagging::Alternating, Channel::Reliable),
+        horizon,
+    )?;
+    check(
+        "untagged        / lossy",
+        &SequenceTransmission::new(m, Tagging::None, Channel::Lossy),
+        horizon,
+    )?;
+    check(
+        "untagged        / reliable",
+        &SequenceTransmission::new(m, Tagging::None, Channel::Reliable),
+        horizon,
+    )?;
+
+    println!();
+    println!("Reading the table:");
+    println!("  · the alternating-bit tag keeps the receiver's sequence a");
+    println!("    correct prefix on EVERY run, lossy or not;");
+    println!("  · remove the tag and retransmissions get appended as new");
+    println!("    bits — corruption, even on a reliable channel (the");
+    println!("    sender retransmits before its ack can return);");
+    println!("  · completion (liveness) needs a channel that delivers —");
+    println!("    against adversarial loss no protocol can promise it.");
+    Ok(())
+}

@@ -1,0 +1,257 @@
+//! Cross-validation of the production evaluator against a naive,
+//! obviously-correct run-based semantics.
+//!
+//! The production `Evaluator` works on deduplicated layers with bitset
+//! fixpoints. The naive semantics here enumerates *runs* explicitly and
+//! evaluates at `(run, time)` points: knowledge quantifies over same-time
+//! points with equal local state, temporal operators quantify
+//! universally over the runs through the current point (matching the
+//! evaluator's universal path semantics). Agreement on random contexts
+//! and random guard-shaped formulas validates the whole pipeline:
+//! deduplication, layer models, and backward induction.
+
+use kbp_logic::random::{RandomSource, SplitMix64};
+use kbp_logic::{Agent, Formula, PropId};
+use kbp_systems::random::{random_context, RandomContextConfig};
+use kbp_systems::{
+    generate, ActionId, Context, Evaluator, InterpretedSystem, LocalView, Point, Recall, Run,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PROPS: usize = 2;
+const AGENTS: usize = 2;
+
+/// Random formulas whose temporal operators appear only under a K —
+/// the guard fragment, where run-based and node-based semantics agree.
+fn guard_formula(rng: &mut SplitMix64, depth: usize, under_k: bool) -> Formula {
+    let choices = if under_k { 9 } else { 6 };
+    if depth == 0 {
+        return match rng.below(3) {
+            0 => Formula::True,
+            _ => Formula::prop(PropId::new(rng.below(PROPS) as u32)),
+        };
+    }
+    match rng.below(choices) {
+        0 => Formula::prop(PropId::new(rng.below(PROPS) as u32)),
+        1 => Formula::not(guard_formula(rng, depth - 1, under_k)),
+        2 => Formula::and([
+            guard_formula(rng, depth - 1, under_k),
+            guard_formula(rng, depth - 1, under_k),
+        ]),
+        3 => Formula::or([
+            guard_formula(rng, depth - 1, under_k),
+            guard_formula(rng, depth - 1, under_k),
+        ]),
+        4 | 5 => Formula::knows(
+            Agent::new(rng.below(AGENTS)),
+            guard_formula(rng, depth - 1, true),
+        ),
+        6 => Formula::eventually(guard_formula(rng, depth - 1, true)),
+        7 => Formula::always(guard_formula(rng, depth - 1, true)),
+        _ => Formula::next(guard_formula(rng, depth - 1, true)),
+    }
+}
+
+/// Naive evaluator with memoization on `(point, subformula)`. Every
+/// clause's value is a function of the *point* (temporal operators are
+/// universal over runs through the point), so the memo is sound.
+struct Naive<'a> {
+    sys: &'a InterpretedSystem,
+    runs: &'a [Run],
+    memo: HashMap<(Point, usize), bool>,
+}
+
+impl Naive<'_> {
+    fn eval(&mut self, point: Point, f: &Formula) -> bool {
+        let key = (point, f as *const Formula as usize);
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+        let t = point.time;
+        let v = match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Prop(p) => self
+                .sys
+                .layer(t)
+                .model()
+                .prop_holds(kbp_kripke::WorldId::new(point.node), *p),
+            Formula::Not(g) => !self.eval(point, g),
+            Formula::And(items) => items.iter().all(|g| self.eval(point, g)),
+            Formula::Or(items) => items.iter().any(|g| self.eval(point, g)),
+            Formula::Implies(a, b) => !self.eval(point, a) || self.eval(point, b),
+            Formula::Iff(a, b) => self.eval(point, a) == self.eval(point, b),
+            Formula::Knows(agent, g) => {
+                let my_local = self.sys.local(*agent, point);
+                let others: Vec<Point> = (0..self.sys.layer(t).len())
+                    .map(|node| Point { time: t, node })
+                    .filter(|&p2| self.sys.local(*agent, p2) == my_local)
+                    .collect();
+                others.into_iter().all(|p2| self.eval(p2, g))
+            }
+            Formula::Next(g) => {
+                let succs = self.successors(point);
+                !succs.is_empty() && succs.into_iter().all(|p2| self.eval(p2, g))
+            }
+            Formula::Eventually(g) => {
+                // Every run through the point eventually satisfies g.
+                let suffixes = self.run_suffixes(point);
+                suffixes.into_iter().all(|(ri, t0)| {
+                    (t0..=self.runs[ri].horizon())
+                        .any(|t2| self.eval(self.runs[ri].point(t2), g))
+                })
+            }
+            Formula::Always(g) => {
+                let suffixes = self.run_suffixes(point);
+                suffixes.into_iter().all(|(ri, t0)| {
+                    (t0..=self.runs[ri].horizon())
+                        .all(|t2| self.eval(self.runs[ri].point(t2), g))
+                })
+            }
+            Formula::Until(a, b) => {
+                let suffixes = self.run_suffixes(point);
+                suffixes.into_iter().all(|(ri, t0)| {
+                    (t0..=self.runs[ri].horizon()).any(|t2| {
+                        self.eval(self.runs[ri].point(t2), b)
+                            && (t0..t2).all(|t3| self.eval(self.runs[ri].point(t3), a))
+                    })
+                })
+            }
+            Formula::Everyone(..) | Formula::Common(..) | Formula::Distributed(..) => {
+                unreachable!("not generated by guard_formula")
+            }
+        };
+        self.memo.insert(key, v);
+        v
+    }
+
+    fn successors(&self, point: Point) -> Vec<Point> {
+        if point.time == self.sys.horizon() {
+            return Vec::new();
+        }
+        self.sys
+            .node(point)
+            .children()
+            .into_iter()
+            .map(|node| Point {
+                time: point.time + 1,
+                node,
+            })
+            .collect()
+    }
+
+    /// All `(run index, time)` pairs whose run passes through `point`.
+    fn run_suffixes(&self, point: Point) -> Vec<(usize, usize)> {
+        (0..self.runs.len())
+            .filter(|&ri| self.runs[ri].point(point.time) == point)
+            .map(|ri| (ri, point.time))
+            .collect()
+    }
+}
+
+fn small_context(seed: u64) -> kbp_systems::FnContext {
+    let cfg = RandomContextConfig {
+        states: 5,
+        agents: AGENTS,
+        actions: 2,
+        env_moves: 2,
+        initial: 2,
+        obs_classes: 2,
+        props: PROPS,
+    };
+    random_context(seed, &cfg)
+}
+
+fn crosscheck(sys: &InterpretedSystem, f_seed: u64, formulas: usize, depth: usize) {
+    let runs = sys.runs(100_000);
+    assert_eq!(runs.len() as u128, sys.run_count(), "run enumeration truncated");
+    let mut rng = SplitMix64::new(f_seed);
+    for _ in 0..formulas {
+        let f = guard_formula(&mut rng, depth, false);
+        let ev = Evaluator::new(sys, &f).unwrap();
+        let mut naive = Naive {
+            sys,
+            runs: &runs,
+            memo: HashMap::new(),
+        };
+        for t in 0..sys.layer_count() {
+            for node in 0..sys.layer(t).len() {
+                let point = Point { time: t, node };
+                assert_eq!(
+                    ev.holds(point),
+                    naive.eval(point, &f),
+                    "disagree on {f} at {point}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn evaluator_agrees_with_naive_run_semantics(
+        ctx_seed in 0u64..5_000,
+        f_seed in 0u64..1_000_000,
+    ) {
+        let ctx = small_context(ctx_seed);
+        let both = |view: &LocalView<'_>| {
+            let _ = view;
+            vec![ActionId(0), ActionId(1)]
+        };
+        let sys = generate(&ctx, &both, Recall::Perfect, 3).unwrap();
+        crosscheck(&sys, f_seed, 5, 4);
+    }
+
+    #[test]
+    fn evaluator_agrees_under_observational_recall(
+        ctx_seed in 0u64..5_000,
+        f_seed in 0u64..1_000_000,
+    ) {
+        let ctx = small_context(ctx_seed);
+        let first = |view: &LocalView<'_>| {
+            let _ = view;
+            vec![ActionId(0)]
+        };
+        let sys = generate(&ctx, &first, Recall::Observational, 3).unwrap();
+        crosscheck(&sys, f_seed, 4, 3);
+    }
+
+    /// Global states along runs respect the transition function.
+    #[test]
+    fn runs_respect_the_transition_function(ctx_seed in 0u64..5_000) {
+        let ctx = small_context(ctx_seed);
+        let both = |view: &LocalView<'_>| {
+            let _ = view;
+            vec![ActionId(0), ActionId(1)]
+        };
+        let sys = generate(&ctx, &both, Recall::Perfect, 3).unwrap();
+        for run in sys.runs(10_000) {
+            for t in 0..run.horizon() {
+                let here = sys.global_state(run.point(t)).clone();
+                let next = sys.global_state(run.point(t + 1)).clone();
+                let node = sys.node(run.point(t));
+                let witnessed = node.edges().iter().any(|(child, joint)| {
+                    *child as usize == run.point(t + 1).node
+                        && ctx.transition(&here, joint) == next
+                });
+                prop_assert!(witnessed, "no action explains step {} of {}", t, run);
+            }
+        }
+    }
+}
+
+#[test]
+fn crosscheck_on_a_handpicked_context() {
+    // One deterministic instance always in the suite even if proptest
+    // shrinks elsewhere.
+    let ctx = small_context(1234);
+    let both = |view: &LocalView<'_>| {
+        let _ = view;
+        vec![ActionId(0), ActionId(1)]
+    };
+    let sys = generate(&ctx, &both, Recall::Perfect, 4).unwrap();
+    crosscheck(&sys, 99, 8, 4);
+}
