@@ -20,7 +20,10 @@ fn reproduce() {
         let sc = BitTransmission::new(channel);
         let ctx = sc.context();
         let kbp = sc.kbp();
-        let solution = SyncSolver::new(&ctx, &kbp).horizon(6).solve().expect("solves");
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(6)
+            .solve()
+            .expect("solves");
         let sys = solution.system();
 
         // Paper fact 1: the derived sender sends at time 0.

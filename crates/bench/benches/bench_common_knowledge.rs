@@ -52,7 +52,10 @@ fn reproduce() {
         prev = count;
         rows.push(vec![cell(format!("E^{k} p")), cell(count)]);
     }
-    let c = m.satisfying(&Formula::common(g, p)).expect("evaluable").count();
+    let c = m
+        .satisfying(&Formula::common(g, p))
+        .expect("evaluable")
+        .count();
     assert!(c <= prev, "C p is below every E^k p");
     rows.push(vec![cell("C p"), cell(c)]);
     report_table(

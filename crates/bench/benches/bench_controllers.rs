@@ -14,10 +14,16 @@ fn reproduce() {
     let kbp = sc.kbp();
     let mut rows = Vec::new();
     for horizon in [4usize, 8, 12] {
-        let solution = SyncSolver::new(&ctx, &kbp).horizon(horizon).solve().expect("solves");
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(horizon)
+            .solve()
+            .expect("solves");
         let table_entries = solution.protocol().len();
         let machines = ControllerProtocol::from_solution(&solution, &kbp).expect("extracts");
-        let sender_states = machines.controller(sc.sender()).expect("present").state_count();
+        let sender_states = machines
+            .controller(sc.sender())
+            .expect("present")
+            .state_count();
         let receiver_states = machines
             .controller(sc.receiver())
             .expect("present")
@@ -43,14 +49,13 @@ fn bench(c: &mut Criterion) {
     let kbp = sc.kbp();
     let mut group = c.benchmark_group("e12_controllers");
     for horizon in [4usize, 8, 12, 16] {
-        let solution = SyncSolver::new(&ctx, &kbp).horizon(horizon).solve().expect("solves");
-        group.bench_with_input(
-            BenchmarkId::new("extract", horizon),
-            &horizon,
-            |b, _| {
-                b.iter(|| ControllerProtocol::from_solution(&solution, &kbp).expect("extracts"));
-            },
-        );
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(horizon)
+            .solve()
+            .expect("solves");
+        group.bench_with_input(BenchmarkId::new("extract", horizon), &horizon, |b, _| {
+            b.iter(|| ControllerProtocol::from_solution(&solution, &kbp).expect("extracts"));
+        });
     }
     group.finish();
 }

@@ -13,11 +13,16 @@ fn reproduce() {
     for (channel, exp_paralysis) in [(Channel::Lossy, true), (Channel::Reliable, false)] {
         let sc = CoordinatedAttack::new(channel);
         let ctx = sc.context();
-        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(5).solve().expect("solves");
+        let solution = SyncSolver::new(&ctx, &sc.kbp())
+            .horizon(5)
+            .solve()
+            .expect("solves");
         let sys = solution.system();
         let coordination = sys.holds_initially(&sc.coordination()).expect("evaluable");
         let validity = sys.holds_initially(&sc.validity()).expect("evaluable");
-        let paralysis = sys.holds_initially(&sc.nobody_attacks()).expect("evaluable");
+        let paralysis = sys
+            .holds_initially(&sc.nobody_attacks())
+            .expect("evaluable");
         rows.push(vec![
             cell(format!("{channel:?}")),
             expect("coordination", true, coordination),

@@ -1,0 +1,205 @@
+//! E13 — Subformula satisfaction caching: cached vs uncached guard
+//! evaluation over the layers of solved systems.
+//!
+//! The workload mirrors what the solvers do each layer: evaluate a batch
+//! of knowledge tests (every clause guard, its negation — the default
+//! branch — and `knows_whether`-style combinations, plus group-modality
+//! analysis formulas) on every time slice of the generated system. The
+//! *uncached* path calls `S5Model::satisfying` per formula; the *cached*
+//! path interns the batch into one `FormulaArena` and evaluates through a
+//! per-layer `EvalCache`, so shared subformulas and group partitions are
+//! computed once per layer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::SyncSolver;
+use kbp_kripke::{EvalCache, S5Model};
+use kbp_logic::{AgentSet, Formula, FormulaArena};
+use kbp_scenarios::muddy_children::MuddyChildren;
+use kbp_scenarios::sequence_transmission::{Channel, SequenceTransmission, Tagging};
+use std::time::Duration;
+
+/// The muddy-children analysis batch: per child the clause guard
+/// `K_i muddy_i`, its negation (the default branch), `K_i ¬muddy_i`, and
+/// `knows_whether`; plus "someone is muddy" under `E_G`, `E_G E_G` and
+/// `C_G` — heavy subformula and partition sharing.
+fn muddy_formulas(sc: &MuddyChildren) -> Vec<Formula> {
+    let n = sc.children();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let child = sc.child(i);
+        let muddy = Formula::prop(sc.muddy(i));
+        let knows = Formula::knows(child, muddy.clone());
+        let knows_not = Formula::knows(child, Formula::not(muddy.clone()));
+        out.push(knows.clone());
+        out.push(Formula::not(knows.clone()));
+        out.push(knows_not.clone());
+        out.push(Formula::or([knows, knows_not]));
+    }
+    let g = AgentSet::all(n);
+    let someone = Formula::or((0..n).map(|i| Formula::prop(sc.muddy(i))));
+    let everyone = Formula::everyone(g, someone.clone());
+    out.push(everyone.clone());
+    out.push(Formula::everyone(g, everyone));
+    out.push(Formula::common(g, someone));
+    // Per-child common knowledge of "someone else is muddy" — n formulas
+    // over the same group, so the cached path computes the group join once
+    // per layer while the uncached path recomputes it per formula.
+    for i in 0..n {
+        let others = Formula::or(
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| Formula::prop(sc.muddy(j))),
+        );
+        out.push(Formula::common(g, others));
+    }
+    out
+}
+
+/// The sequence-transmission batch: both clause guards, their negations,
+/// and the distributed-knowledge pooling of the protocol's propositions.
+fn seq_formulas(sc: &SequenceTransmission) -> Vec<Formula> {
+    let (s, r) = (sc.sender(), sc.receiver());
+    let done_r = Formula::prop(sc.done_r());
+    let got_one = Formula::prop(sc.got_one());
+    let caught_up = Formula::prop(sc.caught_up());
+    let send_guard = Formula::not(Formula::knows(s, done_r.clone()));
+    let ack_guard = Formula::and([
+        Formula::knows(r, got_one.clone()),
+        Formula::not(Formula::knows(r, caught_up.clone())),
+    ]);
+    let g = AgentSet::all(2);
+    let prefix_ok = Formula::prop(sc.prefix_ok());
+    vec![
+        send_guard.clone(),
+        Formula::not(send_guard),
+        ack_guard.clone(),
+        Formula::not(ack_guard),
+        Formula::knows(r, got_one.clone()),
+        Formula::knows(r, caught_up.clone()),
+        // Several group modalities over the same pair {S, R}: the cached
+        // path builds the join / refinement partitions once per layer.
+        Formula::distributed(g, done_r.clone()),
+        Formula::distributed(g, got_one.clone()),
+        Formula::distributed(g, prefix_ok.clone()),
+        Formula::common(g, Formula::implies(done_r.clone(), got_one)),
+        Formula::common(g, prefix_ok),
+        Formula::common(g, Formula::or([done_r, caught_up])),
+    ]
+}
+
+fn eval_uncached(models: &[&S5Model], formulas: &[Formula]) -> usize {
+    let mut bits = 0;
+    for m in models {
+        for f in formulas {
+            bits += m.satisfying(f).expect("evaluates").count();
+        }
+    }
+    bits
+}
+
+fn eval_cached(models: &[&S5Model], arena: &FormulaArena, ids: &[kbp_logic::FormulaId]) -> usize {
+    let mut bits = 0;
+    let mut cache = EvalCache::new();
+    for m in models {
+        cache.clear();
+        for &id in ids {
+            bits += m
+                .satisfying_cached(&mut cache, arena, id)
+                .expect("evaluates")
+                .count();
+        }
+    }
+    bits
+}
+
+fn run_pair(
+    c: &mut Criterion,
+    name: &str,
+    param: impl std::fmt::Display,
+    models: &[&S5Model],
+    formulas: &[Formula],
+    rows: &mut Vec<Vec<String>>,
+) {
+    let mut arena = FormulaArena::new();
+    let ids: Vec<_> = formulas.iter().map(|f| arena.intern(f)).collect();
+    let plain = eval_uncached(models, formulas);
+    let cached = eval_cached(models, &arena, &ids);
+    let occurrences: usize = formulas.iter().map(|f| f.subformulas().count()).sum();
+    rows.push(vec![
+        cell(format!("{name}/{param}")),
+        cell(occurrences),
+        cell(arena.len()),
+        expect("cached = uncached", plain, cached),
+    ]);
+
+    let mut group = c.benchmark_group("e13_eval_cache");
+    group.bench_function(BenchmarkId::new(format!("{name}_uncached"), &param), |b| {
+        b.iter(|| black_box(eval_uncached(models, formulas)));
+    });
+    group.bench_function(BenchmarkId::new(format!("{name}_cached"), &param), |b| {
+        b.iter(|| black_box(eval_cached(models, &arena, &ids)));
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+
+    for n in [5usize, 6] {
+        let sc = MuddyChildren::new(n);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(n + 1)
+            .solve()
+            .expect("solves");
+        let system = solution.system();
+        let models: Vec<&S5Model> = (0..system.layer_count())
+            .map(|t| system.layer(t).model())
+            .collect();
+        let formulas = muddy_formulas(&sc);
+        run_pair(c, "muddy_children", n, &models, &formulas, &mut rows);
+    }
+
+    for m in [2u32, 3] {
+        let sc = SequenceTransmission::new(m, Tagging::Alternating, Channel::Lossy);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(2 * m as usize + 2)
+            .solve()
+            .expect("solves");
+        let system = solution.system();
+        let models: Vec<&S5Model> = (0..system.layer_count())
+            .map(|t| system.layer(t).model())
+            .collect();
+        let formulas = seq_formulas(&sc);
+        run_pair(c, "seq_transmission", m, &models, &formulas, &mut rows);
+    }
+
+    report_table(
+        "E13 eval cache (expected: cached bit-counts identical to uncached)",
+        &[
+            "workload",
+            "subformula occurrences",
+            "distinct interned",
+            "equal",
+        ],
+        &rows,
+    );
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

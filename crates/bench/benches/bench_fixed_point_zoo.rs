@@ -20,7 +20,11 @@ fn reproduce() {
             cell(entry.expected.count()),
             cell(found.count()),
             cell(found.branches_explored()),
-            expect("implementation count", entry.expected.count(), found.count()),
+            expect(
+                "implementation count",
+                entry.expected.count(),
+                found.count(),
+            ),
         ]);
     }
     report_table(

@@ -22,7 +22,11 @@ fn reproduce() {
     let rbit = Formula::prop(sc.receiver_has_bit());
 
     let verdicts = [
-        ("G(sack -> rbit)", Formula::always(Formula::implies(sack.clone(), rbit.clone())), true),
+        (
+            "G(sack -> rbit)",
+            Formula::always(Formula::implies(sack.clone(), rbit.clone())),
+            true,
+        ),
         ("EF sack", ctl::ef(sack.clone()), true),
         ("AF rbit", Formula::eventually(rbit.clone()), false),
         ("EG !rbit", ctl::eg(Formula::not(rbit)), true),
@@ -67,7 +71,10 @@ fn bench(c: &mut Criterion) {
         let p = Formula::prop(PropId::new(0));
         let spec_ag = Formula::always(Formula::implies(
             p.clone(),
-            Formula::knows(Agent::new(0), Formula::or([p.clone(), Formula::not(p.clone())])),
+            Formula::knows(
+                Agent::new(0),
+                Formula::or([p.clone(), Formula::not(p.clone())]),
+            ),
         ));
         let spec_af = Formula::eventually(p.clone());
         let spec_k = Formula::knows(Agent::new(1), Formula::not(p));

@@ -13,7 +13,10 @@ fn reproduce() {
         let sc = MuddyChildren::new(n);
         let ctx = sc.context();
         let kbp = sc.kbp();
-        let solution = SyncSolver::new(&ctx, &kbp).horizon(n + 1).solve().expect("solves");
+        let solution = SyncSolver::new(&ctx, &kbp)
+            .horizon(n + 1)
+            .solve()
+            .expect("solves");
         let mut all_ok = true;
         for mask in 1u32..(1 << n) {
             let k = mask.count_ones() as usize;

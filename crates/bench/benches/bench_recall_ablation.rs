@@ -14,7 +14,10 @@ fn reproduce() {
     let ctx = sc.context();
     let kbp = sc.kbp();
     let horizon = 8;
-    let perfect = SyncSolver::new(&ctx, &kbp).horizon(horizon).solve().expect("solves");
+    let perfect = SyncSolver::new(&ctx, &kbp)
+        .horizon(horizon)
+        .solve()
+        .expect("solves");
     let obs = SyncSolver::new(&ctx, &kbp)
         .horizon(horizon)
         .recall(Recall::Observational)

@@ -19,7 +19,10 @@ fn reproduce() {
     for (tagging, channel, exp_safe, exp_complete) in cases {
         let sc = SequenceTransmission::new(2, tagging, channel);
         let ctx = sc.context();
-        let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(8).solve().expect("solves");
+        let solution = SyncSolver::new(&ctx, &sc.kbp())
+            .horizon(8)
+            .solve()
+            .expect("solves");
         let sys = solution.system();
         let safe = sys.holds_initially(&sc.prefix_safety()).expect("evaluable");
         let complete = sys.holds_initially(&sc.liveness()).expect("evaluable");
@@ -34,7 +37,14 @@ fn reproduce() {
     }
     report_table(
         "E4 sequence transmission (alternating-bit emerges; untagged corrupts)",
-        &["tagging", "channel", "safe", "completes", "safety", "liveness"],
+        &[
+            "tagging",
+            "channel",
+            "safe",
+            "completes",
+            "safety",
+            "liveness",
+        ],
         &rows,
     );
 }

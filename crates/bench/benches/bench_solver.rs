@@ -40,7 +40,10 @@ fn reproduce() {
     };
     let ctx = random_context(11, &cfg);
     let kbp = simple_kbp(2);
-    let solution = SyncSolver::new(&ctx, &kbp).horizon(8).solve().expect("solves");
+    let solution = SyncSolver::new(&ctx, &kbp)
+        .horizon(8)
+        .solve()
+        .expect("solves");
     let rows: Vec<Vec<String>> = (0..solution.system().layer_count())
         .map(|t| vec![cell(t), cell(solution.system().layer(t).len())])
         .collect();

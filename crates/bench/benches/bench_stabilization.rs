@@ -16,7 +16,10 @@ fn reproduce() {
 
     let mc = MuddyChildren::new(3);
     let mc_ctx = mc.context();
-    let mc_sol = SyncSolver::new(&mc_ctx, &mc.kbp()).horizon(8).solve().expect("solves");
+    let mc_sol = SyncSolver::new(&mc_ctx, &mc.kbp())
+        .horizon(8)
+        .solve()
+        .expect("solves");
     rows.push(vec![
         cell("muddy children (n=3)"),
         cell(8),
@@ -26,7 +29,10 @@ fn reproduce() {
 
     let rb = Robot::new(12, 4, 7);
     let rb_ctx = rb.context();
-    let rb_sol = SyncSolver::new(&rb_ctx, &rb.kbp()).horizon(10).solve().expect("solves");
+    let rb_sol = SyncSolver::new(&rb_ctx, &rb.kbp())
+        .horizon(10)
+        .solve()
+        .expect("solves");
     rows.push(vec![
         cell("robot [4,7]"),
         cell(10),
@@ -48,13 +54,19 @@ fn reproduce() {
     ]);
     assert!(bt_obs.stabilized().is_some());
 
-    let bt_perfect = SyncSolver::new(&bt_ctx, &bt.kbp()).horizon(10).solve().expect("solves");
+    let bt_perfect = SyncSolver::new(&bt_ctx, &bt.kbp())
+        .horizon(10)
+        .solve()
+        .expect("solves");
     rows.push(vec![
         cell("bit transmission (perf.)"),
         cell(10),
         cell(format!("{:?}", bt_perfect.stabilized())),
     ]);
-    assert!(bt_perfect.stabilized().is_none(), "histories keep splitting");
+    assert!(
+        bt_perfect.stabilized().is_none(),
+        "histories keep splitting"
+    );
 
     report_table(
         "E10 stabilisation certificates (None = genuinely keeps changing)",
@@ -70,7 +82,10 @@ fn bench(c: &mut Criterion) {
     // Detection cost on a solved system.
     let mc = MuddyChildren::new(4);
     let ctx = mc.context();
-    let solution = SyncSolver::new(&ctx, &mc.kbp()).horizon(8).solve().expect("solves");
+    let solution = SyncSolver::new(&ctx, &mc.kbp())
+        .horizon(8)
+        .solve()
+        .expect("solves");
     group.bench_function("detect_muddy_n4_h8", |b| {
         b.iter(|| solution.system().stabilization());
     });

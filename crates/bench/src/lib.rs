@@ -47,7 +47,10 @@ pub fn report_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    eprintln!("{}", fmt_row(header.iter().map(|s| (*s).to_owned()).collect()));
+    eprintln!(
+        "{}",
+        fmt_row(header.iter().map(|s| (*s).to_owned()).collect())
+    );
     for row in rows {
         eprintln!("{}", fmt_row(row.clone()));
     }
@@ -95,7 +98,10 @@ mod tests {
         report_table(
             "demo",
             &["a", "b"],
-            &[vec!["1".into(), "22".into()], vec!["333".into(), "4".into()]],
+            &[
+                vec!["1".into(), "22".into()],
+                vec!["333".into(), "4".into()],
+            ],
         );
     }
 }

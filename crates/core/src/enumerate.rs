@@ -22,12 +22,12 @@
 use crate::implement::compare_on_system;
 use crate::program::Kbp;
 use crate::solve::SolveError;
-use kbp_kripke::BitSet;
-use kbp_systems::{
-    ActionId, Context, InterpretedSystem, LocalId, MapProtocol, Recall, StepChoices,
-    SystemBuilder,
-};
+use kbp_kripke::{BitSet, EvalCache};
 use kbp_logic::Agent;
+use kbp_logic::{FormulaArena, FormulaId};
+use kbp_systems::{
+    ActionId, Context, InterpretedSystem, LocalId, MapProtocol, Recall, StepChoices, SystemBuilder,
+};
 use std::fmt;
 
 /// One implementation found by the enumerator.
@@ -88,7 +88,11 @@ impl fmt::Display for Enumeration {
             "{} implementation(s) found in {} branches ({})",
             self.count(),
             self.branches_explored,
-            if self.complete { "complete" } else { "budget exhausted" }
+            if self.complete {
+                "complete"
+            } else {
+                "budget exhausted"
+            }
         )
     }
 }
@@ -218,8 +222,30 @@ impl<'a> Enumerator<'a> {
         for program in self.kbp.programs() {
             proto.set_agent_default(program.agent(), vec![program.default_action()]);
         }
+        // Intern past-determined guards once; future-referring guards are
+        // guessed, not evaluated on layers, so they stay out of the arena.
+        let mut arena = FormulaArena::new();
+        let past_ids: Vec<Vec<Option<FormulaId>>> = self
+            .kbp
+            .programs()
+            .iter()
+            .map(|p| {
+                p.clauses()
+                    .iter()
+                    .map(|c| {
+                        if c.guard.has_temporal() {
+                            None
+                        } else {
+                            Some(arena.intern(&c.guard))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         let mut search = Search {
             enumerator: self,
+            arena,
+            past_ids,
             found: Vec::new(),
             branches: 0,
             complete: true,
@@ -235,6 +261,11 @@ impl<'a> Enumerator<'a> {
 
 struct Search<'a, 'b> {
     enumerator: &'b Enumerator<'a>,
+    /// Interned past-determined guards, shared by every layer evaluation.
+    arena: FormulaArena,
+    /// Per program, per clause: the interned guard, or `None` for
+    /// future-referring guards (branched over instead of evaluated).
+    past_ids: Vec<Vec<Option<FormulaId>>>,
     found: Vec<Implementation>,
     branches: usize,
     complete: bool,
@@ -251,11 +282,7 @@ impl Search<'_, '_> {
         true
     }
 
-    fn dfs(
-        &mut self,
-        builder: SystemBuilder<'_>,
-        proto: MapProtocol,
-    ) -> Result<(), SolveError> {
+    fn dfs(&mut self, builder: SystemBuilder<'_>, proto: MapProtocol) -> Result<(), SolveError> {
         if !self.budget_left() {
             return Ok(());
         }
@@ -274,18 +301,20 @@ impl Search<'_, '_> {
         // (agent, local, observation history, candidate action sets).
         type Slot = (Agent, LocalId, Vec<Obs>, Vec<Vec<ActionId>>);
         let mut slots: Vec<Slot> = Vec::new();
-        for program in kbp.programs() {
+        // One cache per layer visit: distinct subformulas of all
+        // past-determined guards are evaluated once across all programs.
+        let mut cache = EvalCache::new();
+        for (program, ids) in kbp.programs().iter().zip(&self.past_ids) {
             let agent = program.agent();
             let clauses = program.clauses();
             // Satisfaction of past-determined guards on this layer.
-            let past_sets: Vec<Option<BitSet>> = clauses
+            let past_sets: Vec<Option<BitSet>> = ids
                 .iter()
-                .map(|c| {
-                    if c.guard.has_temporal() {
-                        Ok(None)
-                    } else {
-                        model.satisfying(&c.guard).map(Some)
-                    }
+                .map(|id| match id {
+                    None => Ok(None),
+                    Some(id) => model
+                        .satisfying_cached(&mut cache, &self.arena, *id)
+                        .map(|s| Some(s.clone())),
                 })
                 .collect::<Result<_, _>>()?;
             let future_idx: Vec<usize> = clauses
@@ -409,10 +438,7 @@ impl Search<'_, '_> {
                 .map(|c| kbp_systems::Evaluator::new(&system, &c.guard))
                 .collect::<Result<_, _>>()?;
             for node in 0..system.layer(t_last).len() {
-                let point = kbp_systems::Point {
-                    time: t_last,
-                    node,
-                };
+                let point = kbp_systems::Point { time: t_last, node };
                 let truths: Vec<bool> = evaluators.iter().map(|e| e.holds(point)).collect();
                 let induced = program.induced_actions(&truths);
                 let local = system.local(agent, point);
@@ -423,12 +449,7 @@ impl Search<'_, '_> {
         let _ = histories; // histories recomputed from the system above
 
         let (mismatches, _) = compare_on_system(&system, kbp, &proto)?;
-        if mismatches.is_empty()
-            && !self
-                .found
-                .iter()
-                .any(|imp| imp.protocol == proto)
-        {
+        if mismatches.is_empty() && !self.found.iter().any(|imp| imp.protocol == proto) {
             self.found.push(Implementation {
                 protocol: proto,
                 system,
@@ -517,7 +538,10 @@ mod tests {
         assert_eq!(found.count(), 1);
         assert!(found.is_complete());
         assert_eq!(found.branches_explored(), 4, "no branching for atemporal");
-        let solver = crate::SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        let solver = crate::SyncSolver::new(&ctx, &kbp)
+            .horizon(4)
+            .solve()
+            .unwrap();
         assert_eq!(found.implementations()[0].protocol, *solver.protocol());
     }
 
@@ -564,14 +588,8 @@ mod tests {
             .build();
         let found = Enumerator::new(&ctx, &kbp).horizon(3).enumerate().unwrap();
         for imp in found.implementations() {
-            let report = crate::check_implementation(
-                &ctx,
-                &kbp,
-                &imp.protocol,
-                Recall::Perfect,
-                3,
-            )
-            .unwrap();
+            let report =
+                crate::check_implementation(&ctx, &kbp, &imp.protocol, Recall::Perfect, 3).unwrap();
             assert!(report.is_implementation(), "{report}");
         }
     }

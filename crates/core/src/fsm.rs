@@ -16,8 +16,8 @@
 //! The result replays the table exactly (asserted during construction).
 
 use crate::solve::SolveError;
-use kbp_systems::{ActionId, LocalView, MapProtocol, Obs, ProtocolFn};
 use kbp_logic::Agent;
+use kbp_systems::{ActionId, LocalView, MapProtocol, Obs, ProtocolFn};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -122,7 +122,11 @@ impl fmt::Display for Controller {
             self.states.len()
         )?;
         for (i, st) in self.states.iter().enumerate() {
-            let marker = if i as u32 == self.default_state { "*" } else { " " };
+            let marker = if i as u32 == self.default_state {
+                "*"
+            } else {
+                " "
+            };
             write!(f, " {marker}q{i}: emit {:?};", st.actions)?;
             for (o, t) in &st.transitions {
                 write!(f, " {o}→q{t}")?;
@@ -148,7 +152,10 @@ impl ControllerProtocol {
     ///
     /// Returns [`SolveError`] if replay verification fails (a bug guard;
     /// extraction re-checks every table entry against the machine).
-    pub fn extract(proto: &MapProtocol, default_actions: &[(Agent, Vec<ActionId>)]) -> Result<Self, SolveError> {
+    pub fn extract(
+        proto: &MapProtocol,
+        default_actions: &[(Agent, Vec<ActionId>)],
+    ) -> Result<Self, SolveError> {
         let mut agents: Vec<Agent> = proto.iter().map(|(a, _, _)| a).collect();
         agents.sort_unstable();
         agents.dedup();
@@ -171,10 +178,7 @@ impl ControllerProtocol {
     /// # Errors
     ///
     /// Same conditions as [`extract`](Self::extract).
-    pub fn from_solution(
-        solution: &crate::Solution,
-        kbp: &crate::Kbp,
-    ) -> Result<Self, SolveError> {
+    pub fn from_solution(solution: &crate::Solution, kbp: &crate::Kbp) -> Result<Self, SolveError> {
         let defaults: Vec<(Agent, Vec<ActionId>)> = kbp
             .programs()
             .iter()
@@ -446,7 +450,10 @@ mod tests {
         proto.insert(a0(), vec![Obs(1)], vec![ActionId(1)]);
         let ctrl = extract_controller(&proto, a0(), vec![ActionId(7)]).unwrap();
         assert_eq!(ctrl.actions_for(&[Obs(9)]), vec![ActionId(7)]);
-        assert_eq!(ctrl.actions_for(&[Obs(1), Obs(9), Obs(9)]), vec![ActionId(7)]);
+        assert_eq!(
+            ctrl.actions_for(&[Obs(1), Obs(9), Obs(9)]),
+            vec![ActionId(7)]
+        );
     }
 
     #[test]
@@ -454,11 +461,13 @@ mod tests {
         let mut proto = MapProtocol::new(vec![ActionId(0)]);
         proto.insert(a0(), vec![Obs(0)], vec![ActionId(1)]);
         proto.insert(Agent::new(1), vec![Obs(0)], vec![ActionId(0)]);
-        let joint =
-            ControllerProtocol::extract(&proto, &[(a0(), vec![ActionId(0)])]).unwrap();
+        let joint = ControllerProtocol::extract(&proto, &[(a0(), vec![ActionId(0)])]).unwrap();
         assert_eq!(joint.controllers().len(), 2);
         let h = [Obs(0)];
-        let view = LocalView { agent: a0(), history: &h };
+        let view = LocalView {
+            agent: a0(),
+            history: &h,
+        };
         assert_eq!(joint.actions(&view), vec![ActionId(1)]);
         assert!(joint.total_states() >= 2);
     }

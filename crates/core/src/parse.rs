@@ -124,18 +124,19 @@ pub fn parse_kbp(source: &str, ctx: &dyn Context) -> Result<Kbp, ProgramParseErr
         }
     }
 
-    let resolve_action = |agent: Agent, name: &str, line: usize| -> Result<ActionId, ProgramParseError> {
-        for k in 0..ctx.action_count(agent) {
-            let a = ActionId(k as u32);
-            if ctx.action_name(agent, a) == name {
-                return Ok(a);
+    let resolve_action =
+        |agent: Agent, name: &str, line: usize| -> Result<ActionId, ProgramParseError> {
+            for k in 0..ctx.action_count(agent) {
+                let a = ActionId(k as u32);
+                if ctx.action_name(agent, a) == name {
+                    return Ok(a);
+                }
             }
-        }
-        Err(ProgramParseError::new(
-            line,
-            format!("unknown action `{name}` for this agent"),
-        ))
-    };
+            Err(ProgramParseError::new(
+                line,
+                format!("unknown action `{name}` for this agent"),
+            ))
+        };
 
     for (line_no, line) in logical {
         if let Some(rest) = line.strip_prefix("agent") {
@@ -160,9 +161,8 @@ pub fn parse_kbp(source: &str, ctx: &dyn Context) -> Result<Kbp, ProgramParseErr
                 return Err(ProgramParseError::new(line_no, "unmatched `}`"));
             }
         } else if let Some(rest) = line.strip_prefix("if ") {
-            let agent = current.ok_or_else(|| {
-                ProgramParseError::new(line_no, "`if` outside an agent block")
-            })?;
+            let agent = current
+                .ok_or_else(|| ProgramParseError::new(line_no, "`if` outside an agent block"))?;
             // The guard ends at the LAST ` do ` (guards cannot contain
             // the token `do`, which is not in the formula grammar).
             let split = rest.rfind(" do ").ok_or_else(|| {
@@ -297,8 +297,14 @@ mod tests {
             .default_action(a, ActionId(0))
             .build();
         assert_eq!(parsed, built);
-        let s1 = crate::SyncSolver::new(&ctx, &parsed).horizon(3).solve().unwrap();
-        let s2 = crate::SyncSolver::new(&ctx, &built).horizon(3).solve().unwrap();
+        let s1 = crate::SyncSolver::new(&ctx, &parsed)
+            .horizon(3)
+            .solve()
+            .unwrap();
+        let s2 = crate::SyncSolver::new(&ctx, &built)
+            .horizon(3)
+            .solve()
+            .unwrap();
         assert_eq!(s1.protocol(), s2.protocol());
     }
 

@@ -20,13 +20,12 @@
 
 use kbp_logic::{Agent, Formula, PropId, Vocabulary};
 use kbp_systems::{ActionId, Context};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
 /// One guarded alternative of an agent's program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Clause {
     /// The knowledge test.
     pub guard: Formula,
@@ -35,7 +34,7 @@ pub struct Clause {
 }
 
 /// The program of a single agent: clauses plus a default action.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AgentProgram {
     agent: Agent,
     clauses: Vec<Clause>,
@@ -197,7 +196,7 @@ impl Error for KbpError {}
 ///     .build();
 /// assert_eq!(kbp.programs().len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Kbp {
     programs: Vec<AgentProgram>,
     local_props: HashSet<(Agent, PropId)>,
@@ -348,11 +347,7 @@ impl Kbp {
 
 /// Subjectivity check used for guards: `temporal under own K` is allowed,
 /// so strip through the agent's own modalities first.
-fn guard_is_subjective(
-    guard: &Formula,
-    agent: Agent,
-    is_local: &impl Fn(PropId) -> bool,
-) -> bool {
+fn guard_is_subjective(guard: &Formula, agent: Agent, is_local: &impl Fn(PropId) -> bool) -> bool {
     // Reuse the logic-crate notion: a guard is subjective if it is a
     // Boolean combination of K_agent/C_{G∋agent} formulas and local
     // propositions. (Temporal operators *inside* K are fine; the logic
@@ -612,3 +607,14 @@ mod tests {
         assert!(s.contains("K{a} p"), "{s}");
     }
 }
+
+serde::impl_serde_struct!(Clause { guard, action });
+serde::impl_serde_struct!(AgentProgram {
+    agent,
+    clauses,
+    default,
+});
+serde::impl_serde_struct!(Kbp {
+    programs,
+    local_props,
+});

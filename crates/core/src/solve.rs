@@ -17,11 +17,11 @@
 //! all bounded fixed points and may find zero, one or many.
 
 use crate::program::{Kbp, KbpError};
-use kbp_kripke::{BitSet, EvalError};
+use kbp_kripke::{BitSet, EvalCache, EvalError};
+use kbp_logic::{Agent, FormulaArena, FormulaId};
 use kbp_systems::{
     Context, GenerateError, InterpretedSystem, MapProtocol, Recall, StepChoices, SystemBuilder,
 };
-use kbp_logic::Agent;
 use std::error::Error;
 use std::fmt;
 
@@ -299,8 +299,21 @@ impl<'a> SyncSolver<'a> {
         }
         let mut stats = SolveStats::default();
 
+        // Intern every clause guard once, up front: guards shared between
+        // clauses (a test and its negation, repeated subformulas) collapse
+        // in the arena, and each layer then evaluates every distinct
+        // subformula exactly once through the per-layer cache.
+        let mut arena = FormulaArena::new();
+        let guard_ids: Vec<Vec<FormulaId>> = self
+            .kbp
+            .programs()
+            .iter()
+            .map(|p| p.clauses().iter().map(|c| arena.intern(&c.guard)).collect())
+            .collect();
+
         for t in 0..=self.horizon {
-            let choices = self.induce_layer(&builder, t, &mut protocol, &mut stats)?;
+            let choices =
+                self.induce_layer(&builder, t, &mut protocol, &mut stats, &arena, &guard_ids)?;
             if t < self.horizon {
                 builder.step(&choices)?;
             }
@@ -326,19 +339,26 @@ impl<'a> SyncSolver<'a> {
         time: usize,
         protocol: &mut MapProtocol,
         stats: &mut SolveStats,
+        arena: &FormulaArena,
+        guard_ids: &[Vec<FormulaId>],
     ) -> Result<StepChoices, SolveError> {
         let layer = builder.current();
         let model = layer.model();
         let mut choices = StepChoices::new();
 
-        for program in self.kbp.programs() {
+        // One cache per layer, shared by all programs: a subformula used
+        // by several agents' guards is evaluated once.
+        let mut cache = EvalCache::new();
+        for (program, ids) in self.kbp.programs().iter().zip(guard_ids) {
             let agent = program.agent();
             // Satisfaction set of every clause guard over this layer.
-            let guard_sets: Vec<BitSet> = program
-                .clauses()
+            for &id in ids {
+                model.satisfying_cached(&mut cache, arena, id)?;
+            }
+            let guard_sets: Vec<&BitSet> = ids
                 .iter()
-                .map(|c| model.satisfying(&c.guard))
-                .collect::<Result<_, _>>()?;
+                .map(|&id| cache.get(id).expect("guard cached above"))
+                .collect();
             stats.guard_evaluations += guard_sets.len();
 
             // Group nodes by the agent's local state; the guard valuation
@@ -347,8 +367,7 @@ impl<'a> SyncSolver<'a> {
                 std::collections::HashMap::new();
             for (ni, node) in layer.nodes().iter().enumerate() {
                 let local = node.local(agent);
-                let truths: Vec<bool> =
-                    guard_sets.iter().map(|s| s.contains(ni)).collect();
+                let truths: Vec<bool> = guard_sets.iter().map(|s| s.contains(ni)).collect();
                 match seen.get(&local) {
                     Some((_, prev)) if *prev != truths => {
                         let clause = prev
@@ -428,9 +447,7 @@ mod tests {
                     Obs(0)
                 }
             })
-            .props(move |q, s| {
-                (q == bit && s.reg(0) == 1) || (q == announced && s.reg(2) == 1)
-            })
+            .props(move |q, s| (q == bit && s.reg(0) == 1) || (q == announced && s.reg(2) == 1))
             .build()
     }
 
@@ -469,9 +486,8 @@ mod tests {
         );
         // The generated system reaches "announced" by time 2.
         let announced = p(1);
-        let ev =
-            kbp_systems::Evaluator::new(solution.system(), &Formula::eventually(announced))
-                .unwrap();
+        let ev = kbp_systems::Evaluator::new(solution.system(), &Formula::eventually(announced))
+            .unwrap();
         assert!(ev.holds(kbp_systems::Point { time: 0, node: 0 }));
     }
 
@@ -483,8 +499,7 @@ mod tests {
         let ctx = peek_announce_context();
         let kbp = peek_announce_kbp();
         let solution = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
-        let replay =
-            kbp_systems::generate(&ctx, solution.protocol(), Recall::Perfect, 3).unwrap();
+        let replay = kbp_systems::generate(&ctx, solution.protocol(), Recall::Perfect, 3).unwrap();
         for t in 0..=3 {
             assert_eq!(
                 replay.layer(t).len(),
@@ -492,14 +507,9 @@ mod tests {
                 "layer {t} differs"
             );
         }
-        let report = crate::check_implementation(
-            &ctx,
-            &kbp,
-            solution.protocol(),
-            Recall::Perfect,
-            3,
-        )
-        .unwrap();
+        let report =
+            crate::check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 3)
+                .unwrap();
         assert!(report.is_implementation(), "{report}");
     }
 
@@ -508,11 +518,7 @@ mod tests {
         let ctx = peek_announce_context();
         let a = Agent::new(0);
         let kbp = Kbp::builder()
-            .clause(
-                a,
-                Formula::knows(a, Formula::eventually(p(1))),
-                ActionId(0),
-            )
+            .clause(a, Formula::knows(a, Formula::eventually(p(1))), ActionId(0))
             .default_action(a, ActionId(0))
             .build();
         assert_eq!(

@@ -142,8 +142,8 @@ impl S5Model {
 mod tests {
     use super::*;
     use crate::model::S5Builder;
-    use kbp_logic::{Agent, AgentSet, Formula};
     use kbp_logic::random::{random_formula, FormulaConfig, SplitMix64};
+    use kbp_logic::{Agent, AgentSet, Formula};
 
     fn p(i: u32) -> Formula {
         Formula::prop(PropId::new(i))

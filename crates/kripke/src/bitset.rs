@@ -1,6 +1,5 @@
 //! A fixed-capacity bitset used for world sets and state sets.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of indices in `0..len`, stored as packed 64-bit words.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
 /// assert_eq!(s.count(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
     words: Vec<u64>,
     len: usize,
@@ -173,6 +172,31 @@ impl BitSet {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= !b;
         }
+    }
+
+    /// In-place symmetric difference (`self Δ other`, word-level XOR).
+    ///
+    /// # Panics
+    ///
+    /// Panics on universe-size mismatch.
+    pub fn xor_with(&mut self, other: &BitSet) {
+        self.check_compat(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// The backing words, least-significant bit first: bit `i % 64` of
+    /// word `i / 64` is index `i`. Bits at positions `>= len` are zero.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words for kernel code in this crate.
+    /// Callers must keep bits at positions `>= len` zero.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// In-place complement (relative to the universe).
@@ -349,6 +373,34 @@ mod tests {
     }
 
     #[test]
+    fn xor_is_symmetric_difference() {
+        let a = BitSet::from_indices(70, [1, 2, 64, 69]);
+        let b = BitSet::from_indices(70, [2, 3, 64]);
+        let mut x = a.clone();
+        x.xor_with(&b);
+        assert_eq!(x, BitSet::from_indices(70, [1, 3, 69]));
+        // a Δ a = ∅, and Δ with the full set is complement.
+        let mut y = a.clone();
+        y.xor_with(&a);
+        assert!(y.is_empty());
+        let mut z = a.clone();
+        z.xor_with(&BitSet::full(70));
+        assert_eq!(z, a.complemented());
+    }
+
+    #[test]
+    fn words_expose_packed_bits() {
+        let s = BitSet::from_indices(130, [0, 63, 64, 129]);
+        let w = s.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1 | (1 << 63));
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 1 << 1);
+        // Trailing bits beyond `len` stay zero even through complement.
+        assert_eq!(BitSet::new(70).complemented().words()[1] >> 6, 0);
+    }
+
+    #[test]
     fn zero_universe() {
         let s = BitSet::new(0);
         assert!(s.is_empty());
@@ -357,3 +409,5 @@ mod tests {
         assert_eq!(BitSet::full(0), s);
     }
 }
+
+serde::impl_serde_struct!(BitSet { words, len });

@@ -84,14 +84,9 @@ impl S5Model {
     pub fn generated_submodel(&self, world: WorldId, group: AgentSet) -> (S5Model, WorldId) {
         let component = self.group_join(group);
         let block = component.block_of(world.index());
-        let members: Vec<usize> = component
-            .block(block)
-            .iter()
-            .map(|&w| w as usize)
-            .collect();
-        let index_of = |w: usize| -> usize {
-            members.binary_search(&w).expect("member of component")
-        };
+        let members: Vec<usize> = component.block(block).iter().map(|&w| w as usize).collect();
+        let index_of =
+            |w: usize| -> usize { members.binary_search(&w).expect("member of component") };
         let mut b = S5Builder::new(self.agent_count(), self.prop_count());
         for &w in &members {
             let props = (0..self.prop_count())

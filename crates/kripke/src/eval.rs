@@ -3,7 +3,8 @@
 use crate::bitset::BitSet;
 use crate::model::{S5Model, WorldId};
 use crate::partition::Partition;
-use kbp_logic::{Agent, AgentSet, Formula, PropId};
+use kbp_logic::{Agent, AgentSet, Formula, FormulaArena, FormulaId, InternedNode, PropId};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -25,7 +26,10 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::Temporal => {
-                write!(f, "temporal operators cannot be evaluated on a static model")
+                write!(
+                    f,
+                    "temporal operators cannot be evaluated on a static model"
+                )
             }
             EvalError::PropOutOfRange(p) => {
                 write!(f, "proposition {p} is out of range for this model")
@@ -39,6 +43,97 @@ impl fmt::Display for EvalError {
 }
 
 impl Error for EvalError {}
+
+/// Memo for repeated evaluation against **one** model (one time layer of
+/// a generated system, say): satisfaction sets keyed by interned
+/// [`FormulaId`], plus the group partitions backing `C_G` / `D_G`, which
+/// are by far the most expensive per-layer artifacts.
+///
+/// The cache is bound to the first model it is used with (by world count,
+/// asserted on reuse); call [`clear`](EvalCache::clear) before moving to
+/// the next layer. Evaluating a batch of guards through one cache makes
+/// every distinct subformula — a guard shared with its negation, a
+/// repeated `knows_whether` disjunct, a group partition used by several
+/// modalities — cost one evaluation instead of one per occurrence.
+///
+/// # Example
+///
+/// ```
+/// use kbp_kripke::{EvalCache, S5Builder};
+/// use kbp_logic::{Agent, Formula, FormulaArena, PropId};
+///
+/// let a = Agent::new(0);
+/// let p = Formula::prop(PropId::new(0));
+/// let mut b = S5Builder::new(1, 1);
+/// let w0 = b.add_world([PropId::new(0)]);
+/// let w1 = b.add_world([]);
+/// b.link(a, w0, w1);
+/// let m = b.build();
+///
+/// let guard = Formula::knows(a, p);
+/// let mut arena = FormulaArena::new();
+/// let yes = arena.intern(&guard);
+/// let no = arena.intern(&Formula::not(guard));
+///
+/// let mut cache = EvalCache::new();
+/// let sat = m.satisfying_cached(&mut cache, &arena, yes)?.clone();
+/// // The negation reuses the cached K-evaluation.
+/// let neg = m.satisfying_cached(&mut cache, &arena, no)?;
+/// assert_eq!(*neg, sat.complemented());
+/// # Ok::<(), kbp_kripke::EvalError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache {
+    worlds: Option<usize>,
+    sat: HashMap<FormulaId, BitSet>,
+    joins: HashMap<AgentSet, Partition>,
+    refinements: HashMap<AgentSet, Partition>,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// Drops all cached sets and partitions, unbinding the cache from its
+    /// model so it can be reused for the next layer.
+    pub fn clear(&mut self) {
+        self.worlds = None;
+        self.sat.clear();
+        self.joins.clear();
+        self.refinements.clear();
+    }
+
+    /// Number of distinct subformulas with a cached satisfaction set.
+    #[must_use]
+    pub fn cached_formulas(&self) -> usize {
+        self.sat.len()
+    }
+
+    /// Number of cached group partitions (joins plus refinements).
+    #[must_use]
+    pub fn cached_partitions(&self) -> usize {
+        self.joins.len() + self.refinements.len()
+    }
+
+    /// The cached satisfaction set of `id`, if already evaluated.
+    #[must_use]
+    pub fn get(&self, id: FormulaId) -> Option<&BitSet> {
+        self.sat.get(&id)
+    }
+
+    fn bind(&mut self, worlds: usize) {
+        match self.worlds {
+            None => self.worlds = Some(worlds),
+            Some(w) => assert_eq!(
+                w, worlds,
+                "EvalCache reused across models of different size; call clear() between layers"
+            ),
+        }
+    }
+}
 
 impl S5Model {
     /// The set of worlds at which `formula` holds.
@@ -93,19 +188,17 @@ impl S5Model {
                 Ok(acc)
             }
             Formula::Implies(a, b) => {
-                let mut acc = self.satisfying(a)?.complemented();
+                let mut acc = self.satisfying(a)?;
+                acc.complement();
                 acc.union_with(&self.satisfying(b)?);
                 Ok(acc)
             }
             Formula::Iff(a, b) => {
-                let sa = self.satisfying(a)?;
-                let sb = self.satisfying(b)?;
-                let mut both = sa.clone();
-                both.intersect_with(&sb);
-                let mut neither = sa.complemented();
-                neither.intersect_with(&sb.complemented());
-                both.union_with(&neither);
-                Ok(both)
+                // a ↔ b is ¬(a ⊕ b): one XOR and one complement, in place.
+                let mut acc = self.satisfying(a)?;
+                acc.xor_with(&self.satisfying(b)?);
+                acc.complement();
+                Ok(acc)
             }
             Formula::Knows(agent, f) => {
                 if agent.index() >= self.agent_count() {
@@ -129,10 +222,9 @@ impl S5Model {
                 let sat = self.satisfying(f)?;
                 Ok(self.distributed_knowing(*group, &sat))
             }
-            Formula::Next(_)
-            | Formula::Eventually(_)
-            | Formula::Always(_)
-            | Formula::Until(..) => Err(EvalError::Temporal),
+            Formula::Next(_) | Formula::Eventually(_) | Formula::Always(_) | Formula::Until(..) => {
+                Err(EvalError::Temporal)
+            }
         }
     }
 
@@ -159,11 +251,11 @@ impl S5Model {
     /// wrong length.
     #[must_use]
     pub fn everyone_knowing(&self, group: AgentSet, sat: &BitSet) -> BitSet {
+        assert!(!group.is_empty(), "empty group");
         let mut acc = BitSet::full(self.world_count());
         for agent in group.iter() {
             acc.intersect_with(&self.knowing(agent, sat));
         }
-        assert!(!group.is_empty(), "empty group");
         acc
     }
 
@@ -259,15 +351,216 @@ impl S5Model {
     pub fn holds_everywhere(&self, formula: &Formula) -> Result<bool, EvalError> {
         Ok(self.satisfying(formula)?.count() == self.world_count())
     }
+
+    /// The set of worlds at which the interned formula `id` holds,
+    /// memoizing every distinct subformula (and every group partition) in
+    /// `cache`. Semantically identical to
+    /// [`satisfying`](Self::satisfying)`(&arena.resolve(id))`, but a batch
+    /// of related formulas evaluated through one cache costs one
+    /// evaluation per *distinct* subformula instead of one per
+    /// occurrence.
+    ///
+    /// The returned reference points into the cache; clone it if it must
+    /// outlive later cache calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`satisfying`](Self::satisfying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was previously used with a model of a different
+    /// world count (call [`EvalCache::clear`] between layers), or if `id`
+    /// is not from `arena`.
+    pub fn satisfying_cached<'c>(
+        &self,
+        cache: &'c mut EvalCache,
+        arena: &FormulaArena,
+        id: FormulaId,
+    ) -> Result<&'c BitSet, EvalError> {
+        cache.bind(self.world_count());
+        self.eval_into_cache(cache, arena, id)?;
+        Ok(cache.sat.get(&id).expect("just populated"))
+    }
+
+    fn eval_into_cache(
+        &self,
+        cache: &mut EvalCache,
+        arena: &FormulaArena,
+        id: FormulaId,
+    ) -> Result<(), EvalError> {
+        if cache.sat.contains_key(&id) {
+            return Ok(());
+        }
+        let n = self.world_count();
+        let set = match arena.node(id) {
+            InternedNode::True => BitSet::full(n),
+            InternedNode::False => BitSet::new(n),
+            InternedNode::Prop(p) => {
+                if p.index() >= self.prop_count() {
+                    return Err(EvalError::PropOutOfRange(*p));
+                }
+                self.prop_worlds(*p).clone()
+            }
+            InternedNode::Not(f) => {
+                self.eval_into_cache(cache, arena, *f)?;
+                let mut s = cache.sat[f].clone();
+                s.complement();
+                s
+            }
+            InternedNode::And(items) => {
+                let mut acc = BitSet::full(n);
+                for f in items {
+                    self.eval_into_cache(cache, arena, *f)?;
+                    acc.intersect_with(&cache.sat[f]);
+                }
+                acc
+            }
+            InternedNode::Or(items) => {
+                let mut acc = BitSet::new(n);
+                for f in items {
+                    self.eval_into_cache(cache, arena, *f)?;
+                    acc.union_with(&cache.sat[f]);
+                }
+                acc
+            }
+            InternedNode::Implies(a, b) => {
+                self.eval_into_cache(cache, arena, *a)?;
+                self.eval_into_cache(cache, arena, *b)?;
+                let mut acc = cache.sat[a].clone();
+                acc.complement();
+                acc.union_with(&cache.sat[b]);
+                acc
+            }
+            InternedNode::Iff(a, b) => {
+                self.eval_into_cache(cache, arena, *a)?;
+                self.eval_into_cache(cache, arena, *b)?;
+                let mut acc = cache.sat[a].clone();
+                acc.xor_with(&cache.sat[b]);
+                acc.complement();
+                acc
+            }
+            InternedNode::Knows(agent, f) => {
+                if agent.index() >= self.agent_count() {
+                    return Err(EvalError::AgentOutOfRange(*agent));
+                }
+                self.eval_into_cache(cache, arena, *f)?;
+                self.knowing(*agent, &cache.sat[f])
+            }
+            InternedNode::Everyone(group, f) => {
+                self.check_group(*group)?;
+                self.eval_into_cache(cache, arena, *f)?;
+                self.everyone_knowing(*group, &cache.sat[f])
+            }
+            InternedNode::Common(group, f) => {
+                self.check_group(*group)?;
+                self.eval_into_cache(cache, arena, *f)?;
+                // Disjoint field borrows: the join partition cache and
+                // the satisfaction cache are separate maps.
+                let part = cache
+                    .joins
+                    .entry(*group)
+                    .or_insert_with(|| self.group_join(*group));
+                blocks_inside(part, &cache.sat[f])
+            }
+            InternedNode::Distributed(group, f) => {
+                self.check_group(*group)?;
+                self.eval_into_cache(cache, arena, *f)?;
+                let part = cache
+                    .refinements
+                    .entry(*group)
+                    .or_insert_with(|| self.group_refinement(*group));
+                blocks_inside(part, &cache.sat[f])
+            }
+            InternedNode::Next(_)
+            | InternedNode::Eventually(_)
+            | InternedNode::Always(_)
+            | InternedNode::Until(..) => return Err(EvalError::Temporal),
+        };
+        cache.sat.insert(id, set);
+        Ok(())
+    }
+
+    /// [`common_knowing`](Self::common_knowing) with the group's joined
+    /// partition memoized in `cache` — evaluators that query several
+    /// formulas over one layer pay for each group's connected components
+    /// once.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`common_knowing`](Self::common_knowing), plus
+    /// a cache bound to a different model.
+    #[must_use]
+    pub fn common_knowing_cached(
+        &self,
+        cache: &mut EvalCache,
+        group: AgentSet,
+        sat: &BitSet,
+    ) -> BitSet {
+        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
+        cache.bind(self.world_count());
+        let part = cache
+            .joins
+            .entry(group)
+            .or_insert_with(|| self.group_join(group));
+        blocks_inside(part, sat)
+    }
+
+    /// [`distributed_knowing`](Self::distributed_knowing) with the
+    /// group's refined partition memoized in `cache`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as
+    /// [`distributed_knowing`](Self::distributed_knowing), plus a cache
+    /// bound to a different model.
+    #[must_use]
+    pub fn distributed_knowing_cached(
+        &self,
+        cache: &mut EvalCache,
+        group: AgentSet,
+        sat: &BitSet,
+    ) -> BitSet {
+        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
+        cache.bind(self.world_count());
+        let part = cache
+            .refinements
+            .entry(group)
+            .or_insert_with(|| self.group_refinement(group));
+        blocks_inside(part, sat)
+    }
 }
 
 /// Worlds whose whole block (in `partition`) is inside `sat`.
+///
+/// Word-level: one pass over the *complement* of `sat` (only set bits of
+/// `!word` are visited) marks every block with a member outside `sat`;
+/// the surviving blocks are then emitted with direct word stores. Cost is
+/// `O(words + misses + |output|)` instead of a bounds-checked per-bit
+/// query for every world of every block.
 fn blocks_inside(partition: &Partition, sat: &BitSet) -> BitSet {
-    let mut out = BitSet::new(sat.len());
-    for block in partition.blocks() {
-        if block.iter().all(|&w| sat.contains(w as usize)) {
+    let n = sat.len();
+    let block_ids = partition.block_ids();
+    let mut bad = vec![false; partition.block_count()];
+    let words = sat.words();
+    for (wi, &word) in words.iter().enumerate() {
+        let mut miss = !word;
+        if (wi + 1) * 64 > n {
+            // Mask off the padding beyond the universe in the last word.
+            miss &= u64::MAX >> (words.len() * 64 - n);
+        }
+        while miss != 0 {
+            let w = wi * 64 + miss.trailing_zeros() as usize;
+            bad[block_ids[w] as usize] = true;
+            miss &= miss - 1;
+        }
+    }
+    let mut out = BitSet::new(n);
+    let out_words = out.words_mut();
+    for (b, block) in partition.blocks().enumerate() {
+        if !bad[b] {
             for &w in block {
-                out.insert(w as usize);
+                out_words[(w >> 6) as usize] |= 1u64 << (w & 63);
             }
         }
     }
@@ -303,9 +596,7 @@ mod tests {
         assert!(m.check(w1, &Formula::and([p(0), p(1)])).unwrap());
         assert!(m.check(w2, &Formula::not(p(0))).unwrap());
         assert!(m.check(w2, &Formula::implies(p(0), p(1))).unwrap());
-        assert!(m
-            .check(w1, &Formula::iff(p(0), p(1)))
-            .unwrap());
+        assert!(m.check(w1, &Formula::iff(p(0), p(1))).unwrap());
         assert!(m.check(w2, &Formula::iff(p(0), p(1))).unwrap());
         assert!(!m.check(w0, &Formula::iff(p(0), p(1))).unwrap());
     }
@@ -395,6 +686,80 @@ mod tests {
         // Neither agent alone knows q at w1.
         assert!(!m.check(w1, &Formula::knows(Agent::new(0), p(1))).unwrap());
         assert!(!m.check(w1, &Formula::knows(Agent::new(1), p(1))).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn everyone_knowing_rejects_empty_group_up_front() {
+        let (m, _) = sample();
+        let full = BitSet::full(m.world_count());
+        // The assertion fires before any per-agent work is attempted.
+        let _ = m.everyone_knowing(AgentSet::EMPTY, &full);
+    }
+
+    #[test]
+    fn cached_evaluation_matches_plain() {
+        let (m, _) = sample();
+        let g = AgentSet::all(2);
+        let formulas = [
+            Formula::iff(p(0), p(1)),
+            Formula::implies(Formula::knows(Agent::new(0), p(0)), p(1)),
+            Formula::common(g, p(0)),
+            Formula::Distributed(g, Box::new(p(1))),
+            Formula::Everyone(g, Box::new(Formula::Everyone(g, Box::new(p(0))))),
+            Formula::not(Formula::common(g, Formula::or([p(0), p(1)]))),
+        ];
+        let mut arena = FormulaArena::new();
+        let ids: Vec<_> = formulas.iter().map(|f| arena.intern(f)).collect();
+        let mut cache = EvalCache::new();
+        for (f, id) in formulas.iter().zip(ids) {
+            let plain = m.satisfying(f).unwrap();
+            let cached = m.satisfying_cached(&mut cache, &arena, id).unwrap();
+            assert_eq!(*cached, plain, "mismatch for {f}");
+        }
+        // Both group modalities over `g` hit the same memoized partitions.
+        assert_eq!(cache.cached_partitions(), 2);
+        assert!(cache.cached_formulas() >= formulas.len());
+    }
+
+    #[test]
+    fn cached_evaluation_reports_errors() {
+        let (m, _) = sample();
+        let mut arena = FormulaArena::new();
+        let cases = [
+            (Formula::eventually(p(0)), EvalError::Temporal),
+            (p(9), EvalError::PropOutOfRange(PropId::new(9))),
+            (
+                Formula::knows(Agent::new(9), p(0)),
+                EvalError::AgentOutOfRange(Agent::new(9)),
+            ),
+            (
+                Formula::Common(AgentSet::EMPTY, Box::new(p(0))),
+                EvalError::EmptyGroup,
+            ),
+        ];
+        for (f, err) in cases {
+            let id = arena.intern(&f);
+            let mut cache = EvalCache::new();
+            assert_eq!(
+                m.satisfying_cached(&mut cache, &arena, id).unwrap_err(),
+                err
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "call clear() between layers")]
+    fn cache_rejects_model_of_different_size() {
+        let (m, _) = sample();
+        let mut small = S5Builder::new(1, 1);
+        small.add_world([]);
+        let m2 = small.build();
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(&Formula::True);
+        let mut cache = EvalCache::new();
+        m.satisfying_cached(&mut cache, &arena, id).unwrap();
+        let _ = m2.satisfying_cached(&mut cache, &arena, id);
     }
 
     #[test]

@@ -336,12 +336,12 @@ impl S5Model {
         let mut builder = crate::model::S5Builder::new(self.agent_count(), self.prop_count());
         for &(w, e) in &origins {
             let ev = &events.events[e.index()];
-            let props = (0..self.prop_count()).map(|p| PropId::new(p as u32)).filter(|&p| {
-                match ev.assignments.iter().find(|&&(q, _)| q == p) {
+            let props = (0..self.prop_count())
+                .map(|p| PropId::new(p as u32))
+                .filter(|&p| match ev.assignments.iter().find(|&&(q, _)| q == p) {
                     Some(&(_, v)) => v,
                     None => self.prop_holds(w, p),
-                }
-            });
+                });
             builder.add_world(props);
         }
         for i in 0..self.agent_count() {
@@ -452,7 +452,10 @@ mod tests {
         let ev = EventModel::public_announcement(3, p(0));
         assert!(matches!(
             m.product_update(&ev),
-            Err(UpdateError::AgentMismatch { model: 2, events: 3 })
+            Err(UpdateError::AgentMismatch {
+                model: 2,
+                events: 3
+            })
         ));
     }
 
@@ -491,9 +494,9 @@ mod tests {
             .product_update(&EventModel::public_announcement(n, father))
             .unwrap()
             .into_model();
-        let nobody = Formula::and((0..n).map(|i| {
-            Formula::not(Formula::knows_whether(Agent::new(i), p(i as u32)))
-        }));
+        let nobody = Formula::and(
+            (0..n).map(|i| Formula::not(Formula::knows_whether(Agent::new(i), p(i as u32)))),
+        );
         let after_round = after_father
             .product_update(&EventModel::public_announcement(n, nobody))
             .unwrap()

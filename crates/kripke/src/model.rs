@@ -3,11 +3,10 @@
 use crate::bitset::BitSet;
 use crate::partition::{Partition, UnionFind};
 use kbp_logic::{Agent, PropId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a world in an [`S5Model`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorldId(u32);
 
 impl WorldId {
@@ -56,7 +55,7 @@ impl fmt::Display for WorldId {
 /// assert!(!model.check(w0, &f)?); // p true but not known
 /// # Ok::<(), kbp_kripke::EvalError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct S5Model {
     num_props: usize,
     /// For each proposition, the set of worlds where it holds.
@@ -237,8 +236,7 @@ impl S5Builder {
     ) -> &mut Self {
         assert!(agent.index() < self.num_agents, "agent out of range");
         let n = self.props_of_world.len();
-        self.explicit[agent.index()] =
-            Some(Partition::from_keys(n, |x| key(WorldId::new(x))));
+        self.explicit[agent.index()] = Some(Partition::from_keys(n, |x| key(WorldId::new(x))));
         self.links[agent.index()].clear();
         self
     }
@@ -333,3 +331,11 @@ mod tests {
         b.add_world([PropId::new(5)]);
     }
 }
+
+serde::impl_serde_newtype!(WorldId(u32));
+serde::impl_serde_struct!(S5Model {
+    num_props,
+    valuation,
+    partitions,
+    num_worlds,
+});

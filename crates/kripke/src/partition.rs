@@ -3,8 +3,6 @@
 //! In an S5 model each agent's accessibility relation is an equivalence
 //! relation, i.e. a [`Partition`] of the worlds into information cells.
 
-use serde::{Deserialize, Serialize};
-
 /// A classic union–find (disjoint-set) structure over `0..len`.
 ///
 /// Used to close "indistinguishable" links declared by a model builder into
@@ -120,7 +118,7 @@ impl UnionFind {
 /// assert_eq!(p.block_of(0), p.block_of(2));
 /// assert_ne!(p.block_of(0), p.block_of(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     block_of: Vec<u32>,
     blocks: Vec<Vec<u32>>,
@@ -219,6 +217,13 @@ impl Partition {
         self.block_of[a] == self.block_of[b]
     }
 
+    /// The block id of every element as one dense slice (`block_ids()[x]
+    /// == block_of(x)`), for kernels that scan the whole universe.
+    #[must_use]
+    pub fn block_ids(&self) -> &[u32] {
+        &self.block_of
+    }
+
     /// The common refinement of two partitions over the same universe
     /// (blocks are the non-empty pairwise intersections) — the relation for
     /// *distributed* knowledge among two agents.
@@ -229,7 +234,62 @@ impl Partition {
     #[must_use]
     pub fn refine_with(&self, other: &Partition) -> Partition {
         assert_eq!(self.len(), other.len(), "partition length mismatch");
-        Partition::from_keys(self.len(), |x| (self.block_of[x], other.block_of[x]))
+        let n = self.len();
+        // Identity fast paths: refining with (or being) the trivial
+        // partition changes nothing; a discrete operand forces discrete.
+        if other.block_count() <= 1 && n > 0 {
+            return self.clone();
+        }
+        if self.block_count() <= 1 {
+            return other.clone();
+        }
+        if self.block_count() == n || other.block_count() == n {
+            return Partition::discrete(n);
+        }
+        // Pass 1: group each of our blocks by the other partition's block
+        // id, using a scratch slot per other-block reset between our
+        // blocks — no hashing, O(n + blocks).
+        let mut tmp_of = vec![0u32; n];
+        let mut tmp_count: u32 = 0;
+        let mut slot = vec![u32::MAX; other.block_count()];
+        let mut touched: Vec<u32> = Vec::new();
+        for block in &self.blocks {
+            for &x in block {
+                let bb = other.block_of[x as usize] as usize;
+                let id = if slot[bb] == u32::MAX {
+                    let id = tmp_count;
+                    tmp_count += 1;
+                    slot[bb] = id;
+                    touched.push(bb as u32);
+                    id
+                } else {
+                    slot[bb]
+                };
+                tmp_of[x as usize] = id;
+            }
+            for &bb in &touched {
+                slot[bb as usize] = u32::MAX;
+            }
+            touched.clear();
+        }
+        // Pass 2: relabel by first appearance in element order, restoring
+        // the canonical smallest-member block numbering.
+        let mut remap = vec![u32::MAX; tmp_count as usize];
+        let mut block_of = Vec::with_capacity(n);
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        for (x, &t) in tmp_of.iter().enumerate() {
+            let id = if remap[t as usize] == u32::MAX {
+                let id = blocks.len() as u32;
+                remap[t as usize] = id;
+                blocks.push(Vec::new());
+                id
+            } else {
+                remap[t as usize]
+            };
+            block_of.push(id);
+            blocks[id as usize].push(x as u32);
+        }
+        Partition { block_of, blocks }
     }
 
     /// The finest common coarsening of two partitions (join in the
@@ -243,11 +303,26 @@ impl Partition {
     #[must_use]
     pub fn join_with(&self, other: &Partition) -> Partition {
         assert_eq!(self.len(), other.len(), "partition length mismatch");
-        let mut uf = UnionFind::new(self.len());
+        let n = self.len();
+        // Identity fast paths: joining with the discrete partition changes
+        // nothing; a trivial operand forces the trivial join.
+        if self.block_count() == n {
+            return other.clone();
+        }
+        if other.block_count() == n {
+            return self.clone();
+        }
+        if self.block_count() <= 1 || other.block_count() <= 1 {
+            return Partition::trivial(n);
+        }
+        let mut uf = UnionFind::new(n);
         for blocks in [&self.blocks, &other.blocks] {
             for block in blocks {
-                for pair in block.windows(2) {
-                    uf.union(pair[0] as usize, pair[1] as usize);
+                // Star unions against the block's first member keep the
+                // union-find trees shallow (one find chain per member).
+                let first = block[0] as usize;
+                for &w in &block[1..] {
+                    uf.union(first, w as usize);
                 }
             }
         }
@@ -313,6 +388,35 @@ mod tests {
     }
 
     #[test]
+    fn refine_matches_from_keys_reference() {
+        // Interleaved blocks exercise the scratch-slot reset path; the
+        // result must match the hash-based reference exactly, including
+        // the canonical smallest-member block numbering.
+        let a = Partition::from_keys(8, |x| x % 3);
+        let b = Partition::from_keys(8, |x| (x / 2) % 2);
+        let reference = Partition::from_keys(8, |x| (a.block_of(x), b.block_of(x)));
+        assert_eq!(a.refine_with(&b), reference);
+        assert_eq!(b.refine_with(&a).block_count(), reference.block_count());
+    }
+
+    #[test]
+    fn refine_and_join_fast_paths() {
+        let a = Partition::from_keys(6, |x| x % 2);
+        let d = Partition::discrete(6);
+        let t = Partition::trivial(6);
+        assert_eq!(a.refine_with(&d), d);
+        assert_eq!(d.refine_with(&a), d);
+        assert_eq!(t.refine_with(&a), a);
+        assert_eq!(a.join_with(&t), t);
+        assert_eq!(t.join_with(&a), t);
+        assert_eq!(d.join_with(&a), a);
+        // Empty universe round-trips through every operation.
+        let e = Partition::discrete(0);
+        assert_eq!(e.refine_with(&e), e);
+        assert_eq!(e.join_with(&e), e);
+    }
+
+    #[test]
     fn join_identity_with_discrete() {
         let a = Partition::from_keys(5, |x| x % 2);
         let d = Partition::discrete(5);
@@ -322,3 +426,5 @@ mod tests {
         assert_eq!(a.refine_with(&t), a);
     }
 }
+
+serde::impl_serde_struct!(Partition { block_of, blocks });

@@ -1,6 +1,5 @@
 //! Agents and sets of agents.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An agent identity, a dense index assigned by a
@@ -9,7 +8,7 @@ use std::fmt;
 /// At most [`Agent::MAX_AGENTS`] agents are supported so that an
 /// [`AgentSet`] fits in a single machine word; the systems modelled in the
 /// knowledge-based-programs literature have a handful of agents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Agent(u8);
 
 impl Agent {
@@ -59,7 +58,7 @@ impl fmt::Display for Agent {
 /// assert!(g.contains(Agent::new(2)));
 /// assert!(!g.contains(Agent::new(1)));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AgentSet(u64);
 
 impl AgentSet {
@@ -292,3 +291,6 @@ mod tests {
         assert_eq!(Agent::new(7).to_string(), "a7");
     }
 }
+
+serde::impl_serde_newtype!(Agent(u8));
+serde::impl_serde_newtype!(AgentSet(u64));

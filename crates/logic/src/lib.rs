@@ -35,6 +35,7 @@
 
 mod agents;
 mod formula;
+mod intern;
 mod nnf;
 mod objective;
 pub mod parse;
@@ -43,5 +44,6 @@ mod vocabulary;
 
 pub use agents::{Agent, AgentSet, AgentSetIter};
 pub use formula::{Formula, PropId, SubformulaIter};
+pub use intern::{FormulaArena, FormulaId, InternedNode};
 pub use objective::NotObjective;
 pub use vocabulary::{Vocabulary, VocabularyError};

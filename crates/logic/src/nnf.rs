@@ -81,15 +81,9 @@ impl Formula {
                 let (pa, na) = (a.nnf_signed(false), a.nnf_signed(true));
                 let (pb, nb) = (b.nnf_signed(false), b.nnf_signed(true));
                 if negated {
-                    Formula::or([
-                        Formula::and([pa, nb]),
-                        Formula::and([na, pb]),
-                    ])
+                    Formula::or([Formula::and([pa, nb]), Formula::and([na, pb])])
                 } else {
-                    Formula::or([
-                        Formula::and([pa, pb]),
-                        Formula::and([na, nb]),
-                    ])
+                    Formula::or([Formula::and([pa, pb]), Formula::and([na, nb])])
                 }
             }
             Formula::Knows(a, f) => {
@@ -263,9 +257,15 @@ mod tests {
     #[test]
     fn nnf_de_morgan() {
         let f = Formula::not(Formula::and([p(0), p(1)]));
-        assert_eq!(f.nnf(), Formula::or([Formula::not(p(0)), Formula::not(p(1))]));
+        assert_eq!(
+            f.nnf(),
+            Formula::or([Formula::not(p(0)), Formula::not(p(1))])
+        );
         let g = Formula::not(Formula::or([p(0), p(1)]));
-        assert_eq!(g.nnf(), Formula::and([Formula::not(p(0)), Formula::not(p(1))]));
+        assert_eq!(
+            g.nnf(),
+            Formula::and([Formula::not(p(0)), Formula::not(p(1))])
+        );
     }
 
     #[test]

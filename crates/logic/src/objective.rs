@@ -41,10 +41,7 @@ impl Formula {
     /// assert_eq!(f.eval_objective(&|x| x == q), Ok(true));
     /// assert_eq!(f.eval_objective(&|x| x == p), Ok(false));
     /// ```
-    pub fn eval_objective(
-        &self,
-        truth: &impl Fn(PropId) -> bool,
-    ) -> Result<bool, NotObjective> {
+    pub fn eval_objective(&self, truth: &impl Fn(PropId) -> bool) -> Result<bool, NotObjective> {
         match self {
             Formula::True => Ok(true),
             Formula::False => Ok(false),
@@ -66,9 +63,7 @@ impl Formula {
                 }
                 Ok(false)
             }
-            Formula::Implies(a, b) => {
-                Ok(!a.eval_objective(truth)? || b.eval_objective(truth)?)
-            }
+            Formula::Implies(a, b) => Ok(!a.eval_objective(truth)? || b.eval_objective(truth)?),
             Formula::Iff(a, b) => Ok(a.eval_objective(truth)? == b.eval_objective(truth)?),
             _ => Err(NotObjective),
         }
@@ -159,7 +154,10 @@ mod tests {
     fn modalities_are_rejected() {
         let f = Formula::knows(Agent::new(0), p(0));
         assert_eq!(f.eval_objective(&|_| true), Err(NotObjective));
-        assert_eq!(Formula::eventually(p(0)).classify_objective(), Err(NotObjective));
+        assert_eq!(
+            Formula::eventually(p(0)).classify_objective(),
+            Err(NotObjective)
+        );
     }
 
     #[test]

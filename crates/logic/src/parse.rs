@@ -175,7 +175,10 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 toks.push((start, tok));
             }
             other => {
-                return Err(ParseError::new(i, format!("unexpected character '{other}'")));
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }

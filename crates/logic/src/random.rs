@@ -144,9 +144,7 @@ fn gen(rng: &mut impl RandomSource, cfg: &FormulaConfig, depth: usize) -> Formul
         6 | 7 => Formula::knows(Agent::new(rng.below(cfg.agents)), gen(rng, cfg, depth - 1)),
         8 if cfg.groups => Formula::everyone(random_group(rng, cfg), gen(rng, cfg, depth - 1)),
         9 if cfg.groups => Formula::common(random_group(rng, cfg), gen(rng, cfg, depth - 1)),
-        10 if cfg.groups => {
-            Formula::distributed(random_group(rng, cfg), gen(rng, cfg, depth - 1))
-        }
+        10 if cfg.groups => Formula::distributed(random_group(rng, cfg), gen(rng, cfg, depth - 1)),
         k if cfg.temporal => match k % 4 {
             0 => Formula::next(gen(rng, cfg, depth - 1)),
             1 => Formula::eventually(gen(rng, cfg, depth - 1)),
@@ -227,10 +225,7 @@ mod tests {
         for _ in 0..100 {
             let f = random_formula(&mut rng, &cfg).nnf();
             for sub in f.subformulas() {
-                assert!(!matches!(
-                    sub,
-                    Formula::Implies(..) | Formula::Iff(..)
-                ));
+                assert!(!matches!(sub, Formula::Implies(..) | Formula::Iff(..)));
             }
         }
     }

@@ -2,7 +2,6 @@
 
 use crate::agents::Agent;
 use crate::formula::PropId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -26,7 +25,7 @@ use std::fmt;
 /// let child = voc.add_agent("child_1");
 /// assert_eq!(voc.agent_name(child), "child_1");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Vocabulary {
     prop_names: Vec<String>,
     prop_ids: HashMap<String, PropId>,
@@ -247,3 +246,10 @@ mod tests {
         assert!(e.to_string().contains("3"));
     }
 }
+
+serde::impl_serde_struct!(Vocabulary {
+    prop_names,
+    prop_ids,
+    agent_names,
+    agent_ids,
+});

@@ -413,7 +413,10 @@ mod tests {
     fn af_on_deterministic_counter() {
         let g = counter_graph();
         let m = Mck::new(&g);
-        assert!(m.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+        assert!(m
+            .check(&Formula::eventually(p(0)))
+            .unwrap()
+            .holds_initially());
         // AG done fails initially, holds at the sink.
         let ag = m.check(&Formula::always(p(0))).unwrap();
         assert!(!ag.holds_initially());
@@ -438,7 +441,10 @@ mod tests {
         let g = latch_graph();
         let m = Mck::new(&g);
         // Not all paths set the flag...
-        assert!(!m.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+        assert!(!m
+            .check(&Formula::eventually(p(0)))
+            .unwrap()
+            .holds_initially());
         // ...but some path does (EF flag), and some path never does (EG ¬flag).
         assert!(m.check(&ctl::ef(p(0))).unwrap().holds_initially());
         assert!(m
@@ -467,10 +473,7 @@ mod tests {
         let g = counter_graph();
         let m = Mck::new(&g);
         let a = Agent::new(0);
-        let spec = Formula::always(Formula::implies(
-            p(0),
-            Formula::knows(a, p(0)),
-        ));
+        let spec = Formula::always(Formula::implies(p(0), Formula::knows(a, p(0))));
         assert!(m.check(&spec).unwrap().holds_initially());
     }
 
@@ -501,10 +504,7 @@ mod tests {
     fn error_reporting() {
         let g = counter_graph();
         let m = Mck::new(&g);
-        assert!(matches!(
-            m.check(&p(9)),
-            Err(EvalError::PropOutOfRange(_))
-        ));
+        assert!(matches!(m.check(&p(9)), Err(EvalError::PropOutOfRange(_))));
         assert!(matches!(
             m.check(&Formula::knows(Agent::new(9), p(0))),
             Err(EvalError::AgentOutOfRange(_))

@@ -293,9 +293,7 @@ impl<'g> FairMck<'g> {
 mod tests {
     use super::*;
     use kbp_logic::{Formula, PropId, Vocabulary};
-    use kbp_systems::{
-        ActionId, ContextBuilder, EnvActionId, GlobalState, LocalView, Obs,
-    };
+    use kbp_systems::{ActionId, ContextBuilder, EnvActionId, GlobalState, LocalView, Obs};
 
     fn p(i: u32) -> Formula {
         Formula::prop(PropId::new(i))
@@ -335,10 +333,16 @@ mod tests {
         let g = latch_graph();
         // Plain CTL: AF flag fails (the env can stall forever).
         let plain = crate::Mck::new(&g);
-        assert!(!plain.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+        assert!(!plain
+            .check(&Formula::eventually(p(0)))
+            .unwrap()
+            .holds_initially());
         // Fairness "flag infinitely often": stalling forever is unfair.
         let fair = FairMck::new(&g, &[p(0)]).unwrap();
-        assert!(fair.check(&Formula::eventually(p(0))).unwrap().holds_initially());
+        assert!(fair
+            .check(&Formula::eventually(p(0)))
+            .unwrap()
+            .holds_initially());
     }
 
     #[test]

@@ -245,8 +245,8 @@ impl StateGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kbp_systems::{ContextBuilder, EnvActionId};
     use kbp_logic::Vocabulary;
+    use kbp_systems::{ContextBuilder, EnvActionId};
 
     #[test]
     fn explores_a_cycle() {

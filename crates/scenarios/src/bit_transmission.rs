@@ -18,9 +18,7 @@
 
 use kbp_core::Kbp;
 use kbp_logic::{Agent, Formula, PropId, Vocabulary};
-use kbp_systems::{
-    ActionId, ContextBuilder, EnvActionId, FnContext, GlobalState, Obs,
-};
+use kbp_systems::{ActionId, ContextBuilder, EnvActionId, FnContext, GlobalState, Obs};
 
 /// Channel behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -378,7 +376,9 @@ mod tests {
         let sys = solution.system();
         // Not all runs deliver: AF(rbit) fails initially.
         let rbit = Formula::prop(sc.receiver_has_bit());
-        assert!(!sys.holds_initially(&Formula::eventually(rbit.clone())).unwrap());
+        assert!(!sys
+            .holds_initially(&Formula::eventually(rbit.clone()))
+            .unwrap());
         // But delivery is possible: ¬AG¬rbit.
         let possible = Formula::not(Formula::always(Formula::not(rbit)));
         assert!(sys.holds_initially(&possible).unwrap());
@@ -409,14 +409,12 @@ mod tests {
         let ctx = sc.context();
         let kbp = sc.kbp();
         let solution = SyncSolver::new(&ctx, &kbp).horizon(6).solve().unwrap();
-        let machines =
-            kbp_core::ControllerProtocol::from_solution(&solution, &kbp).unwrap();
+        let machines = kbp_core::ControllerProtocol::from_solution(&solution, &kbp).unwrap();
         let sender = machines.controller(sc.sender()).unwrap();
         let receiver = machines.controller(sc.receiver()).unwrap();
         assert_eq!(sender.state_count(), 2, "{sender}");
         assert_eq!(receiver.state_count(), 2, "{receiver}");
-        let report =
-            check_implementation(&ctx, &kbp, &machines, Recall::Perfect, 6).unwrap();
+        let report = check_implementation(&ctx, &kbp, &machines, Recall::Perfect, 6).unwrap();
         assert!(report.is_implementation(), "{report}");
     }
 
@@ -436,14 +434,14 @@ mod tests {
         let graph = kbp_mck::StateGraph::explore(&ctx, solution.protocol(), 10_000).unwrap();
         let goal = Formula::eventually(Formula::prop(sc.sender_has_ack()));
         // Plain CTL: fails (the adversary drops everything forever).
-        assert!(!kbp_mck::Mck::new(&graph).check(&goal).unwrap().holds_initially());
+        assert!(!kbp_mck::Mck::new(&graph)
+            .check(&goal)
+            .unwrap()
+            .holds_initially());
         // Under weak fairness of both channel directions: holds.
         let fair = kbp_mck::FairMck::new(
             &graph,
-            &[
-                Formula::prop(sc.fair_msg()),
-                Formula::prop(sc.fair_ack()),
-            ],
+            &[Formula::prop(sc.fair_msg()), Formula::prop(sc.fair_ack())],
         )
         .unwrap();
         assert!(fair.check(&goal).unwrap().holds_initially());
@@ -460,10 +458,16 @@ mod tests {
         let solution = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
         let sys = solution.system();
         let group: kbp_logic::AgentSet = [sc.sender(), sc.receiver()].into_iter().collect();
-        let ck = Formula::common(group, Formula::knows_whether(sc.receiver(), Formula::prop(sc.bit())));
+        let ck = Formula::common(
+            group,
+            Formula::knows_whether(sc.receiver(), Formula::prop(sc.bit())),
+        );
         let ev = Evaluator::new(sys, &ck).unwrap();
         for node in 0..sys.layer(1).len() {
-            assert!(ev.holds(Point { time: 1, node }), "no CK at t=1 node {node}");
+            assert!(
+                ev.holds(Point { time: 1, node }),
+                "no CK at t=1 node {node}"
+            );
         }
     }
 

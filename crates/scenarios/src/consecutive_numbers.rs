@@ -134,8 +134,7 @@ impl ConsecutiveNumbers {
     #[must_use]
     pub fn bob_knows(&self) -> Formula {
         Formula::or(
-            (1..=self.n)
-                .map(|k| Formula::knows(self.bob(), Formula::prop(self.alice_is(k)))),
+            (1..=self.n).map(|k| Formula::knows(self.bob(), Formula::prop(self.alice_is(k)))),
         )
     }
 
@@ -154,9 +153,7 @@ impl ConsecutiveNumbers {
         let mut model = self.model();
         let find = |m: &S5Model| -> WorldId {
             m.worlds()
-                .find(|&w| {
-                    m.prop_holds(w, self.alice_is(a)) && m.prop_holds(w, self.bob_is(b))
-                })
+                .find(|&w| m.prop_holds(w, self.alice_is(a)) && m.prop_holds(w, self.bob_is(b)))
                 .expect("actual world never eliminated (announcements are truthful)")
         };
         for round in 0..=(2 * self.n as usize) {

@@ -286,13 +286,24 @@ mod tests {
         let weak_start = (0..sys.layer(0).len())
             .find(|&node| sys.global_state(Point { time: 0, node }).reg(0) == 1)
             .unwrap();
-        assert!(ev.holds(Point { time: 0, node: weak_start }));
+        assert!(ev.holds(Point {
+            time: 0,
+            node: weak_start
+        }));
         // On the strong-enemy run it never does.
         let strong_start = (0..sys.layer(0).len())
             .find(|&node| sys.global_state(Point { time: 0, node }).reg(0) == 0)
             .unwrap();
         let never = Formula::always(Formula::not(Formula::prop(sc.attacked1())));
-        assert!(sys.eval(Point { time: 0, node: strong_start }, &never).unwrap());
+        assert!(sys
+            .eval(
+                Point {
+                    time: 0,
+                    node: strong_start
+                },
+                &never
+            )
+            .unwrap());
     }
 
     #[test]
@@ -303,8 +314,7 @@ mod tests {
             let kbp = sc.kbp();
             let solution = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
             let report =
-                check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 4)
-                    .unwrap();
+                check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 4).unwrap();
             assert!(report.is_implementation(), "{channel:?}: {report}");
         }
     }
@@ -319,7 +329,10 @@ mod tests {
         let sys = solution.system();
         let weak = Formula::prop(sc.weak());
         let k2 = Formula::knows(sc.general2(), weak.clone());
-        let k1k2 = Formula::knows(sc.general1(), Formula::knows_whether(sc.general2(), weak.clone()));
+        let k1k2 = Formula::knows(
+            sc.general1(),
+            Formula::knows_whether(sc.general2(), weak.clone()),
+        );
         let ev2 = Evaluator::new(sys, &k2).unwrap();
         let ev12 = Evaluator::new(sys, &k1k2).unwrap();
         // Some point at t=1 satisfies K_2 weak (message delivered, weak).

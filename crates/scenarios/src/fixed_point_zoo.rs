@@ -176,16 +176,16 @@ mod tests {
     fn plain_agrees_with_sync_solver() {
         let ctx = lamp_context();
         let entry = plain();
-        let solver = SyncSolver::new(&ctx, &entry.kbp).horizon(3).solve().unwrap();
+        let solver = SyncSolver::new(&ctx, &entry.kbp)
+            .horizon(3)
+            .solve()
+            .unwrap();
         let found = Enumerator::new(&ctx, &entry.kbp)
             .horizon(3)
             .enumerate()
             .unwrap();
         assert_eq!(found.count(), 1);
-        assert_eq!(
-            found.implementations()[0].protocol,
-            *solver.protocol()
-        );
+        assert_eq!(found.implementations()[0].protocol, *solver.protocol());
     }
 
     #[test]

@@ -125,9 +125,8 @@ impl MuddyChildren {
         for i in 0..n {
             voc.add_prop(format!("muddy_{i}"));
         }
-        let mut builder = ContextBuilder::new(voc).initial_states(
-            (1u32..(1 << n)).map(|mask| GlobalState::new(vec![mask, 0, 0])),
-        );
+        let mut builder = ContextBuilder::new(voc)
+            .initial_states((1u32..(1 << n)).map(|mask| GlobalState::new(vec![mask, 0, 0])));
         for i in 0..n {
             builder = builder.agent_actions(Agent::new(i), ["say_no", "say_yes"]);
         }
@@ -183,10 +182,7 @@ impl MuddyChildren {
     #[must_use]
     pub fn yes_round(&self, system: &InterpretedSystem, mask: u32) -> Option<usize> {
         let mut node = (0..system.layer(0).len()).find(|&k| {
-            system
-                .global_state(Point { time: 0, node: k })
-                .reg(R_MUD)
-                == mask
+            system.global_state(Point { time: 0, node: k }).reg(R_MUD) == mask
                 && system
                     .global_state(Point { time: 0, node: k })
                     .reg(R_ANSWERED)
@@ -207,30 +203,14 @@ impl MuddyChildren {
 
     /// The answers posted in layer `t` of the run for `mask`.
     #[must_use]
-    pub fn answers_at(
-        &self,
-        system: &InterpretedSystem,
-        mask: u32,
-        t: usize,
-    ) -> Option<u32> {
-        let mut node = (0..system.layer(0).len()).find(|&k| {
-            system
-                .global_state(Point { time: 0, node: k })
-                .reg(R_MUD)
-                == mask
-        })?;
+    pub fn answers_at(&self, system: &InterpretedSystem, mask: u32, t: usize) -> Option<u32> {
+        let mut node = (0..system.layer(0).len())
+            .find(|&k| system.global_state(Point { time: 0, node: k }).reg(R_MUD) == mask)?;
         for time in 0..t {
-            let p = Point {
-                time,
-                node,
-            };
+            let p = Point { time, node };
             node = *system.node(p).children().first()?;
         }
-        Some(
-            system
-                .global_state(Point { time: t, node })
-                .reg(R_ANS),
-        )
+        Some(system.global_state(Point { time: t, node }).reg(R_ANS))
     }
 
     // ---- classic Kripke / public-announcement rendition ---------------
@@ -295,21 +275,21 @@ impl MuddyChildren {
         let find_world = |m: &S5Model, mask: u32| -> WorldId {
             m.worlds()
                 .find(|&w| {
-                    (0..self.n).all(|i| {
-                        m.prop_holds(w, PropId::new(i as u32)) == (mask & (1 << i) != 0)
-                    })
+                    (0..self.n)
+                        .all(|i| m.prop_holds(w, PropId::new(i as u32)) == (mask & (1 << i) != 0))
                 })
                 .expect("world for mask present")
         };
         for round in 1..=self.n + 1 {
             let w = find_world(&model, mask);
-            let muddy_know = (0..self.n)
-                .filter(|i| mask & (1 << i) != 0)
-                .all(|i| {
-                    model
-                        .check(w, &Formula::knows(self.child(i), Formula::prop(self.muddy(i))))
-                        .expect("evaluable")
-                });
+            let muddy_know = (0..self.n).filter(|i| mask & (1 << i) != 0).all(|i| {
+                model
+                    .check(
+                        w,
+                        &Formula::knows(self.child(i), Formula::prop(self.muddy(i))),
+                    )
+                    .expect("evaluable")
+            });
             if muddy_know {
                 return round;
             }
@@ -425,7 +405,11 @@ mod tests {
             .find(|&k| sys.global_state(Point { time: 0, node: k }).reg(0) == 0b011)
             .unwrap();
         for t in 0..3 {
-            node = *sys.node(Point { time: t, node }).children().first().unwrap();
+            node = *sys
+                .node(Point { time: t, node })
+                .children()
+                .first()
+                .unwrap();
         }
         let p = Point { time: 3, node };
         for i in 0..3 {

@@ -62,7 +62,10 @@ impl Robot {
     /// theorem is not vacuous).
     #[must_use]
     pub fn new(track: u32, goal_lo: u32, goal_hi: u32) -> Self {
-        assert!(goal_lo >= 3, "goal must start after the initial uncertainty");
+        assert!(
+            goal_lo >= 3,
+            "goal must start after the initial uncertainty"
+        );
         assert!(goal_lo + 2 <= goal_hi, "goal region must have width >= 3");
         assert!(goal_hi + 2 <= track, "track must extend past the goal");
         Robot {
@@ -150,9 +153,7 @@ impl Robot {
                 let noise = i64::from(j.env.0) - 1;
                 GlobalState::new(vec![pos, 0, clamp_reading(pos, noise)])
             })
-            .observe(|_, s| {
-                Obs(u64::from(s.reg(R_READING)) | (u64::from(s.reg(R_HALTED)) << 32))
-            })
+            .observe(|_, s| Obs(u64::from(s.reg(R_READING)) | (u64::from(s.reg(R_HALTED)) << 32)))
             .props(move |p, s| match p.index() {
                 0 => (goal_lo..=goal_hi).contains(&s.reg(R_POS)),
                 1 => s.reg(R_HALTED) == 1,
@@ -240,7 +241,10 @@ mod tests {
         let deadline = 4 + 1;
         for node in 0..sys.layer(deadline).len() {
             assert!(
-                ev.holds(Point { time: deadline, node }),
+                ev.holds(Point {
+                    time: deadline,
+                    node
+                }),
                 "unhalted point at the deadline"
             );
         }
@@ -259,8 +263,8 @@ mod tests {
         let ev = Evaluator::new(sys, &halted).unwrap();
         let early = 4; // = goal_lo: halted at layer 4 means the halt action
                        // was taken at layer 3, before the deadline.
-        let any_early = (0..sys.layer(early).len())
-            .any(|node| ev.holds(Point { time: early, node }));
+        let any_early =
+            (0..sys.layer(early).len()).any(|node| ev.holds(Point { time: early, node }));
         assert!(any_early, "no early halt despite informative sensor");
     }
 

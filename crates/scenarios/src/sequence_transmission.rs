@@ -337,12 +337,21 @@ mod tests {
             .filter(|&node| ev.holds(kbp_systems::Point { time: 0, node }))
             .count();
         // Exactly the data words 01 and 10 are corruptible.
-        assert_eq!(corruptible, 2, "untagged transmission should be corruptible");
+        assert_eq!(
+            corruptible, 2,
+            "untagged transmission should be corruptible"
+        );
         // And the tagged protocol is safe from every initial state.
         let tagged = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
         let tctx = tagged.context();
-        let tsol = SyncSolver::new(&tctx, &tagged.kbp()).horizon(6).solve().unwrap();
-        assert!(tsol.system().holds_initially(&tagged.prefix_safety()).unwrap());
+        let tsol = SyncSolver::new(&tctx, &tagged.kbp())
+            .horizon(6)
+            .solve()
+            .unwrap();
+        assert!(tsol
+            .system()
+            .holds_initially(&tagged.prefix_safety())
+            .unwrap());
     }
 
     #[test]
@@ -413,6 +422,9 @@ mod tests {
         let sc = SequenceTransmission::new(3, Tagging::Alternating, Channel::Lossy);
         let ctx = sc.context();
         let solution = SyncSolver::new(&ctx, &sc.kbp()).horizon(6).solve().unwrap();
-        assert!(solution.system().holds_initially(&sc.prefix_safety()).unwrap());
+        assert!(solution
+            .system()
+            .holds_initially(&sc.prefix_safety())
+            .unwrap());
     }
 }

@@ -8,12 +8,11 @@
 
 use crate::state::{GlobalState, Obs};
 use kbp_logic::{Agent, PropId, Vocabulary};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// An action available to an agent (a dense per-agent index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActionId(pub u32);
 
 impl ActionId {
@@ -31,7 +30,7 @@ impl fmt::Display for ActionId {
 }
 
 /// An action of the environment (message delivery/loss, sensor noise, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EnvActionId(pub u32);
 
 impl EnvActionId {
@@ -50,7 +49,7 @@ impl fmt::Display for EnvActionId {
 
 /// One action per agent plus the environment's move — the input of the
 /// transition function.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JointAction {
     /// The environment's move.
     pub env: EnvActionId,
@@ -472,7 +471,10 @@ mod tests {
         assert_eq!(ctx.agent_count(), 1);
         assert_eq!(ctx.action_count(Agent::new(0)), 2);
         assert_eq!(ctx.action_name(Agent::new(0), ActionId(1)), "toggle");
-        assert_eq!(ctx.env_actions(&GlobalState::new(vec![0])), vec![EnvActionId(0)]);
+        assert_eq!(
+            ctx.env_actions(&GlobalState::new(vec![0])),
+            vec![EnvActionId(0)]
+        );
     }
 
     #[test]
@@ -518,3 +520,7 @@ mod tests {
         assert_eq!(j.of(Agent::new(1)), ActionId(4));
     }
 }
+
+serde::impl_serde_newtype!(ActionId(u32));
+serde::impl_serde_newtype!(EnvActionId(u32));
+serde::impl_serde_struct!(JointAction { env, acts });

@@ -16,8 +16,8 @@
 //! considers `F φ` possible") quantifies existentially.
 
 use crate::system::{InterpretedSystem, Point};
-use kbp_kripke::{BitSet, EvalError};
-use kbp_logic::{AgentSet, Formula};
+use kbp_kripke::{BitSet, EvalCache, EvalError};
+use kbp_logic::{AgentSet, Formula, FormulaArena, FormulaId, InternedNode};
 
 /// A compiled evaluation of one formula over all points of a system.
 ///
@@ -164,7 +164,14 @@ fn check_group_sys(sys: &InterpretedSystem, group: AgentSet) -> Result<(), EvalE
     Ok(())
 }
 
+/// Evaluates `formula` on every layer by interning it into a
+/// [`FormulaArena`] and walking the arena in postorder: each *distinct*
+/// subformula is evaluated exactly once per layer, however often it
+/// occurs syntactically, and the group partitions behind `C_G` / `D_G`
+/// are memoized per layer in an [`EvalCache`] shared by all subformulas.
 fn eval_layers(sys: &InterpretedSystem, formula: &Formula) -> Result<Vec<BitSet>, EvalError> {
+    let mut arena = FormulaArena::new();
+    let root = arena.intern(formula);
     let layers = sys.layer_count();
     let full = |b: bool| -> Vec<BitSet> {
         (0..layers)
@@ -177,151 +184,164 @@ fn eval_layers(sys: &InterpretedSystem, formula: &Formula) -> Result<Vec<BitSet>
             })
             .collect()
     };
-    match formula {
-        Formula::True => Ok(full(true)),
-        Formula::False => Ok(full(false)),
-        Formula::Prop(p) => {
-            let model0 = sys.layer(0).model();
-            if p.index() >= model0.prop_count() {
-                return Err(EvalError::PropOutOfRange(*p));
-            }
-            Ok((0..layers)
-                .map(|t| sys.layer(t).model().prop_worlds(*p).clone())
-                .collect())
-        }
-        Formula::Not(f) => {
-            let mut sat = eval_layers(sys, f)?;
-            for s in &mut sat {
-                s.complement();
-            }
-            Ok(sat)
-        }
-        Formula::And(items) => {
-            let mut acc = full(true);
-            for f in items {
-                let sat = eval_layers(sys, f)?;
-                for (a, s) in acc.iter_mut().zip(&sat) {
-                    a.intersect_with(s);
+    // memo[id] = per-layer satisfaction sets of subformula `id`; arena ids
+    // are postordered, so a forward scan sees children before parents.
+    let mut memo: Vec<Vec<BitSet>> = Vec::with_capacity(arena.len());
+    let mut caches: Vec<EvalCache> = (0..layers).map(|_| EvalCache::new()).collect();
+    for id in arena.ids() {
+        let get = |f: &FormulaId| &memo[f.index()];
+        let sat: Vec<BitSet> = match arena.node(id) {
+            InternedNode::True => full(true),
+            InternedNode::False => full(false),
+            InternedNode::Prop(p) => {
+                if p.index() >= sys.layer(0).model().prop_count() {
+                    return Err(EvalError::PropOutOfRange(*p));
                 }
+                (0..layers)
+                    .map(|t| sys.layer(t).model().prop_worlds(*p).clone())
+                    .collect()
             }
-            Ok(acc)
-        }
-        Formula::Or(items) => {
-            let mut acc = full(false);
-            for f in items {
-                let sat = eval_layers(sys, f)?;
-                for (a, s) in acc.iter_mut().zip(&sat) {
-                    a.union_with(s);
-                }
-            }
-            Ok(acc)
-        }
-        Formula::Implies(a, b) => {
-            let sa = eval_layers(sys, a)?;
-            let sb = eval_layers(sys, b)?;
-            Ok(sa
-                .into_iter()
-                .zip(sb)
-                .map(|(sa, sb)| {
-                    let mut out = sa.complemented();
-                    out.union_with(&sb);
+            InternedNode::Not(f) => get(f)
+                .iter()
+                .map(|s| {
+                    let mut out = s.clone();
+                    out.complement();
                     out
                 })
-                .collect())
-        }
-        Formula::Iff(a, b) => {
-            let sa = eval_layers(sys, a)?;
-            let sb = eval_layers(sys, b)?;
-            Ok(sa
-                .into_iter()
-                .zip(sb)
+                .collect(),
+            InternedNode::And(items) => {
+                let mut acc = full(true);
+                for f in items {
+                    for (a, s) in acc.iter_mut().zip(get(f)) {
+                        a.intersect_with(s);
+                    }
+                }
+                acc
+            }
+            InternedNode::Or(items) => {
+                let mut acc = full(false);
+                for f in items {
+                    for (a, s) in acc.iter_mut().zip(get(f)) {
+                        a.union_with(s);
+                    }
+                }
+                acc
+            }
+            InternedNode::Implies(a, b) => get(a)
+                .iter()
+                .zip(get(b))
                 .map(|(sa, sb)| {
-                    let mut both = sa.clone();
-                    both.intersect_with(&sb);
-                    let mut neither = sa.complemented();
-                    neither.intersect_with(&sb.complemented());
-                    both.union_with(&neither);
-                    both
+                    let mut out = sa.clone();
+                    out.complement();
+                    out.union_with(sb);
+                    out
                 })
-                .collect())
-        }
-        Formula::Knows(agent, f) => {
-            if agent.index() >= sys.agent_count() {
-                return Err(EvalError::AgentOutOfRange(*agent));
-            }
-            let sat = eval_layers(sys, f)?;
-            Ok((0..layers)
-                .map(|t| sys.layer(t).model().knowing(*agent, &sat[t]))
-                .collect())
-        }
-        Formula::Everyone(group, f) => {
-            check_group_sys(sys, *group)?;
-            let sat = eval_layers(sys, f)?;
-            Ok((0..layers)
-                .map(|t| sys.layer(t).model().everyone_knowing(*group, &sat[t]))
-                .collect())
-        }
-        Formula::Common(group, f) => {
-            check_group_sys(sys, *group)?;
-            let sat = eval_layers(sys, f)?;
-            Ok((0..layers)
-                .map(|t| sys.layer(t).model().common_knowing(*group, &sat[t]))
-                .collect())
-        }
-        Formula::Distributed(group, f) => {
-            check_group_sys(sys, *group)?;
-            let sat = eval_layers(sys, f)?;
-            Ok((0..layers)
-                .map(|t| sys.layer(t).model().distributed_knowing(*group, &sat[t]))
-                .collect())
-        }
-        Formula::Next(f) => {
-            let sat = eval_layers(sys, f)?;
-            Ok((0..layers)
-                .map(|t| {
-                    let next = if t + 1 < layers { Some(&sat[t + 1]) } else { None };
-                    // Strong next: false at the horizon.
-                    all_children_in(sys, t, next, false)
+                .collect(),
+            InternedNode::Iff(a, b) => get(a)
+                .iter()
+                .zip(get(b))
+                .map(|(sa, sb)| {
+                    // a ↔ b is ¬(a ⊕ b).
+                    let mut out = sa.clone();
+                    out.xor_with(sb);
+                    out.complement();
+                    out
                 })
-                .collect())
-        }
-        Formula::Always(f) => {
-            let sat = eval_layers(sys, f)?;
-            let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
-            for t in (0..layers).rev() {
-                let next = out.get(t + 1);
-                let mut g = all_children_in(sys, t, next, true);
-                g.intersect_with(&sat[t]);
-                out[t] = g;
+                .collect(),
+            InternedNode::Knows(agent, f) => {
+                if agent.index() >= sys.agent_count() {
+                    return Err(EvalError::AgentOutOfRange(*agent));
+                }
+                let sat = get(f);
+                (0..layers)
+                    .map(|t| sys.layer(t).model().knowing(*agent, &sat[t]))
+                    .collect()
             }
-            Ok(out)
-        }
-        Formula::Eventually(f) => {
-            let sat = eval_layers(sys, f)?;
-            let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
-            for t in (0..layers).rev() {
-                let next = out.get(t + 1);
-                // φ now, or all futures reach it (no children ⇒ only "now").
-                let mut fset = all_children_in(sys, t, next, false);
-                fset.union_with(&sat[t]);
-                out[t] = fset;
+            InternedNode::Everyone(group, f) => {
+                check_group_sys(sys, *group)?;
+                let sat = get(f);
+                (0..layers)
+                    .map(|t| sys.layer(t).model().everyone_knowing(*group, &sat[t]))
+                    .collect()
             }
-            Ok(out)
-        }
-        Formula::Until(a, b) => {
-            let sa = eval_layers(sys, a)?;
-            let sb = eval_layers(sys, b)?;
-            let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
-            for t in (0..layers).rev() {
-                let next = out.get(t + 1);
-                let mut u = all_children_in(sys, t, next, false);
-                u.intersect_with(&sa[t]);
-                u.union_with(&sb[t]);
-                out[t] = u;
+            InternedNode::Common(group, f) => {
+                check_group_sys(sys, *group)?;
+                let sat = get(f);
+                (0..layers)
+                    .map(|t| {
+                        sys.layer(t)
+                            .model()
+                            .common_knowing_cached(&mut caches[t], *group, &sat[t])
+                    })
+                    .collect()
             }
-            Ok(out)
-        }
+            InternedNode::Distributed(group, f) => {
+                check_group_sys(sys, *group)?;
+                let sat = get(f);
+                (0..layers)
+                    .map(|t| {
+                        sys.layer(t).model().distributed_knowing_cached(
+                            &mut caches[t],
+                            *group,
+                            &sat[t],
+                        )
+                    })
+                    .collect()
+            }
+            InternedNode::Next(f) => {
+                let sat = get(f);
+                (0..layers)
+                    .map(|t| {
+                        let next = if t + 1 < layers {
+                            Some(&sat[t + 1])
+                        } else {
+                            None
+                        };
+                        // Strong next: false at the horizon.
+                        all_children_in(sys, t, next, false)
+                    })
+                    .collect()
+            }
+            InternedNode::Always(f) => {
+                let sat = get(f);
+                let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+                for t in (0..layers).rev() {
+                    let next = out.get(t + 1);
+                    let mut g = all_children_in(sys, t, next, true);
+                    g.intersect_with(&sat[t]);
+                    out[t] = g;
+                }
+                out
+            }
+            InternedNode::Eventually(f) => {
+                let sat = get(f);
+                let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+                for t in (0..layers).rev() {
+                    let next = out.get(t + 1);
+                    // φ now, or all futures reach it (no children ⇒ only "now").
+                    let mut fset = all_children_in(sys, t, next, false);
+                    fset.union_with(&sat[t]);
+                    out[t] = fset;
+                }
+                out
+            }
+            InternedNode::Until(a, b) => {
+                let sa = get(a);
+                let sb = get(b);
+                let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+                for t in (0..layers).rev() {
+                    let next = out.get(t + 1);
+                    let mut u = all_children_in(sys, t, next, false);
+                    u.intersect_with(&sa[t]);
+                    u.union_with(&sb[t]);
+                    out[t] = u;
+                }
+                out
+            }
+        };
+        memo.push(sat);
     }
+    Ok(memo.swap_remove(root.index()))
 }
 
 #[cfg(test)]

@@ -135,7 +135,11 @@ impl InterpretedSystem {
                             .enumerate()
                             .map(|(i, &a)| ctx.action_name(Agent::new(i), a))
                             .collect();
-                        format!("[{} / {}]", agents.join(","), ctx.env_action_name(joint.env))
+                        format!(
+                            "[{} / {}]",
+                            agents.join(","),
+                            ctx.env_action_name(joint.env)
+                        )
                     })
                     .collect();
                 labels.sort();

@@ -9,7 +9,6 @@
 use crate::context::ActionId;
 use crate::state::Obs;
 use kbp_logic::Agent;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An agent's local state as seen by a protocol.
@@ -85,7 +84,7 @@ where
 /// let view = LocalView { agent: a, history: &seen_zero };
 /// assert_eq!(p.actions(&view), vec![ActionId(0)]); // default
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MapProtocol {
     entries: HashMap<(Agent, Vec<Obs>), Vec<ActionId>>,
     agent_defaults: HashMap<Agent, Vec<ActionId>>,
@@ -190,10 +189,7 @@ impl MapProtocol {
                 current = Some(agent);
             }
             let hist: Vec<String> = history.iter().map(ToString::to_string).collect();
-            let acts: Vec<String> = actions
-                .iter()
-                .map(|&a| ctx.action_name(agent, a))
-                .collect();
+            let acts: Vec<String> = actions.iter().map(|&a| ctx.action_name(agent, a)).collect();
             let _ = writeln!(out, "  [{}] -> {}", hist.join(","), acts.join("|"));
         }
         out
@@ -273,10 +269,16 @@ mod tests {
         let b = Agent::new(1);
         let mut p = MapProtocol::new(vec![ActionId(9)]);
         p.insert(a, vec![Obs(0), Obs(1)], vec![ActionId(1), ActionId(2)]);
-        assert_eq!(p.get(a, &[Obs(0), Obs(1)]), Some(&[ActionId(1), ActionId(2)][..]));
+        assert_eq!(
+            p.get(a, &[Obs(0), Obs(1)]),
+            Some(&[ActionId(1), ActionId(2)][..])
+        );
         assert_eq!(p.get(b, &[Obs(0), Obs(1)]), None, "keyed per agent");
         let h = [Obs(0), Obs(1)];
-        let v = LocalView { agent: b, history: &h };
+        let v = LocalView {
+            agent: b,
+            history: &h,
+        };
         assert_eq!(p.actions(&v), vec![ActionId(9)]);
         assert!(!p.is_deterministic());
         assert_eq!(p.len(), 1);
@@ -293,7 +295,13 @@ mod tests {
         };
         let h = [Obs(5)];
         assert_eq!(
-            ProtocolFn::actions(&p, &LocalView { agent: Agent::new(0), history: &h }),
+            ProtocolFn::actions(
+                &p,
+                &LocalView {
+                    agent: Agent::new(0),
+                    history: &h
+                }
+            ),
             vec![ActionId(1)]
         );
     }
@@ -341,3 +349,9 @@ mod tests {
         assert!(!p.is_deterministic());
     }
 }
+
+serde::impl_serde_struct!(MapProtocol {
+    entries,
+    agent_defaults,
+    default,
+});

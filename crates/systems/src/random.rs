@@ -94,15 +94,12 @@ pub fn random_context(seed: u64, cfg: &RandomContextConfig) -> FnContext {
     let initial_count = cfg.initial.clamp(1, cfg.states as usize);
 
     let mut builder = ContextBuilder::new(voc).initial_states(
-        (0..initial_count as u32).map(|k| {
-            GlobalState::new(vec![mix(seed, &[1, u64::from(k)]) as u32 % states])
-        }),
+        (0..initial_count as u32)
+            .map(|k| GlobalState::new(vec![mix(seed, &[1, u64::from(k)]) as u32 % states])),
     );
     for i in 0..cfg.agents {
-        builder = builder.agent_actions(
-            Agent::new(i),
-            (0..cfg.actions).map(|a| format!("act_{a}")),
-        );
+        builder =
+            builder.agent_actions(Agent::new(i), (0..cfg.actions).map(|a| format!("act_{a}")));
     }
     builder
         .env_protocol(move |_| (0..env_moves).map(|e| EnvActionId(e as u32)).collect())
@@ -112,10 +109,7 @@ pub fn random_context(seed: u64, cfg: &RandomContextConfig) -> FnContext {
             GlobalState::new(vec![mix(seed, &parts) as u32 % states])
         })
         .observe(move |agent, s| {
-            Obs(mix(
-                seed,
-                &[3, agent.index() as u64, u64::from(s.reg(0))],
-            ) % u64::from(obs_classes))
+            Obs(mix(seed, &[3, agent.index() as u64, u64::from(s.reg(0))]) % u64::from(obs_classes))
         })
         .props(move |p, s| mix(seed, &[4, p.index() as u64, u64::from(s.reg(0))]) & 1 == 1)
         .build()

@@ -68,11 +68,7 @@ impl InterpretedSystem {
             let layer = self.layer(t);
             let mut new_paths = vec![0u128; layer.len()];
             for (ni, node) in layer.nodes().iter().enumerate() {
-                new_paths[ni] = node
-                    .children()
-                    .iter()
-                    .map(|&c| paths[c])
-                    .sum();
+                new_paths[ni] = node.children().iter().map(|&c| paths[c]).sum();
             }
             paths = new_paths;
         }
@@ -84,10 +80,7 @@ impl InterpretedSystem {
     pub fn runs(&self, limit: usize) -> Vec<Run> {
         let mut out = Vec::new();
         let last = self.layer_count() - 1;
-        let mut stack: Vec<Vec<usize>> = (0..self.layer(0).len())
-            .rev()
-            .map(|n| vec![n])
-            .collect();
+        let mut stack: Vec<Vec<usize>> = (0..self.layer(0).len()).rev().map(|n| vec![n]).collect();
         while let Some(path) = stack.pop() {
             if out.len() >= limit {
                 break;
@@ -113,9 +106,11 @@ impl InterpretedSystem {
         let mut nodes = vec![0usize];
         for t in 0..self.layer_count() - 1 {
             let node = &self.layer(t).nodes()[*nodes.last().expect("nonempty")];
-            let next = node.children().first().copied().unwrap_or_else(|| {
-                unreachable!("non-final layers always have children")
-            });
+            let next = node
+                .children()
+                .first()
+                .copied()
+                .unwrap_or_else(|| unreachable!("non-final layers always have children"));
             nodes.push(next);
         }
         Run { nodes }

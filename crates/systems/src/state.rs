@@ -1,6 +1,5 @@
 //! Global states, observations, and interning tables.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -22,7 +21,7 @@ use std::fmt;
 /// assert_eq!(t.regs(), &[1, 0, 4]);
 /// assert_eq!(s.reg(2), 3); // original untouched
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GlobalState(Vec<u32>);
 
 impl GlobalState {
@@ -96,7 +95,7 @@ impl fmt::Display for GlobalState {
 ///
 /// An opaque 64-bit code; contexts choose the encoding. Equal codes mean
 /// "indistinguishable at this instant".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Obs(pub u64);
 
 impl fmt::Display for Obs {
@@ -106,7 +105,7 @@ impl fmt::Display for Obs {
 }
 
 /// Dense id of an interned [`GlobalState`] within a generated system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateId(pub(crate) u32);
 
 impl StateId {
@@ -178,7 +177,7 @@ impl StateTable {
 /// observational semantics it is a single observation. Either way it is
 /// interned to an id; resolve it back through
 /// [`InterpretedSystem::local_view`](crate::InterpretedSystem::local_view).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LocalId(pub(crate) u32);
 
 impl LocalId {
@@ -330,3 +329,8 @@ mod tests {
         assert_eq!(s.to_string(), "⟨3,1⟩");
     }
 }
+
+serde::impl_serde_newtype!(GlobalState(Vec<u32>));
+serde::impl_serde_newtype!(Obs(u64));
+serde::impl_serde_newtype!(StateId(u32));
+serde::impl_serde_newtype!(LocalId(u32));

@@ -181,10 +181,16 @@ impl fmt::Display for GenerateError {
         match self {
             GenerateError::Context(e) => write!(f, "invalid context: {e}"),
             GenerateError::MissingChoice { agent, local } => {
-                write!(f, "no action chosen for agent {agent} at local state {local}")
+                write!(
+                    f,
+                    "no action chosen for agent {agent} at local state {local}"
+                )
             }
             GenerateError::EmptyChoice { agent, local } => {
-                write!(f, "empty action set for agent {agent} at local state {local}")
+                write!(
+                    f,
+                    "empty action set for agent {agent} at local state {local}"
+                )
             }
             GenerateError::ActionOutOfRange { agent, action } => {
                 write!(f, "action {action} outside the repertoire of agent {agent}")
@@ -461,8 +467,7 @@ impl<'c> SystemBuilder<'c> {
 
         let mut dedup: HashMap<(StateId, Vec<LocalId>), u32> = HashMap::new();
         let mut nodes: Vec<Node> = Vec::new();
-        let mut new_edges: Vec<Vec<(u32, JointAction)>> =
-            vec![Vec::new(); self.layers[t].len()];
+        let mut new_edges: Vec<Vec<(u32, JointAction)>> = vec![Vec::new(); self.layers[t].len()];
 
         for (ni, node) in self.layers[t].nodes().iter().enumerate() {
             let state = self.states.state(node.state).clone();
@@ -473,9 +478,8 @@ impl<'c> SystemBuilder<'c> {
             // Cartesian product over agents' action sets.
             let mut combo: Vec<usize> = vec![0; agents];
             loop {
-                let acts: Vec<ActionId> = (0..agents)
-                    .map(|i| action_sets[ni][i][combo[i]])
-                    .collect();
+                let acts: Vec<ActionId> =
+                    (0..agents).map(|i| action_sets[ni][i][combo[i]]).collect();
                 for &env in &env_moves {
                     let joint = JointAction::new(env, acts.clone());
                     let next = self.ctx.transition(&state, &joint);
@@ -484,9 +488,7 @@ impl<'c> SystemBuilder<'c> {
                         .map(|i| {
                             let obs = self.ctx.observe(Agent::new(i), &next);
                             match self.recall {
-                                Recall::Perfect => {
-                                    self.locals[i].intern_child(node.locals[i], obs)
-                                }
+                                Recall::Perfect => self.locals[i].intern_child(node.locals[i], obs),
                                 Recall::Observational => self.locals[i].intern_root(obs),
                             }
                         })
@@ -623,9 +625,10 @@ impl InterpretedSystem {
 
     /// Iterates over all points, layer by layer.
     pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
-        self.layers.iter().enumerate().flat_map(|(t, layer)| {
-            (0..layer.len()).map(move |node| Point { time: t, node })
-        })
+        self.layers
+            .iter()
+            .enumerate()
+            .flat_map(|(t, layer)| (0..layer.len()).map(move |node| Point { time: t, node }))
     }
 
     /// Total number of points.

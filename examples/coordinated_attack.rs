@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let weak = Formula::prop(sc.weak());
         let ck = Formula::common(sc.generals(), weak.clone());
         let k2 = Formula::knows(sc.general2(), weak.clone());
-        let k1k2 = Formula::knows(
-            sc.general1(),
-            Formula::knows_whether(sc.general2(), weak),
-        );
+        let k1k2 = Formula::knows(sc.general1(), Formula::knows_whether(sc.general2(), weak));
         let evs = [
             ("K_2 weak", Evaluator::new(sys, &k2)?),
             ("K_1 K_2 ±weak", Evaluator::new(sys, &k1k2)?),

@@ -54,15 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Obs(0)
             }
         })
-        .props(move |p, s| {
-            (p == locked && s.reg(0) == 1) || (p == alarm && s.reg(2) == 1)
-        })
+        .props(move |p, s| (p == locked && s.reg(0) == 1) || (p == alarm && s.reg(2) == 1))
         .build();
 
     // ---- 3. The knowledge-based program ----------------------------
     let know_whether = Formula::knows_whether(watchman, Formula::prop(locked));
-    let know_unlocked =
-        Formula::knows(watchman, Formula::not(Formula::prop(locked)));
+    let know_unlocked = Formula::knows(watchman, Formula::not(Formula::prop(locked)));
     let kbp = Kbp::builder()
         .clause(watchman, Formula::not(know_whether), CHECK)
         .clause(watchman, know_unlocked, LOCK)
@@ -93,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let no_alarm = Formula::always(Formula::not(Formula::prop(alarm)));
     let locked_eventually = Formula::eventually(Formula::prop(locked));
     println!("G !alarm      : {}", sys.holds_initially(&no_alarm)?);
-    println!("F locked      : {}", sys.holds_initially(&locked_eventually)?);
+    println!(
+        "F locked      : {}",
+        sys.holds_initially(&locked_eventually)?
+    );
 
     // A naive watchman who locks blindly WOULD trip the alarm:
     let blind = MapProtocol::new(vec![LOCK]);

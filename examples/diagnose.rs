@@ -51,6 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("A run of the derived protocol (first run, lossy channel):");
     let run = sys.first_run();
     print!("{}", sys.describe_run(&run, &ctx));
-    println!("\nTotal distinct runs in the bounded system: {}", sys.run_count());
+    println!(
+        "\nTotal distinct runs in the bounded system: {}",
+        sys.run_count()
+    );
     Ok(())
 }

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "implementations found: {} (expected {}), search {}",
             found.count(),
             entry.expected.count(),
-            if found.is_complete() { "complete" } else { "truncated" },
+            if found.is_complete() {
+                "complete"
+            } else {
+                "truncated"
+            },
         );
         for (i, imp) in found.implementations().iter().enumerate() {
             // Describe each implementation by what it does initially.

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|&k| sys.global_state(Point { time: 0, node: k }).reg(0) == full_mask)
         .expect("all-muddy initial state");
     for t in 0..n {
-        node = *sys.node(Point { time: t, node }).children().first().unwrap();
+        node = *sys
+            .node(Point { time: t, node })
+            .children()
+            .first()
+            .unwrap();
     }
     let everyone: AgentSet = (0..n).map(Agent::new).collect();
     let config = Formula::and((0..n).map(|i| Formula::prop(sc.muddy(i))));

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("bit={bit},ack={ack}")
             })
             .collect();
-        let action = if actions == &[ActionId(1)] { "send" } else { "noop" };
+        let action = if actions == &[ActionId(1)] {
+            "send"
+        } else {
+            "noop"
+        };
         println!("  [{}] -> {action}", decoded.join(" | "));
     }
     println!("  …(send until the ack arrives; then stop)\n");
@@ -58,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. And the famous negative result: common knowledge of the bit is
     //    never attained over a lossy channel.
-    let group: AgentSet = [scenario.sender(), scenario.receiver()].into_iter().collect();
+    let group: AgentSet = [scenario.sender(), scenario.receiver()]
+        .into_iter()
+        .collect();
     let ck = Formula::common(group, Formula::prop(scenario.bit()));
     let ev = Evaluator::new(solution.system(), &ck)?;
     let anywhere = solution.system().points().any(|p| ev.holds(p));

@@ -28,9 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = solution.system();
 
     println!("Specifications on the generated system:");
-    println!("  G (halted -> in_goal)  : {}", sys.holds_initially(&sc.safety())?);
-    println!("  F halted               : {}", sys.holds_initially(&sc.liveness())?);
-    println!("  G !overshot            : {}", sys.holds_initially(&sc.no_overshoot())?);
+    println!(
+        "  G (halted -> in_goal)  : {}",
+        sys.holds_initially(&sc.safety())?
+    );
+    println!(
+        "  F halted               : {}",
+        sys.holds_initially(&sc.liveness())?
+    );
+    println!(
+        "  G !overshot            : {}",
+        sys.holds_initially(&sc.no_overshoot())?
+    );
 
     // Halting-time profile: fraction of points halted per layer.
     let halted = Formula::prop(sc.halted());
@@ -42,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{t:>5}   {total:>6}   {halted_count:>6}");
     }
 
-    println!(
-        "\nDead-reckoning alone certifies the goal at step {lo}; the sensor"
-    );
+    println!("\nDead-reckoning alone certifies the goal at step {lo}; the sensor");
     println!("lets lucky runs halt earlier — but never unsafely: the robot");
     println!("acts only on knowledge, so every halt is inside the goal.");
 

@@ -53,9 +53,8 @@ pub use kbp_systems;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use kbp_core::{
-        check_implementation, parse_kbp, Controller, ControllerProtocol, Enumeration,
-        Enumerator, Implementation, ImplementationReport, Kbp, KbpError, Solution, SolveError,
-        SyncSolver,
+        check_implementation, parse_kbp, Controller, ControllerProtocol, Enumeration, Enumerator,
+        Implementation, ImplementationReport, Kbp, KbpError, Solution, SolveError, SyncSolver,
     };
     pub use kbp_kripke::{BitSet, S5Builder, S5Model, WorldId};
     pub use kbp_logic::{parse::parse, Agent, AgentSet, Formula, PropId, Vocabulary};
@@ -65,12 +64,9 @@ pub mod prelude {
     pub use kbp_scenarios::fixed_point_zoo;
     pub use kbp_scenarios::muddy_children::MuddyChildren;
     pub use kbp_scenarios::robot::Robot;
-    pub use kbp_scenarios::sequence_transmission::{
-        SequenceTransmission, Tagging,
-    };
+    pub use kbp_scenarios::sequence_transmission::{SequenceTransmission, Tagging};
     pub use kbp_systems::{
         generate, ActionId, Context, ContextBuilder, Evaluator, FnContext, GlobalState,
-        InterpretedSystem, LocalView, MapProtocol, Obs, Point, ProtocolFn, Recall,
-        SystemBuilder,
+        InterpretedSystem, LocalView, MapProtocol, Obs, Point, ProtocolFn, Recall, SystemBuilder,
     };
 }

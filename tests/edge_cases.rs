@@ -46,7 +46,11 @@ fn zero_horizon_solving_works() {
     let ctx = trivial_context();
     let a = Agent::new(0);
     let kbp = Kbp::builder()
-        .clause(a, Formula::knows(a, Formula::prop(PropId::new(0))), ActionId(0))
+        .clause(
+            a,
+            Formula::knows(a, Formula::prop(PropId::new(0))),
+            ActionId(0),
+        )
         .default_action(a, ActionId(0))
         .build();
     let solution = SyncSolver::new(&ctx, &kbp).horizon(0).solve().unwrap();
@@ -85,7 +89,10 @@ fn hypercube_zero_props_is_a_point() {
     let m = S5Model::hypercube(0, &[vec![]]);
     assert_eq!(m.world_count(), 1);
     assert!(m
-        .check(WorldId::new(0), &Formula::knows(Agent::new(0), Formula::True))
+        .check(
+            WorldId::new(0),
+            &Formula::knows(Agent::new(0), Formula::True)
+        )
         .unwrap());
 }
 
@@ -169,7 +176,9 @@ fn one_agent_group_modalities_match_k() {
     let m = b.build();
     let g = AgentSet::singleton(Agent::new(0));
     let p = Formula::prop(PropId::new(0));
-    let k = m.satisfying(&Formula::knows(Agent::new(0), p.clone())).unwrap();
+    let k = m
+        .satisfying(&Formula::knows(Agent::new(0), p.clone()))
+        .unwrap();
     for raw in [
         Formula::Everyone(g, Box::new(p.clone())),
         Formula::Common(g, Box::new(p.clone())),
@@ -196,11 +205,17 @@ fn full_protocol_offers_every_action() {
     let h = [Obs(0)];
     use kbp_systems::ProtocolFn;
     assert_eq!(
-        full.actions(&LocalView { agent: a, history: &h }),
+        full.actions(&LocalView {
+            agent: a,
+            history: &h
+        }),
         vec![ActionId(0), ActionId(1), ActionId(2)]
     );
     assert_eq!(
-        full.actions(&LocalView { agent: b, history: &h }),
+        full.actions(&LocalView {
+            agent: b,
+            history: &h
+        }),
         vec![ActionId(0)]
     );
 }

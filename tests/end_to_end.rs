@@ -2,8 +2,8 @@
 //! point, satisfies its specifications, and the different views of the
 //! framework (solver, checker, enumerator, model checker) agree.
 
-use knowledge_programs::prelude::*;
 use kbp_scenarios::sequence_transmission::Channel as SeqChannel;
+use knowledge_programs::prelude::*;
 
 #[test]
 fn bit_transmission_full_pipeline() {
@@ -13,8 +13,7 @@ fn bit_transmission_full_pipeline() {
     assert_eq!(kbp.validate(&ctx), Ok(()));
 
     let solution = SyncSolver::new(&ctx, &kbp).horizon(5).solve().unwrap();
-    let report =
-        check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 5).unwrap();
+    let report = check_implementation(&ctx, &kbp, solution.protocol(), Recall::Perfect, 5).unwrap();
     assert!(report.is_implementation(), "{report}");
 
     let sys = solution.system();
@@ -131,11 +130,7 @@ fn cross_crate_formula_flow() {
     // The same guard as the scenario's sender clause, but written in the
     // concrete syntax (names resolve through the context vocabulary).
     let mut voc = ctx.vocabulary().clone();
-    let guard = parse(
-        "!K{sender} (K{receiver} bit | K{receiver} !bit)",
-        &mut voc,
-    )
-    .unwrap();
+    let guard = parse("!K{sender} (K{receiver} bit | K{receiver} !bit)", &mut voc).unwrap();
     let kbp = Kbp::builder()
         .clause(sc.sender(), guard, ActionId(1))
         .default_action(sc.sender(), ActionId(0))
@@ -190,7 +185,10 @@ fn stationary_and_bounded_views_agree_on_safety() {
     ));
     let bounded = solution.system().holds_initially(&invariant).unwrap();
     let graph = StateGraph::explore(&ctx, solution.protocol(), 10_000).unwrap();
-    let stationary = Mck::new(&graph).check(&invariant).unwrap().holds_initially();
+    let stationary = Mck::new(&graph)
+        .check(&invariant)
+        .unwrap()
+        .holds_initially();
     assert_eq!(bounded, stationary);
     assert!(bounded);
 }

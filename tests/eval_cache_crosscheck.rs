@@ -1,0 +1,122 @@
+//! Cross-check of the cached evaluation path against the plain one.
+//!
+//! `S5Model::satisfying_cached` (arena + `EvalCache`) must agree bit-for-bit
+//! with `S5Model::satisfying` on every formula, including when several
+//! formulas share one cache — the configuration the solvers run in. Also
+//! pins the `FormulaArena` intern/resolve round-trip.
+
+use kbp_kripke::{EvalCache, S5Builder, S5Model, WorldId};
+use kbp_logic::random::{random_formula, FormulaConfig, SplitMix64};
+use kbp_logic::{Agent, Formula, FormulaArena, PropId};
+use proptest::prelude::*;
+
+const AGENTS: usize = 2;
+const PROPS: usize = 3;
+
+/// A random S5 model described by plain data (so proptest can shrink it).
+#[derive(Debug, Clone)]
+struct ModelSpec {
+    /// For each world, the set of true props (bitmask over PROPS).
+    worlds: Vec<u8>,
+    /// Indistinguishability links: (agent, world a, world b).
+    links: Vec<(usize, usize, usize)>,
+}
+
+fn model_spec() -> impl Strategy<Value = ModelSpec> {
+    (2usize..7).prop_flat_map(|n| {
+        let worlds = proptest::collection::vec(0u8..(1 << PROPS), n);
+        let links = proptest::collection::vec((0..AGENTS, 0..n, 0..n), 0..12);
+        (worlds, links).prop_map(|(worlds, links)| ModelSpec { worlds, links })
+    })
+}
+
+fn build(spec: &ModelSpec) -> S5Model {
+    let mut b = S5Builder::new(AGENTS, PROPS);
+    for &mask in &spec.worlds {
+        let props = (0..PROPS)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| PropId::new(i as u32));
+        b.add_world(props);
+    }
+    for &(agent, wa, wb) in &spec.links {
+        b.link(Agent::new(agent), WorldId::new(wa), WorldId::new(wb));
+    }
+    b.build()
+}
+
+fn formula_from_seed(seed: u64, temporal: bool) -> Formula {
+    let cfg = FormulaConfig {
+        props: PROPS,
+        agents: AGENTS,
+        max_depth: 5,
+        temporal,
+        groups: true,
+    };
+    random_formula(&mut SplitMix64::new(seed), &cfg)
+}
+
+proptest! {
+    /// One formula, fresh cache: cached ≡ plain on a random model.
+    #[test]
+    fn cached_matches_plain(spec in model_spec(), seed in any::<u64>()) {
+        let m = build(&spec);
+        let phi = formula_from_seed(seed, false);
+        let plain = m.satisfying(&phi).unwrap();
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(&phi);
+        let mut cache = EvalCache::new();
+        let cached = m.satisfying_cached(&mut cache, &arena, id).unwrap();
+        prop_assert_eq!(&plain, cached, "cached evaluation diverged on {}", phi);
+    }
+
+    /// A batch of formulas sharing one arena and one cache — the solver
+    /// configuration — each agreeing with its independent plain run.
+    #[test]
+    fn shared_cache_matches_plain(
+        spec in model_spec(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let m = build(&spec);
+        let formulas: Vec<Formula> =
+            seeds.iter().map(|&s| formula_from_seed(s, false)).collect();
+        let mut arena = FormulaArena::new();
+        let ids: Vec<_> = formulas.iter().map(|f| arena.intern(f)).collect();
+        let mut cache = EvalCache::new();
+        for (f, &id) in formulas.iter().zip(&ids) {
+            let plain = m.satisfying(f).unwrap();
+            let cached = m.satisfying_cached(&mut cache, &arena, id).unwrap();
+            prop_assert_eq!(&plain, cached, "shared-cache evaluation diverged on {}", f);
+        }
+    }
+
+    /// `clear()` makes one cache reusable across models of different sizes.
+    #[test]
+    fn cleared_cache_is_reusable(
+        spec_a in model_spec(),
+        spec_b in model_spec(),
+        seed in any::<u64>(),
+    ) {
+        let (ma, mb) = (build(&spec_a), build(&spec_b));
+        let phi = formula_from_seed(seed, false);
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(&phi);
+        let mut cache = EvalCache::new();
+        let a = ma.satisfying_cached(&mut cache, &arena, id).unwrap().clone();
+        cache.clear();
+        let b = mb.satisfying_cached(&mut cache, &arena, id).unwrap().clone();
+        prop_assert_eq!(&a, &ma.satisfying(&phi).unwrap());
+        prop_assert_eq!(&b, &mb.satisfying(&phi).unwrap());
+    }
+
+    /// Interning then resolving reconstructs the formula exactly, and
+    /// re-interning the resolved formula hits the same id (hash-consing).
+    #[test]
+    fn intern_resolve_roundtrip(seed in any::<u64>(), temporal in any::<bool>()) {
+        let phi = formula_from_seed(seed, temporal);
+        let mut arena = FormulaArena::new();
+        let id = arena.intern(&phi);
+        let back = arena.resolve(id);
+        prop_assert_eq!(&back, &phi);
+        prop_assert_eq!(arena.intern(&back), id);
+    }
+}

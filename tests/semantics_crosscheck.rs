@@ -98,15 +98,13 @@ impl Naive<'_> {
                 // Every run through the point eventually satisfies g.
                 let suffixes = self.run_suffixes(point);
                 suffixes.into_iter().all(|(ri, t0)| {
-                    (t0..=self.runs[ri].horizon())
-                        .any(|t2| self.eval(self.runs[ri].point(t2), g))
+                    (t0..=self.runs[ri].horizon()).any(|t2| self.eval(self.runs[ri].point(t2), g))
                 })
             }
             Formula::Always(g) => {
                 let suffixes = self.run_suffixes(point);
                 suffixes.into_iter().all(|(ri, t0)| {
-                    (t0..=self.runs[ri].horizon())
-                        .all(|t2| self.eval(self.runs[ri].point(t2), g))
+                    (t0..=self.runs[ri].horizon()).all(|t2| self.eval(self.runs[ri].point(t2), g))
                 })
             }
             Formula::Until(a, b) => {
@@ -165,7 +163,11 @@ fn small_context(seed: u64) -> kbp_systems::FnContext {
 
 fn crosscheck(sys: &InterpretedSystem, f_seed: u64, formulas: usize, depth: usize) {
     let runs = sys.runs(100_000);
-    assert_eq!(runs.len() as u128, sys.run_count(), "run enumeration truncated");
+    assert_eq!(
+        runs.len() as u128,
+        sys.run_count(),
+        "run enumeration truncated"
+    );
     let mut rng = SplitMix64::new(f_seed);
     for _ in 0..formulas {
         let f = guard_formula(&mut rng, depth, false);

@@ -39,7 +39,10 @@ mod bin {
             .step_by(2)
             .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
             .collect::<Result<_, _>>()?;
-        let mut de = de::Bin { input: &bytes, pos: 0 };
+        let mut de = de::Bin {
+            input: &bytes,
+            pos: 0,
+        };
         T::deserialize(&mut de).map_err(|e| e.0)
     }
 
@@ -137,10 +140,7 @@ mod bin {
                 self.out.push(0);
                 Ok(())
             }
-            fn serialize_some<T: ?Sized + serde::Serialize>(
-                self,
-                value: &T,
-            ) -> Result<(), Error> {
+            fn serialize_some<T: ?Sized + serde::Serialize>(self, value: &T) -> Result<(), Error> {
                 self.out.push(1);
                 value.serialize(self)
             }
@@ -353,15 +353,12 @@ mod bin {
             }
             fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 let v = self.get_u64()?;
-                visitor.visit_char(
-                    char::from_u32(v as u32).ok_or_else(|| Error("bad char".into()))?,
-                )
+                visitor
+                    .visit_char(char::from_u32(v as u32).ok_or_else(|| Error("bad char".into()))?)
             }
             fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 let b = self.get_bytes()?;
-                visitor.visit_str(
-                    std::str::from_utf8(b).map_err(|e| Error(e.to_string()))?,
-                )
+                visitor.visit_str(std::str::from_utf8(b).map_err(|e| Error(e.to_string()))?)
             }
             fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 self.deserialize_str(visitor)
@@ -370,10 +367,7 @@ mod bin {
                 let b = self.get_bytes()?;
                 visitor.visit_bytes(b)
             }
-            fn deserialize_byte_buf<V: Visitor<'de>>(
-                self,
-                visitor: V,
-            ) -> Result<V::Value, Error> {
+            fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 self.deserialize_bytes(visitor)
             }
             fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
@@ -403,14 +397,20 @@ mod bin {
             }
             fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 let len = self.get_u64()? as usize;
-                visitor.visit_seq(Counted { de: self, left: len })
+                visitor.visit_seq(Counted {
+                    de: self,
+                    left: len,
+                })
             }
             fn deserialize_tuple<V: Visitor<'de>>(
                 self,
                 len: usize,
                 visitor: V,
             ) -> Result<V::Value, Error> {
-                visitor.visit_seq(Counted { de: self, left: len })
+                visitor.visit_seq(Counted {
+                    de: self,
+                    left: len,
+                })
             }
             fn deserialize_tuple_struct<V: Visitor<'de>>(
                 self,
@@ -422,7 +422,10 @@ mod bin {
             }
             fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
                 let len = self.get_u64()? as usize;
-                visitor.visit_map(Counted { de: self, left: len })
+                visitor.visit_map(Counted {
+                    de: self,
+                    left: len,
+                })
             }
             fn deserialize_struct<V: Visitor<'de>>(
                 self,
@@ -443,16 +446,10 @@ mod bin {
             ) -> Result<V::Value, Error> {
                 visitor.visit_enum(Enum { de: self })
             }
-            fn deserialize_identifier<V: Visitor<'de>>(
-                self,
-                _: V,
-            ) -> Result<V::Value, Error> {
+            fn deserialize_identifier<V: Visitor<'de>>(self, _: V) -> Result<V::Value, Error> {
                 Err(Error("identifiers are positional".into()))
             }
-            fn deserialize_ignored_any<V: Visitor<'de>>(
-                self,
-                _: V,
-            ) -> Result<V::Value, Error> {
+            fn deserialize_ignored_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, Error> {
                 Err(Error("cannot skip in positional format".into()))
             }
         }
@@ -532,7 +529,10 @@ mod bin {
                 len: usize,
                 visitor: V,
             ) -> Result<V::Value, Error> {
-                visitor.visit_seq(Counted { de: self.de, left: len })
+                visitor.visit_seq(Counted {
+                    de: self.de,
+                    left: len,
+                })
             }
             fn struct_variant<V: Visitor<'de>>(
                 self,
@@ -592,7 +592,11 @@ fn protocols_roundtrip() {
 fn kbp_roundtrips() {
     let a = Agent::new(0);
     let kbp = kbp_core::Kbp::builder()
-        .clause(a, Formula::knows(a, Formula::prop(kbp_logic::PropId::new(0))), ActionId(1))
+        .clause(
+            a,
+            Formula::knows(a, Formula::prop(kbp_logic::PropId::new(0))),
+            ActionId(1),
+        )
         .default_action(a, ActionId(0))
         .build();
     let back: kbp_core::Kbp = json_roundtrip(&kbp);

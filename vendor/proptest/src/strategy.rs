@@ -1,0 +1,361 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with a function.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Feeds generated values into a function producing a new strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying the predicate (panics if generation
+    /// repeatedly fails; prefer `prop_assume!` for sparse predicates).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.source.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1024 draws: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- integer ranges ------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $ty)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (self.end().wrapping_sub(*self.start()) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $ty;
+                }
+                self.start().wrapping_add(rng.below(span) as $ty)
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($ty:ty),+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $ty
+            }
+        }
+    )+};
+}
+
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+// ---- tuples --------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($($s:ident)+;)+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    S0 S1;
+    S0 S1 S2;
+    S0 S1 S2 S3;
+    S0 S1 S2 S3 S4;
+    S0 S1 S2 S3 S4 S5;
+}
+
+// ---- any::<T>() ----------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for the whole of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- regex-literal strategies --------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// Generates a string from the regex subset the workspace's tests use:
+/// a sequence of atoms (`.`, `[class]` with ranges and escapes, literal
+/// or escaped characters), each optionally followed by `{m}`, `{m,n}`,
+/// `*`, `+`, or `?`.
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = String::new();
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                (32u8..127).map(char::from).collect()
+            }
+            '[' => {
+                i += 1;
+                let (set, next) = parse_class(&chars, i, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(&chars, &mut i, pattern);
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(
+            !set.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        let (lo, hi) = parse_quantifier(&chars, &mut i, pattern);
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(set[rng.below(set.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn unescape(chars: &[char], i: &mut usize, pattern: &str) -> char {
+    let c = *chars
+        .get(*i)
+        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+    *i += 1;
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars, &mut i, pattern)
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // `a-z` range (a trailing `-` before `]` is a literal).
+        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars, &mut i, pattern)
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in pattern {pattern:?}"
+    );
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut lo = 0usize;
+            while chars[*i].is_ascii_digit() {
+                lo = lo * 10 + chars[*i].to_digit(10).unwrap() as usize;
+                *i += 1;
+            }
+            let hi = if chars[*i] == ',' {
+                *i += 1;
+                let mut hi = 0usize;
+                while chars[*i].is_ascii_digit() {
+                    hi = hi * 10 + chars[*i].to_digit(10).unwrap() as usize;
+                    *i += 1;
+                }
+                hi
+            } else {
+                lo
+            };
+            assert!(
+                chars[*i] == '}',
+                "malformed quantifier in pattern {pattern:?}"
+            );
+            *i += 1;
+            (lo, hi)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 16)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 16)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic test-case runner.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The input did not satisfy an assumption; draw a fresh one.
+    Reject(String),
+    /// The property failed on this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 generator seeded from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly random value below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+type CaseOutcome = (String, std::thread::Result<Result<(), TestCaseError>>);
+
+/// Runs `config.cases` cases of a property, retrying rejected inputs.
+///
+/// `case` draws inputs from the RNG and returns a debug rendering of the
+/// inputs plus the (unwind-caught) outcome of the property body.
+pub fn run_cases<F: FnMut(&mut TestRng) -> CaseOutcome>(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: F,
+) {
+    let mut rng = TestRng::from_name(test_name);
+    let max_rejects = u64::from(config.cases).saturating_mul(32).max(1024);
+    let mut rejects: u64 = 0;
+    let mut passed: u32 = 0;
+    while passed < config.cases {
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{test_name}: too many rejected inputs ({rejects}) — \
+                     weaken the prop_assume! or narrow the strategies"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{test_name}: property failed after {passed} passing case(s)\n  \
+                     {msg}\n  inputs: {inputs}"
+                );
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                panic!(
+                    "{test_name}: property panicked after {passed} passing case(s)\n  \
+                     panic: {msg}\n  inputs: {inputs}"
+                );
+            }
+        }
+    }
+}

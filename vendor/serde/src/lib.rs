@@ -1,0 +1,116 @@
+//! Offline shim for the `serde` crate: the `Serialize`/`Deserialize`
+//! trait system and positional data model, without proc-macro derives.
+//!
+//! The trait signatures mirror upstream serde for the subset the
+//! workspace uses, so hand-written `Serializer`/`Deserializer`
+//! implementations (such as the binary codec in the workspace's
+//! round-trip tests) compile unchanged. Instead of `#[derive(...)]`,
+//! types implement the traits via [`impl_serde_newtype!`] and
+//! [`impl_serde_struct!`], or by hand for enums.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+/// Implements `Serialize` and `Deserialize` for a newtype struct
+/// (`struct Name(Inner)`), mirroring what serde's derive would emit.
+///
+/// Must be invoked in a module where the field is visible.
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident($inner:ty)) => {
+        const _: () = {
+            impl $crate::Serialize for $ty {
+                fn serialize<S: $crate::ser::Serializer>(
+                    &self,
+                    serializer: S,
+                ) -> ::std::result::Result<S::Ok, S::Error> {
+                    serializer.serialize_newtype_struct(stringify!($ty), &self.0)
+                }
+            }
+            impl<'de> $crate::Deserialize<'de> for $ty {
+                fn deserialize<D: $crate::de::Deserializer<'de>>(
+                    deserializer: D,
+                ) -> ::std::result::Result<Self, D::Error> {
+                    struct NewtypeVisitor;
+                    impl<'de> $crate::de::Visitor<'de> for NewtypeVisitor {
+                        type Value = $ty;
+                        fn expecting(
+                            &self,
+                            f: &mut ::std::fmt::Formatter<'_>,
+                        ) -> ::std::fmt::Result {
+                            f.write_str(concat!("newtype struct ", stringify!($ty)))
+                        }
+                        fn visit_newtype_struct<D: $crate::de::Deserializer<'de>>(
+                            self,
+                            d: D,
+                        ) -> ::std::result::Result<$ty, D::Error> {
+                            ::std::result::Result::Ok($ty(
+                                <$inner as $crate::Deserialize>::deserialize(d)?,
+                            ))
+                        }
+                    }
+                    deserializer.deserialize_newtype_struct(stringify!($ty), NewtypeVisitor)
+                }
+            }
+        };
+    };
+}
+
+/// Implements `Serialize` and `Deserialize` for a struct with named
+/// fields, mirroring what serde's derive would emit (fields in
+/// declaration order).
+///
+/// Must be invoked in a module where all fields are visible.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        const _: () = {
+            impl $crate::Serialize for $ty {
+                fn serialize<S: $crate::ser::Serializer>(
+                    &self,
+                    serializer: S,
+                ) -> ::std::result::Result<S::Ok, S::Error> {
+                    use $crate::ser::SerializeStruct;
+                    const FIELDS: &[&str] = &[$(stringify!($field)),+];
+                    let mut st = serializer.serialize_struct(stringify!($ty), FIELDS.len())?;
+                    $(st.serialize_field(stringify!($field), &self.$field)?;)+
+                    st.end()
+                }
+            }
+            impl<'de> $crate::Deserialize<'de> for $ty {
+                fn deserialize<D: $crate::de::Deserializer<'de>>(
+                    deserializer: D,
+                ) -> ::std::result::Result<Self, D::Error> {
+                    struct StructVisitor;
+                    impl<'de> $crate::de::Visitor<'de> for StructVisitor {
+                        type Value = $ty;
+                        fn expecting(
+                            &self,
+                            f: &mut ::std::fmt::Formatter<'_>,
+                        ) -> ::std::fmt::Result {
+                            f.write_str(concat!("struct ", stringify!($ty)))
+                        }
+                        fn visit_seq<A: $crate::de::SeqAccess<'de>>(
+                            self,
+                            mut seq: A,
+                        ) -> ::std::result::Result<$ty, A::Error> {
+                            ::std::result::Result::Ok($ty {
+                                $($field: seq.next_element()?.ok_or_else(|| {
+                                    <A::Error as $crate::de::Error>::custom(concat!(
+                                        "missing field ",
+                                        stringify!($field)
+                                    ))
+                                })?,)+
+                            })
+                        }
+                    }
+                    const FIELDS: &[&str] = &[$(stringify!($field)),+];
+                    deserializer.deserialize_struct(stringify!($ty), FIELDS, StructVisitor)
+                }
+            }
+        };
+    };
+}
