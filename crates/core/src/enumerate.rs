@@ -19,6 +19,7 @@
 //! sufficient budget the returned enumeration is *complete*: it finds
 //! every implementation and proves there are no others.
 
+use crate::budget::Resource;
 use crate::implement::compare_on_system;
 use crate::program::Kbp;
 use crate::solve::SolveError;
@@ -29,6 +30,7 @@ use kbp_systems::{
     ActionId, Context, InterpretedSystem, LocalId, MapProtocol, Recall, StepChoices, SystemBuilder,
 };
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// One implementation found by the enumerator.
 #[derive(Debug)]
@@ -45,6 +47,7 @@ pub struct Enumeration {
     implementations: Vec<Implementation>,
     branches_explored: usize,
     complete: bool,
+    exhausted: Option<Resource>,
 }
 
 impl Enumeration {
@@ -74,6 +77,16 @@ impl Enumeration {
         self.complete
     }
 
+    /// The first budget that stopped the search, if any: the requested
+    /// solution count, the branch cap, the wall-clock deadline, or a
+    /// branch's node limit. `None` exactly when
+    /// [`is_complete`](Self::is_complete) — the found implementations are
+    /// always best-so-far regardless.
+    #[must_use]
+    pub fn exhausted(&self) -> Option<Resource> {
+        self.exhausted
+    }
+
     /// Consumes the enumeration, returning the implementations.
     #[must_use]
     pub fn into_implementations(self) -> Vec<Implementation> {
@@ -85,15 +98,15 @@ impl fmt::Display for Enumeration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} implementation(s) found in {} branches ({})",
+            "{} implementation(s) found in {} branches (",
             self.count(),
             self.branches_explored,
-            if self.complete {
-                "complete"
-            } else {
-                "budget exhausted"
-            }
-        )
+        )?;
+        match self.exhausted {
+            None => write!(f, "complete")?,
+            Some(r) => write!(f, "budget exhausted: {r}")?,
+        }
+        write!(f, ")")
     }
 }
 
@@ -140,6 +153,7 @@ pub struct Enumerator<'a> {
     max_solutions: usize,
     max_branches: usize,
     node_limit: Option<usize>,
+    deadline: Option<Duration>,
 }
 
 impl fmt::Debug for Enumerator<'_> {
@@ -166,6 +180,7 @@ impl<'a> Enumerator<'a> {
             max_solutions: 64,
             max_branches: 100_000,
             node_limit: None,
+            deadline: None,
         }
     }
 
@@ -201,6 +216,15 @@ impl<'a> Enumerator<'a> {
     #[must_use]
     pub fn node_limit(mut self, limit: usize) -> Self {
         self.node_limit = Some(limit);
+        self
+    }
+
+    /// Sets a wall-clock allowance for the whole search; when it passes,
+    /// the search stops and reports the implementations found so far
+    /// (best-so-far, marked incomplete).
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
         self
     }
 
@@ -249,12 +273,15 @@ impl<'a> Enumerator<'a> {
             found: Vec::new(),
             branches: 0,
             complete: true,
+            started: Instant::now(),
+            exhausted: None,
         };
         search.dfs(builder, proto)?;
         Ok(Enumeration {
             implementations: search.found,
             branches_explored: search.branches,
             complete: search.complete,
+            exhausted: search.exhausted,
         })
     }
 }
@@ -269,14 +296,30 @@ struct Search<'a, 'b> {
     found: Vec<Implementation>,
     branches: usize,
     complete: bool,
+    started: Instant,
+    /// First budget that fired, for the typed diagnosis on
+    /// [`Enumeration::exhausted`].
+    exhausted: Option<Resource>,
 }
 
 impl Search<'_, '_> {
     fn budget_left(&mut self) -> bool {
-        if self.found.len() >= self.enumerator.max_solutions
-            || self.branches >= self.enumerator.max_branches
+        let hit = if self.found.len() >= self.enumerator.max_solutions {
+            Some(Resource::Solutions)
+        } else if self.branches >= self.enumerator.max_branches {
+            Some(Resource::Branches)
+        } else if self
+            .enumerator
+            .deadline
+            .is_some_and(|d| self.started.elapsed() >= d)
         {
+            Some(Resource::Deadline)
+        } else {
+            None
+        };
+        if let Some(resource) = hit {
             self.complete = false;
+            self.exhausted.get_or_insert(resource);
             return false;
         }
         true
@@ -387,6 +430,7 @@ impl Search<'_, '_> {
                 Err(kbp_systems::GenerateError::NodeLimit { .. }) => {
                     // This branch is too big; treat as unexplored.
                     self.complete = false;
+                    self.exhausted.get_or_insert(Resource::Nodes);
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -559,6 +603,27 @@ mod tests {
             .enumerate()
             .unwrap();
         assert!(!found.is_complete());
+        assert_eq!(found.exhausted(), Some(Resource::Branches));
+    }
+
+    #[test]
+    fn zero_deadline_yields_best_so_far() {
+        let ctx = lamp();
+        let a = Agent::new(0);
+        let kbp = Kbp::builder()
+            .clause(a, Formula::knows(a, Formula::eventually(p(0))), ActionId(1))
+            .default_action(a, ActionId(0))
+            .build();
+        let found = Enumerator::new(&ctx, &kbp)
+            .horizon(3)
+            .deadline(Duration::ZERO)
+            .enumerate()
+            .unwrap();
+        // The search stops before exploring anything, but still returns a
+        // well-formed (empty, incomplete) enumeration rather than failing.
+        assert!(!found.is_complete());
+        assert_eq!(found.exhausted(), Some(Resource::Deadline));
+        assert_eq!(found.branches_explored(), 0);
     }
 
     #[test]
@@ -576,6 +641,7 @@ mod tests {
             .unwrap();
         assert_eq!(found.count(), 1);
         assert!(!found.is_complete());
+        assert_eq!(found.exhausted(), Some(Resource::Solutions));
     }
 
     #[test]

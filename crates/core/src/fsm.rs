@@ -97,14 +97,14 @@ impl Controller {
             .map_or(self.default_state, |&(_, s)| s)
     }
 
-    /// Replays a whole observation history (oldest first).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the history is empty.
+    /// Replays a whole observation history (oldest first). An empty
+    /// history (never produced by the framework) yields the default
+    /// state's actions.
     #[must_use]
     pub fn actions_for(&self, history: &[Obs]) -> Vec<ActionId> {
-        let (first, rest) = history.split_first().expect("nonempty history");
+        let Some((first, rest)) = history.split_first() else {
+            return self.states[self.default_state as usize].actions.clone();
+        };
         let mut state = self.initial_state(*first);
         for &obs in rest {
             state = self.step(state, obs);

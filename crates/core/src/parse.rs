@@ -115,12 +115,12 @@ pub fn parse_kbp(source: &str, ctx: &dyn Context) -> Result<Kbp, ProgramParseErr
             || line == "if"
             || line.starts_with("default")
             || line.starts_with('}');
-        if starts_new || logical.is_empty() {
-            logical.push((idx + 1, line));
-        } else {
-            let last = logical.last_mut().expect("nonempty");
-            last.1.push(' ');
-            last.1.push_str(&line);
+        match logical.last_mut() {
+            Some(last) if !starts_new => {
+                last.1.push(' ');
+                last.1.push_str(&line);
+            }
+            _ => logical.push((idx + 1, line)),
         }
     }
 

@@ -16,6 +16,7 @@
 //! theorem; use the [`Enumerator`](crate::Enumerator), which searches for
 //! all bounded fixed points and may find zero, one or many.
 
+use crate::budget::{Budget, BudgetExhausted, LayerStats, Resource};
 use crate::program::{Kbp, KbpError};
 use kbp_kripke::{BitSet, EvalCache, EvalError};
 use kbp_logic::{Agent, FormulaArena, FormulaId};
@@ -24,6 +25,7 @@ use kbp_systems::{
 };
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Errors from solving or implementation checking.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +68,10 @@ pub enum SolveError {
         /// Length of the offending history.
         history_len: usize,
     },
+    /// A [`Budget`] ran out during [`SyncSolver::solve`] (which has no
+    /// partial result to return; use
+    /// [`SyncSolver::solve_budgeted`] to recover the work done so far).
+    Budget(BudgetExhausted),
 }
 
 impl fmt::Display for SolveError {
@@ -99,6 +105,7 @@ impl fmt::Display for SolveError {
                 "extracted controller for agent {agent} fails to replay a \
                  length-{history_len} history (internal error)"
             ),
+            SolveError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -153,6 +160,7 @@ pub struct Solution {
     protocol: MapProtocol,
     stabilized: Option<usize>,
     stats: SolveStats,
+    per_layer: Vec<LayerStats>,
 }
 
 impl Solution {
@@ -185,10 +193,118 @@ impl Solution {
         self.stats
     }
 
+    /// Per-layer statistics, one entry per induced layer.
+    #[must_use]
+    pub fn per_layer(&self) -> &[LayerStats] {
+        &self.per_layer
+    }
+
     /// Consumes the solution, returning protocol and system.
     #[must_use]
     pub fn into_parts(self) -> (MapProtocol, InterpretedSystem) {
         (self.protocol, self.system)
+    }
+}
+
+/// What a budget-exhausted solve managed to compute before stopping:
+/// every layer induced so far, the protocol entries derived for those
+/// layers, per-layer statistics, and a typed [`BudgetExhausted`]
+/// diagnosis.
+///
+/// **Guarantees.** Layers `0 .. exhausted.at_layer` were fully induced:
+/// their guards were evaluated exactly as a complete solve would have
+/// evaluated them, and the protocol's entries on those layers agree with
+/// the unique implementation's (the inductive construction is
+/// deterministic, so a prefix is a prefix of *the* answer — re-solving
+/// with a larger budget extends this partial result, never revises it).
+/// The generated system may also contain the first non-induced layer when
+/// it was built before the budget check fired.
+#[derive(Debug)]
+pub struct PartialSolution {
+    system: InterpretedSystem,
+    protocol: MapProtocol,
+    stats: SolveStats,
+    per_layer: Vec<LayerStats>,
+    exhausted: BudgetExhausted,
+}
+
+impl PartialSolution {
+    /// The protocol entries derived for the induced layers.
+    #[must_use]
+    pub fn protocol(&self) -> &MapProtocol {
+        &self.protocol
+    }
+
+    /// The bounded system generated before exhaustion.
+    #[must_use]
+    pub fn system(&self) -> &InterpretedSystem {
+        &self.system
+    }
+
+    /// Aggregate statistics over the work done before exhaustion.
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Per-layer statistics, one entry per induced layer.
+    #[must_use]
+    pub fn per_layer(&self) -> &[LayerStats] {
+        &self.per_layer
+    }
+
+    /// Which resource ran out, and at which layer.
+    #[must_use]
+    pub fn exhausted(&self) -> BudgetExhausted {
+        self.exhausted
+    }
+
+    /// Number of fully induced layers.
+    #[must_use]
+    pub fn completed_layers(&self) -> usize {
+        self.exhausted.at_layer
+    }
+
+    /// Consumes the partial solution, returning protocol and system.
+    #[must_use]
+    pub fn into_parts(self) -> (MapProtocol, InterpretedSystem) {
+        (self.protocol, self.system)
+    }
+}
+
+/// The outcome of a budgeted solve: either the complete unique
+/// implementation, or the prefix computed before a budget ran out.
+#[derive(Debug)]
+pub enum SolveOutcome {
+    /// The construction ran to the horizon.
+    Complete(Box<Solution>),
+    /// A budget ran out; the prefix computed so far.
+    Partial(Box<PartialSolution>),
+}
+
+impl SolveOutcome {
+    /// Whether the construction ran to the horizon.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SolveOutcome::Complete(_))
+    }
+
+    /// The complete solution, if any.
+    #[must_use]
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SolveOutcome::Complete(s) => Some(s),
+            SolveOutcome::Partial(_) => None,
+        }
+    }
+
+    /// The partial solution, if the budget ran out.
+    #[must_use]
+    pub fn partial(&self) -> Option<&PartialSolution> {
+        match self {
+            SolveOutcome::Complete(_) => None,
+            SolveOutcome::Partial(p) => Some(p),
+        }
     }
 }
 
@@ -230,6 +346,7 @@ pub struct SyncSolver<'a> {
     horizon: usize,
     recall: Recall,
     node_limit: Option<usize>,
+    budget: Budget,
 }
 
 impl fmt::Debug for SyncSolver<'_> {
@@ -238,12 +355,13 @@ impl fmt::Debug for SyncSolver<'_> {
             .field("horizon", &self.horizon)
             .field("recall", &self.recall)
             .field("node_limit", &self.node_limit)
+            .field("budget", &self.budget)
             .finish_non_exhaustive()
     }
 }
 
 impl<'a> SyncSolver<'a> {
-    /// Creates a solver with horizon 16 and perfect recall.
+    /// Creates a solver with horizon 16, perfect recall and no budget.
     #[must_use]
     pub fn new(ctx: &'a dyn Context, kbp: &'a Kbp) -> Self {
         SyncSolver {
@@ -252,6 +370,7 @@ impl<'a> SyncSolver<'a> {
             horizon: 16,
             recall: Recall::Perfect,
             node_limit: None,
+            budget: Budget::default(),
         }
     }
 
@@ -276,6 +395,14 @@ impl<'a> SyncSolver<'a> {
         self
     }
 
+    /// Sets the resource budget honoured by
+    /// [`solve_budgeted`](Self::solve_budgeted).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Runs the inductive construction.
     ///
     /// # Errors
@@ -284,11 +411,39 @@ impl<'a> SyncSolver<'a> {
     /// * [`SolveError::FutureGuards`] — a guard refers to the future.
     /// * [`SolveError::LocalityViolation`] — a "local" proposition is not.
     /// * [`SolveError::Generate`] / [`SolveError::Eval`] — propagated.
+    /// * [`SolveError::Budget`] — a [`Budget`] was set and ran out (use
+    ///   [`solve_budgeted`](Self::solve_budgeted) to recover the prefix).
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        match self.solve_inner(false)? {
+            SolveOutcome::Complete(s) => Ok(*s),
+            SolveOutcome::Partial(p) => Err(SolveError::Budget(p.exhausted())),
+        }
+    }
+
+    /// Runs the inductive construction under the configured [`Budget`],
+    /// degrading gracefully: when a resource runs out (including the
+    /// [`node_limit`](Self::node_limit)), the layers induced so far are
+    /// returned as a [`PartialSolution`] instead of an error. Completed
+    /// layers are never lost.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](Self::solve), except that budget and
+    /// node-limit exhaustion produce `Ok(SolveOutcome::Partial(..))`.
+    pub fn solve_budgeted(&self) -> Result<SolveOutcome, SolveError> {
+        self.solve_inner(true)
+    }
+
+    /// The shared driver. With `degrade` set, budget and node-limit
+    /// exhaustion yield `SolveOutcome::Partial`; otherwise budgets yield
+    /// `SolveError::Budget` and node limits propagate as
+    /// [`GenerateError::NodeLimit`].
+    fn solve_inner(&self, degrade: bool) -> Result<SolveOutcome, SolveError> {
         self.kbp.validate(self.ctx)?;
         if self.kbp.has_future_guards() {
             return Err(SolveError::FutureGuards);
         }
+        let started = Instant::now();
         let mut builder = SystemBuilder::new(self.ctx, self.recall)?;
         if let Some(limit) = self.node_limit {
             builder.set_node_limit(limit);
@@ -298,6 +453,9 @@ impl<'a> SyncSolver<'a> {
             protocol.set_agent_default(program.agent(), vec![program.default_action()]);
         }
         let mut stats = SolveStats::default();
+        let mut per_layer: Vec<LayerStats> = Vec::new();
+        let mut total_points = 0usize;
+        let agents = self.ctx.agent_count();
 
         // Intern every clause guard once, up front: guards shared between
         // clauses (a test and its negation, repeated subformulas) collapse
@@ -311,11 +469,63 @@ impl<'a> SyncSolver<'a> {
             .map(|p| p.clauses().iter().map(|c| arena.intern(&c.guard)).collect())
             .collect();
 
+        let partial = |builder: SystemBuilder<'_>,
+                       protocol: MapProtocol,
+                       mut stats: SolveStats,
+                       per_layer: Vec<LayerStats>,
+                       exhausted: BudgetExhausted| {
+            let system = builder.finish();
+            stats.layers = system.layer_count();
+            stats.points = system.point_count();
+            SolveOutcome::Partial(Box::new(PartialSolution {
+                system,
+                protocol,
+                stats,
+                per_layer,
+                exhausted,
+            }))
+        };
+
         for t in 0..=self.horizon {
+            let frontier = builder.current().len();
+            total_points += frontier;
+            if let Some(exhausted) = self.budget.exhausted(
+                started,
+                t,
+                frontier,
+                stats.guard_evaluations,
+                total_points,
+                agents,
+            ) {
+                if degrade {
+                    return Ok(partial(builder, protocol, stats, per_layer, exhausted));
+                }
+                return Err(SolveError::Budget(exhausted));
+            }
+            let evals_before = stats.guard_evaluations;
+            let entries_before = stats.protocol_entries;
             let choices =
                 self.induce_layer(&builder, t, &mut protocol, &mut stats, &arena, &guard_ids)?;
+            per_layer.push(LayerStats {
+                layer: t,
+                points: frontier,
+                guard_evaluations: stats.guard_evaluations - evals_before,
+                protocol_entries: stats.protocol_entries - entries_before,
+            });
             if t < self.horizon {
-                builder.step(&choices)?;
+                match builder.step(&choices) {
+                    Ok(()) => {}
+                    Err(GenerateError::NodeLimit { .. }) if degrade => {
+                        // The builder is untouched on node-limit failure:
+                        // every present layer is induced.
+                        let exhausted = BudgetExhausted {
+                            resource: Resource::Nodes,
+                            at_layer: t + 1,
+                        };
+                        return Ok(partial(builder, protocol, stats, per_layer, exhausted));
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
 
@@ -323,12 +533,13 @@ impl<'a> SyncSolver<'a> {
         stats.layers = system.layer_count();
         stats.points = system.point_count();
         let stabilized = system.stabilization();
-        Ok(Solution {
+        Ok(SolveOutcome::Complete(Box::new(Solution {
             system,
             protocol,
             stabilized,
             stats,
-        })
+            per_layer,
+        })))
     }
 
     /// Evaluates every guard on the frontier layer, records protocol
@@ -355,10 +566,12 @@ impl<'a> SyncSolver<'a> {
             for &id in ids {
                 model.satisfying_cached(&mut cache, arena, id)?;
             }
-            let guard_sets: Vec<&BitSet> = ids
-                .iter()
-                .map(|&id| cache.get(id).expect("guard cached above"))
-                .collect();
+            let guard_sets: Vec<&BitSet> = ids.iter().filter_map(|&id| cache.get(id)).collect();
+            if guard_sets.len() != ids.len() {
+                return Err(SolveError::Eval(EvalError::Internal(
+                    "guard satisfaction set missing after evaluation",
+                )));
+            }
             stats.guard_evaluations += guard_sets.len();
 
             // Group nodes by the agent's local state; the guard valuation
@@ -409,6 +622,13 @@ impl<'a> SyncSolver<'a> {
         Ok(choices)
     }
 }
+
+serde::impl_serde_struct!(SolveStats {
+    layers,
+    points,
+    protocol_entries,
+    guard_evaluations,
+});
 
 #[cfg(test)]
 mod tests {
@@ -626,6 +846,83 @@ mod tests {
         assert!(matches!(
             err,
             SolveError::Generate(GenerateError::NodeLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn budgeted_solve_returns_partial_prefix() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        // Cap guard evaluations so only layer 0 can be induced: the check
+        // at t=1 sees the two evaluations already charged and stops.
+        let solver = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .budget(Budget::new().max_guard_evaluations(1));
+        let outcome = solver.solve_budgeted().unwrap();
+        assert!(!outcome.is_complete());
+        let partial = outcome.partial().unwrap();
+        assert_eq!(partial.exhausted().resource, Resource::GuardEvaluations);
+        assert_eq!(partial.exhausted().at_layer, 1);
+        assert_eq!(partial.completed_layers(), 1);
+        assert_eq!(partial.per_layer().len(), 1);
+        // The induced prefix agrees with the unbudgeted unique answer.
+        let full = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        assert_eq!(
+            partial.protocol().get(Agent::new(0), &[Obs(0)]),
+            full.protocol().get(Agent::new(0), &[Obs(0)])
+        );
+    }
+
+    #[test]
+    fn budgeted_solve_completes_under_generous_budget() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let solver = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .budget(Budget::new().max_guard_evaluations(1_000_000));
+        let outcome = solver.solve_budgeted().unwrap();
+        let solution = outcome.solution().unwrap();
+        let full = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        assert_eq!(*solution.protocol(), *full.protocol());
+        assert_eq!(solution.per_layer().len(), 4);
+        // Per-layer evaluations sum to the aggregate.
+        let sum: usize = solution
+            .per_layer()
+            .iter()
+            .map(|l| l.guard_evaluations)
+            .sum();
+        assert_eq!(sum, solution.stats().guard_evaluations);
+    }
+
+    #[test]
+    fn budgeted_solve_degrades_on_node_limit() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let outcome = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .node_limit(2)
+            .solve_budgeted()
+            .unwrap();
+        let partial = outcome.partial().unwrap();
+        assert_eq!(partial.exhausted().resource, Resource::Nodes);
+        assert!(partial.completed_layers() >= 1);
+    }
+
+    #[test]
+    fn unbudgeted_solve_rejects_exhaustion_as_error() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let err = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .budget(Budget::new().max_guard_evaluations(1))
+            .solve()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::Budget(BudgetExhausted {
+                resource: Resource::GuardEvaluations,
+                ..
+            })
         ));
     }
 

@@ -1,0 +1,66 @@
+//! Fault-injection combinators over any [`Context`](kbp_systems::Context).
+//!
+//! FHMV's framework puts *all* nondeterminism — message loss, crashes,
+//! noise — inside the context `γ = (P_e, G_0, τ)`: faults are not a
+//! different semantics, they are a different environment. This crate makes
+//! that observation executable. A [`FaultSchedule`] is a deterministic,
+//! seed-driven description of *which* faults occur *when*:
+//!
+//! * **environment faults** ([`EnvFault`]) — force or restrict the
+//!   environment's move at a step (message loss as a scheduled event
+//!   rather than a nondeterministic branch), deliver a step's effect twice
+//!   ([`EnvFault::Duplicate`]), or stall the system for a window
+//!   ([`EnvFault::Delay`]);
+//! * **crash faults** ([`CrashKind`]) — crash-stop and crash-recovery per
+//!   agent: a crashed agent's action is replaced by a designated no-op and
+//!   its observation *freezes* at the crash-onset value (it learns nothing
+//!   while down);
+//! * **observation corruption** — an agent's observation collapses to a
+//!   sentinel value for a step. The collapse is deliberately
+//!   *non-injective*: every state looks the same through a corrupted
+//!   sensor, which genuinely destroys knowledge (a bijective scrambling
+//!   would leave the induced partitions — hence all knowledge — intact).
+//!
+//! [`FaultyContext`] applies a schedule to any context, yielding a new
+//! context that can be handed to the same solver, enumerator and model
+//! checker. When the schedule contains no faults the wrapper is an exact
+//! pass-through — same states, same observations, bit-identical generated
+//! systems — so fault-free operation costs nothing and is testable as an
+//! identity.
+//!
+//! # Example
+//!
+//! ```
+//! use kbp_faults::{FaultSchedule, FaultyContext, EnvFault};
+//! use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+//! use kbp_core::SyncSolver;
+//! use kbp_systems::EnvActionId;
+//!
+//! let sc = BitTransmission::new(Channel::Lossy);
+//! // Lose every message in both directions, forever.
+//! let schedule = FaultSchedule::new(7).env_fault_always(EnvFault::Force(EnvActionId(3)));
+//! let faulty = FaultyContext::new(sc.context(), schedule);
+//! let solution = SyncSolver::new(&faulty, &sc.kbp()).horizon(4).solve()?;
+//! // Nothing ever arrives: the receiver never learns the bit.
+//! let sys = solution.system();
+//! assert!(!sys.holds_initially(
+//!     &kbp_logic::Formula::eventually(kbp_logic::Formula::prop(sc.receiver_has_bit()))
+//! ).unwrap());
+//! # Ok::<(), kbp_core::SolveError>(())
+//! ```
+
+// Robustness gate: the library surface must stay panic-free so malformed
+// inputs (e.g. from the fault-injection layer) surface as typed errors.
+// Tests and benches are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod schedule;
+
+pub use context::{FaultyContext, CORRUPT_OBS};
+pub use schedule::{loss_lattice, CrashKind, EnvFault, FaultSchedule};

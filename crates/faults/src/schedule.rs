@@ -1,0 +1,374 @@
+//! Deterministic, seed-driven fault schedules.
+
+use kbp_logic::Agent;
+use kbp_systems::EnvActionId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fault applied to the environment's move at one time step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvFault {
+    /// The environment is forced to take exactly this action (e.g. the
+    /// "lose the message" move). The action must be meaningful to the
+    /// wrapped context's transition function.
+    Force(EnvActionId),
+    /// The environment's choice is restricted to the given set
+    /// (intersection with the context's own offer; if the intersection is
+    /// empty the restriction is ignored rather than wedging the system).
+    Restrict(Vec<EnvActionId>),
+    /// The step's effect is applied twice: the transition runs two times
+    /// with the same joint action (a duplicated delivery).
+    Duplicate,
+    /// The system stalls for `hold` consecutive steps starting here: the
+    /// global state does not change (messages in flight are delayed).
+    Delay {
+        /// Number of consecutive stalled steps.
+        hold: usize,
+    },
+}
+
+impl fmt::Display for EnvFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvFault::Force(a) => write!(f, "force {a}"),
+            EnvFault::Restrict(set) => write!(f, "restrict to {} action(s)", set.len()),
+            EnvFault::Duplicate => write!(f, "duplicate delivery"),
+            EnvFault::Delay { hold } => write!(f, "delay {hold} step(s)"),
+        }
+    }
+}
+
+/// How an agent crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// Crash-stop: down from time `at` onwards, never recovers.
+    Stop {
+        /// First time step at which the agent is down.
+        at: usize,
+    },
+    /// Crash-recovery: down during `down..up`, running again from `up`.
+    Recovery {
+        /// First time step at which the agent is down.
+        down: usize,
+        /// First time step at which the agent runs again.
+        up: usize,
+    },
+}
+
+impl CrashKind {
+    /// Whether the agent is down at time `t`.
+    #[must_use]
+    pub fn is_down(&self, t: usize) -> bool {
+        match *self {
+            CrashKind::Stop { at } => t >= at,
+            CrashKind::Recovery { down, up } => t >= down && t < up,
+        }
+    }
+}
+
+/// SplitMix64-style avalanche of a composite key. Deterministic across
+/// runs and platforms; this is what makes a seeded schedule replayable.
+fn mix(seed: u64, domain: u64, time: u64, agent: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(domain.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(time.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(agent.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault schedule: given the seed and the configured
+/// rules, whether a fault is active at time `t` is a pure function —
+/// running the same schedule twice yields the *same* faulty context,
+/// hence the same generated system and the same (partial) solution.
+///
+/// An empty schedule ([`FaultSchedule::new`] with no rules added) has
+/// [`has_faults`](Self::has_faults)` == false` and makes
+/// [`FaultyContext`](crate::FaultyContext) an exact pass-through.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    seed: u64,
+    env_at: BTreeMap<usize, EnvFault>,
+    env_always: Option<EnvFault>,
+    /// Seeded random env faults: applied at `t` when
+    /// `mix(seed, domain, t) % 1000 < rate`.
+    env_random: Vec<(EnvFault, u16)>,
+    crashes: Vec<(Agent, CrashKind)>,
+    corrupt_at: Vec<(Agent, usize)>,
+    corrupt_random: Vec<(Agent, u16)>,
+}
+
+impl FaultSchedule {
+    /// An empty (fault-free) schedule with the given seed. The seed only
+    /// matters once a `random_*` rule is added.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            ..FaultSchedule::default()
+        }
+    }
+
+    /// The seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedules an environment fault at exactly time `t`.
+    #[must_use]
+    pub fn env_fault_at(mut self, t: usize, fault: EnvFault) -> Self {
+        self.env_at.insert(t, fault);
+        self
+    }
+
+    /// Schedules an environment fault at *every* time step (e.g. unbounded
+    /// message loss: `Force(lose_everything)` forever).
+    #[must_use]
+    pub fn env_fault_always(mut self, fault: EnvFault) -> Self {
+        self.env_always = Some(fault);
+        self
+    }
+
+    /// Schedules a seeded random environment fault: at each time step the
+    /// fault fires with probability `per_mille / 1000`, decided by hashing
+    /// `(seed, rule, t)` — deterministic for a fixed seed.
+    #[must_use]
+    pub fn random_env_fault(mut self, fault: EnvFault, per_mille: u16) -> Self {
+        self.env_random.push((fault, per_mille.min(1000)));
+        self
+    }
+
+    /// Schedules a crash for `agent`.
+    #[must_use]
+    pub fn crash(mut self, agent: Agent, kind: CrashKind) -> Self {
+        self.crashes.push((agent, kind));
+        self
+    }
+
+    /// Corrupts `agent`'s observation at exactly time `t` (collapsed to
+    /// the [`CORRUPT_OBS`](crate::CORRUPT_OBS) sentinel).
+    #[must_use]
+    pub fn corrupt_observation_at(mut self, agent: Agent, t: usize) -> Self {
+        self.corrupt_at.push((agent, t));
+        self
+    }
+
+    /// Corrupts `agent`'s observation at each step with probability
+    /// `per_mille / 1000`, seeded like [`random_env_fault`](Self::random_env_fault).
+    #[must_use]
+    pub fn random_observation_corruption(mut self, agent: Agent, per_mille: u16) -> Self {
+        self.corrupt_random.push((agent, per_mille.min(1000)));
+        self
+    }
+
+    /// Whether any fault rule is configured. When `false`,
+    /// [`FaultyContext`](crate::FaultyContext) is an exact pass-through.
+    #[must_use]
+    pub fn has_faults(&self) -> bool {
+        !self.env_at.is_empty()
+            || self.env_always.is_some()
+            || !self.env_random.is_empty()
+            || !self.crashes.is_empty()
+            || !self.corrupt_at.is_empty()
+            || !self.corrupt_random.is_empty()
+    }
+
+    /// The environment fault active at time `t`, if any. Resolution
+    /// order: an explicit fault at `t`, a [`EnvFault::Delay`] window
+    /// covering `t`, the always-on fault, then seeded random rules in the
+    /// order they were added.
+    #[must_use]
+    pub fn env_fault(&self, t: usize) -> Option<EnvFault> {
+        if let Some(f) = self.env_at.get(&t) {
+            return Some(f.clone());
+        }
+        for (&t0, f) in &self.env_at {
+            if let EnvFault::Delay { hold } = f {
+                if t0 <= t && t < t0 + hold {
+                    return Some(f.clone());
+                }
+            }
+        }
+        if let Some(f) = &self.env_always {
+            return Some(f.clone());
+        }
+        for (rule, (f, rate)) in self.env_random.iter().enumerate() {
+            if mix(self.seed, 0x10 + rule as u64, t as u64, 0) % 1000 < u64::from(*rate) {
+                return Some(f.clone());
+            }
+        }
+        None
+    }
+
+    /// Whether `agent` is crashed (down) at time `t`.
+    #[must_use]
+    pub fn is_crashed(&self, agent: Agent, t: usize) -> bool {
+        self.crashes
+            .iter()
+            .any(|(a, k)| *a == agent && k.is_down(t))
+    }
+
+    /// Whether `agent`'s observation is corrupted at time `t`.
+    #[must_use]
+    pub fn corrupts(&self, agent: Agent, t: usize) -> bool {
+        if self.corrupt_at.iter().any(|&(a, ct)| a == agent && ct == t) {
+            return true;
+        }
+        self.corrupt_random
+            .iter()
+            .enumerate()
+            .any(|(rule, (a, rate))| {
+                *a == agent
+                    && mix(
+                        self.seed,
+                        0x100 + rule as u64,
+                        t as u64,
+                        agent.index() as u64,
+                    ) % 1000
+                        < u64::from(*rate)
+            })
+    }
+
+    /// A stable digest of the concrete fault pattern over times
+    /// `0..=horizon` for `agents` agents: two schedules that inject the
+    /// same faults at the same times agree; schedules that differ anywhere
+    /// in the window (e.g. the same rules under a different seed)
+    /// disagree with overwhelming probability. Used by replay tests.
+    #[must_use]
+    pub fn signature(&self, horizon: usize, agents: usize) -> u64 {
+        let mut acc = 0xCBF2_9CE4_8422_2325u64;
+        let mut absorb = |x: u64| {
+            acc = mix(acc, 0, x, 0);
+        };
+        for t in 0..=horizon {
+            match self.env_fault(t) {
+                None => absorb(0),
+                Some(EnvFault::Force(a)) => absorb(1 | (u64::from(a.0) << 8)),
+                Some(EnvFault::Restrict(set)) => {
+                    absorb(2);
+                    for a in set {
+                        absorb(u64::from(a.0));
+                    }
+                }
+                Some(EnvFault::Duplicate) => absorb(3),
+                Some(EnvFault::Delay { hold }) => absorb(4 | ((hold as u64) << 8)),
+            }
+            for i in 0..agents {
+                let a = Agent::new(i);
+                absorb(u64::from(self.is_crashed(a, t)) | (u64::from(self.corrupts(a, t)) << 1));
+            }
+        }
+        acc
+    }
+}
+
+/// The standard four-point fault lattice for a scenario whose environment
+/// has a "lose everything" move: no faults, unbounded message loss,
+/// crash-stop of one agent, and both at once. Every entry is built from
+/// the same seed, so the lattice is replayable.
+#[must_use]
+pub fn loss_lattice(
+    seed: u64,
+    lose: EnvActionId,
+    crash_agent: Agent,
+    crash_at: usize,
+) -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        ("none", FaultSchedule::new(seed)),
+        (
+            "loss",
+            FaultSchedule::new(seed).env_fault_always(EnvFault::Force(lose)),
+        ),
+        (
+            "crash-stop",
+            FaultSchedule::new(seed).crash(crash_agent, CrashKind::Stop { at: crash_at }),
+        ),
+        (
+            "loss+crash-stop",
+            FaultSchedule::new(seed)
+                .env_fault_always(EnvFault::Force(lose))
+                .crash(crash_agent, CrashKind::Stop { at: crash_at }),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_has_no_faults() {
+        let s = FaultSchedule::new(42);
+        assert!(!s.has_faults());
+        for t in 0..32 {
+            assert_eq!(s.env_fault(t), None);
+            assert!(!s.is_crashed(Agent::new(0), t));
+            assert!(!s.corrupts(Agent::new(0), t));
+        }
+    }
+
+    #[test]
+    fn explicit_faults_are_time_precise() {
+        let s = FaultSchedule::new(0)
+            .env_fault_at(2, EnvFault::Force(EnvActionId(1)))
+            .corrupt_observation_at(Agent::new(1), 3);
+        assert!(s.has_faults());
+        assert_eq!(s.env_fault(1), None);
+        assert_eq!(s.env_fault(2), Some(EnvFault::Force(EnvActionId(1))));
+        assert_eq!(s.env_fault(3), None);
+        assert!(!s.corrupts(Agent::new(1), 2));
+        assert!(s.corrupts(Agent::new(1), 3));
+        assert!(!s.corrupts(Agent::new(0), 3));
+    }
+
+    #[test]
+    fn delay_covers_a_window() {
+        let s = FaultSchedule::new(0).env_fault_at(2, EnvFault::Delay { hold: 3 });
+        assert_eq!(s.env_fault(1), None);
+        for t in 2..5 {
+            assert_eq!(s.env_fault(t), Some(EnvFault::Delay { hold: 3 }), "t={t}");
+        }
+        assert_eq!(s.env_fault(5), None);
+    }
+
+    #[test]
+    fn crash_kinds() {
+        let stop = CrashKind::Stop { at: 2 };
+        assert!(!stop.is_down(1));
+        assert!(stop.is_down(2));
+        assert!(stop.is_down(100));
+        let rec = CrashKind::Recovery { down: 1, up: 3 };
+        assert!(!rec.is_down(0));
+        assert!(rec.is_down(1));
+        assert!(rec.is_down(2));
+        assert!(!rec.is_down(3));
+    }
+
+    #[test]
+    fn random_faults_are_deterministic_per_seed() {
+        let mk =
+            |seed| FaultSchedule::new(seed).random_env_fault(EnvFault::Force(EnvActionId(1)), 500);
+        let a = mk(1);
+        let b = mk(1);
+        let c = mk(2);
+        assert_eq!(a.signature(32, 1), b.signature(32, 1));
+        assert_ne!(a.signature(32, 1), c.signature(32, 1));
+        // Rate 500/1000 over 33 steps: some steps fire, some don't.
+        let fired = (0..=32).filter(|&t| a.env_fault(t).is_some()).count();
+        assert!(fired > 0 && fired < 33, "fired {fired}/33");
+    }
+
+    #[test]
+    fn lattice_has_four_rungs() {
+        let lat = loss_lattice(9, EnvActionId(3), Agent::new(0), 1);
+        assert_eq!(lat.len(), 4);
+        assert!(!lat[0].1.has_faults());
+        assert!(lat[1].1.env_fault(7).is_some());
+        assert!(lat[2].1.is_crashed(Agent::new(0), 5));
+        let (_, both) = &lat[3];
+        assert!(both.env_fault(0).is_some() && both.is_crashed(Agent::new(0), 1));
+    }
+}

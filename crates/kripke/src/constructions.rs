@@ -1,6 +1,7 @@
 //! Stock model constructions: ignorance hypercubes and generated
 //! submodels.
 
+use crate::eval::EvalError;
 use crate::model::{S5Builder, S5Model, WorldId};
 use kbp_logic::{Agent, AgentSet, PropId};
 
@@ -58,10 +59,14 @@ impl S5Model {
     /// component). Truth of formulas whose modalities only mention agents
     /// in `group` is invariant under this restriction.
     ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::EmptyGroup`] or
+    /// [`EvalError::AgentOutOfRange`] on misuse.
+    ///
     /// # Panics
     ///
-    /// Panics if the group is empty, or the world/agents are out of
-    /// range.
+    /// Panics if `world` is out of range.
     ///
     /// # Example
     ///
@@ -76,17 +81,23 @@ impl S5Model {
     /// let w2 = b.add_world([]); // disconnected from w0
     /// b.link(a, w0, w1);
     /// let m = b.build();
-    /// let (sub, new_w0) = m.generated_submodel(w0, AgentSet::singleton(a));
+    /// let (sub, new_w0) = m.generated_submodel(w0, AgentSet::singleton(a))?;
     /// assert_eq!(sub.world_count(), 2);
     /// assert!(sub.prop_holds(new_w0, PropId::new(0)));
+    /// # Ok::<(), kbp_kripke::EvalError>(())
     /// ```
-    #[must_use]
-    pub fn generated_submodel(&self, world: WorldId, group: AgentSet) -> (S5Model, WorldId) {
-        let component = self.group_join(group);
+    pub fn generated_submodel(
+        &self,
+        world: WorldId,
+        group: AgentSet,
+    ) -> Result<(S5Model, WorldId), EvalError> {
+        let component = self.group_join(group)?;
         let block = component.block_of(world.index());
         let members: Vec<usize> = component.block(block).iter().map(|&w| w as usize).collect();
-        let index_of =
-            |w: usize| -> usize { members.binary_search(&w).expect("member of component") };
+        // `world` is in its own block, so the search always succeeds.
+        let new_world = members
+            .binary_search(&world.index())
+            .map_err(|_| EvalError::Internal("generated world missing from its own component"))?;
         let mut b = S5Builder::new(self.agent_count(), self.prop_count());
         for &w in &members {
             let props = (0..self.prop_count())
@@ -100,7 +111,7 @@ impl S5Model {
             let members = members.clone();
             b.partition_by_key(agent, move |w: WorldId| part.block_of(members[w.index()]));
         }
-        (b.build(), WorldId::new(index_of(world.index())))
+        Ok((b.build(), WorldId::new(new_world)))
     }
 }
 
@@ -156,7 +167,7 @@ mod tests {
         let m = b.build();
 
         // Restrict to agent 0's reachability from w0: {w0, w1}.
-        let (sub, nw0) = m.generated_submodel(w0, AgentSet::singleton(a));
+        let (sub, nw0) = m.generated_submodel(w0, AgentSet::singleton(a)).unwrap();
         assert_eq!(sub.world_count(), 2);
         for f in [
             Formula::knows(a, p(0)),
@@ -171,7 +182,9 @@ mod tests {
         }
 
         // The full group reaches everything: identity restriction.
-        let (all, _) = m.generated_submodel(w0, kbp_logic::AgentSet::all(2));
+        let (all, _) = m
+            .generated_submodel(w0, kbp_logic::AgentSet::all(2))
+            .unwrap();
         assert_eq!(all.world_count(), 3);
     }
 
@@ -182,7 +195,7 @@ mod tests {
         let w0 = b.add_world([]);
         let _w1 = b.add_world([]);
         let m = b.build();
-        let (sub, nw0) = m.generated_submodel(w0, AgentSet::singleton(a));
+        let (sub, nw0) = m.generated_submodel(w0, AgentSet::singleton(a)).unwrap();
         assert_eq!(sub.world_count(), 1);
         assert_eq!(nw0, WorldId::new(0));
     }

@@ -4,6 +4,7 @@ use crate::bitset::BitSet;
 use crate::model::{S5Model, WorldId};
 use crate::partition::Partition;
 use kbp_logic::{Agent, AgentSet, Formula, FormulaArena, FormulaId, InternedNode, PropId};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -20,6 +21,26 @@ pub enum EvalError {
     AgentOutOfRange(Agent),
     /// A group modality was applied to the empty group.
     EmptyGroup,
+    /// An [`EvalCache`] bound to a model with `cache_worlds` worlds was
+    /// reused against a model with `model_worlds` worlds; call
+    /// [`EvalCache::clear`] between layers.
+    ModelMismatch {
+        /// World count the cache is bound to.
+        cache_worlds: usize,
+        /// World count of the model the cache was offered to.
+        model_worlds: usize,
+    },
+    /// A satisfaction set of length `got` was supplied to a semantic
+    /// operator on a model with `expected` worlds.
+    LengthMismatch {
+        /// The model's world count.
+        expected: usize,
+        /// The supplied bitset's length.
+        got: usize,
+    },
+    /// An internal invariant was violated; indicates a bug in this crate,
+    /// never malformed input.
+    Internal(&'static str),
 }
 
 impl fmt::Display for EvalError {
@@ -38,6 +59,21 @@ impl fmt::Display for EvalError {
                 write!(f, "agent {a} is out of range for this model")
             }
             EvalError::EmptyGroup => write!(f, "group modality applied to the empty group"),
+            EvalError::ModelMismatch {
+                cache_worlds,
+                model_worlds,
+            } => write!(
+                f,
+                "EvalCache bound to a {cache_worlds}-world model reused against a \
+                 {model_worlds}-world model; call clear() between layers"
+            ),
+            EvalError::LengthMismatch { expected, got } => write!(
+                f,
+                "satisfaction set has {got} bits but the model has {expected} worlds"
+            ),
+            EvalError::Internal(what) => {
+                write!(f, "internal evaluation invariant violated: {what}")
+            }
         }
     }
 }
@@ -49,9 +85,10 @@ impl Error for EvalError {}
 /// [`FormulaId`], plus the group partitions backing `C_G` / `D_G`, which
 /// are by far the most expensive per-layer artifacts.
 ///
-/// The cache is bound to the first model it is used with (by world count,
-/// asserted on reuse); call [`clear`](EvalCache::clear) before moving to
-/// the next layer. Evaluating a batch of guards through one cache makes
+/// The cache is bound to the first model it is used with (by world count;
+/// reuse against a different-sized model is reported as
+/// [`EvalError::ModelMismatch`]); call [`clear`](EvalCache::clear) before
+/// moving to the next layer. Evaluating a batch of guards through one cache makes
 /// every distinct subformula — a guard shared with its negation, a
 /// repeated `knows_whether` disjunct, a group partition used by several
 /// modalities — cost one evaluation instead of one per occurrence.
@@ -124,13 +161,17 @@ impl EvalCache {
         self.sat.get(&id)
     }
 
-    fn bind(&mut self, worlds: usize) {
+    fn bind(&mut self, worlds: usize) -> Result<(), EvalError> {
         match self.worlds {
-            None => self.worlds = Some(worlds),
-            Some(w) => assert_eq!(
-                w, worlds,
-                "EvalCache reused across models of different size; call clear() between layers"
-            ),
+            None => {
+                self.worlds = Some(worlds);
+                Ok(())
+            }
+            Some(w) if w == worlds => Ok(()),
+            Some(w) => Err(EvalError::ModelMismatch {
+                cache_worlds: w,
+                model_worlds: worlds,
+            }),
         }
     }
 }
@@ -201,26 +242,20 @@ impl S5Model {
                 Ok(acc)
             }
             Formula::Knows(agent, f) => {
-                if agent.index() >= self.agent_count() {
-                    return Err(EvalError::AgentOutOfRange(*agent));
-                }
                 let sat = self.satisfying(f)?;
-                Ok(self.knowing(*agent, &sat))
+                self.knowing(*agent, &sat)
             }
             Formula::Everyone(group, f) => {
-                self.check_group(*group)?;
                 let sat = self.satisfying(f)?;
-                Ok(self.everyone_knowing(*group, &sat))
+                self.everyone_knowing(*group, &sat)
             }
             Formula::Common(group, f) => {
-                self.check_group(*group)?;
                 let sat = self.satisfying(f)?;
-                Ok(self.common_knowing(*group, &sat))
+                self.common_knowing(*group, &sat)
             }
             Formula::Distributed(group, f) => {
-                self.check_group(*group)?;
                 let sat = self.satisfying(f)?;
-                Ok(self.distributed_knowing(*group, &sat))
+                self.distributed_knowing(*group, &sat)
             }
             Formula::Next(_) | Formula::Eventually(_) | Formula::Always(_) | Formula::Until(..) => {
                 Err(EvalError::Temporal)
@@ -234,55 +269,66 @@ impl S5Model {
     /// compute their own satisfaction sets (e.g. the bounded-temporal
     /// evaluator of `kbp-systems`) call it directly.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the agent is out of range or `sat` has the wrong length.
-    #[must_use]
-    pub fn knowing(&self, agent: Agent, sat: &BitSet) -> BitSet {
-        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
-        blocks_inside(self.partition(agent), sat)
+    /// Returns [`EvalError::AgentOutOfRange`] or
+    /// [`EvalError::LengthMismatch`] on misuse.
+    pub fn knowing(&self, agent: Agent, sat: &BitSet) -> Result<BitSet, EvalError> {
+        if agent.index() >= self.agent_count() {
+            return Err(EvalError::AgentOutOfRange(agent));
+        }
+        self.check_len(sat)?;
+        Ok(blocks_inside(self.partition(agent), sat))
     }
 
     /// Semantic `E_G`: worlds where every agent in `group` knows `sat`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group is empty or out of range, or `sat` has the
-    /// wrong length.
-    #[must_use]
-    pub fn everyone_knowing(&self, group: AgentSet, sat: &BitSet) -> BitSet {
-        assert!(!group.is_empty(), "empty group");
+    /// Returns [`EvalError::EmptyGroup`],
+    /// [`EvalError::AgentOutOfRange`] or [`EvalError::LengthMismatch`] on
+    /// misuse.
+    pub fn everyone_knowing(&self, group: AgentSet, sat: &BitSet) -> Result<BitSet, EvalError> {
+        self.check_group(group)?;
+        self.check_len(sat)?;
         let mut acc = BitSet::full(self.world_count());
         for agent in group.iter() {
-            acc.intersect_with(&self.knowing(agent, sat));
+            acc.intersect_with(&self.knowing(agent, sat)?);
         }
-        acc
+        Ok(acc)
     }
 
     /// Semantic `C_G`: worlds whose whole `group`-connected component lies
     /// inside `sat`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group is empty or out of range, or `sat` has the
-    /// wrong length.
-    #[must_use]
-    pub fn common_knowing(&self, group: AgentSet, sat: &BitSet) -> BitSet {
-        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
-        blocks_inside(&self.group_join(group), sat)
+    /// Same conditions as [`everyone_knowing`](Self::everyone_knowing).
+    pub fn common_knowing(&self, group: AgentSet, sat: &BitSet) -> Result<BitSet, EvalError> {
+        self.check_len(sat)?;
+        Ok(blocks_inside(&self.group_join(group)?, sat))
     }
 
     /// Semantic `D_G`: worlds whose block in the common refinement of the
     /// group's partitions lies inside `sat`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group is empty or out of range, or `sat` has the
-    /// wrong length.
-    #[must_use]
-    pub fn distributed_knowing(&self, group: AgentSet, sat: &BitSet) -> BitSet {
-        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
-        blocks_inside(&self.group_refinement(group), sat)
+    /// Same conditions as [`everyone_knowing`](Self::everyone_knowing).
+    pub fn distributed_knowing(&self, group: AgentSet, sat: &BitSet) -> Result<BitSet, EvalError> {
+        self.check_len(sat)?;
+        Ok(blocks_inside(&self.group_refinement(group)?, sat))
+    }
+
+    fn check_len(&self, sat: &BitSet) -> Result<(), EvalError> {
+        if sat.len() == self.world_count() {
+            Ok(())
+        } else {
+            Err(EvalError::LengthMismatch {
+                expected: self.world_count(),
+                got: sat.len(),
+            })
+        }
     }
 
     fn check_group(&self, group: AgentSet) -> Result<(), EvalError> {
@@ -300,37 +346,41 @@ impl S5Model {
     /// The partition whose blocks are the `group`-connected components —
     /// the accessibility relation of common knowledge `C_G`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group is empty or mentions out-of-range agents; the
-    /// formula-level entry point [`satisfying`](Self::satisfying) checks
-    /// first.
-    #[must_use]
-    pub fn group_join(&self, group: AgentSet) -> Partition {
+    /// Returns [`EvalError::EmptyGroup`] or
+    /// [`EvalError::AgentOutOfRange`] on misuse.
+    pub fn group_join(&self, group: AgentSet) -> Result<Partition, EvalError> {
+        self.check_group(group)?;
         let mut it = group.iter();
-        let first = it.next().expect("nonempty group");
+        let Some(first) = it.next() else {
+            return Err(EvalError::EmptyGroup);
+        };
         let mut acc = self.partition(first).clone();
         for a in it {
             acc = acc.join_with(self.partition(a));
         }
-        acc
+        Ok(acc)
     }
 
     /// The common refinement of the group's partitions — the accessibility
     /// relation of distributed knowledge `D_G`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the group is empty or mentions out-of-range agents.
-    #[must_use]
-    pub fn group_refinement(&self, group: AgentSet) -> Partition {
+    /// Returns [`EvalError::EmptyGroup`] or
+    /// [`EvalError::AgentOutOfRange`] on misuse.
+    pub fn group_refinement(&self, group: AgentSet) -> Result<Partition, EvalError> {
+        self.check_group(group)?;
         let mut it = group.iter();
-        let first = it.next().expect("nonempty group");
+        let Some(first) = it.next() else {
+            return Err(EvalError::EmptyGroup);
+        };
         let mut acc = self.partition(first).clone();
         for a in it {
             acc = acc.refine_with(self.partition(a));
         }
-        acc
+        Ok(acc)
     }
 
     /// Whether `formula` holds at `world`.
@@ -365,22 +415,26 @@ impl S5Model {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`satisfying`](Self::satisfying).
+    /// Same conditions as [`satisfying`](Self::satisfying), plus
+    /// [`EvalError::ModelMismatch`] if `cache` was previously used with a
+    /// model of a different world count (call [`EvalCache::clear`]
+    /// between layers).
     ///
     /// # Panics
     ///
-    /// Panics if `cache` was previously used with a model of a different
-    /// world count (call [`EvalCache::clear`] between layers), or if `id`
-    /// is not from `arena`.
+    /// Panics if `id` is not from `arena`.
     pub fn satisfying_cached<'c>(
         &self,
         cache: &'c mut EvalCache,
         arena: &FormulaArena,
         id: FormulaId,
     ) -> Result<&'c BitSet, EvalError> {
-        cache.bind(self.world_count());
+        cache.bind(self.world_count())?;
         self.eval_into_cache(cache, arena, id)?;
-        Ok(cache.sat.get(&id).expect("just populated"))
+        cache
+            .sat
+            .get(&id)
+            .ok_or(EvalError::Internal("satisfaction set missing after eval"))
     }
 
     fn eval_into_cache(
@@ -441,35 +495,29 @@ impl S5Model {
                 acc
             }
             InternedNode::Knows(agent, f) => {
-                if agent.index() >= self.agent_count() {
-                    return Err(EvalError::AgentOutOfRange(*agent));
-                }
                 self.eval_into_cache(cache, arena, *f)?;
-                self.knowing(*agent, &cache.sat[f])
+                self.knowing(*agent, &cache.sat[f])?
             }
             InternedNode::Everyone(group, f) => {
-                self.check_group(*group)?;
                 self.eval_into_cache(cache, arena, *f)?;
-                self.everyone_knowing(*group, &cache.sat[f])
+                self.everyone_knowing(*group, &cache.sat[f])?
             }
             InternedNode::Common(group, f) => {
-                self.check_group(*group)?;
                 self.eval_into_cache(cache, arena, *f)?;
                 // Disjoint field borrows: the join partition cache and
                 // the satisfaction cache are separate maps.
-                let part = cache
-                    .joins
-                    .entry(*group)
-                    .or_insert_with(|| self.group_join(*group));
+                let part = match cache.joins.entry(*group) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(v) => v.insert(self.group_join(*group)?),
+                };
                 blocks_inside(part, &cache.sat[f])
             }
             InternedNode::Distributed(group, f) => {
-                self.check_group(*group)?;
                 self.eval_into_cache(cache, arena, *f)?;
-                let part = cache
-                    .refinements
-                    .entry(*group)
-                    .or_insert_with(|| self.group_refinement(*group));
+                let part = match cache.refinements.entry(*group) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(v) => v.insert(self.group_refinement(*group)?),
+                };
                 blocks_inside(part, &cache.sat[f])
             }
             InternedNode::Next(_)
@@ -486,48 +534,48 @@ impl S5Model {
     /// formulas over one layer pay for each group's connected components
     /// once.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// Same conditions as [`common_knowing`](Self::common_knowing), plus
-    /// a cache bound to a different model.
-    #[must_use]
+    /// [`EvalError::ModelMismatch`] for a cache bound to a different
+    /// model.
     pub fn common_knowing_cached(
         &self,
         cache: &mut EvalCache,
         group: AgentSet,
         sat: &BitSet,
-    ) -> BitSet {
-        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
-        cache.bind(self.world_count());
-        let part = cache
-            .joins
-            .entry(group)
-            .or_insert_with(|| self.group_join(group));
-        blocks_inside(part, sat)
+    ) -> Result<BitSet, EvalError> {
+        self.check_len(sat)?;
+        cache.bind(self.world_count())?;
+        let part = match cache.joins.entry(group) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(self.group_join(group)?),
+        };
+        Ok(blocks_inside(part, sat))
     }
 
     /// [`distributed_knowing`](Self::distributed_knowing) with the
     /// group's refined partition memoized in `cache`.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// Same conditions as
-    /// [`distributed_knowing`](Self::distributed_knowing), plus a cache
-    /// bound to a different model.
-    #[must_use]
+    /// [`distributed_knowing`](Self::distributed_knowing), plus
+    /// [`EvalError::ModelMismatch`] for a cache bound to a different
+    /// model.
     pub fn distributed_knowing_cached(
         &self,
         cache: &mut EvalCache,
         group: AgentSet,
         sat: &BitSet,
-    ) -> BitSet {
-        assert_eq!(sat.len(), self.world_count(), "bitset length mismatch");
-        cache.bind(self.world_count());
-        let part = cache
-            .refinements
-            .entry(group)
-            .or_insert_with(|| self.group_refinement(group));
-        blocks_inside(part, sat)
+    ) -> Result<BitSet, EvalError> {
+        self.check_len(sat)?;
+        cache.bind(self.world_count())?;
+        let part = match cache.refinements.entry(group) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(self.group_refinement(group)?),
+        };
+        Ok(blocks_inside(part, sat))
     }
 }
 
@@ -689,12 +737,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty group")]
     fn everyone_knowing_rejects_empty_group_up_front() {
         let (m, _) = sample();
         let full = BitSet::full(m.world_count());
-        // The assertion fires before any per-agent work is attempted.
-        let _ = m.everyone_knowing(AgentSet::EMPTY, &full);
+        // The group check fires before any per-agent work is attempted.
+        assert_eq!(
+            m.everyone_knowing(AgentSet::EMPTY, &full),
+            Err(EvalError::EmptyGroup)
+        );
+    }
+
+    #[test]
+    fn semantic_operators_reject_wrong_length() {
+        let (m, _) = sample();
+        let short = BitSet::full(1);
+        let err = EvalError::LengthMismatch {
+            expected: m.world_count(),
+            got: 1,
+        };
+        assert_eq!(m.knowing(Agent::new(0), &short), Err(err.clone()));
+        let g = AgentSet::all(2);
+        assert_eq!(m.everyone_knowing(g, &short), Err(err.clone()));
+        assert_eq!(m.common_knowing(g, &short), Err(err.clone()));
+        assert_eq!(m.distributed_knowing(g, &short), Err(err));
     }
 
     #[test]
@@ -749,7 +814,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "call clear() between layers")]
     fn cache_rejects_model_of_different_size() {
         let (m, _) = sample();
         let mut small = S5Builder::new(1, 1);
@@ -759,7 +823,16 @@ mod tests {
         let id = arena.intern(&Formula::True);
         let mut cache = EvalCache::new();
         m.satisfying_cached(&mut cache, &arena, id).unwrap();
-        let _ = m2.satisfying_cached(&mut cache, &arena, id);
+        assert_eq!(
+            m2.satisfying_cached(&mut cache, &arena, id),
+            Err(EvalError::ModelMismatch {
+                cache_worlds: m.world_count(),
+                model_worlds: m2.world_count(),
+            })
+        );
+        // After clearing, the cache rebinds to the new model.
+        cache.clear();
+        assert!(m2.satisfying_cached(&mut cache, &arena, id).is_ok());
     }
 
     #[test]

@@ -126,10 +126,13 @@ impl Formula {
                 other => out.push(other),
             }
         }
-        match out.len() {
-            0 => Formula::True,
-            1 => out.pop().expect("len checked"),
-            _ => Formula::And(out),
+        match (out.pop(), out.is_empty()) {
+            (None, _) => Formula::True,
+            (Some(single), true) => single,
+            (Some(last), false) => {
+                out.push(last);
+                Formula::And(out)
+            }
         }
     }
 
@@ -146,10 +149,13 @@ impl Formula {
                 other => out.push(other),
             }
         }
-        match out.len() {
-            0 => Formula::False,
-            1 => out.pop().expect("len checked"),
-            _ => Formula::Or(out),
+        match (out.pop(), out.is_empty()) {
+            (None, _) => Formula::False,
+            (Some(single), true) => single,
+            (Some(last), false) => {
+                out.push(last);
+                Formula::Or(out)
+            }
         }
     }
 
@@ -202,8 +208,8 @@ impl Formula {
     /// `E_G φ`. A singleton group reduces to `K_i φ`.
     #[must_use]
     pub fn everyone(group: AgentSet, f: Formula) -> Formula {
-        match group.len() {
-            1 => Formula::knows(group.iter().next().expect("len 1"), f),
+        match (group.len(), group.iter().next()) {
+            (1, Some(solo)) => Formula::knows(solo, f),
             _ => Formula::Everyone(group, Box::new(f)),
         }
     }
@@ -217,8 +223,8 @@ impl Formula {
     /// `D_G φ`. A singleton group reduces to `K_i φ`.
     #[must_use]
     pub fn distributed(group: AgentSet, f: Formula) -> Formula {
-        match group.len() {
-            1 => Formula::knows(group.iter().next().expect("len 1"), f),
+        match (group.len(), group.iter().next()) {
+            (1, Some(solo)) => Formula::knows(solo, f),
             _ => Formula::Distributed(group, Box::new(f)),
         }
     }

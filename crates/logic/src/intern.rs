@@ -155,7 +155,14 @@ impl FormulaArena {
         if let Some(&id) = self.index.get(&node) {
             return id;
         }
-        let id = FormulaId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+        // 2^32 distinct nodes cannot be interned before memory is
+        // exhausted (each costs tens of bytes); if the count somehow
+        // saturates, stop growing and alias to the final node rather than
+        // panicking.
+        let Ok(raw) = u32::try_from(self.nodes.len()) else {
+            return FormulaId(u32::MAX);
+        };
+        let id = FormulaId(raw);
         self.nodes.push(node.clone());
         self.index.insert(node, id);
         id

@@ -30,6 +30,13 @@
 //! assert_eq!(f.to_string_with(&voc), "K{alice} p");
 //! ```
 
+// Robustness gate: the library surface must stay panic-free so malformed
+// inputs (e.g. from the fault-injection layer) surface as typed errors.
+// Tests and benches are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

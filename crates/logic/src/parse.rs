@@ -248,10 +248,13 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             items.push(self.conjunction()?);
         }
-        if items.len() == 1 {
-            Ok(items.pop().expect("len 1"))
-        } else {
-            Ok(Formula::Or(items))
+        match (items.pop(), items.is_empty()) {
+            (Some(single), true) => Ok(single),
+            (Some(last), false) => {
+                items.push(last);
+                Ok(Formula::Or(items))
+            }
+            (None, _) => Err(ParseError::new(self.pos, "internal: empty disjunction")),
         }
     }
 
@@ -261,10 +264,13 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             items.push(self.until()?);
         }
-        if items.len() == 1 {
-            Ok(items.pop().expect("len 1"))
-        } else {
-            Ok(Formula::And(items))
+        match (items.pop(), items.is_empty()) {
+            (Some(single), true) => Ok(single),
+            (Some(last), false) => {
+                items.push(last);
+                Ok(Formula::And(items))
+            }
+            (None, _) => Err(ParseError::new(self.pos, "internal: empty conjunction")),
         }
     }
 

@@ -224,22 +224,22 @@ impl<'g> FairMck<'g> {
                     return Err(EvalError::AgentOutOfRange(*agent));
                 }
                 let sat = self.sat_set(f)?;
-                Ok(model.knowing(*agent, &sat))
+                model.knowing(*agent, &sat)
             }
             Formula::Everyone(g, f) => {
                 self.check_group(*g)?;
                 let sat = self.sat_set(f)?;
-                Ok(model.everyone_knowing(*g, &sat))
+                model.everyone_knowing(*g, &sat)
             }
             Formula::Common(g, f) => {
                 self.check_group(*g)?;
                 let sat = self.sat_set(f)?;
-                Ok(model.common_knowing(*g, &sat))
+                model.common_knowing(*g, &sat)
             }
             Formula::Distributed(g, f) => {
                 self.check_group(*g)?;
                 let sat = self.sat_set(f)?;
-                Ok(model.distributed_knowing(*g, &sat))
+                model.distributed_knowing(*g, &sat)
             }
             Formula::Next(f) => {
                 // A_fair X φ = ¬ EX (fair ∧ ¬φ).

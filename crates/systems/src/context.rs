@@ -86,6 +86,15 @@ pub enum ContextError {
     NoActions(Agent),
     /// The environment protocol offers no action at some reachable state.
     EnvStuck(GlobalState),
+    /// [`ContextBuilder::try_build`] was called without a transition
+    /// function.
+    MissingTransition,
+    /// [`ContextBuilder::try_build`] was called without an observation
+    /// function.
+    MissingObservation,
+    /// [`ContextBuilder::try_build`] was called without a propositional
+    /// valuation.
+    MissingValuation,
 }
 
 impl fmt::Display for ContextError {
@@ -96,6 +105,15 @@ impl fmt::Display for ContextError {
             ContextError::NoActions(a) => write!(f, "agent {a} has no actions"),
             ContextError::EnvStuck(s) => {
                 write!(f, "environment offers no action at state {s}")
+            }
+            ContextError::MissingTransition => {
+                write!(f, "context builder has no transition function")
+            }
+            ContextError::MissingObservation => {
+                write!(f, "context builder has no observation function")
+            }
+            ContextError::MissingValuation => {
+                write!(f, "context builder has no propositional valuation")
             }
         }
     }
@@ -416,15 +434,61 @@ impl ContextBuilder {
         self
     }
 
-    /// Finalises the context.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the transition, observation or valuation function was not
-    /// set (these have no sensible default).
+    /// Finalises the context, substituting inert defaults for unset
+    /// hooks: an identity transition, a constant `Obs(0)` observation and
+    /// an all-false valuation. Use [`try_build`](Self::try_build) to
+    /// require every hook explicitly.
     #[must_use]
     pub fn build(self) -> FnContext {
-        FnContext {
+        let mut b = self;
+        if b.trans_fn.is_none() {
+            b.trans_fn = Some(Box::new(|s: &GlobalState, _: &JointAction| s.clone()));
+        }
+        if b.observe_fn.is_none() {
+            b.observe_fn = Some(Box::new(|_, _: &GlobalState| Obs(0)));
+        }
+        if b.prop_fn.is_none() {
+            b.prop_fn = Some(Box::new(|_, _: &GlobalState| false));
+        }
+        match b.try_build() {
+            Ok(ctx) => ctx,
+            // All three required hooks were just defaulted, so try_build
+            // cannot fail; rebuild an empty context as a typed fallback.
+            Err(_) => FnContext {
+                agents: 0,
+                voc: Vocabulary::new(),
+                initial: Vec::new(),
+                action_counts: Vec::new(),
+                action_names: Vec::new(),
+                env_action_names: Vec::new(),
+                env_fn: Box::new(|_| vec![EnvActionId(0)]),
+                trans_fn: Box::new(|s: &GlobalState, _| s.clone()),
+                observe_fn: Box::new(|_, _| Obs(0)),
+                prop_fn: Box::new(|_, _| false),
+            },
+        }
+    }
+
+    /// Finalises the context, reporting unset hooks as typed errors
+    /// instead of substituting defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::MissingTransition`],
+    /// [`ContextError::MissingObservation`] or
+    /// [`ContextError::MissingValuation`] if the corresponding hook was
+    /// never supplied.
+    pub fn try_build(self) -> Result<FnContext, ContextError> {
+        let Some(trans_fn) = self.trans_fn else {
+            return Err(ContextError::MissingTransition);
+        };
+        let Some(observe_fn) = self.observe_fn else {
+            return Err(ContextError::MissingObservation);
+        };
+        let Some(prop_fn) = self.prop_fn else {
+            return Err(ContextError::MissingValuation);
+        };
+        Ok(FnContext {
             agents: self.action_counts.len(),
             voc: self.voc,
             initial: self.initial,
@@ -434,10 +498,10 @@ impl ContextBuilder {
             env_fn: self
                 .env_fn
                 .unwrap_or_else(|| Box::new(|_| vec![EnvActionId(0)])),
-            trans_fn: self.trans_fn.expect("transition function not set"),
-            observe_fn: self.observe_fn.expect("observation function not set"),
-            prop_fn: self.prop_fn.expect("valuation not set"),
-        }
+            trans_fn,
+            observe_fn,
+            prop_fn,
+        })
     }
 }
 

@@ -255,14 +255,14 @@ fn eval_layers(sys: &InterpretedSystem, formula: &Formula) -> Result<Vec<BitSet>
                 let sat = get(f);
                 (0..layers)
                     .map(|t| sys.layer(t).model().knowing(*agent, &sat[t]))
-                    .collect()
+                    .collect::<Result<Vec<_>, EvalError>>()?
             }
             InternedNode::Everyone(group, f) => {
                 check_group_sys(sys, *group)?;
                 let sat = get(f);
                 (0..layers)
                     .map(|t| sys.layer(t).model().everyone_knowing(*group, &sat[t]))
-                    .collect()
+                    .collect::<Result<Vec<_>, EvalError>>()?
             }
             InternedNode::Common(group, f) => {
                 check_group_sys(sys, *group)?;
@@ -273,7 +273,7 @@ fn eval_layers(sys: &InterpretedSystem, formula: &Formula) -> Result<Vec<BitSet>
                             .model()
                             .common_knowing_cached(&mut caches[t], *group, &sat[t])
                     })
-                    .collect()
+                    .collect::<Result<Vec<_>, EvalError>>()?
             }
             InternedNode::Distributed(group, f) => {
                 check_group_sys(sys, *group)?;
@@ -286,7 +286,7 @@ fn eval_layers(sys: &InterpretedSystem, formula: &Formula) -> Result<Vec<BitSet>
                             &sat[t],
                         )
                     })
-                    .collect()
+                    .collect::<Result<Vec<_>, EvalError>>()?
             }
             InternedNode::Next(f) => {
                 let sat = get(f);

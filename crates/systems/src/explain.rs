@@ -37,13 +37,17 @@ impl fmt::Display for KnowledgeExplanation {
                 "knowledge holds at {} (formula true at all {} indistinguishable points)",
                 self.point, self.cell_size
             )
-        } else {
+        } else if let Some(cp) = self.counter_point {
             write!(
                 f,
                 "knowledge fails at {}: the agent cannot rule out {} (cell of {} points)",
-                self.point,
-                self.counter_point.expect("counterexample present"),
-                self.cell_size
+                self.point, cp, self.cell_size
+            )
+        } else {
+            write!(
+                f,
+                "knowledge fails at {} (cell of {} points)",
+                self.point, self.cell_size
             )
         }
     }

@@ -23,14 +23,11 @@ pub struct LocalView<'a> {
 }
 
 impl LocalView<'_> {
-    /// The most recent observation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the history is empty (never produced by the framework).
+    /// The most recent observation, or `Obs(0)` for an empty history
+    /// (never produced by the framework).
     #[must_use]
     pub fn current(&self) -> Obs {
-        *self.history.last().expect("nonempty history")
+        self.history.last().copied().unwrap_or(Obs(0))
     }
 
     /// The time step this view belongs to (history length − 1) under

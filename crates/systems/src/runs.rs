@@ -90,7 +90,7 @@ impl InterpretedSystem {
                 out.push(Run { nodes: path });
                 continue;
             }
-            let node = &self.layer(t).nodes()[*path.last().expect("nonempty path")];
+            let node = &self.layer(t).nodes()[path[t]];
             for &c in node.children().iter().rev() {
                 let mut next = path.clone();
                 next.push(c);
@@ -105,13 +105,13 @@ impl InterpretedSystem {
     pub fn first_run(&self) -> Run {
         let mut nodes = vec![0usize];
         for t in 0..self.layer_count() - 1 {
-            let node = &self.layer(t).nodes()[*nodes.last().expect("nonempty")];
-            let next = node
-                .children()
-                .first()
-                .copied()
-                .unwrap_or_else(|| unreachable!("non-final layers always have children"));
-            nodes.push(next);
+            let node = &self.layer(t).nodes()[nodes[t]];
+            // Non-final layers always have children; stop early defensively
+            // if the invariant is ever violated.
+            match node.children().first().copied() {
+                Some(next) => nodes.push(next),
+                None => break,
+            }
         }
         Run { nodes }
     }

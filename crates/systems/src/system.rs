@@ -363,9 +363,14 @@ impl<'c> SystemBuilder<'c> {
     }
 
     /// The frontier layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder holds no layers — impossible by construction,
+    /// since layer 0 is built in `new` and never removed.
     #[must_use]
     pub fn current(&self) -> &Layer {
-        self.layers.last().expect("at least layer 0")
+        &self.layers[self.layers.len() - 1]
     }
 
     /// A previously built layer.

@@ -13,6 +13,7 @@
 //! | [`kbp_systems`] | contexts, protocols, generated interpreted systems, point evaluation |
 //! | [`kbp_core`] | KBPs, the fixed-point implementation relation, the unique-implementation solver, the implementation enumerator |
 //! | [`kbp_mck`] | CTLK model checking over reachable-state graphs |
+//! | [`kbp_faults`] | fault-injecting context combinators: scheduled message loss, crash-stop/recovery, observation corruption |
 //! | [`kbp_scenarios`] | the paper's worked examples (bit transmission, muddy children, sequence transmission, robot, fixed-point zoo) |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use kbp_core;
+pub use kbp_faults;
 pub use kbp_kripke;
 pub use kbp_logic;
 pub use kbp_mck;
@@ -53,9 +55,11 @@ pub use kbp_systems;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use kbp_core::{
-        check_implementation, parse_kbp, Controller, ControllerProtocol, Enumeration, Enumerator,
-        Implementation, ImplementationReport, Kbp, KbpError, Solution, SolveError, SyncSolver,
+        check_implementation, parse_kbp, Budget, BudgetExhausted, Controller, ControllerProtocol,
+        Enumeration, Enumerator, Implementation, ImplementationReport, Kbp, KbpError, LayerStats,
+        PartialSolution, Resource, Solution, SolveError, SolveOutcome, SyncSolver,
     };
+    pub use kbp_faults::{CrashKind, EnvFault, FaultSchedule, FaultyContext};
     pub use kbp_kripke::{BitSet, S5Builder, S5Model, WorldId};
     pub use kbp_logic::{parse::parse, Agent, AgentSet, Formula, PropId, Vocabulary};
     pub use kbp_mck::{ctl, Mck, StateGraph};
@@ -66,7 +70,8 @@ pub mod prelude {
     pub use kbp_scenarios::robot::Robot;
     pub use kbp_scenarios::sequence_transmission::{SequenceTransmission, Tagging};
     pub use kbp_systems::{
-        generate, ActionId, Context, ContextBuilder, Evaluator, FnContext, GlobalState,
-        InterpretedSystem, LocalView, MapProtocol, Obs, Point, ProtocolFn, Recall, SystemBuilder,
+        generate, ActionId, Context, ContextBuilder, EnvActionId, Evaluator, FnContext,
+        GlobalState, InterpretedSystem, LocalView, MapProtocol, Obs, Point, ProtocolFn, Recall,
+        SystemBuilder,
     };
 }

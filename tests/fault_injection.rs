@@ -1,0 +1,270 @@
+//! Fault-injection regression tests: every scenario re-solves under a
+//! lattice of fault models, fault-free wrapping is bit-identical, and
+//! seeded schedules replay deterministically.
+
+use kbp_core::{Kbp, SyncSolver};
+use kbp_faults::{loss_lattice, CrashKind, EnvFault, FaultSchedule, FaultyContext};
+use kbp_logic::{Agent, Formula};
+use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+use kbp_scenarios::coordinated_attack::CoordinatedAttack;
+use kbp_scenarios::fixed_point_zoo;
+use kbp_scenarios::muddy_children::MuddyChildren;
+use kbp_scenarios::robot::Robot;
+use kbp_scenarios::sequence_transmission::{SequenceTransmission, Tagging};
+use kbp_systems::{EnvActionId, Evaluator, FnContext};
+use proptest::prelude::*;
+
+/// One entry per contextful scenario: name, fresh (context, kbp), solve
+/// horizon, the env action that loses/annuls everything, and the agent to
+/// crash in crash-stop models.
+#[allow(clippy::type_complexity)]
+fn scenarios() -> Vec<(
+    &'static str,
+    Box<dyn Fn() -> (FnContext, Kbp)>,
+    usize,
+    EnvActionId,
+    Agent,
+)> {
+    vec![
+        (
+            "bit_transmission",
+            Box::new(|| {
+                let sc = BitTransmission::new(Channel::Lossy);
+                (sc.context(), sc.kbp())
+            }),
+            4,
+            EnvActionId(3),
+            Agent::new(1),
+        ),
+        (
+            "muddy_children",
+            Box::new(|| {
+                let sc = MuddyChildren::new(3);
+                (sc.context(), sc.kbp())
+            }),
+            4,
+            EnvActionId(0),
+            Agent::new(2),
+        ),
+        (
+            "robot",
+            Box::new(|| {
+                let sc = Robot::new(12, 4, 7);
+                (sc.context(), sc.kbp())
+            }),
+            6,
+            EnvActionId(1),
+            Agent::new(0),
+        ),
+        (
+            "sequence_transmission",
+            Box::new(|| {
+                let sc = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+                (sc.context(), sc.kbp())
+            }),
+            5,
+            EnvActionId(3),
+            Agent::new(1),
+        ),
+        (
+            "coordinated_attack",
+            Box::new(|| {
+                let sc = CoordinatedAttack::new(Channel::Lossy);
+                (sc.context(), sc.kbp())
+            }),
+            4,
+            EnvActionId(3),
+            Agent::new(1),
+        ),
+        (
+            "fixed_point_zoo_lamp",
+            Box::new(|| {
+                (
+                    fixed_point_zoo::lamp_context(),
+                    fixed_point_zoo::plain().kbp,
+                )
+            }),
+            4,
+            EnvActionId(0),
+            Agent::new(0),
+        ),
+    ]
+}
+
+#[test]
+fn every_scenario_solves_under_the_fault_lattice() {
+    for (name, build, horizon, lose, crash_agent) in scenarios() {
+        for (model, schedule) in loss_lattice(0xFA17, lose, crash_agent, 1) {
+            let (ctx, kbp) = build();
+            let faulty = FaultyContext::new(ctx, schedule);
+            let solution = SyncSolver::new(&faulty, &kbp)
+                .horizon(horizon)
+                .solve()
+                .unwrap_or_else(|e| panic!("{name} under {model}: {e}"));
+            assert_eq!(
+                solution.system().layer_count(),
+                horizon + 1,
+                "{name} under {model}: truncated system"
+            );
+            assert!(
+                solution.stats().protocol_entries > 0,
+                "{name} under {model}: empty protocol"
+            );
+        }
+    }
+}
+
+#[test]
+fn coordinated_attack_is_paralyzed_under_unbounded_loss() {
+    // FHMV's impossibility theorem as a fault-injection outcome: when the
+    // adversary is *scheduled* to capture every messenger (not merely
+    // allowed to), common knowledge of the enemy's weakness is never
+    // attained and nobody ever attacks.
+    let sc = CoordinatedAttack::new(Channel::Lossy);
+    let schedule = FaultSchedule::new(1).env_fault_always(EnvFault::Force(EnvActionId(3)));
+    let faulty = FaultyContext::new(sc.context(), schedule);
+    let solution = SyncSolver::new(&faulty, &sc.kbp())
+        .horizon(5)
+        .solve()
+        .unwrap();
+    let sys = solution.system();
+    assert!(sys.holds_initially(&sc.nobody_attacks()).unwrap());
+    let ck = Formula::common(sc.generals(), Formula::prop(sc.weak()));
+    let ev = Evaluator::new(sys, &ck).unwrap();
+    for p in sys.points() {
+        assert!(!ev.holds(p), "common knowledge at {p} despite total loss");
+    }
+}
+
+#[test]
+fn bit_transmission_receiver_never_learns_under_unbounded_loss() {
+    let sc = BitTransmission::new(Channel::Lossy);
+    let schedule = FaultSchedule::new(2).env_fault_always(EnvFault::Force(EnvActionId(3)));
+    let faulty = FaultyContext::new(sc.context(), schedule);
+    let solution = SyncSolver::new(&faulty, &sc.kbp())
+        .horizon(4)
+        .solve()
+        .unwrap();
+    let sys = solution.system();
+    let delivered = Formula::eventually(Formula::prop(sc.receiver_has_bit()));
+    assert!(!sys.holds_initially(&delivered).unwrap());
+    // And the sender knows it: it never learns the receiver got the bit.
+    let sender_done = Formula::knows(sc.sender(), Formula::prop(sc.receiver_has_bit()));
+    let ev = Evaluator::new(sys, &sender_done).unwrap();
+    assert!(sys.points().all(|p| !ev.holds(p)));
+}
+
+#[test]
+fn crashed_muddy_child_stays_silent_and_stalls_the_cascade() {
+    // Child 2 crash-stops before the first round: it answers "say_no"
+    // (the designated no-op) forever, and with its answers uninformative
+    // the other children's cascade still runs against its silence.
+    let sc = MuddyChildren::new(3);
+    let schedule = FaultSchedule::new(3).crash(sc.child(2), CrashKind::Stop { at: 0 });
+    let faulty = FaultyContext::new(sc.context(), schedule);
+    let solution = SyncSolver::new(&faulty, &sc.kbp())
+        .horizon(4)
+        .solve()
+        .unwrap();
+    // In the all-muddy world the crashed child never says yes: its answer
+    // register never gains bit 2.
+    let sys = solution.system();
+    let all_muddy_runs_say_yes_2 = (0..sys.layer_count()).any(|t| {
+        (0..sys.layer(t).len()).any(|node| {
+            let point = kbp_systems::Point { time: t, node };
+            let state = sys.global_state(point);
+            // answers register is inner reg 1; crashed child is bit 2.
+            state.reg(1) & 0b100 != 0
+        })
+    });
+    assert!(!all_muddy_runs_say_yes_2, "crashed child answered");
+}
+
+#[test]
+fn same_seed_same_partial_solution() {
+    // Deterministic replay: an identical seeded schedule produces an
+    // identical PartialSolution — protocol, layer sizes, stats, diagnosis.
+    let solve = |seed: u64| {
+        let sc = BitTransmission::new(Channel::Lossy);
+        let schedule =
+            FaultSchedule::new(seed).random_env_fault(EnvFault::Force(EnvActionId(3)), 500);
+        let faulty = FaultyContext::new(sc.context(), schedule);
+        SyncSolver::new(&faulty, &sc.kbp())
+            .horizon(5)
+            .budget(kbp_core::Budget::new().max_guard_evaluations(2))
+            .solve_budgeted()
+            .unwrap()
+    };
+    let a = solve(7);
+    let b = solve(7);
+    let (pa, pb) = (a.partial().unwrap(), b.partial().unwrap());
+    assert_eq!(pa.exhausted(), pb.exhausted());
+    assert_eq!(*pa.protocol(), *pb.protocol());
+    assert_eq!(pa.stats(), pb.stats());
+    assert_eq!(pa.per_layer(), pb.per_layer());
+    for t in 0..pa.system().layer_count() {
+        assert_eq!(pa.system().layer(t).len(), pb.system().layer(t).len());
+    }
+}
+
+#[test]
+fn different_seeds_schedule_different_faults() {
+    let mk =
+        |seed: u64| FaultSchedule::new(seed).random_env_fault(EnvFault::Force(EnvActionId(3)), 500);
+    assert_ne!(mk(1).signature(32, 2), mk(2).signature(32, 2));
+    assert_eq!(mk(1).signature(32, 2), mk(1).signature(32, 2));
+}
+
+/// Solve a scenario plainly and through a zero-fault wrapper, asserting
+/// bit-identical results.
+fn assert_zero_fault_identity(name: &str, ctx: FnContext, kbp: &Kbp, horizon: usize, seed: u64) {
+    let plain = SyncSolver::new(&ctx, kbp).horizon(horizon).solve().unwrap();
+    let faulty_ctx = FaultyContext::new(ctx, FaultSchedule::new(seed));
+    assert!(!faulty_ctx.schedule().has_faults());
+    let faulty = SyncSolver::new(&faulty_ctx, kbp)
+        .horizon(horizon)
+        .solve()
+        .unwrap();
+    assert_eq!(
+        *plain.protocol(),
+        *faulty.protocol(),
+        "{name}: protocol differs under zero-fault wrapping"
+    );
+    assert_eq!(plain.stats(), faulty.stats(), "{name}: stats differ");
+    assert_eq!(plain.stabilized(), faulty.stabilized(), "{name}");
+    assert_eq!(
+        plain.system().layer_count(),
+        faulty.system().layer_count(),
+        "{name}"
+    );
+    for t in 0..plain.system().layer_count() {
+        assert_eq!(
+            plain.system().layer(t).len(),
+            faulty.system().layer(t).len(),
+            "{name}: layer {t} differs"
+        );
+        for node in 0..plain.system().layer(t).len() {
+            let point = kbp_systems::Point { time: t, node };
+            assert_eq!(
+                plain.system().global_state(point),
+                faulty.system().global_state(point),
+                "{name}: state at {point} differs"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A zero-fault schedule — whatever its seed — wraps every scenario
+    /// transparently: the solved protocol and the generated system are
+    /// bit-identical to the unwrapped context's.
+    #[test]
+    fn zero_fault_wrapping_is_bit_identical(seed in any::<u64>(), idx in 0usize..6) {
+        let list = scenarios();
+        let (name, build, horizon, _, _) = &list[idx];
+        let (ctx, kbp) = build();
+        assert_zero_fault_identity(name, ctx, &kbp, *horizon, seed);
+    }
+}

@@ -589,6 +589,50 @@ fn protocols_roundtrip() {
 }
 
 #[test]
+fn solve_diagnostics_roundtrip() {
+    // The solver's diagnostic types are savable artifacts too: a budget
+    // report can be persisted next to the partial protocol it explains.
+    let stats = {
+        let sc = kbp_scenarios::muddy_children::MuddyChildren::new(3);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let solution = kbp_core::SyncSolver::new(&ctx, &kbp)
+            .horizon(4)
+            .solve()
+            .expect("solves");
+        solution.stats()
+    };
+    let back: kbp_core::SolveStats = json_roundtrip(&stats);
+    assert_eq!(stats, back);
+
+    let layer = kbp_core::LayerStats {
+        layer: 3,
+        points: 17,
+        guard_evaluations: 51,
+        protocol_entries: 9,
+    };
+    let back: kbp_core::LayerStats = json_roundtrip(&layer);
+    assert_eq!(layer, back);
+
+    for resource in [
+        kbp_core::Resource::Deadline,
+        kbp_core::Resource::LayerPoints,
+        kbp_core::Resource::GuardEvaluations,
+        kbp_core::Resource::Memory,
+        kbp_core::Resource::Nodes,
+        kbp_core::Resource::Branches,
+        kbp_core::Resource::Solutions,
+    ] {
+        let exhausted = kbp_core::BudgetExhausted {
+            resource,
+            at_layer: 2,
+        };
+        let back: kbp_core::BudgetExhausted = json_roundtrip(&exhausted);
+        assert_eq!(exhausted, back);
+    }
+}
+
+#[test]
 fn kbp_roundtrips() {
     let a = Agent::new(0);
     let kbp = kbp_core::Kbp::builder()
