@@ -1,0 +1,261 @@
+//! E14 — The evaluation engine's batch-level optimizations: parallel
+//! sharded cache fill and cross-layer carry-forward.
+//!
+//! Three comparisons, each with output equality asserted in-bench:
+//!
+//! 1. **Parallel fill, independent components** (`scan`): a batch of 30
+//!    K-formulas over disjoint proposition bodies — the shape of a
+//!    knowledge *scan* ("who knows what, and what do they know about each
+//!    other") — filled layer-by-layer over a generated sequence-
+//!    transmission system at 1 vs 4 worker threads. The roots share no
+//!    uncached subformula, so `EvalEngine::populate` shards them across
+//!    `std::thread::scope` workers.
+//! 2. **Parallel fill, join-heavy batch** (`join`): 15 group-modality
+//!    formulas (`C_G`/`D_G`/`E_G`) all over the same two-agent set. Group
+//!    evaluation memoizes one partition join per agent set per cache, so
+//!    these roots are deliberately coalesced into a single shard
+//!    component (splitting them would rebuild the join once per shard —
+//!    an earlier revision measured 3.7× *slower* in parallel). Expected
+//!    result: parallel ≈ sequential, not a regression.
+//! 3. **Carry-forward kernel** (`carry`): under observational recall the
+//!    sequence-transmission layers saturate and consecutive layers become
+//!    isomorphic. Compares re-evaluating the join batch on the next layer
+//!    from scratch against `layer_renaming` (1-WL proposal + full S5
+//!    isomorphism verification) + `EvalCache::carried_forward` (pointwise
+//!    bit remap). The renaming search is *inside* the timed region, so
+//!    the speedup is net of the certificate's cost.
+//!
+//! Plus a solver-level row: bit transmission under observational recall
+//! solved with carry-forward on vs off, protocols asserted equal.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_core::SyncSolver;
+use kbp_kripke::{EvalCache, EvalEngine, S5Model};
+use kbp_logic::{AgentSet, Formula, FormulaArena, FormulaId};
+use kbp_scenarios::bit_transmission::{BitTransmission, Channel as BtChannel};
+use kbp_scenarios::sequence_transmission::{Channel, SequenceTransmission, Tagging};
+use kbp_systems::{generate, layer_renaming, FullProtocol, InterpretedSystem, Recall};
+use std::time::Duration;
+
+/// 30 independent K-formulas: 5 protocol propositions × 6 knowledge
+/// shapes per proposition. No two roots share a subformula, so the
+/// engine can shard them freely.
+fn scan_formulas(sc: &SequenceTransmission) -> Vec<Formula> {
+    let (s, r) = (sc.sender(), sc.receiver());
+    let props = [
+        sc.done_r(),
+        sc.done_s(),
+        sc.got_one(),
+        sc.prefix_ok(),
+        sc.caught_up(),
+    ];
+    let mut out = Vec::new();
+    for p in props {
+        let f = Formula::prop(p);
+        out.push(Formula::knows(s, f.clone()));
+        out.push(Formula::knows(s, Formula::not(f.clone())));
+        out.push(Formula::knows(r, f.clone()));
+        out.push(Formula::knows(r, Formula::not(f.clone())));
+        out.push(Formula::knows(s, Formula::knows(r, f.clone())));
+        out.push(Formula::knows(r, Formula::knows(s, f)));
+    }
+    out
+}
+
+/// 15 group-modality formulas, all over the same agent set — maximal
+/// contention on the per-cache partition-join memo.
+fn join_formulas(sc: &SequenceTransmission) -> Vec<Formula> {
+    let g = AgentSet::all(2);
+    let props = [
+        sc.done_r(),
+        sc.done_s(),
+        sc.got_one(),
+        sc.prefix_ok(),
+        sc.caught_up(),
+    ];
+    let mut out = Vec::new();
+    for p in props {
+        let f = Formula::prop(p);
+        out.push(Formula::common(g, f.clone()));
+        out.push(Formula::distributed(g, f.clone()));
+        out.push(Formula::everyone(g, f));
+    }
+    out
+}
+
+/// Fresh-cache fill of `ids` on every layer; returns the total root bit
+/// count as the equality witness.
+fn fill(engine: &EvalEngine, models: &[&S5Model], ids: &[FormulaId]) -> usize {
+    let mut bits = 0;
+    for m in models {
+        let mut cache = EvalCache::new();
+        engine.populate(m, &mut cache, ids).expect("evaluates");
+        for &id in ids {
+            bits += cache.get(id).expect("root present").count();
+        }
+    }
+    bits
+}
+
+fn layer_models(system: &InterpretedSystem) -> Vec<&S5Model> {
+    (0..system.layer_count())
+        .map(|t| system.layer(t).model())
+        .collect()
+}
+
+fn bench_fill(
+    c: &mut Criterion,
+    name: &str,
+    param: impl std::fmt::Display,
+    models: &[&S5Model],
+    formulas: &[Formula],
+    rows: &mut Vec<Vec<String>>,
+) {
+    let mut arena = FormulaArena::new();
+    let ids: Vec<FormulaId> = formulas.iter().map(|f| arena.intern(f)).collect();
+    let seq = EvalEngine::new(arena.clone()).with_threads(1);
+    let par = EvalEngine::new(arena).with_threads(4);
+    let points: usize = models.iter().map(|m| m.world_count()).sum();
+    rows.push(vec![
+        cell(format!("{name}/{param}")),
+        cell(models.len()),
+        cell(points),
+        expect(
+            "parallel = sequential",
+            fill(&seq, models, &ids),
+            fill(&par, models, &ids),
+        ),
+    ]);
+    let mut group = c.benchmark_group("e14_parallel_fill");
+    group.bench_function(BenchmarkId::new(format!("{name}_threads1"), &param), |b| {
+        b.iter(|| black_box(fill(&seq, models, &ids)));
+    });
+    group.bench_function(BenchmarkId::new(format!("{name}_threads4"), &param), |b| {
+        b.iter(|| black_box(fill(&par, models, &ids)));
+    });
+    group.finish();
+}
+
+fn bench_carry(c: &mut Criterion, rows: &mut Vec<Vec<String>>) {
+    let sc = SequenceTransmission::new(3, Tagging::Alternating, Channel::Lossy);
+    let ctx = sc.context();
+    let full = FullProtocol::for_context(&ctx);
+    let sys = generate(&ctx, &full, Recall::Observational, 16).expect("generates");
+    let (prev_t, next_t) = (1..sys.layer_count())
+        .find(|&t| layer_renaming(sys.layer(t - 1), sys.layer(t)).is_some())
+        .map(|t| (t - 1, t))
+        .expect("observational recall yields an isomorphic consecutive pair");
+
+    let mut arena = FormulaArena::new();
+    let ids: Vec<FormulaId> = join_formulas(&sc).iter().map(|f| arena.intern(f)).collect();
+    let engine = EvalEngine::new(arena).with_threads(1);
+    let mut prev = EvalCache::new();
+    engine
+        .populate(sys.layer(prev_t).model(), &mut prev, &ids)
+        .expect("evaluates");
+
+    let refill = || {
+        let mut cache = EvalCache::new();
+        engine
+            .populate(sys.layer(next_t).model(), &mut cache, &ids)
+            .expect("evaluates");
+        ids.iter()
+            .map(|&id| cache.get(id).expect("root present").count())
+            .sum::<usize>()
+    };
+    let carry = || {
+        let ren = layer_renaming(sys.layer(prev_t), sys.layer(next_t)).expect("isomorphic");
+        let cache = prev.carried_forward(&ren).expect("carries");
+        ids.iter()
+            .map(|&id| cache.get(id).expect("root present").count())
+            .sum::<usize>()
+    };
+    rows.push(vec![
+        cell(format!("carry_kernel/t{prev_t}..{next_t}")),
+        cell(1usize),
+        cell(sys.layer(next_t).len()),
+        expect("carry = refill", refill(), carry()),
+    ]);
+    let mut group = c.benchmark_group("e14_carry_forward");
+    group.bench_function(BenchmarkId::new("kernel_refill", "seq_obs"), |b| {
+        b.iter(|| black_box(refill()));
+    });
+    group.bench_function(BenchmarkId::new("kernel_carry", "seq_obs"), |b| {
+        b.iter(|| black_box(carry()));
+    });
+    group.finish();
+}
+
+fn bench_solver_carry(c: &mut Criterion, rows: &mut Vec<Vec<String>>) {
+    let bt = BitTransmission::new(BtChannel::Lossy);
+    let ctx = bt.context();
+    let kbp = bt.kbp();
+    let solve = |carry: bool| {
+        SyncSolver::new(&ctx, &kbp)
+            .horizon(12)
+            .recall(Recall::Observational)
+            .carry_forward(carry)
+            .solve()
+            .expect("solves")
+    };
+    let on = solve(true);
+    let off = solve(false);
+    assert_eq!(on.protocol(), off.protocol(), "carry changed the solution");
+    rows.push(vec![
+        cell("solver/bt_obs_h12"),
+        cell(on.system().layer_count()),
+        cell(on.stats().layers_carried),
+        expect(
+            "carry-on guard lookups = carry-off",
+            on.stats().guard_evaluations,
+            off.stats().guard_evaluations,
+        ),
+    ]);
+    let mut group = c.benchmark_group("e14_carry_forward");
+    group.bench_function(BenchmarkId::new("solver_carry_on", "bt_obs"), |b| {
+        b.iter(|| black_box(solve(true).stats().layers_carried));
+    });
+    group.bench_function(BenchmarkId::new("solver_carry_off", "bt_obs"), |b| {
+        b.iter(|| black_box(solve(false).stats().layers_carried));
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+
+    for (m, horizon) in [(3u32, 8usize), (4, 7)] {
+        let sc = SequenceTransmission::new(m, Tagging::Alternating, Channel::Lossy);
+        let ctx = sc.context();
+        let full = FullProtocol::for_context(&ctx);
+        let system = generate(&ctx, &full, Recall::Perfect, horizon).expect("generates");
+        let models = layer_models(&system);
+        bench_fill(c, "scan", m, &models, &scan_formulas(&sc), &mut rows);
+        if m == 3 {
+            bench_fill(c, "join", m, &models, &join_formulas(&sc), &mut rows);
+        }
+    }
+    bench_carry(c, &mut rows);
+    bench_solver_carry(c, &mut rows);
+
+    report_table(
+        "E14 parallel fill + carry-forward (expected: equal outputs; col3 = points or carried layers)",
+        &["workload", "layers", "points/carried", "equal"],
+        &rows,
+    );
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -13,17 +13,24 @@
 //!   branches over which of them fire at each reached local state;
 //! * when the horizon is reached, the guess is verified by evaluating
 //!   every guard in the generated system and comparing with the actions
-//!   actually taken ([`compare_on_system`](crate::implement)).
+//!   actually taken (the comparison core shared with
+//!   [`check_implementation`](crate::check_implementation)).
+//!
+//! All guards — past-determined and future-referring alike — are interned
+//! once into a single [`FormulaArena`] owned by the run's
+//! [`EvalEngine`]; both the pruning evaluations and the end-of-horizon
+//! verification read from it, so exactly one arena exists per run
+//! (visible as `stats().arenas == 1`).
 //!
 //! The search is exhaustive over the bounded protocol space, so with
 //! sufficient budget the returned enumeration is *complete*: it finds
 //! every implementation and proves there are no others.
 
 use crate::budget::Resource;
-use crate::implement::compare_on_system;
+use crate::implement::compare_with_sets;
 use crate::program::Kbp;
-use crate::solve::SolveError;
-use kbp_kripke::{BitSet, EvalCache};
+use crate::solve::{SolveError, SolveStats};
+use kbp_kripke::{BitSet, EvalCache, EvalEngine, EvalError};
 use kbp_logic::Agent;
 use kbp_logic::{FormulaArena, FormulaId};
 use kbp_systems::{
@@ -48,6 +55,7 @@ pub struct Enumeration {
     branches_explored: usize,
     complete: bool,
     exhausted: Option<Resource>,
+    stats: SolveStats,
 }
 
 impl Enumeration {
@@ -85,6 +93,14 @@ impl Enumeration {
     #[must_use]
     pub fn exhausted(&self) -> Option<Resource> {
         self.exhausted
+    }
+
+    /// Evaluation statistics for the whole search. In particular
+    /// `stats.arenas == 1`: every guard of every branch is interned into
+    /// one shared [`FormulaArena`] owned by the run's evaluation engine.
+    #[must_use]
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
     }
 
     /// Consumes the enumeration, returning the implementations.
@@ -246,30 +262,42 @@ impl<'a> Enumerator<'a> {
         for program in self.kbp.programs() {
             proto.set_agent_default(program.agent(), vec![program.default_action()]);
         }
-        // Intern past-determined guards once; future-referring guards are
-        // guessed, not evaluated on layers, so they stay out of the arena.
-        let mut arena = FormulaArena::new();
-        let past_ids: Vec<Vec<Option<FormulaId>>> = self
-            .kbp
-            .programs()
-            .iter()
-            .map(|p| {
-                p.clauses()
-                    .iter()
-                    .map(|c| {
-                        if c.guard.has_temporal() {
-                            None
-                        } else {
-                            Some(arena.intern(&c.guard))
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        // One evaluation engine — hence exactly one arena — for the whole
+        // run: every guard of every program is interned once, and both the
+        // layer-by-layer pruning and the end-of-horizon verification
+        // evaluate against the same interned ids.
+        let mut engine = EvalEngine::new(FormulaArena::new());
+        let mut full_ids: Vec<Vec<FormulaId>> = Vec::new();
+        let mut past_ids: Vec<Vec<Option<FormulaId>>> = Vec::new();
+        for program in self.kbp.programs() {
+            let mut full = Vec::new();
+            let mut past = Vec::new();
+            for clause in program.clauses() {
+                let id = engine.intern(&clause.guard);
+                full.push(id);
+                // Future-referring guards are guessed during the search,
+                // not evaluated on layers; only past-determined guards
+                // feed the per-layer cache fill.
+                past.push((!clause.guard.has_temporal()).then_some(id));
+            }
+            full_ids.push(full);
+            past_ids.push(past);
+        }
+        let mut past_flat: Vec<FormulaId> =
+            past_ids.iter().flatten().filter_map(|id| *id).collect();
+        past_flat.sort_unstable();
+        past_flat.dedup();
+        let stats = SolveStats {
+            arenas: 1,
+            ..SolveStats::default()
+        };
         let mut search = Search {
             enumerator: self,
-            arena,
+            engine,
+            full_ids,
             past_ids,
+            past_flat,
+            stats,
             found: Vec::new(),
             branches: 0,
             complete: true,
@@ -282,17 +310,27 @@ impl<'a> Enumerator<'a> {
             branches_explored: search.branches,
             complete: search.complete,
             exhausted: search.exhausted,
+            stats: search.stats,
         })
     }
 }
 
 struct Search<'a, 'b> {
     enumerator: &'b Enumerator<'a>,
-    /// Interned past-determined guards, shared by every layer evaluation.
-    arena: FormulaArena,
+    /// The run's single evaluation engine; owns the one arena into which
+    /// every guard (past and future-referring) is interned.
+    engine: EvalEngine,
+    /// Per program, per clause: the interned guard. Used by the
+    /// end-of-horizon verification, which evaluates all guards (including
+    /// temporal ones) on the finished system.
+    full_ids: Vec<Vec<FormulaId>>,
     /// Per program, per clause: the interned guard, or `None` for
     /// future-referring guards (branched over instead of evaluated).
     past_ids: Vec<Vec<Option<FormulaId>>>,
+    /// Flattened, deduplicated past-determined guards: the root set for
+    /// the engine's (possibly sharded) per-layer cache fill.
+    past_flat: Vec<FormulaId>,
+    stats: SolveStats,
     found: Vec<Implementation>,
     branches: usize,
     complete: bool,
@@ -344,9 +382,12 @@ impl Search<'_, '_> {
         // (agent, local, observation history, candidate action sets).
         type Slot = (Agent, LocalId, Vec<Obs>, Vec<Vec<ActionId>>);
         let mut slots: Vec<Slot> = Vec::new();
-        // One cache per layer visit: distinct subformulas of all
-        // past-determined guards are evaluated once across all programs.
+        // One cache per layer visit: the engine fills it for all
+        // past-determined guards at once (sharded across threads when
+        // the component structure allows), so distinct subformulas are
+        // evaluated once across all programs.
         let mut cache = EvalCache::new();
+        self.engine.populate(model, &mut cache, &self.past_flat)?;
         for (program, ids) in kbp.programs().iter().zip(&self.past_ids) {
             let agent = program.agent();
             let clauses = program.clauses();
@@ -355,11 +396,14 @@ impl Search<'_, '_> {
                 .iter()
                 .map(|id| match id {
                     None => Ok(None),
-                    Some(id) => model
-                        .satisfying_cached(&mut cache, &self.arena, *id)
-                        .map(|s| Some(s.clone())),
+                    Some(id) => cache
+                        .get(*id)
+                        .cloned()
+                        .map(Some)
+                        .ok_or(EvalError::Internal("populated guard missing from cache")),
                 })
-                .collect::<Result<_, _>>()?;
+                .collect::<Result<_, EvalError>>()?;
+            self.stats.guard_evaluations += past_sets.iter().flatten().count();
             let future_idx: Vec<usize> = clauses
                 .iter()
                 .enumerate()
@@ -472,18 +516,25 @@ impl Search<'_, '_> {
             .collect();
         let system = builder.finish();
 
-        // Evaluate guards on the finished system.
+        // Evaluate every guard (temporal ones included) on the finished
+        // system in one batch through the run's shared arena: `sets[g][t]`
+        // is the satisfaction set of the g-th flattened guard at layer t.
+        let flat_full: Vec<FormulaId> = self.full_ids.iter().flatten().copied().collect();
+        let sets = kbp_systems::satisfying_layers(&system, self.engine.arena(), &flat_full)?;
+        self.stats.guard_evaluations += flat_full.len();
+
         let t_last = system.layer_count() - 1;
+        let mut offset = 0usize;
         for program in kbp.programs() {
             let agent = program.agent();
-            let evaluators: Vec<kbp_systems::Evaluator<'_>> = program
-                .clauses()
-                .iter()
-                .map(|c| kbp_systems::Evaluator::new(&system, &c.guard))
-                .collect::<Result<_, _>>()?;
+            let clause_sets = &sets[offset..offset + program.clauses().len()];
+            offset += program.clauses().len();
             for node in 0..system.layer(t_last).len() {
                 let point = kbp_systems::Point { time: t_last, node };
-                let truths: Vec<bool> = evaluators.iter().map(|e| e.holds(point)).collect();
+                let truths: Vec<bool> = clause_sets
+                    .iter()
+                    .map(|s| s[t_last].contains(node))
+                    .collect();
                 let induced = program.induced_actions(&truths);
                 let local = system.local(agent, point);
                 let history = system.local_view(agent, local);
@@ -492,7 +543,7 @@ impl Search<'_, '_> {
         }
         let _ = histories; // histories recomputed from the system above
 
-        let (mismatches, _) = compare_on_system(&system, kbp, &proto)?;
+        let (mismatches, _) = compare_with_sets(&system, kbp, &proto, &sets)?;
         if mismatches.is_empty() && !self.found.iter().any(|imp| imp.protocol == proto) {
             self.found.push(Implementation {
                 protocol: proto,
@@ -546,6 +597,20 @@ mod tests {
         let found = Enumerator::new(&ctx, &kbp).horizon(3).enumerate().unwrap();
         assert_eq!(found.count(), 2, "{found}");
         assert!(found.is_complete());
+    }
+
+    #[test]
+    fn enumeration_uses_exactly_one_arena() {
+        let ctx = lamp();
+        let a = Agent::new(0);
+        let kbp = Kbp::builder()
+            .clause(a, Formula::knows(a, Formula::eventually(p(0))), ActionId(1))
+            .clause(a, Formula::not(Formula::knows(a, p(0))), ActionId(1))
+            .default_action(a, ActionId(0))
+            .build();
+        let found = Enumerator::new(&ctx, &kbp).horizon(3).enumerate().unwrap();
+        assert_eq!(found.stats().arenas, 1, "one shared arena per run");
+        assert!(found.stats().guard_evaluations > 0);
     }
 
     #[test]

@@ -18,10 +18,11 @@
 
 use crate::budget::{Budget, BudgetExhausted, LayerStats, Resource};
 use crate::program::{Kbp, KbpError};
-use kbp_kripke::{BitSet, EvalCache, EvalError};
+use kbp_kripke::{BitSet, EvalCache, EvalEngine, EvalError};
 use kbp_logic::{Agent, FormulaArena, FormulaId};
 use kbp_systems::{
-    Context, GenerateError, InterpretedSystem, MapProtocol, Recall, StepChoices, SystemBuilder,
+    layer_renaming, Context, GenerateError, InterpretedSystem, MapProtocol, Recall, StepChoices,
+    SystemBuilder,
 };
 use std::error::Error;
 use std::fmt;
@@ -150,6 +151,14 @@ pub struct SolveStats {
     pub protocol_entries: usize,
     /// Guard evaluations performed (clause × layer).
     pub guard_evaluations: usize,
+    /// `FormulaArena`s constructed for guard evaluation. The unified
+    /// evaluation engine interns every guard into one shared arena, so
+    /// this is always 1 for a solve.
+    pub arenas: usize,
+    /// Layers whose satisfaction sets were carried forward from the
+    /// previous layer through a verified isomorphism instead of being
+    /// recomputed (see `kbp_systems::layer_renaming`).
+    pub layers_carried: usize,
 }
 
 /// The unique implementation of a past-determined KBP, as constructed by
@@ -347,6 +356,8 @@ pub struct SyncSolver<'a> {
     recall: Recall,
     node_limit: Option<usize>,
     budget: Budget,
+    eval_threads: Option<usize>,
+    carry_forward: bool,
 }
 
 impl fmt::Debug for SyncSolver<'_> {
@@ -371,6 +382,8 @@ impl<'a> SyncSolver<'a> {
             recall: Recall::Perfect,
             node_limit: None,
             budget: Budget::default(),
+            eval_threads: None,
+            carry_forward: true,
         }
     }
 
@@ -400,6 +413,27 @@ impl<'a> SyncSolver<'a> {
     #[must_use]
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the guard-evaluation worker-thread count (default: the
+    /// `KBP_EVAL_THREADS` environment variable if set, else
+    /// [`std::thread::available_parallelism`]). `1` forces the sequential
+    /// path; the solution is bit-identical for every value.
+    #[must_use]
+    pub fn eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enables or disables cross-layer cache carry-forward (default: on).
+    /// When consecutive layers are certified isomorphic by
+    /// [`kbp_systems::layer_renaming`], guard satisfaction sets are mapped
+    /// through the renaming instead of recomputed; disabling this is only
+    /// useful for benchmarking, as outputs are identical either way.
+    #[must_use]
+    pub fn carry_forward(mut self, enabled: bool) -> Self {
+        self.carry_forward = enabled;
         self
     }
 
@@ -457,17 +491,37 @@ impl<'a> SyncSolver<'a> {
         let mut total_points = 0usize;
         let agents = self.ctx.agent_count();
 
-        // Intern every clause guard once, up front: guards shared between
-        // clauses (a test and its negation, repeated subformulas) collapse
-        // in the arena, and each layer then evaluates every distinct
-        // subformula exactly once through the per-layer cache.
-        let mut arena = FormulaArena::new();
+        // Intern every clause guard once, up front, into the engine's one
+        // shared arena: guards shared between clauses (a test and its
+        // negation, repeated subformulas) collapse, and each layer then
+        // evaluates every distinct subformula exactly once through the
+        // per-layer cache.
+        let mut engine = EvalEngine::new(FormulaArena::new());
+        if let Some(threads) = self.eval_threads {
+            engine = engine.with_threads(threads);
+        }
         let guard_ids: Vec<Vec<FormulaId>> = self
             .kbp
             .programs()
             .iter()
-            .map(|p| p.clauses().iter().map(|c| arena.intern(&c.guard)).collect())
+            .map(|p| {
+                p.clauses()
+                    .iter()
+                    .map(|c| engine.intern(&c.guard))
+                    .collect()
+            })
             .collect();
+        stats.arenas = 1;
+        // Every distinct guard root, for the sharded batch fill.
+        let flat_ids: Vec<FormulaId> = {
+            let mut v: Vec<FormulaId> = guard_ids.iter().flatten().copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        // The per-layer cache persists across the loop so stabilised
+        // suffixes can carry satisfaction sets forward.
+        let mut cache = EvalCache::new();
 
         let partial = |builder: SystemBuilder<'_>,
                        protocol: MapProtocol,
@@ -504,8 +558,33 @@ impl<'a> SyncSolver<'a> {
             }
             let evals_before = stats.guard_evaluations;
             let entries_before = stats.protocol_entries;
-            let choices =
-                self.induce_layer(&builder, t, &mut protocol, &mut stats, &arena, &guard_ids)?;
+            if t > 0 {
+                // Cross-layer carry-forward: if the new frontier is
+                // isomorphic to the previous layer under a *verified*
+                // renaming, guard satisfaction is preserved pointwise
+                // (solver guards are past-free, hence layer-static) — map
+                // the cache through the renaming instead of recomputing.
+                let carried = self.carry_forward
+                    && layer_renaming(builder.layer(t - 1), builder.current())
+                        .and_then(|r| cache.carried_forward(&r).ok())
+                        .map(|c| cache = c)
+                        .is_some();
+                if carried {
+                    stats.layers_carried += 1;
+                } else {
+                    cache.clear();
+                }
+            }
+            let choices = self.induce_layer(
+                &builder,
+                t,
+                &mut protocol,
+                &mut stats,
+                &engine,
+                &guard_ids,
+                &flat_ids,
+                &mut cache,
+            )?;
             per_layer.push(LayerStats {
                 layer: t,
                 points: frontier,
@@ -544,28 +623,29 @@ impl<'a> SyncSolver<'a> {
 
     /// Evaluates every guard on the frontier layer, records protocol
     /// entries, and produces the step choices.
+    #[allow(clippy::too_many_arguments)]
     fn induce_layer(
         &self,
         builder: &SystemBuilder<'_>,
         time: usize,
         protocol: &mut MapProtocol,
         stats: &mut SolveStats,
-        arena: &FormulaArena,
+        engine: &EvalEngine,
         guard_ids: &[Vec<FormulaId>],
+        flat_ids: &[FormulaId],
+        cache: &mut EvalCache,
     ) -> Result<StepChoices, SolveError> {
         let layer = builder.current();
         let model = layer.model();
         let mut choices = StepChoices::new();
 
-        // One cache per layer, shared by all programs: a subformula used
-        // by several agents' guards is evaluated once.
-        let mut cache = EvalCache::new();
+        // One sharded fill per layer covers all programs: a subformula
+        // used by several agents' guards is evaluated once, and
+        // independent guards run on separate workers. A carried-forward
+        // cache already holds every root, making this a no-op.
+        engine.populate(model, cache, flat_ids)?;
         for (program, ids) in self.kbp.programs().iter().zip(guard_ids) {
             let agent = program.agent();
-            // Satisfaction set of every clause guard over this layer.
-            for &id in ids {
-                model.satisfying_cached(&mut cache, arena, id)?;
-            }
             let guard_sets: Vec<&BitSet> = ids.iter().filter_map(|&id| cache.get(id)).collect();
             if guard_sets.len() != ids.len() {
                 return Err(SolveError::Eval(EvalError::Internal(
@@ -628,6 +708,8 @@ serde::impl_serde_struct!(SolveStats {
     points,
     protocol_entries,
     guard_evaluations,
+    arenas,
+    layers_carried,
 });
 
 #[cfg(test)]

@@ -161,7 +161,95 @@ impl EvalCache {
         self.sat.get(&id)
     }
 
-    fn bind(&mut self, worlds: usize) -> Result<(), EvalError> {
+    /// Stores an externally computed satisfaction set for `id` (used by
+    /// temporal evaluators, whose fixpoints the static kernel cannot
+    /// compute). Later cached evaluation of any formula containing `id`
+    /// short-circuits to this set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::ModelMismatch`] or
+    /// [`EvalError::LengthMismatch`] if `set`'s length disagrees with the
+    /// model the cache is bound to.
+    pub fn insert(&mut self, id: FormulaId, set: BitSet) -> Result<(), EvalError> {
+        self.bind(set.len())?;
+        self.sat.insert(id, set);
+        Ok(())
+    }
+
+    /// A new cache whose satisfaction sets are this cache's sets mapped
+    /// through a world renaming: bit `i` of each new set is bit
+    /// `renaming[i]` of the old set. Cached partitions are *not* carried
+    /// (they are cheap to rebuild and rarely needed after a carry).
+    ///
+    /// This is the cross-layer carry-forward step: when two layers are
+    /// isomorphic as S5 models under `renaming` (new world `i` ≅ old world
+    /// `renaming[i]`), satisfaction of every non-temporal formula is
+    /// preserved pointwise, so the new cache is exactly the evaluation
+    /// result on the new layer — no recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::ModelMismatch`] if `renaming`'s length differs
+    /// from the bound world count, or [`EvalError::LengthMismatch`] if an
+    /// entry indexes out of range. An unbound cache carries to an empty
+    /// cache bound to `renaming.len()` worlds.
+    pub fn carried_forward(&self, renaming: &[u32]) -> Result<EvalCache, EvalError> {
+        if let Some(w) = self.worlds {
+            if w != renaming.len() {
+                return Err(EvalError::ModelMismatch {
+                    cache_worlds: w,
+                    model_worlds: renaming.len(),
+                });
+            }
+        }
+        let n = renaming.len();
+        let mut out = EvalCache::new();
+        out.worlds = Some(n);
+        for (&id, set) in &self.sat {
+            let mut mapped = BitSet::new(n);
+            for (i, &j) in renaming.iter().enumerate() {
+                if (j as usize) >= set.len() {
+                    return Err(EvalError::LengthMismatch {
+                        expected: set.len(),
+                        got: j as usize,
+                    });
+                }
+                if set.contains(j as usize) {
+                    mapped.insert(i);
+                }
+            }
+            out.sat.insert(id, mapped);
+        }
+        Ok(out)
+    }
+
+    /// Merges `other`'s entries into this cache; on key collision the
+    /// existing entry wins (all evaluators compute identical values for a
+    /// given key against a given model, so the choice is immaterial).
+    pub(crate) fn absorb(&mut self, other: EvalCache) {
+        for (id, set) in other.sat {
+            self.sat.entry(id).or_insert(set);
+        }
+        for (g, p) in other.joins {
+            self.joins.entry(g).or_insert(p);
+        }
+        for (g, p) in other.refinements {
+            self.refinements.entry(g).or_insert(p);
+        }
+    }
+
+    /// Whether `id` already has a cached satisfaction set.
+    pub(crate) fn has(&self, id: FormulaId) -> bool {
+        self.sat.contains_key(&id)
+    }
+
+    /// The world count this cache is bound to, if any.
+    pub(crate) fn worlds(&self) -> Option<usize> {
+        self.worlds
+    }
+
+    pub(crate) fn bind(&mut self, worlds: usize) -> Result<(), EvalError> {
         match self.worlds {
             None => {
                 self.worlds = Some(worlds);
@@ -437,7 +525,7 @@ impl S5Model {
             .ok_or(EvalError::Internal("satisfaction set missing after eval"))
     }
 
-    fn eval_into_cache(
+    pub(crate) fn eval_into_cache(
         &self,
         cache: &mut EvalCache,
         arena: &FormulaArena,

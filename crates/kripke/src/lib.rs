@@ -57,6 +57,7 @@ mod announce;
 mod bisim;
 mod bitset;
 mod constructions;
+mod engine;
 mod eval;
 mod events;
 mod model;
@@ -65,6 +66,7 @@ mod partition;
 pub use announce::{AnnounceError, Announcement};
 pub use bisim::Quotient;
 pub use bitset::BitSet;
+pub use engine::{EvalEngine, TemporalOps, THREADS_ENV};
 pub use eval::{EvalCache, EvalError};
 pub use events::{Event, EventId, EventModel, EventModelBuilder, Product, UpdateError};
 pub use model::{S5Builder, S5Model, WorldId};

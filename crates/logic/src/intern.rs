@@ -178,6 +178,69 @@ impl FormulaArena {
         &self.nodes[id.index()]
     }
 
+    /// Calls `visit` on each direct child id of `id`, in syntactic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this arena.
+    pub fn visit_children(&self, id: FormulaId, visit: &mut dyn FnMut(FormulaId)) {
+        match self.node(id) {
+            InternedNode::True | InternedNode::False | InternedNode::Prop(_) => {}
+            InternedNode::Not(f)
+            | InternedNode::Knows(_, f)
+            | InternedNode::Everyone(_, f)
+            | InternedNode::Common(_, f)
+            | InternedNode::Distributed(_, f)
+            | InternedNode::Next(f)
+            | InternedNode::Eventually(f)
+            | InternedNode::Always(f) => visit(*f),
+            InternedNode::And(items) | InternedNode::Or(items) => {
+                for f in items {
+                    visit(*f);
+                }
+            }
+            InternedNode::Implies(a, b) | InternedNode::Iff(a, b) | InternedNode::Until(a, b) => {
+                visit(*a);
+                visit(*b);
+            }
+        }
+    }
+
+    /// All ids reachable from `roots` (the roots and their transitive
+    /// subformulas), in postorder: children always precede parents.
+    ///
+    /// Because ids are issued postorder (children strictly smaller), the
+    /// result is simply the reachable subset of `0..len()` in ascending
+    /// order. Evaluators use this to walk exactly the formulas a batch of
+    /// roots needs, even when the arena holds unrelated nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root was not issued by this arena.
+    #[must_use]
+    pub fn reachable(&self, roots: &[FormulaId]) -> Vec<FormulaId> {
+        let mut marked = vec![false; self.nodes.len()];
+        let mut stack: Vec<FormulaId> = Vec::new();
+        for &root in roots {
+            // Range-check here so the panic contract is at the API edge.
+            assert!(root.index() < self.nodes.len(), "foreign FormulaId");
+            stack.push(root);
+        }
+        while let Some(id) = stack.pop() {
+            if marked[id.index()] {
+                continue;
+            }
+            marked[id.index()] = true;
+            self.visit_children(id, &mut |c| stack.push(c));
+        }
+        marked
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| FormulaId(i as u32))
+            .collect()
+    }
+
     /// Reconstructs the exact [`Formula`] AST behind `id` (structural
     /// inverse of [`intern`](Self::intern); no smart-constructor
     /// simplification is applied).
@@ -280,6 +343,29 @@ mod tests {
             let id = arena.intern(&f);
             assert_eq!(arena.resolve(id), f);
         }
+    }
+
+    #[test]
+    fn reachable_is_postorder_and_restricted_to_roots() {
+        let mut arena = FormulaArena::new();
+        let shared = Formula::knows(Agent::new(0), p(0));
+        let a = arena.intern(&Formula::not(shared.clone()));
+        let _unrelated = arena.intern(&p(7));
+        let b = arena.intern(&Formula::and([shared, p(1)]));
+        let reach = arena.reachable(&[a, b]);
+        // Children precede parents.
+        for (pos, &id) in reach.iter().enumerate() {
+            arena.visit_children(id, &mut |c| {
+                assert!(reach[..pos].contains(&c), "child {c:?} after parent");
+            });
+        }
+        // The unrelated proposition is not visited.
+        assert!(!reach.contains(&_unrelated));
+        assert!(reach.contains(&a) && reach.contains(&b));
+        // p0, K p0, ¬K p0, p1, (K p0 ∧ p1)
+        assert_eq!(reach.len(), 5);
+        // Empty roots reach nothing.
+        assert!(arena.reachable(&[]).is_empty());
     }
 
     #[test]

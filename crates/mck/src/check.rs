@@ -13,8 +13,9 @@
 //! with bitsets in time `O(|φ| · (|S| + |→|) · iterations)`.
 
 use crate::graph::StateGraph;
-use kbp_kripke::{BitSet, EvalError};
-use kbp_logic::{AgentSet, Formula};
+use kbp_kripke::{BitSet, EvalCache, EvalEngine, EvalError, TemporalOps};
+use kbp_logic::{Formula, FormulaArena};
+use std::cell::RefCell;
 
 /// Existential-path helper constructors, via duality with the universal
 /// reading of the temporal operators.
@@ -110,23 +111,47 @@ impl CheckResult {
 #[derive(Debug)]
 pub struct Mck<'g> {
     graph: &'g StateGraph,
+    /// The checker's evaluation engine: one interning arena shared by
+    /// every `check` call on this value.
+    engine: RefCell<EvalEngine>,
+    /// Memoized satisfaction sets per interned subformula. Temporal
+    /// fixpoints computed by one `check` call are reused verbatim by
+    /// later calls that share subformulas.
+    cache: RefCell<EvalCache>,
 }
 
 impl<'g> Mck<'g> {
     /// Creates a checker over `graph`.
     #[must_use]
     pub fn new(graph: &'g StateGraph) -> Self {
-        Mck { graph }
+        Mck {
+            graph,
+            engine: RefCell::new(EvalEngine::new(FormulaArena::new())),
+            cache: RefCell::new(EvalCache::new()),
+        }
     }
 
     /// Checks `formula`, returning the satisfying state set.
+    ///
+    /// The formula is interned into the checker's arena and evaluated by
+    /// a postorder walk over its distinct subformulas; epistemic and
+    /// boolean kernels are shared with the solver, while the CTL
+    /// fixpoints (`AX`/`AF`/`AG`/`AU`) are supplied by this type's
+    /// [`TemporalOps`] implementation. Results are memoized across calls.
     ///
     /// # Errors
     ///
     /// Returns [`EvalError`] for out-of-range propositions/agents or empty
     /// group modalities.
     pub fn check(&self, formula: &Formula) -> Result<CheckResult, EvalError> {
-        let sat = self.sat_set(formula)?;
+        let id = self.engine.borrow_mut().intern(formula);
+        let engine = self.engine.borrow();
+        let mut cache = self.cache.borrow_mut();
+        engine.populate_temporal(self.graph.model(), &mut cache, &[id], self)?;
+        let sat = cache
+            .get(id)
+            .cloned()
+            .ok_or(EvalError::Internal("root missing after populate"))?;
         Ok(CheckResult {
             sat,
             initial: self.graph.initial_states().to_vec(),
@@ -148,130 +173,6 @@ impl<'g> Mck<'g> {
             }
         }
         out
-    }
-
-    fn sat_set(&self, formula: &Formula) -> Result<BitSet, EvalError> {
-        let n = self.graph.state_count();
-        let model = self.graph.model();
-        match formula {
-            Formula::True => Ok(BitSet::full(n)),
-            Formula::False => Ok(BitSet::new(n)),
-            Formula::Prop(p) => {
-                if p.index() >= model.prop_count() {
-                    return Err(EvalError::PropOutOfRange(*p));
-                }
-                Ok(model.prop_worlds(*p).clone())
-            }
-            Formula::Not(f) => Ok(self.sat_set(f)?.complemented()),
-            Formula::And(items) => {
-                let mut acc = BitSet::full(n);
-                for f in items {
-                    acc.intersect_with(&self.sat_set(f)?);
-                }
-                Ok(acc)
-            }
-            Formula::Or(items) => {
-                let mut acc = BitSet::new(n);
-                for f in items {
-                    acc.union_with(&self.sat_set(f)?);
-                }
-                Ok(acc)
-            }
-            Formula::Implies(a, b) => {
-                let mut out = self.sat_set(a)?.complemented();
-                out.union_with(&self.sat_set(b)?);
-                Ok(out)
-            }
-            Formula::Iff(a, b) => {
-                let sa = self.sat_set(a)?;
-                let sb = self.sat_set(b)?;
-                let mut both = sa.clone();
-                both.intersect_with(&sb);
-                let mut neither = sa.complemented();
-                neither.intersect_with(&sb.complemented());
-                both.union_with(&neither);
-                Ok(both)
-            }
-            Formula::Knows(agent, f) => {
-                if agent.index() >= model.agent_count() {
-                    return Err(EvalError::AgentOutOfRange(*agent));
-                }
-                let sat = self.sat_set(f)?;
-                model.knowing(*agent, &sat)
-            }
-            Formula::Everyone(g, f) => {
-                self.check_group(*g)?;
-                let sat = self.sat_set(f)?;
-                model.everyone_knowing(*g, &sat)
-            }
-            Formula::Common(g, f) => {
-                self.check_group(*g)?;
-                let sat = self.sat_set(f)?;
-                model.common_knowing(*g, &sat)
-            }
-            Formula::Distributed(g, f) => {
-                self.check_group(*g)?;
-                let sat = self.sat_set(f)?;
-                model.distributed_knowing(*g, &sat)
-            }
-            Formula::Next(f) => {
-                let sat = self.sat_set(f)?;
-                Ok(self.ax(&sat))
-            }
-            Formula::Eventually(f) => {
-                // AF φ: least fixpoint of Z = φ ∨ AX Z.
-                let sat = self.sat_set(f)?;
-                let mut z = sat.clone();
-                loop {
-                    let mut next = self.ax(&z);
-                    next.union_with(&sat);
-                    if next == z {
-                        return Ok(z);
-                    }
-                    z = next;
-                }
-            }
-            Formula::Always(f) => {
-                // AG φ: greatest fixpoint of Z = φ ∧ AX Z.
-                let sat = self.sat_set(f)?;
-                let mut z = sat.clone();
-                loop {
-                    let mut next = self.ax(&z);
-                    next.intersect_with(&sat);
-                    if next == z {
-                        return Ok(z);
-                    }
-                    z = next;
-                }
-            }
-            Formula::Until(a, b) => {
-                // A[a U b]: least fixpoint of Z = b ∨ (a ∧ AX Z).
-                let sa = self.sat_set(a)?;
-                let sb = self.sat_set(b)?;
-                let mut z = sb.clone();
-                loop {
-                    let mut next = self.ax(&z);
-                    next.intersect_with(&sa);
-                    next.union_with(&sb);
-                    if next == z {
-                        return Ok(z);
-                    }
-                    z = next;
-                }
-            }
-        }
-    }
-
-    fn check_group(&self, group: AgentSet) -> Result<(), EvalError> {
-        if group.is_empty() {
-            return Err(EvalError::EmptyGroup);
-        }
-        for a in group.iter() {
-            if a.index() >= self.graph.model().agent_count() {
-                return Err(EvalError::AgentOutOfRange(a));
-            }
-        }
-        Ok(())
     }
 
     /// A shortest counterexample for an invariant claim `G φ`: a path
@@ -351,6 +252,56 @@ impl<'g> Mck<'g> {
             }
         }
         None
+    }
+}
+
+/// Universal CTL readings of the temporal operators over the total
+/// transition relation, as bitset fixpoints:
+///
+/// * `X φ` = `AX φ`, directly from successor sets.
+/// * `F φ` = `AF φ`, least fixpoint of `Z = φ ∨ AX Z`.
+/// * `G φ` = `AG φ`, greatest fixpoint of `Z = φ ∧ AX Z`.
+/// * `φ U ψ` = `A[φ U ψ]`, least fixpoint of `Z = ψ ∨ (φ ∧ AX Z)`.
+impl TemporalOps for Mck<'_> {
+    fn next(&self, phi: &BitSet) -> BitSet {
+        self.ax(phi)
+    }
+
+    fn eventually(&self, phi: &BitSet) -> BitSet {
+        let mut z = phi.clone();
+        loop {
+            let mut next = self.ax(&z);
+            next.union_with(phi);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
+    fn always(&self, phi: &BitSet) -> BitSet {
+        let mut z = phi.clone();
+        loop {
+            let mut next = self.ax(&z);
+            next.intersect_with(phi);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
+    }
+
+    fn until(&self, hold: &BitSet, target: &BitSet) -> BitSet {
+        let mut z = target.clone();
+        loop {
+            let mut next = self.ax(&z);
+            next.intersect_with(hold);
+            next.union_with(target);
+            if next == z {
+                return z;
+            }
+            z = next;
+        }
     }
 }
 
@@ -498,6 +449,19 @@ mod tests {
         assert_eq!(path, vec![0, 1, 2, 3]);
         // A true invariant has no violation path.
         assert_eq!(m.violation_path(&Formula::True).unwrap(), None);
+    }
+
+    #[test]
+    fn memoized_rechecks_and_shared_subformulas_agree() {
+        let g = counter_graph();
+        let m = Mck::new(&g);
+        let af = Formula::eventually(p(0));
+        let first = m.check(&af).unwrap().satisfying().clone();
+        // Second check hits the memoized fixpoint.
+        assert_eq!(m.check(&af).unwrap().satisfying(), &first);
+        // A superformula sharing the AF subterm reuses its cached set.
+        let nested = Formula::always(af);
+        assert!(m.check(&nested).unwrap().holds_initially());
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! the paper's statement.
 
 use crate::graph::StateGraph;
-use kbp_kripke::{BitSet, EvalError};
-use kbp_logic::{AgentSet, Formula};
+use kbp_kripke::{BitSet, EvalCache, EvalEngine, EvalError, TemporalOps};
+use kbp_logic::{Formula, FormulaArena};
+use std::cell::RefCell;
 
 /// A CTLK model checker whose path quantifiers range over fair paths.
 ///
@@ -65,6 +66,14 @@ pub struct FairMck<'g> {
     fair_sets: Vec<BitSet>,
     /// States from which some fair path starts (`E_fair G true`).
     fair: BitSet,
+    /// The checker's evaluation engine: one interning arena shared by
+    /// every `check` call on this value. Kept separate from any plain
+    /// [`Mck`](crate::Mck) arena — the same subformula has *different*
+    /// satisfaction sets under plain and fair path quantification, so the
+    /// caches must never be shared.
+    engine: RefCell<EvalEngine>,
+    /// Memoized fair-semantics satisfaction sets per interned subformula.
+    cache: RefCell<EvalCache>,
 }
 
 impl<'g> FairMck<'g> {
@@ -77,6 +86,9 @@ impl<'g> FairMck<'g> {
     /// An empty constraint list is allowed and makes every (infinite)
     /// path fair — the checker then agrees with [`Mck`](crate::Mck).
     pub fn new(graph: &'g StateGraph, constraints: &[Formula]) -> Result<Self, EvalError> {
+        // Constraints are plain-CTL state sets: evaluate them with a
+        // *temporary* plain checker whose cache is dropped here, so no
+        // plain-semantics entry can leak into this checker's fair cache.
         let plain = crate::Mck::new(graph);
         let fair_sets: Vec<BitSet> = constraints
             .iter()
@@ -86,6 +98,8 @@ impl<'g> FairMck<'g> {
             graph,
             fair_sets,
             fair: BitSet::new(graph.state_count()),
+            engine: RefCell::new(EvalEngine::new(FormulaArena::new())),
+            cache: RefCell::new(EvalCache::new()),
         };
         this.fair = this.eg_fair(&BitSet::full(graph.state_count()));
         Ok(this)
@@ -165,127 +179,67 @@ impl<'g> FairMck<'g> {
     /// Checks `formula`, with temporal operators universally quantified
     /// over fair paths.
     ///
+    /// The formula is interned into the checker's arena and evaluated by
+    /// a postorder walk over its distinct subformulas; epistemic and
+    /// boolean kernels are shared with the plain checker, while the fair
+    /// temporal operators come from this type's [`TemporalOps`]
+    /// implementation. Results are memoized across calls (under fair
+    /// semantics only — this cache is never mixed with a plain one).
+    ///
     /// # Errors
     ///
     /// Returns [`EvalError`] for out-of-range propositions/agents or empty
     /// group modalities.
     pub fn check(&self, formula: &Formula) -> Result<crate::CheckResult, EvalError> {
-        let sat = self.sat_set(formula)?;
+        let id = self.engine.borrow_mut().intern(formula);
+        let engine = self.engine.borrow();
+        let mut cache = self.cache.borrow_mut();
+        engine.populate_temporal(self.graph.model(), &mut cache, &[id], self)?;
+        let sat = cache
+            .get(id)
+            .cloned()
+            .ok_or(EvalError::Internal("root missing after populate"))?;
         Ok(crate::CheckResult::from_parts(
             sat,
             self.graph.initial_states().to_vec(),
         ))
     }
+}
 
-    fn sat_set(&self, formula: &Formula) -> Result<BitSet, EvalError> {
-        let n = self.graph.state_count();
-        let model = self.graph.model();
-        match formula {
-            Formula::True => Ok(BitSet::full(n)),
-            Formula::False => Ok(BitSet::new(n)),
-            Formula::Prop(p) => {
-                if p.index() >= model.prop_count() {
-                    return Err(EvalError::PropOutOfRange(*p));
-                }
-                Ok(model.prop_worlds(*p).clone())
-            }
-            Formula::Not(f) => Ok(self.sat_set(f)?.complemented()),
-            Formula::And(items) => {
-                let mut acc = BitSet::full(n);
-                for f in items {
-                    acc.intersect_with(&self.sat_set(f)?);
-                }
-                Ok(acc)
-            }
-            Formula::Or(items) => {
-                let mut acc = BitSet::new(n);
-                for f in items {
-                    acc.union_with(&self.sat_set(f)?);
-                }
-                Ok(acc)
-            }
-            Formula::Implies(a, b) => {
-                let mut out = self.sat_set(a)?.complemented();
-                out.union_with(&self.sat_set(b)?);
-                Ok(out)
-            }
-            Formula::Iff(a, b) => {
-                let sa = self.sat_set(a)?;
-                let sb = self.sat_set(b)?;
-                let mut both = sa.clone();
-                both.intersect_with(&sb);
-                let mut neither = sa.complemented();
-                neither.intersect_with(&sb.complemented());
-                both.union_with(&neither);
-                Ok(both)
-            }
-            Formula::Knows(agent, f) => {
-                if agent.index() >= model.agent_count() {
-                    return Err(EvalError::AgentOutOfRange(*agent));
-                }
-                let sat = self.sat_set(f)?;
-                model.knowing(*agent, &sat)
-            }
-            Formula::Everyone(g, f) => {
-                self.check_group(*g)?;
-                let sat = self.sat_set(f)?;
-                model.everyone_knowing(*g, &sat)
-            }
-            Formula::Common(g, f) => {
-                self.check_group(*g)?;
-                let sat = self.sat_set(f)?;
-                model.common_knowing(*g, &sat)
-            }
-            Formula::Distributed(g, f) => {
-                self.check_group(*g)?;
-                let sat = self.sat_set(f)?;
-                model.distributed_knowing(*g, &sat)
-            }
-            Formula::Next(f) => {
-                // A_fair X φ = ¬ EX (fair ∧ ¬φ).
-                let mut bad = self.sat_set(f)?.complemented();
-                bad.intersect_with(&self.fair);
-                Ok(self.ex(&bad).complemented())
-            }
-            Formula::Eventually(f) => {
-                // A_fair F φ = ¬ E_fair G ¬φ.
-                let nphi = self.sat_set(f)?.complemented();
-                Ok(self.eg_fair(&nphi).complemented())
-            }
-            Formula::Always(f) => {
-                // A_fair G φ = ¬ E_fair F ¬φ.
-                let nphi = self.sat_set(f)?.complemented();
-                Ok(self.ef_fair(&nphi).complemented())
-            }
-            Formula::Until(a, b) => {
-                // A_fair[a U b] = ¬( E_fair[¬b U ¬a∧¬b] ∨ E_fair G ¬b ).
-                let sa = self.sat_set(a)?;
-                let sb = self.sat_set(b)?;
-                let nb = sb.complemented();
-                let mut na_nb = sa.complemented();
-                na_nb.intersect_with(&nb);
-                // E_fair[α U β] = E[α U (β ∧ fair)].
-                let mut target = na_nb;
-                target.intersect_with(&self.fair);
-                let e_until = self.eu(&nb, &target);
-                let eg_nb = self.eg_fair(&nb);
-                let mut bad = e_until;
-                bad.union_with(&eg_nb);
-                Ok(bad.complemented())
-            }
-        }
+/// Universal temporal operators over **fair** paths, by duality with the
+/// existential Emerson–Lei fixpoints:
+///
+/// * `X φ` = `A_fair X φ` = `¬EX (fair ∧ ¬φ)`.
+/// * `F φ` = `A_fair F φ` = `¬E_fair G ¬φ`.
+/// * `G φ` = `A_fair G φ` = `¬E_fair F ¬φ`.
+/// * `φ U ψ` = `A_fair[φ U ψ]` = `¬(E[¬ψ U ¬φ∧¬ψ∧fair] ∨ E_fair G ¬ψ)`.
+impl TemporalOps for FairMck<'_> {
+    fn next(&self, phi: &BitSet) -> BitSet {
+        let mut bad = phi.complemented();
+        bad.intersect_with(&self.fair);
+        self.ex(&bad).complemented()
     }
 
-    fn check_group(&self, group: AgentSet) -> Result<(), EvalError> {
-        if group.is_empty() {
-            return Err(EvalError::EmptyGroup);
-        }
-        for a in group.iter() {
-            if a.index() >= self.graph.model().agent_count() {
-                return Err(EvalError::AgentOutOfRange(a));
-            }
-        }
-        Ok(())
+    fn eventually(&self, phi: &BitSet) -> BitSet {
+        self.eg_fair(&phi.complemented()).complemented()
+    }
+
+    fn always(&self, phi: &BitSet) -> BitSet {
+        self.ef_fair(&phi.complemented()).complemented()
+    }
+
+    fn until(&self, hold: &BitSet, target: &BitSet) -> BitSet {
+        let nb = target.complemented();
+        let mut na_nb = hold.complemented();
+        na_nb.intersect_with(&nb);
+        // E_fair[α U β] = E[α U (β ∧ fair)].
+        let mut eu_target = na_nb;
+        eu_target.intersect_with(&self.fair);
+        let e_until = self.eu(&nb, &eu_target);
+        let eg_nb = self.eg_fair(&nb);
+        let mut bad = e_until;
+        bad.union_with(&eg_nb);
+        bad.complemented()
     }
 }
 

@@ -17,7 +17,7 @@
 
 use crate::system::{InterpretedSystem, Point};
 use kbp_kripke::{BitSet, EvalCache, EvalError};
-use kbp_logic::{AgentSet, Formula, FormulaArena, FormulaId, InternedNode};
+use kbp_logic::{Formula, FormulaArena, FormulaId, InternedNode};
 
 /// A compiled evaluation of one formula over all points of a system.
 ///
@@ -66,7 +66,10 @@ impl<'s> Evaluator<'s> {
     /// empty group modality. (Temporal operators are supported here, unlike
     /// on static models.)
     pub fn new(sys: &'s InterpretedSystem, formula: &Formula) -> Result<Self, EvalError> {
-        let sat = eval_layers(sys, formula)?;
+        let mut arena = FormulaArena::new();
+        let root = arena.intern(formula);
+        let mut sets = satisfying_layers(sys, &arena, &[root])?;
+        let sat = sets.swap_remove(0);
         Ok(Evaluator { sys, sat })
     }
 
@@ -152,196 +155,111 @@ fn all_children_in(
     out
 }
 
-fn check_group_sys(sys: &InterpretedSystem, group: AgentSet) -> Result<(), EvalError> {
-    if group.is_empty() {
-        return Err(EvalError::EmptyGroup);
-    }
-    for a in group.iter() {
-        if a.index() >= sys.agent_count() {
-            return Err(EvalError::AgentOutOfRange(a));
-        }
-    }
-    Ok(())
-}
-
-/// Evaluates `formula` on every layer by interning it into a
-/// [`FormulaArena`] and walking the arena in postorder: each *distinct*
-/// subformula is evaluated exactly once per layer, however often it
-/// occurs syntactically, and the group partitions behind `C_G` / `D_G`
-/// are memoized per layer in an [`EvalCache`] shared by all subformulas.
-fn eval_layers(sys: &InterpretedSystem, formula: &Formula) -> Result<Vec<BitSet>, EvalError> {
-    let mut arena = FormulaArena::new();
-    let root = arena.intern(formula);
+/// Evaluates a batch of interned `roots` on every layer of `sys`,
+/// returning `result[r][t]` = nodes of layer `t` satisfying `roots[r]`.
+///
+/// This is a thin driver over the shared evaluation kernel of
+/// `kbp-kripke`: the reachable part of `arena` is walked once in
+/// postorder; every non-temporal node is evaluated per layer through that
+/// layer's [`EvalCache`] (so each *distinct* subformula costs one
+/// evaluation per layer, and group partitions are memoized), while
+/// temporal nodes are computed here by backward induction over the layers
+/// — with universal path quantification and bounded-run semantics — and
+/// inserted into the per-layer caches so enclosing formulas pick them up
+/// transparently.
+///
+/// Evaluating all guards of a program through one arena is how the solver
+/// and enumerator share subformula work across clauses; pass one root for
+/// the single-formula case (see [`Evaluator`]).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for out-of-range propositions or agents, or an
+/// empty group modality.
+///
+/// # Panics
+///
+/// Panics if a root id was not issued by `arena`.
+pub fn satisfying_layers(
+    sys: &InterpretedSystem,
+    arena: &FormulaArena,
+    roots: &[FormulaId],
+) -> Result<Vec<Vec<BitSet>>, EvalError> {
     let layers = sys.layer_count();
-    let full = |b: bool| -> Vec<BitSet> {
-        (0..layers)
-            .map(|t| {
-                if b {
-                    BitSet::full(sys.layer(t).len())
-                } else {
-                    BitSet::new(sys.layer(t).len())
-                }
+    let mut caches: Vec<EvalCache> = (0..layers).map(|_| EvalCache::new()).collect();
+    // Per-layer sets of one already-evaluated child, cloned out of the
+    // caches for the backward inductions.
+    let child_sets = |caches: &[EvalCache], f: FormulaId| -> Result<Vec<BitSet>, EvalError> {
+        caches
+            .iter()
+            .map(|c| {
+                c.get(f)
+                    .cloned()
+                    .ok_or(EvalError::Internal("postorder child missing from cache"))
             })
             .collect()
     };
-    // memo[id] = per-layer satisfaction sets of subformula `id`; arena ids
-    // are postordered, so a forward scan sees children before parents.
-    let mut memo: Vec<Vec<BitSet>> = Vec::with_capacity(arena.len());
-    let mut caches: Vec<EvalCache> = (0..layers).map(|_| EvalCache::new()).collect();
-    for id in arena.ids() {
-        let get = |f: &FormulaId| &memo[f.index()];
-        let sat: Vec<BitSet> = match arena.node(id) {
-            InternedNode::True => full(true),
-            InternedNode::False => full(false),
-            InternedNode::Prop(p) => {
-                if p.index() >= sys.layer(0).model().prop_count() {
-                    return Err(EvalError::PropOutOfRange(*p));
-                }
-                (0..layers)
-                    .map(|t| sys.layer(t).model().prop_worlds(*p).clone())
-                    .collect()
-            }
-            InternedNode::Not(f) => get(f)
-                .iter()
-                .map(|s| {
-                    let mut out = s.clone();
-                    out.complement();
-                    out
-                })
-                .collect(),
-            InternedNode::And(items) => {
-                let mut acc = full(true);
-                for f in items {
-                    for (a, s) in acc.iter_mut().zip(get(f)) {
-                        a.intersect_with(s);
-                    }
-                }
-                acc
-            }
-            InternedNode::Or(items) => {
-                let mut acc = full(false);
-                for f in items {
-                    for (a, s) in acc.iter_mut().zip(get(f)) {
-                        a.union_with(s);
-                    }
-                }
-                acc
-            }
-            InternedNode::Implies(a, b) => get(a)
-                .iter()
-                .zip(get(b))
-                .map(|(sa, sb)| {
-                    let mut out = sa.clone();
-                    out.complement();
-                    out.union_with(sb);
-                    out
-                })
-                .collect(),
-            InternedNode::Iff(a, b) => get(a)
-                .iter()
-                .zip(get(b))
-                .map(|(sa, sb)| {
-                    // a ↔ b is ¬(a ⊕ b).
-                    let mut out = sa.clone();
-                    out.xor_with(sb);
-                    out.complement();
-                    out
-                })
-                .collect(),
-            InternedNode::Knows(agent, f) => {
-                if agent.index() >= sys.agent_count() {
-                    return Err(EvalError::AgentOutOfRange(*agent));
-                }
-                let sat = get(f);
-                (0..layers)
-                    .map(|t| sys.layer(t).model().knowing(*agent, &sat[t]))
-                    .collect::<Result<Vec<_>, EvalError>>()?
-            }
-            InternedNode::Everyone(group, f) => {
-                check_group_sys(sys, *group)?;
-                let sat = get(f);
-                (0..layers)
-                    .map(|t| sys.layer(t).model().everyone_knowing(*group, &sat[t]))
-                    .collect::<Result<Vec<_>, EvalError>>()?
-            }
-            InternedNode::Common(group, f) => {
-                check_group_sys(sys, *group)?;
-                let sat = get(f);
-                (0..layers)
-                    .map(|t| {
-                        sys.layer(t)
-                            .model()
-                            .common_knowing_cached(&mut caches[t], *group, &sat[t])
-                    })
-                    .collect::<Result<Vec<_>, EvalError>>()?
-            }
-            InternedNode::Distributed(group, f) => {
-                check_group_sys(sys, *group)?;
-                let sat = get(f);
-                (0..layers)
-                    .map(|t| {
-                        sys.layer(t).model().distributed_knowing_cached(
-                            &mut caches[t],
-                            *group,
-                            &sat[t],
-                        )
-                    })
-                    .collect::<Result<Vec<_>, EvalError>>()?
-            }
+    for id in arena.reachable(roots) {
+        match arena.node(id) {
             InternedNode::Next(f) => {
-                let sat = get(f);
-                (0..layers)
-                    .map(|t| {
-                        let next = if t + 1 < layers {
-                            Some(&sat[t + 1])
-                        } else {
-                            None
-                        };
-                        // Strong next: false at the horizon.
-                        all_children_in(sys, t, next, false)
-                    })
-                    .collect()
+                let sat = child_sets(&caches, *f)?;
+                for (t, cache) in caches.iter_mut().enumerate() {
+                    let next = if t + 1 < layers {
+                        Some(&sat[t + 1])
+                    } else {
+                        None
+                    };
+                    // Strong next: false at the horizon.
+                    cache.insert(id, all_children_in(sys, t, next, false))?;
+                }
             }
             InternedNode::Always(f) => {
-                let sat = get(f);
-                let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+                let sat = child_sets(&caches, *f)?;
+                let mut next: Option<BitSet> = None;
                 for t in (0..layers).rev() {
-                    let next = out.get(t + 1);
-                    let mut g = all_children_in(sys, t, next, true);
+                    let mut g = all_children_in(sys, t, next.as_ref(), true);
                     g.intersect_with(&sat[t]);
-                    out[t] = g;
+                    caches[t].insert(id, g.clone())?;
+                    next = Some(g);
                 }
-                out
             }
             InternedNode::Eventually(f) => {
-                let sat = get(f);
-                let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+                let sat = child_sets(&caches, *f)?;
+                let mut next: Option<BitSet> = None;
                 for t in (0..layers).rev() {
-                    let next = out.get(t + 1);
                     // φ now, or all futures reach it (no children ⇒ only "now").
-                    let mut fset = all_children_in(sys, t, next, false);
+                    let mut fset = all_children_in(sys, t, next.as_ref(), false);
                     fset.union_with(&sat[t]);
-                    out[t] = fset;
+                    caches[t].insert(id, fset.clone())?;
+                    next = Some(fset);
                 }
-                out
             }
             InternedNode::Until(a, b) => {
-                let sa = get(a);
-                let sb = get(b);
-                let mut out: Vec<BitSet> = vec![BitSet::new(0); layers];
+                let sa = child_sets(&caches, *a)?;
+                let sb = child_sets(&caches, *b)?;
+                let mut next: Option<BitSet> = None;
                 for t in (0..layers).rev() {
-                    let next = out.get(t + 1);
-                    let mut u = all_children_in(sys, t, next, false);
+                    let mut u = all_children_in(sys, t, next.as_ref(), false);
                     u.intersect_with(&sa[t]);
                     u.union_with(&sb[t]);
-                    out[t] = u;
+                    caches[t].insert(id, u.clone())?;
+                    next = Some(u);
                 }
-                out
             }
-        };
-        memo.push(sat);
+            _ => {
+                // Static node: the kernel evaluates it against each
+                // layer's model; children are already cached, so the
+                // recursion inside is at most one level deep.
+                for (t, cache) in caches.iter_mut().enumerate() {
+                    sys.layer(t).model().satisfying_cached(cache, arena, id)?;
+                }
+            }
+        }
     }
-    Ok(memo.swap_remove(root.index()))
+    roots
+        .iter()
+        .map(|&r| child_sets(&caches, r))
+        .collect::<Result<Vec<_>, EvalError>>()
 }
 
 #[cfg(test)]
@@ -351,7 +269,7 @@ mod tests {
     use crate::protocol::LocalView;
     use crate::state::{GlobalState, Obs};
     use crate::system::{generate, Recall};
-    use kbp_logic::{Agent, Vocabulary};
+    use kbp_logic::{Agent, AgentSet, Vocabulary};
 
     /// Counter 0..=3, saturating; `done` at 3; agent sees the counter.
     fn counter_context() -> FnContext {

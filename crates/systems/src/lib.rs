@@ -73,11 +73,11 @@ mod system;
 pub use context::{
     ActionId, Context, ContextBuilder, ContextError, EnvActionId, FnContext, JointAction,
 };
-pub use eval::Evaluator;
+pub use eval::{satisfying_layers, Evaluator};
 pub use explain::KnowledgeExplanation;
 pub use protocol::{FullProtocol, LocalView, MapProtocol, ProtocolFn};
 pub use runs::Run;
-pub use stabilize::LayerSignature;
+pub use stabilize::{layer_renaming, LayerSignature};
 pub use state::{GlobalState, LocalId, LocalTable, Obs, StateId, StateTable};
 pub use system::{
     generate, generate_until_stable, GenerateError, InterpretedSystem, Layer, Node, Point, Recall,

@@ -1,0 +1,401 @@
+//! Cross-check of the arena-based model checker against the pre-refactor
+//! recursive semantics.
+//!
+//! [`Mck`] and [`FairMck`] used to evaluate formulas by structural
+//! recursion over the [`Formula`] tree. They now intern into a
+//! [`kbp_kripke::EvalEngine`] arena and evaluate by postorder walk with
+//! memoized temporal fixpoints. This file keeps the old recursive walkers
+//! alive as *oracles* — transliterations of the pre-refactor `sat_set`
+//! code over the public [`StateGraph`] API — and checks, on random
+//! contexts and random CTLK formulas, that the new path computes the same
+//! satisfaction sets bit for bit, including when one checker instance is
+//! reused across many formulas (the memoization configuration).
+
+use kbp_kripke::{BitSet, EvalError};
+use kbp_logic::random::{random_formula, FormulaConfig, SplitMix64};
+use kbp_logic::{AgentSet, Formula};
+use kbp_mck::{FairMck, Mck, StateGraph};
+use kbp_systems::random::{random_context, RandomContextConfig};
+use kbp_systems::{ActionId, LocalView};
+use proptest::prelude::*;
+
+const AGENTS: usize = 2;
+const PROPS: usize = 3;
+
+fn graph_from_seed(seed: u64) -> StateGraph {
+    let cfg = RandomContextConfig {
+        states: 10,
+        agents: AGENTS,
+        actions: 2,
+        env_moves: 2,
+        initial: 2,
+        obs_classes: 3,
+        props: PROPS,
+    };
+    let ctx = random_context(seed, &cfg);
+    // A deterministic observation-driven protocol, so distinct seeds
+    // explore structurally different graphs.
+    let proto = |v: &LocalView<'_>| {
+        let last = v.history.last().map_or(0, |o| o.0);
+        vec![ActionId(u32::try_from(last % 2).unwrap_or(0))]
+    };
+    StateGraph::explore(&ctx, &proto, 400).expect("exploration within cap")
+}
+
+fn formula_from_seed(seed: u64) -> Formula {
+    let cfg = FormulaConfig {
+        props: PROPS,
+        agents: AGENTS,
+        max_depth: 5,
+        temporal: true,
+        groups: true,
+    };
+    random_formula(&mut SplitMix64::new(seed), &cfg)
+}
+
+/// States all of whose successors are in `target` (`AX target`).
+fn ax(graph: &StateGraph, target: &BitSet) -> BitSet {
+    let n = graph.state_count();
+    let mut out = BitSet::new(n);
+    for s in 0..n {
+        if graph
+            .successors(s)
+            .iter()
+            .all(|&t| target.contains(t as usize))
+        {
+            out.insert(s);
+        }
+    }
+    out
+}
+
+fn check_group(graph: &StateGraph, group: AgentSet) -> Result<(), EvalError> {
+    if group.is_empty() {
+        return Err(EvalError::EmptyGroup);
+    }
+    for a in group.iter() {
+        if a.index() >= graph.model().agent_count() {
+            return Err(EvalError::AgentOutOfRange(a));
+        }
+    }
+    Ok(())
+}
+
+/// The pre-refactor `Mck::sat_set`: plain recursive descent over the
+/// formula tree, universal CTL reading of the temporal operators.
+fn oracle_sat(graph: &StateGraph, formula: &Formula) -> Result<BitSet, EvalError> {
+    let n = graph.state_count();
+    let model = graph.model();
+    match formula {
+        Formula::True => Ok(BitSet::full(n)),
+        Formula::False => Ok(BitSet::new(n)),
+        Formula::Prop(p) => {
+            if p.index() >= model.prop_count() {
+                return Err(EvalError::PropOutOfRange(*p));
+            }
+            Ok(model.prop_worlds(*p).clone())
+        }
+        Formula::Not(f) => Ok(oracle_sat(graph, f)?.complemented()),
+        Formula::And(items) => {
+            let mut acc = BitSet::full(n);
+            for f in items {
+                acc.intersect_with(&oracle_sat(graph, f)?);
+            }
+            Ok(acc)
+        }
+        Formula::Or(items) => {
+            let mut acc = BitSet::new(n);
+            for f in items {
+                acc.union_with(&oracle_sat(graph, f)?);
+            }
+            Ok(acc)
+        }
+        Formula::Implies(a, b) => {
+            let mut out = oracle_sat(graph, a)?.complemented();
+            out.union_with(&oracle_sat(graph, b)?);
+            Ok(out)
+        }
+        Formula::Iff(a, b) => {
+            let sa = oracle_sat(graph, a)?;
+            let sb = oracle_sat(graph, b)?;
+            let mut both = sa.clone();
+            both.intersect_with(&sb);
+            let mut neither = sa.complemented();
+            neither.intersect_with(&sb.complemented());
+            both.union_with(&neither);
+            Ok(both)
+        }
+        Formula::Knows(agent, f) => {
+            if agent.index() >= model.agent_count() {
+                return Err(EvalError::AgentOutOfRange(*agent));
+            }
+            let sat = oracle_sat(graph, f)?;
+            model.knowing(*agent, &sat)
+        }
+        Formula::Everyone(g, f) => {
+            check_group(graph, *g)?;
+            let sat = oracle_sat(graph, f)?;
+            model.everyone_knowing(*g, &sat)
+        }
+        Formula::Common(g, f) => {
+            check_group(graph, *g)?;
+            let sat = oracle_sat(graph, f)?;
+            model.common_knowing(*g, &sat)
+        }
+        Formula::Distributed(g, f) => {
+            check_group(graph, *g)?;
+            let sat = oracle_sat(graph, f)?;
+            model.distributed_knowing(*g, &sat)
+        }
+        Formula::Next(f) => {
+            let sat = oracle_sat(graph, f)?;
+            Ok(ax(graph, &sat))
+        }
+        Formula::Eventually(f) => {
+            // AF φ: least fixpoint of Z = φ ∨ AX Z.
+            let sat = oracle_sat(graph, f)?;
+            let mut z = sat.clone();
+            loop {
+                let mut next = ax(graph, &z);
+                next.union_with(&sat);
+                if next == z {
+                    return Ok(z);
+                }
+                z = next;
+            }
+        }
+        Formula::Always(f) => {
+            // AG φ: greatest fixpoint of Z = φ ∧ AX Z.
+            let sat = oracle_sat(graph, f)?;
+            let mut z = sat.clone();
+            loop {
+                let mut next = ax(graph, &z);
+                next.intersect_with(&sat);
+                if next == z {
+                    return Ok(z);
+                }
+                z = next;
+            }
+        }
+        Formula::Until(a, b) => {
+            // A[a U b]: least fixpoint of Z = b ∨ (a ∧ AX Z).
+            let sa = oracle_sat(graph, a)?;
+            let sb = oracle_sat(graph, b)?;
+            let mut z = sb.clone();
+            loop {
+                let mut next = ax(graph, &z);
+                next.intersect_with(&sa);
+                next.union_with(&sb);
+                if next == z {
+                    return Ok(z);
+                }
+                z = next;
+            }
+        }
+    }
+}
+
+/// States with a successor in `target` (`EX target`).
+fn ex(graph: &StateGraph, target: &BitSet) -> BitSet {
+    let n = graph.state_count();
+    let mut out = BitSet::new(n);
+    for s in 0..n {
+        if graph
+            .successors(s)
+            .iter()
+            .any(|&t| target.contains(t as usize))
+        {
+            out.insert(s);
+        }
+    }
+    out
+}
+
+/// Existential until `E[hold U target]` (least fixpoint).
+fn eu(graph: &StateGraph, hold: &BitSet, target: &BitSet) -> BitSet {
+    let mut z = target.clone();
+    loop {
+        let mut next = ex(graph, &z);
+        next.intersect_with(hold);
+        next.union_with(target);
+        if next == z {
+            return z;
+        }
+        z = next;
+    }
+}
+
+/// Emerson–Lei `E_fair G φ` over the given fairness sets.
+fn eg_fair(graph: &StateGraph, fair_sets: &[BitSet], phi: &BitSet) -> BitSet {
+    let mut z = phi.clone();
+    loop {
+        let mut next = z.clone();
+        if fair_sets.is_empty() {
+            let mut step = ex(graph, &z);
+            step.intersect_with(phi);
+            next = step;
+        } else {
+            for f in fair_sets {
+                let mut zf = z.clone();
+                zf.intersect_with(f);
+                let reach = eu(graph, phi, &zf);
+                let mut step = ex(graph, &reach);
+                step.intersect_with(phi);
+                next.intersect_with(&step);
+            }
+        }
+        if next == z {
+            return z;
+        }
+        z = next;
+    }
+}
+
+/// The pre-refactor `FairMck::sat_set`: recursive descent with the
+/// universal operators dualized through the Emerson–Lei fixpoints.
+fn oracle_sat_fair(
+    graph: &StateGraph,
+    fair_sets: &[BitSet],
+    fair: &BitSet,
+    formula: &Formula,
+) -> Result<BitSet, EvalError> {
+    let rec = |f: &Formula| oracle_sat_fair(graph, fair_sets, fair, f);
+    match formula {
+        Formula::Next(f) => {
+            // A_fair X φ = ¬ EX (fair ∧ ¬φ).
+            let mut bad = rec(f)?.complemented();
+            bad.intersect_with(fair);
+            Ok(ex(graph, &bad).complemented())
+        }
+        Formula::Eventually(f) => {
+            // A_fair F φ = ¬ E_fair G ¬φ.
+            let nphi = rec(f)?.complemented();
+            Ok(eg_fair(graph, fair_sets, &nphi).complemented())
+        }
+        Formula::Always(f) => {
+            // A_fair G φ = ¬ E_fair F ¬φ = ¬ E[true U (¬φ ∧ fair)].
+            let mut target = rec(f)?.complemented();
+            target.intersect_with(fair);
+            let full = BitSet::full(graph.state_count());
+            Ok(eu(graph, &full, &target).complemented())
+        }
+        Formula::Until(a, b) => {
+            // A_fair[a U b] = ¬( E[¬b U ¬a∧¬b∧fair] ∨ E_fair G ¬b ).
+            let sa = rec(a)?;
+            let sb = rec(b)?;
+            let nb = sb.complemented();
+            let mut target = sa.complemented();
+            target.intersect_with(&nb);
+            target.intersect_with(fair);
+            let mut bad = eu(graph, &nb, &target);
+            bad.union_with(&eg_fair(graph, fair_sets, &nb));
+            Ok(bad.complemented())
+        }
+        // Boolean and epistemic connectives are fairness-independent;
+        // recurse here so nested temporal operators stay fair.
+        Formula::Not(f) => Ok(rec(f)?.complemented()),
+        Formula::And(items) => {
+            let mut acc = BitSet::full(graph.state_count());
+            for f in items {
+                acc.intersect_with(&rec(f)?);
+            }
+            Ok(acc)
+        }
+        Formula::Or(items) => {
+            let mut acc = BitSet::new(graph.state_count());
+            for f in items {
+                acc.union_with(&rec(f)?);
+            }
+            Ok(acc)
+        }
+        Formula::Implies(a, b) => {
+            let mut out = rec(a)?.complemented();
+            out.union_with(&rec(b)?);
+            Ok(out)
+        }
+        Formula::Iff(a, b) => {
+            let sa = rec(a)?;
+            let sb = rec(b)?;
+            let mut both = sa.clone();
+            both.intersect_with(&sb);
+            let mut neither = sa.complemented();
+            neither.intersect_with(&sb.complemented());
+            both.union_with(&neither);
+            Ok(both)
+        }
+        Formula::Knows(agent, f) => {
+            let sat = rec(f)?;
+            graph.model().knowing(*agent, &sat)
+        }
+        Formula::Everyone(g, f) => {
+            check_group(graph, *g)?;
+            let sat = rec(f)?;
+            graph.model().everyone_knowing(*g, &sat)
+        }
+        Formula::Common(g, f) => {
+            check_group(graph, *g)?;
+            let sat = rec(f)?;
+            graph.model().common_knowing(*g, &sat)
+        }
+        Formula::Distributed(g, f) => {
+            check_group(graph, *g)?;
+            let sat = rec(f)?;
+            graph.model().distributed_knowing(*g, &sat)
+        }
+        // Leaves are fairness-independent: delegate to the plain oracle.
+        _ => oracle_sat(graph, formula),
+    }
+}
+
+proptest! {
+    /// Arena-based `Mck::check` ≡ the old recursive walker, formula by
+    /// formula on random graphs.
+    #[test]
+    fn mck_matches_recursive_oracle(gseed in any::<u64>(), fseed in any::<u64>()) {
+        let graph = graph_from_seed(gseed);
+        let phi = formula_from_seed(fseed);
+        let expected = oracle_sat(&graph, &phi).unwrap();
+        let got = Mck::new(&graph).check(&phi).unwrap();
+        prop_assert_eq!(&expected, got.satisfying(), "mck diverged on {}", phi);
+    }
+
+    /// One checker instance reused across a batch of formulas — the
+    /// memoizing configuration — still agrees with independent oracle
+    /// runs on every formula.
+    #[test]
+    fn memoized_mck_matches_oracle_across_formulas(
+        gseed in any::<u64>(),
+        fseeds in proptest::collection::vec(any::<u64>(), 2..6),
+    ) {
+        let graph = graph_from_seed(gseed);
+        let mck = Mck::new(&graph);
+        for &fs in &fseeds {
+            let phi = formula_from_seed(fs);
+            let expected = oracle_sat(&graph, &phi).unwrap();
+            let got = mck.check(&phi).unwrap();
+            prop_assert_eq!(&expected, got.satisfying(), "memoized mck diverged on {}", phi);
+        }
+    }
+
+    /// Arena-based `FairMck::check` ≡ the old recursive fair walker,
+    /// under a random single-prop fairness constraint.
+    #[test]
+    fn fair_mck_matches_recursive_oracle(
+        gseed in any::<u64>(),
+        fseed in any::<u64>(),
+        cprop in 0u32..(PROPS as u32),
+    ) {
+        let graph = graph_from_seed(gseed);
+        let constraint = Formula::prop(kbp_logic::PropId::new(cprop));
+        let fair_sets = vec![oracle_sat(&graph, &constraint).unwrap()];
+        let fair = eg_fair(&graph, &fair_sets, &BitSet::full(graph.state_count()));
+
+        let checker = FairMck::new(&graph, &[constraint]).unwrap();
+        prop_assert_eq!(&fair, checker.fair_states());
+
+        let phi = formula_from_seed(fseed);
+        let expected = oracle_sat_fair(&graph, &fair_sets, &fair, &phi).unwrap();
+        let got = checker.check(&phi).unwrap();
+        prop_assert_eq!(&expected, got.satisfying(), "fair mck diverged on {}", phi);
+    }
+}

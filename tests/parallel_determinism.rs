@@ -1,0 +1,149 @@
+//! Determinism of the parallel evaluation engine and of cross-layer
+//! carry-forward.
+//!
+//! The solver's per-layer cache fill may shard guard components across
+//! worker threads (`SyncSolver::eval_threads` / `KBP_EVAL_THREADS`), and
+//! may map satisfaction sets through a verified layer isomorphism instead
+//! of re-evaluating (`SyncSolver::carry_forward`). Neither knob is
+//! allowed to change *anything* observable: on every scenario in
+//! `kbp-scenarios`, the solution — protocol, stabilization point, stats,
+//! per-layer breakdown — must be bit-identical at 1 thread, 2 threads,
+//! and whatever `std::thread::available_parallelism` reports, with
+//! carry-forward on or off (stats count clause lookups, not physical
+//! evaluations, precisely so budget semantics stay deterministic too).
+
+use kbp_core::{Kbp, SyncSolver};
+use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
+use kbp_scenarios::coordinated_attack::CoordinatedAttack;
+use kbp_scenarios::muddy_children::MuddyChildren;
+use kbp_scenarios::robot::Robot;
+use kbp_scenarios::sequence_transmission::{SequenceTransmission, Tagging};
+use kbp_systems::{FnContext, Recall};
+
+/// Every dynamic scenario the crate ships, with a solving horizon that
+/// the seed suite already exercises.
+fn scenarios() -> Vec<(&'static str, FnContext, Kbp, usize, Recall)> {
+    let mc = MuddyChildren::new(3);
+    let bt = BitTransmission::new(Channel::Lossy);
+    let st = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+    let ro = Robot::new(7, 3, 5);
+    let ca = CoordinatedAttack::new(Channel::Lossy);
+    vec![
+        ("muddy_children", mc.context(), mc.kbp(), 4, Recall::Perfect),
+        (
+            "bit_transmission",
+            bt.context(),
+            bt.kbp(),
+            5,
+            Recall::Perfect,
+        ),
+        // Observational recall stabilizes the layers, so this entry
+        // exercises the carry-forward fast path inside the matrix.
+        (
+            "bit_transmission_obs",
+            bt.context(),
+            bt.kbp(),
+            6,
+            Recall::Observational,
+        ),
+        (
+            "sequence_transmission",
+            st.context(),
+            st.kbp(),
+            6,
+            Recall::Perfect,
+        ),
+        ("robot", ro.context(), ro.kbp(), 5, Recall::Perfect),
+        (
+            "coordinated_attack",
+            ca.context(),
+            ca.kbp(),
+            4,
+            Recall::Perfect,
+        ),
+    ]
+}
+
+fn thread_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut counts = vec![1, 2, avail];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+#[test]
+fn solutions_are_identical_across_thread_counts_and_carry_forward() {
+    for (name, ctx, kbp, horizon, recall) in scenarios() {
+        // Reference: sequential fill, carry-forward enabled (the default).
+        let reference = SyncSolver::new(&ctx, &kbp)
+            .horizon(horizon)
+            .recall(recall)
+            .eval_threads(1)
+            .solve()
+            .unwrap_or_else(|e| panic!("{name}: reference solve failed: {e}"));
+
+        for threads in thread_counts() {
+            for carry in [true, false] {
+                let solution = SyncSolver::new(&ctx, &kbp)
+                    .horizon(horizon)
+                    .recall(recall)
+                    .eval_threads(threads)
+                    .carry_forward(carry)
+                    .solve()
+                    .unwrap_or_else(|e| {
+                        panic!("{name}: solve failed at {threads} threads, carry={carry}: {e}")
+                    });
+                assert_eq!(
+                    reference.protocol(),
+                    solution.protocol(),
+                    "{name}: protocol diverged at {threads} threads, carry={carry}"
+                );
+                assert_eq!(
+                    reference.stabilized(),
+                    solution.stabilized(),
+                    "{name}: stabilization diverged at {threads} threads, carry={carry}"
+                );
+                assert_eq!(
+                    reference.per_layer(),
+                    solution.per_layer(),
+                    "{name}: per-layer stats diverged at {threads} threads, carry={carry}"
+                );
+                // Stats are clause-lookup counts, independent of sharding;
+                // only the carried-layer counter may (and should) differ
+                // when carry-forward is disabled.
+                let mut expected = reference.stats();
+                let got = solution.stats();
+                if !carry {
+                    assert_eq!(got.layers_carried, 0, "{name}: carry disabled but counted");
+                    expected.layers_carried = 0;
+                }
+                assert_eq!(
+                    expected, got,
+                    "{name}: stats diverged at {threads} threads, carry={carry}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn carried_layers_actually_occur_somewhere() {
+    // The carry-forward path must be exercised by at least one scenario —
+    // otherwise the equality assertions above are vacuous for it. Under
+    // observational recall the bit-transmission layers stop growing and
+    // become isomorphic, so later layers should be carried.
+    let bt = BitTransmission::new(Channel::Lossy);
+    let ctx = bt.context();
+    let kbp = bt.kbp();
+    let solution = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .recall(Recall::Observational)
+        .solve()
+        .expect("bit transmission solves");
+    assert!(
+        solution.stats().layers_carried > 0,
+        "expected at least one carried layer, got stats {:?}",
+        solution.stats()
+    );
+}
