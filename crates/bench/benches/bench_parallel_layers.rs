@@ -196,6 +196,9 @@ fn bench_solver_carry(c: &mut Criterion, rows: &mut Vec<Vec<String>>) {
             .horizon(12)
             .recall(Recall::Observational)
             .carry_forward(carry)
+            // Opt out of the width gate: this row measures the carry
+            // machinery itself on deliberately tiny layers (E14).
+            .carry_threshold(0)
             .solve()
             .expect("solves")
     };

@@ -266,7 +266,7 @@ impl<'a> Enumerator<'a> {
         // run: every guard of every program is interned once, and both the
         // layer-by-layer pruning and the end-of-horizon verification
         // evaluate against the same interned ids.
-        let mut engine = EvalEngine::new(FormulaArena::new());
+        let mut engine = EvalEngine::from_env(FormulaArena::new()).map_err(SolveError::Config)?;
         let mut full_ids: Vec<Vec<FormulaId>> = Vec::new();
         let mut past_ids: Vec<Vec<Option<FormulaId>>> = Vec::new();
         for program in self.kbp.programs() {

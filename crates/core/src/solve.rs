@@ -18,7 +18,7 @@
 
 use crate::budget::{Budget, BudgetExhausted, LayerStats, Resource};
 use crate::program::{Kbp, KbpError};
-use kbp_kripke::{BitSet, EvalCache, EvalEngine, EvalError};
+use kbp_kripke::{BitSet, EvalCache, EvalCacheSnapshot, EvalEngine, EvalError, ThreadConfigError};
 use kbp_logic::{Agent, FormulaArena, FormulaId};
 use kbp_systems::{
     layer_renaming, Context, GenerateError, InterpretedSystem, MapProtocol, Recall, StepChoices,
@@ -73,6 +73,9 @@ pub enum SolveError {
     /// partial result to return; use
     /// [`SyncSolver::solve_budgeted`] to recover the work done so far).
     Budget(BudgetExhausted),
+    /// A thread-count environment variable (`KBP_EVAL_THREADS`) held a
+    /// value that cannot mean a worker-pool size.
+    Config(ThreadConfigError),
 }
 
 impl fmt::Display for SolveError {
@@ -107,6 +110,7 @@ impl fmt::Display for SolveError {
                  length-{history_len} history (internal error)"
             ),
             SolveError::Budget(e) => write!(f, "{e}"),
+            SolveError::Config(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
@@ -117,6 +121,7 @@ impl Error for SolveError {
             SolveError::Kbp(e) => Some(e),
             SolveError::Generate(e) => Some(e),
             SolveError::Eval(e) => Some(e),
+            SolveError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -159,6 +164,11 @@ pub struct SolveStats {
     /// previous layer through a verified isomorphism instead of being
     /// recomputed (see `kbp_systems::layer_renaming`).
     pub layers_carried: usize,
+    /// Layers whose satisfaction sets were restored from an
+    /// [`EngineSession`]'s cross-request snapshot instead of being
+    /// evaluated (warm artifact-cache hits; always `0` for solves without
+    /// a session).
+    pub layers_restored: usize,
 }
 
 /// The unique implementation of a past-determined KBP, as constructed by
@@ -317,6 +327,100 @@ impl SolveOutcome {
     }
 }
 
+/// Default minimum layer width (points in the frontier) before the
+/// solver attempts the `layer_renaming` carry-forward certificate.
+///
+/// On very small layers the 1-WL proposal plus full isomorphism
+/// verification costs about as much as simply refilling the cache
+/// (EXPERIMENTS.md E14, bit-transmission row), so carry-forward below
+/// this width is a net loss; from this width up the renaming is
+/// measurably cheaper than re-evaluation. The threshold is a pure
+/// function of the layer, so `SolveStats::layers_carried` stays
+/// deterministic for a given configuration.
+pub const DEFAULT_CARRY_THRESHOLD: usize = 32;
+
+/// A reusable cross-request solving session: the interned-arena
+/// [`EvalEngine`] plus per-layer [`EvalCacheSnapshot`]s from earlier
+/// solves, rehydrated by
+/// [`SyncSolver::solve_budgeted_with`].
+///
+/// **Keying contract.** A session is only valid for repeated solves of
+/// the *same* `(context, program, recall)` triple: snapshots record
+/// satisfaction sets keyed by interned `FormulaId` against the layers the
+/// deterministic induction generates, so reusing a session across
+/// different contexts or programs silently produces wrong answers. The
+/// horizon and the [`Budget`] may vary freely between solves — a longer
+/// horizon re-uses the shared prefix warm, and a budget-exhausted solve
+/// contributes only its fully induced layers (partial work never poisons
+/// the session). Callers are responsible for the keying; `kbp-service`
+/// keys sessions by context fingerprint.
+///
+/// Apart from `SolveStats::layers_restored` (and wall-clock time), a
+/// warm solve is observably identical to a cold one: every restored set
+/// is a pure function of `(layer, formula)`, and the stats count clause
+/// lookups rather than physical evaluations.
+#[derive(Debug)]
+pub struct EngineSession {
+    engine: EvalEngine,
+    layers: Vec<Option<(usize, EvalCacheSnapshot)>>,
+}
+
+impl EngineSession {
+    /// Creates an empty session with the default engine thread policy.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineSession {
+            engine: EvalEngine::new(FormulaArena::new()),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Like [`new`](Self::new), but a malformed `KBP_EVAL_THREADS` value
+    /// is surfaced as a typed error instead of being ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadConfigError`] for an unusable `KBP_EVAL_THREADS`
+    /// value.
+    pub fn from_env() -> Result<Self, ThreadConfigError> {
+        Ok(EngineSession {
+            engine: EvalEngine::from_env(FormulaArena::new())?,
+            layers: Vec::new(),
+        })
+    }
+
+    /// Overrides the engine's worker-thread count for subsequent solves.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
+    /// Number of layers with a stored snapshot.
+    #[must_use]
+    pub fn snapshot_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Drops all layer snapshots, keeping the interned arena.
+    pub fn clear_snapshots(&mut self) {
+        self.layers.clear();
+    }
+
+    fn parts(
+        &mut self,
+    ) -> (
+        &mut EvalEngine,
+        &mut Vec<Option<(usize, EvalCacheSnapshot)>>,
+    ) {
+        (&mut self.engine, &mut self.layers)
+    }
+}
+
+impl Default for EngineSession {
+    fn default() -> Self {
+        EngineSession::new()
+    }
+}
+
 /// Builder-style driver for the inductive construction.
 ///
 /// # Example
@@ -358,6 +462,7 @@ pub struct SyncSolver<'a> {
     budget: Budget,
     eval_threads: Option<usize>,
     carry_forward: bool,
+    carry_threshold: usize,
 }
 
 impl fmt::Debug for SyncSolver<'_> {
@@ -384,6 +489,7 @@ impl<'a> SyncSolver<'a> {
             budget: Budget::default(),
             eval_threads: None,
             carry_forward: true,
+            carry_threshold: DEFAULT_CARRY_THRESHOLD,
         }
     }
 
@@ -437,6 +543,21 @@ impl<'a> SyncSolver<'a> {
         self
     }
 
+    /// Sets the minimum frontier width (points in the layer) before the
+    /// solver attempts carry-forward (default:
+    /// [`DEFAULT_CARRY_THRESHOLD`]). Below the threshold the
+    /// `layer_renaming` certificate costs about as much as refilling the
+    /// cache, so small layers are always re-evaluated; `0` attempts the
+    /// renaming on every layer. The threshold only affects where time is
+    /// spent ([`SolveStats::layers_carried`]) — solutions are identical
+    /// for every value, and `layers_carried` is deterministic for a
+    /// given configuration.
+    #[must_use]
+    pub fn carry_threshold(mut self, min_points: usize) -> Self {
+        self.carry_threshold = min_points;
+        self
+    }
+
     /// Runs the inductive construction.
     ///
     /// # Errors
@@ -448,7 +569,7 @@ impl<'a> SyncSolver<'a> {
     /// * [`SolveError::Budget`] — a [`Budget`] was set and ran out (use
     ///   [`solve_budgeted`](Self::solve_budgeted) to recover the prefix).
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        match self.solve_inner(false)? {
+        match self.solve_inner(false, None)? {
             SolveOutcome::Complete(s) => Ok(*s),
             SolveOutcome::Partial(p) => Err(SolveError::Budget(p.exhausted())),
         }
@@ -465,14 +586,41 @@ impl<'a> SyncSolver<'a> {
     /// Same conditions as [`solve`](Self::solve), except that budget and
     /// node-limit exhaustion produce `Ok(SolveOutcome::Partial(..))`.
     pub fn solve_budgeted(&self) -> Result<SolveOutcome, SolveError> {
-        self.solve_inner(true)
+        self.solve_inner(true, None)
+    }
+
+    /// Like [`solve_budgeted`](Self::solve_budgeted), but reuses (and
+    /// extends) an [`EngineSession`]: guard formulas are interned into the
+    /// session's shared arena, and per-layer satisfaction sets snapshotted
+    /// by earlier solves of the *same* `(context, program, recall)` triple
+    /// are rehydrated instead of recomputed
+    /// ([`SolveStats::layers_restored`] counts the warm layers). The
+    /// answer is bit-identical to a cold solve; only time and
+    /// cache-housekeeping stats differ.
+    ///
+    /// A budget-exhausted solve snapshots only its fully induced layers,
+    /// so partial work never contaminates the session (the restored
+    /// prefix is always a prefix of the unique answer).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve_budgeted`](Self::solve_budgeted).
+    pub fn solve_budgeted_with(
+        &self,
+        session: &mut EngineSession,
+    ) -> Result<SolveOutcome, SolveError> {
+        self.solve_inner(true, Some(session))
     }
 
     /// The shared driver. With `degrade` set, budget and node-limit
     /// exhaustion yield `SolveOutcome::Partial`; otherwise budgets yield
     /// `SolveError::Budget` and node limits propagate as
     /// [`GenerateError::NodeLimit`].
-    fn solve_inner(&self, degrade: bool) -> Result<SolveOutcome, SolveError> {
+    fn solve_inner(
+        &self,
+        degrade: bool,
+        session: Option<&mut EngineSession>,
+    ) -> Result<SolveOutcome, SolveError> {
         self.kbp.validate(self.ctx)?;
         if self.kbp.has_future_guards() {
             return Err(SolveError::FutureGuards);
@@ -496,9 +644,20 @@ impl<'a> SyncSolver<'a> {
         // negation, repeated subformulas) collapse, and each layer then
         // evaluates every distinct subformula exactly once through the
         // per-layer cache.
-        let mut engine = EvalEngine::new(FormulaArena::new());
+        let mut local_engine;
+        let (engine, mut layer_store) = match session {
+            Some(s) => {
+                let (engine, layers) = s.parts();
+                (engine, Some(layers))
+            }
+            None => {
+                local_engine =
+                    EvalEngine::from_env(FormulaArena::new()).map_err(SolveError::Config)?;
+                (&mut local_engine, None)
+            }
+        };
         if let Some(threads) = self.eval_threads {
-            engine = engine.with_threads(threads);
+            engine.set_threads(threads);
         }
         let guard_ids: Vec<Vec<FormulaId>> = self
             .kbp
@@ -519,6 +678,8 @@ impl<'a> SyncSolver<'a> {
             v.dedup();
             v
         };
+        // Interning is done; the rest of the solve only reads the engine.
+        let engine: &EvalEngine = engine;
         // The per-layer cache persists across the loop so stabilised
         // suffixes can carry satisfaction sets forward.
         let mut cache = EvalCache::new();
@@ -558,13 +719,36 @@ impl<'a> SyncSolver<'a> {
             }
             let evals_before = stats.guard_evaluations;
             let entries_before = stats.protocol_entries;
-            if t > 0 {
+            // Cross-request rehydration: a session snapshot for this layer
+            // (taken by an earlier solve of the same context/program, and
+            // keyed by the layer's world count as a cheap structural check)
+            // already holds every root's satisfaction set — restore it and
+            // skip both the renaming and the sharded fill. The unrolling is
+            // deterministic, so layer `t` is identical across solves.
+            let restored = layer_store
+                .as_deref()
+                .and_then(|store| store.get(t))
+                .and_then(Option::as_ref)
+                .is_some_and(|(worlds, snap)| {
+                    if *worlds == frontier {
+                        cache = EvalCache::restore(snap);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            if restored {
+                stats.layers_restored += 1;
+            } else if t > 0 {
                 // Cross-layer carry-forward: if the new frontier is
                 // isomorphic to the previous layer under a *verified*
                 // renaming, guard satisfaction is preserved pointwise
                 // (solver guards are past-free, hence layer-static) — map
                 // the cache through the renaming instead of recomputing.
+                // On layers below the width threshold the certificate
+                // costs about as much as refilling, so skip it there.
                 let carried = self.carry_forward
+                    && frontier >= self.carry_threshold
                     && layer_renaming(builder.layer(t - 1), builder.current())
                         .and_then(|r| cache.carried_forward(&r).ok())
                         .map(|c| cache = c)
@@ -580,11 +764,23 @@ impl<'a> SyncSolver<'a> {
                 t,
                 &mut protocol,
                 &mut stats,
-                &engine,
+                engine,
                 &guard_ids,
                 &flat_ids,
                 &mut cache,
             )?;
+            // Layer `t` is now fully induced and the cache holds every
+            // root's satisfaction set — snapshot it for future solves on
+            // this session. Only induced layers are ever stored, so a
+            // budget-exhausted solve cannot poison the session.
+            if let Some(store) = layer_store.as_deref_mut() {
+                if !restored {
+                    if store.len() <= t {
+                        store.resize_with(t + 1, || None);
+                    }
+                    store[t] = Some((frontier, cache.snapshot()));
+                }
+            }
             per_layer.push(LayerStats {
                 layer: t,
                 points: frontier,
@@ -710,6 +906,7 @@ serde::impl_serde_struct!(SolveStats {
     guard_evaluations,
     arenas,
     layers_carried,
+    layers_restored,
 });
 
 #[cfg(test)]
@@ -1021,5 +1218,86 @@ mod tests {
             history: &history,
         });
         assert_eq!(acts, vec![ActionId(1)]);
+    }
+
+    #[test]
+    fn session_reuse_restores_layers_and_is_bit_identical() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let solver = SyncSolver::new(&ctx, &kbp).horizon(3);
+        let cold = solver.solve().unwrap();
+
+        let mut session = EngineSession::new();
+        let warm0 = solver.solve_budgeted_with(&mut session).unwrap();
+        let warm0 = warm0.solution().unwrap();
+        assert_eq!(warm0.stats().layers_restored, 0);
+        assert_eq!(session.snapshot_layers(), 4);
+
+        let warm1 = solver.solve_budgeted_with(&mut session).unwrap();
+        let warm1 = warm1.solution().unwrap();
+        assert_eq!(warm1.stats().layers_restored, 4);
+        assert_eq!(*warm1.protocol(), *cold.protocol());
+        assert_eq!(
+            warm1.stats().guard_evaluations,
+            cold.stats().guard_evaluations
+        );
+        assert_eq!(warm1.per_layer(), cold.per_layer());
+
+        // A longer horizon reuses the shared prefix and extends the store.
+        let longer = SyncSolver::new(&ctx, &kbp).horizon(5);
+        let ext = longer.solve_budgeted_with(&mut session).unwrap();
+        let ext = ext.solution().unwrap();
+        assert_eq!(ext.stats().layers_restored, 4);
+        assert_eq!(session.snapshot_layers(), 6);
+        let cold5 = longer.solve().unwrap();
+        assert_eq!(*ext.protocol(), *cold5.protocol());
+    }
+
+    #[test]
+    fn partial_solve_never_poisons_the_session() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        let mut session = EngineSession::new();
+        // Only layer 0 is induced before the budget trips.
+        let partial = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .budget(Budget::new().max_guard_evaluations(1))
+            .solve_budgeted_with(&mut session)
+            .unwrap();
+        assert!(!partial.is_complete());
+        assert_eq!(session.snapshot_layers(), 1);
+        // The warm full solve through the same session matches cold.
+        let warm = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .solve_budgeted_with(&mut session)
+            .unwrap();
+        let warm = warm.solution().unwrap();
+        assert_eq!(warm.stats().layers_restored, 1);
+        let cold = SyncSolver::new(&ctx, &kbp).horizon(3).solve().unwrap();
+        assert_eq!(*warm.protocol(), *cold.protocol());
+        // Clearing snapshots keeps the arena but forgets warm layers.
+        session.clear_snapshots();
+        let again = SyncSolver::new(&ctx, &kbp)
+            .horizon(3)
+            .solve_budgeted_with(&mut session)
+            .unwrap();
+        assert_eq!(again.solution().unwrap().stats().layers_restored, 0);
+    }
+
+    #[test]
+    fn carry_threshold_gates_tiny_layers() {
+        let ctx = peek_announce_context();
+        let kbp = peek_announce_kbp();
+        // Layers here have ≤ 4 points: the default threshold (32) must
+        // suppress every carry attempt, and forcing the threshold to 0
+        // must leave the answer untouched.
+        let default_sol = SyncSolver::new(&ctx, &kbp).horizon(4).solve().unwrap();
+        assert_eq!(default_sol.stats().layers_carried, 0);
+        let eager_sol = SyncSolver::new(&ctx, &kbp)
+            .horizon(4)
+            .carry_threshold(0)
+            .solve()
+            .unwrap();
+        assert_eq!(*eager_sol.protocol(), *default_sol.protocol());
     }
 }

@@ -31,10 +31,104 @@ use crate::eval::{EvalCache, EvalError};
 use crate::model::S5Model;
 use kbp_logic::{AgentSet, Formula, FormulaArena, FormulaId, InternedNode};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::thread;
 
 /// Environment variable overriding the engine's worker-thread count.
 pub const THREADS_ENV: &str = "KBP_EVAL_THREADS";
+
+/// Largest worker-thread count accepted from an environment variable.
+/// Far above any plausible machine; a value beyond it is a typo (an extra
+/// digit, a pasted timestamp), not a configuration.
+pub const MAX_CONFIG_THREADS: usize = 4096;
+
+/// A thread-count environment variable held a value that cannot mean any
+/// worker-pool size. Surfaced as a typed error so services can refuse to
+/// start instead of silently falling back to a default the operator did
+/// not choose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadConfigError {
+    /// The value did not parse as an unsigned integer.
+    NotANumber {
+        /// The variable that held the value.
+        var: &'static str,
+        /// The offending value.
+        value: String,
+    },
+    /// The value parsed as `0`; a worker pool needs at least one thread.
+    Zero {
+        /// The variable that held the value.
+        var: &'static str,
+    },
+    /// The value exceeds [`MAX_CONFIG_THREADS`].
+    TooLarge {
+        /// The variable that held the value.
+        var: &'static str,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadConfigError::NotANumber { var, value } => {
+                write!(f, "{var}={value:?} is not an unsigned integer")
+            }
+            ThreadConfigError::Zero { var } => {
+                write!(f, "{var}=0: a worker pool needs at least one thread")
+            }
+            ThreadConfigError::TooLarge { var, value } => write!(
+                f,
+                "{var}={value}: exceeds the {MAX_CONFIG_THREADS}-thread cap"
+            ),
+        }
+    }
+}
+
+impl Error for ThreadConfigError {}
+
+/// Parses a thread-count setting taken from environment variable `var`.
+/// `0`, non-numeric input and values above [`MAX_CONFIG_THREADS`] are
+/// typed errors, never silent fallbacks.
+///
+/// # Errors
+///
+/// Returns [`ThreadConfigError`] describing exactly how the value is
+/// unusable.
+pub fn parse_thread_count(var: &'static str, raw: &str) -> Result<usize, ThreadConfigError> {
+    let trimmed = raw.trim();
+    let n: usize = trimmed.parse().map_err(|_| ThreadConfigError::NotANumber {
+        var,
+        value: raw.to_owned(),
+    })?;
+    if n == 0 {
+        return Err(ThreadConfigError::Zero { var });
+    }
+    if n > MAX_CONFIG_THREADS {
+        return Err(ThreadConfigError::TooLarge {
+            var,
+            value: raw.to_owned(),
+        });
+    }
+    Ok(n)
+}
+
+/// Reads a thread-count override from environment variable `var`.
+/// `Ok(None)` when unset or empty; malformed values are typed errors.
+///
+/// # Errors
+///
+/// Returns [`ThreadConfigError`] if the variable is set to `0`, to a
+/// non-number, or to a value above [`MAX_CONFIG_THREADS`].
+pub fn env_threads(var: &'static str) -> Result<Option<usize>, ThreadConfigError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) if raw.trim().is_empty() => Ok(None),
+        Ok(raw) => parse_thread_count(var, &raw).map(Some),
+    }
+}
 
 /// Set-level temporal operators, supplied by evaluators that have a
 /// notion of time (bounded layers, an explored state graph, …).
@@ -91,11 +185,7 @@ pub struct EvalEngine {
 }
 
 fn default_threads() -> usize {
-    if let Some(n) = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
+    if let Ok(Some(n)) = env_threads(THREADS_ENV) {
         return n;
     }
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -104,7 +194,10 @@ fn default_threads() -> usize {
 impl EvalEngine {
     /// Wraps `arena` with the default thread policy: `KBP_EVAL_THREADS`
     /// if set to a positive integer, else
-    /// [`std::thread::available_parallelism`].
+    /// [`std::thread::available_parallelism`]. A malformed
+    /// `KBP_EVAL_THREADS` value is ignored here; use
+    /// [`from_env`](Self::from_env) to surface it as a typed error
+    /// instead.
     #[must_use]
     pub fn new(arena: FormulaArena) -> Self {
         EvalEngine {
@@ -113,12 +206,33 @@ impl EvalEngine {
         }
     }
 
+    /// Like [`new`](Self::new), but a malformed `KBP_EVAL_THREADS` value
+    /// is a typed [`ThreadConfigError`] instead of a silent fallback to
+    /// [`std::thread::available_parallelism`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadConfigError`] if `KBP_EVAL_THREADS` is set to `0`,
+    /// a non-number, or a value above [`MAX_CONFIG_THREADS`].
+    pub fn from_env(arena: FormulaArena) -> Result<Self, ThreadConfigError> {
+        let threads = env_threads(THREADS_ENV)?.unwrap_or_else(|| {
+            thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        Ok(EvalEngine { arena, threads })
+    }
+
     /// Overrides the worker-thread count (clamped to ≥ 1); `1` forces the
     /// sequential path.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// In-place variant of [`with_threads`](Self::with_threads), for
+    /// engines owned by a long-lived session.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// The configured worker-thread count.
@@ -551,5 +665,54 @@ mod tests {
     fn env_override_is_clamped() {
         let engine = EvalEngine::new(FormulaArena::new()).with_threads(0);
         assert_eq!(engine.threads(), 1);
+    }
+
+    #[test]
+    fn thread_config_zero_is_a_typed_error() {
+        assert_eq!(
+            parse_thread_count(THREADS_ENV, "0"),
+            Err(ThreadConfigError::Zero { var: THREADS_ENV })
+        );
+    }
+
+    #[test]
+    fn thread_config_garbage_is_a_typed_error() {
+        for raw in ["four", "", " ", "-2", "3.5", "0x10", "1 2"] {
+            assert_eq!(
+                parse_thread_count(THREADS_ENV, raw),
+                Err(ThreadConfigError::NotANumber {
+                    var: THREADS_ENV,
+                    value: raw.to_owned(),
+                }),
+                "raw={raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_config_huge_is_a_typed_error() {
+        let raw = format!("{}", MAX_CONFIG_THREADS + 1);
+        assert_eq!(
+            parse_thread_count(THREADS_ENV, &raw),
+            Err(ThreadConfigError::TooLarge {
+                var: THREADS_ENV,
+                value: raw.clone(),
+            })
+        );
+        // usize overflow is reported as not-a-number by the parser.
+        assert!(matches!(
+            parse_thread_count(THREADS_ENV, "99999999999999999999999999"),
+            Err(ThreadConfigError::NotANumber { .. })
+        ));
+    }
+
+    #[test]
+    fn thread_config_accepts_sane_values() {
+        assert_eq!(parse_thread_count(THREADS_ENV, "1"), Ok(1));
+        assert_eq!(parse_thread_count(THREADS_ENV, " 8 "), Ok(8));
+        assert_eq!(
+            parse_thread_count(THREADS_ENV, &format!("{MAX_CONFIG_THREADS}")),
+            Ok(MAX_CONFIG_THREADS)
+        );
     }
 }

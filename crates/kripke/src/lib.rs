@@ -66,8 +66,11 @@ mod partition;
 pub use announce::{AnnounceError, Announcement};
 pub use bisim::Quotient;
 pub use bitset::BitSet;
-pub use engine::{EvalEngine, TemporalOps, THREADS_ENV};
-pub use eval::{EvalCache, EvalError};
+pub use engine::{
+    env_threads, parse_thread_count, EvalEngine, TemporalOps, ThreadConfigError,
+    MAX_CONFIG_THREADS, THREADS_ENV,
+};
+pub use eval::{EvalCache, EvalCacheSnapshot, EvalError};
 pub use events::{Event, EventId, EventModel, EventModelBuilder, Product, UpdateError};
 pub use model::{S5Builder, S5Model, WorldId};
 pub use partition::{Partition, UnionFind};

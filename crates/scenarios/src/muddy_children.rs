@@ -264,6 +264,10 @@ impl MuddyChildren {
     /// Panics if `mask` is zero or out of range (the father's announcement
     /// would be false).
     #[must_use]
+    // The panics are this demo helper's documented contract (see
+    // `# Panics`); every `expect` below restates an invariant of
+    // truthful announcements.
+    #[allow(clippy::expect_used, clippy::panic)]
     pub fn rounds_until_known(&self, mask: u32) -> usize {
         assert!(mask != 0 && mask < (1 << self.n), "invalid mud mask");
         let mut model = self

@@ -1,0 +1,130 @@
+//! `kbpd` — the knowledge-based-program batch daemon.
+//!
+//! Reads one JSON request per line on stdin, writes one JSON response
+//! per line on stdout, *in request order* (a reorder buffer absorbs
+//! worker-pool scheduling). Exits 0 at end of input; exits 2 on a
+//! malformed service configuration (typed error on stderr).
+//!
+//! ```text
+//! $ printf '%s\n' '{"id":1,"kind":"solve","scenario":"bit_transmission"}' | kbpd
+//! {"id":1,"ok":true,"kind":"solve",...}
+//! ```
+//!
+//! Configuration (all optional): `KBP_SERVICE_WORKERS` (pool size),
+//! `KBP_SERVICE_QUEUE` (admission window; a full queue answers
+//! `queue_full` with a retry-after hint instead of blocking),
+//! `KBP_SERVICE_CACHE` (`0`/`off`/`false` disables the cross-request
+//! artifact cache), `KBP_EVAL_THREADS` (per-solve evaluation sharding).
+
+use kbp_service::{parse_request, reject_response, Request, Service, ServiceConfig};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(arg) = args.next() {
+        if arg == "--help" || arg == "-h" {
+            print!("{}", USAGE);
+            return;
+        }
+        eprintln!("kbpd: unexpected argument '{arg}' (try --help)");
+        std::process::exit(2);
+    }
+    let config = match ServiceConfig::from_env() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("kbpd: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let service = Service::new(config.clone());
+    let queue: kbp_service::JobQueue<(usize, kbp_service::JobRequest)> =
+        kbp_service::JobQueue::new(config.queue_capacity, config.retry_after_ms);
+    let (result_tx, result_rx) = mpsc::channel::<(usize, String)>();
+
+    std::thread::scope(|scope| {
+        // Writer: reorder buffer keyed by line index; emits in order.
+        let writer = scope.spawn(move || {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let mut pending: BTreeMap<usize, String> = BTreeMap::new();
+            let mut next = 0usize;
+            for (index, line) in result_rx {
+                pending.insert(index, line);
+                while let Some(line) = pending.remove(&next) {
+                    if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                        return; // downstream closed; stop quietly
+                    }
+                    next += 1;
+                }
+            }
+        });
+
+        // Workers: drain the queue, send labelled responses.
+        for _ in 0..config.workers.max(1) {
+            let tx = result_tx.clone();
+            scope.spawn(|| {
+                let tx = tx;
+                while let Some((index, job)) = queue.pop() {
+                    let response = service.execute(&job).to_line();
+                    if tx.send((index, response)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+
+        // Reader (this thread): parse, admit, shed.
+        let stdin = std::io::stdin();
+        let mut index = 0usize;
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let out = match parse_request(&line) {
+                Ok(Request::Job(job)) => match queue.try_submit((index, job)) {
+                    Ok(()) => {
+                        index += 1;
+                        continue;
+                    }
+                    Err(((_, job), full)) => {
+                        service.note_rejection();
+                        reject_response(Some(job.id), full).to_line()
+                    }
+                },
+                Ok(Request::Stats { id }) => service.stats_response(id).to_line(),
+                Err(e) => {
+                    // A parse error has no trustworthy id to echo.
+                    kbp_service::error_response(None, &e).to_line()
+                }
+            };
+            let _ = result_tx.send((index, out));
+            index += 1;
+        }
+        queue.close();
+        drop(result_tx);
+        let _ = writer.join();
+    });
+}
+
+const USAGE: &str = "\
+kbpd - knowledge-based-program batch daemon
+
+Reads one JSON job per line on stdin, writes one JSON response per line
+on stdout in request order. Exits 0 at end of input.
+
+Request:  {\"id\":1,\"kind\":\"solve|enumerate|check|fault_lattice\",
+           \"scenario\":\"<registry name>\",\"horizon\":N,
+           \"fault\":\"none|loss|crash-stop|loss+crash-stop\",\"fault_seed\":N,
+           \"budget\":{\"deadline_ms\":N,\"max_layer_points\":N,
+                     \"max_guard_evaluations\":N,\"max_memory_bytes\":N}}
+Stats op: {\"op\":\"stats\"}
+
+Environment:
+  KBP_SERVICE_WORKERS  worker threads (default: available parallelism)
+  KBP_SERVICE_QUEUE    queue capacity (default 64); overflow answers queue_full
+  KBP_SERVICE_CACHE    0/off/false disables the cross-request artifact cache
+  KBP_EVAL_THREADS     per-solve guard-evaluation sharding
+";

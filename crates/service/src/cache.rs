@@ -1,0 +1,125 @@
+//! The cross-request artifact cache: one [`EngineSession`] per context
+//! fingerprint.
+//!
+//! A session owns the interned formula arena and the per-layer
+//! satisfaction-set snapshots produced by earlier solves of the same
+//! `(context, program, recall)` triple (see
+//! [`kbp_core::EngineSession`]'s keying contract). The cache hands out
+//! `Arc<Mutex<EngineSession>>`: a worker holds the lock for the duration
+//! of one solve, so two jobs on the *same* context serialize (they would
+//! redo each other's work anyway) while jobs on different contexts run
+//! fully in parallel.
+
+use kbp_core::EngineSession;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters published by the cache (monitoring only — never on the
+/// job-response wire, where they would break bit-identity between warm
+/// and cold runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an existing session.
+    pub hits: usize,
+    /// Lookups that created a fresh session.
+    pub misses: usize,
+    /// Distinct sessions currently held.
+    pub sessions: usize,
+}
+
+/// The cache. Disabled (`new(false)`) it hands out nothing, and every
+/// job solves cold — bit-identical responses either way.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    enabled: bool,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<EngineSession>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ArtifactCache {
+    /// Creates the cache; `enabled: false` makes every lookup miss
+    /// without retaining anything.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        ArtifactCache {
+            enabled,
+            sessions: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether the cache retains sessions.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The session for `fingerprint`, creating it on first sight.
+    /// Returns `None` when the cache is disabled (callers then solve
+    /// without a session) or when the session map's lock was poisoned by
+    /// a panicking worker — a cold solve is always a safe fallback.
+    #[must_use]
+    pub fn session(&self, fingerprint: u64) -> Option<Arc<Mutex<EngineSession>>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut sessions = self.sessions.lock().ok()?;
+        if let Some(session) = sessions.get(&fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(session));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Mutex::new(EngineSession::new()));
+        sessions.insert(fingerprint, Arc::clone(&session));
+        Some(session)
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sessions: self.sessions.lock().map_or(0, |s| s.len()),
+        }
+    }
+
+    /// Drops every retained session (the counters are kept).
+    pub fn clear(&self) {
+        if let Ok(mut sessions) = self.sessions.lock() {
+            sessions.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_cache_hits_on_second_lookup() {
+        let cache = ArtifactCache::new(true);
+        let a = cache.session(42).unwrap();
+        let b = cache.session(42).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.session(7).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.sessions), (1, 2, 2));
+        cache.clear();
+        assert_eq!(cache.stats().sessions, 0);
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let cache = ArtifactCache::new(false);
+        assert!(cache.session(42).is_none());
+        assert!(cache.session(42).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.sessions), (0, 2, 0));
+    }
+}

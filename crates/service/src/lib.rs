@@ -1,0 +1,66 @@
+//! `kbp-service` — a persistent batch-solving service for
+//! knowledge-based programs.
+//!
+//! One process invocation of the solver amortizes work *within* a solve
+//! (interned guards, per-layer caches, carry-forward). This crate is the
+//! layer that amortizes work *across* requests:
+//!
+//! * a typed job API ([`JobRequest`]: `solve`, `enumerate`, `check`,
+//!   `fault_lattice`) with a JSON line protocol ([`json`]);
+//! * a bounded [`JobQueue`] with explicit admission control — a full
+//!   queue rejects with a typed [`QueueFull`] carrying a retry-after
+//!   hint instead of stalling the reader;
+//! * a `std::thread::scope` worker pool sized by `KBP_SERVICE_WORKERS`
+//!   ([`Service::run_batch`]);
+//! * a cross-request [`ArtifactCache`]: per-context-fingerprint
+//!   [`kbp_core::EngineSession`]s whose interned arenas and per-layer
+//!   satisfaction-set snapshots make repeated solves of a scenario
+//!   family hit warm sat-sets.
+//!
+//! Responses are **bit-identical** regardless of worker count and cache
+//! state, and are emitted in submission order; see the determinism
+//! argument in [`service`]. The `kbpd` binary speaks the line protocol
+//! over stdin/stdout.
+//!
+//! # Example
+//!
+//! ```
+//! use kbp_service::{parse_request, Request, Service, ServiceConfig};
+//!
+//! let service = Service::new(ServiceConfig::new().workers(2));
+//! let Ok(Request::Job(job)) =
+//!     parse_request(r#"{"id":1,"kind":"solve","scenario":"zoo_plain"}"#)
+//! else {
+//!     unreachable!()
+//! };
+//! let cold = service.execute(&job).to_line();
+//! let warm = service.execute(&job).to_line();
+//! assert_eq!(cold, warm); // warm solves answer bit-identically
+//! ```
+
+// Robustness gate: the library surface must stay panic-free so malformed
+// requests surface as typed error responses, never as a dead worker.
+// Tests and the binary's top level are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod cache;
+mod job;
+mod queue;
+mod registry;
+mod service;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use job::{parse_request, JobKind, JobRequest, Request, RequestError};
+pub use queue::{JobQueue, QueueFull};
+pub use registry::{find, registry, LatticeSpec, ScenarioEntry};
+pub use service::{
+    error_response, reject_response, ConfigError, Service, ServiceConfig, ServiceStats, CACHE_ENV,
+    QUEUE_ENV, WORKERS_ENV,
+};

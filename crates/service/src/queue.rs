@@ -1,0 +1,225 @@
+//! A bounded MPMC job queue with admission control.
+//!
+//! `std`-only: a `Mutex<VecDeque>` plus two `Condvar`s. Admission is
+//! explicit — [`JobQueue::try_submit`] rejects with a typed
+//! [`QueueFull`] (carrying a retry-after hint) instead of blocking, which
+//! is what lets the service shed load deterministically instead of
+//! stalling its reader thread.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Rejection by a full queue: backpressure made visible to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The queue's capacity (which was fully in use).
+    pub capacity: usize,
+    /// Suggested client-side delay before retrying, in milliseconds.
+    /// A hint, not a reservation: the queue does not hold a slot.
+    pub retry_after_ms: u64,
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue full (capacity {}); retry after {} ms",
+            self.capacity, self.retry_after_ms
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. `T` is the job payload; the service uses
+/// `(submission index, JobRequest)` so workers can label results for
+/// deterministic reordering.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item arrives or the queue closes.
+    takers: Condvar,
+    /// Signalled when capacity frees up.
+    givers: Condvar,
+    capacity: usize,
+    retry_after_ms: u64,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    #[must_use]
+    pub fn new(capacity: usize, retry_after_ms: u64) -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+            givers: Condvar::new(),
+            capacity: capacity.max(1),
+            retry_after_ms,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy by nature; for monitoring).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().map_or(0, |s| s.items.len())
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues the job, or rejects it with
+    /// [`QueueFull`] when at capacity (or closed).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the queue is at capacity or already closed;
+    /// the job is returned to the caller untouched via the error's
+    /// pairing with `job` not being consumed — the caller still owns
+    /// nothing queued.
+    pub fn try_submit(&self, job: T) -> Result<(), (T, QueueFull)> {
+        let full = QueueFull {
+            capacity: self.capacity,
+            retry_after_ms: self.retry_after_ms,
+        };
+        let Ok(mut state) = self.state.lock() else {
+            return Err((job, full));
+        };
+        if state.closed || state.items.len() >= self.capacity {
+            return Err((job, full));
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Blocking admission: waits for capacity. Returns `false` if the
+    /// queue closed while waiting (the job is dropped).
+    pub fn submit(&self, job: T) -> bool {
+        let Ok(mut state) = self.state.lock() else {
+            return false;
+        };
+        while !state.closed && state.items.len() >= self.capacity {
+            match self.givers.wait(state) {
+                Ok(s) => state = s,
+                Err(_) => return false,
+            }
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(job);
+        drop(state);
+        self.takers.notify_one();
+        true
+    }
+
+    /// Blocking take: the next job, or `None` once the queue is closed
+    /// *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let Ok(mut state) = self.state.lock() else {
+            return None;
+        };
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                drop(state);
+                self.givers.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            match self.takers.wait(state) {
+                Ok(s) => state = s,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Closes the queue: no further admissions; workers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            state.closed = true;
+        }
+        self.takers.notify_all();
+        self.givers.notify_all();
+    }
+}
+
+impl<T> fmt::Debug for JobQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_bounded_and_typed() {
+        let q = JobQueue::new(2, 40);
+        assert!(q.try_submit(1).is_ok());
+        assert!(q.try_submit(2).is_ok());
+        let (job, full) = q.try_submit(3).unwrap_err();
+        assert_eq!(job, 3);
+        assert_eq!(full.capacity, 2);
+        assert_eq!(full.retry_after_ms, 40);
+        // Draining frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_submit(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = JobQueue::new(4, 1);
+        assert!(q.try_submit("a").is_ok());
+        q.close();
+        assert!(q.try_submit("b").is_err(), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn workers_drain_across_threads() {
+        let q = JobQueue::new(8, 1);
+        let drained = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while let Some(n) = q.pop() {
+                        drained.lock().unwrap().push(n);
+                    }
+                });
+            }
+            for n in 0..20 {
+                q.submit(n);
+            }
+            q.close();
+        });
+        let mut got = drained.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

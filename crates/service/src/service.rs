@@ -1,0 +1,928 @@
+//! The service proper: configuration, the deterministic worker pool, and
+//! the job executors.
+//!
+//! # Determinism argument
+//!
+//! A response line is a pure function of its request. Three things make
+//! this true regardless of worker count and cache state:
+//!
+//! 1. every executor runs one job on one thread against a context built
+//!    fresh from the registry (the only shared mutable state is the
+//!    artifact cache, whose sessions only ever *restore* values that are
+//!    pure functions of `(layer, formula)` — see
+//!    [`kbp_core::EngineSession`]);
+//! 2. the wire stats are the solver's clause-lookup counters, which are
+//!    independent of evaluation sharding and cache warmth —
+//!    cache-housekeeping counters (`layers_carried`, `layers_restored`,
+//!    `arenas`) are deliberately *not* serialized;
+//! 3. responses are emitted in submission order (the batch runners sort
+//!    by submission index; `kbpd` uses a reorder buffer), so the output
+//!    stream does not depend on scheduling.
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::job::{JobKind, JobRequest, RequestError};
+use crate::json::{obj, Json};
+use crate::queue::{JobQueue, QueueFull};
+use crate::registry::{find, ScenarioEntry};
+use kbp_core::{
+    check_implementation, Enumerator, Kbp, PartialSolution, Resource, SolveError, SolveOutcome,
+    SolveStats, SyncSolver,
+};
+use kbp_faults::FaultyContext;
+use kbp_kripke::{env_threads, ThreadConfigError};
+use kbp_systems::{Context, FnContext, MapProtocol};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable sizing the worker pool.
+pub const WORKERS_ENV: &str = "KBP_SERVICE_WORKERS";
+
+/// Environment variable sizing the job queue (admission window).
+pub const QUEUE_ENV: &str = "KBP_SERVICE_QUEUE";
+
+/// Environment variable toggling the artifact cache (`0`/`off`/`false`
+/// to disable).
+pub const CACHE_ENV: &str = "KBP_SERVICE_CACHE";
+
+/// A malformed service configuration. Unlike a lenient default, this is
+/// surfaced before any job runs: a typo in `KBP_SERVICE_WORKERS` should
+/// fail startup, not silently serve with one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A numeric variable did not parse (bad number, zero, or absurd).
+    Threads(ThreadConfigError),
+    /// A boolean flag was neither truthy (`1`/`on`/`true`) nor falsy
+    /// (`0`/`off`/`false`).
+    Flag {
+        /// The environment variable.
+        var: &'static str,
+        /// Its rejected value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Threads(e) => write!(f, "{e}"),
+            ConfigError::Flag { var, value } => {
+                write!(f, "{var}: expected 0/off/false or 1/on/true, got '{value}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Threads(e) => Some(e),
+            ConfigError::Flag { .. } => None,
+        }
+    }
+}
+
+impl From<ThreadConfigError> for ConfigError {
+    fn from(e: ThreadConfigError) -> Self {
+        ConfigError::Threads(e)
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Queue capacity; admissions beyond it are rejected with
+    /// [`QueueFull`].
+    pub queue_capacity: usize,
+    /// Whether the artifact cache retains sessions across jobs.
+    pub cache_enabled: bool,
+    /// Retry-after hint attached to [`QueueFull`] rejections, in ms.
+    pub retry_after_ms: u64,
+}
+
+impl ServiceConfig {
+    /// Defaults: workers = available parallelism, queue of 64, cache on.
+    #[must_use]
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ServiceConfig {
+            workers,
+            queue_capacity: 64,
+            cache_enabled: true,
+            retry_after_ms: 50,
+        }
+    }
+
+    /// Reads `KBP_SERVICE_WORKERS`, `KBP_SERVICE_QUEUE` and
+    /// `KBP_SERVICE_CACHE` on top of the defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on any malformed value — unset or empty variables
+    /// keep their defaults, but a present, unusable value is a startup
+    /// error, never a silent fallback.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        let mut config = ServiceConfig::new();
+        if let Some(workers) = env_threads(WORKERS_ENV)? {
+            config.workers = workers;
+        }
+        if let Some(capacity) = env_threads(QUEUE_ENV)? {
+            config.queue_capacity = capacity;
+        }
+        if let Ok(raw) = std::env::var(CACHE_ENV) {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                config.cache_enabled = match trimmed.to_ascii_lowercase().as_str() {
+                    "1" | "on" | "true" => true,
+                    "0" | "off" | "false" => false,
+                    _ => {
+                        return Err(ConfigError::Flag {
+                            var: CACHE_ENV,
+                            value: raw,
+                        })
+                    }
+                };
+            }
+        }
+        Ok(config)
+    }
+
+    /// Sets the worker count (min 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the queue capacity (min 1).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables or disables the artifact cache.
+    #[must_use]
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::new()
+    }
+}
+
+/// A snapshot of the service's counters (monitoring only; see the
+/// module-level determinism argument for why none of this appears in job
+/// responses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs executed to completion (ok or error response).
+    pub jobs_executed: usize,
+    /// Jobs rejected at admission with [`QueueFull`].
+    pub queue_rejections: usize,
+    /// Artifact-cache lookup counters.
+    pub cache: CacheStats,
+    /// Layers induced across all solves (denominator of the warm rate).
+    pub layers_total: usize,
+    /// Layers rehydrated from cache snapshots instead of evaluated.
+    pub layers_restored: usize,
+}
+
+impl ServiceStats {
+    /// Fraction of layers served warm, in `[0, 1]`.
+    #[must_use]
+    pub fn warm_layer_rate(&self) -> f64 {
+        if self.layers_total == 0 {
+            0.0
+        } else {
+            self.layers_restored as f64 / self.layers_total as f64
+        }
+    }
+}
+
+/// The batch-solving service.
+#[derive(Debug)]
+pub struct Service {
+    config: ServiceConfig,
+    cache: ArtifactCache,
+    jobs_executed: AtomicUsize,
+    queue_rejections: AtomicUsize,
+    layers_total: AtomicUsize,
+    layers_restored: AtomicUsize,
+}
+
+enum BuiltContext {
+    Plain(Box<FnContext>),
+    Faulty(Box<FaultyContext<FnContext>>),
+}
+
+impl BuiltContext {
+    fn as_dyn(&self) -> &dyn Context {
+        match self {
+            BuiltContext::Plain(c) => c.as_ref(),
+            BuiltContext::Faulty(c) => c.as_ref(),
+        }
+    }
+}
+
+impl Service {
+    /// Creates a service with the given configuration.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = ArtifactCache::new(config.cache_enabled);
+        Service {
+            config,
+            cache,
+            jobs_executed: AtomicUsize::new(0),
+            queue_rejections: AtomicUsize::new(0),
+            layers_total: AtomicUsize::new(0),
+            layers_restored: AtomicUsize::new(0),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            layers_total: self.layers_total.load(Ordering::Relaxed),
+            layers_restored: self.layers_restored.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records an admission rejection (callers produce the response via
+    /// [`Service::reject_response`]).
+    pub fn note_rejection(&self) {
+        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Executes one job synchronously, returning its response object.
+    /// Never panics and never returns a non-response: every failure mode
+    /// is an `ok: false` object carrying the job id.
+    #[must_use]
+    pub fn execute(&self, job: &JobRequest) -> Json {
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        let Some(entry) = find(&job.scenario) else {
+            return error_response(
+                Some(job.id),
+                &RequestError::UnknownScenario(job.scenario.clone()),
+            );
+        };
+        let horizon = job.horizon.unwrap_or(entry.default_horizon);
+        match job.kind {
+            JobKind::Solve => self.run_solve(job, entry, horizon),
+            JobKind::Check => self.run_check(job, entry, horizon),
+            JobKind::Enumerate => self.run_enumerate(job, entry, horizon),
+            JobKind::FaultLattice => self.run_fault_lattice(job, entry, horizon),
+        }
+    }
+
+    /// Runs a batch through the worker pool with *blocking* admission:
+    /// every job is eventually executed, and responses come back in
+    /// submission order. Worker count and cache state cannot change the
+    /// output (see the module-level determinism argument).
+    #[must_use]
+    pub fn run_batch(&self, jobs: &[JobRequest]) -> Vec<Json> {
+        self.run_pool(jobs.iter().cloned().map(Ok).collect())
+    }
+
+    /// Runs a batch with *strict* admission: the whole batch is offered
+    /// to the queue before any worker starts, so exactly the first
+    /// `queue_capacity` jobs are admitted and the rest are rejected with
+    /// [`QueueFull`] — deterministically, independent of scheduling.
+    /// This is the mode the backpressure tests pin down; `kbpd` instead
+    /// admits continuously and sheds only under a genuinely full queue.
+    #[must_use]
+    pub fn run_batch_strict(&self, jobs: &[JobRequest]) -> Vec<Json> {
+        let queue: JobQueue<JobRequest> =
+            JobQueue::new(self.config.queue_capacity, self.config.retry_after_ms);
+        let mut slots: Vec<Result<JobRequest, (u64, QueueFull)>> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match queue.try_submit(job.clone()) {
+                Ok(()) => slots.push(Ok(job.clone())),
+                Err((job, full)) => {
+                    self.note_rejection();
+                    slots.push(Err((job.id, full)));
+                }
+            }
+        }
+        // Admission is settled; the gate queue itself is discarded — the
+        // pool below drains the admitted slots.
+        queue.close();
+        self.run_pool(slots)
+    }
+
+    /// The shared pool driver: executes the `Ok` slots on
+    /// `config.workers` scoped threads, renders the `Err` slots as
+    /// rejections, and returns responses in slot order.
+    fn run_pool(&self, slots: Vec<Result<JobRequest, (u64, QueueFull)>>) -> Vec<Json> {
+        let queue: JobQueue<(usize, JobRequest)> =
+            JobQueue::new(slots.len().max(1), self.config.retry_after_ms);
+        let results: Vec<std::sync::Mutex<Option<Json>>> =
+            slots.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| {
+                    while let Some((index, job)) = queue.pop() {
+                        let response = self.execute(&job);
+                        if let Some(slot) = results.get(index) {
+                            if let Ok(mut slot) = slot.lock() {
+                                *slot = Some(response);
+                            }
+                        }
+                    }
+                });
+            }
+            for (index, slot) in slots.iter().enumerate() {
+                match slot {
+                    Ok(job) => {
+                        // Capacity equals batch length: this never blocks.
+                        queue.submit((index, job.clone()));
+                    }
+                    Err((id, full)) => {
+                        if let Ok(mut out) = results[index].lock() {
+                            *out = Some(reject_response(Some(*id), *full));
+                        }
+                    }
+                }
+            }
+            queue.close();
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().ok().flatten().unwrap_or(Json::Null))
+            .collect()
+    }
+
+    fn resolve_context(
+        &self,
+        job: &JobRequest,
+        entry: &ScenarioEntry,
+    ) -> Result<(BuiltContext, Kbp, u64), RequestError> {
+        match job.fault.as_deref() {
+            None => {
+                let (ctx, kbp) = entry.build();
+                Ok((
+                    BuiltContext::Plain(Box::new(ctx)),
+                    kbp,
+                    entry.fingerprint(None),
+                ))
+            }
+            Some(rung) => {
+                if entry.lattice.is_none() {
+                    return Err(RequestError::Unsupported(
+                        "scenario has no fault lattice; omit 'fault'",
+                    ));
+                }
+                let schedule = entry
+                    .fault_schedule(rung, job.fault_seed)
+                    .ok_or_else(|| RequestError::UnknownFault(rung.to_string()))?;
+                let (ctx, kbp) = entry.build_faulty(schedule);
+                Ok((
+                    BuiltContext::Faulty(Box::new(ctx)),
+                    kbp,
+                    entry.fingerprint(Some((rung, job.fault_seed))),
+                ))
+            }
+        }
+    }
+
+    /// Solves through the artifact cache when a session exists for the
+    /// fingerprint; cold otherwise. Also feeds the warm-rate counters.
+    fn solve_outcome(
+        &self,
+        job: &JobRequest,
+        entry: &ScenarioEntry,
+        horizon: usize,
+        ctx: &dyn Context,
+        kbp: &Kbp,
+        fingerprint: u64,
+    ) -> Result<SolveOutcome, SolveError> {
+        let solver = SyncSolver::new(ctx, kbp)
+            .horizon(horizon)
+            .recall(entry.recall)
+            .budget(job.budget);
+        let outcome = match self.cache.session(fingerprint) {
+            Some(session) => match session.lock() {
+                Ok(mut session) => solver.solve_budgeted_with(&mut session),
+                // A worker panicked mid-solve and poisoned this session:
+                // fall back to a cold solve (identical answer, colder).
+                Err(_) => solver.solve_budgeted(),
+            },
+            None => solver.solve_budgeted(),
+        }?;
+        let stats = match &outcome {
+            SolveOutcome::Complete(s) => s.stats(),
+            SolveOutcome::Partial(p) => p.stats(),
+        };
+        self.layers_total.fetch_add(stats.layers, Ordering::Relaxed);
+        self.layers_restored
+            .fetch_add(stats.layers_restored, Ordering::Relaxed);
+        Ok(outcome)
+    }
+
+    fn run_solve(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
+        if !entry.solvable {
+            return error_response(
+                Some(job.id),
+                &RequestError::Unsupported(
+                    "scenario has future-referring guards; use kind 'enumerate'",
+                ),
+            );
+        }
+        let (ctx, kbp, fingerprint) = match self.resolve_context(job, entry) {
+            Ok(parts) => parts,
+            Err(e) => return error_response(Some(job.id), &e),
+        };
+        match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint) {
+            Ok(outcome) => {
+                let mut fields = response_head(job, "solve", horizon);
+                push_outcome_fields(&mut fields, &outcome);
+                Json::Obj(fields)
+            }
+            Err(e) => solve_error_response(job.id, &e),
+        }
+    }
+
+    fn run_check(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
+        if !entry.solvable {
+            return error_response(
+                Some(job.id),
+                &RequestError::Unsupported(
+                    "scenario has future-referring guards; use kind 'enumerate'",
+                ),
+            );
+        }
+        let (ctx, kbp, fingerprint) = match self.resolve_context(job, entry) {
+            Ok(parts) => parts,
+            Err(e) => return error_response(Some(job.id), &e),
+        };
+        let outcome = match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint)
+        {
+            Ok(outcome) => outcome,
+            Err(e) => return solve_error_response(job.id, &e),
+        };
+        let mut fields = response_head(job, "check", horizon);
+        match outcome {
+            SolveOutcome::Partial(p) => {
+                // Nothing to verify yet: report the partial solve.
+                fields.push(("outcome".into(), Json::Str("partial".into())));
+                fields.push(("exhausted".into(), exhausted_json(&p)));
+                Json::Obj(fields)
+            }
+            SolveOutcome::Complete(s) => {
+                match check_implementation(ctx.as_dyn(), &kbp, s.protocol(), entry.recall, horizon)
+                {
+                    Ok(report) => {
+                        fields.push(("outcome".into(), Json::Str("complete".into())));
+                        fields.push((
+                            "is_implementation".into(),
+                            Json::Bool(report.is_implementation()),
+                        ));
+                        fields.push((
+                            "points_checked".into(),
+                            Json::U64(report.points_checked() as u64),
+                        ));
+                        fields.push((
+                            "mismatches".into(),
+                            Json::U64(report.mismatches().len() as u64),
+                        ));
+                        Json::Obj(fields)
+                    }
+                    Err(e) => solve_error_response(job.id, &e),
+                }
+            }
+        }
+    }
+
+    fn run_enumerate(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
+        let (ctx, kbp, _fingerprint) = match self.resolve_context(job, entry) {
+            Ok(parts) => parts,
+            Err(e) => return error_response(Some(job.id), &e),
+        };
+        let mut enumerator = Enumerator::new(ctx.as_dyn(), &kbp)
+            .horizon(horizon)
+            .recall(entry.recall);
+        if let Some(n) = job.max_solutions {
+            enumerator = enumerator.max_solutions(n);
+        }
+        if let Some(n) = job.max_branches {
+            enumerator = enumerator.max_branches(n);
+        }
+        match enumerator.enumerate() {
+            Ok(found) => {
+                let mut fields = response_head(job, "enumerate", horizon);
+                fields.push(("count".into(), Json::U64(found.count() as u64)));
+                fields.push(("complete".into(), Json::Bool(found.is_complete())));
+                fields.push((
+                    "branches".into(),
+                    Json::U64(found.branches_explored() as u64),
+                ));
+                fields.push((
+                    "exhausted_resource".into(),
+                    found
+                        .exhausted()
+                        .map_or(Json::Null, |r| Json::Str(resource_wire_name(r).into())),
+                ));
+                fields.push((
+                    "implementations".into(),
+                    Json::Arr(
+                        found
+                            .implementations()
+                            .iter()
+                            .map(|imp| protocol_json(&imp.protocol))
+                            .collect(),
+                    ),
+                ));
+                Json::Obj(fields)
+            }
+            Err(e) => solve_error_response(job.id, &e),
+        }
+    }
+
+    fn run_fault_lattice(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
+        if !entry.solvable {
+            return error_response(
+                Some(job.id),
+                &RequestError::Unsupported(
+                    "scenario has future-referring guards; use kind 'enumerate'",
+                ),
+            );
+        }
+        let Some(lattice) = entry.fault_lattice(job.fault_seed) else {
+            return error_response(
+                Some(job.id),
+                &RequestError::Unsupported("scenario has no fault lattice"),
+            );
+        };
+        let mut rows = Vec::with_capacity(lattice.len());
+        for (rung, schedule) in lattice {
+            let (ctx, kbp) = entry.build_faulty(schedule.clone());
+            let agents = ctx.agent_count();
+            let signature = schedule.signature(horizon, agents);
+            let fingerprint = entry.fingerprint(Some((rung, job.fault_seed)));
+            match self.solve_outcome(job, entry, horizon, &ctx, &kbp, fingerprint) {
+                Ok(outcome) => {
+                    let mut row = vec![
+                        ("fault".to_string(), Json::Str(rung.into())),
+                        ("signature".to_string(), Json::U64(signature)),
+                    ];
+                    push_outcome_fields(&mut row, &outcome);
+                    // Lattice rows summarize: drop the (large) protocol.
+                    row.retain(|(k, _)| k != "protocol");
+                    rows.push(Json::Obj(row));
+                }
+                Err(e) => return solve_error_response(job.id, &e),
+            }
+        }
+        let mut fields = response_head(job, "fault_lattice", horizon);
+        fields.push(("fault_seed".into(), Json::U64(job.fault_seed)));
+        fields.push(("rows".into(), Json::Arr(rows)));
+        Json::Obj(fields)
+    }
+
+    /// The `{"op":"stats"}` response. Live counters — monitoring only,
+    /// never compared bit-for-bit.
+    #[must_use]
+    pub fn stats_response(&self, id: Option<u64>) -> Json {
+        let stats = self.stats();
+        obj(vec![
+            ("id", id.map_or(Json::Null, Json::U64)),
+            ("ok", Json::Bool(true)),
+            ("kind", Json::Str("stats".into())),
+            ("workers", Json::U64(self.config.workers as u64)),
+            (
+                "queue_capacity",
+                Json::U64(self.config.queue_capacity as u64),
+            ),
+            ("jobs_executed", Json::U64(stats.jobs_executed as u64)),
+            ("queue_rejections", Json::U64(stats.queue_rejections as u64)),
+            (
+                "cache",
+                obj(vec![
+                    ("enabled", Json::Bool(self.cache.is_enabled())),
+                    ("hits", Json::U64(stats.cache.hits as u64)),
+                    ("misses", Json::U64(stats.cache.misses as u64)),
+                    ("sessions", Json::U64(stats.cache.sessions as u64)),
+                ]),
+            ),
+            ("layers_total", Json::U64(stats.layers_total as u64)),
+            ("layers_restored", Json::U64(stats.layers_restored as u64)),
+        ])
+    }
+}
+
+fn response_head(job: &JobRequest, kind: &str, horizon: usize) -> Vec<(String, Json)> {
+    vec![
+        ("id".to_string(), Json::U64(job.id)),
+        ("ok".to_string(), Json::Bool(true)),
+        ("kind".to_string(), Json::Str(kind.into())),
+        ("scenario".to_string(), Json::Str(job.scenario.clone())),
+        (
+            "fault".to_string(),
+            job.fault
+                .as_deref()
+                .map_or(Json::Null, |f| Json::Str(f.into())),
+        ),
+        ("horizon".to_string(), Json::U64(horizon as u64)),
+    ]
+}
+
+/// Appends `outcome`, `stabilized`/`exhausted`, `stats` and `protocol`
+/// fields for a solve outcome. Only scheduling-independent stats go on
+/// the wire — see the module-level determinism argument.
+fn push_outcome_fields(fields: &mut Vec<(String, Json)>, outcome: &SolveOutcome) {
+    match outcome {
+        SolveOutcome::Complete(s) => {
+            fields.push(("outcome".into(), Json::Str("complete".into())));
+            fields.push((
+                "stabilized".into(),
+                s.stabilized().map_or(Json::Null, |t| Json::U64(t as u64)),
+            ));
+            fields.push(("stats".into(), stats_json(&s.stats())));
+            fields.push(("protocol".into(), protocol_json(s.protocol())));
+        }
+        SolveOutcome::Partial(p) => {
+            fields.push(("outcome".into(), Json::Str("partial".into())));
+            fields.push(("exhausted".into(), exhausted_json(p)));
+            fields.push(("stats".into(), stats_json(&p.stats())));
+            fields.push(("protocol".into(), protocol_json(p.protocol())));
+        }
+    }
+}
+
+fn exhausted_json(p: &PartialSolution) -> Json {
+    let e = p.exhausted();
+    obj(vec![
+        ("resource", Json::Str(resource_wire_name(e.resource).into())),
+        ("at_layer", Json::U64(e.at_layer as u64)),
+    ])
+}
+
+fn stats_json(stats: &SolveStats) -> Json {
+    obj(vec![
+        ("layers", Json::U64(stats.layers as u64)),
+        ("points", Json::U64(stats.points as u64)),
+        ("protocol_entries", Json::U64(stats.protocol_entries as u64)),
+        (
+            "guard_evaluations",
+            Json::U64(stats.guard_evaluations as u64),
+        ),
+    ])
+}
+
+fn resource_wire_name(r: Resource) -> &'static str {
+    match r {
+        Resource::Deadline => "deadline",
+        Resource::LayerPoints => "layer_points",
+        Resource::GuardEvaluations => "guard_evaluations",
+        Resource::Memory => "memory",
+        Resource::Nodes => "nodes",
+        Resource::Branches => "branches",
+        Resource::Solutions => "solutions",
+    }
+}
+
+/// Serializes a protocol as `[[agent, [obs...], [action...]], ...]`,
+/// sorted by `(agent, history)` — the backing map iterates in arbitrary
+/// order, and wire bytes must not.
+fn protocol_json(protocol: &MapProtocol) -> Json {
+    let mut entries: Vec<(usize, Vec<u64>, Vec<u32>)> = protocol
+        .iter()
+        .map(|(agent, history, acts)| {
+            (
+                agent.index(),
+                history.iter().map(|o| o.0).collect(),
+                acts.iter().map(|a| a.0).collect(),
+            )
+        })
+        .collect();
+    entries.sort();
+    Json::Arr(
+        entries
+            .into_iter()
+            .map(|(agent, history, acts)| {
+                Json::Arr(vec![
+                    Json::U64(agent as u64),
+                    Json::Arr(history.into_iter().map(Json::U64).collect()),
+                    Json::Arr(acts.into_iter().map(|a| Json::U64(u64::from(a))).collect()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// An `ok: false` response for a request-level error.
+#[must_use]
+pub fn error_response(id: Option<u64>, error: &RequestError) -> Json {
+    obj(vec![
+        ("id", id.map_or(Json::Null, Json::U64)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(error.wire_kind().into())),
+                ("message", Json::Str(error.to_string())),
+            ]),
+        ),
+    ])
+}
+
+/// An `ok: false` response for a [`QueueFull`] rejection, carrying the
+/// typed retry-after hint.
+#[must_use]
+pub fn reject_response(id: Option<u64>, full: QueueFull) -> Json {
+    obj(vec![
+        ("id", id.map_or(Json::Null, Json::U64)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str("queue_full".into())),
+                ("message", Json::Str(full.to_string())),
+                ("capacity", Json::U64(full.capacity as u64)),
+                ("retry_after_ms", Json::U64(full.retry_after_ms)),
+            ]),
+        ),
+    ])
+}
+
+fn solve_error_response(id: u64, error: &SolveError) -> Json {
+    obj(vec![
+        ("id", Json::U64(id)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str("solve_error".into())),
+                ("message", Json::Str(error.to_string())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::parse_request;
+    use crate::job::Request;
+
+    fn job(line: &str) -> JobRequest {
+        match parse_request(line).unwrap() {
+            Request::Job(job) => job,
+            Request::Stats { .. } => panic!("expected a job"),
+        }
+    }
+
+    #[test]
+    fn executes_a_solve_job() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let response = service.execute(&job(
+            r#"{"id":1,"kind":"solve","scenario":"bit_transmission"}"#,
+        ));
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("outcome"), Some(&Json::Str("complete".into())));
+        assert!(matches!(response.get("protocol"), Some(Json::Arr(v)) if !v.is_empty()));
+        assert_eq!(service.stats().jobs_executed, 1);
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_typed_response() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let response = service.execute(&job(r#"{"id":2,"kind":"solve","scenario":"nope"}"#));
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        let error = response.get("error").unwrap();
+        assert_eq!(
+            error.get("kind"),
+            Some(&Json::Str("unknown_scenario".into()))
+        );
+    }
+
+    #[test]
+    fn future_program_solve_is_unsupported_but_enumerate_works() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let solve = service.execute(&job(
+            r#"{"id":3,"kind":"solve","scenario":"zoo_self_fulfilling"}"#,
+        ));
+        assert_eq!(solve.get("ok"), Some(&Json::Bool(false)));
+        let enumerate = service.execute(&job(
+            r#"{"id":4,"kind":"enumerate","scenario":"zoo_self_fulfilling"}"#,
+        ));
+        assert_eq!(enumerate.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(enumerate.get("count"), Some(&Json::U64(2)));
+        assert_eq!(enumerate.get("complete"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn check_job_confirms_the_fixed_point() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let response = service.execute(&job(
+            r#"{"id":5,"kind":"check","scenario":"muddy_children_3"}"#,
+        ));
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("is_implementation"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("mismatches"), Some(&Json::U64(0)));
+    }
+
+    #[test]
+    fn fault_lattice_has_four_rows_and_stable_signatures() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let line =
+            r#"{"id":6,"kind":"fault_lattice","scenario":"bit_transmission","fault_seed":7}"#;
+        let a = service.execute(&job(line));
+        let b = service.execute(&job(line));
+        assert_eq!(a.to_line(), b.to_line(), "lattice must be replayable");
+        let Some(Json::Arr(rows)) = a.get("rows") else {
+            panic!("rows missing: {}", a.to_line());
+        };
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].get("fault"), Some(&Json::Str("none".into())));
+        assert!(rows.iter().all(|r| r.get("signature").is_some()));
+    }
+
+    #[test]
+    fn batch_responses_come_back_in_submission_order() {
+        let service = Service::new(ServiceConfig::new().workers(4));
+        let jobs: Vec<JobRequest> = (0..6)
+            .map(|i| {
+                job(&format!(
+                    r#"{{"id":{i},"kind":"solve","scenario":"zoo_plain"}}"#
+                ))
+            })
+            .collect();
+        let responses = service.run_batch(&jobs);
+        for (i, response) in responses.iter().enumerate() {
+            assert_eq!(response.get("id"), Some(&Json::U64(i as u64)));
+        }
+    }
+
+    #[test]
+    fn strict_batch_rejects_deterministically_beyond_capacity() {
+        let service = Service::new(ServiceConfig::new().workers(2).queue_capacity(2));
+        let jobs: Vec<JobRequest> = (0..5)
+            .map(|i| {
+                job(&format!(
+                    r#"{{"id":{i},"kind":"solve","scenario":"zoo_plain"}}"#
+                ))
+            })
+            .collect();
+        let responses = service.run_batch_strict(&jobs);
+        assert_eq!(responses.len(), 5);
+        for accepted in &responses[..2] {
+            assert_eq!(accepted.get("ok"), Some(&Json::Bool(true)));
+        }
+        for rejected in &responses[2..] {
+            assert_eq!(rejected.get("ok"), Some(&Json::Bool(false)));
+            let error = rejected.get("error").unwrap();
+            assert_eq!(error.get("kind"), Some(&Json::Str("queue_full".into())));
+            assert_eq!(error.get("capacity"), Some(&Json::U64(2)));
+            assert!(error.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+        }
+        assert_eq!(service.stats().queue_rejections, 3);
+    }
+
+    #[test]
+    fn config_from_env_rejects_garbage() {
+        // Environment mutation: run the cases in one test to avoid
+        // parallel-test interference on the same variables.
+        let run = |pairs: &[(&str, &str)]| {
+            for (k, v) in pairs {
+                std::env::set_var(k, v);
+            }
+            let result = ServiceConfig::from_env();
+            for (k, _) in pairs {
+                std::env::remove_var(k);
+            }
+            result
+        };
+        assert!(matches!(
+            run(&[(WORKERS_ENV, "zero?")]),
+            Err(ConfigError::Threads(_))
+        ));
+        assert!(matches!(
+            run(&[(QUEUE_ENV, "0")]),
+            Err(ConfigError::Threads(_))
+        ));
+        assert!(matches!(
+            run(&[(CACHE_ENV, "maybe")]),
+            Err(ConfigError::Flag { .. })
+        ));
+        let ok = run(&[(WORKERS_ENV, "3"), (QUEUE_ENV, "17"), (CACHE_ENV, "off")]).unwrap();
+        assert_eq!(ok.workers, 3);
+        assert_eq!(ok.queue_capacity, 17);
+        assert!(!ok.cache_enabled);
+    }
+}

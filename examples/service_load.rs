@@ -1,0 +1,103 @@
+//! Load-test the batch-solving service: push the full scenario registry
+//! (including fault-lattice rungs and a budget grid) through the worker
+//! pool twice — a cold pass, then a warm pass against the primed
+//! artifact cache — and verify the two transcripts are bit-identical
+//! while the warm pass restores snapshotted layers instead of
+//! recomputing them.
+//!
+//! Run with: `cargo run --release --example service_load`
+
+use std::time::Instant;
+
+use knowledge_programs::kbp_core::Budget;
+use knowledge_programs::kbp_service::{registry, JobKind, JobRequest, Service, ServiceConfig};
+
+fn main() {
+    let workers = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+    let service = Service::new(ServiceConfig::new().workers(workers).cache(true));
+
+    // One batch spanning every scenario, every fault rung it supports,
+    // and a small budget grid on the heaviest transmission scenarios.
+    let mut jobs: Vec<JobRequest> = Vec::new();
+    let mut push = |kind: JobKind, scenario: &str, fault: Option<&str>, budget: Budget| {
+        let id = jobs.len() as u64;
+        jobs.push(JobRequest {
+            id,
+            kind,
+            scenario: scenario.to_string(),
+            horizon: None,
+            fault: fault.map(str::to_string),
+            fault_seed: 7,
+            budget,
+            max_solutions: None,
+            max_branches: None,
+        });
+    };
+    for entry in registry() {
+        if entry.solvable {
+            push(JobKind::Solve, entry.name, None, Budget::new());
+            push(JobKind::Check, entry.name, None, Budget::new());
+        } else {
+            push(JobKind::Enumerate, entry.name, None, Budget::new());
+        }
+        if entry.lattice.is_some() {
+            push(JobKind::FaultLattice, entry.name, None, Budget::new());
+            for rung in ["loss", "crash-stop", "loss+crash-stop"] {
+                push(JobKind::Solve, entry.name, Some(rung), Budget::new());
+            }
+        }
+    }
+    for points in [50, 500, 5000] {
+        push(
+            JobKind::Solve,
+            "sequence_transmission_2",
+            None,
+            Budget::new().max_layer_points(points),
+        );
+    }
+    println!(
+        "batch: {} jobs over {} scenarios, {} workers",
+        jobs.len(),
+        registry().len(),
+        workers
+    );
+
+    let t0 = Instant::now();
+    let cold: Vec<String> = service
+        .run_batch(&jobs)
+        .iter()
+        .map(knowledge_programs::kbp_service::json::Json::to_line)
+        .collect();
+    let cold_time = t0.elapsed();
+    let after_cold = service.stats();
+
+    let t1 = Instant::now();
+    let warm: Vec<String> = service
+        .run_batch(&jobs)
+        .iter()
+        .map(knowledge_programs::kbp_service::json::Json::to_line)
+        .collect();
+    let warm_time = t1.elapsed();
+    let after_warm = service.stats();
+
+    assert_eq!(cold, warm, "warm pass diverged from cold pass");
+    let restored = after_warm.layers_restored - after_cold.layers_restored;
+    let layers = after_warm.layers_total - after_cold.layers_total;
+    let hits = after_warm.cache.hits;
+    assert!(hits > 0, "warm pass should hit the artifact cache");
+    assert!(restored > 0, "warm pass should restore snapshotted layers");
+
+    println!("cold pass: {cold_time:?}");
+    println!(
+        "warm pass: {warm_time:?}  ({restored}/{layers} layers restored, {hits} cache hits, {} sessions)",
+        after_warm.cache.sessions
+    );
+    println!(
+        "warm layer rate over both passes: {:.1}%",
+        after_warm.warm_layer_rate() * 100.0
+    );
+    println!("transcripts bit-identical: {} lines", cold.len());
+
+    let ok = cold.iter().filter(|l| l.contains("\"ok\":true")).count();
+    println!("responses ok: {ok}/{}", cold.len());
+}

@@ -15,6 +15,7 @@
 //! | [`kbp_mck`] | CTLK model checking over reachable-state graphs |
 //! | [`kbp_faults`] | fault-injecting context combinators: scheduled message loss, crash-stop/recovery, observation corruption |
 //! | [`kbp_scenarios`] | the paper's worked examples (bit transmission, muddy children, sequence transmission, robot, fixed-point zoo) |
+//! | [`kbp_service`] | the `kbpd` batch-solving service: JSON line protocol, bounded job queue, deterministic worker pool, cross-request artifact cache |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use kbp_kripke;
 pub use kbp_logic;
 pub use kbp_mck;
 pub use kbp_scenarios;
+pub use kbp_service;
 pub use kbp_systems;
 
 /// The most commonly used items, for glob import.
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use kbp_scenarios::muddy_children::MuddyChildren;
     pub use kbp_scenarios::robot::Robot;
     pub use kbp_scenarios::sequence_transmission::{SequenceTransmission, Tagging};
+    pub use kbp_service::{JobKind, JobRequest, Service, ServiceConfig};
     pub use kbp_systems::{
         generate, ActionId, Context, ContextBuilder, EnvActionId, Evaluator, FnContext,
         GlobalState, InterpretedSystem, LocalView, MapProtocol, Obs, Point, ProtocolFn, Recall,

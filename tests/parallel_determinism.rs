@@ -75,11 +75,15 @@ fn thread_counts() -> Vec<usize> {
 #[test]
 fn solutions_are_identical_across_thread_counts_and_carry_forward() {
     for (name, ctx, kbp, horizon, recall) in scenarios() {
-        // Reference: sequential fill, carry-forward enabled (the default).
+        // Reference: sequential fill, carry-forward enabled on every
+        // layer (threshold 0, so even the tiny scenario layers exercise
+        // the renaming path rather than being gated by the width
+        // threshold).
         let reference = SyncSolver::new(&ctx, &kbp)
             .horizon(horizon)
             .recall(recall)
             .eval_threads(1)
+            .carry_threshold(0)
             .solve()
             .unwrap_or_else(|e| panic!("{name}: reference solve failed: {e}"));
 
@@ -89,6 +93,7 @@ fn solutions_are_identical_across_thread_counts_and_carry_forward() {
                     .horizon(horizon)
                     .recall(recall)
                     .eval_threads(threads)
+                    .carry_threshold(0)
                     .carry_forward(carry)
                     .solve()
                     .unwrap_or_else(|e| {
@@ -139,6 +144,7 @@ fn carried_layers_actually_occur_somewhere() {
     let solution = SyncSolver::new(&ctx, &kbp)
         .horizon(6)
         .recall(Recall::Observational)
+        .carry_threshold(0)
         .solve()
         .expect("bit transmission solves");
     assert!(
@@ -146,4 +152,35 @@ fn carried_layers_actually_occur_somewhere() {
         "expected at least one carried layer, got stats {:?}",
         solution.stats()
     );
+}
+
+#[test]
+fn default_carry_threshold_gates_tiny_layers_without_changing_answers() {
+    // Bit-transmission layers under observational recall are far below
+    // `DEFAULT_CARRY_THRESHOLD` points, so the default configuration must
+    // skip the renaming entirely (E14 showed it costs more than refilling
+    // on layers this small) — deterministically, and with an answer
+    // identical to the eager threshold-0 run above.
+    let bt = BitTransmission::new(Channel::Lossy);
+    let ctx = bt.context();
+    let kbp = bt.kbp();
+    let gated = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .recall(Recall::Observational)
+        .solve()
+        .expect("bit transmission solves");
+    assert_eq!(
+        gated.stats().layers_carried,
+        0,
+        "layers this small must not attempt carry under the default threshold"
+    );
+    let eager = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .recall(Recall::Observational)
+        .carry_threshold(0)
+        .solve()
+        .expect("bit transmission solves");
+    assert_eq!(gated.protocol(), eager.protocol());
+    assert_eq!(gated.stabilized(), eager.stabilized());
+    assert_eq!(gated.per_layer(), eager.per_layer());
 }
