@@ -1,0 +1,237 @@
+//! E16 — Intra-layer world-range sharding of the partition/sat-set
+//! kernels.
+//!
+//! One *wide* layer (the widest slice of a generated sequence-
+//! transmission system, thousands of worlds) is attacked by the four hot
+//! kernels sequentially and split into 4 word-aligned world-range
+//! shards:
+//!
+//! * `blocks_inside` — union of fully-satisfied information cells (the
+//!   K_i kernel),
+//! * `Partition::refine_with` — common refinement (the D_G kernel),
+//! * `Partition::join_with` — coarsest common coarsening (the C_G
+//!   kernel),
+//! * `S5Model::group_join` — the full C_G accumulation over a group.
+//!
+//! Equality of the sharded and sequential results — including block
+//! *numbering*, via derived `PartialEq` on the canonical partition
+//! representation — is asserted in-bench. Per the E14 convention, no
+//! timing is asserted: the development container is single-vCPU, where
+//! the honest expectation is bounded overhead, not speedup (shard
+//! spawn/merge costs with zero parallel win). The measured numbers are
+//! recorded in `EXPERIMENTS.md` §E16 and dumped as
+//! `BENCH_sharded_kernels.json` at the repo root for machine diffing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_kripke::{blocks_inside, blocks_inside_sharded, Partition, S5Model};
+use kbp_logic::{Agent, AgentSet};
+use kbp_scenarios::sequence_transmission::{Channel, SequenceTransmission, Tagging};
+use kbp_systems::{generate, FullProtocol, InterpretedSystem, Recall};
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+
+fn widest_layer(system: &InterpretedSystem) -> &S5Model {
+    (0..system.layer_count())
+        .map(|t| system.layer(t).model())
+        .max_by_key(|m| m.world_count())
+        .expect("system has layers")
+}
+
+/// Median-of-5 wall time for `f`, called `iters` times per sample.
+fn time_ns(iters: usize, mut f: impl FnMut() -> usize) -> u64 {
+    let mut samples: Vec<u64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            (start.elapsed().as_nanos() / iters as u128) as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[2]
+}
+
+struct Row {
+    kernel: &'static str,
+    seq_ns: u64,
+    sharded_ns: u64,
+}
+
+fn json_artifact(worlds: usize, rows: &[Row]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"experiment\": \"E16_sharded_kernels\",\n"));
+    out.push_str(&format!("  \"worlds\": {worlds},\n"));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    out.push_str("  \"equality_asserted\": true,\n");
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let ratio = r.sharded_ns as f64 / r.seq_ns.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"sequential_ns\": {}, \"sharded_ns\": {}, \"sharded_over_sequential\": {:.3}}}{}\n",
+            r.kernel,
+            r.seq_ns,
+            r.sharded_ns,
+            ratio,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let sc = SequenceTransmission::new(3, Tagging::Alternating, Channel::Lossy);
+    let ctx = sc.context();
+    let full = FullProtocol::for_context(&ctx);
+    let system = generate(&ctx, &full, Recall::Perfect, 8).expect("generates");
+    let model = widest_layer(&system);
+    let n = model.world_count();
+    assert!(
+        n > 64 * SHARDS,
+        "widest layer ({n} worlds) too narrow to give each of {SHARDS} shards a full word"
+    );
+
+    let sender = model.partition(Agent::new(0));
+    let receiver = model.partition(Agent::new(1));
+    let sat = model
+        .satisfying(&kbp_logic::Formula::prop(sc.done_r()))
+        .expect("evaluates");
+    let group = AgentSet::all(2);
+
+    // Equality first — sharded results must be bit-identical, block ids
+    // included (`Partition`'s derived `PartialEq` compares the canonical
+    // numbering), before any timing is worth reporting. The table cell
+    // then pins a Display-able witness per kernel.
+    let mut table = Vec::new();
+    let seq_blocks = blocks_inside(sender, &sat);
+    assert_eq!(seq_blocks, blocks_inside_sharded(sender, &sat, SHARDS));
+    table.push(vec![
+        cell("blocks_inside"),
+        cell(n),
+        expect(
+            "sharded = sequential",
+            seq_blocks.count(),
+            blocks_inside_sharded(sender, &sat, SHARDS).count(),
+        ),
+    ]);
+    let refined = sender.refine_with(receiver);
+    assert_eq!(refined, sender.refine_with_sharded(receiver, SHARDS));
+    table.push(vec![
+        cell("refine_with"),
+        cell(n),
+        expect(
+            "sharded = sequential",
+            refined.block_count(),
+            sender.refine_with_sharded(receiver, SHARDS).block_count(),
+        ),
+    ]);
+    let joined = sender.join_with(receiver);
+    assert_eq!(joined, sender.join_with_sharded(receiver, SHARDS));
+    table.push(vec![
+        cell("join_with"),
+        cell(n),
+        expect(
+            "sharded = sequential",
+            joined.block_count(),
+            sender.join_with_sharded(receiver, SHARDS).block_count(),
+        ),
+    ]);
+    let grouped = model.group_join(group).expect("joins");
+    assert_eq!(
+        grouped,
+        model.group_join_sharded(group, SHARDS).expect("joins")
+    );
+    table.push(vec![
+        cell("group_join"),
+        cell(n),
+        expect(
+            "sharded = sequential",
+            grouped.block_count(),
+            model
+                .group_join_sharded(group, SHARDS)
+                .expect("joins")
+                .block_count(),
+        ),
+    ]);
+
+    // Timings for the JSON artifact (medians over fixed iteration
+    // counts; criterion's own numbers go to stdout as usual).
+    let count_of = |p: &Partition| p.block_count();
+    let rows = vec![
+        Row {
+            kernel: "blocks_inside",
+            seq_ns: time_ns(50, || blocks_inside(sender, &sat).count()),
+            sharded_ns: time_ns(50, || blocks_inside_sharded(sender, &sat, SHARDS).count()),
+        },
+        Row {
+            kernel: "refine_with",
+            seq_ns: time_ns(20, || count_of(&sender.refine_with(receiver))),
+            sharded_ns: time_ns(20, || {
+                count_of(&sender.refine_with_sharded(receiver, SHARDS))
+            }),
+        },
+        Row {
+            kernel: "join_with",
+            seq_ns: time_ns(20, || count_of(&sender.join_with(receiver))),
+            sharded_ns: time_ns(20, || count_of(&sender.join_with_sharded(receiver, SHARDS))),
+        },
+        Row {
+            kernel: "group_join",
+            seq_ns: time_ns(20, || count_of(&model.group_join(group).expect("joins"))),
+            sharded_ns: time_ns(20, || {
+                count_of(&model.group_join_sharded(group, SHARDS).expect("joins"))
+            }),
+        },
+    ];
+    let artifact_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_sharded_kernels.json"
+    );
+    std::fs::write(artifact_path, json_artifact(n, &rows)).expect("writes artifact");
+
+    let mut group_b = c.benchmark_group("e16_sharded_kernels");
+    group_b.bench_function(BenchmarkId::new("blocks_inside", "seq"), |b| {
+        b.iter(|| black_box(blocks_inside(sender, &sat).count()));
+    });
+    group_b.bench_function(BenchmarkId::new("blocks_inside", "sharded4"), |b| {
+        b.iter(|| black_box(blocks_inside_sharded(sender, &sat, SHARDS).count()));
+    });
+    group_b.bench_function(BenchmarkId::new("refine_with", "seq"), |b| {
+        b.iter(|| black_box(sender.refine_with(receiver).block_count()));
+    });
+    group_b.bench_function(BenchmarkId::new("refine_with", "sharded4"), |b| {
+        b.iter(|| black_box(sender.refine_with_sharded(receiver, SHARDS).block_count()));
+    });
+    group_b.bench_function(BenchmarkId::new("join_with", "seq"), |b| {
+        b.iter(|| black_box(sender.join_with(receiver).block_count()));
+    });
+    group_b.bench_function(BenchmarkId::new("join_with", "sharded4"), |b| {
+        b.iter(|| black_box(sender.join_with_sharded(receiver, SHARDS).block_count()));
+    });
+    group_b.finish();
+
+    report_table(
+        "E16 sharded kernels on one wide layer (expected: bit-identical outputs; timings in BENCH_sharded_kernels.json)",
+        &["kernel", "worlds", "equal"],
+        &table,
+    );
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

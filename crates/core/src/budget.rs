@@ -87,6 +87,11 @@ pub struct LayerStats {
     pub guard_evaluations: usize,
     /// Protocol entries added while inducing this layer.
     pub protocol_entries: usize,
+    /// World-range shards the evaluation kernels were planned to split
+    /// into for this layer (1 = sequential). Pure function of the solver's
+    /// thread/sharding configuration and the layer width — never of cache
+    /// warmth — so it is reproducible across runs with equal settings.
+    pub shards: usize,
 }
 
 /// A resource budget for [`SyncSolver`](crate::SyncSolver): every field is
@@ -216,6 +221,7 @@ serde::impl_serde_struct!(LayerStats {
     points,
     guard_evaluations,
     protocol_entries,
+    shards,
 });
 
 // Unit-only enum: serialized by stable variant index (wire format).

@@ -520,7 +520,7 @@ impl Search<'_, '_> {
         // system in one batch through the run's shared arena: `sets[g][t]`
         // is the satisfaction set of the g-th flattened guard at layer t.
         let flat_full: Vec<FormulaId> = self.full_ids.iter().flatten().copied().collect();
-        let sets = kbp_systems::satisfying_layers(&system, self.engine.arena(), &flat_full)?;
+        let sets = kbp_systems::satisfying_layers_with(&system, &self.engine, &flat_full)?;
         self.stats.guard_evaluations += flat_full.len();
 
         let t_last = system.layer_count() - 1;

@@ -169,6 +169,12 @@ pub struct SolveStats {
     /// evaluated (warm artifact-cache hits; always `0` for solves without
     /// a session).
     pub layers_restored: usize,
+    /// Layers whose kernel plan split the world range into more than one
+    /// shard ([`LayerStats::shards`] > 1). Like `shards`, this is a pure
+    /// function of the thread/sharding configuration and layer widths, so
+    /// it is stable across cache states; it does vary with the configured
+    /// thread count and is therefore excluded from wire-level stats.
+    pub layers_sharded: usize,
 }
 
 /// The unique implementation of a past-determined KBP, as constructed by
@@ -394,6 +400,12 @@ impl EngineSession {
         self.engine.set_threads(threads);
     }
 
+    /// Overrides the engine's intra-layer sharding gate for subsequent
+    /// solves (see [`SyncSolver::shard_min_worlds`]).
+    pub fn set_shard_min_worlds(&mut self, worlds: usize) {
+        self.engine.set_shard_min_worlds(worlds);
+    }
+
     /// Number of layers with a stored snapshot.
     #[must_use]
     pub fn snapshot_layers(&self) -> usize {
@@ -461,6 +473,7 @@ pub struct SyncSolver<'a> {
     node_limit: Option<usize>,
     budget: Budget,
     eval_threads: Option<usize>,
+    shard_min_worlds: Option<usize>,
     carry_forward: bool,
     carry_threshold: usize,
 }
@@ -488,6 +501,7 @@ impl<'a> SyncSolver<'a> {
             node_limit: None,
             budget: Budget::default(),
             eval_threads: None,
+            shard_min_worlds: None,
             carry_forward: true,
             carry_threshold: DEFAULT_CARRY_THRESHOLD,
         }
@@ -529,6 +543,19 @@ impl<'a> SyncSolver<'a> {
     #[must_use]
     pub fn eval_threads(mut self, threads: usize) -> Self {
         self.eval_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the minimum layer width (worlds) before the evaluation
+    /// kernels split a single layer into world-range shards (default: the
+    /// `KBP_SHARD_MIN_WORLDS` environment variable if set, else
+    /// [`kbp_kripke::DEFAULT_SHARD_MIN_WORLDS`]). `0` shards every layer
+    /// wide enough to have more than one 64-world word; `usize::MAX`
+    /// disables intra-layer sharding. The solution is bit-identical for
+    /// every value — only [`LayerStats::shards`] and wall-clock change.
+    #[must_use]
+    pub fn shard_min_worlds(mut self, worlds: usize) -> Self {
+        self.shard_min_worlds = Some(worlds);
         self
     }
 
@@ -659,6 +686,9 @@ impl<'a> SyncSolver<'a> {
         if let Some(threads) = self.eval_threads {
             engine.set_threads(threads);
         }
+        if let Some(worlds) = self.shard_min_worlds {
+            engine.set_shard_min_worlds(worlds);
+        }
         let guard_ids: Vec<Vec<FormulaId>> = self
             .kbp
             .programs()
@@ -781,11 +811,20 @@ impl<'a> SyncSolver<'a> {
                     store[t] = Some((frontier, cache.snapshot()));
                 }
             }
+            // Record the kernel shard plan for the layer. The plan is a
+            // pure function of the configuration and the layer width, so
+            // it is recorded even when the layer was restored or carried —
+            // stats stay identical across cache states.
+            let shards = engine.kernel_shards(frontier);
+            if shards > 1 {
+                stats.layers_sharded += 1;
+            }
             per_layer.push(LayerStats {
                 layer: t,
                 points: frontier,
                 guard_evaluations: stats.guard_evaluations - evals_before,
                 protocol_entries: stats.protocol_entries - entries_before,
+                shards,
             });
             if t < self.horizon {
                 match builder.step(&choices) {
@@ -907,6 +946,7 @@ serde::impl_serde_struct!(SolveStats {
     arenas,
     layers_carried,
     layers_restored,
+    layers_sharded,
 });
 
 #[cfg(test)]

@@ -38,6 +38,17 @@ use std::thread;
 /// Environment variable overriding the engine's worker-thread count.
 pub const THREADS_ENV: &str = "KBP_EVAL_THREADS";
 
+/// Environment variable overriding the intra-layer sharding gate: layers
+/// with at least this many worlds use the range-sharded kernels (when
+/// `threads > 1`). `0` means "shard every layer wide enough to split";
+/// a huge value disables intra-layer sharding entirely.
+pub const SHARD_MIN_WORLDS_ENV: &str = "KBP_SHARD_MIN_WORLDS";
+
+/// Default intra-layer sharding gate. High enough that small layers —
+/// and everything below the solver's carry threshold — stay on the
+/// sequential kernels, whose fixed cost (no thread spawns) wins there.
+pub const DEFAULT_SHARD_MIN_WORLDS: usize = 4096;
+
 /// Largest worker-thread count accepted from an environment variable.
 /// Far above any plausible machine; a value beyond it is a typo (an extra
 /// digit, a pasted timestamp), not a configuration.
@@ -130,6 +141,31 @@ pub fn env_threads(var: &'static str) -> Result<Option<usize>, ThreadConfigError
     }
 }
 
+/// Reads the intra-layer sharding gate from [`SHARD_MIN_WORLDS_ENV`].
+/// `Ok(None)` when unset or empty. Unlike thread counts, `0` is a valid
+/// setting (shard every layer wide enough to split) and there is no upper
+/// cap (a huge value just disables intra-layer sharding).
+///
+/// # Errors
+///
+/// Returns [`ThreadConfigError::NotANumber`] if the variable holds
+/// anything but an unsigned integer.
+pub fn env_shard_min_worlds() -> Result<Option<usize>, ThreadConfigError> {
+    match std::env::var(SHARD_MIN_WORLDS_ENV) {
+        Err(_) => Ok(None),
+        Ok(raw) if raw.trim().is_empty() => Ok(None),
+        Ok(raw) => {
+            raw.trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| ThreadConfigError::NotANumber {
+                    var: SHARD_MIN_WORLDS_ENV,
+                    value: raw,
+                })
+        }
+    }
+}
+
 /// Set-level temporal operators, supplied by evaluators that have a
 /// notion of time (bounded layers, an explored state graph, …).
 ///
@@ -182,6 +218,7 @@ pub trait TemporalOps {
 pub struct EvalEngine {
     arena: FormulaArena,
     threads: usize,
+    shard_min_worlds: usize,
 }
 
 fn default_threads() -> usize {
@@ -189,6 +226,13 @@ fn default_threads() -> usize {
         return n;
     }
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn default_shard_min_worlds() -> usize {
+    match env_shard_min_worlds() {
+        Ok(Some(n)) => n,
+        _ => DEFAULT_SHARD_MIN_WORLDS,
+    }
 }
 
 impl EvalEngine {
@@ -203,6 +247,7 @@ impl EvalEngine {
         EvalEngine {
             arena,
             threads: default_threads(),
+            shard_min_worlds: default_shard_min_worlds(),
         }
     }
 
@@ -218,7 +263,12 @@ impl EvalEngine {
         let threads = env_threads(THREADS_ENV)?.unwrap_or_else(|| {
             thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
-        Ok(EvalEngine { arena, threads })
+        let shard_min_worlds = env_shard_min_worlds()?.unwrap_or(DEFAULT_SHARD_MIN_WORLDS);
+        Ok(EvalEngine {
+            arena,
+            threads,
+            shard_min_worlds,
+        })
     }
 
     /// Overrides the worker-thread count (clamped to ≥ 1); `1` forces the
@@ -239,6 +289,40 @@ impl EvalEngine {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Overrides the intra-layer sharding gate: layers with at least
+    /// `worlds` worlds run the range-sharded kernels (when `threads > 1`).
+    #[must_use]
+    pub fn with_shard_min_worlds(mut self, worlds: usize) -> Self {
+        self.shard_min_worlds = worlds;
+        self
+    }
+
+    /// In-place variant of
+    /// [`with_shard_min_worlds`](Self::with_shard_min_worlds).
+    pub fn set_shard_min_worlds(&mut self, worlds: usize) {
+        self.shard_min_worlds = worlds;
+    }
+
+    /// The configured intra-layer sharding gate.
+    #[must_use]
+    pub fn shard_min_worlds(&self) -> usize {
+        self.shard_min_worlds
+    }
+
+    /// The kernel shard plan for a layer of `worlds` worlds: how many
+    /// word-aligned world ranges the partition/sat-set kernels split
+    /// into. `1` means sequential. A pure function of the engine
+    /// configuration and the layer width — never of cache warmth or
+    /// scheduling — so recorded stats stay deterministic.
+    #[must_use]
+    pub fn kernel_shards(&self, worlds: usize) -> usize {
+        if self.threads > 1 && worlds >= self.shard_min_worlds {
+            self.threads.min(worlds.div_ceil(64)).max(1)
+        } else {
+            1
+        }
     }
 
     /// The engine's arena.
@@ -288,6 +372,9 @@ impl EvalEngine {
                 .map(|(shard_roots, mut local)| {
                     scope.spawn(move || -> Result<EvalCache, EvalError> {
                         for id in shard_roots {
+                            // Component workers keep the sequential
+                            // kernels: the threads are already busy, and
+                            // nesting range shards would oversubscribe.
                             model.eval_into_cache(&mut local, &self.arena, id)?;
                         }
                         Ok(local)
@@ -309,14 +396,20 @@ impl EvalEngine {
         Ok(())
     }
 
+    /// The single-walk path. This is where intra-layer sharding engages:
+    /// when the batch cannot be split *across* roots (one root, one
+    /// component, or one thread configured), a wide layer still
+    /// parallelizes *within* each kernel call per
+    /// [`kernel_shards`](Self::kernel_shards).
     fn populate_sequential(
         &self,
         model: &S5Model,
         cache: &mut EvalCache,
         todo: &[FormulaId],
     ) -> Result<(), EvalError> {
+        let ks = self.kernel_shards(model.world_count());
         for &id in todo {
-            model.eval_into_cache(cache, &self.arena, id)?;
+            model.eval_into_cache_sharded(cache, &self.arena, id, ks)?;
         }
         Ok(())
     }
@@ -450,6 +543,7 @@ impl EvalEngine {
         ops: &dyn TemporalOps,
     ) -> Result<(), EvalError> {
         cache.bind(model.world_count())?;
+        let ks = self.kernel_shards(model.world_count());
         for id in self.arena.reachable(roots) {
             if cache.has(id) {
                 continue;
@@ -465,8 +559,9 @@ impl EvalEngine {
                 ),
                 _ => {
                     // Non-temporal: children are cached, so this recurses
-                    // at most one level before hitting the memo.
-                    model.eval_into_cache(cache, &self.arena, id)?;
+                    // at most one level before hitting the memo; wide
+                    // layers use the range-sharded kernels.
+                    model.eval_into_cache_sharded(cache, &self.arena, id, ks)?;
                     continue;
                 }
             };
@@ -543,6 +638,7 @@ mod tests {
         let seq_engine = EvalEngine {
             arena: engine.arena.clone(),
             threads: 1,
+            shard_min_worlds: DEFAULT_SHARD_MIN_WORLDS,
         };
         let mut seq = EvalCache::new();
         let seq_sets = seq_engine.satisfying_sets(&m, &mut seq, &ids).unwrap();
@@ -551,6 +647,7 @@ mod tests {
             let par_engine = EvalEngine {
                 arena: engine.arena.clone(),
                 threads,
+                shard_min_worlds: DEFAULT_SHARD_MIN_WORLDS,
             };
             let mut par = EvalCache::new();
             let par_sets = par_engine.satisfying_sets(&m, &mut par, &ids).unwrap();
@@ -652,6 +749,7 @@ mod tests {
         let seq_engine = EvalEngine {
             arena: engine.arena.clone(),
             threads: 1,
+            shard_min_worlds: DEFAULT_SHARD_MIN_WORLDS,
         };
         let mut seq = EvalCache::new();
         let mut par = EvalCache::new();

@@ -3,6 +3,7 @@
 use crate::bitset::BitSet;
 use crate::model::{S5Model, WorldId};
 use crate::partition::Partition;
+use crate::shard::{run_sharded, shard_ranges};
 use kbp_logic::{Agent, AgentSet, Formula, FormulaArena, FormulaId, InternedNode, PropId};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -419,11 +420,15 @@ impl S5Model {
     /// Returns [`EvalError::AgentOutOfRange`] or
     /// [`EvalError::LengthMismatch`] on misuse.
     pub fn knowing(&self, agent: Agent, sat: &BitSet) -> Result<BitSet, EvalError> {
+        self.knowing_with(agent, sat, 1)
+    }
+
+    fn knowing_with(&self, agent: Agent, sat: &BitSet, shards: usize) -> Result<BitSet, EvalError> {
         if agent.index() >= self.agent_count() {
             return Err(EvalError::AgentOutOfRange(agent));
         }
         self.check_len(sat)?;
-        Ok(blocks_inside(self.partition(agent), sat))
+        Ok(blocks_inside_sharded(self.partition(agent), sat, shards))
     }
 
     /// Semantic `E_G`: worlds where every agent in `group` knows `sat`.
@@ -434,11 +439,20 @@ impl S5Model {
     /// [`EvalError::AgentOutOfRange`] or [`EvalError::LengthMismatch`] on
     /// misuse.
     pub fn everyone_knowing(&self, group: AgentSet, sat: &BitSet) -> Result<BitSet, EvalError> {
+        self.everyone_knowing_with(group, sat, 1)
+    }
+
+    fn everyone_knowing_with(
+        &self,
+        group: AgentSet,
+        sat: &BitSet,
+        shards: usize,
+    ) -> Result<BitSet, EvalError> {
         self.check_group(group)?;
         self.check_len(sat)?;
         let mut acc = BitSet::full(self.world_count());
         for agent in group.iter() {
-            acc.intersect_with(&self.knowing(agent, sat)?);
+            acc.intersect_with(&self.knowing_with(agent, sat, shards)?);
         }
         Ok(acc)
     }
@@ -496,6 +510,22 @@ impl S5Model {
     /// Returns [`EvalError::EmptyGroup`] or
     /// [`EvalError::AgentOutOfRange`] on misuse.
     pub fn group_join(&self, group: AgentSet) -> Result<Partition, EvalError> {
+        self.group_join_sharded(group, 1)
+    }
+
+    /// [`group_join`](Self::group_join) with each accumulation step
+    /// computed by the range-sharded join kernel
+    /// ([`Partition::join_with_sharded`]) on up to `shards` worker
+    /// threads. Bit-identical to the sequential accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`group_join`](Self::group_join).
+    pub fn group_join_sharded(
+        &self,
+        group: AgentSet,
+        shards: usize,
+    ) -> Result<Partition, EvalError> {
         self.check_group(group)?;
         let mut it = group.iter();
         let Some(first) = it.next() else {
@@ -503,7 +533,7 @@ impl S5Model {
         };
         let mut acc = self.partition(first).clone();
         for a in it {
-            acc = acc.join_with(self.partition(a));
+            acc = acc.join_with_sharded(self.partition(a), shards);
         }
         Ok(acc)
     }
@@ -516,6 +546,22 @@ impl S5Model {
     /// Returns [`EvalError::EmptyGroup`] or
     /// [`EvalError::AgentOutOfRange`] on misuse.
     pub fn group_refinement(&self, group: AgentSet) -> Result<Partition, EvalError> {
+        self.group_refinement_sharded(group, 1)
+    }
+
+    /// [`group_refinement`](Self::group_refinement) with each step
+    /// computed by the range-sharded refine kernel
+    /// ([`Partition::refine_with_sharded`]) on up to `shards` worker
+    /// threads. Bit-identical to the sequential accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`group_refinement`](Self::group_refinement).
+    pub fn group_refinement_sharded(
+        &self,
+        group: AgentSet,
+        shards: usize,
+    ) -> Result<Partition, EvalError> {
         self.check_group(group)?;
         let mut it = group.iter();
         let Some(first) = it.next() else {
@@ -523,7 +569,7 @@ impl S5Model {
         };
         let mut acc = self.partition(first).clone();
         for a in it {
-            acc = acc.refine_with(self.partition(a));
+            acc = acc.refine_with_sharded(self.partition(a), shards);
         }
         Ok(acc)
     }
@@ -588,6 +634,22 @@ impl S5Model {
         arena: &FormulaArena,
         id: FormulaId,
     ) -> Result<(), EvalError> {
+        self.eval_into_cache_sharded(cache, arena, id, 1)
+    }
+
+    /// [`eval_into_cache`](Self::eval_into_cache) with the partition and
+    /// sat-set kernels split over `kernel_shards` word-aligned world
+    /// ranges. `1` is the plain sequential walk; any value yields
+    /// bit-identical cache contents (the sharded kernels reproduce the
+    /// sequential block numbering exactly).
+    pub(crate) fn eval_into_cache_sharded(
+        &self,
+        cache: &mut EvalCache,
+        arena: &FormulaArena,
+        id: FormulaId,
+        kernel_shards: usize,
+    ) -> Result<(), EvalError> {
+        let ks = kernel_shards;
         if cache.sat.contains_key(&id) {
             return Ok(());
         }
@@ -602,7 +664,7 @@ impl S5Model {
                 self.prop_worlds(*p).clone()
             }
             InternedNode::Not(f) => {
-                self.eval_into_cache(cache, arena, *f)?;
+                self.eval_into_cache_sharded(cache, arena, *f, ks)?;
                 let mut s = cache.sat[f].clone();
                 s.complement();
                 s
@@ -610,7 +672,7 @@ impl S5Model {
             InternedNode::And(items) => {
                 let mut acc = BitSet::full(n);
                 for f in items {
-                    self.eval_into_cache(cache, arena, *f)?;
+                    self.eval_into_cache_sharded(cache, arena, *f, ks)?;
                     acc.intersect_with(&cache.sat[f]);
                 }
                 acc
@@ -618,52 +680,52 @@ impl S5Model {
             InternedNode::Or(items) => {
                 let mut acc = BitSet::new(n);
                 for f in items {
-                    self.eval_into_cache(cache, arena, *f)?;
+                    self.eval_into_cache_sharded(cache, arena, *f, ks)?;
                     acc.union_with(&cache.sat[f]);
                 }
                 acc
             }
             InternedNode::Implies(a, b) => {
-                self.eval_into_cache(cache, arena, *a)?;
-                self.eval_into_cache(cache, arena, *b)?;
+                self.eval_into_cache_sharded(cache, arena, *a, ks)?;
+                self.eval_into_cache_sharded(cache, arena, *b, ks)?;
                 let mut acc = cache.sat[a].clone();
                 acc.complement();
                 acc.union_with(&cache.sat[b]);
                 acc
             }
             InternedNode::Iff(a, b) => {
-                self.eval_into_cache(cache, arena, *a)?;
-                self.eval_into_cache(cache, arena, *b)?;
+                self.eval_into_cache_sharded(cache, arena, *a, ks)?;
+                self.eval_into_cache_sharded(cache, arena, *b, ks)?;
                 let mut acc = cache.sat[a].clone();
                 acc.xor_with(&cache.sat[b]);
                 acc.complement();
                 acc
             }
             InternedNode::Knows(agent, f) => {
-                self.eval_into_cache(cache, arena, *f)?;
-                self.knowing(*agent, &cache.sat[f])?
+                self.eval_into_cache_sharded(cache, arena, *f, ks)?;
+                self.knowing_with(*agent, &cache.sat[f], ks)?
             }
             InternedNode::Everyone(group, f) => {
-                self.eval_into_cache(cache, arena, *f)?;
-                self.everyone_knowing(*group, &cache.sat[f])?
+                self.eval_into_cache_sharded(cache, arena, *f, ks)?;
+                self.everyone_knowing_with(*group, &cache.sat[f], ks)?
             }
             InternedNode::Common(group, f) => {
-                self.eval_into_cache(cache, arena, *f)?;
+                self.eval_into_cache_sharded(cache, arena, *f, ks)?;
                 // Disjoint field borrows: the join partition cache and
                 // the satisfaction cache are separate maps.
                 let part = match cache.joins.entry(*group) {
                     Entry::Occupied(e) => e.into_mut(),
-                    Entry::Vacant(v) => v.insert(self.group_join(*group)?),
+                    Entry::Vacant(v) => v.insert(self.group_join_sharded(*group, ks)?),
                 };
-                blocks_inside(part, &cache.sat[f])
+                blocks_inside_sharded(part, &cache.sat[f], ks)
             }
             InternedNode::Distributed(group, f) => {
-                self.eval_into_cache(cache, arena, *f)?;
+                self.eval_into_cache_sharded(cache, arena, *f, ks)?;
                 let part = match cache.refinements.entry(*group) {
                     Entry::Occupied(e) => e.into_mut(),
-                    Entry::Vacant(v) => v.insert(self.group_refinement(*group)?),
+                    Entry::Vacant(v) => v.insert(self.group_refinement_sharded(*group, ks)?),
                 };
-                blocks_inside(part, &cache.sat[f])
+                blocks_inside_sharded(part, &cache.sat[f], ks)
             }
             InternedNode::Next(_)
             | InternedNode::Eventually(_)
@@ -724,14 +786,21 @@ impl S5Model {
     }
 }
 
-/// Worlds whose whole block (in `partition`) is inside `sat`.
+/// Worlds whose whole block (in `partition`) is inside `sat` — the
+/// set-level kernel behind `K_i` / `C_G` / `D_G`.
 ///
 /// Word-level: one pass over the *complement* of `sat` (only set bits of
 /// `!word` are visited) marks every block with a member outside `sat`;
 /// the surviving blocks are then emitted with direct word stores. Cost is
 /// `O(words + misses + |output|)` instead of a bounds-checked per-bit
 /// query for every world of every block.
-fn blocks_inside(partition: &Partition, sat: &BitSet) -> BitSet {
+///
+/// # Panics
+///
+/// Panics if `partition.len() != sat.len()`.
+#[must_use]
+pub fn blocks_inside(partition: &Partition, sat: &BitSet) -> BitSet {
+    assert_eq!(partition.len(), sat.len(), "universe size mismatch");
     let n = sat.len();
     let block_ids = partition.block_ids();
     let mut bad = vec![false; partition.block_count()];
@@ -758,6 +827,75 @@ fn blocks_inside(partition: &Partition, sat: &BitSet) -> BitSet {
         }
     }
     out
+}
+
+/// [`blocks_inside`] computed over word-aligned world ranges on up to
+/// `shards` worker threads, **bit-identical** to the sequential kernel.
+///
+/// Pass 1 scans each range's complement words in parallel, marking a
+/// per-shard `bad` vector; the vectors are OR-merged (marking is
+/// idempotent and order-free). Pass 2 exploits `out ⊆ sat`: each output
+/// word is the corresponding `sat` word with the bits of bad blocks
+/// cleared, so the ranges emit disjoint word chunks that concatenate
+/// into the result. The output is a *set*, so equality of sets is
+/// equality of words.
+///
+/// # Panics
+///
+/// Panics if `partition.len() != sat.len()`.
+#[must_use]
+pub fn blocks_inside_sharded(partition: &Partition, sat: &BitSet, shards: usize) -> BitSet {
+    assert_eq!(partition.len(), sat.len(), "universe size mismatch");
+    let n = sat.len();
+    let ranges = shard_ranges(n, shards);
+    if ranges.len() <= 1 {
+        return blocks_inside(partition, sat);
+    }
+    let block_ids = partition.block_ids();
+    let words = sat.words();
+    let scan = |&(lo, hi): &(usize, usize)| -> Vec<bool> {
+        let mut bad = vec![false; partition.block_count()];
+        for wi in lo / 64..hi.div_ceil(64) {
+            let mut miss = !words[wi];
+            if (wi + 1) * 64 > n {
+                miss &= u64::MAX >> (words.len() * 64 - n);
+            }
+            while miss != 0 {
+                let w = wi * 64 + miss.trailing_zeros() as usize;
+                bad[block_ids[w] as usize] = true;
+                miss &= miss - 1;
+            }
+        }
+        bad
+    };
+    let mut bad = vec![false; partition.block_count()];
+    for local in run_sharded(&ranges, scan) {
+        for (b, x) in local.into_iter().enumerate() {
+            bad[b] |= x;
+        }
+    }
+    let bad = &bad;
+    let emit = |&(lo, hi): &(usize, usize)| -> Vec<u64> {
+        let mut chunk = Vec::with_capacity(hi.div_ceil(64) - lo / 64);
+        for (wi, &src) in words.iter().enumerate().take(hi.div_ceil(64)).skip(lo / 64) {
+            let mut word = src;
+            let mut keep = word;
+            while keep != 0 {
+                let w = wi * 64 + keep.trailing_zeros() as usize;
+                if bad[block_ids[w] as usize] {
+                    word &= !(1u64 << (w & 63));
+                }
+                keep &= keep - 1;
+            }
+            chunk.push(word);
+        }
+        chunk
+    };
+    let mut out_words = Vec::with_capacity(words.len());
+    for chunk in run_sharded(&ranges, emit) {
+        out_words.extend(chunk);
+    }
+    BitSet::from_words(out_words, n)
 }
 
 #[cfg(test)]
@@ -1013,6 +1151,77 @@ mod tests {
         // After clearing, the cache rebinds to the new model.
         cache.clear();
         assert!(m2.satisfying_cached(&mut cache, &arena, id).is_ok());
+    }
+
+    #[test]
+    fn sharded_blocks_inside_matches_sequential() {
+        // Wide non-aligned universe; partition blocks interleave across
+        // word boundaries so both passes cross shard seams.
+        for n in [1usize, 64, 65, 130, 300] {
+            let part = Partition::from_keys(n, |x| x % 11);
+            let sat = BitSet::from_indices(n, (0..n).filter(|x| x % 3 != 0));
+            let seq = blocks_inside(&part, &sat);
+            for shards in [1usize, 2, 3, 7, 16] {
+                assert_eq!(
+                    blocks_inside_sharded(&part, &sat, shards),
+                    seq,
+                    "n={n} shards={shards}"
+                );
+            }
+            // Full and empty sat-sets are the degenerate extremes.
+            assert_eq!(
+                blocks_inside_sharded(&part, &BitSet::full(n), 3),
+                blocks_inside(&part, &BitSet::full(n))
+            );
+            assert_eq!(
+                blocks_inside_sharded(&part, &BitSet::new(n), 3),
+                blocks_inside(&part, &BitSet::new(n))
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_group_accumulators_match_sequential() {
+        let (m, _) = sample();
+        let g = AgentSet::all(2);
+        for shards in [1usize, 2, 4] {
+            assert_eq!(
+                m.group_join_sharded(g, shards).unwrap(),
+                m.group_join(g).unwrap()
+            );
+            assert_eq!(
+                m.group_refinement_sharded(g, shards).unwrap(),
+                m.group_refinement(g).unwrap()
+            );
+        }
+        assert_eq!(
+            m.group_join_sharded(AgentSet::EMPTY, 2),
+            Err(EvalError::EmptyGroup)
+        );
+    }
+
+    #[test]
+    fn sharded_cached_walk_matches_sequential_walk() {
+        let (m, _) = sample();
+        let g = AgentSet::all(2);
+        let formulas = [
+            Formula::knows(Agent::new(0), p(0)),
+            Formula::common(g, p(0)),
+            Formula::Distributed(g, Box::new(p(1))),
+            Formula::Everyone(g, Box::new(p(0))),
+        ];
+        let mut arena = FormulaArena::new();
+        let ids: Vec<_> = formulas.iter().map(|f| arena.intern(f)).collect();
+        let mut seq = EvalCache::new();
+        let mut sharded = EvalCache::new();
+        for &id in &ids {
+            m.eval_into_cache_sharded(&mut seq, &arena, id, 1).unwrap();
+            m.eval_into_cache_sharded(&mut sharded, &arena, id, 4)
+                .unwrap();
+        }
+        for id in arena.ids() {
+            assert_eq!(seq.get(id), sharded.get(id), "id={id:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Word-aligned world-range sharding for the partition/sat-set kernels.
+//!
+//! The hot kernels ([`blocks_inside`](crate::blocks_inside),
+//! [`Partition::refine_with`](crate::Partition::refine_with),
+//! [`Partition::join_with`](crate::Partition::join_with)) all scan the
+//! universe `0..n` in packed 64-bit words. Splitting that scan into
+//! contiguous, word-aligned element ranges lets **one wide layer**
+//! parallelize — the axis the component-level sharding in
+//! `EvalEngine::populate` cannot reach when a single giant root dominates.
+//!
+//! Everything here is deterministic: ranges depend only on `(n, shards)`,
+//! and [`run_sharded`] returns results in range order. Merging per-shard
+//! results back into the sequential answer (bit for bit) is each kernel's
+//! job; the canonical-merge arguments live with the kernels.
+
+/// Contiguous element ranges `[lo, hi)` covering `0..n`, each starting on
+/// a 64-bit word boundary, at most `shards` of them (clamped to the word
+/// count so no range is empty). `n == 0` yields the single empty range.
+pub(crate) fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let nwords = n.div_ceil(64);
+    let shards = shards.clamp(1, nwords.max(1));
+    let base = nwords / shards;
+    let extra = nwords % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut word = 0usize;
+    for s in 0..shards {
+        let lo = word * 64;
+        word += base + usize::from(s < extra);
+        ranges.push((lo, (word * 64).min(n)));
+    }
+    ranges
+}
+
+/// Applies `work` to every range on scoped worker threads and returns the
+/// results **in range order**. A worker that dies is recomputed inline on
+/// the calling thread (the work closures are pure), so the function is
+/// total and the output never depends on scheduling.
+pub(crate) fn run_sharded<T, F>(ranges: &[(usize, usize)], work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&(usize, usize)) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges.iter().map(|r| scope.spawn(|| work(r))).collect();
+        handles
+            .into_iter()
+            .zip(ranges)
+            .map(|(h, r)| h.join().unwrap_or_else(|_| work(r)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_and_align() {
+        for n in [0usize, 1, 63, 64, 65, 128, 129, 1000] {
+            for shards in 1..=8 {
+                let ranges = shard_ranges(n, shards);
+                assert!(!ranges.is_empty());
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges[ranges.len() - 1].1, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                    assert_eq!(w[0].1 % 64, 0, "word-aligned interior boundary");
+                }
+                if n > 0 {
+                    for &(lo, hi) in &ranges {
+                        assert!(lo < hi, "no empty range for n={n} shards={shards}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_clamp_to_word_count() {
+        assert_eq!(shard_ranges(64, 8).len(), 1);
+        assert_eq!(shard_ranges(130, 8).len(), 3);
+        assert_eq!(shard_ranges(0, 4), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn run_sharded_preserves_order() {
+        let ranges = shard_ranges(256, 4);
+        let sums = run_sharded(&ranges, |&(lo, hi)| (lo..hi).sum::<usize>());
+        let seq: Vec<usize> = ranges.iter().map(|&(lo, hi)| (lo..hi).sum()).collect();
+        assert_eq!(sums, seq);
+    }
+}

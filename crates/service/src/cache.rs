@@ -1,5 +1,5 @@
 //! The cross-request artifact cache: one [`EngineSession`] per context
-//! fingerprint.
+//! fingerprint, bounded by an LRU policy.
 //!
 //! A session owns the interned formula arena and the per-layer
 //! satisfaction-set snapshots produced by earlier solves of the same
@@ -9,6 +9,14 @@
 //! of one solve, so two jobs on the *same* context serialize (they would
 //! redo each other's work anyway) while jobs on different contexts run
 //! fully in parallel.
+//!
+//! Sessions hold real memory (an arena plus one snapshot per induced
+//! layer), so the cache is bounded: at most `capacity` sessions are
+//! retained, and inserting past the bound evicts the least-recently-used
+//! fingerprint. Eviction only drops the cache's `Arc` — a worker
+//! mid-solve on an evicted session keeps its clone alive until the solve
+//! finishes. An evicted context simply re-misses later; responses are
+//! bit-identical either way.
 
 use kbp_core::EngineSession;
 use std::collections::HashMap;
@@ -26,28 +34,52 @@ pub struct CacheStats {
     pub misses: usize,
     /// Distinct sessions currently held.
     pub sessions: usize,
+    /// Sessions dropped to keep the cache within its capacity.
+    pub evictions: usize,
+    /// The configured session bound.
+    pub capacity: usize,
 }
 
-/// The cache. Disabled (`new(false)`) it hands out nothing, and every
+/// One retained session plus its recency stamp.
+#[derive(Debug)]
+struct Slot {
+    session: Arc<Mutex<EngineSession>>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    /// Logical clock: bumped on every hit or insert; the slot with the
+    /// smallest stamp is the LRU victim.
+    tick: u64,
+}
+
+/// The cache. Disabled (`new(false, _)`) it hands out nothing, and every
 /// job solves cold — bit-identical responses either way.
 #[derive(Debug)]
 pub struct ArtifactCache {
     enabled: bool,
-    sessions: Mutex<HashMap<u64, Arc<Mutex<EngineSession>>>>,
+    capacity: usize,
+    inner: Mutex<Inner>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl ArtifactCache {
     /// Creates the cache; `enabled: false` makes every lookup miss
-    /// without retaining anything.
+    /// without retaining anything. `capacity` is the maximum number of
+    /// retained sessions, clamped to at least 1.
     #[must_use]
-    pub fn new(enabled: bool) -> Self {
+    pub fn new(enabled: bool, capacity: usize) -> Self {
         ArtifactCache {
             enabled,
-            sessions: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -57,24 +89,57 @@ impl ArtifactCache {
         self.enabled
     }
 
-    /// The session for `fingerprint`, creating it on first sight.
-    /// Returns `None` when the cache is disabled (callers then solve
-    /// without a session) or when the session map's lock was poisoned by
-    /// a panicking worker — a cold solve is always a safe fallback.
+    /// The configured session bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The session for `fingerprint`, creating it on first sight (and
+    /// evicting the least-recently-used session if that would exceed the
+    /// capacity). Returns `None` when the cache is disabled (callers then
+    /// solve without a session) or when the session map's lock was
+    /// poisoned by a panicking worker — a cold solve is always a safe
+    /// fallback.
     #[must_use]
     pub fn session(&self, fingerprint: u64) -> Option<Arc<Mutex<EngineSession>>> {
         if !self.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut sessions = self.sessions.lock().ok()?;
-        if let Some(session) = sessions.get(&fingerprint) {
+        let mut inner = self.inner.lock().ok()?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner.slots.get_mut(&fingerprint) {
+            slot.last_used = tick;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(Arc::clone(session));
+            return Some(Arc::clone(&slot.session));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let session = Arc::new(Mutex::new(EngineSession::new()));
-        sessions.insert(fingerprint, Arc::clone(&session));
+        inner.slots.insert(
+            fingerprint,
+            Slot {
+                session: Arc::clone(&session),
+                last_used: tick,
+            },
+        );
+        while inner.slots.len() > self.capacity {
+            // O(sessions) scan — the map is small (bounded by capacity)
+            // and lookups are rare next to the solves they amortize.
+            let victim = inner
+                .slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(&fp, _)| fp);
+            match victim {
+                Some(fp) => {
+                    inner.slots.remove(&fp);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
         Some(session)
     }
 
@@ -84,14 +149,17 @@ impl ArtifactCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            sessions: self.sessions.lock().map_or(0, |s| s.len()),
+            sessions: self.inner.lock().map_or(0, |i| i.slots.len()),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity,
         }
     }
 
-    /// Drops every retained session (the counters are kept).
+    /// Drops every retained session (the counters are kept; nothing is
+    /// counted as evicted — this is an operator action, not pressure).
     pub fn clear(&self) {
-        if let Ok(mut sessions) = self.sessions.lock() {
-            sessions.clear();
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.slots.clear();
         }
     }
 }
@@ -102,7 +170,7 @@ mod tests {
 
     #[test]
     fn enabled_cache_hits_on_second_lookup() {
-        let cache = ArtifactCache::new(true);
+        let cache = ArtifactCache::new(true, 8);
         let a = cache.session(42).unwrap();
         let b = cache.session(42).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
@@ -110,16 +178,53 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.sessions), (1, 2, 2));
+        assert_eq!((stats.evictions, stats.capacity), (0, 8));
         cache.clear();
         assert_eq!(cache.stats().sessions, 0);
     }
 
     #[test]
     fn disabled_cache_always_misses() {
-        let cache = ArtifactCache::new(false);
+        let cache = ArtifactCache::new(false, 8);
         assert!(cache.session(42).is_none());
         assert!(cache.session(42).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.sessions), (0, 2, 0));
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let cache = ArtifactCache::new(true, 2);
+        let a1 = cache.session(1).unwrap();
+        let _ = cache.session(2).unwrap();
+        // Touch 1 so 2 becomes the LRU victim when 3 arrives.
+        let _ = cache.session(1).unwrap();
+        let _ = cache.session(3).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.evictions, 1);
+        // 1 survived (hit), 2 was evicted (fresh Arc on re-lookup),
+        // 3 is resident.
+        let a1_again = cache.session(1).unwrap();
+        assert!(Arc::ptr_eq(&a1, &a1_again));
+        let hits_before = cache.stats().hits;
+        let _ = cache.session(2).unwrap();
+        assert_eq!(cache.stats().hits, hits_before, "evicted entry re-misses");
+        // The map never exceeds its bound, whatever the lookup pattern.
+        for fp in 10..20 {
+            let _ = cache.session(fp);
+        }
+        assert!(cache.stats().sessions <= 2);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let cache = ArtifactCache::new(true, 0);
+        assert_eq!(cache.capacity(), 1);
+        let _ = cache.session(1);
+        let _ = cache.session(2);
+        let stats = cache.stats();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.evictions, 1);
     }
 }

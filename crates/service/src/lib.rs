@@ -62,5 +62,5 @@ pub use queue::{JobQueue, QueueFull};
 pub use registry::{find, registry, LatticeSpec, ScenarioEntry};
 pub use service::{
     error_response, reject_response, ConfigError, Service, ServiceConfig, ServiceStats, CACHE_ENV,
-    QUEUE_ENV, WORKERS_ENV,
+    CACHE_SESSIONS_ENV, DEFAULT_CACHE_SESSIONS, QUEUE_ENV, WORKERS_ENV,
 };

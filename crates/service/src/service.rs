@@ -44,6 +44,13 @@ pub const QUEUE_ENV: &str = "KBP_SERVICE_QUEUE";
 /// to disable).
 pub const CACHE_ENV: &str = "KBP_SERVICE_CACHE";
 
+/// Environment variable bounding the artifact cache (maximum retained
+/// sessions; least-recently-used contexts are evicted past the bound).
+pub const CACHE_SESSIONS_ENV: &str = "KBP_SERVICE_CACHE_SESSIONS";
+
+/// Default artifact-cache bound (retained sessions).
+pub const DEFAULT_CACHE_SESSIONS: usize = 64;
+
 /// A malformed service configuration. Unlike a lenient default, this is
 /// surfaced before any job runs: a typo in `KBP_SERVICE_WORKERS` should
 /// fail startup, not silently serve with one worker.
@@ -97,6 +104,9 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Whether the artifact cache retains sessions across jobs.
     pub cache_enabled: bool,
+    /// Maximum sessions the artifact cache retains (LRU eviction past
+    /// the bound; min 1).
+    pub cache_sessions: usize,
     /// Retry-after hint attached to [`QueueFull`] rejections, in ms.
     pub retry_after_ms: u64,
 }
@@ -110,12 +120,14 @@ impl ServiceConfig {
             workers,
             queue_capacity: 64,
             cache_enabled: true,
+            cache_sessions: DEFAULT_CACHE_SESSIONS,
             retry_after_ms: 50,
         }
     }
 
-    /// Reads `KBP_SERVICE_WORKERS`, `KBP_SERVICE_QUEUE` and
-    /// `KBP_SERVICE_CACHE` on top of the defaults.
+    /// Reads `KBP_SERVICE_WORKERS`, `KBP_SERVICE_QUEUE`,
+    /// `KBP_SERVICE_CACHE` and `KBP_SERVICE_CACHE_SESSIONS` on top of the
+    /// defaults.
     ///
     /// # Errors
     ///
@@ -129,6 +141,11 @@ impl ServiceConfig {
         }
         if let Some(capacity) = env_threads(QUEUE_ENV)? {
             config.queue_capacity = capacity;
+        }
+        // Zero is rejected (like the other counts): to run cache-less,
+        // set KBP_SERVICE_CACHE=off rather than a zero-session cache.
+        if let Some(sessions) = env_threads(CACHE_SESSIONS_ENV)? {
+            config.cache_sessions = sessions;
         }
         if let Ok(raw) = std::env::var(CACHE_ENV) {
             let trimmed = raw.trim();
@@ -166,6 +183,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn cache(mut self, enabled: bool) -> Self {
         self.cache_enabled = enabled;
+        self
+    }
+
+    /// Sets the artifact-cache session bound (min 1).
+    #[must_use]
+    pub fn cache_sessions(mut self, sessions: usize) -> Self {
+        self.cache_sessions = sessions.max(1);
         self
     }
 }
@@ -234,7 +258,7 @@ impl Service {
     /// Creates a service with the given configuration.
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
-        let cache = ArtifactCache::new(config.cache_enabled);
+        let cache = ArtifactCache::new(config.cache_enabled, config.cache_sessions);
         Service {
             config,
             cache,
@@ -617,6 +641,8 @@ impl Service {
                     ("hits", Json::U64(stats.cache.hits as u64)),
                     ("misses", Json::U64(stats.cache.misses as u64)),
                     ("sessions", Json::U64(stats.cache.sessions as u64)),
+                    ("evictions", Json::U64(stats.cache.evictions as u64)),
+                    ("capacity", Json::U64(stats.cache.capacity as u64)),
                 ]),
             ),
             ("layers_total", Json::U64(stats.layers_total as u64)),
@@ -920,9 +946,24 @@ mod tests {
             run(&[(CACHE_ENV, "maybe")]),
             Err(ConfigError::Flag { .. })
         ));
-        let ok = run(&[(WORKERS_ENV, "3"), (QUEUE_ENV, "17"), (CACHE_ENV, "off")]).unwrap();
+        assert!(matches!(
+            run(&[(CACHE_SESSIONS_ENV, "lots")]),
+            Err(ConfigError::Threads(_))
+        ));
+        assert!(matches!(
+            run(&[(CACHE_SESSIONS_ENV, "0")]),
+            Err(ConfigError::Threads(_))
+        ));
+        let ok = run(&[
+            (WORKERS_ENV, "3"),
+            (QUEUE_ENV, "17"),
+            (CACHE_ENV, "off"),
+            (CACHE_SESSIONS_ENV, "5"),
+        ])
+        .unwrap();
         assert_eq!(ok.workers, 3);
         assert_eq!(ok.queue_capacity, 17);
         assert!(!ok.cache_enabled);
+        assert_eq!(ok.cache_sessions, 5);
     }
 }

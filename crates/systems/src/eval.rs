@@ -16,7 +16,7 @@
 //! considers `F φ` possible") quantifies existentially.
 
 use crate::system::{InterpretedSystem, Point};
-use kbp_kripke::{BitSet, EvalCache, EvalError};
+use kbp_kripke::{BitSet, EvalCache, EvalEngine, EvalError};
 use kbp_logic::{Formula, FormulaArena, FormulaId, InternedNode};
 
 /// A compiled evaluation of one formula over all points of a system.
@@ -185,6 +185,48 @@ pub fn satisfying_layers(
     arena: &FormulaArena,
     roots: &[FormulaId],
 ) -> Result<Vec<Vec<BitSet>>, EvalError> {
+    satisfying_layers_impl(sys, arena, roots, &mut |t, cache, id| {
+        sys.layer(t).model().satisfying_cached(cache, arena, id)?;
+        Ok(())
+    })
+}
+
+/// Like [`satisfying_layers`], but static nodes are evaluated through
+/// `engine`, so its thread/sharding policy applies: a layer wide enough to
+/// clear the engine's `shard_min_worlds` gate has its partition and
+/// sat-set kernels split across world ranges even when the layer is
+/// evaluated on its own.
+///
+/// The walk uses the engine's arena; `roots` must be ids issued by
+/// [`EvalEngine::arena`].
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for out-of-range propositions or agents, or an
+/// empty group modality.
+///
+/// # Panics
+///
+/// Panics if a root id was not issued by the engine's arena.
+pub fn satisfying_layers_with(
+    sys: &InterpretedSystem,
+    engine: &EvalEngine,
+    roots: &[FormulaId],
+) -> Result<Vec<Vec<BitSet>>, EvalError> {
+    satisfying_layers_impl(sys, engine.arena(), roots, &mut |t, cache, id| {
+        engine.populate(sys.layer(t).model(), cache, &[id])
+    })
+}
+
+/// Shared postorder walk: temporal nodes by backward induction here,
+/// static nodes through `eval_static(layer, cache, id)` (which must leave
+/// `cache.get(id)` populated).
+fn satisfying_layers_impl(
+    sys: &InterpretedSystem,
+    arena: &FormulaArena,
+    roots: &[FormulaId],
+    eval_static: &mut dyn FnMut(usize, &mut EvalCache, FormulaId) -> Result<(), EvalError>,
+) -> Result<Vec<Vec<BitSet>>, EvalError> {
     let layers = sys.layer_count();
     let mut caches: Vec<EvalCache> = (0..layers).map(|_| EvalCache::new()).collect();
     // Per-layer sets of one already-evaluated child, cloned out of the
@@ -251,7 +293,7 @@ pub fn satisfying_layers(
                 // layer's model; children are already cached, so the
                 // recursion inside is at most one level deep.
                 for (t, cache) in caches.iter_mut().enumerate() {
-                    sys.layer(t).model().satisfying_cached(cache, arena, id)?;
+                    eval_static(t, cache, id)?;
                 }
             }
         }

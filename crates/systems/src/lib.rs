@@ -73,7 +73,7 @@ mod system;
 pub use context::{
     ActionId, Context, ContextBuilder, ContextError, EnvActionId, FnContext, JointAction,
 };
-pub use eval::{satisfying_layers, Evaluator};
+pub use eval::{satisfying_layers, satisfying_layers_with, Evaluator};
 pub use explain::KnowledgeExplanation;
 pub use protocol::{FullProtocol, LocalView, MapProtocol, ProtocolFn};
 pub use runs::Run;

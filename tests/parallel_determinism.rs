@@ -2,17 +2,25 @@
 //! carry-forward.
 //!
 //! The solver's per-layer cache fill may shard guard components across
-//! worker threads (`SyncSolver::eval_threads` / `KBP_EVAL_THREADS`), and
-//! may map satisfaction sets through a verified layer isomorphism instead
-//! of re-evaluating (`SyncSolver::carry_forward`). Neither knob is
+//! worker threads (`SyncSolver::eval_threads` / `KBP_EVAL_THREADS`), may
+//! split a single wide layer's kernels into world-range shards
+//! (`SyncSolver::shard_min_worlds` / `KBP_SHARD_MIN_WORLDS`), and may map
+//! satisfaction sets through a verified layer isomorphism instead of
+//! re-evaluating (`SyncSolver::carry_forward`). None of these knobs is
 //! allowed to change *anything* observable: on every scenario in
 //! `kbp-scenarios`, the solution — protocol, stabilization point, stats,
 //! per-layer breakdown — must be bit-identical at 1 thread, 2 threads,
 //! and whatever `std::thread::available_parallelism` reports, with
-//! carry-forward on or off (stats count clause lookups, not physical
-//! evaluations, precisely so budget semantics stay deterministic too).
+//! sharding forced on or off and carry-forward on or off (stats count
+//! clause lookups, not physical evaluations, precisely so budget
+//! semantics stay deterministic too). The only sanctioned exceptions are
+//! the scheduling diagnostics themselves — `LayerStats::shards` and
+//! `SolveStats::layers_sharded` — which are pinned to the configured
+//! *plan* here and then normalized out of the bit-for-bit comparison.
 
-use kbp_core::{Kbp, SyncSolver};
+use kbp_core::{Kbp, LayerStats, SyncSolver};
+use kbp_kripke::EvalEngine;
+use kbp_logic::FormulaArena;
 use kbp_scenarios::bit_transmission::{BitTransmission, Channel};
 use kbp_scenarios::coordinated_attack::CoordinatedAttack;
 use kbp_scenarios::muddy_children::MuddyChildren;
@@ -72,13 +80,22 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
+/// Strips the kernel-shard diagnostics from a per-layer breakdown, after
+/// the caller has pinned them against the configured plan.
+fn without_shard_plan(per_layer: &[LayerStats]) -> Vec<LayerStats> {
+    per_layer
+        .iter()
+        .map(|l| LayerStats { shards: 0, ..*l })
+        .collect()
+}
+
 #[test]
-fn solutions_are_identical_across_thread_counts_and_carry_forward() {
+fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
     for (name, ctx, kbp, horizon, recall) in scenarios() {
         // Reference: sequential fill, carry-forward enabled on every
         // layer (threshold 0, so even the tiny scenario layers exercise
         // the renaming path rather than being gated by the width
-        // threshold).
+        // threshold). One thread means the shard plan is 1 everywhere.
         let reference = SyncSolver::new(&ctx, &kbp)
             .horizon(horizon)
             .recall(recall)
@@ -86,50 +103,111 @@ fn solutions_are_identical_across_thread_counts_and_carry_forward() {
             .carry_threshold(0)
             .solve()
             .unwrap_or_else(|e| panic!("{name}: reference solve failed: {e}"));
+        assert!(
+            reference.per_layer().iter().all(|l| l.shards == 1),
+            "{name}: single-threaded reference must plan 1 shard per layer"
+        );
+        assert_eq!(reference.stats().layers_sharded, 0);
 
+        // min_worlds 0 forces intra-layer sharding wherever the layer is
+        // wide enough to have more than one word; usize::MAX disables it.
         for threads in thread_counts() {
             for carry in [true, false] {
-                let solution = SyncSolver::new(&ctx, &kbp)
-                    .horizon(horizon)
-                    .recall(recall)
-                    .eval_threads(threads)
-                    .carry_threshold(0)
-                    .carry_forward(carry)
-                    .solve()
-                    .unwrap_or_else(|e| {
-                        panic!("{name}: solve failed at {threads} threads, carry={carry}: {e}")
-                    });
-                assert_eq!(
-                    reference.protocol(),
-                    solution.protocol(),
-                    "{name}: protocol diverged at {threads} threads, carry={carry}"
-                );
-                assert_eq!(
-                    reference.stabilized(),
-                    solution.stabilized(),
-                    "{name}: stabilization diverged at {threads} threads, carry={carry}"
-                );
-                assert_eq!(
-                    reference.per_layer(),
-                    solution.per_layer(),
-                    "{name}: per-layer stats diverged at {threads} threads, carry={carry}"
-                );
-                // Stats are clause-lookup counts, independent of sharding;
-                // only the carried-layer counter may (and should) differ
-                // when carry-forward is disabled.
-                let mut expected = reference.stats();
-                let got = solution.stats();
-                if !carry {
-                    assert_eq!(got.layers_carried, 0, "{name}: carry disabled but counted");
-                    expected.layers_carried = 0;
+                for min_worlds in [0usize, usize::MAX] {
+                    let solution = SyncSolver::new(&ctx, &kbp)
+                        .horizon(horizon)
+                        .recall(recall)
+                        .eval_threads(threads)
+                        .shard_min_worlds(min_worlds)
+                        .carry_threshold(0)
+                        .carry_forward(carry)
+                        .solve()
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{name}: solve failed at {threads} threads, carry={carry}, \
+                                 min_worlds={min_worlds}: {e}"
+                            )
+                        });
+                    let at = format!("{threads} threads, carry={carry}, min_worlds={min_worlds}");
+                    assert_eq!(
+                        reference.protocol(),
+                        solution.protocol(),
+                        "{name}: protocol diverged at {at}"
+                    );
+                    assert_eq!(
+                        reference.stabilized(),
+                        solution.stabilized(),
+                        "{name}: stabilization diverged at {at}"
+                    );
+                    // The recorded shard counts must equal the pure plan
+                    // for this configuration — never e.g. collapse to 1
+                    // on carried or restored layers.
+                    let planner = EvalEngine::new(FormulaArena::new())
+                        .with_threads(threads)
+                        .with_shard_min_worlds(min_worlds);
+                    for layer in solution.per_layer() {
+                        assert_eq!(
+                            layer.shards,
+                            planner.kernel_shards(layer.points),
+                            "{name}: layer {} shard plan diverged at {at}",
+                            layer.layer
+                        );
+                    }
+                    let planned_sharded =
+                        solution.per_layer().iter().filter(|l| l.shards > 1).count();
+                    // With the plan pinned, everything else must be
+                    // bit-identical to the sequential reference.
+                    assert_eq!(
+                        without_shard_plan(reference.per_layer()),
+                        without_shard_plan(solution.per_layer()),
+                        "{name}: per-layer stats diverged at {at}"
+                    );
+                    // Stats are clause-lookup counts, independent of
+                    // sharding; only the carried-layer counter may (and
+                    // should) differ when carry-forward is disabled, and
+                    // the sharded-layer counter must match the plan.
+                    let mut expected = reference.stats();
+                    let got = solution.stats();
+                    assert_eq!(
+                        got.layers_sharded, planned_sharded,
+                        "{name}: layers_sharded diverged from the plan at {at}"
+                    );
+                    expected.layers_sharded = planned_sharded;
+                    if !carry {
+                        assert_eq!(got.layers_carried, 0, "{name}: carry disabled but counted");
+                        expected.layers_carried = 0;
+                    }
+                    assert_eq!(expected, got, "{name}: stats diverged at {at}");
                 }
-                assert_eq!(
-                    expected, got,
-                    "{name}: stats diverged at {threads} threads, carry={carry}"
-                );
             }
         }
     }
+}
+
+#[test]
+fn forced_sharding_actually_occurs_somewhere() {
+    // The sharded kernels must be exercised non-vacuously by the matrix
+    // above: at 2+ threads with the gate at 0, the sequence-transmission
+    // unrolling (whose later layers hold hundreds of points, i.e. several
+    // 64-world words) must plan more than one shard somewhere.
+    let st = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+    let ctx = st.context();
+    let kbp = st.kbp();
+    let solution = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .eval_threads(2)
+        .shard_min_worlds(0)
+        .solve()
+        .expect("sequence transmission solves");
+    assert!(
+        solution.stats().layers_sharded > 0,
+        "expected at least one sharded layer, got {:?}",
+        solution.per_layer()
+    );
+    assert!(
+        solution.per_layer().iter().any(|l| l.points > 64),
+        "matrix lost its wide layer — sharding assertions are vacuous"
+    );
 }
 
 #[test]

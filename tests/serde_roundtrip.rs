@@ -610,6 +610,7 @@ fn solve_diagnostics_roundtrip() {
         points: 17,
         guard_evaluations: 51,
         protocol_entries: 9,
+        shards: 2,
     };
     let back: kbp_core::LayerStats = json_roundtrip(&layer);
     assert_eq!(layer, back);

@@ -1,0 +1,177 @@
+//! Cross-check of the world-range-sharded kernels against the sequential
+//! ones.
+//!
+//! `blocks_inside_sharded`, `Partition::refine_with_sharded`,
+//! `Partition::join_with_sharded`, `S5Model::group_join_sharded` and
+//! `S5Model::group_refinement_sharded` must agree *bit-for-bit* with their
+//! sequential counterparts for every shard count — including universes
+//! whose size is not a multiple of 64 (a partial trailing word), the
+//! single-block and discrete extremes, and partitions whose blocks span
+//! shard boundaries. Derived `PartialEq` on `Partition` compares the
+//! canonical `(block_of, blocks)` representation, so `==` here asserts
+//! identical block *numbering*, not just the same equivalence relation.
+
+use kbp_kripke::{blocks_inside, blocks_inside_sharded, BitSet, Partition, S5Builder, WorldId};
+use kbp_logic::{Agent, AgentSet};
+use proptest::prelude::*;
+
+const SHARDS: [usize; 4] = [2, 3, 7, 16];
+
+/// A random universe: size, two partition keyings and a sat set, all as
+/// plain data so proptest can shrink them.
+#[derive(Debug, Clone)]
+struct UniverseSpec {
+    n: usize,
+    /// Partition keys (block = worlds with equal key); small key ranges
+    /// make wide blocks that straddle shard boundaries.
+    keys_a: Vec<u8>,
+    keys_b: Vec<u8>,
+    sat: Vec<bool>,
+}
+
+fn universe_spec() -> impl Strategy<Value = UniverseSpec> {
+    // Sizes around the word boundaries: partial trailing words (n % 64
+    // != 0) are the regime where a trimming bug would show.
+    (1usize..200).prop_flat_map(|n| {
+        let keys_a = proptest::collection::vec(0u8..6, n);
+        let keys_b = proptest::collection::vec(0u8..4, n);
+        let sat = proptest::collection::vec(any::<bool>(), n);
+        (keys_a, keys_b, sat).prop_map(move |(keys_a, keys_b, sat)| UniverseSpec {
+            n,
+            keys_a,
+            keys_b,
+            sat,
+        })
+    })
+}
+
+fn parts(spec: &UniverseSpec) -> (Partition, Partition, BitSet) {
+    let a = Partition::from_keys(spec.n, |x| spec.keys_a[x]);
+    let b = Partition::from_keys(spec.n, |x| spec.keys_b[x]);
+    let sat = BitSet::from_indices(spec.n, (0..spec.n).filter(|&x| spec.sat[x]));
+    (a, b, sat)
+}
+
+proptest! {
+    /// Sat-set kernel: union of fully-satisfied blocks, sharded ≡
+    /// sequential for every shard count.
+    #[test]
+    fn blocks_inside_sharded_matches(spec in universe_spec()) {
+        let (a, b, sat) = parts(&spec);
+        for part in [&a, &b] {
+            let seq = blocks_inside(part, &sat);
+            for shards in SHARDS {
+                let sh = blocks_inside_sharded(part, &sat, shards);
+                prop_assert_eq!(&seq, &sh, "blocks_inside diverged at {} shards", shards);
+            }
+        }
+    }
+
+    /// Partition kernels: common refinement (meet) and coarsest common
+    /// coarsening (join), sharded ≡ sequential including block ids.
+    #[test]
+    fn partition_kernels_sharded_match(spec in universe_spec()) {
+        let (a, b, _) = parts(&spec);
+        let refined = a.refine_with(&b);
+        let joined = a.join_with(&b);
+        for shards in SHARDS {
+            prop_assert_eq!(
+                &refined,
+                &a.refine_with_sharded(&b, shards),
+                "refine_with diverged at {} shards",
+                shards
+            );
+            prop_assert_eq!(
+                &joined,
+                &a.join_with_sharded(&b, shards),
+                "join_with diverged at {} shards",
+                shards
+            );
+        }
+    }
+
+    /// Model-level group accumulators (the C_G / D_G partitions), built
+    /// from random indistinguishability links.
+    #[test]
+    fn group_accumulators_sharded_match(
+        n in 2usize..120,
+        links in proptest::collection::vec((0usize..3, any::<u64>(), any::<u64>()), 0..40),
+    ) {
+        let mut b = S5Builder::new(3, 1);
+        for _ in 0..n {
+            b.add_world([]);
+        }
+        for &(agent, wa, wb) in &links {
+            b.link(
+                Agent::new(agent),
+                WorldId::new(wa as usize % n),
+                WorldId::new(wb as usize % n),
+            );
+        }
+        let m = b.build();
+        let group = AgentSet::all(3);
+        let join = m.group_join(group).unwrap();
+        let refinement = m.group_refinement(group).unwrap();
+        for shards in SHARDS {
+            prop_assert_eq!(&join, &m.group_join_sharded(group, shards).unwrap());
+            prop_assert_eq!(
+                &refinement,
+                &m.group_refinement_sharded(group, shards).unwrap()
+            );
+        }
+    }
+}
+
+/// Deterministic edge cases: word-boundary sizes crossed with the
+/// degenerate partitions (everything distinguishable / nothing
+/// distinguishable) and empty/full sat sets.
+#[test]
+fn edge_universes_and_degenerate_partitions() {
+    for n in [1usize, 63, 64, 65, 128, 129] {
+        let discrete = Partition::discrete(n);
+        let trivial = Partition::trivial(n);
+        let stripes = Partition::from_keys(n, |x| x % 3);
+        let sets = [
+            BitSet::new(n),
+            BitSet::full(n),
+            BitSet::from_indices(n, (0..n).filter(|x| x % 2 == 0)),
+        ];
+        for part in [&discrete, &trivial, &stripes] {
+            for sat in &sets {
+                let seq = blocks_inside(part, sat);
+                for shards in [1, 2, 5, 64, 1000] {
+                    assert_eq!(
+                        seq,
+                        blocks_inside_sharded(part, sat, shards),
+                        "n={n} shards={shards}"
+                    );
+                }
+            }
+            for other in [&discrete, &trivial, &stripes] {
+                let refined = part.refine_with(other);
+                let joined = part.join_with(other);
+                for shards in [1, 2, 5, 64, 1000] {
+                    assert_eq!(refined, part.refine_with_sharded(other, shards));
+                    assert_eq!(joined, part.join_with_sharded(other, shards));
+                }
+            }
+        }
+    }
+}
+
+/// A single block spanning every shard boundary must come back as one
+/// block with the canonical (first-occurrence) id, not one per shard.
+#[test]
+fn cross_boundary_blocks_keep_canonical_ids() {
+    let n = 300;
+    // keys_a: long runs of 150 → every block crosses at least one 64-word
+    // boundary; keys_b: parity → maximally interleaved.
+    let a = Partition::from_keys(n, |x| x / 150);
+    let b = Partition::from_keys(n, |x| x % 2);
+    for shards in [2, 3, 5, 6] {
+        assert_eq!(a.refine_with(&b), a.refine_with_sharded(&b, shards));
+        assert_eq!(a.join_with(&b), a.join_with_sharded(&b, shards));
+        // join of the two stripings reconnects everything: one block.
+        assert_eq!(a.join_with_sharded(&b, shards).block_count(), 1);
+    }
+}
