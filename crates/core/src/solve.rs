@@ -433,6 +433,51 @@ impl Default for EngineSession {
     }
 }
 
+// A session persists as its interned arena plus the per-layer snapshot
+// store — exactly the state that makes a warm solve skip work. Engine
+// runtime policy (thread count, sharding gate) is deliberately *not*
+// persisted: a reloaded session adopts the current process
+// configuration, keeping "same env ⇒ same wire bytes" true across
+// restarts. Rebuilding the engine from the serialized arena keeps every
+// stored `FormulaId` aligned, because hash-consed re-interning is
+// deterministic over a fixed node list.
+impl serde::Serialize for EngineSession {
+    fn serialize<S: serde::ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = s.serialize_struct("EngineSession", 2)?;
+        st.serialize_field("arena", self.engine.arena())?;
+        st.serialize_field("layers", &self.layers)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for EngineSession {
+    fn deserialize<D: serde::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use serde::de::{Error, SeqAccess, Visitor};
+        struct SessionVisitor;
+        impl<'de> Visitor<'de> for SessionVisitor {
+            type Value = EngineSession;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("struct EngineSession")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<EngineSession, A::Error> {
+                let arena: FormulaArena = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("missing field arena"))?;
+                let layers: Vec<Option<(usize, EvalCacheSnapshot)>> = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("missing field layers"))?;
+                Ok(EngineSession {
+                    engine: EvalEngine::new(arena),
+                    layers,
+                })
+            }
+        }
+        const FIELDS: &[&str] = &["arena", "layers"];
+        d.deserialize_struct("EngineSession", FIELDS, SessionVisitor)
+    }
+}
+
 /// Builder-style driver for the inductive construction.
 ///
 /// # Example

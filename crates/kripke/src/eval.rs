@@ -322,6 +322,91 @@ impl EvalCacheSnapshot {
     }
 }
 
+// Snapshots cross the persistence boundary (kbp-service warm restarts).
+// `HashMap` iteration order is nondeterministic, so the maps travel as
+// key-sorted entry lists: identical cache contents always serialize to
+// identical bytes, which is what lets restart-determinism tests compare
+// persisted artifacts directly.
+impl serde::Serialize for EvalCacheSnapshot {
+    fn serialize<S: serde::ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        fn sorted<K: Ord + Copy, V>(map: &HashMap<K, V>) -> Vec<(K, &V)> {
+            let mut entries: Vec<(K, &V)> = map.iter().map(|(k, v)| (*k, v)).collect();
+            entries.sort_by_key(|&(k, _)| k);
+            entries
+        }
+        let mut st = s.serialize_struct("EvalCacheSnapshot", 4)?;
+        st.serialize_field("worlds", &self.inner.worlds)?;
+        st.serialize_field("sat", &sorted(&self.inner.sat))?;
+        st.serialize_field("joins", &sorted(&self.inner.joins))?;
+        st.serialize_field("refinements", &sorted(&self.inner.refinements))?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for EvalCacheSnapshot {
+    fn deserialize<D: serde::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use serde::de::{Error, SeqAccess, Visitor};
+        struct SnapshotVisitor;
+        impl<'de> Visitor<'de> for SnapshotVisitor {
+            type Value = EvalCacheSnapshot;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("struct EvalCacheSnapshot")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<EvalCacheSnapshot, A::Error> {
+                let worlds: Option<usize> = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("missing field worlds"))?;
+                let sat: Vec<(FormulaId, BitSet)> = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("missing field sat"))?;
+                let joins: Vec<(AgentSet, Partition)> = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("missing field joins"))?;
+                let refinements: Vec<(AgentSet, Partition)> = seq
+                    .next_element()?
+                    .ok_or_else(|| A::Error::custom("missing field refinements"))?;
+                // Every cached artifact must agree with the model binding;
+                // a corrupted file must not smuggle in mismatched sets.
+                if let Some(w) = worlds {
+                    for (id, set) in &sat {
+                        if set.len() != w {
+                            return Err(A::Error::custom(format!(
+                                "sat set for formula {} has {} bits, snapshot bound to {w} worlds",
+                                id.index(),
+                                set.len()
+                            )));
+                        }
+                    }
+                    for (g, part) in joins.iter().chain(refinements.iter()) {
+                        if part.len() != w {
+                            return Err(A::Error::custom(format!(
+                                "partition for group {g:?} covers {} worlds, snapshot bound to {w}",
+                                part.len()
+                            )));
+                        }
+                    }
+                } else if !sat.is_empty() || !joins.is_empty() || !refinements.is_empty() {
+                    return Err(A::Error::custom(
+                        "unbound snapshot carries cached artifacts",
+                    ));
+                }
+                let mut inner = EvalCache::new();
+                inner.worlds = worlds;
+                inner.sat = sat.into_iter().collect();
+                inner.joins = joins.into_iter().collect();
+                inner.refinements = refinements.into_iter().collect();
+                Ok(EvalCacheSnapshot { inner })
+            }
+        }
+        const FIELDS: &[&str] = &["worlds", "sat", "joins", "refinements"];
+        d.deserialize_struct("EvalCacheSnapshot", FIELDS, SnapshotVisitor)
+    }
+}
+
 impl S5Model {
     /// The set of worlds at which `formula` holds.
     ///

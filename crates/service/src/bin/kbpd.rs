@@ -1,35 +1,50 @@
 //! `kbpd` — the knowledge-based-program batch daemon.
 //!
-//! Reads one JSON request per line on stdin, writes one JSON response
-//! per line on stdout, *in request order* (a reorder buffer absorbs
-//! worker-pool scheduling). Exits 0 at end of input; exits 2 on a
-//! malformed service configuration (typed error on stderr).
+//! Two modes, one wire protocol (JSON lines, responses in per-client
+//! request order):
+//!
+//! * **stdin/stdout** (default): reads requests on stdin, answers on
+//!   stdout, exits 0 at end of input. The original batch mode.
+//! * **`--listen ADDR`**: serves the same protocol over TCP to many
+//!   concurrent clients, with per-client admission quotas and a
+//!   connection cap. Prints one `{"kind":"listening","addr":...}` line
+//!   on stdout, then serves until stdin reaches EOF (the graceful
+//!   shutdown signal: stop accepting, drain every admitted job, persist
+//!   the cache, exit 0).
+//!
+//! Exits 2 on a malformed configuration (typed error on stderr) — a
+//! typo in any `KBP_*` variable refuses to start rather than silently
+//! serving with a default the operator did not choose.
 //!
 //! ```text
 //! $ printf '%s\n' '{"id":1,"kind":"solve","scenario":"bit_transmission"}' | kbpd
 //! {"id":1,"ok":true,"kind":"solve",...}
 //! ```
-//!
-//! Configuration (all optional): `KBP_SERVICE_WORKERS` (pool size),
-//! `KBP_SERVICE_QUEUE` (admission window; a full queue answers
-//! `queue_full` with a retry-after hint instead of blocking),
-//! `KBP_SERVICE_CACHE` (`0`/`off`/`false` disables the cross-request
-//! artifact cache), `KBP_EVAL_THREADS` (per-solve evaluation sharding).
 
-use kbp_service::{parse_request, reject_response, Request, Service, ServiceConfig};
-use std::collections::BTreeMap;
-use std::io::{BufRead, Write};
-use std::sync::mpsc;
+use kbp_service::{serve_stream, Server, Service, ServiceConfig};
+use std::io::{Read, Write};
 
 fn main() {
+    let mut listen: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    if let Some(arg) = args.next() {
-        if arg == "--help" || arg == "-h" {
-            print!("{}", USAGE);
-            return;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return;
+            }
+            "--listen" => {
+                let Some(addr) = args.next() else {
+                    eprintln!("kbpd: --listen needs an address (e.g. 127.0.0.1:7469)");
+                    std::process::exit(2);
+                };
+                listen = Some(addr);
+            }
+            other => {
+                eprintln!("kbpd: unexpected argument '{other}' (try --help)");
+                std::process::exit(2);
+            }
         }
-        eprintln!("kbpd: unexpected argument '{arg}' (try --help)");
-        std::process::exit(2);
     }
     let config = match ServiceConfig::from_env() {
         Ok(config) => config,
@@ -38,93 +53,78 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let service = Service::new(config.clone());
-    let queue: kbp_service::JobQueue<(usize, kbp_service::JobRequest)> =
-        kbp_service::JobQueue::new(config.queue_capacity, config.retry_after_ms);
-    let (result_tx, result_rx) = mpsc::channel::<(usize, String)>();
-
-    std::thread::scope(|scope| {
-        // Writer: reorder buffer keyed by line index; emits in order.
-        let writer = scope.spawn(move || {
-            let stdout = std::io::stdout();
-            let mut out = stdout.lock();
-            let mut pending: BTreeMap<usize, String> = BTreeMap::new();
-            let mut next = 0usize;
-            for (index, line) in result_rx {
-                pending.insert(index, line);
-                while let Some(line) = pending.remove(&next) {
-                    if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
-                        return; // downstream closed; stop quietly
-                    }
-                    next += 1;
-                }
-            }
-        });
-
-        // Workers: drain the queue, send labelled responses.
-        for _ in 0..config.workers.max(1) {
-            let tx = result_tx.clone();
-            scope.spawn(|| {
-                let tx = tx;
-                while let Some((index, job)) = queue.pop() {
-                    let response = service.execute(&job).to_line();
-                    if tx.send((index, response)).is_err() {
-                        return;
-                    }
-                }
-            });
+    let service = match Service::try_new(config) {
+        Ok(service) => service,
+        Err(e) => {
+            eprintln!("kbpd: cache persistence unavailable: {e}");
+            std::process::exit(2);
         }
+    };
 
-        // Reader (this thread): parse, admit, shed.
-        let stdin = std::io::stdin();
-        let mut index = 0usize;
-        for line in stdin.lock().lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
-            }
-            let out = match parse_request(&line) {
-                Ok(Request::Job(job)) => match queue.try_submit((index, job)) {
-                    Ok(()) => {
-                        index += 1;
-                        continue;
-                    }
-                    Err(((_, job), full)) => {
-                        service.note_rejection();
-                        reject_response(Some(job.id), full).to_line()
-                    }
-                },
-                Ok(Request::Stats { id }) => service.stats_response(id).to_line(),
+    match listen {
+        None => serve_stream(service, std::io::stdin(), std::io::stdout()),
+        Some(addr) => {
+            let server = match Server::bind(addr.as_str(), service) {
+                Ok(server) => server,
                 Err(e) => {
-                    // A parse error has no trustworthy id to echo.
-                    kbp_service::error_response(None, &e).to_line()
+                    eprintln!("kbpd: cannot listen on {addr}: {e}");
+                    std::process::exit(2);
                 }
             };
-            let _ = result_tx.send((index, out));
-            index += 1;
+            // Announce the bound address (meaningful with :0) so
+            // harnesses can connect without racing the bind.
+            println!(
+                "{{\"ok\":true,\"kind\":\"listening\",\"addr\":\"{}\"}}",
+                server.local_addr()
+            );
+            let _ = std::io::stdout().flush();
+            // Graceful shutdown signal: stdin EOF. Survives until the
+            // parent closes the pipe (or the terminal hangs up).
+            let handle = server.handle();
+            std::thread::spawn(move || {
+                let mut sink = [0u8; 4096];
+                let mut stdin = std::io::stdin();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                handle.shutdown();
+            });
+            if let Err(e) = server.run() {
+                eprintln!("kbpd: listener failed: {e}");
+                std::process::exit(1);
+            }
         }
-        queue.close();
-        drop(result_tx);
-        let _ = writer.join();
-    });
+    }
 }
 
 const USAGE: &str = "\
 kbpd - knowledge-based-program batch daemon
 
-Reads one JSON job per line on stdin, writes one JSON response per line
-on stdout in request order. Exits 0 at end of input.
+Default mode reads one JSON job per line on stdin and writes one JSON
+response per line on stdout in request order; exits 0 at end of input.
+With --listen ADDR the same protocol is served over TCP to many clients
+(responses ordered per connection); stdin EOF shuts down gracefully,
+draining every admitted job and persisting the cache.
+
+Usage:
+  kbpd                  stdin/stdout batch mode
+  kbpd --listen ADDR    TCP mode (e.g. --listen 127.0.0.1:7469; :0 picks
+                        a port, announced on stdout)
 
 Request:  {\"id\":1,\"kind\":\"solve|enumerate|check|fault_lattice\",
            \"scenario\":\"<registry name>\",\"horizon\":N,
            \"fault\":\"none|loss|crash-stop|loss+crash-stop\",\"fault_seed\":N,
            \"budget\":{\"deadline_ms\":N,\"max_layer_points\":N,
                      \"max_guard_evaluations\":N,\"max_memory_bytes\":N}}
-Stats op: {\"op\":\"stats\"}
+Monitor:  {\"op\":\"stats\"}  {\"kind\":\"health\"}  {\"kind\":\"metrics\"}
 
-Environment:
-  KBP_SERVICE_WORKERS  worker threads (default: available parallelism)
-  KBP_SERVICE_QUEUE    queue capacity (default 64); overflow answers queue_full
-  KBP_SERVICE_CACHE    0/off/false disables the cross-request artifact cache
-  KBP_EVAL_THREADS     per-solve guard-evaluation sharding
+Environment (malformed values refuse startup with a typed error):
+  KBP_SERVICE_WORKERS          worker threads (default: available parallelism)
+  KBP_SERVICE_QUEUE            queue capacity (default 64); overflow answers queue_full
+  KBP_SERVICE_CACHE            0/off/false disables the cross-request artifact cache
+  KBP_SERVICE_CACHE_SESSIONS   retained sessions before LRU eviction (default 64)
+  KBP_SERVICE_CACHE_DIR        directory for warm-restart cache persistence
+  KBP_SERVICE_CLIENT_PENDING   per-connection unanswered-request quota (default 16)
+  KBP_SERVICE_MAX_CONNECTIONS  concurrent connections in --listen mode (default 32)
+  KBP_SERVICE_MAX_LINE         request-line byte bound (default 1048576)
+  KBP_EVAL_THREADS             per-solve guard-evaluation sharding
+  KBP_SHARD_MIN_WORLDS         minimum layer width for intra-layer sharding
 ";

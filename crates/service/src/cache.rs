@@ -18,6 +18,7 @@
 //! finishes. An evicted context simply re-misses later; responses are
 //! bit-identical either way.
 
+use crate::persist::SessionStore;
 use kbp_core::EngineSession;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,6 +39,14 @@ pub struct CacheStats {
     pub evictions: usize,
     /// The configured session bound.
     pub capacity: usize,
+    /// Sessions rehydrated from the on-disk store at startup.
+    pub preloaded: usize,
+    /// Session files written (eviction-time and shutdown flushes).
+    pub persisted: usize,
+    /// Persistence operations that failed (unwritable directory,
+    /// corrupt file, busy session). Best-effort by design: failures
+    /// degrade to cold solves, never to errors on the wire.
+    pub persist_failures: usize,
 }
 
 /// One retained session plus its recency stamp.
@@ -62,9 +71,13 @@ pub struct ArtifactCache {
     enabled: bool,
     capacity: usize,
     inner: Mutex<Inner>,
+    store: Option<SessionStore>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    preloaded: AtomicUsize,
+    persisted: AtomicUsize,
+    persist_failures: AtomicUsize,
 }
 
 impl ArtifactCache {
@@ -73,13 +86,102 @@ impl ArtifactCache {
     /// retained sessions, clamped to at least 1.
     #[must_use]
     pub fn new(enabled: bool, capacity: usize) -> Self {
-        ArtifactCache {
+        ArtifactCache::with_store(enabled, capacity, None)
+    }
+
+    /// Like [`new`](Self::new), with an optional on-disk session store
+    /// for warm restarts. When a store is given (and the cache is
+    /// enabled), up to `capacity` persisted sessions are rehydrated
+    /// immediately, in ascending fingerprint order — a deterministic
+    /// preload, so two daemons started on the same directory hold the
+    /// same residents. Files that fail to load (corrupt, truncated,
+    /// version-mismatched) are skipped and counted; the context solves
+    /// cold, exactly as if never persisted.
+    #[must_use]
+    pub fn with_store(enabled: bool, capacity: usize, store: Option<SessionStore>) -> Self {
+        let cache = ArtifactCache {
             enabled,
             capacity: capacity.max(1),
             inner: Mutex::new(Inner::default()),
+            store,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            preloaded: AtomicUsize::new(0),
+            persisted: AtomicUsize::new(0),
+            persist_failures: AtomicUsize::new(0),
+        };
+        cache.preload();
+        cache
+    }
+
+    fn preload(&self) {
+        let Some(store) = (self.enabled).then_some(self.store.as_ref()).flatten() else {
+            return;
+        };
+        let fingerprints = match store.list() {
+            Ok(fps) => fps,
+            Err(_) => {
+                self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        for fp in fingerprints.into_iter().take(self.capacity) {
+            match store.load(fp) {
+                Ok(Some(session)) => {
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    inner.slots.insert(
+                        fp,
+                        Slot {
+                            session: Arc::new(Mutex::new(session)),
+                            last_used: tick,
+                        },
+                    );
+                    self.preloaded.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Writes every resident session to the store (no-op without one).
+    /// Called at shutdown, after the workers have been joined, so a
+    /// blocking lock per session is safe — nothing else can hold one.
+    /// Failures are counted, never raised: losing a warm artifact only
+    /// costs the next daemon a cold solve.
+    pub fn persist_all(&self) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        let residents: Vec<(u64, Arc<Mutex<EngineSession>>)> = match self.inner.lock() {
+            Ok(inner) => inner
+                .slots
+                .iter()
+                .map(|(&fp, slot)| (fp, Arc::clone(&slot.session)))
+                .collect(),
+            Err(_) => return,
+        };
+        for (fp, session) in residents {
+            match session.lock() {
+                Ok(session) => match store.save(fp, &session) {
+                    Ok(()) => {
+                        self.persisted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Err(_) => {
+                    self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -124,6 +226,7 @@ impl ArtifactCache {
                 last_used: tick,
             },
         );
+        let mut victims: Vec<(u64, Arc<Mutex<EngineSession>>)> = Vec::new();
         while inner.slots.len() > self.capacity {
             // O(sessions) scan — the map is small (bounded by capacity)
             // and lookups are rare next to the solves they amortize.
@@ -134,10 +237,35 @@ impl ArtifactCache {
                 .map(|(&fp, _)| fp);
             match victim {
                 Some(fp) => {
-                    inner.slots.remove(&fp);
+                    if let Some(slot) = inner.slots.remove(&fp) {
+                        victims.push((fp, slot.session));
+                    }
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
+            }
+        }
+        drop(inner);
+        // Persist evicted sessions outside the map lock (file I/O must
+        // not stall other lookups) and only via `try_lock`: a victim
+        // mid-solve stays busy until its worker finishes, and blocking
+        // here would stall admission behind that solve. A skipped victim
+        // is still covered by the shutdown `persist_all`.
+        if let Some(store) = self.store.as_ref() {
+            for (fp, victim) in victims {
+                match victim.try_lock() {
+                    Ok(victim) => match store.save(fp, &victim) {
+                        Ok(()) => {
+                            self.persisted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    Err(_) => {
+                        self.persist_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
         Some(session)
@@ -152,6 +280,9 @@ impl ArtifactCache {
             sessions: self.inner.lock().map_or(0, |i| i.slots.len()),
             evictions: self.evictions.load(Ordering::Relaxed),
             capacity: self.capacity,
+            preloaded: self.preloaded.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -215,6 +346,66 @@ mod tests {
             let _ = cache.session(fp);
         }
         assert!(cache.stats().sessions <= 2);
+    }
+
+    #[test]
+    fn store_roundtrip_preloads_persisted_sessions() {
+        let dir = std::env::temp_dir().join(format!(
+            "kbp-cache-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SessionStore::open(&dir).unwrap();
+
+        // First life: populate two sessions, then flush at "shutdown".
+        let cache = ArtifactCache::with_store(true, 8, Some(store.clone()));
+        let _ = cache.session(11).unwrap();
+        let _ = cache.session(22).unwrap();
+        cache.persist_all();
+        let stats = cache.stats();
+        assert_eq!(stats.persisted, 2);
+        assert_eq!(stats.persist_failures, 0);
+        assert_eq!(store.list().unwrap(), vec![11, 22]);
+
+        // Second life: the persisted sessions are resident immediately.
+        let warm = ArtifactCache::with_store(true, 8, Some(store.clone()));
+        let stats = warm.stats();
+        assert_eq!(stats.preloaded, 2);
+        assert_eq!(stats.sessions, 2);
+        let _ = warm.session(11).unwrap();
+        assert_eq!(warm.stats().hits, 1, "preloaded session hits, not misses");
+
+        // A corrupt file is skipped and counted, never fatal.
+        std::fs::write(dir.join(format!("{:016x}.kbps", 33u64)), b"garbage").unwrap();
+        let partial = ArtifactCache::with_store(true, 8, Some(store.clone()));
+        let stats = partial.stats();
+        assert_eq!(stats.preloaded, 2);
+        assert_eq!(stats.persist_failures, 1);
+
+        // A disabled cache ignores the store entirely.
+        let disabled = ArtifactCache::with_store(false, 8, Some(store));
+        assert_eq!(disabled.stats().preloaded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_persists_the_victim() {
+        let dir = std::env::temp_dir().join(format!(
+            "kbp-cache-evict-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SessionStore::open(&dir).unwrap();
+        let cache = ArtifactCache::with_store(true, 1, Some(store.clone()));
+        let _ = cache.session(1).unwrap();
+        let _ = cache.session(2).unwrap(); // evicts 1 → persisted
+        assert_eq!(store.list().unwrap(), vec![1]);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.persisted, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Byte-level line framing for the daemon's request streams.
+//!
+//! `BufRead::lines` has two failure modes a long-running daemon cannot
+//! afford: a line of invalid UTF-8 surfaces as an `io::Error`
+//! indistinguishable from a dead socket (so naive loops hang up, silently
+//! dropping everything after it), and there is no line-length bound (so
+//! one hostile client can balloon resident memory). [`LineReader`] reads
+//! raw bytes instead and makes both conditions *per-line outcomes*:
+//!
+//! * a line that is not UTF-8 yields [`FrameError::InvalidUtf8`] — the
+//!   reader stays usable and the next line parses normally;
+//! * a line longer than the configured bound yields
+//!   [`FrameError::Oversized`] while consuming (and discarding) the rest
+//!   of the line, never buffering more than the bound plus one read
+//!   chunk;
+//! * an unterminated final line (EOF without `\n`) is still delivered —
+//!   a client that forgets the trailing newline gets an answer, not a
+//!   drop;
+//! * only genuine transport errors surface as `io::Error`.
+//!
+//! The caller (stdin loop or TCP reader thread) maps each [`FrameError`]
+//! to a typed `ok:false` response line, keeping the "every accepted line
+//! is answered" invariant of the wire protocol.
+
+use std::fmt;
+use std::io::Read;
+
+/// Default per-line byte bound (1 MiB): far above any legitimate request
+/// (the largest registry job line is under 1 KiB) while bounding what a
+/// misbehaving client can make the daemon buffer.
+pub const DEFAULT_MAX_LINE: usize = 1 << 20;
+
+/// A malformed frame (one line), reported per line — the stream
+/// continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeded the configured byte bound; the overflow was
+    /// discarded up to the next newline.
+    Oversized {
+        /// The configured bound the line broke.
+        limit: usize,
+    },
+    /// The line is not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            FrameError::InvalidUtf8 => write!(f, "request line is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One step of the framed stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// A complete line (without its terminator). The final line is
+    /// delivered even if the stream ended without `\n`.
+    Line(String),
+    /// A malformed line; the reader has already resynchronized to the
+    /// next line.
+    Malformed(FrameError),
+    /// End of stream.
+    Eof,
+}
+
+/// A bounded, resynchronizing line reader over any byte stream.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    max_line: usize,
+    /// Raw bytes read but not yet consumed (suffix of the last chunk).
+    buf: Vec<u8>,
+    /// Start of unconsumed bytes within `buf`.
+    start: usize,
+    /// Bytes of the current line accumulated so far across chunks.
+    line: Vec<u8>,
+    /// The current line already broke the bound; discard until newline.
+    overflowing: bool,
+    /// Bytes seen for the current (overflowing) line, for diagnostics.
+    eof: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps `inner` with a per-line bound of `max_line` bytes (clamped
+    /// to at least 1).
+    pub fn new(inner: R, max_line: usize) -> Self {
+        LineReader {
+            inner,
+            max_line: max_line.max(1),
+            buf: Vec::new(),
+            start: 0,
+            line: Vec::new(),
+            overflowing: false,
+            eof: false,
+        }
+    }
+
+    /// Reads the next line.
+    ///
+    /// Carriage returns immediately before the newline are stripped, so
+    /// `\r\n`-terminated clients work transparently.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine transport errors (`io::Error` from the underlying
+    /// reader); malformed lines come back as
+    /// [`LineOutcome::Malformed`].
+    pub fn next_line(&mut self) -> std::io::Result<LineOutcome> {
+        loop {
+            // Scan what we already have for a newline.
+            if self.start < self.buf.len() {
+                let chunk = &self.buf[self.start..];
+                if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+                    let (head, _) = chunk.split_at(nl);
+                    if self.overflowing {
+                        self.start += nl + 1;
+                        self.overflowing = false;
+                        self.line.clear();
+                        return Ok(LineOutcome::Malformed(FrameError::Oversized {
+                            limit: self.max_line,
+                        }));
+                    }
+                    if self.line.len() + head.len() > self.max_line {
+                        self.start += nl + 1;
+                        self.line.clear();
+                        return Ok(LineOutcome::Malformed(FrameError::Oversized {
+                            limit: self.max_line,
+                        }));
+                    }
+                    self.line.extend_from_slice(head);
+                    self.start += nl + 1;
+                    return Ok(self.finish_line());
+                }
+                // No newline yet: fold the chunk into the pending line.
+                if !self.overflowing {
+                    if self.line.len() + chunk.len() > self.max_line {
+                        self.overflowing = true;
+                        self.line.clear();
+                    } else {
+                        self.line.extend_from_slice(chunk);
+                    }
+                }
+                self.start = self.buf.len();
+            }
+
+            if self.eof {
+                if self.overflowing {
+                    self.overflowing = false;
+                    return Ok(LineOutcome::Malformed(FrameError::Oversized {
+                        limit: self.max_line,
+                    }));
+                }
+                if self.line.is_empty() {
+                    return Ok(LineOutcome::Eof);
+                }
+                // Unterminated final line: deliver it.
+                return Ok(self.finish_line());
+            }
+
+            // Refill.
+            self.buf.resize(8 * 1024, 0);
+            self.start = 0;
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => {
+                    self.buf.clear();
+                    self.eof = true;
+                }
+                Ok(n) => {
+                    self.buf.truncate(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.buf.clear();
+                }
+                Err(e) => {
+                    self.buf.clear();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn finish_line(&mut self) -> LineOutcome {
+        let mut bytes = std::mem::take(&mut self.line);
+        if bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+        match String::from_utf8(bytes) {
+            Ok(s) => LineOutcome::Line(s),
+            Err(_) => LineOutcome::Malformed(FrameError::InvalidUtf8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that hands out its input in fixed-size dribbles,
+    /// simulating partial writes / small TCP segments.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn outcomes(data: &[u8], chunk: usize, max_line: usize) -> Vec<LineOutcome> {
+        let mut reader = LineReader::new(
+            Dribble {
+                data,
+                pos: 0,
+                chunk,
+            },
+            max_line,
+        );
+        let mut out = Vec::new();
+        loop {
+            let step = reader.next_line().expect("no transport errors");
+            let done = step == LineOutcome::Eof;
+            out.push(step);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    fn line(s: &str) -> LineOutcome {
+        LineOutcome::Line(s.to_string())
+    }
+
+    #[test]
+    fn plain_lines_in_any_chunking() {
+        let data = b"alpha\nbeta\ngamma\n";
+        for chunk in [1, 2, 3, 5, 64] {
+            assert_eq!(
+                outcomes(data, chunk, 1024),
+                vec![line("alpha"), line("beta"), line("gamma"), LineOutcome::Eof],
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn unterminated_final_line_is_delivered() {
+        assert_eq!(
+            outcomes(b"alpha\nbeta", 3, 1024),
+            vec![line("alpha"), line("beta"), LineOutcome::Eof]
+        );
+        // A lone unterminated line too.
+        assert_eq!(
+            outcomes(b"solo", 1, 1024),
+            vec![line("solo"), LineOutcome::Eof]
+        );
+    }
+
+    #[test]
+    fn crlf_is_stripped() {
+        assert_eq!(
+            outcomes(b"alpha\r\nbeta\r\n", 4, 1024),
+            vec![line("alpha"), line("beta"), LineOutcome::Eof]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_poisons_one_line_only() {
+        // 0xFF is never valid UTF-8; split across reads (chunk=2) the
+        // line must still fail as a unit while its neighbours parse.
+        let data = b"ok1\nbad\xFF\xFEline\nok2\n";
+        for chunk in [1, 2, 7, 64] {
+            assert_eq!(
+                outcomes(data, chunk, 1024),
+                vec![
+                    line("ok1"),
+                    LineOutcome::Malformed(FrameError::InvalidUtf8),
+                    line("ok2"),
+                    LineOutcome::Eof
+                ],
+                "chunk={chunk}"
+            );
+        }
+        // Invalid UTF-8 on an unterminated final line is also reported.
+        assert_eq!(
+            outcomes(b"ok\nbad\xFF", 3, 1024),
+            vec![
+                line("ok"),
+                LineOutcome::Malformed(FrameError::InvalidUtf8),
+                LineOutcome::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_and_skipped() {
+        // Limit 8: the 12-byte line must come back Oversized, and the
+        // reader must resynchronize to the next line.
+        let data = b"tiny\nAAAAAAAAAAAA\nafter\n";
+        for chunk in [1, 3, 64] {
+            assert_eq!(
+                outcomes(data, chunk, 8),
+                vec![
+                    line("tiny"),
+                    LineOutcome::Malformed(FrameError::Oversized { limit: 8 }),
+                    line("after"),
+                    LineOutcome::Eof
+                ],
+                "chunk={chunk}"
+            );
+        }
+        // Oversized *unterminated* final line: reported, then EOF.
+        assert_eq!(
+            outcomes(b"ok\nAAAAAAAAAAAA", 4, 8),
+            vec![
+                line("ok"),
+                LineOutcome::Malformed(FrameError::Oversized { limit: 8 }),
+                LineOutcome::Eof
+            ]
+        );
+        // Memory bound: a huge line is discarded, not buffered. (The
+        // buffer never holds more than the bound + one chunk; asserting
+        // behaviour, not internals: outcome is one error, then EOF.)
+        let huge = vec![b'x'; 1 << 16];
+        assert_eq!(
+            outcomes(&huge, 8192, 64),
+            vec![
+                LineOutcome::Malformed(FrameError::Oversized { limit: 64 }),
+                LineOutcome::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_lines_and_empty_stream() {
+        assert_eq!(outcomes(b"", 4, 64), vec![LineOutcome::Eof]);
+        assert_eq!(
+            outcomes(b"\n\n", 4, 64),
+            vec![line(""), line(""), LineOutcome::Eof]
+        );
+    }
+}

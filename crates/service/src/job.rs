@@ -9,8 +9,10 @@
 //! ```
 //!
 //! `id` and `kind` are mandatory; everything else has scenario defaults.
-//! `{"op":"stats"}` is the one non-job request, answered from the
-//! service's counters.
+//! Three monitoring requests bypass the queue and are answered from the
+//! service's counters: `{"op":"stats"}`, `{"kind":"health"}` and
+//! `{"kind":"metrics"}` (each accepts either the `op` or the `kind`
+//! spelling, and an optional `id` to echo).
 
 use crate::json::Json;
 use kbp_core::Budget;
@@ -142,13 +144,25 @@ impl fmt::Display for RequestError {
 
 impl std::error::Error for RequestError {}
 
-/// A parsed request line: either a job or the stats op.
+/// A parsed request line: a job, or one of the monitoring ops that are
+/// answered inline without entering the queue.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// A job to queue.
     Job(JobRequest),
     /// `{"op":"stats"}` — answer with service counters.
     Stats {
+        /// Echoed id, if the client sent one.
+        id: Option<u64>,
+    },
+    /// `{"kind":"health"}` — liveness probe; answered immediately.
+    Health {
+        /// Echoed id, if the client sent one.
+        id: Option<u64>,
+    },
+    /// `{"kind":"metrics"}` — queue depth, worker utilization, cache
+    /// hit/eviction counters; answered immediately.
+    Metrics {
         /// Echoed id, if the client sent one.
         id: Option<u64>,
     },
@@ -173,17 +187,17 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             field: "op",
             expected: "a string",
         })?;
-        if op == "stats" {
-            let id = match value.get("id") {
-                None | Some(Json::Null) => None,
-                Some(v) => Some(v.as_u64().ok_or(RequestError::BadField {
-                    field: "id",
-                    expected: "a non-negative integer",
-                })?),
-            };
-            return Ok(Request::Stats { id });
+        if let Some(req) = monitor_request(op, &value)? {
+            return Ok(req);
         }
         return Err(RequestError::UnknownKind(op.to_string()));
+    }
+    // Monitoring ops are also accepted under the `kind` spelling
+    // (`{"kind":"health"}`), and — unlike jobs — need no id.
+    if let Some(kind) = value.get("kind").and_then(Json::as_str) {
+        if let Some(req) = monitor_request(kind, &value)? {
+            return Ok(req);
+        }
     }
 
     let id = value
@@ -244,6 +258,38 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         max_solutions,
         max_branches,
     }))
+}
+
+/// Recognizes the monitoring ops (`stats`, `health`, `metrics`) under
+/// either the `op` or `kind` spelling; `Ok(None)` means "not one of
+/// them" and the caller decides whether that is an error.
+fn monitor_request(name: &str, value: &Json) -> Result<Option<Request>, RequestError> {
+    let id = match value.get("id") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or(RequestError::BadField {
+            field: "id",
+            expected: "a non-negative integer",
+        })?),
+    };
+    Ok(match name {
+        "stats" => Some(Request::Stats { id }),
+        "health" => Some(Request::Health { id }),
+        "metrics" => Some(Request::Metrics { id }),
+        _ => None,
+    })
+}
+
+/// Best-effort extraction of the client id from a line that failed
+/// [`parse_request`], so the error response can still echo it. Returns
+/// `None` when the line is not JSON, not an object, or carries no
+/// usable `id` — the response then says `"id":null`.
+#[must_use]
+pub fn id_hint(line: &str) -> Option<u64> {
+    let value = crate::json::parse(line).ok()?;
+    if !matches!(value, Json::Obj(_)) {
+        return None;
+    }
+    value.get("id").and_then(Json::as_u64)
 }
 
 fn opt_usize(value: &Json, field: &'static str) -> Result<Option<usize>, RequestError> {
@@ -338,6 +384,39 @@ mod tests {
             parse_request(r#"{"op":"stats","id":5}"#).unwrap(),
             Request::Stats { id: Some(5) }
         );
+    }
+
+    #[test]
+    fn parses_health_and_metrics_under_both_spellings() {
+        for spelling in ["op", "kind"] {
+            assert_eq!(
+                parse_request(&format!(r#"{{"{spelling}":"health"}}"#)).unwrap(),
+                Request::Health { id: None },
+                "spelling={spelling}"
+            );
+            assert_eq!(
+                parse_request(&format!(r#"{{"{spelling}":"metrics","id":7}}"#)).unwrap(),
+                Request::Metrics { id: Some(7) },
+                "spelling={spelling}"
+            );
+        }
+        // Stats under `kind` as well, for symmetry.
+        assert_eq!(
+            parse_request(r#"{"kind":"stats"}"#).unwrap(),
+            Request::Stats { id: None }
+        );
+    }
+
+    #[test]
+    fn id_hint_recovers_ids_from_bad_requests() {
+        // Valid JSON, bad fields: id is recoverable.
+        assert_eq!(id_hint(r#"{"id":42,"kind":"dance"}"#), Some(42));
+        assert_eq!(id_hint(r#"{"id":42}"#), Some(42));
+        // Not JSON / not an object / no usable id: no hint.
+        assert_eq!(id_hint("not json"), None);
+        assert_eq!(id_hint("[1,2]"), None);
+        assert_eq!(id_hint(r#"{"id":"forty-two","kind":"solve"}"#), None);
+        assert_eq!(id_hint(r#"{"kind":"solve"}"#), None);
     }
 
     #[test]

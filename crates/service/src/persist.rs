@@ -1,0 +1,933 @@
+//! Warm-restart persistence for the artifact cache: [`EngineSession`]s
+//! serialized to one file per context fingerprint under a cache
+//! directory, written on eviction and shutdown, reloaded at startup.
+//!
+//! # Format
+//!
+//! Each file is `<fingerprint as 16 lowercase hex digits>.kbps` holding
+//!
+//! ```text
+//! magic   [u8; 8]   b"KBPSESS1"
+//! version u64 LE    FORMAT_VERSION
+//! body    bytes     EngineSession through the positional binary codec
+//! ```
+//!
+//! The body uses the same positional encoding the workspace's serde
+//! round-trip tests pin down: `u64` little-endian for every integer,
+//! length-prefixed byte strings, enums as variant indexes, structs and
+//! tuples positional. The encoding is **canonical** — snapshot maps
+//! serialize key-sorted (see `EvalCacheSnapshot`'s serde) — so equal
+//! sessions produce equal files, which is what lets the restart
+//! determinism suite compare artifacts byte-for-byte.
+//!
+//! # Versioning
+//!
+//! `FORMAT_VERSION` is bumped whenever any persisted type changes shape
+//! (arena node variants, snapshot fields, session layout). A version or
+//! magic mismatch is *not* an error at load time: the file is skipped
+//! and the context simply solves cold, exactly as if the cache had been
+//! evicted. Corrupt or truncated files degrade the same way. Persistence
+//! must never be able to take the daemon down.
+
+use kbp_core::EngineSession;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Leading bytes of every session file.
+pub const MAGIC: &[u8; 8] = b"KBPSESS1";
+
+/// Body format version; bump on any persisted-type shape change.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// File extension of persisted sessions.
+pub const EXTENSION: &str = "kbps";
+
+/// Why a session file could not be written or read back.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error (create/rename/read/write).
+    Io(std::io::Error),
+    /// The payload could not be encoded or decoded.
+    Codec(String),
+    /// The file is not a session file (bad magic) or from an
+    /// incompatible format version.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "session file I/O failed: {e}"),
+            PersistError::Codec(e) => write!(f, "session payload invalid: {e}"),
+            PersistError::Format(e) => write!(f, "session file format mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serializes `session` to the versioned on-disk byte layout.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Codec`] if the session fails to encode
+/// (cannot happen for sessions produced by the solver; kept typed for
+/// the panic-free gate).
+pub fn encode_session(session: &EngineSession) -> Result<Vec<u8>, PersistError> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let mut ser = codec::Encoder { out: &mut out };
+    serde::Serialize::serialize(session, &mut ser).map_err(|e| PersistError::Codec(e.0))?;
+    Ok(out)
+}
+
+/// Decodes a session from the on-disk byte layout, validating magic,
+/// version, and the arena/snapshot invariants re-checked by the typed
+/// deserializers.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] on a magic or version mismatch and
+/// [`PersistError::Codec`] on a truncated or invalid body.
+pub fn decode_session(bytes: &[u8]) -> Result<EngineSession, PersistError> {
+    let Some(header) = bytes.get(..MAGIC.len()) else {
+        return Err(PersistError::Format("file shorter than magic".into()));
+    };
+    if header != MAGIC {
+        return Err(PersistError::Format("bad magic".into()));
+    }
+    let Some(ver_bytes) = bytes.get(MAGIC.len()..MAGIC.len() + 8) else {
+        return Err(PersistError::Format("file shorter than version".into()));
+    };
+    let mut ver = [0u8; 8];
+    ver.copy_from_slice(ver_bytes);
+    let version = u64::from_le_bytes(ver);
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Format(format!(
+            "format version {version}, expected {FORMAT_VERSION}"
+        )));
+    }
+    let body = &bytes[MAGIC.len() + 8..];
+    let mut de = codec::Decoder {
+        input: body,
+        pos: 0,
+    };
+    let session: EngineSession =
+        serde::Deserialize::deserialize(&mut de).map_err(|e| PersistError::Codec(e.0))?;
+    if de.pos != body.len() {
+        return Err(PersistError::Codec(format!(
+            "{} trailing bytes after session body",
+            body.len() - de.pos
+        )));
+    }
+    Ok(session)
+}
+
+/// A directory of persisted sessions, one file per context fingerprint.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    dir: PathBuf,
+}
+
+impl SessionStore {
+    /// Opens (creating if necessary) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<SessionStore, PersistError> {
+        fs::create_dir_all(dir)?;
+        Ok(SessionStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory backing this store.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.{EXTENSION}"))
+    }
+
+    /// Writes `session` for `fingerprint`, atomically replacing any
+    /// previous file (write to a dot-prefixed temporary in the same
+    /// directory, then rename — a crashed writer leaves the old file
+    /// intact and the temporary is invisible to [`list`](Self::list)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if encoding or any filesystem step
+    /// fails. Callers treat persistence as best-effort.
+    pub fn save(&self, fingerprint: u64, session: &EngineSession) -> Result<(), PersistError> {
+        let bytes = encode_session(session)?;
+        let tmp = self.dir.join(format!(".{fingerprint:016x}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        match fs::rename(&tmp, self.path_for(fingerprint)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(PersistError::Io(e))
+            }
+        }
+    }
+
+    /// Loads the session persisted for `fingerprint`, or `None` when no
+    /// file exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for unreadable, corrupt, or
+    /// version-mismatched files; callers degrade to a cold solve.
+    pub fn load(&self, fingerprint: u64) -> Result<Option<EngineSession>, PersistError> {
+        let path = self.path_for(fingerprint);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(PersistError::Io(e)),
+        };
+        decode_session(&bytes).map(Some)
+    }
+
+    /// The fingerprints with a persisted file, ascending — a stable
+    /// order so preloading under a capacity bound is deterministic.
+    ///
+    /// Unparseable file names are ignored (they cannot have been written
+    /// by [`save`](Self::save)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the directory cannot be listed.
+    pub fn list(&self) -> Result<Vec<u64>, PersistError> {
+        let mut fingerprints = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(&format!(".{EXTENSION}")) else {
+                continue;
+            };
+            if stem.len() != 16 {
+                continue;
+            }
+            if let Ok(fp) = u64::from_str_radix(stem, 16) {
+                fingerprints.push(fp);
+            }
+        }
+        fingerprints.sort_unstable();
+        Ok(fingerprints)
+    }
+
+    /// Removes the persisted file for `fingerprint`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure other than the
+    /// file already being gone.
+    pub fn remove(&self, fingerprint: u64) -> Result<(), PersistError> {
+        match fs::remove_file(self.path_for(fingerprint)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(PersistError::Io(e)),
+        }
+    }
+}
+
+/// The positional binary codec behind the session files: the minimal
+/// encoder/decoder pair over the vendored serde data model. Integers are
+/// `u64` little-endian, strings and byte slices length-prefixed, enums
+/// variant-indexed, structs and tuples positional (field names never hit
+/// the wire — the typed `Deserialize` impls define the layout).
+mod codec {
+    /// Codec error carrying a human-readable message.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl serde::ser::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+    impl serde::de::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    pub struct Encoder<'a> {
+        pub out: &'a mut Vec<u8>,
+    }
+
+    impl Encoder<'_> {
+        fn put_u64(&mut self, v: u64) {
+            self.out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_bytes(&mut self, b: &[u8]) {
+            self.put_u64(b.len() as u64);
+            self.out.extend_from_slice(b);
+        }
+    }
+
+    macro_rules! enc_int {
+        ($name:ident, $t:ty) => {
+            fn $name(self, v: $t) -> Result<(), Error> {
+                #[allow(clippy::cast_sign_loss)]
+                self.put_u64(v as u64);
+                Ok(())
+            }
+        };
+    }
+
+    impl serde::ser::Serializer for &mut Encoder<'_> {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push(u8::from(v));
+            Ok(())
+        }
+        enc_int!(serialize_i8, i8);
+        enc_int!(serialize_i16, i16);
+        enc_int!(serialize_i32, i32);
+        enc_int!(serialize_i64, i64);
+        enc_int!(serialize_u8, u8);
+        enc_int!(serialize_u16, u16);
+        enc_int!(serialize_u32, u32);
+        enc_int!(serialize_u64, u64);
+        fn serialize_f32(self, v: f32) -> Result<(), Error> {
+            self.put_u64(u64::from(v.to_bits()));
+            Ok(())
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            self.put_u64(v.to_bits());
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            self.put_u64(u64::from(v));
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            self.put_bytes(v.as_bytes());
+            Ok(())
+        }
+        fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+            self.put_bytes(v);
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push(0);
+            Ok(())
+        }
+        fn serialize_some<T: ?Sized + serde::Serialize>(self, value: &T) -> Result<(), Error> {
+            self.out.push(1);
+            value.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            idx: u32,
+            _: &'static str,
+        ) -> Result<(), Error> {
+            self.put_u64(u64::from(idx));
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: ?Sized + serde::Serialize>(
+            self,
+            _: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_newtype_variant<T: ?Sized + serde::Serialize>(
+            self,
+            _: &'static str,
+            idx: u32,
+            _: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            self.put_u64(u64::from(idx));
+            value.serialize(self)
+        }
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self, Error> {
+            let len = len.ok_or_else(|| Error("sequence length required".into()))?;
+            self.put_u64(len as u64);
+            Ok(self)
+        }
+        fn serialize_tuple(self, _: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            idx: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self, Error> {
+            self.put_u64(u64::from(idx));
+            Ok(self)
+        }
+        fn serialize_map(self, len: Option<usize>) -> Result<Self, Error> {
+            let len = len.ok_or_else(|| Error("map length required".into()))?;
+            self.put_u64(len as u64);
+            Ok(self)
+        }
+        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            idx: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self, Error> {
+            self.put_u64(u64::from(idx));
+            Ok(self)
+        }
+    }
+
+    macro_rules! enc_compound {
+        ($trait:ident, $fn:ident) => {
+            impl serde::ser::$trait for &mut Encoder<'_> {
+                type Ok = ();
+                type Error = Error;
+                fn $fn<T: ?Sized + serde::Serialize>(&mut self, value: &T) -> Result<(), Error> {
+                    value.serialize(&mut **self)
+                }
+                fn end(self) -> Result<(), Error> {
+                    Ok(())
+                }
+            }
+        };
+    }
+    enc_compound!(SerializeSeq, serialize_element);
+    enc_compound!(SerializeTuple, serialize_element);
+    enc_compound!(SerializeTupleStruct, serialize_field);
+    enc_compound!(SerializeTupleVariant, serialize_field);
+
+    impl serde::ser::SerializeMap for &mut Encoder<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: ?Sized + serde::Serialize>(&mut self, key: &T) -> Result<(), Error> {
+            key.serialize(&mut **self)
+        }
+        fn serialize_value<T: ?Sized + serde::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl serde::ser::SerializeStruct for &mut Encoder<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + serde::Serialize>(
+            &mut self,
+            _: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl serde::ser::SerializeStructVariant for &mut Encoder<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + serde::Serialize>(
+            &mut self,
+            _: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+
+    pub struct Decoder<'de> {
+        pub input: &'de [u8],
+        pub pos: usize,
+    }
+
+    impl<'de> Decoder<'de> {
+        fn take(&mut self, n: usize) -> Result<&'de [u8], Error> {
+            let end = self
+                .pos
+                .checked_add(n)
+                .ok_or_else(|| Error("length overflow".into()))?;
+            if end > self.input.len() {
+                return Err(Error("unexpected end of session body".into()));
+            }
+            let s = &self.input[self.pos..end];
+            self.pos = end;
+            Ok(s)
+        }
+        fn get_u64(&mut self) -> Result<u64, Error> {
+            let b = self.take(8)?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(b);
+            Ok(u64::from_le_bytes(raw))
+        }
+        fn get_bytes(&mut self) -> Result<&'de [u8], Error> {
+            let len = usize::try_from(self.get_u64()?)
+                .map_err(|_| Error("length exceeds address space".into()))?;
+            self.take(len)
+        }
+    }
+
+    macro_rules! dec_int {
+        ($name:ident, $visit:ident, $t:ty) => {
+            fn $name<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+                let v = self.get_u64()?;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                visitor.$visit(v as $t)
+            }
+        };
+    }
+
+    impl<'de> serde::de::Deserializer<'de> for &mut Decoder<'de> {
+        type Error = Error;
+
+        fn deserialize_any<V: serde::de::Visitor<'de>>(self, _: V) -> Result<V::Value, Error> {
+            Err(Error("format is not self-describing".into()))
+        }
+        fn deserialize_bool<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let b = self.take(1)?[0];
+            visitor.visit_bool(b != 0)
+        }
+        dec_int!(deserialize_i8, visit_i8, i8);
+        dec_int!(deserialize_i16, visit_i16, i16);
+        dec_int!(deserialize_i32, visit_i32, i32);
+        dec_int!(deserialize_i64, visit_i64, i64);
+        dec_int!(deserialize_u8, visit_u8, u8);
+        dec_int!(deserialize_u16, visit_u16, u16);
+        dec_int!(deserialize_u32, visit_u32, u32);
+        dec_int!(deserialize_u64, visit_u64, u64);
+        fn deserialize_f32<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let v = self.get_u64()?;
+            #[allow(clippy::cast_possible_truncation)]
+            visitor.visit_f32(f32::from_bits(v as u32))
+        }
+        fn deserialize_f64<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let v = self.get_u64()?;
+            visitor.visit_f64(f64::from_bits(v))
+        }
+        fn deserialize_char<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let v = self.get_u64()?;
+            let c = u32::try_from(v)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| Error("invalid char scalar".into()))?;
+            visitor.visit_char(c)
+        }
+        fn deserialize_str<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let b = self.get_bytes()?;
+            visitor.visit_str(std::str::from_utf8(b).map_err(|e| Error(e.to_string()))?)
+        }
+        fn deserialize_string<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            self.deserialize_str(visitor)
+        }
+        fn deserialize_bytes<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let b = self.get_bytes()?;
+            visitor.visit_bytes(b)
+        }
+        fn deserialize_byte_buf<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            self.deserialize_bytes(visitor)
+        }
+        fn deserialize_option<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let tag = self.take(1)?[0];
+            match tag {
+                0 => visitor.visit_none(),
+                1 => visitor.visit_some(self),
+                other => Err(Error(format!("invalid option tag {other}"))),
+            }
+        }
+        fn deserialize_unit<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_unit()
+        }
+        fn deserialize_unit_struct<V: serde::de::Visitor<'de>>(
+            self,
+            _: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_unit()
+        }
+        fn deserialize_newtype_struct<V: serde::de::Visitor<'de>>(
+            self,
+            _: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_newtype_struct(self)
+        }
+        fn deserialize_seq<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let len = usize::try_from(self.get_u64()?)
+                .map_err(|_| Error("length exceeds address space".into()))?;
+            // Every element costs ≥ 1 byte, so a declared count beyond
+            // the remaining bytes is corrupt; reject before the visitor
+            // can turn `size_hint` into a huge allocation.
+            if len > self.input.len() - self.pos {
+                return Err(Error(format!(
+                    "declared {len} elements with {} bytes left",
+                    self.input.len() - self.pos
+                )));
+            }
+            visitor.visit_seq(Counted {
+                de: self,
+                left: len,
+            })
+        }
+        fn deserialize_tuple<V: serde::de::Visitor<'de>>(
+            self,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_seq(Counted {
+                de: self,
+                left: len,
+            })
+        }
+        fn deserialize_tuple_struct<V: serde::de::Visitor<'de>>(
+            self,
+            _: &'static str,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            self.deserialize_tuple(len, visitor)
+        }
+        fn deserialize_map<V: serde::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            let len = usize::try_from(self.get_u64()?)
+                .map_err(|_| Error("length exceeds address space".into()))?;
+            if len > self.input.len() - self.pos {
+                return Err(Error(format!(
+                    "declared {len} entries with {} bytes left",
+                    self.input.len() - self.pos
+                )));
+            }
+            visitor.visit_map(Counted {
+                de: self,
+                left: len,
+            })
+        }
+        fn deserialize_struct<V: serde::de::Visitor<'de>>(
+            self,
+            _: &'static str,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_seq(Counted {
+                de: self,
+                left: fields.len(),
+            })
+        }
+        fn deserialize_enum<V: serde::de::Visitor<'de>>(
+            self,
+            _: &'static str,
+            _: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_enum(Enum { de: self })
+        }
+        fn deserialize_identifier<V: serde::de::Visitor<'de>>(
+            self,
+            _: V,
+        ) -> Result<V::Value, Error> {
+            Err(Error("identifiers are positional".into()))
+        }
+        fn deserialize_ignored_any<V: serde::de::Visitor<'de>>(
+            self,
+            _: V,
+        ) -> Result<V::Value, Error> {
+            Err(Error("cannot skip in positional format".into()))
+        }
+    }
+
+    struct Counted<'a, 'de> {
+        de: &'a mut Decoder<'de>,
+        left: usize,
+    }
+
+    impl<'de> serde::de::SeqAccess<'de> for Counted<'_, 'de> {
+        type Error = Error;
+        fn next_element_seed<T: serde::de::DeserializeSeed<'de>>(
+            &mut self,
+            seed: T,
+        ) -> Result<Option<T::Value>, Error> {
+            if self.left == 0 {
+                return Ok(None);
+            }
+            self.left -= 1;
+            seed.deserialize(&mut *self.de).map(Some)
+        }
+        fn size_hint(&self) -> Option<usize> {
+            Some(self.left)
+        }
+    }
+
+    impl<'de> serde::de::MapAccess<'de> for Counted<'_, 'de> {
+        type Error = Error;
+        fn next_key_seed<K: serde::de::DeserializeSeed<'de>>(
+            &mut self,
+            seed: K,
+        ) -> Result<Option<K::Value>, Error> {
+            if self.left == 0 {
+                return Ok(None);
+            }
+            self.left -= 1;
+            seed.deserialize(&mut *self.de).map(Some)
+        }
+        fn next_value_seed<V: serde::de::DeserializeSeed<'de>>(
+            &mut self,
+            seed: V,
+        ) -> Result<V::Value, Error> {
+            seed.deserialize(&mut *self.de)
+        }
+    }
+
+    struct Enum<'a, 'de> {
+        de: &'a mut Decoder<'de>,
+    }
+
+    impl<'de> serde::de::EnumAccess<'de> for Enum<'_, 'de> {
+        type Error = Error;
+        type Variant = Self;
+        fn variant_seed<V: serde::de::DeserializeSeed<'de>>(
+            self,
+            seed: V,
+        ) -> Result<(V::Value, Self), Error> {
+            let idx = u32::try_from(self.de.get_u64()?)
+                .map_err(|_| Error("variant index exceeds u32".into()))?;
+            let val = seed.deserialize(serde::de::value::U32Deserializer::new(idx))?;
+            Ok((val, self))
+        }
+    }
+
+    impl<'de> serde::de::VariantAccess<'de> for Enum<'_, 'de> {
+        type Error = Error;
+        fn unit_variant(self) -> Result<(), Error> {
+            Ok(())
+        }
+        fn newtype_variant_seed<T: serde::de::DeserializeSeed<'de>>(
+            self,
+            seed: T,
+        ) -> Result<T::Value, Error> {
+            seed.deserialize(self.de)
+        }
+        fn tuple_variant<V: serde::de::Visitor<'de>>(
+            self,
+            len: usize,
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_seq(Counted {
+                de: self.de,
+                left: len,
+            })
+        }
+        fn struct_variant<V: serde::de::Visitor<'de>>(
+            self,
+            fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, Error> {
+            visitor.visit_seq(Counted {
+                de: self.de,
+                left: fields.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_session() -> EngineSession {
+        // Run a real solve through a session so the persisted artifact
+        // carries a non-trivial arena and layer snapshots.
+        let sc = kbp_scenarios::muddy_children::MuddyChildren::new(3);
+        let ctx = sc.context();
+        let kbp = sc.kbp();
+        let mut session = EngineSession::new();
+        let _ = kbp_core::SyncSolver::new(&ctx, &kbp)
+            .horizon(4)
+            .solve_budgeted_with(&mut session)
+            .expect("solves");
+        session
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_a_warm_session() {
+        let session = warm_session();
+        assert!(session.snapshot_layers() > 0, "solve produced snapshots");
+        let bytes = encode_session(&session).unwrap();
+        assert_eq!(&bytes[..MAGIC.len()], MAGIC);
+        let back = decode_session(&bytes).unwrap();
+        assert_eq!(back.snapshot_layers(), session.snapshot_layers());
+        // Canonical encoding: re-encoding the decoded session is
+        // byte-identical (maps travel key-sorted).
+        assert_eq!(encode_session(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn header_mismatches_are_typed_format_errors() {
+        let session = warm_session();
+        let bytes = encode_session(&session).unwrap();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_session(&bad_magic),
+            Err(PersistError::Format(_))
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[MAGIC.len()] ^= 0xFF;
+        assert!(matches!(
+            decode_session(&bad_version),
+            Err(PersistError::Format(_))
+        ));
+
+        assert!(matches!(
+            decode_session(&bytes[..4]),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_bodies_are_codec_errors_not_panics() {
+        let session = warm_session();
+        let bytes = encode_session(&session).unwrap();
+        // Truncate the body at several depths.
+        for cut in [MAGIC.len() + 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(decode_session(&bytes[..cut]), Err(PersistError::Codec(_))),
+                "cut at {cut} must fail typed"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_session(&padded),
+            Err(PersistError::Codec(_))
+        ));
+        // Flip a byte inside the arena region: either a typed error or a
+        // differing-but-valid session, never a panic.
+        let mut flipped = bytes;
+        let mid = MAGIC.len() + 8 + 16;
+        if mid < flipped.len() {
+            flipped[mid] ^= 0x01;
+            let _ = decode_session(&flipped);
+        }
+    }
+
+    #[test]
+    fn store_saves_lists_loads_and_removes() {
+        let dir = std::env::temp_dir().join(format!(
+            "kbp-persist-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SessionStore::open(&dir).unwrap();
+        assert!(store.list().unwrap().is_empty());
+
+        let session = warm_session();
+        store.save(7, &session).unwrap();
+        store.save(3, &session).unwrap();
+        assert_eq!(store.list().unwrap(), vec![3, 7]);
+
+        let back = store.load(7).unwrap().expect("file exists");
+        assert_eq!(back.snapshot_layers(), session.snapshot_layers());
+        assert!(store.load(99).unwrap().is_none());
+
+        // A corrupt file is a typed error, and unrelated names are not
+        // listed.
+        std::fs::write(dir.join(format!("{:016x}.{EXTENSION}", 5u64)), b"junk").unwrap();
+        std::fs::write(dir.join("README.txt"), b"not a session").unwrap();
+        assert!(store.load(5).is_err());
+        assert_eq!(store.list().unwrap(), vec![3, 5, 7]);
+
+        store.remove(7).unwrap();
+        store.remove(7).unwrap(); // idempotent
+        assert_eq!(store.list().unwrap(), vec![3, 5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,600 @@
+//! The network front end: `kbpd --listen` over TCP.
+//!
+//! One [`Server`] owns a `TcpListener`, a shared bounded [`JobQueue`]
+//! and a worker pool sized by the service config. Each accepted
+//! connection gets two light threads:
+//!
+//! * a **reader** that frames lines with [`LineReader`] (bounded,
+//!   resynchronizing; see [`crate::framing`]), parses requests, answers
+//!   monitoring ops inline, and admits jobs to the *shared* queue;
+//! * a **writer** that drains the connection's response channel through
+//!   a reorder buffer keyed by request index — so responses come back
+//!   in per-connection request order no matter how the pool schedules.
+//!
+//! Admission control is layered: the shared queue rejects with
+//! [`QueueFull`] when the whole daemon is saturated, and a per-client
+//! pending quota rejects with `quota_exceeded` when one connection
+//! hogs the window. Both are typed `ok:false` responses — a client is
+//! never silently dropped.
+//!
+//! # Drain-on-shutdown argument
+//!
+//! Every admitted job carries a clone of its connection's response
+//! sender. The writer's receive loop ends exactly when all senders are
+//! gone: the reader's copy (dropped at EOF) and one copy per
+//! in-flight job (dropped after the worker sends the response). So
+//! "writer exited" *is* the proof that every accepted request was
+//! answered and flushed in index order — no separate bookkeeping, and
+//! no window where a drained job's response is lost.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]) runs the same
+//! argument daemon-wide: stop accepting, half-close every client
+//! socket (readers see EOF and stop admitting), join readers, close
+//! the queue (workers drain what was admitted), join workers and
+//! writers, then persist the artifact cache.
+
+use crate::framing::{LineOutcome, LineReader};
+use crate::job::{id_hint, parse_request, JobRequest, Request};
+use crate::queue::JobQueue;
+use crate::service::{
+    error_response, frame_error_response, quota_response, reject_response,
+    too_many_connections_response, Service,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A job admitted to the shared queue, labelled with everything the
+/// worker needs to answer it: the connection's response channel, the
+/// per-connection request index (reorder key) and the client's pending
+/// counter.
+struct QueuedJob {
+    job: JobRequest,
+    index: usize,
+    tx: mpsc::Sender<(usize, String)>,
+    pending: Arc<AtomicUsize>,
+}
+
+/// The TCP front end. Bind with [`Server::bind`], then [`Server::run`]
+/// until a [`ServerHandle::shutdown`] (or listener error).
+#[derive(Debug)]
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+/// A cloneable shutdown handle for a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: the server stops accepting,
+    /// half-closes live connections, drains every admitted job, and
+    /// persists the cache before [`Server::run`] returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; if the
+        // listener is already gone, there is nothing left to wake.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+impl Server {
+    /// Binds the listener and takes ownership of the service.
+    ///
+    /// # Errors
+    ///
+    /// Any `TcpListener::bind` failure (address in use, permission, …).
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Service) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            service: Arc::new(service),
+            listener,
+            local_addr,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A shutdown handle usable from any thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr,
+        }
+    }
+
+    /// Serves until shutdown. Consumes the server; when this returns,
+    /// every accepted request has been answered, all threads are
+    /// joined, and the artifact cache has been persisted (when a store
+    /// is configured).
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection and per-line problems
+    /// are typed responses, never a dead server.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            service,
+            listener,
+            local_addr: _,
+            stop,
+        } = self;
+        let config = service.config().clone();
+        let queue: Arc<JobQueue<QueuedJob>> =
+            Arc::new(JobQueue::new(config.queue_capacity, config.retry_after_ms));
+        let workers = spawn_workers(&service, &queue, config.workers);
+
+        // Live connections, keyed by a monotone id so shutdown can
+        // half-close them; entries remove themselves when done.
+        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_conn: u64 = 0;
+
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break; // the wake-up connection (or a late client) is dropped
+            }
+            let Ok(stream) = stream else { continue };
+            if active.load(Ordering::SeqCst) >= config.max_connections {
+                // A typed one-line refusal, then close: the client can
+                // tell "daemon at capacity" from "daemon dead".
+                let line = too_many_connections_response(config.max_connections).to_line();
+                let mut refused = stream;
+                let _ = writeln!(refused, "{line}");
+                let _ = refused.flush();
+                continue;
+            }
+            let (Ok(write_half), Ok(register_half)) = (stream.try_clone(), stream.try_clone())
+            else {
+                continue;
+            };
+            let conn_id = next_conn;
+            next_conn += 1;
+            active.fetch_add(1, Ordering::SeqCst);
+            if let Ok(mut map) = connections.lock() {
+                map.insert(conn_id, register_half);
+            }
+            let service = Arc::clone(&service);
+            let queue = Arc::clone(&queue);
+            let connections = Arc::clone(&connections);
+            let active = Arc::clone(&active);
+            let quota = config.client_pending;
+            conn_threads.push(std::thread::spawn(move || {
+                drive(&service, &queue, stream, write_half, quota);
+                if let Ok(mut map) = connections.lock() {
+                    map.remove(&conn_id);
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        drop(listener); // further connects are refused by the OS
+
+        // Half-close every live connection: readers see EOF, stop
+        // admitting, and the per-connection drain argument (module
+        // docs) finishes each one.
+        if let Ok(mut map) = connections.lock() {
+            for (_, conn) in map.drain() {
+                let _ = conn.shutdown(Shutdown::Read);
+            }
+        }
+        for thread in conn_threads {
+            let _ = thread.join();
+        }
+        // All readers are gone: nothing new can be admitted. Close the
+        // queue so workers drain the remainder and exit.
+        queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        service.persist();
+        Ok(())
+    }
+}
+
+/// Serves the line protocol over an arbitrary byte stream pair with its
+/// own worker pool — `kbpd`'s stdin/stdout compatibility mode. Returns
+/// after EOF once every accepted request has been answered in order and
+/// the cache persisted.
+pub fn serve_stream<R: Read, W: Write + Send + 'static>(service: Service, input: R, output: W) {
+    let config = service.config().clone();
+    let service = Arc::new(service);
+    let queue: Arc<JobQueue<QueuedJob>> =
+        Arc::new(JobQueue::new(config.queue_capacity, config.retry_after_ms));
+    let workers = spawn_workers(&service, &queue, config.workers);
+    // A single stdin client owns the whole admission window, so the
+    // per-client quota is moot here; the queue bound still applies.
+    drive(&service, &queue, input, output, usize::MAX);
+    queue.close();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    service.persist();
+}
+
+fn spawn_workers(
+    service: &Arc<Service>,
+    queue: &Arc<JobQueue<QueuedJob>>,
+    count: usize,
+) -> Vec<JoinHandle<()>> {
+    (0..count.max(1))
+        .map(|_| {
+            let service = Arc::clone(service);
+            let queue = Arc::clone(queue);
+            std::thread::spawn(move || {
+                while let Some(queued) = queue.pop() {
+                    let line = service.execute(&queued.job).to_line();
+                    let _ = queued.tx.send((queued.index, line));
+                    queued.pending.fetch_sub(1, Ordering::Relaxed);
+                    // Dropping `queued` drops its sender clone — the
+                    // writer's drain barrier (module docs).
+                }
+            })
+        })
+        .collect()
+}
+
+/// One connection (or the stdin stream): frames lines, parses, admits,
+/// answers. Spawns the ordering writer, runs the reader inline, joins
+/// the writer before returning — so returning means "fully drained".
+fn drive<R: Read, W: Write + Send + 'static>(
+    service: &Arc<Service>,
+    queue: &Arc<JobQueue<QueuedJob>>,
+    input: R,
+    output: W,
+    quota: usize,
+) {
+    let (tx, rx) = mpsc::channel::<(usize, String)>();
+    let writer = std::thread::spawn(move || write_in_order(output, rx));
+    let pending = Arc::new(AtomicUsize::new(0));
+    let mut reader = LineReader::new(input, service.config().max_line);
+    let mut index = 0usize;
+    // A transport error (`Err`) ends the read loop like EOF does: stop
+    // admitting, drain what was already accepted.
+    while let Ok(outcome) = reader.next_line() {
+        let response = match outcome {
+            LineOutcome::Eof => break,
+            LineOutcome::Malformed(frame) => frame_error_response(&frame),
+            LineOutcome::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line) {
+                    Ok(Request::Job(job)) => {
+                        let held = pending.fetch_add(1, Ordering::Relaxed);
+                        if held >= quota {
+                            pending.fetch_sub(1, Ordering::Relaxed);
+                            service.note_quota_rejection();
+                            quota_response(Some(job.id), held, quota)
+                        } else {
+                            match queue.try_submit(QueuedJob {
+                                job,
+                                index,
+                                tx: tx.clone(),
+                                pending: Arc::clone(&pending),
+                            }) {
+                                Ok(()) => {
+                                    index += 1;
+                                    continue;
+                                }
+                                Err((rejected, full)) => {
+                                    pending.fetch_sub(1, Ordering::Relaxed);
+                                    service.note_rejection();
+                                    reject_response(Some(rejected.job.id), full)
+                                }
+                            }
+                        }
+                    }
+                    Ok(Request::Stats { id }) => service.stats_response(id),
+                    Ok(Request::Health { id }) => service.health_response(id),
+                    Ok(Request::Metrics { id }) => service.metrics_response(id, queue.len()),
+                    // The id is echoed whenever the line was at least
+                    // parseable JSON with a usable id field.
+                    Err(e) => error_response(id_hint(&line), &e),
+                }
+            }
+        };
+        let _ = tx.send((index, response.to_line()));
+        index += 1;
+    }
+    // Drop the reader's sender; the writer now ends exactly when every
+    // in-flight job has been answered (drain argument, module docs).
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// The per-connection ordering writer: a reorder buffer keyed by
+/// request index, flushed contiguously from 0.
+fn write_in_order<W: Write>(mut output: W, rx: mpsc::Receiver<(usize, String)>) {
+    let mut buffered: BTreeMap<usize, String> = BTreeMap::new();
+    let mut next = 0usize;
+    for (index, line) in rx {
+        buffered.insert(index, line);
+        while let Some(line) = buffered.remove(&next) {
+            if writeln!(output, "{line}")
+                .and_then(|()| output.flush())
+                .is_err()
+            {
+                return; // client hung up; responses have nowhere to go
+            }
+            next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse as parse_json, Json};
+    use crate::service::ServiceConfig;
+    use std::io::{BufRead, BufReader};
+
+    fn start(config: ServiceConfig) -> (ServerHandle, JoinHandle<std::io::Result<()>>) {
+        let server = Server::bind("127.0.0.1:0", Service::new(config)).expect("bind");
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        (handle, thread)
+    }
+
+    fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for line in lines {
+            writeln!(stream, "{line}").expect("write");
+        }
+        stream.shutdown(Shutdown::Write).expect("half-close");
+        BufReader::new(stream)
+            .lines()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("read responses")
+    }
+
+    #[test]
+    fn serves_jobs_in_request_order_over_tcp() {
+        let (handle, thread) = start(ServiceConfig::new().workers(3).cache(false));
+        let responses = send_lines(
+            handle.addr(),
+            &[
+                r#"{"id":10,"kind":"solve","scenario":"zoo_plain"}"#,
+                r#"{"id":11,"kind":"solve","scenario":"bit_transmission"}"#,
+                r#"{"kind":"health"}"#,
+                r#"{"id":12,"kind":"solve","scenario":"zoo_plain"}"#,
+            ],
+        );
+        let ids: Vec<Option<u64>> = responses
+            .iter()
+            .map(|line| {
+                parse_json(line)
+                    .expect("json")
+                    .get("id")
+                    .and_then(Json::as_u64)
+            })
+            .collect();
+        assert_eq!(ids, vec![Some(10), Some(11), None, Some(12)]);
+        handle.shutdown();
+        thread.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn two_clients_interleave_without_crosstalk() {
+        let (handle, thread) = start(ServiceConfig::new().workers(4).cache(false));
+        let addr = handle.addr();
+        let a = std::thread::spawn(move || {
+            send_lines(
+                addr,
+                &[
+                    r#"{"id":1,"kind":"solve","scenario":"zoo_plain"}"#,
+                    r#"{"id":2,"kind":"solve","scenario":"muddy_children_3"}"#,
+                ],
+            )
+        });
+        let b = std::thread::spawn(move || {
+            send_lines(
+                addr,
+                &[
+                    r#"{"id":100,"kind":"solve","scenario":"bit_transmission"}"#,
+                    r#"{"id":101,"kind":"solve","scenario":"zoo_plain"}"#,
+                ],
+            )
+        });
+        let a = a.join().expect("client a");
+        let b = b.join().expect("client b");
+        let ids = |lines: &[String]| -> Vec<u64> {
+            lines
+                .iter()
+                .map(|l| {
+                    parse_json(l)
+                        .expect("json")
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .expect("id")
+                })
+                .collect()
+        };
+        assert_eq!(ids(&a), vec![1, 2], "client a sees only its ids, in order");
+        assert_eq!(ids(&b), vec![100, 101], "client b likewise");
+        handle.shutdown();
+        thread.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_responses_with_id_hints() {
+        let (handle, thread) = start(ServiceConfig::new().workers(1).cache(false).max_line(256));
+        let big = format!(
+            r#"{{"id":1,"kind":"solve","scenario":"{}"}}"#,
+            "x".repeat(400)
+        );
+        let responses = send_lines(
+            handle.addr(),
+            &[
+                "this is not json",
+                r#"{"id":77,"kind":"dance","scenario":"zoo_plain"}"#,
+                &big,
+                r#"{"id":5,"kind":"solve","scenario":"zoo_plain"}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 4, "every line is answered: {responses:?}");
+        let parsed: Vec<Json> = responses
+            .iter()
+            .map(|l| parse_json(l).expect("json"))
+            .collect();
+        assert_eq!(parsed[0].get("id"), Some(&Json::Null));
+        let kind = |v: &Json| v.get("error").and_then(|e| e.get("kind").cloned());
+        assert_eq!(kind(&parsed[0]), Some(Json::Str("parse".into())));
+        // Parseable JSON with a bad field: the id comes back.
+        assert_eq!(parsed[1].get("id").and_then(Json::as_u64), Some(77));
+        assert_eq!(kind(&parsed[1]), Some(Json::Str("unknown_kind".into())));
+        assert_eq!(kind(&parsed[2]), Some(Json::Str("oversized".into())));
+        assert_eq!(parsed[3].get("ok"), Some(&Json::Bool(true)));
+        handle.shutdown();
+        thread.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn quota_rejections_are_typed_and_the_connection_survives() {
+        // One worker, quota 1, and a queue big enough that only the
+        // quota can reject: the first job occupies the quota slot while
+        // burst jobs arrive, so at least one burst job must be rejected
+        // with quota_exceeded — and later requests still get answers.
+        let (handle, thread) = start(
+            ServiceConfig::new()
+                .workers(1)
+                .cache(false)
+                .queue_capacity(64)
+                .client_pending(1),
+        );
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        for id in 0..8 {
+            writeln!(
+                stream,
+                r#"{{"id":{id},"kind":"solve","scenario":"muddy_children_3"}}"#
+            )
+            .expect("write");
+        }
+        stream.shutdown(Shutdown::Write).expect("half-close");
+        let responses: Vec<String> = BufReader::new(stream)
+            .lines()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("read");
+        assert_eq!(responses.len(), 8, "no request goes unanswered");
+        let parsed: Vec<Json> = responses
+            .iter()
+            .map(|l| parse_json(l).expect("json"))
+            .collect();
+        for (i, response) in parsed.iter().enumerate() {
+            assert_eq!(
+                response.get("id").and_then(Json::as_u64),
+                Some(i as u64),
+                "per-connection order"
+            );
+        }
+        let rejected: Vec<&Json> = parsed
+            .iter()
+            .filter(|r| {
+                r.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .is_some_and(|k| k == &Json::Str("quota_exceeded".into()))
+            })
+            .collect();
+        assert!(
+            !rejected.is_empty(),
+            "an 8-deep burst against quota 1 must trip the quota: {responses:?}"
+        );
+        for r in &rejected {
+            let error = r.get("error").expect("error");
+            assert_eq!(error.get("limit").and_then(Json::as_u64), Some(1));
+        }
+        assert!(
+            parsed
+                .iter()
+                .any(|r| r.get("ok") == Some(&Json::Bool(true))),
+            "the quota slot itself is served"
+        );
+        handle.shutdown();
+        thread.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn connection_cap_refuses_with_a_typed_line() {
+        let (handle, thread) = start(
+            ServiceConfig::new()
+                .workers(1)
+                .cache(false)
+                .max_connections(1),
+        );
+        // Occupy the single slot with an idle connection.
+        let holder = TcpStream::connect(handle.addr()).expect("connect holder");
+        // Give the accept loop a moment to register it.
+        std::thread::sleep(Duration::from_millis(100));
+        let refused = TcpStream::connect(handle.addr()).expect("connect refused");
+        let mut lines = BufReader::new(refused).lines();
+        let line = lines.next().expect("refusal line").expect("read");
+        let parsed = parse_json(&line).expect("json");
+        assert_eq!(
+            parsed.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("too_many_connections".into()))
+        );
+        assert!(lines.next().is_none(), "refused connection is closed");
+        drop(holder);
+        handle.shutdown();
+        thread.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_jobs() {
+        let (handle, thread) = start(ServiceConfig::new().workers(1).cache(false));
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        for id in 0..5 {
+            writeln!(
+                stream,
+                r#"{{"id":{id},"kind":"solve","scenario":"bit_transmission"}}"#
+            )
+            .expect("write");
+        }
+        stream.flush().expect("flush");
+        // Shut down while jobs are (likely) still queued behind the
+        // single worker. Every admitted job must still be answered.
+        std::thread::sleep(Duration::from_millis(50));
+        handle.shutdown();
+        thread.join().expect("join").expect("run");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let responses: Vec<String> = BufReader::new(stream)
+            .lines()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("read");
+        assert_eq!(
+            responses.len(),
+            5,
+            "drain answered everything: {responses:?}"
+        );
+        for (i, line) in responses.iter().enumerate() {
+            let parsed = parse_json(line).expect("json");
+            assert_eq!(parsed.get("id").and_then(Json::as_u64), Some(i as u64));
+            assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        }
+    }
+}

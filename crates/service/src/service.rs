@@ -20,8 +20,10 @@
 //!    stream does not depend on scheduling.
 
 use crate::cache::{ArtifactCache, CacheStats};
+use crate::framing::DEFAULT_MAX_LINE;
 use crate::job::{JobKind, JobRequest, RequestError};
 use crate::json::{obj, Json};
+use crate::persist::{PersistError, SessionStore};
 use crate::queue::{JobQueue, QueueFull};
 use crate::registry::{find, ScenarioEntry};
 use kbp_core::{
@@ -29,9 +31,10 @@ use kbp_core::{
     SolveStats, SyncSolver,
 };
 use kbp_faults::FaultyContext;
-use kbp_kripke::{env_threads, ThreadConfigError};
+use kbp_kripke::{env_shard_min_worlds, env_threads, ThreadConfigError, THREADS_ENV};
 use kbp_systems::{Context, FnContext, MapProtocol};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable sizing the worker pool.
@@ -51,6 +54,29 @@ pub const CACHE_SESSIONS_ENV: &str = "KBP_SERVICE_CACHE_SESSIONS";
 /// Default artifact-cache bound (retained sessions).
 pub const DEFAULT_CACHE_SESSIONS: usize = 64;
 
+/// Environment variable naming the cache-persistence directory. When
+/// set, evicted and shutdown sessions are serialized there and reloaded
+/// at startup, so a restarted daemon answers warm. Unset (the default)
+/// means no persistence.
+pub const CACHE_DIR_ENV: &str = "KBP_SERVICE_CACHE_DIR";
+
+/// Environment variable bounding unanswered requests per connection
+/// (the per-client admission quota in `--listen` mode).
+pub const CLIENT_PENDING_ENV: &str = "KBP_SERVICE_CLIENT_PENDING";
+
+/// Default per-client pending-request quota.
+pub const DEFAULT_CLIENT_PENDING: usize = 16;
+
+/// Environment variable bounding concurrent connections in `--listen`
+/// mode.
+pub const MAX_CONNECTIONS_ENV: &str = "KBP_SERVICE_MAX_CONNECTIONS";
+
+/// Default concurrent-connection bound.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 32;
+
+/// Environment variable bounding request-line length, in bytes.
+pub const MAX_LINE_ENV: &str = "KBP_SERVICE_MAX_LINE";
+
 /// A malformed service configuration. Unlike a lenient default, this is
 /// surfaced before any job runs: a typo in `KBP_SERVICE_WORKERS` should
 /// fail startup, not silently serve with one worker.
@@ -66,6 +92,14 @@ pub enum ConfigError {
         /// Its rejected value.
         value: String,
     },
+    /// A size variable (byte or count bounds without the thread cap)
+    /// did not hold a positive integer.
+    Size {
+        /// The environment variable.
+        var: &'static str,
+        /// Its rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -75,6 +109,9 @@ impl fmt::Display for ConfigError {
             ConfigError::Flag { var, value } => {
                 write!(f, "{var}: expected 0/off/false or 1/on/true, got '{value}'")
             }
+            ConfigError::Size { var, value } => {
+                write!(f, "{var}: expected a positive integer, got '{value}'")
+            }
         }
     }
 }
@@ -83,7 +120,7 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Threads(e) => Some(e),
-            ConfigError::Flag { .. } => None,
+            ConfigError::Flag { .. } | ConfigError::Size { .. } => None,
         }
     }
 }
@@ -109,6 +146,19 @@ pub struct ServiceConfig {
     pub cache_sessions: usize,
     /// Retry-after hint attached to [`QueueFull`] rejections, in ms.
     pub retry_after_ms: u64,
+    /// Directory for cache persistence; `None` (the default) disables
+    /// it. When set, sessions are saved on eviction/shutdown and
+    /// preloaded at startup.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-connection quota on unanswered requests (`--listen` mode);
+    /// admissions beyond it are rejected with a typed `quota_exceeded`
+    /// response.
+    pub client_pending: usize,
+    /// Concurrent-connection bound (`--listen` mode).
+    pub max_connections: usize,
+    /// Request-line byte bound; longer lines answer a typed `oversized`
+    /// error without being buffered.
+    pub max_line: usize,
 }
 
 impl ServiceConfig {
@@ -122,12 +172,17 @@ impl ServiceConfig {
             cache_enabled: true,
             cache_sessions: DEFAULT_CACHE_SESSIONS,
             retry_after_ms: 50,
+            cache_dir: None,
+            client_pending: DEFAULT_CLIENT_PENDING,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            max_line: DEFAULT_MAX_LINE,
         }
     }
 
-    /// Reads `KBP_SERVICE_WORKERS`, `KBP_SERVICE_QUEUE`,
-    /// `KBP_SERVICE_CACHE` and `KBP_SERVICE_CACHE_SESSIONS` on top of the
-    /// defaults.
+    /// Reads every `KBP_SERVICE_*` variable on top of the defaults, and
+    /// *validates* the evaluation-engine variables (`KBP_EVAL_THREADS`,
+    /// `KBP_SHARD_MIN_WORLDS`) that the engine itself tolerates: all
+    /// configuration errors fail startup here, through one typed path.
     ///
     /// # Errors
     ///
@@ -162,6 +217,26 @@ impl ServiceConfig {
                 };
             }
         }
+        if let Ok(raw) = std::env::var(CACHE_DIR_ENV) {
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                config.cache_dir = Some(PathBuf::from(trimmed));
+            }
+        }
+        if let Some(pending) = env_size(CLIENT_PENDING_ENV)? {
+            config.client_pending = pending;
+        }
+        if let Some(connections) = env_size(MAX_CONNECTIONS_ENV)? {
+            config.max_connections = connections;
+        }
+        if let Some(max_line) = env_size(MAX_LINE_ENV)? {
+            config.max_line = max_line;
+        }
+        // The engine reads these lazily per solve and falls back to
+        // defaults on garbage; a daemon should instead refuse to start,
+        // so the malformed value is caught before the first request.
+        env_threads(THREADS_ENV)?;
+        env_shard_min_worlds()?;
         Ok(config)
     }
 
@@ -192,6 +267,47 @@ impl ServiceConfig {
         self.cache_sessions = sessions.max(1);
         self
     }
+
+    /// Sets (or clears) the cache-persistence directory.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.cache_dir = dir;
+        self
+    }
+
+    /// Sets the per-connection pending-request quota (min 1).
+    #[must_use]
+    pub fn client_pending(mut self, pending: usize) -> Self {
+        self.client_pending = pending.max(1);
+        self
+    }
+
+    /// Sets the concurrent-connection bound (min 1).
+    #[must_use]
+    pub fn max_connections(mut self, connections: usize) -> Self {
+        self.max_connections = connections.max(1);
+        self
+    }
+
+    /// Sets the request-line byte bound (min 1).
+    #[must_use]
+    pub fn max_line(mut self, bytes: usize) -> Self {
+        self.max_line = bytes.max(1);
+        self
+    }
+}
+
+/// Reads a positive-integer bound (no thread-count cap — line limits
+/// are legitimately megabytes). `Ok(None)` when unset or empty.
+fn env_size(var: &'static str) -> Result<Option<usize>, ConfigError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) if raw.trim().is_empty() => Ok(None),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(ConfigError::Size { var, value: raw }),
+        },
+    }
 }
 
 impl Default for ServiceConfig {
@@ -209,6 +325,8 @@ pub struct ServiceStats {
     pub jobs_executed: usize,
     /// Jobs rejected at admission with [`QueueFull`].
     pub queue_rejections: usize,
+    /// Jobs rejected by a per-client quota (`--listen` mode).
+    pub quota_rejections: usize,
     /// Artifact-cache lookup counters.
     pub cache: CacheStats,
     /// Layers induced across all solves (denominator of the warm rate).
@@ -236,8 +354,19 @@ pub struct Service {
     cache: ArtifactCache,
     jobs_executed: AtomicUsize,
     queue_rejections: AtomicUsize,
+    quota_rejections: AtomicUsize,
+    workers_busy: AtomicUsize,
     layers_total: AtomicUsize,
     layers_restored: AtomicUsize,
+}
+
+/// Decrements `workers_busy` when the executor returns on any path.
+struct BusyGuard<'a>(&'a AtomicUsize);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 enum BuiltContext {
@@ -255,18 +384,52 @@ impl BuiltContext {
 }
 
 impl Service {
-    /// Creates a service with the given configuration.
+    /// Creates a service with the given configuration. When
+    /// `config.cache_dir` is set but unusable, persistence is silently
+    /// skipped — daemons that must fail loudly use [`Service::try_new`].
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
-        let cache = ArtifactCache::new(config.cache_enabled, config.cache_sessions);
+        let store = config
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| SessionStore::open(dir).ok());
+        Service::build(config, store)
+    }
+
+    /// Creates a service, surfacing a broken persistence directory as a
+    /// startup error instead of running without warm restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] when `config.cache_dir` is set and cannot be
+    /// opened (created) as a session store.
+    pub fn try_new(config: ServiceConfig) -> Result<Self, PersistError> {
+        let store = match config.cache_dir.as_deref() {
+            Some(dir) => Some(SessionStore::open(dir)?),
+            None => None,
+        };
+        Ok(Service::build(config, store))
+    }
+
+    fn build(config: ServiceConfig, store: Option<SessionStore>) -> Self {
+        let cache = ArtifactCache::with_store(config.cache_enabled, config.cache_sessions, store);
         Service {
             config,
             cache,
             jobs_executed: AtomicUsize::new(0),
             queue_rejections: AtomicUsize::new(0),
+            quota_rejections: AtomicUsize::new(0),
+            workers_busy: AtomicUsize::new(0),
             layers_total: AtomicUsize::new(0),
             layers_restored: AtomicUsize::new(0),
         }
+    }
+
+    /// Persists every resident cache session to the configured store
+    /// (no-op without one). Called on graceful shutdown so a restarted
+    /// daemon starts warm; failures are counted, never fatal.
+    pub fn persist(&self) {
+        self.cache.persist_all();
     }
 
     /// The active configuration.
@@ -281,6 +444,7 @@ impl Service {
         ServiceStats {
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             layers_total: self.layers_total.load(Ordering::Relaxed),
             layers_restored: self.layers_restored.load(Ordering::Relaxed),
@@ -288,9 +452,15 @@ impl Service {
     }
 
     /// Records an admission rejection (callers produce the response via
-    /// [`Service::reject_response`]).
+    /// [`reject_response`]).
     pub fn note_rejection(&self) {
         self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a per-client quota rejection (callers produce the
+    /// response via [`quota_response`]).
+    pub fn note_quota_rejection(&self) {
+        self.quota_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Executes one job synchronously, returning its response object.
@@ -299,6 +469,8 @@ impl Service {
     #[must_use]
     pub fn execute(&self, job: &JobRequest) -> Json {
         self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        self.workers_busy.fetch_add(1, Ordering::Relaxed);
+        let _busy = BusyGuard(&self.workers_busy);
         let Some(entry) = find(&job.scenario) else {
             return error_response(
                 Some(job.id),
@@ -634,19 +806,71 @@ impl Service {
             ),
             ("jobs_executed", Json::U64(stats.jobs_executed as u64)),
             ("queue_rejections", Json::U64(stats.queue_rejections as u64)),
-            (
-                "cache",
-                obj(vec![
-                    ("enabled", Json::Bool(self.cache.is_enabled())),
-                    ("hits", Json::U64(stats.cache.hits as u64)),
-                    ("misses", Json::U64(stats.cache.misses as u64)),
-                    ("sessions", Json::U64(stats.cache.sessions as u64)),
-                    ("evictions", Json::U64(stats.cache.evictions as u64)),
-                    ("capacity", Json::U64(stats.cache.capacity as u64)),
-                ]),
-            ),
+            ("cache", self.cache_json(&stats.cache)),
             ("layers_total", Json::U64(stats.layers_total as u64)),
             ("layers_restored", Json::U64(stats.layers_restored as u64)),
+        ])
+    }
+
+    /// The `{"kind":"health"}` response: a cheap liveness probe that
+    /// touches no job state.
+    #[must_use]
+    pub fn health_response(&self, id: Option<u64>) -> Json {
+        obj(vec![
+            ("id", id.map_or(Json::Null, Json::U64)),
+            ("ok", Json::Bool(true)),
+            ("kind", Json::Str("health".into())),
+            ("status", Json::Str("ok".into())),
+            ("workers", Json::U64(self.config.workers as u64)),
+            (
+                "queue_capacity",
+                Json::U64(self.config.queue_capacity as u64),
+            ),
+        ])
+    }
+
+    /// The `{"kind":"metrics"}` response: queue depth (supplied by the
+    /// front end that owns the queue), worker utilization and the full
+    /// cache counters. Monitoring only — racy by nature, never compared
+    /// bit-for-bit.
+    #[must_use]
+    pub fn metrics_response(&self, id: Option<u64>, queue_depth: usize) -> Json {
+        let stats = self.stats();
+        let busy = self.workers_busy.load(Ordering::Relaxed);
+        obj(vec![
+            ("id", id.map_or(Json::Null, Json::U64)),
+            ("ok", Json::Bool(true)),
+            ("kind", Json::Str("metrics".into())),
+            ("workers", Json::U64(self.config.workers as u64)),
+            (
+                "workers_busy",
+                Json::U64(busy.min(self.config.workers) as u64),
+            ),
+            (
+                "queue_capacity",
+                Json::U64(self.config.queue_capacity as u64),
+            ),
+            ("queue_depth", Json::U64(queue_depth as u64)),
+            ("jobs_executed", Json::U64(stats.jobs_executed as u64)),
+            ("queue_rejections", Json::U64(stats.queue_rejections as u64)),
+            ("quota_rejections", Json::U64(stats.quota_rejections as u64)),
+            ("cache", self.cache_json(&stats.cache)),
+            ("layers_total", Json::U64(stats.layers_total as u64)),
+            ("layers_restored", Json::U64(stats.layers_restored as u64)),
+        ])
+    }
+
+    fn cache_json(&self, cache: &CacheStats) -> Json {
+        obj(vec![
+            ("enabled", Json::Bool(self.cache.is_enabled())),
+            ("hits", Json::U64(cache.hits as u64)),
+            ("misses", Json::U64(cache.misses as u64)),
+            ("sessions", Json::U64(cache.sessions as u64)),
+            ("evictions", Json::U64(cache.evictions as u64)),
+            ("capacity", Json::U64(cache.capacity as u64)),
+            ("preloaded", Json::U64(cache.preloaded as u64)),
+            ("persisted", Json::U64(cache.persisted as u64)),
+            ("persist_failures", Json::U64(cache.persist_failures as u64)),
         ])
     }
 }
@@ -786,6 +1010,74 @@ pub fn reject_response(id: Option<u64>, full: QueueFull) -> Json {
     ])
 }
 
+/// An `ok: false` response for a per-client quota rejection
+/// (`--listen` mode): the connection stays open, the client holds
+/// `pending` unanswered requests against a quota of `limit`.
+#[must_use]
+pub fn quota_response(id: Option<u64>, pending: usize, limit: usize) -> Json {
+    obj(vec![
+        ("id", id.map_or(Json::Null, Json::U64)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str("quota_exceeded".into())),
+                (
+                    "message",
+                    Json::Str(format!(
+                        "client quota exceeded: {pending} pending of {limit} allowed"
+                    )),
+                ),
+                ("pending", Json::U64(pending as u64)),
+                ("limit", Json::U64(limit as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// The one-line `ok: false` answer a connection beyond the
+/// concurrent-connection bound receives before being closed — a typed
+/// refusal, never a silent drop.
+#[must_use]
+pub fn too_many_connections_response(limit: usize) -> Json {
+    obj(vec![
+        ("id", Json::Null),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str("too_many_connections".into())),
+                (
+                    "message",
+                    Json::Str(format!("connection limit ({limit}) reached; retry later")),
+                ),
+                ("limit", Json::U64(limit as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// An `ok: false` response for a malformed frame (oversized or
+/// non-UTF-8 line), produced by the daemon's reader loops.
+#[must_use]
+pub fn frame_error_response(error: &crate::framing::FrameError) -> Json {
+    let kind = match error {
+        crate::framing::FrameError::Oversized { .. } => "oversized",
+        crate::framing::FrameError::InvalidUtf8 => "invalid_utf8",
+    };
+    obj(vec![
+        ("id", Json::Null),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(kind.into())),
+                ("message", Json::Str(error.to_string())),
+            ]),
+        ),
+    ])
+}
+
 fn solve_error_response(id: u64, error: &SolveError) -> Json {
     obj(vec![
         ("id", Json::U64(id)),
@@ -805,11 +1097,12 @@ mod tests {
     use super::*;
     use crate::job::parse_request;
     use crate::job::Request;
+    use std::path::Path;
 
     fn job(line: &str) -> JobRequest {
         match parse_request(line).unwrap() {
             Request::Job(job) => job,
-            Request::Stats { .. } => panic!("expected a job"),
+            other => panic!("expected a job, got {other:?}"),
         }
     }
 
@@ -954,16 +1247,94 @@ mod tests {
             run(&[(CACHE_SESSIONS_ENV, "0")]),
             Err(ConfigError::Threads(_))
         ));
+        // The new daemon bounds: zero and garbage are startup errors.
+        for var in [CLIENT_PENDING_ENV, MAX_CONNECTIONS_ENV, MAX_LINE_ENV] {
+            assert!(
+                matches!(run(&[(var, "0")]), Err(ConfigError::Size { .. })),
+                "{var}=0 must be rejected"
+            );
+            assert!(
+                matches!(run(&[(var, "many")]), Err(ConfigError::Size { .. })),
+                "{var}=many must be rejected"
+            );
+        }
+        // The engine variables are validated here too (satellite of the
+        // daemon-robustness sweep): the engine itself would silently
+        // fall back, the daemon must not start.
+        assert!(matches!(
+            run(&[(THREADS_ENV, "fast")]),
+            Err(ConfigError::Threads(_))
+        ));
+        assert!(matches!(
+            run(&[(kbp_kripke::SHARD_MIN_WORLDS_ENV, "wide")]),
+            Err(ConfigError::Threads(_))
+        ));
         let ok = run(&[
             (WORKERS_ENV, "3"),
             (QUEUE_ENV, "17"),
             (CACHE_ENV, "off"),
             (CACHE_SESSIONS_ENV, "5"),
+            (CACHE_DIR_ENV, "/tmp/kbp-cache-test"),
+            (CLIENT_PENDING_ENV, "9"),
+            (MAX_CONNECTIONS_ENV, "7"),
+            (MAX_LINE_ENV, "2048"),
         ])
         .unwrap();
         assert_eq!(ok.workers, 3);
         assert_eq!(ok.queue_capacity, 17);
         assert!(!ok.cache_enabled);
         assert_eq!(ok.cache_sessions, 5);
+        assert_eq!(
+            ok.cache_dir.as_deref(),
+            Some(Path::new("/tmp/kbp-cache-test"))
+        );
+        assert_eq!(ok.client_pending, 9);
+        assert_eq!(ok.max_connections, 7);
+        assert_eq!(ok.max_line, 2048);
+    }
+
+    #[test]
+    fn health_and_metrics_are_monitoring_responses() {
+        let service = Service::new(ServiceConfig::new().workers(2).queue_capacity(8));
+        let health = service.health_response(Some(4));
+        assert_eq!(health.get("id"), Some(&Json::U64(4)));
+        assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(health.get("status"), Some(&Json::Str("ok".into())));
+
+        let _ = service.execute(&job(r#"{"id":1,"kind":"solve","scenario":"zoo_plain"}"#));
+        let metrics = service.metrics_response(None, 3);
+        assert_eq!(metrics.get("id"), Some(&Json::Null));
+        assert_eq!(metrics.get("kind"), Some(&Json::Str("metrics".into())));
+        assert_eq!(metrics.get("queue_depth"), Some(&Json::U64(3)));
+        assert_eq!(metrics.get("workers_busy"), Some(&Json::U64(0)));
+        assert_eq!(metrics.get("jobs_executed"), Some(&Json::U64(1)));
+        let cache = metrics.get("cache").unwrap();
+        assert_eq!(cache.get("misses"), Some(&Json::U64(1)));
+        assert_eq!(cache.get("preloaded"), Some(&Json::U64(0)));
+    }
+
+    #[test]
+    fn quota_and_connection_rejections_are_typed() {
+        let quota = quota_response(Some(8), 16, 16);
+        assert_eq!(quota.get("ok"), Some(&Json::Bool(false)));
+        let error = quota.get("error").unwrap();
+        assert_eq!(error.get("kind"), Some(&Json::Str("quota_exceeded".into())));
+        assert_eq!(error.get("pending"), Some(&Json::U64(16)));
+        assert_eq!(error.get("limit"), Some(&Json::U64(16)));
+
+        let refuse = too_many_connections_response(32);
+        assert_eq!(refuse.get("id"), Some(&Json::Null));
+        let error = refuse.get("error").unwrap();
+        assert_eq!(
+            error.get("kind"),
+            Some(&Json::Str("too_many_connections".into()))
+        );
+
+        let oversized = frame_error_response(&crate::framing::FrameError::Oversized { limit: 64 });
+        let error = oversized.get("error").unwrap();
+        assert_eq!(error.get("kind"), Some(&Json::Str("oversized".into())));
+        let bad_utf8 = frame_error_response(&crate::framing::FrameError::InvalidUtf8);
+        let error = bad_utf8.get("error").unwrap();
+        assert_eq!(error.get("kind"), Some(&Json::Str("invalid_utf8".into())));
     }
 }
