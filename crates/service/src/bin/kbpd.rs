@@ -112,6 +112,8 @@ Usage:
 Request:  {\"id\":1,\"kind\":\"solve|enumerate|check|fault_lattice\",
            \"scenario\":\"<registry name>\",\"horizon\":N,
            \"fault\":\"none|loss|crash-stop|loss+crash-stop\",\"fault_seed\":N,
+           \"client\":\"<tenant token>\" (optional; scopes quotas/metrics,
+                     defaults to the peer address, never echoed back),
            \"budget\":{\"deadline_ms\":N,\"max_layer_points\":N,
                      \"max_guard_evaluations\":N,\"max_memory_bytes\":N}}
 Monitor:  {\"op\":\"stats\"}  {\"kind\":\"health\"}  {\"kind\":\"metrics\"}
@@ -122,9 +124,17 @@ Environment (malformed values refuse startup with a typed error):
   KBP_SERVICE_CACHE            0/off/false disables the cross-request artifact cache
   KBP_SERVICE_CACHE_SESSIONS   retained sessions before LRU eviction (default 64)
   KBP_SERVICE_CACHE_DIR        directory for warm-restart cache persistence
-  KBP_SERVICE_CLIENT_PENDING   per-connection unanswered-request quota (default 16)
+  KBP_SERVICE_CLIENT_PENDING   per-client unanswered-request quota (default 16)
   KBP_SERVICE_MAX_CONNECTIONS  concurrent connections in --listen mode (default 32)
   KBP_SERVICE_MAX_LINE         request-line byte bound (default 1048576)
+  KBP_SERVICE_IDLE_TIMEOUT_MS  close idle connections after this many ms
+                               (default 300000; 0 disables)
+  KBP_SERVICE_WRITE_BUDGET_BYTES  per-connection unflushed-response bound
+                               (default 4194304; 0 disables); a slow
+                               reader is closed with a write_budget notice
+  KBP_SERVICE_WRITE_STALL_MS   close if a nonempty write buffer makes no
+                               progress for this long (default 30000;
+                               0 disables)
   KBP_EVAL_THREADS             per-solve guard-evaluation sharding
   KBP_SHARD_MIN_WORLDS         minimum layer width for intra-layer sharding
 ";

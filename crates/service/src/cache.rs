@@ -18,7 +18,7 @@
 //! finishes. An evicted context simply re-misses later; responses are
 //! bit-identical either way.
 
-use crate::persist::SessionStore;
+use crate::persist::{SessionKey, SessionStore};
 use kbp_core::EngineSession;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,12 +47,18 @@ pub struct CacheStats {
     /// corrupt file, busy session). Best-effort by design: failures
     /// degrade to cold solves, never to errors on the wire.
     pub persist_failures: usize,
+    /// Stale session files garbage-collected from the store (files
+    /// whose provenance the registry no longer produces).
+    pub compacted: usize,
+    /// Files the compactor wanted to remove but could not (I/O error).
+    pub compact_failures: usize,
 }
 
-/// One retained session plus its recency stamp.
+/// One retained session plus its provenance and recency stamp.
 #[derive(Debug)]
 struct Slot {
     session: Arc<Mutex<EngineSession>>,
+    key: SessionKey,
     last_used: u64,
 }
 
@@ -78,6 +84,8 @@ pub struct ArtifactCache {
     preloaded: AtomicUsize,
     persisted: AtomicUsize,
     persist_failures: AtomicUsize,
+    compacted: AtomicUsize,
+    compact_failures: AtomicUsize,
 }
 
 impl ArtifactCache {
@@ -110,6 +118,8 @@ impl ArtifactCache {
             preloaded: AtomicUsize::new(0),
             persisted: AtomicUsize::new(0),
             persist_failures: AtomicUsize::new(0),
+            compacted: AtomicUsize::new(0),
+            compact_failures: AtomicUsize::new(0),
         };
         cache.preload();
         cache
@@ -131,13 +141,14 @@ impl ArtifactCache {
         };
         for fp in fingerprints.into_iter().take(self.capacity) {
             match store.load(fp) {
-                Ok(Some(session)) => {
+                Ok(Some((key, session))) => {
                     inner.tick += 1;
                     let tick = inner.tick;
                     inner.slots.insert(
                         fp,
                         Slot {
                             session: Arc::new(Mutex::new(session)),
+                            key,
                             last_used: tick,
                         },
                     );
@@ -160,17 +171,17 @@ impl ArtifactCache {
         let Some(store) = self.store.as_ref() else {
             return;
         };
-        let residents: Vec<(u64, Arc<Mutex<EngineSession>>)> = match self.inner.lock() {
+        let residents: Vec<(u64, SessionKey, Arc<Mutex<EngineSession>>)> = match self.inner.lock() {
             Ok(inner) => inner
                 .slots
                 .iter()
-                .map(|(&fp, slot)| (fp, Arc::clone(&slot.session)))
+                .map(|(&fp, slot)| (fp, slot.key.clone(), Arc::clone(&slot.session)))
                 .collect(),
             Err(_) => return,
         };
-        for (fp, session) in residents {
+        for (fp, key, session) in residents {
             match session.lock() {
-                Ok(session) => match store.save(fp, &session) {
+                Ok(session) => match store.save(fp, &key, &session) {
                     Ok(()) => {
                         self.persisted.fetch_add(1, Ordering::Relaxed);
                     }
@@ -183,6 +194,27 @@ impl ArtifactCache {
                 }
             }
         }
+    }
+
+    /// Garbage-collects store files whose provenance `live` disowns
+    /// (no-op without a store). The liveness predicate receives each
+    /// file's recorded [`SessionKey`] and fingerprint; files it rejects
+    /// — and files too corrupt to yield a key at all — are removed.
+    /// Counted in [`CacheStats::compacted`] / `compact_failures`, never
+    /// raised: compaction is hygiene, not correctness.
+    ///
+    /// Deliberately *not* called from [`persist_all`](Self::persist_all):
+    /// the liveness check belongs to the caller (the service wires in the
+    /// scenario registry), and a cache pointed at a shared directory must
+    /// not silently collect another tenant's files.
+    pub fn compact_store(&self, live: impl Fn(&SessionKey, u64) -> bool) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        let outcome = store.compact(live);
+        self.compacted.fetch_add(outcome.removed, Ordering::Relaxed);
+        self.compact_failures
+            .fetch_add(outcome.failures, Ordering::Relaxed);
     }
 
     /// Whether the cache retains sessions.
@@ -199,12 +231,14 @@ impl ArtifactCache {
 
     /// The session for `fingerprint`, creating it on first sight (and
     /// evicting the least-recently-used session if that would exceed the
-    /// capacity). Returns `None` when the cache is disabled (callers then
+    /// capacity). `key` records the provenance persisted alongside the
+    /// session so a later compaction can re-derive the fingerprint.
+    /// Returns `None` when the cache is disabled (callers then
     /// solve without a session) or when the session map's lock was
     /// poisoned by a panicking worker — a cold solve is always a safe
     /// fallback.
     #[must_use]
-    pub fn session(&self, fingerprint: u64) -> Option<Arc<Mutex<EngineSession>>> {
+    pub fn session(&self, fingerprint: u64, key: &SessionKey) -> Option<Arc<Mutex<EngineSession>>> {
         if !self.enabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -223,10 +257,11 @@ impl ArtifactCache {
             fingerprint,
             Slot {
                 session: Arc::clone(&session),
+                key: key.clone(),
                 last_used: tick,
             },
         );
-        let mut victims: Vec<(u64, Arc<Mutex<EngineSession>>)> = Vec::new();
+        let mut victims: Vec<(u64, SessionKey, Arc<Mutex<EngineSession>>)> = Vec::new();
         while inner.slots.len() > self.capacity {
             // O(sessions) scan — the map is small (bounded by capacity)
             // and lookups are rare next to the solves they amortize.
@@ -238,7 +273,7 @@ impl ArtifactCache {
             match victim {
                 Some(fp) => {
                     if let Some(slot) = inner.slots.remove(&fp) {
-                        victims.push((fp, slot.session));
+                        victims.push((fp, slot.key, slot.session));
                     }
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
@@ -252,9 +287,9 @@ impl ArtifactCache {
         // here would stall admission behind that solve. A skipped victim
         // is still covered by the shutdown `persist_all`.
         if let Some(store) = self.store.as_ref() {
-            for (fp, victim) in victims {
+            for (fp, key, victim) in victims {
                 match victim.try_lock() {
-                    Ok(victim) => match store.save(fp, &victim) {
+                    Ok(victim) => match store.save(fp, &key, &victim) {
                         Ok(()) => {
                             self.persisted.fetch_add(1, Ordering::Relaxed);
                         }
@@ -283,6 +318,8 @@ impl ArtifactCache {
             preloaded: self.preloaded.load(Ordering::Relaxed),
             persisted: self.persisted.load(Ordering::Relaxed),
             persist_failures: self.persist_failures.load(Ordering::Relaxed),
+            compacted: self.compacted.load(Ordering::Relaxed),
+            compact_failures: self.compact_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -299,13 +336,17 @@ impl ArtifactCache {
 mod tests {
     use super::*;
 
+    fn k() -> SessionKey {
+        SessionKey::plain("cache_test")
+    }
+
     #[test]
     fn enabled_cache_hits_on_second_lookup() {
         let cache = ArtifactCache::new(true, 8);
-        let a = cache.session(42).unwrap();
-        let b = cache.session(42).unwrap();
+        let a = cache.session(42, &k()).unwrap();
+        let b = cache.session(42, &k()).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        let c = cache.session(7).unwrap();
+        let c = cache.session(7, &k()).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.sessions), (1, 2, 2));
@@ -317,8 +358,8 @@ mod tests {
     #[test]
     fn disabled_cache_always_misses() {
         let cache = ArtifactCache::new(false, 8);
-        assert!(cache.session(42).is_none());
-        assert!(cache.session(42).is_none());
+        assert!(cache.session(42, &k()).is_none());
+        assert!(cache.session(42, &k()).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.sessions), (0, 2, 0));
     }
@@ -326,24 +367,24 @@ mod tests {
     #[test]
     fn eviction_is_least_recently_used() {
         let cache = ArtifactCache::new(true, 2);
-        let a1 = cache.session(1).unwrap();
-        let _ = cache.session(2).unwrap();
+        let a1 = cache.session(1, &k()).unwrap();
+        let _ = cache.session(2, &k()).unwrap();
         // Touch 1 so 2 becomes the LRU victim when 3 arrives.
-        let _ = cache.session(1).unwrap();
-        let _ = cache.session(3).unwrap();
+        let _ = cache.session(1, &k()).unwrap();
+        let _ = cache.session(3, &k()).unwrap();
         let stats = cache.stats();
         assert_eq!(stats.sessions, 2);
         assert_eq!(stats.evictions, 1);
         // 1 survived (hit), 2 was evicted (fresh Arc on re-lookup),
         // 3 is resident.
-        let a1_again = cache.session(1).unwrap();
+        let a1_again = cache.session(1, &k()).unwrap();
         assert!(Arc::ptr_eq(&a1, &a1_again));
         let hits_before = cache.stats().hits;
-        let _ = cache.session(2).unwrap();
+        let _ = cache.session(2, &k()).unwrap();
         assert_eq!(cache.stats().hits, hits_before, "evicted entry re-misses");
         // The map never exceeds its bound, whatever the lookup pattern.
         for fp in 10..20 {
-            let _ = cache.session(fp);
+            let _ = cache.session(fp, &k());
         }
         assert!(cache.stats().sessions <= 2);
     }
@@ -360,8 +401,8 @@ mod tests {
 
         // First life: populate two sessions, then flush at "shutdown".
         let cache = ArtifactCache::with_store(true, 8, Some(store.clone()));
-        let _ = cache.session(11).unwrap();
-        let _ = cache.session(22).unwrap();
+        let _ = cache.session(11, &k()).unwrap();
+        let _ = cache.session(22, &k()).unwrap();
         cache.persist_all();
         let stats = cache.stats();
         assert_eq!(stats.persisted, 2);
@@ -373,7 +414,7 @@ mod tests {
         let stats = warm.stats();
         assert_eq!(stats.preloaded, 2);
         assert_eq!(stats.sessions, 2);
-        let _ = warm.session(11).unwrap();
+        let _ = warm.session(11, &k()).unwrap();
         assert_eq!(warm.stats().hits, 1, "preloaded session hits, not misses");
 
         // A corrupt file is skipped and counted, never fatal.
@@ -399,8 +440,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = SessionStore::open(&dir).unwrap();
         let cache = ArtifactCache::with_store(true, 1, Some(store.clone()));
-        let _ = cache.session(1).unwrap();
-        let _ = cache.session(2).unwrap(); // evicts 1 → persisted
+        let _ = cache.session(1, &k()).unwrap();
+        let _ = cache.session(2, &k()).unwrap(); // evicts 1 → persisted
         assert_eq!(store.list().unwrap(), vec![1]);
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
@@ -412,10 +453,39 @@ mod tests {
     fn capacity_is_clamped_to_one() {
         let cache = ArtifactCache::new(true, 0);
         assert_eq!(cache.capacity(), 1);
-        let _ = cache.session(1);
-        let _ = cache.session(2);
+        let _ = cache.session(1, &k());
+        let _ = cache.session(2, &k());
         let stats = cache.stats();
         assert_eq!(stats.sessions, 1);
         assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn compaction_collects_disowned_files_and_counts_them() {
+        let dir = std::env::temp_dir().join(format!(
+            "kbp-cache-compact-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SessionStore::open(&dir).unwrap();
+        let cache = ArtifactCache::with_store(true, 8, Some(store.clone()));
+        let _ = cache.session(1, &SessionKey::plain("alive")).unwrap();
+        let _ = cache.session(2, &SessionKey::plain("stale")).unwrap();
+        cache.persist_all();
+        std::fs::write(dir.join(format!("{:016x}.kbps", 3u64)), b"junk").unwrap();
+        assert_eq!(store.list().unwrap(), vec![1, 2, 3]);
+
+        cache.compact_store(|key, _| key.scenario == "alive");
+        assert_eq!(store.list().unwrap(), vec![1]);
+        let stats = cache.stats();
+        assert_eq!(stats.compacted, 2, "stale provenance and junk both go");
+        assert_eq!(stats.compact_failures, 0);
+
+        // A cache without a store compacts nothing (and never panics).
+        let bare = ArtifactCache::new(true, 8);
+        bare.compact_store(|_, _| false);
+        assert_eq!(bare.stats().compacted, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -21,7 +21,16 @@
 //! The caller (stdin loop or TCP reader thread) maps each [`FrameError`]
 //! to a typed `ok:false` response line, keeping the "every accepted line
 //! is answered" invariant of the wire protocol.
+//!
+//! Two front ends share one grammar: the pull-based [`LineReader`] wraps
+//! any blocking `Read` (stdin mode), and the push-based [`FrameDecoder`]
+//! accepts whatever bytes a nonblocking socket had ready (the TCP
+//! connection plane). `LineReader` is implemented *on top of*
+//! `FrameDecoder`, so the bound/resync/CRLF/EOF semantics cannot drift
+//! between the two modes — the chunking-invariance tests below pin both
+//! at once.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Read;
 
@@ -70,21 +79,121 @@ pub enum LineOutcome {
     Eof,
 }
 
-/// A bounded, resynchronizing line reader over any byte stream.
+/// The push-based half of the framing grammar: feed it whatever bytes
+/// arrived, pop complete [`LineOutcome`]s.
+///
+/// This is what the nonblocking connection plane uses — a readiness
+/// loop cannot block inside `Read`, so the decoder accepts partial
+/// lines across any number of `feed` calls and holds at most
+/// `max_line + 1` pending bytes (an overflowing line is discarded, not
+/// buffered). [`LineOutcome::Eof`] is never produced here; the caller
+/// owns the transport and calls [`finish`](Self::finish) when the peer
+/// half-closes, which delivers an unterminated final line exactly like
+/// [`LineReader`] does.
 #[derive(Debug)]
-pub struct LineReader<R> {
-    inner: R,
+pub struct FrameDecoder {
     max_line: usize,
-    /// Raw bytes read but not yet consumed (suffix of the last chunk).
-    buf: Vec<u8>,
-    /// Start of unconsumed bytes within `buf`.
-    start: usize,
-    /// Bytes of the current line accumulated so far across chunks.
+    /// Bytes of the current (incomplete) line.
     line: Vec<u8>,
     /// The current line already broke the bound; discard until newline.
     overflowing: bool,
-    /// Bytes seen for the current (overflowing) line, for diagnostics.
+    /// Completed outcomes not yet popped.
+    ready: VecDeque<LineOutcome>,
+}
+
+impl FrameDecoder {
+    /// A decoder with a per-line bound of `max_line` bytes (clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn new(max_line: usize) -> Self {
+        FrameDecoder {
+            max_line: max_line.max(1),
+            line: Vec::new(),
+            overflowing: false,
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Feeds a chunk of raw bytes; completed lines become poppable via
+    /// [`pop`](Self::pop). Carriage returns immediately before the
+    /// newline are stripped (`\r\n` clients work transparently).
+    pub fn feed(&mut self, mut chunk: &[u8]) {
+        while let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
+            let (head, rest) = chunk.split_at(nl);
+            chunk = &rest[1..];
+            if self.overflowing || self.line.len() + head.len() > self.max_line {
+                self.overflowing = false;
+                self.line.clear();
+                self.ready
+                    .push_back(LineOutcome::Malformed(FrameError::Oversized {
+                        limit: self.max_line,
+                    }));
+                continue;
+            }
+            self.line.extend_from_slice(head);
+            let bytes = std::mem::take(&mut self.line);
+            self.ready.push_back(Self::complete(bytes));
+        }
+        // Tail without a newline: fold into the pending line, or tip the
+        // line into (unbuffered) overflow.
+        if !self.overflowing {
+            if self.line.len() + chunk.len() > self.max_line {
+                self.overflowing = true;
+                self.line.clear();
+            } else {
+                self.line.extend_from_slice(chunk);
+            }
+        }
+    }
+
+    /// The next completed outcome, if any.
+    pub fn pop(&mut self) -> Option<LineOutcome> {
+        self.ready.pop_front()
+    }
+
+    /// Ends the stream: delivers the unterminated final line (or its
+    /// oversize error), or `None` when nothing was pending.
+    pub fn finish(&mut self) -> Option<LineOutcome> {
+        if self.overflowing {
+            self.overflowing = false;
+            return Some(LineOutcome::Malformed(FrameError::Oversized {
+                limit: self.max_line,
+            }));
+        }
+        if self.line.is_empty() {
+            return None;
+        }
+        let bytes = std::mem::take(&mut self.line);
+        Some(Self::complete(bytes))
+    }
+
+    /// Whether the decoder holds a partial line (bytes arrived since the
+    /// last newline). Distinguishes "idle between requests" from "went
+    /// quiet mid-request" — the connection plane's read-deadline signal.
+    #[must_use]
+    pub fn mid_line(&self) -> bool {
+        self.overflowing || !self.line.is_empty()
+    }
+
+    fn complete(mut bytes: Vec<u8>) -> LineOutcome {
+        if bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+        match String::from_utf8(bytes) {
+            Ok(s) => LineOutcome::Line(s),
+            Err(_) => LineOutcome::Malformed(FrameError::InvalidUtf8),
+        }
+    }
+}
+
+/// A bounded, resynchronizing line reader over any byte stream — the
+/// pull-based shell around [`FrameDecoder`] used by the stdin front end.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    decoder: FrameDecoder,
     eof: bool,
+    finished: bool,
 }
 
 impl<R: Read> LineReader<R> {
@@ -93,12 +202,9 @@ impl<R: Read> LineReader<R> {
     pub fn new(inner: R, max_line: usize) -> Self {
         LineReader {
             inner,
-            max_line: max_line.max(1),
-            buf: Vec::new(),
-            start: 0,
-            line: Vec::new(),
-            overflowing: false,
+            decoder: FrameDecoder::new(max_line),
             eof: false,
+            finished: false,
         }
     }
 
@@ -114,86 +220,23 @@ impl<R: Read> LineReader<R> {
     /// [`LineOutcome::Malformed`].
     pub fn next_line(&mut self) -> std::io::Result<LineOutcome> {
         loop {
-            // Scan what we already have for a newline.
-            if self.start < self.buf.len() {
-                let chunk = &self.buf[self.start..];
-                if let Some(nl) = chunk.iter().position(|&b| b == b'\n') {
-                    let (head, _) = chunk.split_at(nl);
-                    if self.overflowing {
-                        self.start += nl + 1;
-                        self.overflowing = false;
-                        self.line.clear();
-                        return Ok(LineOutcome::Malformed(FrameError::Oversized {
-                            limit: self.max_line,
-                        }));
-                    }
-                    if self.line.len() + head.len() > self.max_line {
-                        self.start += nl + 1;
-                        self.line.clear();
-                        return Ok(LineOutcome::Malformed(FrameError::Oversized {
-                            limit: self.max_line,
-                        }));
-                    }
-                    self.line.extend_from_slice(head);
-                    self.start += nl + 1;
-                    return Ok(self.finish_line());
-                }
-                // No newline yet: fold the chunk into the pending line.
-                if !self.overflowing {
-                    if self.line.len() + chunk.len() > self.max_line {
-                        self.overflowing = true;
-                        self.line.clear();
-                    } else {
-                        self.line.extend_from_slice(chunk);
-                    }
-                }
-                self.start = self.buf.len();
+            if let Some(outcome) = self.decoder.pop() {
+                return Ok(outcome);
             }
-
             if self.eof {
-                if self.overflowing {
-                    self.overflowing = false;
-                    return Ok(LineOutcome::Malformed(FrameError::Oversized {
-                        limit: self.max_line,
-                    }));
-                }
-                if self.line.is_empty() {
+                if self.finished {
                     return Ok(LineOutcome::Eof);
                 }
-                // Unterminated final line: deliver it.
-                return Ok(self.finish_line());
+                self.finished = true;
+                return Ok(self.decoder.finish().unwrap_or(LineOutcome::Eof));
             }
-
-            // Refill.
-            self.buf.resize(8 * 1024, 0);
-            self.start = 0;
-            match self.inner.read(&mut self.buf) {
-                Ok(0) => {
-                    self.buf.clear();
-                    self.eof = true;
-                }
-                Ok(n) => {
-                    self.buf.truncate(n);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
-                    self.buf.clear();
-                }
-                Err(e) => {
-                    self.buf.clear();
-                    return Err(e);
-                }
+            let mut buf = [0u8; 8 * 1024];
+            match self.inner.read(&mut buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.decoder.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
             }
-        }
-    }
-
-    fn finish_line(&mut self) -> LineOutcome {
-        let mut bytes = std::mem::take(&mut self.line);
-        if bytes.last() == Some(&b'\r') {
-            bytes.pop();
-        }
-        match String::from_utf8(bytes) {
-            Ok(s) => LineOutcome::Line(s),
-            Err(_) => LineOutcome::Malformed(FrameError::InvalidUtf8),
         }
     }
 }
@@ -350,5 +393,70 @@ mod tests {
             outcomes(b"\n\n", 4, 64),
             vec![line(""), line(""), LineOutcome::Eof]
         );
+    }
+
+    /// Drives the push decoder directly with a fixed chunking, returning
+    /// every outcome including the finish-time one.
+    fn decode(data: &[u8], chunk: usize, max_line: usize) -> Vec<LineOutcome> {
+        let mut decoder = FrameDecoder::new(max_line);
+        let mut out = Vec::new();
+        for piece in data.chunks(chunk.max(1)) {
+            decoder.feed(piece);
+            while let Some(outcome) = decoder.pop() {
+                out.push(outcome);
+            }
+        }
+        if let Some(last) = decoder.finish() {
+            out.push(last);
+        }
+        out
+    }
+
+    #[test]
+    fn push_decoder_matches_the_pull_reader() {
+        // The decoder is the reader's engine, but pin the equivalence
+        // anyway: same outcomes (minus Eof) on shared inputs, for every
+        // chunking.
+        let cases: &[(&[u8], usize)] = &[
+            (b"alpha\nbeta\ngamma\n", 1024),
+            (b"alpha\nbeta", 1024),
+            (b"alpha\r\nbeta\r\n", 1024),
+            (b"ok1\nbad\xFF\xFEline\nok2\n", 1024),
+            (b"tiny\nAAAAAAAAAAAA\nafter\n", 8),
+            (b"ok\nAAAAAAAAAAAA", 8),
+            (b"\n\n", 64),
+        ];
+        for &(data, max_line) in cases {
+            for chunk in [1, 2, 3, 7, 64] {
+                let mut pulled = outcomes(data, chunk, max_line);
+                assert_eq!(pulled.pop(), Some(LineOutcome::Eof));
+                assert_eq!(
+                    decode(data, chunk, max_line),
+                    pulled,
+                    "data={data:?} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_decoder_tracks_partial_lines() {
+        let mut decoder = FrameDecoder::new(64);
+        assert!(!decoder.mid_line(), "fresh decoder is between lines");
+        decoder.feed(b"half a requ");
+        assert!(decoder.mid_line(), "bytes since the last newline");
+        decoder.feed(b"est\n");
+        assert!(!decoder.mid_line(), "newline completes the line");
+        assert_eq!(decoder.pop(), Some(line("half a request")));
+        assert_eq!(decoder.pop(), None);
+        // An overflowing (discarded) line still counts as mid-line: the
+        // peer owes us its terminating newline.
+        decoder.feed(&vec![b'x'; 100]);
+        assert!(decoder.mid_line());
+        assert_eq!(
+            decoder.finish(),
+            Some(LineOutcome::Malformed(FrameError::Oversized { limit: 64 }))
+        );
+        assert!(!decoder.mid_line(), "finish drains the overflow state");
     }
 }

@@ -79,6 +79,12 @@ pub struct JobRequest {
     pub max_solutions: Option<usize>,
     /// Enumeration: cap on explored branches.
     pub max_branches: Option<usize>,
+    /// Optional client identity token. In `--listen` mode the pending
+    /// quota and per-client metrics are scoped by this token, so one
+    /// tenant's connections share an admission window; anonymous
+    /// requests fall back to the connection's peer address. Never echoed
+    /// on responses (job responses stay pure functions of the job).
+    pub client: Option<String>,
 }
 
 /// A request the service could not accept, reported on the response
@@ -246,6 +252,16 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
     let budget = parse_budget(value.get("budget"))?;
     let max_solutions = opt_usize(&value, "max_solutions")?;
     let max_branches = opt_usize(&value, "max_branches")?;
+    let client = match value.get("client") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "client",
+                expected: "a string",
+            })
+        }
+    };
 
     Ok(Request::Job(JobRequest {
         id,
@@ -257,6 +273,7 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         budget,
         max_solutions,
         max_branches,
+        client,
     }))
 }
 
@@ -351,6 +368,32 @@ mod tests {
         assert_eq!(job.horizon, None);
         assert_eq!(job.fault, None);
         assert_eq!(job.fault_seed, 0);
+        assert_eq!(job.client, None);
+    }
+
+    #[test]
+    fn parses_and_validates_the_client_token() {
+        let req =
+            parse_request(r#"{"id":3,"kind":"solve","scenario":"robot","client":"tenant-a"}"#)
+                .unwrap();
+        let Request::Job(job) = req else {
+            panic!("expected a job")
+        };
+        assert_eq!(job.client.as_deref(), Some("tenant-a"));
+        // Null is "absent", non-strings are typed errors.
+        let Request::Job(job) =
+            parse_request(r#"{"id":3,"kind":"solve","scenario":"robot","client":null}"#).unwrap()
+        else {
+            panic!("expected a job")
+        };
+        assert_eq!(job.client, None);
+        assert!(matches!(
+            parse_request(r#"{"id":3,"kind":"solve","scenario":"robot","client":7}"#),
+            Err(RequestError::BadField {
+                field: "client",
+                ..
+            })
+        ));
     }
 
     #[test]

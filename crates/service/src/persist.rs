@@ -7,10 +7,23 @@
 //! Each file is `<fingerprint as 16 lowercase hex digits>.kbps` holding
 //!
 //! ```text
-//! magic   [u8; 8]   b"KBPSESS1"
-//! version u64 LE    FORMAT_VERSION
-//! body    bytes     EngineSession through the positional binary codec
+//! magic    [u8; 8]   b"KBPSESS1"
+//! version  u64 LE    FORMAT_VERSION
+//! scenario u64 LE length + bytes     ┐ provenance key: what produced
+//! fault    u8 tag (0 none / 1 some)  │ this fingerprint ([`SessionKey`])
+//!   rung   u64 LE length + bytes     │ (present only when tag = 1)
+//!   seed   u64 LE                    ┘
+//! body     bytes     EngineSession through the positional binary codec
 //! ```
+//!
+//! The provenance key exists because fingerprints alone are opaque:
+//! they hash `(scenario, recall, fault rung, seed)` and the seed makes
+//! the valid set non-enumerable, so "is this file still something the
+//! registry can produce?" is unanswerable from the file name. The key
+//! records the producing inputs; [`SessionStore::compact`] re-derives
+//! the fingerprint from the *current* registry and garbage-collects
+//! files the registry no longer produces (renamed scenarios, removed
+//! rungs, stale formats) instead of letting them accumulate forever.
 //!
 //! The body uses the same positional encoding the workspace's serde
 //! round-trip tests pin down: `u64` little-endian for every integer,
@@ -39,7 +52,8 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: &[u8; 8] = b"KBPSESS1";
 
 /// Body format version; bump on any persisted-type shape change.
-pub const FORMAT_VERSION: u64 = 1;
+/// Version 2 added the provenance key ([`SessionKey`]) to the header.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// File extension of persisted sessions.
 pub const EXTENSION: &str = "kbps";
@@ -74,31 +88,82 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Serializes `session` to the versioned on-disk byte layout.
+/// The provenance key written into every session-file header: the
+/// registry inputs whose fingerprint names the file. Store compaction
+/// replays these inputs through the *current* registry to decide whether
+/// a file is still producible (see [`SessionStore::compact`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKey {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Fault rung name and schedule seed, for faulty contexts.
+    pub fault: Option<(String, u64)>,
+}
+
+impl SessionKey {
+    /// A key for a fault-free context of `scenario`.
+    #[must_use]
+    pub fn plain(scenario: &str) -> Self {
+        SessionKey {
+            scenario: scenario.to_string(),
+            fault: None,
+        }
+    }
+
+    /// A key for `scenario` under the named fault rung and seed.
+    #[must_use]
+    pub fn faulty(scenario: &str, rung: &str, seed: u64) -> Self {
+        SessionKey {
+            scenario: scenario.to_string(),
+            fault: Some((rung.to_string(), seed)),
+        }
+    }
+
+    /// The fault component as borrowed parts (the shape
+    /// [`crate::registry::ScenarioEntry::fingerprint`] takes).
+    #[must_use]
+    pub fn fault_ref(&self) -> Option<(&str, u64)> {
+        self.fault
+            .as_ref()
+            .map(|(rung, seed)| (rung.as_str(), *seed))
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.scenario.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.scenario.as_bytes());
+        match &self.fault {
+            None => out.push(0),
+            Some((rung, seed)) => {
+                out.push(1);
+                out.extend_from_slice(&(rung.len() as u64).to_le_bytes());
+                out.extend_from_slice(rung.as_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Serializes `session` under its provenance `key` to the versioned
+/// on-disk byte layout.
 ///
 /// # Errors
 ///
 /// Returns [`PersistError::Codec`] if the session fails to encode
 /// (cannot happen for sessions produced by the solver; kept typed for
 /// the panic-free gate).
-pub fn encode_session(session: &EngineSession) -> Result<Vec<u8>, PersistError> {
+pub fn encode_session(key: &SessionKey, session: &EngineSession) -> Result<Vec<u8>, PersistError> {
     let mut out = Vec::with_capacity(256);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    key.encode_into(&mut out);
     let mut ser = codec::Encoder { out: &mut out };
     serde::Serialize::serialize(session, &mut ser).map_err(|e| PersistError::Codec(e.0))?;
     Ok(out)
 }
 
-/// Decodes a session from the on-disk byte layout, validating magic,
-/// version, and the arena/snapshot invariants re-checked by the typed
-/// deserializers.
-///
-/// # Errors
-///
-/// Returns [`PersistError::Format`] on a magic or version mismatch and
-/// [`PersistError::Codec`] on a truncated or invalid body.
-pub fn decode_session(bytes: &[u8]) -> Result<EngineSession, PersistError> {
+/// Parses magic, version and the provenance key; returns the key and the
+/// offset where the session body starts.
+fn decode_header(bytes: &[u8]) -> Result<(SessionKey, usize), PersistError> {
     let Some(header) = bytes.get(..MAGIC.len()) else {
         return Err(PersistError::Format("file shorter than magic".into()));
     };
@@ -116,7 +181,59 @@ pub fn decode_session(bytes: &[u8]) -> Result<EngineSession, PersistError> {
             "format version {version}, expected {FORMAT_VERSION}"
         )));
     }
-    let body = &bytes[MAGIC.len() + 8..];
+    let mut pos = MAGIC.len() + 8;
+    let take = |bytes: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u8>, PersistError> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| PersistError::Format("truncated provenance key".into()))?;
+        let out = bytes[*pos..end].to_vec();
+        *pos = end;
+        Ok(out)
+    };
+    let take_u64 = |bytes: &[u8], pos: &mut usize| -> Result<u64, PersistError> {
+        let raw = take(bytes, pos, 8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&raw);
+        Ok(u64::from_le_bytes(b))
+    };
+    let take_string = |bytes: &[u8], pos: &mut usize| -> Result<String, PersistError> {
+        let len = usize::try_from(take_u64(bytes, pos)?)
+            .map_err(|_| PersistError::Format("key length exceeds address space".into()))?;
+        if len > bytes.len() - *pos {
+            return Err(PersistError::Format("truncated provenance key".into()));
+        }
+        String::from_utf8(take(bytes, pos, len)?)
+            .map_err(|_| PersistError::Format("provenance key is not UTF-8".into()))
+    };
+    let scenario = take_string(bytes, &mut pos)?;
+    let fault = match take(bytes, &mut pos, 1)?[0] {
+        0 => None,
+        1 => {
+            let rung = take_string(bytes, &mut pos)?;
+            let seed = take_u64(bytes, &mut pos)?;
+            Some((rung, seed))
+        }
+        other => {
+            return Err(PersistError::Format(format!(
+                "invalid fault tag {other} in provenance key"
+            )))
+        }
+    };
+    Ok((SessionKey { scenario, fault }, pos))
+}
+
+/// Decodes a session (and its provenance key) from the on-disk byte
+/// layout, validating magic, version, and the arena/snapshot invariants
+/// re-checked by the typed deserializers.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] on a magic, version or key mismatch
+/// and [`PersistError::Codec`] on a truncated or invalid body.
+pub fn decode_session(bytes: &[u8]) -> Result<(SessionKey, EngineSession), PersistError> {
+    let (key, body_start) = decode_header(bytes)?;
+    let body = &bytes[body_start..];
     let mut de = codec::Decoder {
         input: body,
         pos: 0,
@@ -129,7 +246,19 @@ pub fn decode_session(bytes: &[u8]) -> Result<EngineSession, PersistError> {
             body.len() - de.pos
         )));
     }
-    Ok(session)
+    Ok((key, session))
+}
+
+/// What a [`SessionStore::compact`] pass did: how many stale files were
+/// removed, and how many removals failed (still on disk, retried next
+/// compaction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Compaction {
+    /// Files removed because the registry no longer produces their
+    /// fingerprint (or the file was unreadable/from an old format).
+    pub removed: usize,
+    /// Removals that failed at the filesystem level.
+    pub failures: usize,
 }
 
 /// A directory of persisted sessions, one file per context fingerprint.
@@ -161,17 +290,23 @@ impl SessionStore {
         self.dir.join(format!("{fingerprint:016x}.{EXTENSION}"))
     }
 
-    /// Writes `session` for `fingerprint`, atomically replacing any
-    /// previous file (write to a dot-prefixed temporary in the same
-    /// directory, then rename — a crashed writer leaves the old file
-    /// intact and the temporary is invisible to [`list`](Self::list)).
+    /// Writes `session` for `fingerprint` under its provenance `key`,
+    /// atomically replacing any previous file (write to a dot-prefixed
+    /// temporary in the same directory, then rename — a crashed writer
+    /// leaves the old file intact and the temporary is invisible to
+    /// [`list`](Self::list)).
     ///
     /// # Errors
     ///
     /// Returns [`PersistError`] if encoding or any filesystem step
     /// fails. Callers treat persistence as best-effort.
-    pub fn save(&self, fingerprint: u64, session: &EngineSession) -> Result<(), PersistError> {
-        let bytes = encode_session(session)?;
+    pub fn save(
+        &self,
+        fingerprint: u64,
+        key: &SessionKey,
+        session: &EngineSession,
+    ) -> Result<(), PersistError> {
+        let bytes = encode_session(key, session)?;
         let tmp = self.dir.join(format!(".{fingerprint:016x}.tmp"));
         {
             let mut f = fs::File::create(&tmp)?;
@@ -187,14 +322,17 @@ impl SessionStore {
         }
     }
 
-    /// Loads the session persisted for `fingerprint`, or `None` when no
-    /// file exists.
+    /// Loads the session (and its provenance key) persisted for
+    /// `fingerprint`, or `None` when no file exists.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError`] for unreadable, corrupt, or
     /// version-mismatched files; callers degrade to a cold solve.
-    pub fn load(&self, fingerprint: u64) -> Result<Option<EngineSession>, PersistError> {
+    pub fn load(
+        &self,
+        fingerprint: u64,
+    ) -> Result<Option<(SessionKey, EngineSession)>, PersistError> {
         let path = self.path_for(fingerprint);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
@@ -202,6 +340,48 @@ impl SessionStore {
             Err(e) => return Err(PersistError::Io(e)),
         };
         decode_session(&bytes).map(Some)
+    }
+
+    /// Reads only the provenance key of the file for `fingerprint`,
+    /// without decoding the (much larger) session body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for missing, unreadable or corrupt
+    /// headers.
+    pub fn read_key(&self, fingerprint: u64) -> Result<SessionKey, PersistError> {
+        let bytes = fs::read(self.path_for(fingerprint))?;
+        decode_header(&bytes).map(|(key, _)| key)
+    }
+
+    /// Garbage-collects files whose fingerprints the current registry no
+    /// longer produces: for every listed file, the provenance key is
+    /// read back and judged by `live(key, fingerprint)` — typically a
+    /// registry replay checking the key still fingerprints to the file's
+    /// name. Files failing the check, plus files whose header cannot be
+    /// read at all (corrupt, truncated, pre-provenance formats), are
+    /// removed. Without compaction these accumulate forever: every
+    /// `(rung, seed)` combination ever solved leaves a file, and renamed
+    /// scenarios orphan theirs.
+    pub fn compact(&self, live: impl Fn(&SessionKey, u64) -> bool) -> Compaction {
+        let mut outcome = Compaction::default();
+        let Ok(fingerprints) = self.list() else {
+            return outcome;
+        };
+        for fp in fingerprints {
+            let keep = match self.read_key(fp) {
+                Ok(key) => live(&key, fp),
+                Err(_) => false,
+            };
+            if keep {
+                continue;
+            }
+            match self.remove(fp) {
+                Ok(()) => outcome.removed += 1,
+                Err(_) => outcome.failures += 1,
+            }
+        }
+        outcome
     }
 
     /// The fingerprints with a persisted file, ascending — a stable
@@ -832,23 +1012,34 @@ mod tests {
         session
     }
 
+    fn test_key() -> SessionKey {
+        SessionKey::plain("muddy_children_3")
+    }
+
     #[test]
     fn encode_decode_roundtrips_a_warm_session() {
         let session = warm_session();
         assert!(session.snapshot_layers() > 0, "solve produced snapshots");
-        let bytes = encode_session(&session).unwrap();
+        let bytes = encode_session(&test_key(), &session).unwrap();
         assert_eq!(&bytes[..MAGIC.len()], MAGIC);
-        let back = decode_session(&bytes).unwrap();
+        let (key, back) = decode_session(&bytes).unwrap();
+        assert_eq!(key, test_key());
         assert_eq!(back.snapshot_layers(), session.snapshot_layers());
         // Canonical encoding: re-encoding the decoded session is
         // byte-identical (maps travel key-sorted).
-        assert_eq!(encode_session(&back).unwrap(), bytes);
+        assert_eq!(encode_session(&key, &back).unwrap(), bytes);
+        // Faulty keys roundtrip too.
+        let faulty = SessionKey::faulty("bit_transmission", "loss", 7);
+        let bytes = encode_session(&faulty, &session).unwrap();
+        let (key, _) = decode_session(&bytes).unwrap();
+        assert_eq!(key, faulty);
+        assert_eq!(key.fault_ref(), Some(("loss", 7)));
     }
 
     #[test]
     fn header_mismatches_are_typed_format_errors() {
         let session = warm_session();
-        let bytes = encode_session(&session).unwrap();
+        let bytes = encode_session(&test_key(), &session).unwrap();
 
         let mut bad_magic = bytes.clone();
         bad_magic[0] ^= 0xFF;
@@ -873,9 +1064,15 @@ mod tests {
     #[test]
     fn corrupt_bodies_are_codec_errors_not_panics() {
         let session = warm_session();
-        let bytes = encode_session(&session).unwrap();
+        let bytes = encode_session(&test_key(), &session).unwrap();
+        // Truncating inside the provenance key is a typed Format error.
+        assert!(matches!(
+            decode_session(&bytes[..MAGIC.len() + 12]),
+            Err(PersistError::Format(_))
+        ));
         // Truncate the body at several depths.
-        for cut in [MAGIC.len() + 8, bytes.len() / 2, bytes.len() - 1] {
+        let body_start = MAGIC.len() + 8 + 8 + test_key().scenario.len() + 1;
+        for cut in [body_start, bytes.len() / 2, bytes.len() - 1] {
             assert!(
                 matches!(decode_session(&bytes[..cut]), Err(PersistError::Codec(_))),
                 "cut at {cut} must fail typed"
@@ -891,7 +1088,7 @@ mod tests {
         // Flip a byte inside the arena region: either a typed error or a
         // differing-but-valid session, never a panic.
         let mut flipped = bytes;
-        let mid = MAGIC.len() + 8 + 16;
+        let mid = body_start + 16;
         if mid < flipped.len() {
             flipped[mid] ^= 0x01;
             let _ = decode_session(&flipped);
@@ -910,12 +1107,14 @@ mod tests {
         assert!(store.list().unwrap().is_empty());
 
         let session = warm_session();
-        store.save(7, &session).unwrap();
-        store.save(3, &session).unwrap();
+        store.save(7, &test_key(), &session).unwrap();
+        store.save(3, &test_key(), &session).unwrap();
         assert_eq!(store.list().unwrap(), vec![3, 7]);
 
-        let back = store.load(7).unwrap().expect("file exists");
+        let (key, back) = store.load(7).unwrap().expect("file exists");
+        assert_eq!(key, test_key());
         assert_eq!(back.snapshot_layers(), session.snapshot_layers());
+        assert_eq!(store.read_key(7).unwrap(), test_key());
         assert!(store.load(99).unwrap().is_none());
 
         // A corrupt file is a typed error, and unrelated names are not
@@ -923,11 +1122,54 @@ mod tests {
         std::fs::write(dir.join(format!("{:016x}.{EXTENSION}", 5u64)), b"junk").unwrap();
         std::fs::write(dir.join("README.txt"), b"not a session").unwrap();
         assert!(store.load(5).is_err());
+        assert!(store.read_key(5).is_err());
         assert_eq!(store.list().unwrap(), vec![3, 5, 7]);
 
         store.remove(7).unwrap();
         store.remove(7).unwrap(); // idempotent
         assert_eq!(store.list().unwrap(), vec![3, 5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_removes_what_the_registry_no_longer_produces() {
+        let dir = std::env::temp_dir().join(format!(
+            "kbp-persist-compact-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SessionStore::open(&dir).unwrap();
+        let session = warm_session();
+
+        // A live file, a file whose key the "registry" disowns, a
+        // corrupt file, and a pre-provenance (version 1) file.
+        store.save(10, &test_key(), &session).unwrap();
+        store
+            .save(20, &SessionKey::plain("renamed_away"), &session)
+            .unwrap();
+        std::fs::write(dir.join(format!("{:016x}.{EXTENSION}", 30u64)), b"junk").unwrap();
+        let mut old = encode_session(&test_key(), &session).unwrap();
+        old[MAGIC.len()] = 1; // version 2 → 1
+        std::fs::write(dir.join(format!("{:016x}.{EXTENSION}", 40u64)), &old).unwrap();
+        assert_eq!(store.list().unwrap(), vec![10, 20, 30, 40]);
+
+        let outcome = store.compact(|key, fp| fp == 10 && key == &test_key());
+        assert_eq!(
+            outcome,
+            Compaction {
+                removed: 3,
+                failures: 0
+            }
+        );
+        assert_eq!(
+            store.list().unwrap(),
+            vec![10],
+            "only the live file survives"
+        );
+
+        // Idempotent: nothing left to collect.
+        assert_eq!(store.compact(|_, _| true), Compaction::default());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

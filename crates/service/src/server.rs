@@ -1,62 +1,105 @@
 //! The network front end: `kbpd --listen` over TCP.
 //!
 //! One [`Server`] owns a `TcpListener`, a shared bounded [`JobQueue`]
-//! and a worker pool sized by the service config. Each accepted
-//! connection gets two light threads:
+//! and a worker pool sized by the service config. Connections are
+//! served by the event-driven plane in [`crate::plane`]: a single
+//! readiness loop over nonblocking sockets frames lines (push-mode
+//! [`FrameDecoder`](crate::framing::FrameDecoder), same grammar as the
+//! pull reader), answers monitoring ops inline, admits jobs to the
+//! shared queue, and pours completed responses back through a
+//! per-connection reorder buffer — so responses come back in
+//! per-connection request order no matter how the pool schedules.
 //!
-//! * a **reader** that frames lines with [`LineReader`] (bounded,
-//!   resynchronizing; see [`crate::framing`]), parses requests, answers
-//!   monitoring ops inline, and admits jobs to the *shared* queue;
-//! * a **writer** that drains the connection's response channel through
-//!   a reorder buffer keyed by request index — so responses come back
-//!   in per-connection request order no matter how the pool schedules.
+//! # Thread inventory
 //!
-//! Admission control is layered: the shared queue rejects with
-//! [`QueueFull`] when the whole daemon is saturated, and a per-client
-//! pending quota rejects with `quota_exceeded` when one connection
-//! hogs the window. Both are typed `ok:false` responses — a client is
-//! never silently dropped.
+//! PR 6 spent `2 + workers + 2·connections` threads (accept loop,
+//! stdin watcher, pool, and a reader/writer pair per connection), so
+//! the connection cap was really a thread budget. Now the count is
+//! `1 + workers` (the plane runs inline on the serving thread) plus
+//! whatever the embedding binary adds — independent of how many
+//! connections are open. Idle connections cost one map entry.
+//!
+//! Admission control is layered and fully typed: the shared queue
+//! rejects with [`QueueFull`] when the daemon is saturated, the
+//! tenant-scoped pending quota (keyed by the request's optional
+//! `client` token, falling back to the peer address) rejects with
+//! `quota_exceeded`, the connection cap refuses with
+//! `too_many_connections`, and the plane's protection policies (idle
+//! timeout, read deadline, write budget, write stall) close with a
+//! best-effort typed notice and a metrics counter. A client is never
+//! silently dropped.
 //!
 //! # Drain-on-shutdown argument
 //!
-//! Every admitted job carries a clone of its connection's response
-//! sender. The writer's receive loop ends exactly when all senders are
-//! gone: the reader's copy (dropped at EOF) and one copy per
-//! in-flight job (dropped after the worker sends the response). So
-//! "writer exited" *is* the proof that every accepted request was
-//! answered and flushed in index order — no separate bookkeeping, and
-//! no window where a drained job's response is lost.
+//! Every admitted job increments a global in-flight count that only
+//! the plane decrements, on receipt of the worker's completion — even
+//! when the owning connection was force-closed meanwhile (the response
+//! is then counted `responses_dropped` instead of delivered).
+//! [`ServerHandle::shutdown`] flips the plane into draining mode: stop
+//! accepting, admit nothing new, read-and-discard inbound bytes (so a
+//! close cannot RST away buffered responses), flush what is owed, and
+//! exit exactly when no connections and no in-flight jobs remain. Then
+//! the queue is closed, workers join, and the artifact cache persists.
+//! So "run returned" *is* the proof that every accepted request was
+//! answered or explicitly counted dropped.
 //!
-//! Graceful shutdown ([`ServerHandle::shutdown`]) runs the same
-//! argument daemon-wide: stop accepting, half-close every client
-//! socket (readers see EOF and stop admitting), join readers, close
-//! the queue (workers drain what was admitted), join workers and
-//! writers, then persist the artifact cache.
+//! The stdin/stdout compatibility mode ([`serve_stream`]) keeps PR 6's
+//! channel-based drain: the ordering writer's receive loop ends exactly
+//! when the reader and every in-flight job have dropped their senders.
 
 use crate::framing::{LineOutcome, LineReader};
 use crate::job::{id_hint, parse_request, JobRequest, Request};
+use crate::plane::{run_plane, Completion, PendingTable, PlaneShared};
 use crate::queue::JobQueue;
 use crate::service::{
-    error_response, frame_error_response, quota_response, reject_response,
-    too_many_connections_response, Service,
+    error_response, frame_error_response, quota_response, reject_response, Service,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+
+/// Where a worker sends a finished response: the stdin writer's channel
+/// or the plane's completion queue. Unifies the pool across both front
+/// ends — a worker neither knows nor cares which one admitted the job.
+pub(crate) enum ResponseSink {
+    /// stdin/stdout mode: the per-stream ordering writer.
+    Stream(mpsc::Sender<(usize, String)>),
+    /// `--listen` mode: the plane's completion queue, tagged with the
+    /// owning connection.
+    Plane {
+        /// The completion queue / wakeup token.
+        shared: Arc<PlaneShared>,
+        /// Owning connection id.
+        conn: u64,
+    },
+}
+
+impl ResponseSink {
+    fn deliver(self, index: usize, line: String) {
+        match self {
+            ResponseSink::Stream(tx) => {
+                let _ = tx.send((index, line));
+            }
+            ResponseSink::Plane { shared, conn } => {
+                shared.deliver(Completion { conn, index, line });
+            }
+        }
+    }
+}
 
 /// A job admitted to the shared queue, labelled with everything the
-/// worker needs to answer it: the connection's response channel, the
-/// per-connection request index (reorder key) and the client's pending
-/// counter.
-struct QueuedJob {
-    job: JobRequest,
-    index: usize,
-    tx: mpsc::Sender<(usize, String)>,
-    pending: Arc<AtomicUsize>,
+/// worker needs to answer it: the response sink, the per-connection
+/// request index (reorder key), and the client identity whose quota
+/// slot to return.
+pub(crate) struct QueuedJob {
+    pub(crate) job: JobRequest,
+    pub(crate) index: usize,
+    pub(crate) sink: ResponseSink,
+    pub(crate) client: String,
+    pub(crate) pending: Arc<PendingTable>,
 }
 
 /// The TCP front end. Bind with [`Server::bind`], then [`Server::run`]
@@ -83,14 +126,13 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests a graceful shutdown: the server stops accepting,
-    /// half-closes live connections, drains every admitted job, and
-    /// persists the cache before [`Server::run`] returns. Idempotent.
+    /// Requests a graceful shutdown: the server stops accepting, drains
+    /// every admitted job (delivering where the connection survives,
+    /// counting drops where it does not), and persists the cache before
+    /// [`Server::run`] returns. Idempotent. The plane notices the flag
+    /// on its next tick — no wake-up connection needed.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection; if the
-        // listener is already gone, there is nothing left to wake.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
     }
 }
 
@@ -127,14 +169,15 @@ impl Server {
     }
 
     /// Serves until shutdown. Consumes the server; when this returns,
-    /// every accepted request has been answered, all threads are
-    /// joined, and the artifact cache has been persisted (when a store
-    /// is configured).
+    /// every accepted request has been answered (or counted dropped
+    /// against a force-closed connection), all threads are joined, and
+    /// the artifact cache has been persisted (when a store is
+    /// configured).
     ///
     /// # Errors
     ///
     /// Fatal listener errors only; per-connection and per-line problems
-    /// are typed responses, never a dead server.
+    /// are typed responses or counted closes, never a dead server.
     pub fn run(self) -> std::io::Result<()> {
         let Server {
             service,
@@ -145,73 +188,19 @@ impl Server {
         let config = service.config().clone();
         let queue: Arc<JobQueue<QueuedJob>> =
             Arc::new(JobQueue::new(config.queue_capacity, config.retry_after_ms));
+        let shared = Arc::new(PlaneShared::new());
+        let pending = Arc::new(PendingTable::new());
         let workers = spawn_workers(&service, &queue, config.workers);
-
-        // Live connections, keyed by a monotone id so shutdown can
-        // half-close them; entries remove themselves when done.
-        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-        let active = Arc::new(AtomicUsize::new(0));
-        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-        let mut next_conn: u64 = 0;
-
-        for stream in listener.incoming() {
-            if stop.load(Ordering::SeqCst) {
-                break; // the wake-up connection (or a late client) is dropped
-            }
-            let Ok(stream) = stream else { continue };
-            if active.load(Ordering::SeqCst) >= config.max_connections {
-                // A typed one-line refusal, then close: the client can
-                // tell "daemon at capacity" from "daemon dead".
-                let line = too_many_connections_response(config.max_connections).to_line();
-                let mut refused = stream;
-                let _ = writeln!(refused, "{line}");
-                let _ = refused.flush();
-                continue;
-            }
-            let (Ok(write_half), Ok(register_half)) = (stream.try_clone(), stream.try_clone())
-            else {
-                continue;
-            };
-            let conn_id = next_conn;
-            next_conn += 1;
-            active.fetch_add(1, Ordering::SeqCst);
-            if let Ok(mut map) = connections.lock() {
-                map.insert(conn_id, register_half);
-            }
-            let service = Arc::clone(&service);
-            let queue = Arc::clone(&queue);
-            let connections = Arc::clone(&connections);
-            let active = Arc::clone(&active);
-            let quota = config.client_pending;
-            conn_threads.push(std::thread::spawn(move || {
-                drive(&service, &queue, stream, write_half, quota);
-                if let Ok(mut map) = connections.lock() {
-                    map.remove(&conn_id);
-                }
-                active.fetch_sub(1, Ordering::SeqCst);
-            }));
-        }
-        drop(listener); // further connects are refused by the OS
-
-        // Half-close every live connection: readers see EOF, stop
-        // admitting, and the per-connection drain argument (module
-        // docs) finishes each one.
-        if let Ok(mut map) = connections.lock() {
-            for (_, conn) in map.drain() {
-                let _ = conn.shutdown(Shutdown::Read);
-            }
-        }
-        for thread in conn_threads {
-            let _ = thread.join();
-        }
-        // All readers are gone: nothing new can be admitted. Close the
-        // queue so workers drain the remainder and exit.
+        // The plane runs inline: this thread IS the connection plane.
+        let result = run_plane(&service, &queue, &listener, &shared, &pending, &stop);
+        // The plane has exited with zero in-flight jobs: nothing new
+        // can be admitted. Close the queue so workers drain and exit.
         queue.close();
         for worker in workers {
             let _ = worker.join();
         }
         service.persist();
-        Ok(())
+        result
     }
 }
 
@@ -246,20 +235,30 @@ fn spawn_workers(
             let queue = Arc::clone(queue);
             std::thread::spawn(move || {
                 while let Some(queued) = queue.pop() {
-                    let line = service.execute(&queued.job).to_line();
-                    let _ = queued.tx.send((queued.index, line));
-                    queued.pending.fetch_sub(1, Ordering::Relaxed);
-                    // Dropping `queued` drops its sender clone — the
-                    // writer's drain barrier (module docs).
+                    let QueuedJob {
+                        job,
+                        index,
+                        sink,
+                        client,
+                        pending,
+                    } = queued;
+                    let line = service.execute(&job).to_line();
+                    // Deliver first, then return the quota slot: the
+                    // slot frees only once the answer is on its way.
+                    sink.deliver(index, line);
+                    pending.release(&client);
                 }
             })
         })
         .collect()
 }
 
-/// One connection (or the stdin stream): frames lines, parses, admits,
-/// answers. Spawns the ordering writer, runs the reader inline, joins
-/// the writer before returning — so returning means "fully drained".
+/// The stdin identity in the pending table (one tenant, infinite quota).
+const LOCAL_CLIENT: &str = "local";
+
+/// One stdin stream: frames lines, parses, admits, answers. Spawns the
+/// ordering writer, runs the reader inline, joins the writer before
+/// returning — so returning means "fully drained".
 fn drive<R: Read, W: Write + Send + 'static>(
     service: &Arc<Service>,
     queue: &Arc<JobQueue<QueuedJob>>,
@@ -269,7 +268,7 @@ fn drive<R: Read, W: Write + Send + 'static>(
 ) {
     let (tx, rx) = mpsc::channel::<(usize, String)>();
     let writer = std::thread::spawn(move || write_in_order(output, rx));
-    let pending = Arc::new(AtomicUsize::new(0));
+    let pending = Arc::new(PendingTable::new());
     let mut reader = LineReader::new(input, service.config().max_line);
     let mut index = 0usize;
     // A transport error (`Err`) ends the read loop like EOF does: stop
@@ -283,31 +282,32 @@ fn drive<R: Read, W: Write + Send + 'static>(
                     continue;
                 }
                 match parse_request(&line) {
-                    Ok(Request::Job(job)) => {
-                        let held = pending.fetch_add(1, Ordering::Relaxed);
-                        if held >= quota {
-                            pending.fetch_sub(1, Ordering::Relaxed);
+                    Ok(Request::Job(job)) => match pending.try_acquire(LOCAL_CLIENT, quota) {
+                        Err(held) => {
                             service.note_quota_rejection();
                             quota_response(Some(job.id), held, quota)
-                        } else {
-                            match queue.try_submit(QueuedJob {
+                        }
+                        Ok(()) => {
+                            let queued = QueuedJob {
                                 job,
                                 index,
-                                tx: tx.clone(),
+                                sink: ResponseSink::Stream(tx.clone()),
+                                client: LOCAL_CLIENT.to_string(),
                                 pending: Arc::clone(&pending),
-                            }) {
+                            };
+                            match queue.try_submit(queued) {
                                 Ok(()) => {
                                     index += 1;
                                     continue;
                                 }
                                 Err((rejected, full)) => {
-                                    pending.fetch_sub(1, Ordering::Relaxed);
+                                    pending.release(LOCAL_CLIENT);
                                     service.note_rejection();
                                     reject_response(Some(rejected.job.id), full)
                                 }
                             }
                         }
-                    }
+                    },
                     Ok(Request::Stats { id }) => service.stats_response(id),
                     Ok(Request::Health { id }) => service.health_response(id),
                     Ok(Request::Metrics { id }) => service.metrics_response(id, queue.len()),
@@ -326,8 +326,8 @@ fn drive<R: Read, W: Write + Send + 'static>(
     let _ = writer.join();
 }
 
-/// The per-connection ordering writer: a reorder buffer keyed by
-/// request index, flushed contiguously from 0.
+/// The per-stream ordering writer: a reorder buffer keyed by request
+/// index, flushed contiguously from 0.
 fn write_in_order<W: Write>(mut output: W, rx: mpsc::Receiver<(usize, String)>) {
     let mut buffered: BTreeMap<usize, String> = BTreeMap::new();
     let mut next = 0usize;
@@ -351,6 +351,8 @@ mod tests {
     use crate::json::{parse as parse_json, Json};
     use crate::service::ServiceConfig;
     use std::io::{BufRead, BufReader};
+    use std::net::{Shutdown, TcpStream};
+    use std::time::Duration;
 
     fn start(config: ServiceConfig) -> (ServerHandle, JoinHandle<std::io::Result<()>>) {
         let server = Server::bind("127.0.0.1:0", Service::new(config)).expect("bind");

@@ -23,7 +23,7 @@ use crate::cache::{ArtifactCache, CacheStats};
 use crate::framing::DEFAULT_MAX_LINE;
 use crate::job::{JobKind, JobRequest, RequestError};
 use crate::json::{obj, Json};
-use crate::persist::{PersistError, SessionStore};
+use crate::persist::{PersistError, SessionKey, SessionStore};
 use crate::queue::{JobQueue, QueueFull};
 use crate::registry::{find, ScenarioEntry};
 use kbp_core::{
@@ -76,6 +76,35 @@ pub const DEFAULT_MAX_CONNECTIONS: usize = 32;
 
 /// Environment variable bounding request-line length, in bytes.
 pub const MAX_LINE_ENV: &str = "KBP_SERVICE_MAX_LINE";
+
+/// Environment variable setting the idle-connection timeout in
+/// milliseconds (`--listen` mode). A connection with no pending work
+/// that stays silent this long is closed with a typed `idle_timeout`
+/// notice; a connection silent *mid-line* is closed as a `read_deadline`
+/// violation. `0` disables the timeout.
+pub const IDLE_TIMEOUT_ENV: &str = "KBP_SERVICE_IDLE_TIMEOUT_MS";
+
+/// Default idle-connection timeout (5 minutes).
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 300_000;
+
+/// Environment variable bounding buffered response bytes per connection
+/// (`--listen` mode). A client that stops reading has its responses
+/// buffered up to this bound and is then disconnected (typed
+/// `write_budget` in metrics) instead of pinning memory. `0` disables
+/// the bound.
+pub const WRITE_BUDGET_ENV: &str = "KBP_SERVICE_WRITE_BUDGET_BYTES";
+
+/// Default slow-client write budget (4 MiB of buffered responses).
+pub const DEFAULT_WRITE_BUDGET_BYTES: usize = 4 * 1024 * 1024;
+
+/// Environment variable bounding how long a connection's outbound
+/// buffer may sit unflushed, in milliseconds (`--listen` mode). A
+/// client making *no* read progress for this long is disconnected
+/// (typed `write_stall`). `0` disables the check.
+pub const WRITE_STALL_ENV: &str = "KBP_SERVICE_WRITE_STALL_MS";
+
+/// Default write-stall bound (30 seconds without read progress).
+pub const DEFAULT_WRITE_STALL_MS: u64 = 30_000;
 
 /// A malformed service configuration. Unlike a lenient default, this is
 /// surfaced before any job runs: a typo in `KBP_SERVICE_WORKERS` should
@@ -159,6 +188,14 @@ pub struct ServiceConfig {
     /// Request-line byte bound; longer lines answer a typed `oversized`
     /// error without being buffered.
     pub max_line: usize,
+    /// Idle-connection timeout in ms (`--listen` mode); `0` disables.
+    pub idle_timeout_ms: u64,
+    /// Buffered-response byte bound per connection (`--listen` mode);
+    /// `0` disables.
+    pub write_budget_bytes: usize,
+    /// Write-stall bound in ms — how long a connection's outbound
+    /// buffer may make no progress (`--listen` mode); `0` disables.
+    pub write_stall_ms: u64,
 }
 
 impl ServiceConfig {
@@ -176,6 +213,9 @@ impl ServiceConfig {
             client_pending: DEFAULT_CLIENT_PENDING,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             max_line: DEFAULT_MAX_LINE,
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            write_budget_bytes: DEFAULT_WRITE_BUDGET_BYTES,
+            write_stall_ms: DEFAULT_WRITE_STALL_MS,
         }
     }
 
@@ -231,6 +271,18 @@ impl ServiceConfig {
         }
         if let Some(max_line) = env_size(MAX_LINE_ENV)? {
             config.max_line = max_line;
+        }
+        // The protection bounds allow 0 ("disabled") — a timeout of
+        // zero would otherwise mean "disconnect everyone immediately",
+        // which nobody wants, so 0 is repurposed as the off switch.
+        if let Some(ms) = env_bound(IDLE_TIMEOUT_ENV)? {
+            config.idle_timeout_ms = ms;
+        }
+        if let Some(bytes) = env_bound(WRITE_BUDGET_ENV)? {
+            config.write_budget_bytes = usize::try_from(bytes).unwrap_or(usize::MAX);
+        }
+        if let Some(ms) = env_bound(WRITE_STALL_ENV)? {
+            config.write_stall_ms = ms;
         }
         // The engine reads these lazily per solve and falls back to
         // defaults on garbage; a daemon should instead refuse to start,
@@ -295,6 +347,27 @@ impl ServiceConfig {
         self.max_line = bytes.max(1);
         self
     }
+
+    /// Sets the idle-connection timeout in ms (`0` disables).
+    #[must_use]
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the buffered-response byte bound (`0` disables).
+    #[must_use]
+    pub fn write_budget_bytes(mut self, bytes: usize) -> Self {
+        self.write_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the write-stall bound in ms (`0` disables).
+    #[must_use]
+    pub fn write_stall_ms(mut self, ms: u64) -> Self {
+        self.write_stall_ms = ms;
+        self
+    }
 }
 
 /// Reads a positive-integer bound (no thread-count cap — line limits
@@ -306,6 +379,19 @@ fn env_size(var: &'static str) -> Result<Option<usize>, ConfigError> {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n > 0 => Ok(Some(n)),
             _ => Err(ConfigError::Size { var, value: raw }),
+        },
+    }
+}
+
+/// Reads a protection bound where `0` is meaningful ("disabled").
+/// `Ok(None)` when unset or empty; garbage is still a startup error.
+fn env_bound(var: &'static str) -> Result<Option<u64>, ConfigError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) if raw.trim().is_empty() => Ok(None),
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(ConfigError::Size { var, value: raw }),
         },
     }
 }
@@ -345,6 +431,82 @@ impl ServiceStats {
             self.layers_restored as f64 / self.layers_total as f64
         }
     }
+}
+
+/// A snapshot of the connection plane's counters, folded into the
+/// `metrics` response by `--listen` mode (monitoring only — racy by
+/// nature, never compared bit-for-bit).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlaneSnapshot {
+    /// Connections with work in flight (pending jobs, buffered
+    /// responses, or a partially read request line).
+    pub connections_active: usize,
+    /// Connections currently open with nothing in flight.
+    pub connections_idle: usize,
+    /// Connections closed for staying silent past the idle timeout.
+    pub disconnects_idle_timeout: usize,
+    /// Connections closed for stalling *mid-request-line* past the
+    /// timeout (half-open peers that will never finish their frame).
+    pub disconnects_read_deadline: usize,
+    /// Connections closed for exceeding the buffered-response bound.
+    pub disconnects_write_budget: usize,
+    /// Connections closed for making no read progress past the
+    /// write-stall bound.
+    pub disconnects_write_stall: usize,
+    /// Responses computed for connections that were already force-closed
+    /// (counted, never delivered — the drain proof's escape hatch).
+    pub responses_dropped: usize,
+    /// Pending (admitted, unanswered) job counts per client identity,
+    /// sorted by client for stable output.
+    pub clients: Vec<(String, usize)>,
+}
+
+/// Why the plane force-closed a connection. Every variant is counted in
+/// [`PlaneSnapshot`] and, where the socket still accepts writes, also
+/// announced with a typed [`disconnect_response`] line before the close
+/// — a protection decision is never a silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectKind {
+    /// No activity and no pending work for longer than the idle timeout.
+    IdleTimeout,
+    /// A request line left unfinished for longer than the idle timeout
+    /// (half-open connection).
+    ReadDeadline,
+    /// Buffered responses exceeded the write budget.
+    WriteBudget,
+    /// The outbound buffer made no progress for longer than the stall
+    /// bound.
+    WriteStall,
+}
+
+impl DisconnectKind {
+    /// The wire name used in the closing notice and in metrics.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            DisconnectKind::IdleTimeout => "idle_timeout",
+            DisconnectKind::ReadDeadline => "read_deadline",
+            DisconnectKind::WriteBudget => "write_budget",
+            DisconnectKind::WriteStall => "write_stall",
+        }
+    }
+}
+
+/// The one-line `ok: false` notice written (best-effort) before the
+/// plane closes a connection for a protection violation.
+#[must_use]
+pub fn disconnect_response(kind: DisconnectKind, message: &str) -> Json {
+    obj(vec![
+        ("id", Json::Null),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(kind.wire_name().into())),
+                ("message", Json::Str(message.into())),
+            ]),
+        ),
+    ])
 }
 
 /// The batch-solving service.
@@ -426,10 +588,15 @@ impl Service {
     }
 
     /// Persists every resident cache session to the configured store
-    /// (no-op without one). Called on graceful shutdown so a restarted
-    /// daemon starts warm; failures are counted, never fatal.
+    /// (no-op without one), then garbage-collects store files whose
+    /// provenance the scenario registry no longer produces — renamed
+    /// scenarios, retired fault rungs, unreadable headers. Called on
+    /// graceful shutdown so a restarted daemon starts warm without the
+    /// store accumulating dead files forever; failures are counted,
+    /// never fatal.
     pub fn persist(&self) {
         self.cache.persist_all();
+        self.cache.compact_store(registry_owns);
     }
 
     /// The active configuration.
@@ -567,7 +734,7 @@ impl Service {
         &self,
         job: &JobRequest,
         entry: &ScenarioEntry,
-    ) -> Result<(BuiltContext, Kbp, u64), RequestError> {
+    ) -> Result<(BuiltContext, Kbp, u64, SessionKey), RequestError> {
         match job.fault.as_deref() {
             None => {
                 let (ctx, kbp) = entry.build();
@@ -575,6 +742,7 @@ impl Service {
                     BuiltContext::Plain(Box::new(ctx)),
                     kbp,
                     entry.fingerprint(None),
+                    SessionKey::plain(entry.name),
                 ))
             }
             Some(rung) => {
@@ -591,6 +759,7 @@ impl Service {
                     BuiltContext::Faulty(Box::new(ctx)),
                     kbp,
                     entry.fingerprint(Some((rung, job.fault_seed))),
+                    SessionKey::faulty(entry.name, rung, job.fault_seed),
                 ))
             }
         }
@@ -598,6 +767,7 @@ impl Service {
 
     /// Solves through the artifact cache when a session exists for the
     /// fingerprint; cold otherwise. Also feeds the warm-rate counters.
+    #[allow(clippy::too_many_arguments)]
     fn solve_outcome(
         &self,
         job: &JobRequest,
@@ -606,12 +776,13 @@ impl Service {
         ctx: &dyn Context,
         kbp: &Kbp,
         fingerprint: u64,
+        key: &SessionKey,
     ) -> Result<SolveOutcome, SolveError> {
         let solver = SyncSolver::new(ctx, kbp)
             .horizon(horizon)
             .recall(entry.recall)
             .budget(job.budget);
-        let outcome = match self.cache.session(fingerprint) {
+        let outcome = match self.cache.session(fingerprint, key) {
             Some(session) => match session.lock() {
                 Ok(mut session) => solver.solve_budgeted_with(&mut session),
                 // A worker panicked mid-solve and poisoned this session:
@@ -639,11 +810,11 @@ impl Service {
                 ),
             );
         }
-        let (ctx, kbp, fingerprint) = match self.resolve_context(job, entry) {
+        let (ctx, kbp, fingerprint, key) = match self.resolve_context(job, entry) {
             Ok(parts) => parts,
             Err(e) => return error_response(Some(job.id), &e),
         };
-        match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint) {
+        match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint, &key) {
             Ok(outcome) => {
                 let mut fields = response_head(job, "solve", horizon);
                 push_outcome_fields(&mut fields, &outcome);
@@ -662,15 +833,15 @@ impl Service {
                 ),
             );
         }
-        let (ctx, kbp, fingerprint) = match self.resolve_context(job, entry) {
+        let (ctx, kbp, fingerprint, key) = match self.resolve_context(job, entry) {
             Ok(parts) => parts,
             Err(e) => return error_response(Some(job.id), &e),
         };
-        let outcome = match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint)
-        {
-            Ok(outcome) => outcome,
-            Err(e) => return solve_error_response(job.id, &e),
-        };
+        let outcome =
+            match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint, &key) {
+                Ok(outcome) => outcome,
+                Err(e) => return solve_error_response(job.id, &e),
+            };
         let mut fields = response_head(job, "check", horizon);
         match outcome {
             SolveOutcome::Partial(p) => {
@@ -705,7 +876,7 @@ impl Service {
     }
 
     fn run_enumerate(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
-        let (ctx, kbp, _fingerprint) = match self.resolve_context(job, entry) {
+        let (ctx, kbp, _fingerprint, _key) = match self.resolve_context(job, entry) {
             Ok(parts) => parts,
             Err(e) => return error_response(Some(job.id), &e),
         };
@@ -770,7 +941,8 @@ impl Service {
             let agents = ctx.agent_count();
             let signature = schedule.signature(horizon, agents);
             let fingerprint = entry.fingerprint(Some((rung, job.fault_seed)));
-            match self.solve_outcome(job, entry, horizon, &ctx, &kbp, fingerprint) {
+            let key = SessionKey::faulty(entry.name, rung, job.fault_seed);
+            match self.solve_outcome(job, entry, horizon, &ctx, &kbp, fingerprint, &key) {
                 Ok(outcome) => {
                     let mut row = vec![
                         ("fault".to_string(), Json::Str(rung.into())),
@@ -835,29 +1007,100 @@ impl Service {
     /// bit-for-bit.
     #[must_use]
     pub fn metrics_response(&self, id: Option<u64>, queue_depth: usize) -> Json {
+        self.metrics_response_with_plane(id, queue_depth, None)
+    }
+
+    /// [`metrics_response`](Self::metrics_response) extended with the
+    /// connection plane's counters (`--listen` mode). Strictly additive
+    /// — every pre-plane field keeps its name and meaning, so existing
+    /// scrapers parse both shapes.
+    #[must_use]
+    pub fn metrics_response_with_plane(
+        &self,
+        id: Option<u64>,
+        queue_depth: usize,
+        plane: Option<&PlaneSnapshot>,
+    ) -> Json {
         let stats = self.stats();
         let busy = self.workers_busy.load(Ordering::Relaxed);
-        obj(vec![
-            ("id", id.map_or(Json::Null, Json::U64)),
-            ("ok", Json::Bool(true)),
-            ("kind", Json::Str("metrics".into())),
-            ("workers", Json::U64(self.config.workers as u64)),
+        let mut fields: Vec<(String, Json)> = vec![
+            ("id".into(), id.map_or(Json::Null, Json::U64)),
+            ("ok".into(), Json::Bool(true)),
+            ("kind".into(), Json::Str("metrics".into())),
+            ("workers".into(), Json::U64(self.config.workers as u64)),
             (
-                "workers_busy",
+                "workers_busy".into(),
                 Json::U64(busy.min(self.config.workers) as u64),
             ),
             (
-                "queue_capacity",
+                "queue_capacity".into(),
                 Json::U64(self.config.queue_capacity as u64),
             ),
-            ("queue_depth", Json::U64(queue_depth as u64)),
-            ("jobs_executed", Json::U64(stats.jobs_executed as u64)),
-            ("queue_rejections", Json::U64(stats.queue_rejections as u64)),
-            ("quota_rejections", Json::U64(stats.quota_rejections as u64)),
-            ("cache", self.cache_json(&stats.cache)),
-            ("layers_total", Json::U64(stats.layers_total as u64)),
-            ("layers_restored", Json::U64(stats.layers_restored as u64)),
-        ])
+            ("queue_depth".into(), Json::U64(queue_depth as u64)),
+            (
+                "jobs_executed".into(),
+                Json::U64(stats.jobs_executed as u64),
+            ),
+            (
+                "queue_rejections".into(),
+                Json::U64(stats.queue_rejections as u64),
+            ),
+            (
+                "quota_rejections".into(),
+                Json::U64(stats.quota_rejections as u64),
+            ),
+            ("cache".into(), self.cache_json(&stats.cache)),
+            ("layers_total".into(), Json::U64(stats.layers_total as u64)),
+            (
+                "layers_restored".into(),
+                Json::U64(stats.layers_restored as u64),
+            ),
+        ];
+        if let Some(plane) = plane {
+            fields.push((
+                "connections".into(),
+                obj(vec![
+                    ("active", Json::U64(plane.connections_active as u64)),
+                    ("idle", Json::U64(plane.connections_idle as u64)),
+                ]),
+            ));
+            fields.push((
+                "disconnects".into(),
+                obj(vec![
+                    (
+                        "idle_timeout",
+                        Json::U64(plane.disconnects_idle_timeout as u64),
+                    ),
+                    (
+                        "read_deadline",
+                        Json::U64(plane.disconnects_read_deadline as u64),
+                    ),
+                    (
+                        "write_budget",
+                        Json::U64(plane.disconnects_write_budget as u64),
+                    ),
+                    (
+                        "write_stall",
+                        Json::U64(plane.disconnects_write_stall as u64),
+                    ),
+                ]),
+            ));
+            fields.push((
+                "responses_dropped".into(),
+                Json::U64(plane.responses_dropped as u64),
+            ));
+            fields.push((
+                "clients".into(),
+                Json::Obj(
+                    plane
+                        .clients
+                        .iter()
+                        .map(|(client, pending)| (client.clone(), Json::U64(*pending as u64)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     fn cache_json(&self, cache: &CacheStats) -> Json {
@@ -871,7 +1114,27 @@ impl Service {
             ("preloaded", Json::U64(cache.preloaded as u64)),
             ("persisted", Json::U64(cache.persisted as u64)),
             ("persist_failures", Json::U64(cache.persist_failures as u64)),
+            ("compacted", Json::U64(cache.compacted as u64)),
+            ("compact_failures", Json::U64(cache.compact_failures as u64)),
         ])
+    }
+}
+
+/// Whether the current scenario registry still produces the session
+/// file described by `key` at `fingerprint`: the scenario must exist,
+/// a fault key must name a scenario that *has* a lattice, and the
+/// re-derived fingerprint must match the file name (a mismatch means
+/// the fingerprint algorithm or the scenario definition changed — the
+/// artifact can never be looked up again).
+fn registry_owns(key: &SessionKey, fingerprint: u64) -> bool {
+    let Some(entry) = find(&key.scenario) else {
+        return false;
+    };
+    match key.fault_ref() {
+        None => entry.fingerprint(None) == fingerprint,
+        Some((rung, seed)) => {
+            entry.lattice.is_some() && entry.fingerprint(Some((rung, seed))) == fingerprint
+        }
     }
 }
 
@@ -1258,6 +1521,17 @@ mod tests {
                 "{var}=many must be rejected"
             );
         }
+        // The protection bounds: garbage is a startup error, but zero is
+        // the documented "disabled" value.
+        for var in [IDLE_TIMEOUT_ENV, WRITE_BUDGET_ENV, WRITE_STALL_ENV] {
+            assert!(
+                matches!(run(&[(var, "soon")]), Err(ConfigError::Size { .. })),
+                "{var}=soon must be rejected"
+            );
+            assert!(run(&[(var, "0")]).is_ok(), "{var}=0 means disabled");
+        }
+        let disabled = run(&[(IDLE_TIMEOUT_ENV, "0")]).unwrap();
+        assert_eq!(disabled.idle_timeout_ms, 0);
         // The engine variables are validated here too (satellite of the
         // daemon-robustness sweep): the engine itself would silently
         // fall back, the daemon must not start.
@@ -1278,6 +1552,9 @@ mod tests {
             (CLIENT_PENDING_ENV, "9"),
             (MAX_CONNECTIONS_ENV, "7"),
             (MAX_LINE_ENV, "2048"),
+            (IDLE_TIMEOUT_ENV, "1500"),
+            (WRITE_BUDGET_ENV, "8192"),
+            (WRITE_STALL_ENV, "2500"),
         ])
         .unwrap();
         assert_eq!(ok.workers, 3);
@@ -1291,6 +1568,9 @@ mod tests {
         assert_eq!(ok.client_pending, 9);
         assert_eq!(ok.max_connections, 7);
         assert_eq!(ok.max_line, 2048);
+        assert_eq!(ok.idle_timeout_ms, 1500);
+        assert_eq!(ok.write_budget_bytes, 8192);
+        assert_eq!(ok.write_stall_ms, 2500);
     }
 
     #[test]
@@ -1311,6 +1591,77 @@ mod tests {
         let cache = metrics.get("cache").unwrap();
         assert_eq!(cache.get("misses"), Some(&Json::U64(1)));
         assert_eq!(cache.get("preloaded"), Some(&Json::U64(0)));
+        assert_eq!(cache.get("compacted"), Some(&Json::U64(0)));
+        // Without a plane snapshot the wire shape is the pre-plane one.
+        assert!(metrics.get("connections").is_none());
+
+        let plane = PlaneSnapshot {
+            connections_active: 2,
+            connections_idle: 5,
+            disconnects_write_budget: 1,
+            responses_dropped: 3,
+            clients: vec![("alpha".into(), 4), ("beta".into(), 0)],
+            ..PlaneSnapshot::default()
+        };
+        let metrics = service.metrics_response_with_plane(Some(9), 0, Some(&plane));
+        let connections = metrics.get("connections").unwrap();
+        assert_eq!(connections.get("active"), Some(&Json::U64(2)));
+        assert_eq!(connections.get("idle"), Some(&Json::U64(5)));
+        let disconnects = metrics.get("disconnects").unwrap();
+        assert_eq!(disconnects.get("idle_timeout"), Some(&Json::U64(0)));
+        assert_eq!(disconnects.get("write_budget"), Some(&Json::U64(1)));
+        assert_eq!(metrics.get("responses_dropped"), Some(&Json::U64(3)));
+        let clients = metrics.get("clients").unwrap();
+        assert_eq!(clients.get("alpha"), Some(&Json::U64(4)));
+        assert_eq!(clients.get("beta"), Some(&Json::U64(0)));
+    }
+
+    #[test]
+    fn disconnect_notices_are_typed() {
+        for (kind, name) in [
+            (DisconnectKind::IdleTimeout, "idle_timeout"),
+            (DisconnectKind::ReadDeadline, "read_deadline"),
+            (DisconnectKind::WriteBudget, "write_budget"),
+            (DisconnectKind::WriteStall, "write_stall"),
+        ] {
+            assert_eq!(kind.wire_name(), name);
+            let notice = disconnect_response(kind, "closing");
+            assert_eq!(notice.get("ok"), Some(&Json::Bool(false)));
+            let error = notice.get("error").unwrap();
+            assert_eq!(error.get("kind"), Some(&Json::Str(name.into())));
+        }
+    }
+
+    #[test]
+    fn shutdown_compaction_is_scoped_by_the_registry() {
+        let dir = std::env::temp_dir().join(format!(
+            "kbp-service-compact-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Service::new(ServiceConfig::new().workers(1).cache_dir(Some(dir.clone())));
+        // A real solve, persisted under its registry provenance...
+        let _ = service.execute(&job(
+            r#"{"id":1,"kind":"solve","scenario":"bit_transmission"}"#,
+        ));
+        // ...plus a file the registry never produced.
+        let store = crate::persist::SessionStore::open(&dir).unwrap();
+        store
+            .save(
+                0xDEAD,
+                &SessionKey::plain("retired_scenario"),
+                &kbp_core::EngineSession::new(),
+            )
+            .unwrap();
+        service.persist();
+        let survivors = store.list().unwrap();
+        let live = find("bit_transmission").unwrap().fingerprint(None);
+        assert_eq!(survivors, vec![live]);
+        let stats = service.stats();
+        assert_eq!(stats.cache.compacted, 1);
+        assert_eq!(stats.cache.compact_failures, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

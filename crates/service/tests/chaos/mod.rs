@@ -1,0 +1,272 @@
+//! A seeded wire-level chaos harness for `kbpd`'s TCP plane.
+//!
+//! Everything here is deterministic in the seed: [`schedule`] expands a
+//! `u64` into a reproducible list of adversarial client behaviours
+//! ([`ChaosKind`]), and [`run_client`] executes one against a live
+//! daemon, tolerating every I/O error (the daemon closing an abusive
+//! connection is the expected outcome, not a test failure). The
+//! [`Proxy`] is a transparent byte-for-byte TCP forwarder used to prove
+//! the harness itself adds nothing to the wire.
+//!
+//! The point of the fleet is what it does **not** do: none of these
+//! behaviours may disturb a concurrent well-behaved client, whose
+//! responses must stay bit-identical, in order, and on time.
+
+#![allow(dead_code)] // each test binary uses a subset of the harness
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// SplitMix64 — the same mixing constants as `kbp-faults`, so one seed
+/// convention covers the whole workspace.
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is irrelevant here).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// One adversarial client behaviour. Parameters are drawn from the
+/// seed, so a `(seed, index)` pair pins the exact wire activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Sends jobs, then refuses to read responses for a while.
+    StalledReader { jobs: usize, stall_ms: u64 },
+    /// Dribbles requests a few bytes at a time with pauses.
+    Trickle {
+        jobs: usize,
+        chunk: usize,
+        pause_ms: u64,
+    },
+    /// Sends jobs and half-closes immediately (a legal fast client).
+    HalfClose { jobs: usize },
+    /// Sends jobs and vanishes without reading — unread inbound data
+    /// makes the kernel RST the connection mid-response.
+    MidStreamReset { jobs: usize },
+    /// Floods lines far beyond the daemon's line bound.
+    OversizedFlood { lines: usize, line_len: usize },
+    /// Rapid connect/disconnect churn, never speaking the protocol.
+    Churn { connects: usize },
+}
+
+/// Expands a seed into `n` chaos behaviours. Pure and sequential: the
+/// schedule for `n` events is a prefix of the schedule for `n + 1`.
+pub fn schedule(seed: u64, n: usize) -> Vec<ChaosKind> {
+    let mut rng = ChaosRng::new(seed);
+    (0..n)
+        .map(|_| match rng.below(6) {
+            0 => ChaosKind::StalledReader {
+                jobs: 1 + rng.below(4) as usize,
+                stall_ms: 50 + rng.below(200),
+            },
+            1 => ChaosKind::Trickle {
+                jobs: 1 + rng.below(3) as usize,
+                chunk: 1 + rng.below(9) as usize,
+                pause_ms: 1 + rng.below(5),
+            },
+            2 => ChaosKind::HalfClose {
+                jobs: 1 + rng.below(4) as usize,
+            },
+            3 => ChaosKind::MidStreamReset {
+                jobs: 1 + rng.below(4) as usize,
+            },
+            4 => ChaosKind::OversizedFlood {
+                lines: 1 + rng.below(4) as usize,
+                line_len: 2048 + rng.below(4096) as usize,
+            },
+            _ => ChaosKind::Churn {
+                connects: 2 + rng.below(6) as usize,
+            },
+        })
+        .collect()
+}
+
+fn job_line(id: usize) -> String {
+    const SCENARIOS: [&str; 3] = ["zoo_plain", "muddy_children_3", "bit_transmission"];
+    format!(
+        "{{\"id\":{id},\"kind\":\"solve\",\"scenario\":\"{}\",\"client\":\"chaos\"}}\n",
+        SCENARIOS[id % SCENARIOS.len()]
+    )
+}
+
+/// Runs one chaos behaviour against `addr`. Never panics on I/O: the
+/// daemon is allowed (often expected) to refuse, close, or reset us.
+pub fn run_client(addr: &str, kind: &ChaosKind) {
+    let connect = || TcpStream::connect(addr).ok();
+    match kind {
+        ChaosKind::StalledReader { jobs, stall_ms } => {
+            let Some(mut stream) = connect() else { return };
+            for id in 0..*jobs {
+                let _ = stream.write_all(job_line(id).as_bytes());
+            }
+            std::thread::sleep(Duration::from_millis(*stall_ms));
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            let mut sink = [0u8; 4096];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        ChaosKind::Trickle {
+            jobs,
+            chunk,
+            pause_ms,
+        } => {
+            let Some(mut stream) = connect() else { return };
+            for id in 0..*jobs {
+                let line = job_line(id);
+                for piece in line.as_bytes().chunks(*chunk) {
+                    if stream.write_all(piece).is_err() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(*pause_ms));
+                }
+            }
+            let _ = stream.shutdown(Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            let mut sink = [0u8; 4096];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        ChaosKind::HalfClose { jobs } => {
+            let Some(mut stream) = connect() else { return };
+            for id in 0..*jobs {
+                let _ = stream.write_all(job_line(id).as_bytes());
+            }
+            let _ = stream.shutdown(Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            let mut sink = [0u8; 4096];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        ChaosKind::MidStreamReset { jobs } => {
+            let Some(mut stream) = connect() else { return };
+            for id in 0..*jobs {
+                let _ = stream.write_all(job_line(id).as_bytes());
+            }
+            // Drop with responses unread: the kernel answers further
+            // daemon writes with RST. The daemon must treat that as a
+            // counted close, not a crash.
+        }
+        ChaosKind::OversizedFlood { lines, line_len } => {
+            let Some(mut stream) = connect() else { return };
+            let line = format!("{}\n", "x".repeat(*line_len));
+            for _ in 0..*lines {
+                if stream.write_all(line.as_bytes()).is_err() {
+                    break;
+                }
+            }
+            let _ = stream.shutdown(Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            let mut sink = [0u8; 4096];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        ChaosKind::Churn { connects } => {
+            for _ in 0..*connects {
+                let Some(stream) = connect() else { continue };
+                drop(stream);
+            }
+        }
+    }
+}
+
+/// A transparent TCP forwarder: every accepted connection is piped
+/// byte-for-byte to the upstream address in both directions. Used to
+/// prove a zero-chaos harness run is indistinguishable from a direct
+/// connection. The accept thread lives until the test process exits.
+pub struct Proxy {
+    addr: String,
+}
+
+impl Proxy {
+    pub fn spawn(upstream: String) -> Proxy {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("proxy binds");
+        let addr = listener.local_addr().expect("proxy addr").to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(client) = stream else { break };
+                let upstream = upstream.clone();
+                std::thread::spawn(move || pipe_both_ways(client, &upstream));
+            }
+        });
+        Proxy { addr }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+fn pipe_both_ways(client: TcpStream, upstream: &str) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let up = (
+        client.try_clone().expect("clone client"),
+        server.try_clone().expect("clone server"),
+    );
+    let forward = std::thread::spawn(move || pipe(up.0, up.1, Shutdown::Write));
+    pipe(server, client, Shutdown::Write);
+    let _ = forward.join();
+}
+
+/// Copies until EOF, then half-closes the destination so the other
+/// side's reader sees the same EOF the source produced.
+fn pipe(mut from: TcpStream, mut to: TcpStream, done: Shutdown) {
+    let mut buf = [0u8; 8192];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(done);
+}
+
+/// Reads `"key":<digits>` out of a JSON metrics line (field names are
+/// unique in the metrics response, so substring search suffices).
+pub fn metric(metrics: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let rest = metrics
+        .split(&needle)
+        .nth(1)
+        .unwrap_or_else(|| panic!("metrics carry {key}: {metrics}"));
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} is numeric: {metrics}"))
+}
+
+/// One metrics round-trip on a fresh connection.
+pub fn fetch_metrics(addr: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect for metrics");
+    stream
+        .write_all(b"{\"kind\":\"metrics\",\"id\":9000}\n")
+        .expect("write metrics request");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read metrics");
+    line
+}

@@ -20,6 +20,9 @@ const KBP_VARS: &[&str] = &[
     "KBP_SERVICE_CLIENT_PENDING",
     "KBP_SERVICE_MAX_CONNECTIONS",
     "KBP_SERVICE_MAX_LINE",
+    "KBP_SERVICE_IDLE_TIMEOUT_MS",
+    "KBP_SERVICE_WRITE_BUDGET_BYTES",
+    "KBP_SERVICE_WRITE_STALL_MS",
     "KBP_EVAL_THREADS",
     "KBP_SHARD_MIN_WORLDS",
 ];

@@ -31,6 +31,7 @@ fn main() {
             budget,
             max_solutions: None,
             max_branches: None,
+            client: None,
         });
     };
     for entry in registry() {

@@ -17,6 +17,7 @@ fn job(id: u64, scenario: &str) -> JobRequest {
         budget: Budget::new(),
         max_solutions: None,
         max_branches: None,
+        client: None,
     }
 }
 

@@ -18,6 +18,7 @@ fn job(id: u64, kind: JobKind, scenario: &str) -> JobRequest {
         budget: Budget::new(),
         max_solutions: None,
         max_branches: None,
+        client: None,
     }
 }
 
