@@ -1,0 +1,193 @@
+//! E17 — Quotient-first evaluation of one wide layer.
+//!
+//! The widest slice of a generated sequence-transmission system (hundreds
+//! of thousands of worlds) is filled with a batch of epistemic guards two
+//! ways: explicitly, and through the engine's bisimulation-quotient stage
+//! (`KBP_QUOTIENT_MIN_WORLDS = 0`), which partitions the layer by
+//! agent-indistinguishability, evaluates every guard on the quotient
+//! model, and expands the satisfaction sets back through the class map.
+//!
+//! Equality of the two fills — every root's satisfaction set,
+//! bit-for-bit — is asserted in-bench before any timing is reported. Per
+//! the E14 convention no timing is asserted: the quotient trades one
+//! O(n · rounds) partition-refinement pass over the full layer for
+//! per-guard kernels that run on the (here, four orders of magnitude
+//! smaller) quotient. For a batch of a handful of shallow guards the
+//! refinement pass dominates, so the honest expectation on a single vCPU
+//! is bounded overhead (≈ 3× measured); the win condition is modal-op
+//! count — deeply nested or numerous epistemic guards amortizing one
+//! build across many kernel invocations. The measured numbers are
+//! recorded in `EXPERIMENTS.md` §E17 and dumped as `BENCH_quotient.json`
+//! at the repo root for machine diffing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbp_bench::{cell, expect, report_table};
+use kbp_kripke::{EvalCache, EvalEngine, S5Model};
+use kbp_logic::{Agent, AgentSet, Formula, FormulaArena, FormulaId};
+use kbp_scenarios::sequence_transmission::{Channel, SequenceTransmission, Tagging};
+use kbp_systems::{generate, FullProtocol, InterpretedSystem, Recall};
+use std::time::{Duration, Instant};
+
+fn widest_layer(system: &InterpretedSystem) -> &S5Model {
+    (0..system.layer_count())
+        .map(|t| system.layer(t).model())
+        .max_by_key(|m| m.world_count())
+        .expect("system has layers")
+}
+
+/// Median-of-5 wall time for `f`, called `iters` times per sample.
+fn time_ns(iters: usize, mut f: impl FnMut() -> usize) -> u64 {
+    let mut samples: Vec<u64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            (start.elapsed().as_nanos() / iters as u128) as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[2]
+}
+
+/// The guard batch: every epistemic modality over the receiver-done
+/// proposition, plus a nested guard — the shape solver layers actually
+/// present to the engine.
+fn guards(sc: &SequenceTransmission) -> Vec<Formula> {
+    let done = Formula::prop(sc.done_r());
+    let g = AgentSet::all(2);
+    vec![
+        Formula::knows(Agent::new(0), done.clone()),
+        Formula::knows(Agent::new(1), done.clone()),
+        Formula::Everyone(g, Box::new(done.clone())),
+        Formula::common(g, done.clone()),
+        Formula::Distributed(g, Box::new(done.clone())),
+        Formula::knows(
+            Agent::new(0),
+            Formula::not(Formula::knows(Agent::new(1), done)),
+        ),
+    ]
+}
+
+/// One full cache fill of `ids` on `model`; returns the cache for
+/// inspection.
+fn fill(engine: &EvalEngine, model: &S5Model, ids: &[FormulaId]) -> EvalCache {
+    let mut cache = EvalCache::new();
+    engine.populate(model, &mut cache, ids).expect("populates");
+    cache
+}
+
+fn json_artifact(
+    worlds: usize,
+    quotient_worlds: usize,
+    explicit_ns: u64,
+    quotient_ns: u64,
+) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let ratio = quotient_ns as f64 / explicit_ns.max(1) as f64;
+    format!(
+        "{{\n  \"experiment\": \"E17_quotient_layer\",\n  \"worlds\": {worlds},\n  \
+         \"quotient_worlds\": {quotient_worlds},\n  \"available_parallelism\": {cores},\n  \
+         \"equality_asserted\": true,\n  \"explicit_fill_ns\": {explicit_ns},\n  \
+         \"quotient_fill_ns\": {quotient_ns},\n  \"quotient_over_explicit\": {ratio:.3}\n}}\n"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let sc = SequenceTransmission::new(3, Tagging::Alternating, Channel::Lossy);
+    let ctx = sc.context();
+    let full = FullProtocol::for_context(&ctx);
+    let system = generate(&ctx, &full, Recall::Perfect, 8).expect("generates");
+    let model = widest_layer(&system);
+    let n = model.world_count();
+
+    let mut explicit_engine = EvalEngine::new(FormulaArena::new())
+        .with_threads(1)
+        .with_quotient_min_worlds(usize::MAX);
+    let explicit_ids: Vec<_> = guards(&sc)
+        .iter()
+        .map(|f| explicit_engine.intern(f))
+        .collect();
+    let explicit_engine = &explicit_engine;
+
+    let mut quotient_engine = EvalEngine::new(FormulaArena::new())
+        .with_threads(1)
+        .with_quotient_min_worlds(0);
+    let quotient_ids: Vec<_> = guards(&sc)
+        .iter()
+        .map(|f| quotient_engine.intern(f))
+        .collect();
+    let quotient_engine = &quotient_engine;
+
+    // Equality first: the quotient path must reproduce the explicit
+    // satisfaction set of every guard bit-for-bit before any timing is
+    // worth reporting — and it must have genuinely engaged (a saturated
+    // quotient would make the comparison vacuous).
+    let explicit_cache = fill(explicit_engine, model, &explicit_ids);
+    let quotient_cache = fill(quotient_engine, model, &quotient_ids);
+    let qn = quotient_cache.quotient_worlds();
+    assert!(
+        qn > 0 && qn < n,
+        "expected a strictly compressing quotient on the wide layer, got {qn} of {n}"
+    );
+    let mut table = Vec::new();
+    for (i, (&eid, &qid)) in explicit_ids.iter().zip(&quotient_ids).enumerate() {
+        let e = explicit_cache.get(eid).expect("explicit root cached");
+        let q = quotient_cache.get(qid).expect("quotient root cached");
+        assert_eq!(
+            e, q,
+            "guard {i} diverged between explicit and quotient fills"
+        );
+        table.push(vec![
+            cell(format!("guard {i}")),
+            cell(n),
+            cell(qn),
+            expect("quotient = explicit", e.count(), q.count()),
+        ]);
+    }
+
+    // Timings for the JSON artifact: one full batch fill each way, cold
+    // cache every iteration (the quotient fill pays its bisimulation
+    // build every time — that is the honest unit a solver layer pays).
+    let explicit_ns = time_ns(3, || {
+        fill(explicit_engine, model, &explicit_ids).cached_formulas()
+    });
+    let quotient_ns = time_ns(3, || {
+        fill(quotient_engine, model, &quotient_ids).cached_formulas()
+    });
+    let artifact_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_quotient.json");
+    std::fs::write(
+        artifact_path,
+        json_artifact(n, qn, explicit_ns, quotient_ns),
+    )
+    .expect("writes artifact");
+
+    let mut group = c.benchmark_group("e17_quotient_layer");
+    group.bench_function(BenchmarkId::new("batch_fill", "explicit"), |b| {
+        b.iter(|| black_box(fill(explicit_engine, model, &explicit_ids).cached_formulas()));
+    });
+    group.bench_function(BenchmarkId::new("batch_fill", "quotient"), |b| {
+        b.iter(|| black_box(fill(quotient_engine, model, &quotient_ids).cached_formulas()));
+    });
+    group.finish();
+
+    report_table(
+        "E17 quotient-first fill of one wide layer (expected: bit-identical sets; timings in BENCH_quotient.json)",
+        &["guard", "worlds", "quotient", "equal"],
+        &table,
+    );
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -89,9 +89,19 @@ pub struct LayerStats {
     pub protocol_entries: usize,
     /// World-range shards the evaluation kernels were planned to split
     /// into for this layer (1 = sequential). Pure function of the solver's
-    /// thread/sharding configuration and the layer width — never of cache
-    /// warmth — so it is reproducible across runs with equal settings.
+    /// thread/sharding configuration and the layer width (post-quotient
+    /// when the quotient engaged) — never of cache warmth — so it is
+    /// reproducible across runs with equal settings.
     pub shards: usize,
+    /// Worlds in the layer's bisimulation quotient when the engine's
+    /// quotient stage ran on this layer; `0` when it did not (gated off,
+    /// no epistemic guards, or the layer was served entirely from a
+    /// carried/restored cache). Diagnostic: like `shards`, it reflects
+    /// scheduling and cache warmth, never the solution.
+    pub quotient_worlds: usize,
+    /// Compression ratio of the quotient in per-mille (`quotient_worlds *
+    /// 1000 / points`, rounded down); `0` when the quotient did not run.
+    pub quotient_ratio: u32,
 }
 
 /// A resource budget for [`SyncSolver`](crate::SyncSolver): every field is
@@ -222,6 +232,8 @@ serde::impl_serde_struct!(LayerStats {
     guard_evaluations,
     protocol_entries,
     shards,
+    quotient_worlds,
+    quotient_ratio,
 });
 
 // Unit-only enum: serialized by stable variant index (wire format).

@@ -175,6 +175,12 @@ pub struct SolveStats {
     /// it is stable across cache states; it does vary with the configured
     /// thread count and is therefore excluded from wire-level stats.
     pub layers_sharded: usize,
+    /// Layers whose evaluation ran on a strictly smaller bisimulation
+    /// quotient ([`LayerStats::quotient_worlds`] > 0 and < `points`).
+    /// Unlike `layers_sharded` this reflects cache warmth as well as
+    /// configuration: carried/restored layers skip the fill entirely and
+    /// never engage the quotient stage.
+    pub layers_quotiented: usize,
 }
 
 /// The unique implementation of a past-determined KBP, as constructed by
@@ -406,6 +412,12 @@ impl EngineSession {
         self.engine.set_shard_min_worlds(worlds);
     }
 
+    /// Overrides the engine's layer-quotient gate for subsequent solves
+    /// (see [`SyncSolver::quotient_min_worlds`]).
+    pub fn set_quotient_min_worlds(&mut self, worlds: usize) {
+        self.engine.set_quotient_min_worlds(worlds);
+    }
+
     /// Number of layers with a stored snapshot.
     #[must_use]
     pub fn snapshot_layers(&self) -> usize {
@@ -519,6 +531,7 @@ pub struct SyncSolver<'a> {
     budget: Budget,
     eval_threads: Option<usize>,
     shard_min_worlds: Option<usize>,
+    quotient_min_worlds: Option<usize>,
     carry_forward: bool,
     carry_threshold: usize,
 }
@@ -547,6 +560,7 @@ impl<'a> SyncSolver<'a> {
             budget: Budget::default(),
             eval_threads: None,
             shard_min_worlds: None,
+            quotient_min_worlds: None,
             carry_forward: true,
             carry_threshold: DEFAULT_CARRY_THRESHOLD,
         }
@@ -601,6 +615,20 @@ impl<'a> SyncSolver<'a> {
     #[must_use]
     pub fn shard_min_worlds(mut self, worlds: usize) -> Self {
         self.shard_min_worlds = Some(worlds);
+        self
+    }
+
+    /// Sets the minimum layer width (worlds) before the engine quotients a
+    /// layer by agent-indistinguishability bisimulation and evaluates
+    /// epistemic guards on the quotient (default: the
+    /// `KBP_QUOTIENT_MIN_WORLDS` environment variable if set, else
+    /// [`kbp_kripke::DEFAULT_QUOTIENT_MIN_WORLDS`]). `0` quotients every
+    /// layer with an epistemic guard; `usize::MAX` disables the stage. The
+    /// solution is bit-identical for every value — only
+    /// [`LayerStats::quotient_worlds`] and wall-clock change.
+    #[must_use]
+    pub fn quotient_min_worlds(mut self, worlds: usize) -> Self {
+        self.quotient_min_worlds = Some(worlds);
         self
     }
 
@@ -734,6 +762,9 @@ impl<'a> SyncSolver<'a> {
         if let Some(worlds) = self.shard_min_worlds {
             engine.set_shard_min_worlds(worlds);
         }
+        if let Some(worlds) = self.quotient_min_worlds {
+            engine.set_quotient_min_worlds(worlds);
+        }
         let guard_ids: Vec<Vec<FormulaId>> = self
             .kbp
             .programs()
@@ -857,19 +888,37 @@ impl<'a> SyncSolver<'a> {
                 }
             }
             // Record the kernel shard plan for the layer. The plan is a
-            // pure function of the configuration and the layer width, so
-            // it is recorded even when the layer was restored or carried —
-            // stats stay identical across cache states.
-            let shards = engine.kernel_shards(frontier);
+            // pure function of the configuration and the width the kernels
+            // actually ran at: the quotient width when the engine's
+            // quotient stage engaged on this fill, the frontier width
+            // otherwise (including restored/carried layers, which skip the
+            // fill and leave no quotient behind).
+            let quotient_worlds = cache.quotient_worlds();
+            let effective = if quotient_worlds > 0 {
+                quotient_worlds.min(frontier)
+            } else {
+                frontier
+            };
+            let shards = engine.kernel_shards(effective);
             if shards > 1 {
                 stats.layers_sharded += 1;
             }
+            if quotient_worlds > 0 && quotient_worlds < frontier {
+                stats.layers_quotiented += 1;
+            }
+            let quotient_ratio = if quotient_worlds > 0 && frontier > 0 {
+                u32::try_from(quotient_worlds.saturating_mul(1000) / frontier).unwrap_or(u32::MAX)
+            } else {
+                0
+            };
             per_layer.push(LayerStats {
                 layer: t,
                 points: frontier,
                 guard_evaluations: stats.guard_evaluations - evals_before,
                 protocol_entries: stats.protocol_entries - entries_before,
                 shards,
+                quotient_worlds,
+                quotient_ratio,
             });
             if t < self.horizon {
                 match builder.step(&choices) {
@@ -992,6 +1041,7 @@ serde::impl_serde_struct!(SolveStats {
     layers_carried,
     layers_restored,
     layers_sharded,
+    layers_quotiented,
 });
 
 #[cfg(test)]

@@ -5,12 +5,22 @@
 //! (S5 partitions make the usual back-and-forth conditions symmetric).
 //! Quotienting by bisimilarity yields the smallest model satisfying
 //! exactly the same formulas at corresponding worlds — useful to keep
-//! iterated announcement/update pipelines from blowing up.
+//! iterated announcement/update pipelines from blowing up, and the
+//! engine's quotient-first evaluation stage (DESIGN.md §15) relies on it
+//! to evaluate epistemic guards on the reduced model.
+//!
+//! The refinement kernel here is *exact* hash-signature partition
+//! refinement: colours are folded through an open-addressing
+//! [`PairMap`](crate::partition) whose probes compare full 64-bit keys,
+//! so "hash" collisions can never merge distinct signatures — the chain
+//! encoding is injective and the result is the true maximal
+//! bisimulation, not an approximation.
 
+use crate::bitset::BitSet;
+use crate::eval::EvalError;
 use crate::model::{S5Model, WorldId};
-use crate::partition::Partition;
+use crate::partition::{PairMap, Partition, UnionFind};
 use kbp_logic::{Agent, PropId};
-use std::collections::BTreeSet;
 
 /// The result of quotienting a model by bisimilarity.
 #[derive(Debug, Clone)]
@@ -32,50 +42,251 @@ impl Quotient {
         self.model
     }
 
-    /// The quotient world corresponding to an original world.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `old` is out of range for the original model.
+    /// The quotient world corresponding to an original world, or `None`
+    /// if `old` is out of range for the original model.
     #[must_use]
-    pub fn class_of(&self, old: WorldId) -> WorldId {
-        self.class_of[old.index()]
+    pub fn class_of(&self, old: WorldId) -> Option<WorldId> {
+        self.class_of.get(old.index()).copied()
     }
+}
+
+/// One stage of signature refinement against a single equivalence
+/// relation: split every colour class by the *set* of colours visible in
+/// each element's cell. The per-cell colour set is folded into a dense id
+/// by chaining sorted, deduplicated colours through a [`PairMap`]; start
+/// links are tagged with bit 63 and carry the set length, so the chain
+/// encoding is injective (dense accumulator ids stay far below 2^31).
+fn refine_stage(colour: &mut Vec<u32>, count: &mut usize, rel: &Partition) {
+    let n = colour.len();
+    let nb = rel.block_count();
+    let mut set_of_block = vec![0u32; nb];
+    let mut chain = PairMap::for_inserts(n.max(nb));
+    let mut scratch: Vec<u32> = Vec::new();
+    for (b, members) in rel.blocks().enumerate() {
+        scratch.clear();
+        scratch.extend(members.iter().map(|&w| colour[w as usize]));
+        scratch.sort_unstable();
+        scratch.dedup();
+        debug_assert!(!scratch.is_empty(), "partition blocks are non-empty");
+        let Some(&first) = scratch.first() else {
+            continue;
+        };
+        let start = (1u64 << 63) | ((scratch.len() as u64) << 32) | u64::from(first);
+        let mut acc = chain.get_or_insert_with(start, |id| id);
+        for &c in &scratch[1..] {
+            acc = chain.get_or_insert_with((u64::from(acc) << 32) | u64::from(c), |id| id);
+        }
+        set_of_block[b] = acc;
+    }
+    // Split by (old colour, cell colour-set); including the old colour in
+    // the key makes every stage a refinement, so class counts are
+    // monotone non-decreasing and count equality across a full round of
+    // relations certifies stability with respect to every one of them.
+    let mut map = PairMap::for_inserts(n);
+    let ids = rel.block_ids();
+    let mut next = vec![0u32; n];
+    for (w, slot) in next.iter_mut().enumerate() {
+        let key = (u64::from(colour[w]) << 32) | u64::from(set_of_block[ids[w] as usize]);
+        *slot = map.get_or_insert_with(key, |id| id);
+    }
+    *colour = next;
+    *count = map.len();
+}
+
+/// Refines `colour` by one boolean splitter given as raw bitset words
+/// (bit `w` = membership of world `w`).
+fn split_by_bits(colour: &mut Vec<u32>, count: &mut usize, words: &[u64]) {
+    let n = colour.len();
+    let mut map = PairMap::for_inserts((*count * 2).min(n));
+    let mut next = vec![0u32; n];
+    for (w, slot) in next.iter_mut().enumerate() {
+        let bit = (words[w >> 6] >> (w & 63)) & 1;
+        let key = (u64::from(colour[w]) << 1) | bit;
+        *slot = map.get_or_insert_with(key, |id| id);
+    }
+    *colour = next;
+    *count = map.len();
+}
+
+/// Refines `colour` by an existing partition (used to fold a previous
+/// class partition into the initial split when a quotient is rebuilt).
+fn split_by_partition(colour: &mut Vec<u32>, count: &mut usize, split: &Partition) {
+    let n = colour.len();
+    let mut map = PairMap::for_inserts(n);
+    let ids = split.block_ids();
+    let mut next = vec![0u32; n];
+    for (w, slot) in next.iter_mut().enumerate() {
+        let key = (u64::from(colour[w]) << 32) | u64::from(ids[w]);
+        *slot = map.get_or_insert_with(key, |id| id);
+    }
+    *colour = next;
+    *count = map.len();
+}
+
+/// The exact partition-refinement kernel behind [`S5Model::bisimilarity`].
+///
+/// Initial split: `props` (the evaluation vocabulary), then `seeds`
+/// (arbitrary world sets that must stay class-constant, e.g. cached
+/// sat-sets reused as boolean subformulas), then `splits` (partitions
+/// folded in wholesale). Rounds then refine against every relation in
+/// `relations` (agent partitions first, then any extra equivalence
+/// relations such as distributed-knowledge refinements) until a full
+/// round leaves the class count unchanged.
+fn refine_bisim(
+    model: &S5Model,
+    props: &[PropId],
+    seeds: &[&BitSet],
+    splits: &[&Partition],
+    relations: &[&Partition],
+) -> Partition {
+    let n = model.world_count();
+    if n == 0 {
+        return Partition::discrete(0);
+    }
+    let mut colour: Vec<u32> = vec![0; n];
+    let mut count: usize = 1;
+    for &p in props {
+        split_by_bits(&mut colour, &mut count, model.prop_worlds(p).words());
+        if count == n {
+            return Partition::discrete(n);
+        }
+    }
+    for seed in seeds {
+        split_by_bits(&mut colour, &mut count, seed.words());
+        if count == n {
+            return Partition::discrete(n);
+        }
+    }
+    for split in splits {
+        split_by_partition(&mut colour, &mut count, split);
+        if count == n {
+            return Partition::discrete(n);
+        }
+    }
+    loop {
+        let before = count;
+        for rel in relations {
+            refine_stage(&mut colour, &mut count, rel);
+            if count == n {
+                return Partition::discrete(n);
+            }
+        }
+        if count == before {
+            break;
+        }
+    }
+    Partition::from_dense_labels(colour, count)
 }
 
 impl S5Model {
     /// Computes the partition of worlds into maximal bisimilarity classes.
     ///
-    /// Runs partition refinement: start from valuation equality and
-    /// repeatedly split classes whose members see different sets of classes
-    /// in some agent's cell, until stable.
+    /// Runs exact hash-signature partition refinement: start from
+    /// valuation equality over the full proposition vocabulary and
+    /// repeatedly split classes whose members see different sets of
+    /// classes in some agent's cell, until stable.
     #[must_use]
     pub fn bisimilarity(&self) -> Partition {
+        let props: Vec<PropId> = (0..self.prop_count())
+            .map(|p| PropId::new(p as u32))
+            .collect();
+        let relations: Vec<&Partition> = (0..self.agent_count())
+            .map(|a| self.partition(Agent::new(a)))
+            .collect();
+        refine_bisim(self, &props, &[], &[], &relations)
+    }
+
+    /// Vocabulary-aware bisimilarity: like [`S5Model::bisimilarity`], but
+    /// the initial split uses only `props` (the propositions that occur in
+    /// the formulas about to be evaluated), plus arbitrary `seeds` world
+    /// sets and `splits` partitions that must come out class-constant, and
+    /// refines against `relations` in addition to every agent partition.
+    ///
+    /// Worlds merged by the resulting partition agree on every formula
+    /// built from `props`/`seeds` with `K`/`E_G`/`C_G` modalities, and on
+    /// `D_G` for every group whose explicit refinement partition is
+    /// included in `relations`.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::PropOutOfRange`] if a prop exceeds the model's
+    /// vocabulary; [`EvalError::LengthMismatch`] if a seed or partition is
+    /// not sized to this model's universe.
+    pub fn bisimilarity_within(
+        &self,
+        props: &[PropId],
+        seeds: &[&BitSet],
+        splits: &[&Partition],
+        relations: &[&Partition],
+    ) -> Result<Partition, EvalError> {
         let n = self.world_count();
-        // Initial: same valuation signature.
-        let mut part = Partition::from_keys(n, |w| {
-            (0..self.prop_count())
-                .map(|p| self.prop_holds(WorldId::new(w), PropId::new(p as u32)))
-                .collect::<Vec<bool>>()
-        });
-        loop {
-            let next = Partition::from_keys(n, |w| {
-                let mut sig: Vec<usize> = vec![part.block_of(w)];
-                for a in 0..self.agent_count() {
-                    let cell = self.cell(Agent::new(a), WorldId::new(w));
-                    let classes: BTreeSet<usize> =
-                        cell.iter().map(|&v| part.block_of(v as usize)).collect();
-                    sig.push(classes.len());
-                    sig.extend(classes);
-                    sig.push(usize::MAX); // separator between agents
-                }
-                sig
-            });
-            if next.block_count() == part.block_count() {
-                return next;
+        for &p in props {
+            if p.index() >= self.prop_count() {
+                return Err(EvalError::PropOutOfRange(p));
             }
-            part = next;
         }
+        for seed in seeds {
+            if seed.len() != n {
+                return Err(EvalError::LengthMismatch {
+                    expected: n,
+                    got: seed.len(),
+                });
+            }
+        }
+        for part in splits.iter().chain(relations.iter()) {
+            if part.len() != n {
+                return Err(EvalError::LengthMismatch {
+                    expected: n,
+                    got: part.len(),
+                });
+            }
+        }
+        let agents: Vec<&Partition> = (0..self.agent_count())
+            .map(|a| self.partition(Agent::new(a)))
+            .collect();
+        let all: Vec<&Partition> = agents.iter().chain(relations.iter()).copied().collect();
+        Ok(refine_bisim(self, props, seeds, splits, &all))
+    }
+
+    /// Builds the quotient model induced by a partition of this model's
+    /// worlds into bisimilarity classes (block representatives carry the
+    /// valuation; two classes are agent-linked iff some members are
+    /// linked, closed transitively per explicit cell in near-linear time).
+    pub(crate) fn quotient_model(&self, classes: &Partition) -> S5Model {
+        let n_new = classes.block_count();
+        let valuation = (0..self.prop_count())
+            .map(|p| {
+                BitSet::from_indices(
+                    n_new,
+                    (0..n_new).filter(|&b| {
+                        let rep = classes.block(b)[0] as usize;
+                        self.prop_holds(WorldId::new(rep), PropId::new(p as u32))
+                    }),
+                )
+            })
+            .collect();
+        let partitions = (0..self.agent_count())
+            .map(|a| {
+                let mut uf = UnionFind::new(n_new);
+                for cell in self.partition(Agent::new(a)).blocks() {
+                    let first = classes.block_of(cell[0] as usize);
+                    for &v in &cell[1..] {
+                        uf.union(first, classes.block_of(v as usize));
+                    }
+                }
+                uf.into_partition()
+            })
+            .collect();
+        S5Model::from_parts(self.prop_count(), valuation, partitions, n_new)
+    }
+
+    /// Packages a class partition as a [`Quotient`] (model + projection).
+    pub(crate) fn quotient_from(&self, classes: &Partition) -> Quotient {
+        let model = self.quotient_model(classes);
+        let class_of = (0..self.world_count())
+            .map(|w| WorldId::new(classes.block_of(w)))
+            .collect();
+        Quotient { model, class_of }
     }
 
     /// Quotients the model by bisimilarity, returning the reduced model and
@@ -98,43 +309,12 @@ impl S5Model {
     /// let q = m.quotient();
     /// assert_eq!(q.model().world_count(), 1);
     /// assert_eq!(q.class_of(w0), q.class_of(w1));
+    /// assert!(q.class_of(w0).is_some());
     /// ```
     #[must_use]
     pub fn quotient(&self) -> Quotient {
         let part = self.bisimilarity();
-        let n_new = part.block_count();
-        let valuation = (0..self.prop_count())
-            .map(|p| {
-                crate::bitset::BitSet::from_indices(
-                    n_new,
-                    (0..n_new).filter(|&b| {
-                        let rep = part.block(b)[0] as usize;
-                        self.prop_holds(WorldId::new(rep), PropId::new(p as u32))
-                    }),
-                )
-            })
-            .collect();
-        // Two classes are agent-linked iff some members are linked; since
-        // bisimilar worlds have cells covering the same classes, linking by
-        // representative is sound. Build via union-find over classes.
-        let partitions = (0..self.agent_count())
-            .map(|a| {
-                let ag = Agent::new(a);
-                let mut uf = crate::partition::UnionFind::new(n_new);
-                for w in 0..self.world_count() {
-                    let cw = part.block_of(w);
-                    for &v in self.cell(ag, WorldId::new(w)) {
-                        uf.union(cw, part.block_of(v as usize));
-                    }
-                }
-                uf.into_partition()
-            })
-            .collect();
-        let model = S5Model::from_parts(self.prop_count(), valuation, partitions, n_new);
-        let class_of = (0..self.world_count())
-            .map(|w| WorldId::new(part.block_of(w)))
-            .collect();
-        Quotient { model, class_of }
+        self.quotient_from(&part)
     }
 }
 
@@ -142,7 +322,7 @@ impl S5Model {
 mod tests {
     use super::*;
     use crate::model::S5Builder;
-    use kbp_logic::random::{random_formula, FormulaConfig, SplitMix64};
+    use kbp_logic::random::{random_formula, FormulaConfig, RandomSource, SplitMix64};
     use kbp_logic::{Agent, AgentSet, Formula};
 
     fn p(i: u32) -> Formula {
@@ -177,6 +357,16 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_world_maps_to_none() {
+        let mut b = S5Builder::new(1, 1);
+        b.add_world([PropId::new(0)]);
+        let m = b.build();
+        let q = m.quotient();
+        assert!(q.class_of(WorldId::new(0)).is_some());
+        assert!(q.class_of(WorldId::new(7)).is_none());
+    }
+
+    #[test]
     fn epistemic_structure_distinguishes_worlds() {
         // w0: agent's cell is {w0}; w1: cell is {w1, w2} with w2 differing
         // in valuation. Same valuation at w0, w1 — but different knowledge.
@@ -191,8 +381,8 @@ mod tests {
         assert_ne!(q.class_of(w0), q.class_of(w1));
         // Knowledge is preserved: agent knows p at w0, not at w1.
         let kp = Formula::knows(a, p(0));
-        assert!(q.model().check(q.class_of(w0), &kp).unwrap());
-        assert!(!q.model().check(q.class_of(w1), &kp).unwrap());
+        assert!(q.model().check(q.class_of(w0).unwrap(), &kp).unwrap());
+        assert!(!q.model().check(q.class_of(w1).unwrap(), &kp).unwrap());
     }
 
     #[test]
@@ -228,7 +418,7 @@ mod tests {
             let f = random_formula(&mut rng, &cfg);
             for &w in &ws {
                 let orig = m.check(w, &f).unwrap();
-                let quot = q.model().check(q.class_of(w), &f).unwrap();
+                let quot = q.model().check(q.class_of(w).unwrap(), &f).unwrap();
                 assert_eq!(orig, quot, "formula {f} differs at {w}");
             }
         }
@@ -260,7 +450,183 @@ mod tests {
         let q = m.quotient();
         assert_eq!(
             m.check(w0, &f).unwrap(),
-            q.model().check(q.class_of(w0), &f).unwrap()
+            q.model().check(q.class_of(w0).unwrap(), &f).unwrap()
         );
+    }
+
+    #[test]
+    fn vocabulary_restricted_bisimilarity_merges_irrelevant_props() {
+        // Two worlds differ only in prop 1; with vocabulary {prop 0} they
+        // are bisimilar, with the full vocabulary they are not.
+        let mut b = S5Builder::new(1, 2);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([PropId::new(0), PropId::new(1)]);
+        b.link(Agent::new(0), w0, w1);
+        let m = b.build();
+        let narrow = m
+            .bisimilarity_within(&[PropId::new(0)], &[], &[], &[])
+            .unwrap();
+        assert_eq!(narrow.block_count(), 1);
+        assert_eq!(m.bisimilarity().block_count(), 2);
+    }
+
+    #[test]
+    fn seeds_and_splits_stay_class_constant() {
+        let mut b = S5Builder::new(1, 1);
+        let w0 = b.add_world([PropId::new(0)]);
+        let w1 = b.add_world([PropId::new(0)]);
+        let w2 = b.add_world([PropId::new(0)]);
+        b.link(Agent::new(0), w0, w1);
+        b.link(Agent::new(0), w1, w2);
+        let m = b.build();
+        // Without extras every world merges.
+        let free = m
+            .bisimilarity_within(&[PropId::new(0)], &[], &[], &[])
+            .unwrap();
+        assert_eq!(free.block_count(), 1);
+        // A seed separating w2 keeps it in its own class.
+        let seed = BitSet::from_indices(3, [w2.index()]);
+        let seeded = m
+            .bisimilarity_within(&[PropId::new(0)], &[&seed], &[], &[])
+            .unwrap();
+        assert!(!seeded.same_block(w0.index(), w2.index()));
+        for (b_id, members) in [&seeded].iter().flat_map(|p| p.blocks().enumerate()) {
+            let first = seed.contains(members[0] as usize);
+            for &w in members {
+                assert_eq!(
+                    seed.contains(w as usize),
+                    first,
+                    "seed not constant on block {b_id}"
+                );
+            }
+        }
+        // A split partition is refined, never coarsened.
+        let split = Partition::from_keys(3, |w| usize::from(w == 1));
+        let split_part = m.bisimilarity_within(&[], &[], &[&split], &[]).unwrap();
+        assert!(!split_part.same_block(w0.index(), w1.index()));
+        assert!(split_part.same_block(w0.index(), w2.index()));
+    }
+
+    #[test]
+    fn extra_relations_enforce_stability() {
+        // Four isolated worlds, prop 0 true only at w3; extra relation
+        // (e.g. a distributed-knowledge refinement) {{0,1},{2,3}}. The
+        // cells of w0 and w2 cover different class sets ({p-false} vs
+        // {p-false, p-true}), so stability must split w2 away from w0
+        // even though no agent distinguishes them.
+        let mut b = S5Builder::new(1, 1);
+        let w0 = b.add_world([]);
+        let _w1 = b.add_world([]);
+        let w2 = b.add_world([]);
+        let _w3 = b.add_world([PropId::new(0)]);
+        let m = b.build();
+        let free = m
+            .bisimilarity_within(&[PropId::new(0)], &[], &[], &[])
+            .unwrap();
+        assert!(free.same_block(w0.index(), w2.index()));
+        let extra = Partition::from_keys(4, |w| w / 2);
+        let part = m
+            .bisimilarity_within(&[PropId::new(0)], &[], &[], &[&extra])
+            .unwrap();
+        assert!(!part.same_block(w0.index(), w2.index()));
+        // Stability: members of one class have extra-cells covering the
+        // same set of classes.
+        for members in part.blocks() {
+            let cover = |w: u32| {
+                let mut v: Vec<usize> = extra
+                    .block(extra.block_of(w as usize))
+                    .iter()
+                    .map(|&x| part.block_of(x as usize))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let first = cover(members[0]);
+            for &w in members {
+                assert_eq!(cover(w), first);
+            }
+        }
+    }
+
+    #[test]
+    fn bisimilarity_within_validates_inputs() {
+        let mut b = S5Builder::new(1, 1);
+        b.add_world([PropId::new(0)]);
+        let m = b.build();
+        assert!(matches!(
+            m.bisimilarity_within(&[PropId::new(9)], &[], &[], &[]),
+            Err(EvalError::PropOutOfRange(_))
+        ));
+        let short = BitSet::new(7);
+        assert!(matches!(
+            m.bisimilarity_within(&[], &[&short], &[], &[]),
+            Err(EvalError::LengthMismatch { .. })
+        ));
+        let wrong = Partition::discrete(5);
+        assert!(matches!(
+            m.bisimilarity_within(&[], &[], &[], &[&wrong]),
+            Err(EvalError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fast_kernel_matches_reference_on_random_models() {
+        // Reference: the naive signature loop the kernel replaced.
+        fn reference(m: &S5Model) -> Partition {
+            use std::collections::BTreeSet;
+            let n = m.world_count();
+            let mut part = Partition::from_keys(n, |w| {
+                (0..m.prop_count())
+                    .map(|p| m.prop_holds(WorldId::new(w), PropId::new(p as u32)))
+                    .collect::<Vec<bool>>()
+            });
+            loop {
+                let next = Partition::from_keys(n, |w| {
+                    let mut sig: Vec<usize> = vec![part.block_of(w)];
+                    for a in 0..m.agent_count() {
+                        let cell = m.cell(Agent::new(a), WorldId::new(w));
+                        let classes: BTreeSet<usize> =
+                            cell.iter().map(|&v| part.block_of(v as usize)).collect();
+                        sig.push(classes.len());
+                        sig.extend(classes);
+                        sig.push(usize::MAX);
+                    }
+                    sig
+                });
+                if next.block_count() == part.block_count() {
+                    return next;
+                }
+                part = next;
+            }
+        }
+        let mut rng = SplitMix64::new(0xb151);
+        for round in 0..40 {
+            let worlds = 1 + (rng.next_u64() % 12) as usize;
+            let agents = 1 + (rng.next_u64() % 3) as usize;
+            let props = 1 + (rng.next_u64() % 3) as usize;
+            let mut b = S5Builder::new(agents, props);
+            let mut ws = Vec::new();
+            for _ in 0..worlds {
+                let mask = rng.next_u64();
+                let held = (0..props)
+                    .filter(|&p| mask & (1 << p) != 0)
+                    .map(|p| PropId::new(p as u32));
+                ws.push(b.add_world(held));
+            }
+            for _ in 0..worlds * 2 {
+                let a = Agent::new((rng.next_u64() % agents as u64) as usize);
+                let x = ws[(rng.next_u64() % worlds as u64) as usize];
+                let y = ws[(rng.next_u64() % worlds as u64) as usize];
+                b.link(a, x, y);
+            }
+            let m = b.build();
+            let fast = m.bisimilarity();
+            let slow = reference(&m);
+            assert_eq!(
+                fast, slow,
+                "kernel diverged from reference in round {round}"
+            );
+        }
     }
 }

@@ -126,6 +126,12 @@ pub struct EvalCache {
     sat: HashMap<FormulaId, BitSet>,
     joins: HashMap<AgentSet, Partition>,
     refinements: HashMap<AgentSet, Partition>,
+    /// The layer's quotient artifact (bisimulation classes, reduced model,
+    /// projected refinements), built lazily by the engine's quotient stage
+    /// and reused across `populate` calls on the same layer. Never
+    /// snapshot or persisted — it is a pure function of the model and the
+    /// vocabulary seen so far, and rebuilding is cheaper than shipping it.
+    quotient: Option<Box<crate::engine::LayerQuotient>>,
 }
 
 impl EvalCache {
@@ -142,6 +148,7 @@ impl EvalCache {
         self.sat.clear();
         self.joins.clear();
         self.refinements.clear();
+        self.quotient = None;
     }
 
     /// Number of distinct subformulas with a cached satisfaction set.
@@ -194,9 +201,12 @@ impl EvalCache {
     /// [`EvalCacheSnapshot::worlds`].
     #[must_use]
     pub fn snapshot(&self) -> EvalCacheSnapshot {
-        EvalCacheSnapshot {
-            inner: self.clone(),
-        }
+        let mut inner = self.clone();
+        // The quotient artifact is layer-local scratch: cheap to rebuild,
+        // expensive to ship, and meaningless across the persistence
+        // boundary (snapshots already skip it on the wire).
+        inner.quotient = None;
+        EvalCacheSnapshot { inner }
     }
 
     /// A fresh cache holding exactly the snapshot's contents; the inverse
@@ -274,6 +284,52 @@ impl EvalCache {
     /// Whether `id` already has a cached satisfaction set.
     pub(crate) fn has(&self, id: FormulaId) -> bool {
         self.sat.contains_key(&id)
+    }
+
+    /// World count of the layer's quotient model, when the engine's
+    /// quotient stage has engaged on this cache's layer; `0` otherwise.
+    /// Diagnostic only — like shard plans, it never affects results.
+    #[must_use]
+    pub fn quotient_worlds(&self) -> usize {
+        self.quotient.as_ref().map_or(0, |q| q.world_count())
+    }
+
+    /// Detaches the quotient artifact (the engine re-attaches it after
+    /// use; two-phase to keep the borrow checker out of the hot path).
+    pub(crate) fn take_quotient(&mut self) -> Option<Box<crate::engine::LayerQuotient>> {
+        self.quotient.take()
+    }
+
+    /// Re-attaches a quotient artifact.
+    pub(crate) fn set_quotient(&mut self, q: Option<Box<crate::engine::LayerQuotient>>) {
+        self.quotient = q;
+    }
+
+    /// The memoized join partition for `group`, if present.
+    pub(crate) fn join(&self, group: &AgentSet) -> Option<&Partition> {
+        self.joins.get(group)
+    }
+
+    /// Pre-seeds the join partition for `group`; an existing entry wins,
+    /// matching the evaluator's own memoization.
+    pub(crate) fn insert_join(&mut self, group: AgentSet, part: Partition) {
+        self.joins.entry(group).or_insert(part);
+    }
+
+    /// The memoized refinement partition for `group`, if present.
+    pub(crate) fn refinement(&self, group: &AgentSet) -> Option<&Partition> {
+        self.refinements.get(group)
+    }
+
+    /// Pre-seeds the refinement partition for `group`; an existing entry
+    /// wins, matching the evaluator's own memoization.
+    pub(crate) fn insert_refinement(&mut self, group: AgentSet, part: Partition) {
+        self.refinements.entry(group).or_insert(part);
+    }
+
+    /// Iterates over all cached satisfaction sets.
+    pub(crate) fn sat_entries(&self) -> impl Iterator<Item = (FormulaId, &BitSet)> {
+        self.sat.iter().map(|(&id, set)| (id, set))
     }
 
     /// The world count this cache is bound to, if any.

@@ -170,6 +170,17 @@ impl Partition {
         Partition { block_of, blocks }
     }
 
+    /// Builds a partition from a dense label vector whose ids are already
+    /// assigned in order of first occurrence (label `k` first appears only
+    /// after labels `0..k`), as the refinement kernels produce them.
+    pub(crate) fn from_dense_labels(block_of: Vec<u32>, count: usize) -> Self {
+        let mut blocks: Vec<Vec<u32>> = vec![Vec::new(); count];
+        for (x, &b) in block_of.iter().enumerate() {
+            blocks[b as usize].push(x as u32);
+        }
+        Partition { block_of, blocks }
+    }
+
     /// Number of elements.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -538,14 +549,15 @@ impl Partition {
 }
 
 /// Minimal open-addressing map from packed block-pair keys to dense ids,
-/// for the sharded refine kernel. Linear probing at ≤ 50% load with a
-/// Fibonacci multiplicative hash: the kernel performs one lookup per
-/// element, and the standard `HashMap`'s SipHash costs more than the
-/// rest of the kernel combined. Keys are `(block_a << 32) | block_b`
-/// with `u64::MAX` as the empty sentinel — unreachable for real keys,
-/// since block ids are `u32` indices into universes far below `u32::MAX`
+/// for the sharded refine kernel and the bisimulation hash-signature
+/// kernel. Linear probing at ≤ 50% load with a Fibonacci multiplicative
+/// hash: the kernels perform one lookup per element, and the standard
+/// `HashMap`'s SipHash costs more than the rest of the kernel combined.
+/// Keys are packed pairs such as `(block_a << 32) | block_b` with
+/// `u64::MAX` as the empty sentinel — unreachable for real keys, since
+/// block ids are `u32` indices into universes far below `u32::MAX`
 /// elements.
-struct PairMap {
+pub(crate) struct PairMap {
     keys: Vec<u64>,
     vals: Vec<u32>,
     mask: usize,
@@ -555,7 +567,7 @@ struct PairMap {
 impl PairMap {
     /// A map with room for `inserts` distinct keys without exceeding 50%
     /// load (no resizing is ever needed).
-    fn for_inserts(inserts: usize) -> Self {
+    pub(crate) fn for_inserts(inserts: usize) -> Self {
         let cap = (inserts.max(1) * 2).next_power_of_two();
         PairMap {
             keys: vec![u64::MAX; cap],
@@ -565,14 +577,14 @@ impl PairMap {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.len
     }
 
     /// The id for `key`, inserting `new_id(next_dense_id)` on first
     /// sight.
     #[inline]
-    fn get_or_insert_with(&mut self, key: u64, new_id: impl FnOnce(u32) -> u32) -> u32 {
+    pub(crate) fn get_or_insert_with(&mut self, key: u64, new_id: impl FnOnce(u32) -> u32) -> u32 {
         let mut i = (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & self.mask;
         loop {
             let k = self.keys[i];

@@ -137,4 +137,7 @@ Environment (malformed values refuse startup with a typed error):
                                0 disables)
   KBP_EVAL_THREADS             per-solve guard-evaluation sharding
   KBP_SHARD_MIN_WORLDS         minimum layer width for intra-layer sharding
+  KBP_QUOTIENT_MIN_WORLDS      minimum layer width before epistemic guards
+                               are evaluated on the layer's bisimulation
+                               quotient (default 4096; 0 always, MAX never)
 ";

@@ -31,7 +31,9 @@ use kbp_core::{
     SolveStats, SyncSolver,
 };
 use kbp_faults::FaultyContext;
-use kbp_kripke::{env_shard_min_worlds, env_threads, ThreadConfigError, THREADS_ENV};
+use kbp_kripke::{
+    env_quotient_min_worlds, env_shard_min_worlds, env_threads, ThreadConfigError, THREADS_ENV,
+};
 use kbp_systems::{Context, FnContext, MapProtocol};
 use std::fmt;
 use std::path::PathBuf;
@@ -221,8 +223,9 @@ impl ServiceConfig {
 
     /// Reads every `KBP_SERVICE_*` variable on top of the defaults, and
     /// *validates* the evaluation-engine variables (`KBP_EVAL_THREADS`,
-    /// `KBP_SHARD_MIN_WORLDS`) that the engine itself tolerates: all
-    /// configuration errors fail startup here, through one typed path.
+    /// `KBP_SHARD_MIN_WORLDS`, `KBP_QUOTIENT_MIN_WORLDS`) that the engine
+    /// itself tolerates: all configuration errors fail startup here,
+    /// through one typed path.
     ///
     /// # Errors
     ///
@@ -289,6 +292,7 @@ impl ServiceConfig {
         // so the malformed value is caught before the first request.
         env_threads(THREADS_ENV)?;
         env_shard_min_worlds()?;
+        env_quotient_min_worlds()?;
         Ok(config)
     }
 
@@ -1541,6 +1545,10 @@ mod tests {
         ));
         assert!(matches!(
             run(&[(kbp_kripke::SHARD_MIN_WORLDS_ENV, "wide")]),
+            Err(ConfigError::Threads(_))
+        ));
+        assert!(matches!(
+            run(&[(kbp_kripke::QUOTIENT_MIN_WORLDS_ENV, "small")]),
             Err(ConfigError::Threads(_))
         ));
         let ok = run(&[

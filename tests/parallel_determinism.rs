@@ -6,17 +6,23 @@
 //! split a single wide layer's kernels into world-range shards
 //! (`SyncSolver::shard_min_worlds` / `KBP_SHARD_MIN_WORLDS`), and may map
 //! satisfaction sets through a verified layer isomorphism instead of
-//! re-evaluating (`SyncSolver::carry_forward`). None of these knobs is
-//! allowed to change *anything* observable: on every scenario in
-//! `kbp-scenarios`, the solution — protocol, stabilization point, stats,
-//! per-layer breakdown — must be bit-identical at 1 thread, 2 threads,
-//! and whatever `std::thread::available_parallelism` reports, with
-//! sharding forced on or off and carry-forward on or off (stats count
-//! clause lookups, not physical evaluations, precisely so budget
-//! semantics stay deterministic too). The only sanctioned exceptions are
-//! the scheduling diagnostics themselves — `LayerStats::shards` and
-//! `SolveStats::layers_sharded` — which are pinned to the configured
-//! *plan* here and then normalized out of the bit-for-bit comparison.
+//! re-evaluating (`SyncSolver::carry_forward`), and may quotient a layer
+//! by bisimulation before evaluating epistemic guards
+//! (`SyncSolver::quotient_min_worlds` / `KBP_QUOTIENT_MIN_WORLDS`). None
+//! of these knobs is allowed to change *anything* observable: on every
+//! scenario in `kbp-scenarios`, the solution — protocol, stabilization
+//! point, stats, per-layer breakdown — must be bit-identical at 1 thread,
+//! 2 threads, and whatever `std::thread::available_parallelism` reports,
+//! with sharding forced on or off, carry-forward on or off, and the
+//! quotient forced on or off (stats count clause lookups, not physical
+//! evaluations, precisely so budget semantics stay deterministic too).
+//! The only sanctioned exceptions are the scheduling diagnostics
+//! themselves — `LayerStats::{shards, quotient_worlds, quotient_ratio}`
+//! and `SolveStats::{layers_sharded, layers_quotiented}` — which are
+//! pinned against the configured *plan* (shards against the kernel
+//! planner at the recorded post-quotient width, the quotient counters
+//! against the per-layer breakdown and the gate) and then normalized out
+//! of the bit-for-bit comparison.
 
 use kbp_core::{Kbp, LayerStats, SyncSolver};
 use kbp_kripke::EvalEngine;
@@ -80,12 +86,18 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
-/// Strips the kernel-shard diagnostics from a per-layer breakdown, after
-/// the caller has pinned them against the configured plan.
-fn without_shard_plan(per_layer: &[LayerStats]) -> Vec<LayerStats> {
+/// Strips the scheduling diagnostics (shard plan and quotient stage) from
+/// a per-layer breakdown, after the caller has pinned them against the
+/// configured plan.
+fn without_schedule_diagnostics(per_layer: &[LayerStats]) -> Vec<LayerStats> {
     per_layer
         .iter()
-        .map(|l| LayerStats { shards: 0, ..*l })
+        .map(|l| LayerStats {
+            shards: 0,
+            quotient_worlds: 0,
+            quotient_ratio: 0,
+            ..*l
+        })
         .collect()
 }
 
@@ -111,73 +123,107 @@ fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
 
         // min_worlds 0 forces intra-layer sharding wherever the layer is
         // wide enough to have more than one word; usize::MAX disables it.
+        // The same convention holds for the quotient gate.
         for threads in thread_counts() {
             for carry in [true, false] {
                 for min_worlds in [0usize, usize::MAX] {
-                    let solution = SyncSolver::new(&ctx, &kbp)
-                        .horizon(horizon)
-                        .recall(recall)
-                        .eval_threads(threads)
-                        .shard_min_worlds(min_worlds)
-                        .carry_threshold(0)
-                        .carry_forward(carry)
-                        .solve()
-                        .unwrap_or_else(|e| {
-                            panic!(
-                                "{name}: solve failed at {threads} threads, carry={carry}, \
-                                 min_worlds={min_worlds}: {e}"
-                            )
-                        });
-                    let at = format!("{threads} threads, carry={carry}, min_worlds={min_worlds}");
-                    assert_eq!(
-                        reference.protocol(),
-                        solution.protocol(),
-                        "{name}: protocol diverged at {at}"
-                    );
-                    assert_eq!(
-                        reference.stabilized(),
-                        solution.stabilized(),
-                        "{name}: stabilization diverged at {at}"
-                    );
-                    // The recorded shard counts must equal the pure plan
-                    // for this configuration — never e.g. collapse to 1
-                    // on carried or restored layers.
-                    let planner = EvalEngine::new(FormulaArena::new())
-                        .with_threads(threads)
-                        .with_shard_min_worlds(min_worlds);
-                    for layer in solution.per_layer() {
-                        assert_eq!(
-                            layer.shards,
-                            planner.kernel_shards(layer.points),
-                            "{name}: layer {} shard plan diverged at {at}",
-                            layer.layer
+                    for min_quotient in [0usize, usize::MAX] {
+                        let solution = SyncSolver::new(&ctx, &kbp)
+                            .horizon(horizon)
+                            .recall(recall)
+                            .eval_threads(threads)
+                            .shard_min_worlds(min_worlds)
+                            .quotient_min_worlds(min_quotient)
+                            .carry_threshold(0)
+                            .carry_forward(carry)
+                            .solve()
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "{name}: solve failed at {threads} threads, carry={carry}, \
+                                     min_worlds={min_worlds}, min_quotient={min_quotient}: {e}"
+                                )
+                            });
+                        let at = format!(
+                            "{threads} threads, carry={carry}, min_worlds={min_worlds}, \
+                             min_quotient={min_quotient}"
                         );
+                        assert_eq!(
+                            reference.protocol(),
+                            solution.protocol(),
+                            "{name}: protocol diverged at {at}"
+                        );
+                        assert_eq!(
+                            reference.stabilized(),
+                            solution.stabilized(),
+                            "{name}: stabilization diverged at {at}"
+                        );
+                        // The recorded shard counts must equal the pure
+                        // plan for this configuration at the width the
+                        // kernels actually ran at (the recorded quotient
+                        // width when the stage engaged) — never e.g.
+                        // collapse to 1 on carried or restored layers.
+                        let planner = EvalEngine::new(FormulaArena::new())
+                            .with_threads(threads)
+                            .with_shard_min_worlds(min_worlds);
+                        for layer in solution.per_layer() {
+                            let width = if layer.quotient_worlds > 0 {
+                                layer.quotient_worlds.min(layer.points)
+                            } else {
+                                layer.points
+                            };
+                            assert_eq!(
+                                layer.shards,
+                                planner.kernel_shards(width),
+                                "{name}: layer {} shard plan diverged at {at}",
+                                layer.layer
+                            );
+                            if min_quotient == usize::MAX {
+                                assert_eq!(
+                                    (layer.quotient_worlds, layer.quotient_ratio),
+                                    (0, 0),
+                                    "{name}: layer {} quotiented while disabled at {at}",
+                                    layer.layer
+                                );
+                            }
+                        }
+                        let planned_sharded =
+                            solution.per_layer().iter().filter(|l| l.shards > 1).count();
+                        let recorded_quotiented = solution
+                            .per_layer()
+                            .iter()
+                            .filter(|l| l.quotient_worlds > 0 && l.quotient_worlds < l.points)
+                            .count();
+                        // With the plan pinned, everything else must be
+                        // bit-identical to the sequential reference.
+                        assert_eq!(
+                            without_schedule_diagnostics(reference.per_layer()),
+                            without_schedule_diagnostics(solution.per_layer()),
+                            "{name}: per-layer stats diverged at {at}"
+                        );
+                        // Stats are clause-lookup counts, independent of
+                        // sharding and quotienting; only the carried-layer
+                        // counter may (and should) differ when
+                        // carry-forward is disabled, and the sharded- and
+                        // quotiented-layer counters must match their
+                        // recorded plans.
+                        let mut expected = reference.stats();
+                        let got = solution.stats();
+                        assert_eq!(
+                            got.layers_sharded, planned_sharded,
+                            "{name}: layers_sharded diverged from the plan at {at}"
+                        );
+                        assert_eq!(
+                            got.layers_quotiented, recorded_quotiented,
+                            "{name}: layers_quotiented diverged from the breakdown at {at}"
+                        );
+                        expected.layers_sharded = planned_sharded;
+                        expected.layers_quotiented = got.layers_quotiented;
+                        if !carry {
+                            assert_eq!(got.layers_carried, 0, "{name}: carry disabled but counted");
+                            expected.layers_carried = 0;
+                        }
+                        assert_eq!(expected, got, "{name}: stats diverged at {at}");
                     }
-                    let planned_sharded =
-                        solution.per_layer().iter().filter(|l| l.shards > 1).count();
-                    // With the plan pinned, everything else must be
-                    // bit-identical to the sequential reference.
-                    assert_eq!(
-                        without_shard_plan(reference.per_layer()),
-                        without_shard_plan(solution.per_layer()),
-                        "{name}: per-layer stats diverged at {at}"
-                    );
-                    // Stats are clause-lookup counts, independent of
-                    // sharding; only the carried-layer counter may (and
-                    // should) differ when carry-forward is disabled, and
-                    // the sharded-layer counter must match the plan.
-                    let mut expected = reference.stats();
-                    let got = solution.stats();
-                    assert_eq!(
-                        got.layers_sharded, planned_sharded,
-                        "{name}: layers_sharded diverged from the plan at {at}"
-                    );
-                    expected.layers_sharded = planned_sharded;
-                    if !carry {
-                        assert_eq!(got.layers_carried, 0, "{name}: carry disabled but counted");
-                        expected.layers_carried = 0;
-                    }
-                    assert_eq!(expected, got, "{name}: stats diverged at {at}");
                 }
             }
         }
@@ -193,10 +239,14 @@ fn forced_sharding_actually_occurs_somewhere() {
     let st = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
     let ctx = st.context();
     let kbp = st.kbp();
+    // The quotient is pinned off so the shard plan is judged at the full
+    // layer width — a compressing quotient could otherwise shrink wide
+    // layers below the sharding crossover.
     let solution = SyncSolver::new(&ctx, &kbp)
         .horizon(6)
         .eval_threads(2)
         .shard_min_worlds(0)
+        .quotient_min_worlds(usize::MAX)
         .solve()
         .expect("sequence transmission solves");
     assert!(
@@ -207,6 +257,49 @@ fn forced_sharding_actually_occurs_somewhere() {
     assert!(
         solution.per_layer().iter().any(|l| l.points > 64),
         "matrix lost its wide layer — sharding assertions are vacuous"
+    );
+}
+
+#[test]
+fn forced_quotienting_actually_occurs_somewhere() {
+    // The quotient leg of the matrix above must be non-vacuous: with the
+    // gate at 0, the sequence-transmission unrolling (few propositions,
+    // many points per valuation) must evaluate at least one layer on a
+    // strictly smaller bisimulation quotient — and still answer exactly
+    // what the quotient-free solve answers.
+    let st = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+    let ctx = st.context();
+    let kbp = st.kbp();
+    let quotiented = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .quotient_min_worlds(0)
+        .solve()
+        .expect("sequence transmission solves");
+    assert!(
+        quotiented.stats().layers_quotiented > 0,
+        "expected at least one quotiented layer, got {:?}",
+        quotiented.per_layer()
+    );
+    let shrunk = quotiented
+        .per_layer()
+        .iter()
+        .find(|l| l.quotient_worlds > 0 && l.quotient_worlds < l.points)
+        .expect("a strictly compressing layer");
+    assert!(
+        (1..1000).contains(&shrunk.quotient_ratio),
+        "per-mille ratio of a strictly compressing layer must be in (0, 1000), got {}",
+        shrunk.quotient_ratio
+    );
+    let explicit = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .quotient_min_worlds(usize::MAX)
+        .solve()
+        .expect("sequence transmission solves");
+    assert_eq!(quotiented.protocol(), explicit.protocol());
+    assert_eq!(quotiented.stabilized(), explicit.stabilized());
+    assert_eq!(
+        without_schedule_diagnostics(quotiented.per_layer()),
+        without_schedule_diagnostics(explicit.per_layer())
     );
 }
 
@@ -260,5 +353,12 @@ fn default_carry_threshold_gates_tiny_layers_without_changing_answers() {
         .expect("bit transmission solves");
     assert_eq!(gated.protocol(), eager.protocol());
     assert_eq!(gated.stabilized(), eager.stabilized());
-    assert_eq!(gated.per_layer(), eager.per_layer());
+    // Normalized: under a forced process-wide quotient gate the eager
+    // run's carried layers skip the fill (quotient stats 0) while the
+    // gated run re-evaluates them — warmth the diagnostics are allowed
+    // to show.
+    assert_eq!(
+        without_schedule_diagnostics(gated.per_layer()),
+        without_schedule_diagnostics(eager.per_layer())
+    );
 }

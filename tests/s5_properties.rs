@@ -191,7 +191,7 @@ proptest! {
         for w in m.worlds() {
             prop_assert_eq!(
                 m.check(w, &phi).unwrap(),
-                q.model().check(q.class_of(w), &phi).unwrap(),
+                q.model().check(q.class_of(w).unwrap(), &phi).unwrap(),
                 "quotient changed {} at {}", phi, w
             );
         }

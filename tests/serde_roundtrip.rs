@@ -611,6 +611,8 @@ fn solve_diagnostics_roundtrip() {
         guard_evaluations: 51,
         protocol_entries: 9,
         shards: 2,
+        quotient_worlds: 6,
+        quotient_ratio: 352,
     };
     let back: kbp_core::LayerStats = json_roundtrip(&layer);
     assert_eq!(layer, back);
