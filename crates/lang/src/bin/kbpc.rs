@@ -1,0 +1,53 @@
+//! `kbpc` — check `.kbp` scenario files and print span-formatted
+//! diagnostics.
+//!
+//! Usage: `kbpc <file.kbp>…`
+//!
+//! Each diagnostic is printed as `path:line:col: severity: message`
+//! followed by the offending source line with a caret underline. The
+//! exit status is 0 when every file is clean, 1 when any diagnostic
+//! (error *or* warning) was reported, and 2 on usage or I/O problems —
+//! so CI can gate on a wildcard over the examples directory.
+
+use kbp_lang::{analyze, parse, LineMap};
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: kbpc <file.kbp>...");
+        std::process::exit(2);
+    }
+    let mut findings = 0usize;
+    let mut failures = 0usize;
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let (scenario, mut diags) = parse(&src);
+        if let Some(sc) = &scenario {
+            analyze(sc, &mut diags);
+        }
+        diags.sort_by_key(|d| (d.span.start, d.span.end));
+        let map = LineMap::new(&src);
+        for d in &diags {
+            println!("{path}:{}", d.render(&src, &map));
+        }
+        if diags.is_empty() {
+            let name = scenario.map_or_else(String::new, |sc| sc.name.text);
+            println!("{path}: ok (scenario `{name}`)");
+        } else {
+            findings += diags.len();
+        }
+    }
+    if failures > 0 {
+        std::process::exit(2);
+    }
+    if findings > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Diagnostics: spanned findings produced by the parser and analyzer.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A well-formedness concern that does not prevent lowering (e.g.
+    /// the paper's synchrony condition: a guard referring to future
+    /// time in a synchronous context puts the program outside the
+    /// unique-implementation theorem).
+    Warning,
+    /// A defect that prevents lowering the program.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where in the source the finding is anchored.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    #[must_use]
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    #[must_use]
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic as `LINE:COL: severity: message` plus the
+    /// offending source line with a caret underline — the format `kbpc`
+    /// prints (prefixed by the file path).
+    #[must_use]
+    pub fn render(&self, src: &str, map: &LineMap) -> String {
+        let at = map.line_col(self.span.start);
+        let mut out = format!(
+            "{}:{}: {}: {}",
+            at.line, at.col, self.severity, self.message
+        );
+        if let Some((start, end)) = map.line_range(at.line) {
+            let line = &src[start..end];
+            let width = self
+                .span
+                .end
+                .min(end)
+                .saturating_sub(self.span.start)
+                .max(1);
+            out.push_str(&format!(
+                "\n  | {line}\n  | {}{}",
+                " ".repeat(at.col - 1),
+                "^".repeat(width)
+            ));
+        }
+        out
+    }
+}
+
+/// Whether a batch of diagnostics contains at least one error.
+#[must_use]
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_caret() {
+        let src = "scenario x {\n  bogus line\n}\n";
+        let map = LineMap::new(src);
+        let d = Diagnostic::error(Span::new(15, 20), "unknown declaration");
+        let r = d.render(src, &map);
+        assert!(r.starts_with("2:3: error: unknown declaration"), "{r}");
+        assert!(r.contains("bogus line"), "{r}");
+        assert!(r.contains("^^^^^"), "{r}");
+    }
+
+    #[test]
+    fn severity_ordering_puts_errors_last() {
+        assert!(Severity::Warning < Severity::Error);
+        let diags = vec![Diagnostic::warning(Span::default(), "w")];
+        assert!(!has_errors(&diags));
+    }
+}

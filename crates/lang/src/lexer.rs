@@ -1,0 +1,368 @@
+//! A total, spanned lexer for the `.kbp` surface language.
+//!
+//! The lexer never fails: bytes it cannot interpret become
+//! [`TokenKind::Error`] tokens (each with a diagnostic), so the parser
+//! always sees a well-formed token stream ending in `Eof` and can keep
+//! reporting further findings.
+
+use crate::diag::Diagnostic;
+use crate::span::Span;
+
+/// The kind of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (also carries formula operators `K E C D X F G U`,
+    /// which are interpreted positionally by the guard parser).
+    Ident,
+    /// An unsigned integer literal.
+    Number,
+    /// `scenario`.
+    KwScenario,
+    /// `horizon`.
+    KwHorizon,
+    /// `recall`.
+    KwRecall,
+    /// `perfect`.
+    KwPerfect,
+    /// `observational`.
+    KwObservational,
+    /// `agents`.
+    KwAgents,
+    /// `vars`.
+    KwVars,
+    /// `init`.
+    KwInit,
+    /// `env` — both the declaration head and the expression primary.
+    KwEnv,
+    /// `actions`.
+    KwActions,
+    /// `act` — the expression primary `act(agent)`.
+    KwAct,
+    /// `obs`.
+    KwObs,
+    /// `prop`.
+    KwProp,
+    /// `transition`.
+    KwTransition,
+    /// `program`.
+    KwProgram,
+    /// `case`.
+    KwCase,
+    /// `do`.
+    KwDo,
+    /// `default`.
+    KwDefault,
+    /// `local`.
+    KwLocal,
+    /// `if`.
+    KwIf,
+    /// `then`.
+    KwThen,
+    /// `else`.
+    KwElse,
+    /// `true`.
+    KwTrue,
+    /// `false`.
+    KwFalse,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `:`.
+    Colon,
+    /// `=`.
+    Assign,
+    /// `!`.
+    Bang,
+    /// `&`.
+    Amp,
+    /// `&&`.
+    AmpAmp,
+    /// `|`.
+    Pipe,
+    /// `||`.
+    PipePipe,
+    /// `^`.
+    Caret,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `->`.
+    Arrow,
+    /// `<->`.
+    DArrow,
+    /// A byte sequence the lexer could not interpret.
+    Error,
+    /// End of input.
+    Eof,
+}
+
+/// One token: a kind plus the byte span it covers. Identifier and
+/// number text is recovered by slicing the source with the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    Some(match word {
+        "scenario" => TokenKind::KwScenario,
+        "horizon" => TokenKind::KwHorizon,
+        "recall" => TokenKind::KwRecall,
+        "perfect" => TokenKind::KwPerfect,
+        "observational" => TokenKind::KwObservational,
+        "agents" => TokenKind::KwAgents,
+        "vars" => TokenKind::KwVars,
+        "init" => TokenKind::KwInit,
+        "env" => TokenKind::KwEnv,
+        "actions" => TokenKind::KwActions,
+        "act" => TokenKind::KwAct,
+        "obs" => TokenKind::KwObs,
+        "prop" => TokenKind::KwProp,
+        "transition" => TokenKind::KwTransition,
+        "program" => TokenKind::KwProgram,
+        "case" => TokenKind::KwCase,
+        "do" => TokenKind::KwDo,
+        "default" => TokenKind::KwDefault,
+        "local" => TokenKind::KwLocal,
+        "if" => TokenKind::KwIf,
+        "then" => TokenKind::KwThen,
+        "else" => TokenKind::KwElse,
+        "true" => TokenKind::KwTrue,
+        "false" => TokenKind::KwFalse,
+        _ => return None,
+    })
+}
+
+/// Tokenizes the whole source. Always produces a final `Eof` token;
+/// uninterpretable bytes become `Error` tokens plus diagnostics.
+#[must_use]
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Diagnostic>) {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut diags = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            b'{' => one(&mut i, TokenKind::LBrace),
+            b'}' => one(&mut i, TokenKind::RBrace),
+            b'(' => one(&mut i, TokenKind::LParen),
+            b')' => one(&mut i, TokenKind::RParen),
+            b'[' => one(&mut i, TokenKind::LBracket),
+            b']' => one(&mut i, TokenKind::RBracket),
+            b',' => one(&mut i, TokenKind::Comma),
+            b':' => one(&mut i, TokenKind::Colon),
+            b'^' => one(&mut i, TokenKind::Caret),
+            b'+' => one(&mut i, TokenKind::Plus),
+            b'*' => one(&mut i, TokenKind::Star),
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::EqEq
+                } else {
+                    one(&mut i, TokenKind::Assign)
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::NotEq
+                } else {
+                    one(&mut i, TokenKind::Bang)
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    i += 2;
+                    TokenKind::AmpAmp
+                } else {
+                    one(&mut i, TokenKind::Amp)
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    i += 2;
+                    TokenKind::PipePipe
+                } else {
+                    one(&mut i, TokenKind::Pipe)
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    TokenKind::Arrow
+                } else {
+                    one(&mut i, TokenKind::Minus)
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    i += 3;
+                    TokenKind::DArrow
+                } else if bytes.get(i + 1) == Some(&b'<') {
+                    i += 2;
+                    TokenKind::Shl
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else {
+                    one(&mut i, TokenKind::Lt)
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    TokenKind::Shr
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    one(&mut i, TokenKind::Gt)
+                }
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                TokenKind::Number
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                keyword(&src[start..i]).unwrap_or(TokenKind::Ident)
+            }
+            _ => {
+                // Swallow one UTF-8 scalar so multi-byte garbage yields
+                // one diagnostic, not one per byte.
+                i += 1;
+                while i < bytes.len() && bytes[i] & 0xC0 == 0x80 {
+                    i += 1;
+                }
+                diags.push(Diagnostic::error(
+                    Span::new(start, i),
+                    format!("unexpected character `{}`", &src[start..i].escape_debug()),
+                ));
+                TokenKind::Error
+            }
+        };
+        toks.push(Token {
+            kind,
+            span: Span::new(start, i),
+        });
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    (toks, diags)
+}
+
+fn one(i: &mut usize, kind: TokenKind) -> TokenKind {
+    *i += 1;
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).0.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("<-> << <= < -> - == = != ! && & || |"),
+            vec![
+                DArrow, Shl, Le, Lt, Arrow, Minus, EqEq, Assign, NotEq, Bang, AmpAmp, Amp,
+                PipePipe, Pipe, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("scenario act action env KX"),
+            vec![KwScenario, KwAct, Ident, KwEnv, Ident, Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_vanish() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a # trailing\n// whole line\nb"),
+            vec![Ident, Ident, Eof]
+        );
+    }
+
+    #[test]
+    fn garbage_becomes_error_tokens_with_diagnostics() {
+        let (toks, diags) = lex("a @ é b");
+        let errs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Error).collect();
+        assert_eq!(errs.len(), 2);
+        assert_eq!(diags.len(), 2);
+        // The multi-byte scalar is one token.
+        assert_eq!(errs[1].span.end - errs[1].span.start, 2);
+    }
+
+    #[test]
+    fn always_ends_in_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

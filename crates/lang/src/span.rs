@@ -1,0 +1,139 @@
+//! Byte-offset source spans and line/column mapping.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte of the spanned region.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether the span is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position resolved from a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes within the line).
+    pub col: usize,
+}
+
+/// Precomputed line-start table for resolving byte offsets to
+/// line/column pairs, and for extracting source lines when rendering
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the start of each line (line 1 starts at 0).
+    starts: Vec<usize>,
+    len: usize,
+}
+
+impl LineMap {
+    /// Builds the map for one source text.
+    #[must_use]
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap {
+            starts,
+            len: src.len(),
+        }
+    }
+
+    /// Resolves a byte offset (clamped to the source length) to a
+    /// 1-based line/column pair.
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> LineCol {
+        let offset = offset.min(self.len);
+        let line = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line + 1,
+            col: offset - self.starts[line] + 1,
+        }
+    }
+
+    /// The byte range of a 1-based line (without its newline), if the
+    /// line exists.
+    #[must_use]
+    pub fn line_range(&self, line: usize) -> Option<(usize, usize)> {
+        let start = *self.starts.get(line.checked_sub(1)?)?;
+        let end = self
+            .starts
+            .get(line)
+            .map_or(self.len, |next| next.saturating_sub(1));
+        Some((start, end.max(start)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_offsets_to_lines_and_columns() {
+        let src = "ab\ncde\n\nf";
+        let map = LineMap::new(src);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(2), LineCol { line: 1, col: 3 });
+        assert_eq!(map.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(6), LineCol { line: 2, col: 4 });
+        assert_eq!(map.line_col(7), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(8), LineCol { line: 4, col: 1 });
+        // Past the end clamps to the final position.
+        assert_eq!(map.line_col(999), LineCol { line: 4, col: 2 });
+    }
+
+    #[test]
+    fn line_ranges_exclude_newlines() {
+        let map = LineMap::new("ab\ncde\n");
+        assert_eq!(map.line_range(1), Some((0, 2)));
+        assert_eq!(map.line_range(2), Some((3, 6)));
+        assert_eq!(map.line_range(0), None);
+    }
+
+    #[test]
+    fn spans_join() {
+        let a = Span::new(3, 5);
+        let b = Span::new(1, 4);
+        assert_eq!(a.to(b), Span::new(1, 5));
+        assert!(Span::default().is_empty());
+    }
+}

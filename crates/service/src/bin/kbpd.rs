@@ -117,6 +117,14 @@ Request:  {\"id\":1,\"kind\":\"solve|enumerate|check|fault_lattice\",
            \"budget\":{\"deadline_ms\":N,\"max_layer_points\":N,
                      \"max_guard_evaluations\":N,\"max_memory_bytes\":N}}
 Monitor:  {\"op\":\"stats\"}  {\"kind\":\"health\"}  {\"kind\":\"metrics\"}
+Define:   {\"op\":\"define\",\"id\":N,\"source\":\"<.kbp scenario text>\",
+           \"name\":\"<wire name>\" (optional; defaults to the declared name),
+           \"client\":\"<tenant token>\" (optional; definitions are owned and
+                     quota'd per client)}
+          registers a DSL scenario so later jobs can solve it by name;
+          compile errors answer kind invalid_program with line/column
+          diagnostics. Definitions persist across restarts when
+          KBP_SERVICE_CACHE_DIR is set.
 
 Environment (malformed values refuse startup with a typed error):
   KBP_SERVICE_WORKERS          worker threads (default: available parallelism)
@@ -125,6 +133,8 @@ Environment (malformed values refuse startup with a typed error):
   KBP_SERVICE_CACHE_SESSIONS   retained sessions before LRU eviction (default 64)
   KBP_SERVICE_CACHE_DIR        directory for warm-restart cache persistence
   KBP_SERVICE_CLIENT_PENDING   per-client unanswered-request quota (default 16)
+  KBP_SERVICE_CLIENT_DEFINITIONS  per-client defined-scenario quota
+                               (default 8; 0 disables)
   KBP_SERVICE_MAX_CONNECTIONS  concurrent connections in --listen mode (default 32)
   KBP_SERVICE_MAX_LINE         request-line byte bound (default 1048576)
   KBP_SERVICE_IDLE_TIMEOUT_MS  close idle connections after this many ms

@@ -87,6 +87,23 @@ pub struct JobRequest {
     pub client: Option<String>,
 }
 
+/// A `{"op":"define",...}` request: register a `.kbp` scenario under a
+/// wire name so later jobs can solve it by name. Answered inline (the
+/// DSL compiler is fast and never solves anything), never queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefineRequest {
+    /// Client-chosen id, echoed on the response.
+    pub id: u64,
+    /// Wire name to register under; defaults to the name declared in
+    /// the source's `scenario` header.
+    pub name: Option<String>,
+    /// The `.kbp` source text.
+    pub source: String,
+    /// Optional client identity token; definitions are owned and
+    /// quota'd per client, falling back to the connection identity.
+    pub client: Option<String>,
+}
+
 /// A request the service could not accept, reported on the response
 /// line with `ok: false`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +127,16 @@ pub enum RequestError {
     Unsupported(&'static str),
     /// The named fault rung does not exist for the scenario.
     UnknownFault(String),
+    /// A `define` tried to take a name the registry owns, or one that
+    /// another client already defined.
+    NameReserved(String),
+    /// A `define` would exceed the client's definition quota.
+    DefinitionQuota {
+        /// Definitions the client currently holds.
+        held: usize,
+        /// The configured per-client limit.
+        limit: usize,
+    },
 }
 
 impl RequestError {
@@ -123,6 +150,8 @@ impl RequestError {
             RequestError::UnknownScenario(_) => "unknown_scenario",
             RequestError::Unsupported(_) => "unsupported",
             RequestError::UnknownFault(_) => "unknown_fault",
+            RequestError::NameReserved(_) => "name_reserved",
+            RequestError::DefinitionQuota { .. } => "definition_quota",
         }
     }
 }
@@ -143,6 +172,13 @@ impl fmt::Display for RequestError {
             RequestError::UnknownFault(r) => write!(
                 f,
                 "unknown fault rung '{r}' (expected none|loss|crash-stop|loss+crash-stop)"
+            ),
+            RequestError::NameReserved(n) => {
+                write!(f, "scenario name '{n}' is reserved by another owner")
+            }
+            RequestError::DefinitionQuota { held, limit } => write!(
+                f,
+                "definition quota exceeded: client holds {held} of {limit} definitions"
             ),
         }
     }
@@ -172,6 +208,9 @@ pub enum Request {
         /// Echoed id, if the client sent one.
         id: Option<u64>,
     },
+    /// `{"op":"define",...}` — compile and register a DSL scenario;
+    /// answered inline (compilation never solves anything).
+    Define(DefineRequest),
 }
 
 /// Parses one request line.
@@ -195,6 +234,9 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         })?;
         if let Some(req) = monitor_request(op, &value)? {
             return Ok(req);
+        }
+        if op == "define" {
+            return parse_define(&value).map(Request::Define);
         }
         return Err(RequestError::UnknownKind(op.to_string()));
     }
@@ -275,6 +317,53 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         max_branches,
         client,
     }))
+}
+
+/// Parses the body of a `{"op":"define"}` request. Unlike the
+/// monitoring ops, `id` is mandatory — a define mutates service state
+/// and the client must be able to correlate the answer.
+fn parse_define(value: &Json) -> Result<DefineRequest, RequestError> {
+    let id = value
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or(RequestError::BadField {
+            field: "id",
+            expected: "a non-negative integer",
+        })?;
+    let source = value
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or(RequestError::BadField {
+            field: "source",
+            expected: "a string of .kbp source",
+        })?
+        .to_string();
+    let name = match value.get("name") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "name",
+                expected: "a string",
+            })
+        }
+    };
+    let client = match value.get("client") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => {
+            return Err(RequestError::BadField {
+                field: "client",
+                expected: "a string",
+            })
+        }
+    };
+    Ok(DefineRequest {
+        id,
+        name,
+        source,
+        client,
+    })
 }
 
 /// Recognizes the monitoring ops (`stats`, `health`, `metrics`) under
@@ -448,6 +537,68 @@ mod tests {
             parse_request(r#"{"kind":"stats"}"#).unwrap(),
             Request::Stats { id: None }
         );
+    }
+
+    #[test]
+    fn parses_the_define_op() {
+        let req = parse_request(
+            r#"{"op":"define","id":4,"name":"my_ring","client":"tenant-a",
+               "source":"scenario my_ring { agents a }"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::Define(DefineRequest {
+                id: 4,
+                name: Some("my_ring".into()),
+                source: "scenario my_ring { agents a }".into(),
+                client: Some("tenant-a".into()),
+            })
+        );
+        // Name and client are optional; id and source are not.
+        let Request::Define(req) =
+            parse_request(r#"{"op":"define","id":1,"source":"scenario x {}"}"#).unwrap()
+        else {
+            panic!("expected a define")
+        };
+        assert_eq!(req.name, None);
+        assert_eq!(req.client, None);
+        assert!(matches!(
+            parse_request(r#"{"op":"define","source":"scenario x {}"}"#),
+            Err(RequestError::BadField { field: "id", .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"define","id":1}"#),
+            Err(RequestError::BadField {
+                field: "source",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"define","id":1,"source":7}"#),
+            Err(RequestError::BadField {
+                field: "source",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"define","id":1,"source":"s","name":7}"#),
+            Err(RequestError::BadField { field: "name", .. })
+        ));
+    }
+
+    #[test]
+    fn define_errors_have_stable_wire_kinds() {
+        assert_eq!(
+            RequestError::NameReserved("robot".into()).wire_kind(),
+            "name_reserved"
+        );
+        assert_eq!(
+            RequestError::DefinitionQuota { held: 8, limit: 8 }.wire_kind(),
+            "definition_quota"
+        );
+        let msg = RequestError::DefinitionQuota { held: 8, limit: 8 }.to_string();
+        assert!(msg.contains("8 of 8"), "{msg}");
     }
 
     #[test]

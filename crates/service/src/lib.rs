@@ -62,16 +62,17 @@ mod service;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use framing::{FrameDecoder, FrameError, LineOutcome, LineReader, DEFAULT_MAX_LINE};
-pub use job::{id_hint, parse_request, JobKind, JobRequest, Request, RequestError};
-pub use persist::{Compaction, PersistError, SessionKey, SessionStore};
+pub use job::{id_hint, parse_request, DefineRequest, JobKind, JobRequest, Request, RequestError};
+pub use persist::{Compaction, DefinitionRecord, PersistError, SessionKey, SessionStore};
 pub use queue::{JobQueue, QueueFull};
 pub use registry::{find, registry, LatticeSpec, ScenarioEntry};
 pub use server::{serve_stream, Server, ServerHandle};
 pub use service::{
     disconnect_response, error_response, frame_error_response, quota_response, reject_response,
-    too_many_connections_response, ConfigError, DisconnectKind, PlaneSnapshot, Service,
-    ServiceConfig, ServiceStats, CACHE_DIR_ENV, CACHE_ENV, CACHE_SESSIONS_ENV, CLIENT_PENDING_ENV,
-    DEFAULT_CACHE_SESSIONS, DEFAULT_CLIENT_PENDING, DEFAULT_IDLE_TIMEOUT_MS,
-    DEFAULT_MAX_CONNECTIONS, DEFAULT_WRITE_BUDGET_BYTES, DEFAULT_WRITE_STALL_MS, IDLE_TIMEOUT_ENV,
-    MAX_CONNECTIONS_ENV, MAX_LINE_ENV, QUEUE_ENV, WORKERS_ENV, WRITE_BUDGET_ENV, WRITE_STALL_ENV,
+    too_many_connections_response, ConfigError, DisconnectKind, EvalStats, PlaneSnapshot, Service,
+    ServiceConfig, ServiceStats, CACHE_DIR_ENV, CACHE_ENV, CACHE_SESSIONS_ENV,
+    CLIENT_DEFINITIONS_ENV, CLIENT_PENDING_ENV, DEFAULT_CACHE_SESSIONS, DEFAULT_CLIENT_DEFINITIONS,
+    DEFAULT_CLIENT_PENDING, DEFAULT_IDLE_TIMEOUT_MS, DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_WRITE_BUDGET_BYTES, DEFAULT_WRITE_STALL_MS, IDLE_TIMEOUT_ENV, MAX_CONNECTIONS_ENV,
+    MAX_LINE_ENV, QUEUE_ENV, WORKERS_ENV, WRITE_BUDGET_ENV, WRITE_STALL_ENV,
 };

@@ -634,6 +634,7 @@ fn process_outcome(id: u64, conn: &mut Conn, outcome: LineOutcome, ctx: &mut Tic
                     ctx.queue.len(),
                     Some(&ctx.snapshot()),
                 ),
+                Ok(Request::Define(req)) => ctx.service.define_response(&req, &conn.peer),
                 Err(e) => error_response(id_hint(&line), &e),
             }
         }

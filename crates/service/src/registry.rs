@@ -117,6 +117,26 @@ impl std::fmt::Debug for ScenarioEntry {
     }
 }
 
+/// Stable fingerprint of a client-*defined* scenario: the registry
+/// stream (`name`, recall byte, fault-free tag) extended with the DSL
+/// source text. Including the source means a redefinition under the same
+/// name but different behaviour gets a fresh fingerprint, so persisted
+/// sessions of the old program can never be replayed against the new
+/// one — they just become unproducible and are garbage-collected at the
+/// next compaction.
+#[must_use]
+pub(crate) fn definition_fingerprint(name: &str, recall: Recall, source: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write(name.as_bytes());
+    h.write(&[match recall {
+        Recall::Perfect => 1,
+        Recall::Observational => 2,
+    }]);
+    h.write(&[0]);
+    h.write(source.as_bytes());
+    h.finish()
+}
+
 /// FNV-1a, hand-rolled: `std`'s `DefaultHasher` is not guaranteed stable
 /// across releases, and cache keys must never change meaning between a
 /// server and its clients.
@@ -346,6 +366,41 @@ mod tests {
         // Stable across processes and runs: a pinned value.
         let bt = find("bit_transmission").unwrap();
         assert_eq!(bt.fingerprint(None), bt.fingerprint(None));
+    }
+
+    #[test]
+    fn definition_fingerprints_cover_name_recall_and_source() {
+        let a = definition_fingerprint("ring", Recall::Perfect, "scenario ring {}");
+        assert_eq!(
+            a,
+            definition_fingerprint("ring", Recall::Perfect, "scenario ring {}"),
+            "deterministic"
+        );
+        assert_ne!(
+            a,
+            definition_fingerprint("ring2", Recall::Perfect, "scenario ring {}")
+        );
+        assert_ne!(
+            a,
+            definition_fingerprint("ring", Recall::Observational, "scenario ring {}")
+        );
+        assert_ne!(
+            a,
+            definition_fingerprint("ring", Recall::Perfect, "scenario ring {} "),
+            "source participates: a redefinition re-fingerprints"
+        );
+        // A definition shadowing a registry name (rejected at admission,
+        // but belt-and-braces) still fingerprints differently because
+        // the source extends the registry's fault-free stream.
+        let bt = find("bit_transmission").unwrap();
+        assert_ne!(
+            bt.fingerprint(None),
+            definition_fingerprint(
+                "bit_transmission",
+                bt.recall,
+                "scenario bit_transmission {}"
+            )
+        );
     }
 
     #[test]

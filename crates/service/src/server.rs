@@ -311,6 +311,7 @@ fn drive<R: Read, W: Write + Send + 'static>(
                     Ok(Request::Stats { id }) => service.stats_response(id),
                     Ok(Request::Health { id }) => service.health_response(id),
                     Ok(Request::Metrics { id }) => service.metrics_response(id, queue.len()),
+                    Ok(Request::Define(req)) => service.define_response(&req, LOCAL_CLIENT),
                     // The id is echoed whenever the line was at least
                     // parseable JSON with a usable id field.
                     Err(e) => error_response(id_hint(&line), &e),

@@ -21,23 +21,26 @@
 
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::framing::DEFAULT_MAX_LINE;
-use crate::job::{JobKind, JobRequest, RequestError};
+use crate::job::{DefineRequest, JobKind, JobRequest, RequestError};
 use crate::json::{obj, Json};
-use crate::persist::{PersistError, SessionKey, SessionStore};
+use crate::persist::{DefinitionRecord, PersistError, SessionKey, SessionStore};
 use crate::queue::{JobQueue, QueueFull};
-use crate::registry::{find, ScenarioEntry};
+use crate::registry::{definition_fingerprint, find, ScenarioEntry};
 use kbp_core::{
-    check_implementation, Enumerator, Kbp, PartialSolution, Resource, SolveError, SolveOutcome,
-    SolveStats, SyncSolver,
+    check_implementation, Enumerator, Kbp, LayerStats, PartialSolution, Resource, SolveError,
+    SolveOutcome, SolveStats, SyncSolver,
 };
 use kbp_faults::FaultyContext;
 use kbp_kripke::{
     env_quotient_min_worlds, env_shard_min_worlds, env_threads, ThreadConfigError, THREADS_ENV,
 };
-use kbp_systems::{Context, FnContext, MapProtocol};
+use kbp_lang::{Compiled, Diagnostic, LineMap, Severity};
+use kbp_systems::{Context, FnContext, MapProtocol, Recall};
+use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Environment variable sizing the worker pool.
 pub const WORKERS_ENV: &str = "KBP_SERVICE_WORKERS";
@@ -98,6 +101,14 @@ pub const WRITE_BUDGET_ENV: &str = "KBP_SERVICE_WRITE_BUDGET_BYTES";
 
 /// Default slow-client write budget (4 MiB of buffered responses).
 pub const DEFAULT_WRITE_BUDGET_BYTES: usize = 4 * 1024 * 1024;
+
+/// Environment variable bounding how many DSL scenarios one client
+/// identity may hold registered at once (the `define` op). `0` disables
+/// the quota.
+pub const CLIENT_DEFINITIONS_ENV: &str = "KBP_SERVICE_CLIENT_DEFINITIONS";
+
+/// Default per-client scenario-definition quota.
+pub const DEFAULT_CLIENT_DEFINITIONS: usize = 8;
 
 /// Environment variable bounding how long a connection's outbound
 /// buffer may sit unflushed, in milliseconds (`--listen` mode). A
@@ -198,6 +209,10 @@ pub struct ServiceConfig {
     /// Write-stall bound in ms — how long a connection's outbound
     /// buffer may make no progress (`--listen` mode); `0` disables.
     pub write_stall_ms: u64,
+    /// How many DSL scenarios one client identity may hold registered
+    /// at once via the `define` op; `0` disables the quota. Redefining
+    /// a name the client already owns never charges the quota.
+    pub client_definitions: usize,
 }
 
 impl ServiceConfig {
@@ -218,6 +233,7 @@ impl ServiceConfig {
             idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
             write_budget_bytes: DEFAULT_WRITE_BUDGET_BYTES,
             write_stall_ms: DEFAULT_WRITE_STALL_MS,
+            client_definitions: DEFAULT_CLIENT_DEFINITIONS,
         }
     }
 
@@ -286,6 +302,10 @@ impl ServiceConfig {
         }
         if let Some(ms) = env_bound(WRITE_STALL_ENV)? {
             config.write_stall_ms = ms;
+        }
+        // Like the protection bounds, 0 means "no quota".
+        if let Some(defs) = env_bound(CLIENT_DEFINITIONS_ENV)? {
+            config.client_definitions = usize::try_from(defs).unwrap_or(usize::MAX);
         }
         // The engine reads these lazily per solve and falls back to
         // defaults on garbage; a daemon should instead refuse to start,
@@ -372,6 +392,13 @@ impl ServiceConfig {
         self.write_stall_ms = ms;
         self
     }
+
+    /// Sets the per-client scenario-definition quota (`0` disables).
+    #[must_use]
+    pub fn client_definitions(mut self, definitions: usize) -> Self {
+        self.client_definitions = definitions;
+        self
+    }
 }
 
 /// Reads a positive-integer bound (no thread-count cap — line limits
@@ -406,6 +433,43 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Aggregated per-layer evaluation counters across every solve the
+/// service has run: how often the engine sharded guard evaluation, and
+/// how much the bisimulation quotient shrank the layers it ran on.
+/// Monitoring only — aggregates of [`LayerStats`], never echoed on job
+/// responses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Layers evaluated (every solve contributes its per-layer rows).
+    pub layers: usize,
+    /// Layers whose guard evaluation ran sharded (`shards > 1`).
+    pub sharded_layers: usize,
+    /// Total shards across sharded layers (1 per sequential layer is
+    /// *not* counted — this sums only where sharding happened).
+    pub shards: usize,
+    /// Layers where the epistemic quotient ran (`quotient_worlds > 0`).
+    pub quotiented_layers: usize,
+    /// Quotient classes summed over quotiented layers.
+    pub quotient_worlds: usize,
+    /// Points summed over quotiented layers (denominator of
+    /// [`quotient_ratio_permille`](Self::quotient_ratio_permille)).
+    pub quotiented_points: usize,
+}
+
+impl EvalStats {
+    /// Aggregate quotient compression in per-mille, `0..=1000`: how many
+    /// representative worlds survived per thousand points on the layers
+    /// where the quotient ran. `None` when it never ran.
+    #[must_use]
+    pub fn quotient_ratio_permille(&self) -> Option<u64> {
+        if self.quotiented_points == 0 {
+            None
+        } else {
+            Some((self.quotient_worlds as u64).saturating_mul(1000) / self.quotiented_points as u64)
+        }
+    }
+}
+
 /// A snapshot of the service's counters (monitoring only; see the
 /// module-level determinism argument for why none of this appears in job
 /// responses).
@@ -423,6 +487,12 @@ pub struct ServiceStats {
     pub layers_total: usize,
     /// Layers rehydrated from cache snapshots instead of evaluated.
     pub layers_restored: usize,
+    /// Aggregated sharding/quotient counters across all solves.
+    pub eval: EvalStats,
+    /// Client-defined DSL scenarios currently registered.
+    pub definitions_active: usize,
+    /// Definitions restored from the persistence directory at startup.
+    pub definitions_restored: usize,
 }
 
 impl ServiceStats {
@@ -518,12 +588,72 @@ pub fn disconnect_response(kind: DisconnectKind, message: &str) -> Json {
 pub struct Service {
     config: ServiceConfig,
     cache: ArtifactCache,
+    /// Client-defined DSL scenarios by wire name. `Arc` so a resolved
+    /// definition survives a concurrent redefinition for the duration of
+    /// its job (the response stays a pure function of the request and
+    /// the definition it resolved against).
+    definitions: Mutex<HashMap<String, Arc<Definition>>>,
+    /// The persistence directory, shared with the artifact cache; also
+    /// holds one `.kbpdef` file per definition so defined scenarios
+    /// survive a warm restart.
+    def_store: Option<SessionStore>,
+    definitions_restored: AtomicUsize,
     jobs_executed: AtomicUsize,
     queue_rejections: AtomicUsize,
     quota_rejections: AtomicUsize,
     workers_busy: AtomicUsize,
     layers_total: AtomicUsize,
     layers_restored: AtomicUsize,
+    eval_layers: AtomicUsize,
+    eval_sharded_layers: AtomicUsize,
+    eval_shards: AtomicUsize,
+    eval_quotiented_layers: AtomicUsize,
+    eval_quotient_worlds: AtomicUsize,
+    eval_quotiented_points: AtomicUsize,
+}
+
+/// A registered DSL scenario: the compiled program plus its admission
+/// metadata.
+#[derive(Debug)]
+struct Definition {
+    name: String,
+    owner: String,
+    source: String,
+    fingerprint: u64,
+    compiled: Compiled,
+}
+
+/// What a job's scenario name resolved to: a registry entry or a
+/// client-defined DSL scenario. The executors are generic over this so
+/// `solve`/`check`/`enumerate` behave identically for both.
+enum Resolved {
+    Registry(&'static ScenarioEntry),
+    Defined(Arc<Definition>),
+}
+
+impl Resolved {
+    fn default_horizon(&self) -> usize {
+        match self {
+            Resolved::Registry(e) => e.default_horizon,
+            Resolved::Defined(d) => {
+                usize::try_from(d.compiled.default_horizon()).unwrap_or(usize::MAX)
+            }
+        }
+    }
+
+    fn recall(&self) -> Recall {
+        match self {
+            Resolved::Registry(e) => e.recall,
+            Resolved::Defined(d) => d.compiled.recall(),
+        }
+    }
+
+    fn solvable(&self) -> bool {
+        match self {
+            Resolved::Registry(e) => e.solvable,
+            Resolved::Defined(d) => d.compiled.solvable(),
+        }
+    }
 }
 
 /// Decrements `workers_busy` when the executor returns on any path.
@@ -578,29 +708,55 @@ impl Service {
     }
 
     fn build(config: ServiceConfig, store: Option<SessionStore>) -> Self {
+        let def_store = store.clone();
         let cache = ArtifactCache::with_store(config.cache_enabled, config.cache_sessions, store);
+        let (definitions, restored) = restore_definitions(def_store.as_ref());
         Service {
             config,
             cache,
+            definitions: Mutex::new(definitions),
+            def_store,
+            definitions_restored: AtomicUsize::new(restored),
             jobs_executed: AtomicUsize::new(0),
             queue_rejections: AtomicUsize::new(0),
             quota_rejections: AtomicUsize::new(0),
             workers_busy: AtomicUsize::new(0),
             layers_total: AtomicUsize::new(0),
             layers_restored: AtomicUsize::new(0),
+            eval_layers: AtomicUsize::new(0),
+            eval_sharded_layers: AtomicUsize::new(0),
+            eval_shards: AtomicUsize::new(0),
+            eval_quotiented_layers: AtomicUsize::new(0),
+            eval_quotient_worlds: AtomicUsize::new(0),
+            eval_quotiented_points: AtomicUsize::new(0),
         }
     }
 
     /// Persists every resident cache session to the configured store
     /// (no-op without one), then garbage-collects store files whose
-    /// provenance the scenario registry no longer produces — renamed
-    /// scenarios, retired fault rungs, unreadable headers. Called on
-    /// graceful shutdown so a restarted daemon starts warm without the
-    /// store accumulating dead files forever; failures are counted,
-    /// never fatal.
+    /// provenance neither the scenario registry nor the live definition
+    /// table produces — renamed scenarios, retired fault rungs,
+    /// redefined DSL programs, unreadable headers. Called on graceful
+    /// shutdown so a restarted daemon starts warm without the store
+    /// accumulating dead files forever; failures are counted, never
+    /// fatal.
     pub fn persist(&self) {
         self.cache.persist_all();
-        self.cache.compact_store(registry_owns);
+        // Snapshot the definition table once: the compaction predicate
+        // runs per file and must not take the lock under iteration.
+        let defined: HashMap<String, u64> = self
+            .definitions
+            .lock()
+            .map(|defs| {
+                defs.values()
+                    .map(|d| (d.name.clone(), d.fingerprint))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.cache.compact_store(move |key, fp| {
+            registry_owns(key, fp)
+                || (key.fault_ref().is_none() && defined.get(&key.scenario) == Some(&fp))
+        });
     }
 
     /// The active configuration.
@@ -619,6 +775,16 @@ impl Service {
             cache: self.cache.stats(),
             layers_total: self.layers_total.load(Ordering::Relaxed),
             layers_restored: self.layers_restored.load(Ordering::Relaxed),
+            eval: EvalStats {
+                layers: self.eval_layers.load(Ordering::Relaxed),
+                sharded_layers: self.eval_sharded_layers.load(Ordering::Relaxed),
+                shards: self.eval_shards.load(Ordering::Relaxed),
+                quotiented_layers: self.eval_quotiented_layers.load(Ordering::Relaxed),
+                quotient_worlds: self.eval_quotient_worlds.load(Ordering::Relaxed),
+                quotiented_points: self.eval_quotiented_points.load(Ordering::Relaxed),
+            },
+            definitions_active: self.definitions.lock().map_or(0, |defs| defs.len()),
+            definitions_restored: self.definitions_restored.load(Ordering::Relaxed),
         }
     }
 
@@ -634,6 +800,115 @@ impl Service {
         self.quota_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Handles a `{"op":"define"}` request: compile the DSL source,
+    /// validate the name against the registry and other clients'
+    /// definitions, enforce the per-client quota, register, and persist.
+    /// Answered inline — compilation is cheap and never solves anything.
+    ///
+    /// `fallback_client` is the connection identity used when the
+    /// request carries no `client` token (mirrors job quota scoping).
+    #[must_use]
+    pub fn define_response(&self, req: &DefineRequest, fallback_client: &str) -> Json {
+        let owner = req
+            .client
+            .clone()
+            .unwrap_or_else(|| fallback_client.to_string());
+        let (compiled, diagnostics) = kbp_lang::check(&req.source);
+        let Some(compiled) = compiled else {
+            return invalid_program_response(req.id, &req.source, &diagnostics);
+        };
+        let name = req
+            .name
+            .clone()
+            .unwrap_or_else(|| compiled.name().to_string());
+        if find(&name).is_some() {
+            return error_response(Some(req.id), &RequestError::NameReserved(name));
+        }
+        let fingerprint = definition_fingerprint(&name, compiled.recall(), &req.source);
+        let definition = Arc::new(Definition {
+            name: name.clone(),
+            owner: owner.clone(),
+            source: req.source.clone(),
+            fingerprint,
+            compiled,
+        });
+        let (redefined, replaced_fingerprint) = {
+            let Ok(mut defs) = self.definitions.lock() else {
+                // A panicked holder poisoned the table; refuse the
+                // mutation rather than guess at its state.
+                return error_response(
+                    Some(req.id),
+                    &RequestError::Unsupported("definition table unavailable"),
+                );
+            };
+            match defs.get(&name) {
+                Some(existing) if existing.owner != owner => {
+                    return error_response(Some(req.id), &RequestError::NameReserved(name));
+                }
+                Some(existing) => {
+                    // Same-owner redefinition: no quota charge; the old
+                    // fingerprint's artifacts become garbage.
+                    let old = existing.fingerprint;
+                    let replaced = (old != fingerprint).then_some(old);
+                    defs.insert(name.clone(), Arc::clone(&definition));
+                    (true, replaced)
+                }
+                None => {
+                    let limit = self.config.client_definitions;
+                    if limit > 0 {
+                        let held = defs.values().filter(|d| d.owner == owner).count();
+                        if held >= limit {
+                            return error_response(
+                                Some(req.id),
+                                &RequestError::DefinitionQuota { held, limit },
+                            );
+                        }
+                    }
+                    defs.insert(name.clone(), Arc::clone(&definition));
+                    (false, None)
+                }
+            }
+        };
+        // Best-effort persistence, after the table mutation: a failed
+        // write costs warm restarts, never the registration.
+        if let Some(store) = self.def_store.as_ref() {
+            if let Some(old) = replaced_fingerprint {
+                let _ = store.remove_definition(old);
+            }
+            let record = DefinitionRecord {
+                name: definition.name.clone(),
+                owner: definition.owner.clone(),
+                source: definition.source.clone(),
+            };
+            let _ = store.save_definition(fingerprint, &record);
+        }
+        let mut fields = vec![
+            ("id".to_string(), Json::U64(req.id)),
+            ("ok".to_string(), Json::Bool(true)),
+            ("kind".to_string(), Json::Str("define".into())),
+            ("scenario".to_string(), Json::Str(name)),
+            ("fingerprint".to_string(), Json::U64(fingerprint)),
+            (
+                "solvable".to_string(),
+                Json::Bool(definition.compiled.solvable()),
+            ),
+            (
+                "default_horizon".to_string(),
+                Json::U64(definition.compiled.default_horizon()),
+            ),
+            (
+                "agents".to_string(),
+                Json::U64(definition.compiled.agent_count() as u64),
+            ),
+            ("redefined".to_string(), Json::Bool(redefined)),
+        ];
+        fields.push((
+            "diagnostics".to_string(),
+            diagnostics_json(&req.source, &diagnostics),
+        ));
+        Json::Obj(fields)
+    }
+
     /// Executes one job synchronously, returning its response object.
     /// Never panics and never returns a non-response: every failure mode
     /// is an `ok: false` object carrying the job id.
@@ -642,18 +917,33 @@ impl Service {
         self.jobs_executed.fetch_add(1, Ordering::Relaxed);
         self.workers_busy.fetch_add(1, Ordering::Relaxed);
         let _busy = BusyGuard(&self.workers_busy);
-        let Some(entry) = find(&job.scenario) else {
-            return error_response(
-                Some(job.id),
-                &RequestError::UnknownScenario(job.scenario.clone()),
-            );
+        // Registry names shadow definitions (admission rejects a define
+        // on a registry name, so the two tables never actually collide).
+        let resolved = match find(&job.scenario) {
+            Some(entry) => Resolved::Registry(entry),
+            None => {
+                let defined = self
+                    .definitions
+                    .lock()
+                    .ok()
+                    .and_then(|defs| defs.get(&job.scenario).cloned());
+                match defined {
+                    Some(def) => Resolved::Defined(def),
+                    None => {
+                        return error_response(
+                            Some(job.id),
+                            &RequestError::UnknownScenario(job.scenario.clone()),
+                        )
+                    }
+                }
+            }
         };
-        let horizon = job.horizon.unwrap_or(entry.default_horizon);
+        let horizon = job.horizon.unwrap_or_else(|| resolved.default_horizon());
         match job.kind {
-            JobKind::Solve => self.run_solve(job, entry, horizon),
-            JobKind::Check => self.run_check(job, entry, horizon),
-            JobKind::Enumerate => self.run_enumerate(job, entry, horizon),
-            JobKind::FaultLattice => self.run_fault_lattice(job, entry, horizon),
+            JobKind::Solve => self.run_solve(job, &resolved, horizon),
+            JobKind::Check => self.run_check(job, &resolved, horizon),
+            JobKind::Enumerate => self.run_enumerate(job, &resolved, horizon),
+            JobKind::FaultLattice => self.run_fault_lattice(job, &resolved, horizon),
         }
     }
 
@@ -737,45 +1027,62 @@ impl Service {
     fn resolve_context(
         &self,
         job: &JobRequest,
-        entry: &ScenarioEntry,
+        resolved: &Resolved,
     ) -> Result<(BuiltContext, Kbp, u64, SessionKey), RequestError> {
-        match job.fault.as_deref() {
-            None => {
-                let (ctx, kbp) = entry.build();
-                Ok((
-                    BuiltContext::Plain(Box::new(ctx)),
-                    kbp,
-                    entry.fingerprint(None),
-                    SessionKey::plain(entry.name),
-                ))
-            }
-            Some(rung) => {
-                if entry.lattice.is_none() {
+        match resolved {
+            Resolved::Registry(entry) => match job.fault.as_deref() {
+                None => {
+                    let (ctx, kbp) = entry.build();
+                    Ok((
+                        BuiltContext::Plain(Box::new(ctx)),
+                        kbp,
+                        entry.fingerprint(None),
+                        SessionKey::plain(entry.name),
+                    ))
+                }
+                Some(rung) => {
+                    if entry.lattice.is_none() {
+                        return Err(RequestError::Unsupported(
+                            "scenario has no fault lattice; omit 'fault'",
+                        ));
+                    }
+                    let schedule = entry
+                        .fault_schedule(rung, job.fault_seed)
+                        .ok_or_else(|| RequestError::UnknownFault(rung.to_string()))?;
+                    let (ctx, kbp) = entry.build_faulty(schedule);
+                    Ok((
+                        BuiltContext::Faulty(Box::new(ctx)),
+                        kbp,
+                        entry.fingerprint(Some((rung, job.fault_seed))),
+                        SessionKey::faulty(entry.name, rung, job.fault_seed),
+                    ))
+                }
+            },
+            Resolved::Defined(def) => {
+                if job.fault.is_some() {
                     return Err(RequestError::Unsupported(
                         "scenario has no fault lattice; omit 'fault'",
                     ));
                 }
-                let schedule = entry
-                    .fault_schedule(rung, job.fault_seed)
-                    .ok_or_else(|| RequestError::UnknownFault(rung.to_string()))?;
-                let (ctx, kbp) = entry.build_faulty(schedule);
+                let (ctx, kbp) = def.compiled.instantiate();
                 Ok((
-                    BuiltContext::Faulty(Box::new(ctx)),
+                    BuiltContext::Plain(Box::new(ctx)),
                     kbp,
-                    entry.fingerprint(Some((rung, job.fault_seed))),
-                    SessionKey::faulty(entry.name, rung, job.fault_seed),
+                    def.fingerprint,
+                    SessionKey::plain(&def.name),
                 ))
             }
         }
     }
 
     /// Solves through the artifact cache when a session exists for the
-    /// fingerprint; cold otherwise. Also feeds the warm-rate counters.
+    /// fingerprint; cold otherwise. Also feeds the warm-rate counters
+    /// and the aggregated per-layer sharding/quotient counters.
     #[allow(clippy::too_many_arguments)]
     fn solve_outcome(
         &self,
         job: &JobRequest,
-        entry: &ScenarioEntry,
+        resolved: &Resolved,
         horizon: usize,
         ctx: &dyn Context,
         kbp: &Kbp,
@@ -784,7 +1091,7 @@ impl Service {
     ) -> Result<SolveOutcome, SolveError> {
         let solver = SyncSolver::new(ctx, kbp)
             .horizon(horizon)
-            .recall(entry.recall)
+            .recall(resolved.recall())
             .budget(job.budget);
         let outcome = match self.cache.session(fingerprint, key) {
             Some(session) => match session.lock() {
@@ -795,18 +1102,51 @@ impl Service {
             },
             None => solver.solve_budgeted(),
         }?;
-        let stats = match &outcome {
-            SolveOutcome::Complete(s) => s.stats(),
-            SolveOutcome::Partial(p) => p.stats(),
+        let (stats, per_layer) = match &outcome {
+            SolveOutcome::Complete(s) => (s.stats(), s.per_layer()),
+            SolveOutcome::Partial(p) => (p.stats(), p.per_layer()),
         };
         self.layers_total.fetch_add(stats.layers, Ordering::Relaxed);
         self.layers_restored
             .fetch_add(stats.layers_restored, Ordering::Relaxed);
+        self.note_layer_stats(per_layer);
         Ok(outcome)
     }
 
-    fn run_solve(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
-        if !entry.solvable {
+    /// Folds one solve's per-layer rows into the aggregate counters the
+    /// `metrics` response surfaces.
+    fn note_layer_stats(&self, per_layer: &[LayerStats]) {
+        let mut sharded_layers = 0;
+        let mut shards = 0;
+        let mut quotiented_layers = 0;
+        let mut quotient_worlds = 0;
+        let mut quotiented_points = 0;
+        for layer in per_layer {
+            if layer.shards > 1 {
+                sharded_layers += 1;
+                shards += layer.shards;
+            }
+            if layer.quotient_worlds > 0 {
+                quotiented_layers += 1;
+                quotient_worlds += layer.quotient_worlds;
+                quotiented_points += layer.points;
+            }
+        }
+        self.eval_layers
+            .fetch_add(per_layer.len(), Ordering::Relaxed);
+        self.eval_sharded_layers
+            .fetch_add(sharded_layers, Ordering::Relaxed);
+        self.eval_shards.fetch_add(shards, Ordering::Relaxed);
+        self.eval_quotiented_layers
+            .fetch_add(quotiented_layers, Ordering::Relaxed);
+        self.eval_quotient_worlds
+            .fetch_add(quotient_worlds, Ordering::Relaxed);
+        self.eval_quotiented_points
+            .fetch_add(quotiented_points, Ordering::Relaxed);
+    }
+
+    fn run_solve(&self, job: &JobRequest, resolved: &Resolved, horizon: usize) -> Json {
+        if !resolved.solvable() {
             return error_response(
                 Some(job.id),
                 &RequestError::Unsupported(
@@ -814,11 +1154,19 @@ impl Service {
                 ),
             );
         }
-        let (ctx, kbp, fingerprint, key) = match self.resolve_context(job, entry) {
+        let (ctx, kbp, fingerprint, key) = match self.resolve_context(job, resolved) {
             Ok(parts) => parts,
             Err(e) => return error_response(Some(job.id), &e),
         };
-        match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint, &key) {
+        match self.solve_outcome(
+            job,
+            resolved,
+            horizon,
+            ctx.as_dyn(),
+            &kbp,
+            fingerprint,
+            &key,
+        ) {
             Ok(outcome) => {
                 let mut fields = response_head(job, "solve", horizon);
                 push_outcome_fields(&mut fields, &outcome);
@@ -828,8 +1176,8 @@ impl Service {
         }
     }
 
-    fn run_check(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
-        if !entry.solvable {
+    fn run_check(&self, job: &JobRequest, resolved: &Resolved, horizon: usize) -> Json {
+        if !resolved.solvable() {
             return error_response(
                 Some(job.id),
                 &RequestError::Unsupported(
@@ -837,15 +1185,22 @@ impl Service {
                 ),
             );
         }
-        let (ctx, kbp, fingerprint, key) = match self.resolve_context(job, entry) {
+        let (ctx, kbp, fingerprint, key) = match self.resolve_context(job, resolved) {
             Ok(parts) => parts,
             Err(e) => return error_response(Some(job.id), &e),
         };
-        let outcome =
-            match self.solve_outcome(job, entry, horizon, ctx.as_dyn(), &kbp, fingerprint, &key) {
-                Ok(outcome) => outcome,
-                Err(e) => return solve_error_response(job.id, &e),
-            };
+        let outcome = match self.solve_outcome(
+            job,
+            resolved,
+            horizon,
+            ctx.as_dyn(),
+            &kbp,
+            fingerprint,
+            &key,
+        ) {
+            Ok(outcome) => outcome,
+            Err(e) => return solve_error_response(job.id, &e),
+        };
         let mut fields = response_head(job, "check", horizon);
         match outcome {
             SolveOutcome::Partial(p) => {
@@ -855,8 +1210,13 @@ impl Service {
                 Json::Obj(fields)
             }
             SolveOutcome::Complete(s) => {
-                match check_implementation(ctx.as_dyn(), &kbp, s.protocol(), entry.recall, horizon)
-                {
+                match check_implementation(
+                    ctx.as_dyn(),
+                    &kbp,
+                    s.protocol(),
+                    resolved.recall(),
+                    horizon,
+                ) {
                     Ok(report) => {
                         fields.push(("outcome".into(), Json::Str("complete".into())));
                         fields.push((
@@ -879,14 +1239,14 @@ impl Service {
         }
     }
 
-    fn run_enumerate(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
-        let (ctx, kbp, _fingerprint, _key) = match self.resolve_context(job, entry) {
+    fn run_enumerate(&self, job: &JobRequest, resolved: &Resolved, horizon: usize) -> Json {
+        let (ctx, kbp, _fingerprint, _key) = match self.resolve_context(job, resolved) {
             Ok(parts) => parts,
             Err(e) => return error_response(Some(job.id), &e),
         };
         let mut enumerator = Enumerator::new(ctx.as_dyn(), &kbp)
             .horizon(horizon)
-            .recall(entry.recall);
+            .recall(resolved.recall());
         if let Some(n) = job.max_solutions {
             enumerator = enumerator.max_solutions(n);
         }
@@ -924,8 +1284,8 @@ impl Service {
         }
     }
 
-    fn run_fault_lattice(&self, job: &JobRequest, entry: &ScenarioEntry, horizon: usize) -> Json {
-        if !entry.solvable {
+    fn run_fault_lattice(&self, job: &JobRequest, resolved: &Resolved, horizon: usize) -> Json {
+        if !resolved.solvable() {
             return error_response(
                 Some(job.id),
                 &RequestError::Unsupported(
@@ -933,6 +1293,12 @@ impl Service {
                 ),
             );
         }
+        let Resolved::Registry(entry) = resolved else {
+            return error_response(
+                Some(job.id),
+                &RequestError::Unsupported("scenario has no fault lattice"),
+            );
+        };
         let Some(lattice) = entry.fault_lattice(job.fault_seed) else {
             return error_response(
                 Some(job.id),
@@ -946,7 +1312,7 @@ impl Service {
             let signature = schedule.signature(horizon, agents);
             let fingerprint = entry.fingerprint(Some((rung, job.fault_seed)));
             let key = SessionKey::faulty(entry.name, rung, job.fault_seed);
-            match self.solve_outcome(job, entry, horizon, &ctx, &kbp, fingerprint, &key) {
+            match self.solve_outcome(job, resolved, horizon, &ctx, &kbp, fingerprint, &key) {
                 Ok(outcome) => {
                     let mut row = vec![
                         ("fault".to_string(), Json::Str(rung.into())),
@@ -1059,6 +1425,44 @@ impl Service {
                 "layers_restored".into(),
                 Json::U64(stats.layers_restored as u64),
             ),
+            (
+                "eval".into(),
+                obj(vec![
+                    ("layers", Json::U64(stats.eval.layers as u64)),
+                    (
+                        "sharded_layers",
+                        Json::U64(stats.eval.sharded_layers as u64),
+                    ),
+                    ("shards", Json::U64(stats.eval.shards as u64)),
+                    (
+                        "quotiented_layers",
+                        Json::U64(stats.eval.quotiented_layers as u64),
+                    ),
+                    (
+                        "quotient_worlds",
+                        Json::U64(stats.eval.quotient_worlds as u64),
+                    ),
+                    (
+                        "quotiented_points",
+                        Json::U64(stats.eval.quotiented_points as u64),
+                    ),
+                    (
+                        "quotient_ratio_permille",
+                        stats
+                            .eval
+                            .quotient_ratio_permille()
+                            .map_or(Json::Null, Json::U64),
+                    ),
+                ]),
+            ),
+            (
+                "definitions".into(),
+                obj(vec![
+                    ("active", Json::U64(stats.definitions_active as u64)),
+                    ("restored", Json::U64(stats.definitions_restored as u64)),
+                    ("quota", Json::U64(self.config.client_definitions as u64)),
+                ]),
+            ),
         ];
         if let Some(plane) = plane {
             fields.push((
@@ -1140,6 +1544,98 @@ fn registry_owns(key: &SessionKey, fingerprint: u64) -> bool {
             entry.lattice.is_some() && entry.fingerprint(Some((rung, seed))) == fingerprint
         }
     }
+}
+
+/// Reloads persisted scenario definitions at startup. Registry-shadowed
+/// names, uncompilable sources and records whose re-derived fingerprint
+/// disagrees with the file name are skipped — restore must never take
+/// the daemon down, and a definition that no longer compiles should
+/// vanish rather than serve a stale lowering.
+fn restore_definitions(store: Option<&SessionStore>) -> (HashMap<String, Arc<Definition>>, usize) {
+    let mut definitions = HashMap::new();
+    let Some(store) = store else {
+        return (definitions, 0);
+    };
+    let Ok(records) = store.load_definitions() else {
+        return (definitions, 0);
+    };
+    for (fingerprint, record) in records {
+        if find(&record.name).is_some() {
+            continue;
+        }
+        let (Some(compiled), _) = kbp_lang::check(&record.source) else {
+            continue;
+        };
+        if definition_fingerprint(&record.name, compiled.recall(), &record.source) != fingerprint {
+            continue;
+        }
+        definitions.insert(
+            record.name.clone(),
+            Arc::new(Definition {
+                name: record.name,
+                owner: record.owner,
+                source: record.source,
+                fingerprint,
+                compiled,
+            }),
+        );
+    }
+    let restored = definitions.len();
+    (definitions, restored)
+}
+
+/// The `ok: false` answer to a `define` whose source does not compile:
+/// kind `invalid_program`, with every diagnostic as a typed object
+/// carrying 1-based line/column spans.
+fn invalid_program_response(id: u64, source: &str, diagnostics: &[Diagnostic]) -> Json {
+    obj(vec![
+        ("id", Json::U64(id)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str("invalid_program".into())),
+                (
+                    "message",
+                    Json::Str(format!(
+                        "source does not compile: {} error(s)",
+                        diagnostics
+                            .iter()
+                            .filter(|d| d.severity == Severity::Error)
+                            .count()
+                    )),
+                ),
+                ("diagnostics", diagnostics_json(source, diagnostics)),
+            ]),
+        ),
+    ])
+}
+
+/// Serializes analyzer diagnostics with 1-based line/column spans
+/// resolved against `source`, ordered by span then severity (the
+/// analyzer already emits them sorted; sort again so the wire shape is
+/// an invariant, not an implementation detail).
+fn diagnostics_json(source: &str, diagnostics: &[Diagnostic]) -> Json {
+    let map = LineMap::new(source);
+    let mut sorted: Vec<&Diagnostic> = diagnostics.iter().collect();
+    sorted.sort_by_key(|d| (d.span.start, d.span.end, d.severity == Severity::Warning));
+    Json::Arr(
+        sorted
+            .into_iter()
+            .map(|d| {
+                let start = map.line_col(d.span.start);
+                let end = map.line_col(d.span.end);
+                obj(vec![
+                    ("severity", Json::Str(d.severity.to_string())),
+                    ("line", Json::U64(start.line as u64)),
+                    ("col", Json::U64(start.col as u64)),
+                    ("end_line", Json::U64(end.line as u64)),
+                    ("end_col", Json::U64(end.col as u64)),
+                    ("message", Json::Str(d.message.clone())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn response_head(job: &JobRequest, kind: &str, horizon: usize) -> Vec<(String, Json)> {
@@ -1527,7 +2023,12 @@ mod tests {
         }
         // The protection bounds: garbage is a startup error, but zero is
         // the documented "disabled" value.
-        for var in [IDLE_TIMEOUT_ENV, WRITE_BUDGET_ENV, WRITE_STALL_ENV] {
+        for var in [
+            IDLE_TIMEOUT_ENV,
+            WRITE_BUDGET_ENV,
+            WRITE_STALL_ENV,
+            CLIENT_DEFINITIONS_ENV,
+        ] {
             assert!(
                 matches!(run(&[(var, "soon")]), Err(ConfigError::Size { .. })),
                 "{var}=soon must be rejected"
@@ -1536,6 +2037,8 @@ mod tests {
         }
         let disabled = run(&[(IDLE_TIMEOUT_ENV, "0")]).unwrap();
         assert_eq!(disabled.idle_timeout_ms, 0);
+        let unlimited = run(&[(CLIENT_DEFINITIONS_ENV, "0")]).unwrap();
+        assert_eq!(unlimited.client_definitions, 0);
         // The engine variables are validated here too (satellite of the
         // daemon-robustness sweep): the engine itself would silently
         // fall back, the daemon must not start.
@@ -1563,6 +2066,7 @@ mod tests {
             (IDLE_TIMEOUT_ENV, "1500"),
             (WRITE_BUDGET_ENV, "8192"),
             (WRITE_STALL_ENV, "2500"),
+            (CLIENT_DEFINITIONS_ENV, "3"),
         ])
         .unwrap();
         assert_eq!(ok.workers, 3);
@@ -1579,6 +2083,7 @@ mod tests {
         assert_eq!(ok.idle_timeout_ms, 1500);
         assert_eq!(ok.write_budget_bytes, 8192);
         assert_eq!(ok.write_stall_ms, 2500);
+        assert_eq!(ok.client_definitions, 3);
     }
 
     #[test]
@@ -1670,6 +2175,247 @@ mod tests {
         assert_eq!(stats.cache.compacted, 1);
         assert_eq!(stats.cache.compact_failures, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn dsl_source() -> String {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/dsl/bit_transmission.kbp"
+        );
+        std::fs::read_to_string(path).expect("bit_transmission example exists")
+    }
+
+    fn define(id: u64, name: Option<&str>, source: &str, client: Option<&str>) -> DefineRequest {
+        DefineRequest {
+            id,
+            name: name.map(str::to_string),
+            source: source.to_string(),
+            client: client.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn defined_scenarios_solve_bit_identically_to_the_registry() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let response =
+            service.define_response(&define(1, Some("bt_dsl"), &dsl_source(), None), "local");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response:?}");
+        assert_eq!(response.get("kind"), Some(&Json::Str("define".into())));
+        assert_eq!(response.get("scenario"), Some(&Json::Str("bt_dsl".into())));
+        assert_eq!(response.get("solvable"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("default_horizon"), Some(&Json::U64(5)));
+        assert_eq!(response.get("agents"), Some(&Json::U64(2)));
+        assert_eq!(response.get("redefined"), Some(&Json::Bool(false)));
+        assert_eq!(service.stats().definitions_active, 1);
+
+        // The defined scenario answers every field identically to the
+        // compiled-in registry scenario, except the echoed name.
+        let registry = service.execute(&job(
+            r#"{"id":7,"kind":"solve","scenario":"bit_transmission"}"#,
+        ));
+        let defined = service.execute(&job(r#"{"id":7,"kind":"solve","scenario":"bt_dsl"}"#));
+        let (Json::Obj(registry), Json::Obj(defined)) = (&registry, &defined) else {
+            panic!("solve responses must be objects");
+        };
+        assert_eq!(registry.len(), defined.len());
+        for ((rk, rv), (dk, dv)) in registry.iter().zip(defined.iter()) {
+            assert_eq!(rk, dk, "field order must match");
+            if rk == "scenario" {
+                assert_eq!(dv, &Json::Str("bt_dsl".into()));
+            } else {
+                assert_eq!(rv, dv, "field '{rk}' differs");
+            }
+        }
+
+        // check works against the defined scenario too.
+        let checked = service.execute(&job(r#"{"id":8,"kind":"check","scenario":"bt_dsl"}"#));
+        assert_eq!(checked.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(checked.get("is_implementation"), Some(&Json::Bool(true)));
+
+        // No fault plumbing for definitions: typed unsupported answers.
+        let faulted = service.execute(&job(
+            r#"{"id":9,"kind":"solve","scenario":"bt_dsl","fault":"loss"}"#,
+        ));
+        assert_eq!(faulted.get("ok"), Some(&Json::Bool(false)));
+        let lattice = service.execute(&job(
+            r#"{"id":10,"kind":"fault_lattice","scenario":"bt_dsl"}"#,
+        ));
+        let error = lattice.get("error").unwrap();
+        assert_eq!(error.get("kind"), Some(&Json::Str("unsupported".into())));
+    }
+
+    #[test]
+    fn define_admission_enforces_names_and_quotas() {
+        let service = Service::new(ServiceConfig::new().workers(1).client_definitions(1));
+        let source = dsl_source();
+
+        // Registry names cannot be shadowed — neither explicitly nor via
+        // the declared name (the example declares "bit_transmission").
+        for name in [Some("muddy_children_3"), None] {
+            let response = service.define_response(&define(1, name, &source, None), "local");
+            assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+            let error = response.get("error").unwrap();
+            assert_eq!(error.get("kind"), Some(&Json::Str("name_reserved".into())));
+        }
+
+        // tenant-a claims a name; tenant-b may neither take it nor
+        // redefine it.
+        let ok = service.define_response(
+            &define(2, Some("shared"), &source, Some("tenant-a")),
+            "local",
+        );
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        let stolen = service.define_response(
+            &define(3, Some("shared"), &source, Some("tenant-b")),
+            "local",
+        );
+        let error = stolen.get("error").unwrap();
+        assert_eq!(error.get("kind"), Some(&Json::Str("name_reserved".into())));
+
+        // tenant-a redefining its own name is fine and does not charge
+        // the quota (limit is 1 and the redefine succeeds)...
+        let redefined = service.define_response(
+            &define(
+                4,
+                Some("shared"),
+                &format!("{source}\n# v2"),
+                Some("tenant-a"),
+            ),
+            "local",
+        );
+        assert_eq!(redefined.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(redefined.get("redefined"), Some(&Json::Bool(true)));
+
+        // ...but a second distinct name trips the quota with typed
+        // held/limit fields.
+        let over = service.define_response(
+            &define(5, Some("second"), &source, Some("tenant-a")),
+            "local",
+        );
+        assert_eq!(over.get("ok"), Some(&Json::Bool(false)));
+        let error = over.get("error").unwrap();
+        assert_eq!(
+            error.get("kind"),
+            Some(&Json::Str("definition_quota".into()))
+        );
+        assert!(error.get("message").unwrap().to_line().contains("1 of 1"));
+
+        // A different client identity has its own window.
+        let other = service.define_response(
+            &define(6, Some("second"), &source, Some("tenant-b")),
+            "local",
+        );
+        assert_eq!(other.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(service.stats().definitions_active, 2);
+    }
+
+    #[test]
+    fn invalid_programs_answer_diagnostics_with_spans() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let source = "scenario broken {\n  agents a\n  vars x\n  init [0]\n  obs a = y\n}\n";
+        let response = service.define_response(&define(1, None, source, None), "local");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        let error = response.get("error").unwrap();
+        assert_eq!(
+            error.get("kind"),
+            Some(&Json::Str("invalid_program".into()))
+        );
+        let Some(Json::Arr(diags)) = error.get("diagnostics") else {
+            panic!("diagnostics array missing: {}", response.to_line());
+        };
+        assert!(!diags.is_empty());
+        let undefined = diags
+            .iter()
+            .find(|d| d.get("message").unwrap().to_line().contains('y'))
+            .expect("a diagnostic mentions the undefined variable");
+        assert_eq!(undefined.get("severity"), Some(&Json::Str("error".into())));
+        assert_eq!(undefined.get("line"), Some(&Json::U64(5)));
+        assert!(undefined.get("col").unwrap().as_u64().unwrap() >= 9);
+        // Nothing was registered.
+        assert_eq!(service.stats().definitions_active, 0);
+    }
+
+    #[test]
+    fn definitions_survive_a_warm_restart_and_redefinition_compacts() {
+        let dir = std::env::temp_dir().join(format!(
+            "kbp-service-def-restart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let source = dsl_source();
+        let config = || ServiceConfig::new().workers(1).cache_dir(Some(dir.clone()));
+        {
+            let service = Service::new(config());
+            let ok = service.define_response(&define(1, Some("bt_dsl"), &source, None), "local");
+            assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+            // Warm the cache for the defined fingerprint, then persist.
+            let _ = service.execute(&job(r#"{"id":2,"kind":"solve","scenario":"bt_dsl"}"#));
+            service.persist();
+        }
+        let survivor_fp = {
+            // Restart: the definition and its warm session both return.
+            let service = Service::new(config());
+            let stats = service.stats();
+            assert_eq!(stats.definitions_active, 1);
+            assert_eq!(stats.definitions_restored, 1);
+            let response = service.execute(&job(r#"{"id":3,"kind":"solve","scenario":"bt_dsl"}"#));
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+            assert!(
+                service.stats().layers_restored > 0,
+                "restart must answer warm from the persisted session"
+            );
+            // Redefine with different source: new fingerprint; the old
+            // session file is no longer producible and compacts away.
+            let redefined = service.define_response(
+                &define(4, Some("bt_dsl"), &format!("{source}\n# v2"), None),
+                "local",
+            );
+            assert_eq!(redefined.get("ok"), Some(&Json::Bool(true)));
+            let _ = service.execute(&job(r#"{"id":5,"kind":"solve","scenario":"bt_dsl"}"#));
+            service.persist();
+            redefined.get("fingerprint").unwrap().as_u64().unwrap()
+        };
+        let store = crate::persist::SessionStore::open(&dir).unwrap();
+        assert_eq!(
+            store.list().unwrap(),
+            vec![survivor_fp],
+            "only the redefined fingerprint's session survives compaction"
+        );
+        let defs = store.load_definitions().unwrap();
+        assert_eq!(defs.len(), 1, "the stale definition file was replaced");
+        assert_eq!(defs[0].0, survivor_fp);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_surface_eval_and_definition_counters() {
+        let service = Service::new(ServiceConfig::new().workers(1));
+        let _ = service.execute(&job(
+            r#"{"id":1,"kind":"solve","scenario":"muddy_children_3"}"#,
+        ));
+        let metrics = service.metrics_response(None, 0);
+        let eval = metrics.get("eval").unwrap();
+        assert!(eval.get("layers").unwrap().as_u64().unwrap() > 0);
+        // Small scenarios stay sequential and under the quotient
+        // threshold: the counters exist and read zero/null.
+        assert_eq!(eval.get("sharded_layers"), Some(&Json::U64(0)));
+        assert_eq!(eval.get("quotient_ratio_permille"), Some(&Json::Null));
+        let defs = metrics.get("definitions").unwrap();
+        assert_eq!(defs.get("active"), Some(&Json::U64(0)));
+        assert_eq!(defs.get("restored"), Some(&Json::U64(0)));
+        assert_eq!(
+            defs.get("quota"),
+            Some(&Json::U64(DEFAULT_CLIENT_DEFINITIONS as u64))
+        );
+        // The aggregate ratio helper: per-mille of surviving worlds.
+        let eval = EvalStats {
+            quotient_worlds: 250,
+            quotiented_points: 1000,
+            ..EvalStats::default()
+        };
+        assert_eq!(eval.quotient_ratio_permille(), Some(250));
+        assert_eq!(EvalStats::default().quotient_ratio_permille(), None);
     }
 
     #[test]

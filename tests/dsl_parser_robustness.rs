@@ -1,0 +1,318 @@
+//! Robustness of the `.kbp` surface language:
+//!
+//! * pretty-print → reparse is a fixpoint on generated scenario ASTs
+//!   (the canonical printer emits exactly the syntax the parser reads);
+//! * the parser and analyzer are total — arbitrary byte soup and
+//!   single-byte mutations of valid scenarios yield diagnostics, never
+//!   panics.
+
+use kbp_lang::ast::{
+    ActionsDecl, BinOp, CaseDecl, Expr, GroupOp, Guard, Ident, InitDecl, LocalDecl, ObsDecl,
+    ProgramDecl, PropDecl, RecallKind, Scenario, TransitionDecl, UpdateDecl,
+};
+use kbp_lang::span::Span;
+use kbp_lang::{analyze, parse};
+use proptest::prelude::*;
+
+// ---- deterministic AST generator -----------------------------------------
+
+/// SplitMix64: a tiny deterministic stream of u64s from one seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+const AGENTS: &[&str] = &["alice", "bob", "carol"];
+const VARS: &[&str] = &["xreg", "yreg", "zreg"];
+const PROPS: &[&str] = &["wet", "lit", "done"];
+const ACTIONS: &[&str] = &["halt", "step", "ping", "pong"];
+const ENVS: &[&str] = &["calm", "storm"];
+
+fn id(name: &str) -> Ident {
+    Ident::new(name, Span::default())
+}
+
+fn pick(g: &mut Gen, pool: &[&str]) -> Ident {
+    id(pool[g.below(pool.len() as u64) as usize])
+}
+
+fn gen_expr(g: &mut Gen, depth: u64, transition: bool) -> Expr {
+    let s = Span::default();
+    if depth == 0 || g.below(4) == 0 {
+        return match g.below(if transition { 4 } else { 2 }) {
+            0 => Expr::Num(g.below(1000), s),
+            1 => Expr::Var(pick(g, VARS)),
+            2 => Expr::Env(s),
+            _ => Expr::Act(pick(g, AGENTS), s),
+        };
+    }
+    match g.below(3) {
+        0 => Expr::Not(Box::new(gen_expr(g, depth - 1, transition)), s),
+        1 => {
+            const OPS: &[BinOp] = &[
+                BinOp::Mul,
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Shl,
+                BinOp::Shr,
+                BinOp::BitAnd,
+                BinOp::BitXor,
+                BinOp::BitOr,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::And,
+                BinOp::Or,
+            ];
+            let op = OPS[g.below(OPS.len() as u64) as usize];
+            Expr::Bin(
+                op,
+                Box::new(gen_expr(g, depth - 1, transition)),
+                Box::new(gen_expr(g, depth - 1, transition)),
+                s,
+            )
+        }
+        _ => Expr::If(
+            Box::new(gen_expr(g, depth - 1, transition)),
+            Box::new(gen_expr(g, depth - 1, transition)),
+            Box::new(gen_expr(g, depth - 1, transition)),
+            s,
+        ),
+    }
+}
+
+fn gen_guard(g: &mut Gen, depth: u64) -> Guard {
+    let s = Span::default();
+    if depth == 0 || g.below(5) == 0 {
+        return match g.below(3) {
+            0 => Guard::True(s),
+            1 => Guard::False(s),
+            _ => Guard::Prop(pick(g, PROPS)),
+        };
+    }
+    match g.below(10) {
+        0 => Guard::Not(Box::new(gen_guard(g, depth - 1)), s),
+        1 => {
+            let n = 2 + g.below(2);
+            Guard::And((0..n).map(|_| gen_guard(g, depth - 1)).collect(), s)
+        }
+        2 => {
+            let n = 2 + g.below(2);
+            Guard::Or((0..n).map(|_| gen_guard(g, depth - 1)).collect(), s)
+        }
+        3 => Guard::Implies(
+            Box::new(gen_guard(g, depth - 1)),
+            Box::new(gen_guard(g, depth - 1)),
+            s,
+        ),
+        4 => Guard::Iff(
+            Box::new(gen_guard(g, depth - 1)),
+            Box::new(gen_guard(g, depth - 1)),
+            s,
+        ),
+        5 => Guard::Knows(pick(g, AGENTS), Box::new(gen_guard(g, depth - 1)), s),
+        6 => {
+            let op = match g.below(3) {
+                0 => GroupOp::Everyone,
+                1 => GroupOp::Common,
+                _ => GroupOp::Distributed,
+            };
+            let n = 1 + g.below(2);
+            Guard::Group(
+                op,
+                (0..n).map(|_| pick(g, AGENTS)).collect(),
+                Box::new(gen_guard(g, depth - 1)),
+                s,
+            )
+        }
+        7 => Guard::Next(Box::new(gen_guard(g, depth - 1)), s),
+        8 => Guard::Eventually(Box::new(gen_guard(g, depth - 1)), s),
+        _ => Guard::Until(
+            Box::new(gen_guard(g, depth - 1)),
+            Box::new(gen_guard(g, depth - 1)),
+            s,
+        ),
+    }
+}
+
+fn gen_scenario(seed: u64) -> Scenario {
+    let g = &mut Gen(seed);
+    let s = Span::default();
+    let agent_count = 1 + g.below(AGENTS.len() as u64) as usize;
+    let var_count = 1 + g.below(VARS.len() as u64) as usize;
+    let mut sc = Scenario {
+        name: id("generated"),
+        span: s,
+        horizon: g.flag().then(|| (g.below(20), s)),
+        recall: g.flag().then(|| {
+            (
+                if g.flag() {
+                    RecallKind::Perfect
+                } else {
+                    RecallKind::Observational
+                },
+                s,
+            )
+        }),
+        agents: AGENTS[..agent_count].iter().map(|a| id(a)).collect(),
+        vars: VARS[..var_count].iter().map(|v| id(v)).collect(),
+        ..Scenario::default()
+    };
+    for _ in 0..1 + g.below(3) {
+        sc.inits.push(InitDecl {
+            values: (0..var_count).map(|_| (g.below(100), s)).collect(),
+            span: s,
+        });
+    }
+    if g.flag() {
+        sc.env_actions = ENVS[..1 + g.below(2) as usize]
+            .iter()
+            .map(|e| id(e))
+            .collect();
+    }
+    for agent in &AGENTS[..agent_count] {
+        sc.actions.push(ActionsDecl {
+            agent: id(agent),
+            actions: ACTIONS[..1 + g.below(3) as usize]
+                .iter()
+                .map(|x| id(x))
+                .collect(),
+            span: s,
+        });
+        let obs_depth = 1 + g.below(3);
+        sc.obs.push(ObsDecl {
+            agent: id(agent),
+            expr: gen_expr(g, obs_depth, false),
+            span: s,
+        });
+    }
+    let prop_count = g.below(PROPS.len() as u64 + 1) as usize;
+    for name in &PROPS[..prop_count] {
+        let prop_depth = 1 + g.below(2);
+        sc.props.push(PropDecl {
+            name: id(name),
+            expr: gen_expr(g, prop_depth, false),
+            span: s,
+        });
+    }
+    for _ in 0..g.below(3) {
+        sc.locals.push(LocalDecl {
+            agent: pick(g, &AGENTS[..agent_count]),
+            props: vec![pick(g, PROPS)],
+            span: s,
+        });
+    }
+    if g.flag() {
+        sc.transition = Some(TransitionDecl {
+            updates: (0..g.below(var_count as u64 + 1))
+                .map(|i| {
+                    let depth = 1 + g.below(3);
+                    UpdateDecl {
+                        var: id(VARS[i as usize % var_count]),
+                        expr: gen_expr(g, depth, true),
+                        span: s,
+                    }
+                })
+                .collect(),
+            span: s,
+        });
+    }
+    let program_count = g.below(agent_count as u64 + 1) as usize;
+    for agent in &AGENTS[..program_count] {
+        let cases = (0..g.below(3))
+            .map(|_| {
+                let depth = 1 + g.below(3);
+                CaseDecl {
+                    guard: gen_guard(g, depth),
+                    action: pick(g, ACTIONS),
+                    span: s,
+                }
+            })
+            .collect();
+        sc.programs.push(ProgramDecl {
+            agent: id(agent),
+            cases,
+            default: g.flag().then(|| pick(g, ACTIONS)),
+            span: s,
+        });
+    }
+    sc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing a generated scenario and reparsing it is a fixpoint:
+    /// the reparse is clean and prints byte-identically.
+    #[test]
+    fn pretty_print_reparse_roundtrips(seed in any::<u64>()) {
+        let scenario = gen_scenario(seed);
+        let first = scenario.to_source();
+        let (reparsed, diags) = parse(&first);
+        prop_assert!(diags.is_empty(), "diagnostics on printed source: {diags:?}\n{first}");
+        let reparsed = reparsed.expect("printed source parses");
+        let second = reparsed.to_source();
+        prop_assert_eq!(first, second);
+    }
+
+    /// The scenario parser (and analyzer) never panic on byte soup.
+    #[test]
+    fn parser_is_total(input in ".{0,200}") {
+        let (sc, mut diags) = parse(&input);
+        if let Some(sc) = &sc {
+            let _ = analyze(sc, &mut diags);
+        }
+    }
+
+    /// Keyword/operator soup exercises every recovery path.
+    #[test]
+    fn parser_total_on_keyword_soup(
+        input in "(scenario|init|program|case|do|act|env|if|K\\{|[a-z{}\\[\\]()=<>!&|,:0-9# \\n]){0,120}"
+    ) {
+        let (sc, mut diags) = parse(&input);
+        if let Some(sc) = &sc {
+            let _ = analyze(sc, &mut diags);
+        }
+    }
+
+    /// Single-byte mutations of a real scenario file parse or produce
+    /// diagnostics, never panics — and the unmutated file stays clean.
+    #[test]
+    fn parser_survives_mutation(pos in 0usize..2000, byte in 32u8..127) {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/dsl/bit_transmission.kbp");
+        let source = std::fs::read_to_string(path).expect("example exists");
+        {
+            let (sc, mut diags) = parse(&source);
+            let sc = sc.expect("example parses");
+            analyze(&sc, &mut diags);
+            prop_assert!(diags.is_empty(), "{diags:?}");
+        }
+        let mut bytes = source.into_bytes();
+        let idx = pos % bytes.len();
+        bytes[idx] = byte;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let (sc, mut diags) = parse(&mutated);
+            if let Some(sc) = &sc {
+                let _ = analyze(sc, &mut diags);
+            }
+        }
+    }
+}
