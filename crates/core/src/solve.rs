@@ -181,6 +181,12 @@ pub struct SolveStats {
     /// configuration: carried/restored layers skip the fill entirely and
     /// never engage the quotient stage.
     pub layers_quotiented: usize,
+    /// Layers *generated* as strictly fewer bisimulation representatives
+    /// than their explicit-equivalent width by the fused step+quotient
+    /// path ([`LayerStats::gen_quotient_worlds`] > 0 and < `points`).
+    /// A property of generation, not of evaluation scheduling: such
+    /// layers were never resident explicitly.
+    pub layers_gen_quotiented: usize,
 }
 
 /// The unique implementation of a past-determined KBP, as constructed by
@@ -532,6 +538,7 @@ pub struct SyncSolver<'a> {
     eval_threads: Option<usize>,
     shard_min_worlds: Option<usize>,
     quotient_min_worlds: Option<usize>,
+    gen_quotient_min_worlds: Option<usize>,
     carry_forward: bool,
     carry_threshold: usize,
 }
@@ -561,6 +568,7 @@ impl<'a> SyncSolver<'a> {
             eval_threads: None,
             shard_min_worlds: None,
             quotient_min_worlds: None,
+            gen_quotient_min_worlds: None,
             carry_forward: true,
             carry_threshold: DEFAULT_CARRY_THRESHOLD,
         }
@@ -629,6 +637,20 @@ impl<'a> SyncSolver<'a> {
     #[must_use]
     pub fn quotient_min_worlds(mut self, worlds: usize) -> Self {
         self.quotient_min_worlds = Some(worlds);
+        self
+    }
+
+    /// Sets the minimum frontier width (points) before the builder's
+    /// fused step+quotient generation path engages (default: the
+    /// `KBP_GEN_QUOTIENT_MIN_WORLDS` environment variable if set, else
+    /// [`kbp_kripke::DEFAULT_GEN_QUOTIENT_MIN_WORLDS`]). `0` generates
+    /// every layer as bisimulation representatives with multiplicities;
+    /// `usize::MAX` keeps generation explicit. The solution is
+    /// bit-identical for every value — only which points are resident
+    /// ([`LayerStats::gen_quotient_worlds`], memory, wall-clock) changes.
+    #[must_use]
+    pub fn gen_quotient_min_worlds(mut self, worlds: usize) -> Self {
+        self.gen_quotient_min_worlds = Some(worlds);
         self
     }
 
@@ -730,6 +752,9 @@ impl<'a> SyncSolver<'a> {
         if let Some(limit) = self.node_limit {
             builder.set_node_limit(limit);
         }
+        if let Some(worlds) = self.gen_quotient_min_worlds {
+            builder.set_gen_quotient_min_worlds(worlds);
+        }
         let mut protocol = MapProtocol::new(vec![kbp_systems::ActionId(0)]);
         for program in self.kbp.programs() {
             protocol.set_agent_default(program.agent(), vec![program.default_action()]);
@@ -797,7 +822,7 @@ impl<'a> SyncSolver<'a> {
                        exhausted: BudgetExhausted| {
             let system = builder.finish();
             stats.layers = system.layer_count();
-            stats.points = system.point_count();
+            stats.points = usize::try_from(system.explicit_point_count()).unwrap_or(usize::MAX);
             SolveOutcome::Partial(Box::new(PartialSolution {
                 system,
                 protocol,
@@ -808,12 +833,20 @@ impl<'a> SyncSolver<'a> {
         };
 
         for t in 0..=self.horizon {
+            // `frontier` is the resident width (representatives on layers
+            // from the fused generation path) and governs everything tied
+            // to the layer's S5 model: snapshot keying, carry thresholds,
+            // kernel shard plans. `frontier_explicit` is the
+            // explicit-equivalent width and governs everything with
+            // *semantic* meaning: budgets and [`LayerStats::points`].
             let frontier = builder.current().len();
-            total_points += frontier;
+            let frontier_explicit =
+                usize::try_from(builder.current().explicit_len()).unwrap_or(usize::MAX);
+            total_points = total_points.saturating_add(frontier_explicit);
             if let Some(exhausted) = self.budget.exhausted(
                 started,
                 t,
-                frontier,
+                frontier_explicit,
                 stats.guard_evaluations,
                 total_points,
                 agents,
@@ -911,14 +944,33 @@ impl<'a> SyncSolver<'a> {
             } else {
                 0
             };
+            // Generation-side observability: a layer built by the fused
+            // step+quotient path reports its resident representative count
+            // and the compression against its explicit-equivalent width.
+            let gen_quotient_worlds = if builder.current().is_reduced() {
+                frontier
+            } else {
+                0
+            };
+            if gen_quotient_worlds > 0 && gen_quotient_worlds < frontier_explicit {
+                stats.layers_gen_quotiented += 1;
+            }
+            let gen_quotient_ratio = if gen_quotient_worlds > 0 && frontier_explicit > 0 {
+                u32::try_from(gen_quotient_worlds.saturating_mul(1000) / frontier_explicit)
+                    .unwrap_or(u32::MAX)
+            } else {
+                0
+            };
             per_layer.push(LayerStats {
                 layer: t,
-                points: frontier,
+                points: frontier_explicit,
                 guard_evaluations: stats.guard_evaluations - evals_before,
                 protocol_entries: stats.protocol_entries - entries_before,
                 shards,
                 quotient_worlds,
                 quotient_ratio,
+                gen_quotient_worlds,
+                gen_quotient_ratio,
             });
             if t < self.horizon {
                 match builder.step(&choices) {
@@ -939,7 +991,7 @@ impl<'a> SyncSolver<'a> {
 
         let system = builder.finish();
         stats.layers = system.layer_count();
-        stats.points = system.point_count();
+        stats.points = usize::try_from(system.explicit_point_count()).unwrap_or(usize::MAX);
         let stabilized = system.stabilization();
         Ok(SolveOutcome::Complete(Box::new(Solution {
             system,
@@ -971,8 +1023,15 @@ impl<'a> SyncSolver<'a> {
         // One sharded fill per layer covers all programs: a subformula
         // used by several agents' guards is evaluated once, and
         // independent guards run on separate workers. A carried-forward
-        // cache already holds every root, making this a no-op.
-        engine.populate(model, cache, flat_ids)?;
+        // cache already holds every root, making this a no-op. A layer
+        // generated by the fused step+quotient path arrives pre-reduced —
+        // its worlds already are bisimulation classes — so the engine's
+        // own re-quotient stage is skipped for it.
+        if layer.is_reduced() {
+            engine.populate_prereduced(model, cache, flat_ids)?;
+        } else {
+            engine.populate(model, cache, flat_ids)?;
+        }
         for (program, ids) in self.kbp.programs().iter().zip(guard_ids) {
             let agent = program.agent();
             let guard_sets: Vec<&BitSet> = ids.iter().filter_map(|&id| cache.get(id)).collect();
@@ -983,29 +1042,62 @@ impl<'a> SyncSolver<'a> {
             }
             stats.guard_evaluations += guard_sets.len();
 
-            // Group nodes by the agent's local state; the guard valuation
-            // must be constant on each group.
+            // Group points by the agent's local state; the guard valuation
+            // must be constant on each group. On a reduced layer the
+            // grouping runs over the class-level incidence structure
+            // (every *member* local of every class — the explicit points a
+            // class stands for are real run prefixes and each needs a
+            // protocol entry); explicit points folded into one class are
+            // bisimilar and cannot disagree on a guard, so checking across
+            // classes per member local sees exactly the disagreements the
+            // explicit loop would.
             let mut seen: std::collections::HashMap<kbp_systems::LocalId, (usize, Vec<bool>)> =
                 std::collections::HashMap::new();
-            for (ni, node) in layer.nodes().iter().enumerate() {
-                let local = node.local(agent);
-                let truths: Vec<bool> = guard_sets.iter().map(|s| s.contains(ni)).collect();
-                match seen.get(&local) {
-                    Some((_, prev)) if *prev != truths => {
-                        let clause = prev
-                            .iter()
-                            .zip(&truths)
-                            .position(|(a, b)| a != b)
-                            .unwrap_or(0);
-                        return Err(SolveError::LocalityViolation {
-                            agent,
-                            clause,
-                            time,
-                        });
+            if let Some(q) = layer.quotient().filter(|q| q.class_count() == layer.len()) {
+                for c in 0..q.class_count() {
+                    let truths: Vec<bool> = guard_sets.iter().map(|s| s.contains(c)).collect();
+                    for &local in q.members(agent, c) {
+                        match seen.get(&local) {
+                            Some((_, prev)) if *prev != truths => {
+                                let clause = prev
+                                    .iter()
+                                    .zip(&truths)
+                                    .position(|(a, b)| a != b)
+                                    .unwrap_or(0);
+                                return Err(SolveError::LocalityViolation {
+                                    agent,
+                                    clause,
+                                    time,
+                                });
+                            }
+                            Some(_) => {}
+                            None => {
+                                seen.insert(local, (c, truths.clone()));
+                            }
+                        }
                     }
-                    Some(_) => {}
-                    None => {
-                        seen.insert(local, (ni, truths));
+                }
+            } else {
+                for (ni, node) in layer.nodes().iter().enumerate() {
+                    let local = node.local(agent);
+                    let truths: Vec<bool> = guard_sets.iter().map(|s| s.contains(ni)).collect();
+                    match seen.get(&local) {
+                        Some((_, prev)) if *prev != truths => {
+                            let clause = prev
+                                .iter()
+                                .zip(&truths)
+                                .position(|(a, b)| a != b)
+                                .unwrap_or(0);
+                            return Err(SolveError::LocalityViolation {
+                                agent,
+                                clause,
+                                time,
+                            });
+                        }
+                        Some(_) => {}
+                        None => {
+                            seen.insert(local, (ni, truths));
+                        }
                     }
                 }
             }
@@ -1042,6 +1134,7 @@ serde::impl_serde_struct!(SolveStats {
     layers_restored,
     layers_sharded,
     layers_quotiented,
+    layers_gen_quotiented,
 });
 
 #[cfg(test)]

@@ -64,6 +64,23 @@ pub const QUOTIENT_MIN_WORLDS_ENV: &str = "KBP_QUOTIENT_MIN_WORLDS";
 /// bit-identical either way.
 pub const DEFAULT_QUOTIENT_MIN_WORLDS: usize = 4096;
 
+/// Environment variable overriding the *generation* quotient gate:
+/// frontiers with at least this many points are folded to bisimulation
+/// representatives with multiplicities before the next layer is
+/// generated, so the explicit frontier is never resident (DESIGN.md
+/// §17). `0` means "generate quotient-first from layer 0"; a huge value
+/// disables fused generation entirely. Read by
+/// `kbp_systems::SystemBuilder`; defined here so all engine gates share
+/// one parser and one error type.
+pub const GEN_QUOTIENT_MIN_WORLDS_ENV: &str = "KBP_GEN_QUOTIENT_MIN_WORLDS";
+
+/// Default generation quotient gate. Mirrors
+/// [`DEFAULT_QUOTIENT_MIN_WORLDS`]: narrow frontiers are generated
+/// explicitly (the canonicalization pass costs more than it saves
+/// there), wide frontiers advance on representatives — solutions are
+/// bit-identical either way.
+pub const DEFAULT_GEN_QUOTIENT_MIN_WORLDS: usize = 4096;
+
 /// Largest worker-thread count accepted from an environment variable.
 /// Far above any plausible machine; a value beyond it is a typo (an extra
 /// digit, a pasted timestamp), not a configuration.
@@ -200,6 +217,32 @@ pub fn env_quotient_min_worlds() -> Result<Option<usize>, ThreadConfigError> {
                 .map(Some)
                 .map_err(|_| ThreadConfigError::NotANumber {
                     var: QUOTIENT_MIN_WORLDS_ENV,
+                    value: raw,
+                })
+        }
+    }
+}
+
+/// Reads the generation quotient gate from
+/// [`GEN_QUOTIENT_MIN_WORLDS_ENV`]. `Ok(None)` when unset or empty. Like
+/// its two sibling gates, `0` is a valid setting (fuse step+quotient
+/// from layer 0) and there is no upper cap (a huge value keeps
+/// generation explicit).
+///
+/// # Errors
+///
+/// Returns [`ThreadConfigError::NotANumber`] if the variable holds
+/// anything but an unsigned integer.
+pub fn env_gen_quotient_min_worlds() -> Result<Option<usize>, ThreadConfigError> {
+    match std::env::var(GEN_QUOTIENT_MIN_WORLDS_ENV) {
+        Err(_) => Ok(None),
+        Ok(raw) if raw.trim().is_empty() => Ok(None),
+        Ok(raw) => {
+            raw.trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| ThreadConfigError::NotANumber {
+                    var: GEN_QUOTIENT_MIN_WORLDS_ENV,
                     value: raw,
                 })
         }
@@ -441,6 +484,32 @@ impl EvalEngine {
         if model.world_count() >= self.quotient_min_worlds
             && self.try_populate_quotiented(model, cache, &todo)?
         {
+            return Ok(());
+        }
+        self.populate_explicit(model, cache, &todo)
+    }
+
+    /// [`populate`](Self::populate) for a layer that is *already* a
+    /// bisimulation quotient: the re-quotient stage of DESIGN.md §15 is
+    /// skipped unconditionally, because re-deriving classes of a model
+    /// whose worlds are themselves class representatives wastes a
+    /// refinement pass to learn what the caller already knows. Threading
+    /// and intra-layer sharding still apply.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`populate`](Self::populate).
+    pub fn populate_prereduced(
+        &self,
+        model: &S5Model,
+        cache: &mut EvalCache,
+        roots: &[FormulaId],
+    ) -> Result<(), EvalError> {
+        cache.bind(model.world_count())?;
+        let mut todo: Vec<FormulaId> = roots.iter().copied().filter(|&r| !cache.has(r)).collect();
+        todo.sort_unstable();
+        todo.dedup();
+        if todo.is_empty() {
             return Ok(());
         }
         self.populate_explicit(model, cache, &todo)

@@ -68,9 +68,11 @@ pub use announce::{AnnounceError, Announcement};
 pub use bisim::Quotient;
 pub use bitset::BitSet;
 pub use engine::{
-    env_quotient_min_worlds, env_shard_min_worlds, env_threads, parse_thread_count, EvalEngine,
-    TemporalOps, ThreadConfigError, DEFAULT_QUOTIENT_MIN_WORLDS, DEFAULT_SHARD_MIN_WORLDS,
-    MAX_CONFIG_THREADS, QUOTIENT_MIN_WORLDS_ENV, SHARD_MIN_WORLDS_ENV, THREADS_ENV,
+    env_gen_quotient_min_worlds, env_quotient_min_worlds, env_shard_min_worlds, env_threads,
+    parse_thread_count, EvalEngine, TemporalOps, ThreadConfigError,
+    DEFAULT_GEN_QUOTIENT_MIN_WORLDS, DEFAULT_QUOTIENT_MIN_WORLDS, DEFAULT_SHARD_MIN_WORLDS,
+    GEN_QUOTIENT_MIN_WORLDS_ENV, MAX_CONFIG_THREADS, QUOTIENT_MIN_WORLDS_ENV, SHARD_MIN_WORLDS_ENV,
+    THREADS_ENV,
 };
 pub use eval::{blocks_inside, blocks_inside_sharded, EvalCache, EvalCacheSnapshot, EvalError};
 pub use events::{Event, EventId, EventModel, EventModelBuilder, Product, UpdateError};

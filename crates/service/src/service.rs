@@ -454,6 +454,16 @@ pub struct EvalStats {
     /// Points summed over quotiented layers (denominator of
     /// [`quotient_ratio_permille`](Self::quotient_ratio_permille)).
     pub quotiented_points: usize,
+    /// Layers generated directly on bisimulation representatives by the
+    /// fused step+quotient path (`gen_quotient_worlds > 0`).
+    pub gen_quotiented_layers: usize,
+    /// Resident representative worlds summed over generation-quotiented
+    /// layers.
+    pub gen_quotient_worlds: usize,
+    /// Explicit-equivalent points summed over generation-quotiented
+    /// layers (denominator of
+    /// [`gen_quotient_ratio_permille`](Self::gen_quotient_ratio_permille)).
+    pub gen_quotiented_points: usize,
 }
 
 impl EvalStats {
@@ -466,6 +476,22 @@ impl EvalStats {
             None
         } else {
             Some((self.quotient_worlds as u64).saturating_mul(1000) / self.quotiented_points as u64)
+        }
+    }
+
+    /// Aggregate generation-side compression in per-mille, `0..=1000`:
+    /// how many representative worlds were resident per thousand
+    /// explicit-equivalent points on the layers the fused step+quotient
+    /// path generated. `None` when it never ran.
+    #[must_use]
+    pub fn gen_quotient_ratio_permille(&self) -> Option<u64> {
+        if self.gen_quotiented_points == 0 {
+            None
+        } else {
+            Some(
+                (self.gen_quotient_worlds as u64).saturating_mul(1000)
+                    / self.gen_quotiented_points as u64,
+            )
         }
     }
 }
@@ -610,6 +636,9 @@ pub struct Service {
     eval_quotiented_layers: AtomicUsize,
     eval_quotient_worlds: AtomicUsize,
     eval_quotiented_points: AtomicUsize,
+    eval_gen_quotiented_layers: AtomicUsize,
+    eval_gen_quotient_worlds: AtomicUsize,
+    eval_gen_quotiented_points: AtomicUsize,
 }
 
 /// A registered DSL scenario: the compiled program plus its admission
@@ -729,6 +758,9 @@ impl Service {
             eval_quotiented_layers: AtomicUsize::new(0),
             eval_quotient_worlds: AtomicUsize::new(0),
             eval_quotiented_points: AtomicUsize::new(0),
+            eval_gen_quotiented_layers: AtomicUsize::new(0),
+            eval_gen_quotient_worlds: AtomicUsize::new(0),
+            eval_gen_quotiented_points: AtomicUsize::new(0),
         }
     }
 
@@ -782,6 +814,9 @@ impl Service {
                 quotiented_layers: self.eval_quotiented_layers.load(Ordering::Relaxed),
                 quotient_worlds: self.eval_quotient_worlds.load(Ordering::Relaxed),
                 quotiented_points: self.eval_quotiented_points.load(Ordering::Relaxed),
+                gen_quotiented_layers: self.eval_gen_quotiented_layers.load(Ordering::Relaxed),
+                gen_quotient_worlds: self.eval_gen_quotient_worlds.load(Ordering::Relaxed),
+                gen_quotiented_points: self.eval_gen_quotiented_points.load(Ordering::Relaxed),
             },
             definitions_active: self.definitions.lock().map_or(0, |defs| defs.len()),
             definitions_restored: self.definitions_restored.load(Ordering::Relaxed),
@@ -1121,6 +1156,9 @@ impl Service {
         let mut quotiented_layers = 0;
         let mut quotient_worlds = 0;
         let mut quotiented_points = 0;
+        let mut gen_quotiented_layers = 0;
+        let mut gen_quotient_worlds = 0;
+        let mut gen_quotiented_points = 0;
         for layer in per_layer {
             if layer.shards > 1 {
                 sharded_layers += 1;
@@ -1130,6 +1168,11 @@ impl Service {
                 quotiented_layers += 1;
                 quotient_worlds += layer.quotient_worlds;
                 quotiented_points += layer.points;
+            }
+            if layer.gen_quotient_worlds > 0 {
+                gen_quotiented_layers += 1;
+                gen_quotient_worlds += layer.gen_quotient_worlds;
+                gen_quotiented_points += layer.points;
             }
         }
         self.eval_layers
@@ -1143,6 +1186,12 @@ impl Service {
             .fetch_add(quotient_worlds, Ordering::Relaxed);
         self.eval_quotiented_points
             .fetch_add(quotiented_points, Ordering::Relaxed);
+        self.eval_gen_quotiented_layers
+            .fetch_add(gen_quotiented_layers, Ordering::Relaxed);
+        self.eval_gen_quotient_worlds
+            .fetch_add(gen_quotient_worlds, Ordering::Relaxed);
+        self.eval_gen_quotiented_points
+            .fetch_add(gen_quotiented_points, Ordering::Relaxed);
     }
 
     fn run_solve(&self, job: &JobRequest, resolved: &Resolved, horizon: usize) -> Json {
@@ -1451,6 +1500,25 @@ impl Service {
                         stats
                             .eval
                             .quotient_ratio_permille()
+                            .map_or(Json::Null, Json::U64),
+                    ),
+                    (
+                        "gen_quotiented_layers",
+                        Json::U64(stats.eval.gen_quotiented_layers as u64),
+                    ),
+                    (
+                        "gen_quotient_worlds",
+                        Json::U64(stats.eval.gen_quotient_worlds as u64),
+                    ),
+                    (
+                        "gen_quotiented_points",
+                        Json::U64(stats.eval.gen_quotiented_points as u64),
+                    ),
+                    (
+                        "gen_quotient_ratio_permille",
+                        stats
+                            .eval
+                            .gen_quotient_ratio_permille()
                             .map_or(Json::Null, Json::U64),
                     ),
                 ]),
@@ -2401,6 +2469,8 @@ mod tests {
         // threshold: the counters exist and read zero/null.
         assert_eq!(eval.get("sharded_layers"), Some(&Json::U64(0)));
         assert_eq!(eval.get("quotient_ratio_permille"), Some(&Json::Null));
+        assert_eq!(eval.get("gen_quotiented_layers"), Some(&Json::U64(0)));
+        assert_eq!(eval.get("gen_quotient_ratio_permille"), Some(&Json::Null));
         let defs = metrics.get("definitions").unwrap();
         assert_eq!(defs.get("active"), Some(&Json::U64(0)));
         assert_eq!(defs.get("restored"), Some(&Json::U64(0)));
@@ -2416,6 +2486,13 @@ mod tests {
         };
         assert_eq!(eval.quotient_ratio_permille(), Some(250));
         assert_eq!(EvalStats::default().quotient_ratio_permille(), None);
+        let eval = EvalStats {
+            gen_quotient_worlds: 40,
+            gen_quotiented_points: 1000,
+            ..EvalStats::default()
+        };
+        assert_eq!(eval.gen_quotient_ratio_permille(), Some(40));
+        assert_eq!(EvalStats::default().gen_quotient_ratio_permille(), None);
     }
 
     #[test]

@@ -80,6 +80,6 @@ pub use runs::Run;
 pub use stabilize::{layer_renaming, LayerSignature};
 pub use state::{GlobalState, LocalId, LocalTable, Obs, StateId, StateTable};
 pub use system::{
-    generate, generate_until_stable, GenerateError, InterpretedSystem, Layer, Node, Point, Recall,
-    StepChoices, SystemBuilder,
+    generate, generate_until_stable, GenerateError, InterpretedSystem, Layer, Node, Point,
+    QuotientFrontier, Recall, StepChoices, SystemBuilder,
 };

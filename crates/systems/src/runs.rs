@@ -4,6 +4,16 @@
 //! time step, consecutive nodes connected by an edge. Because the builder
 //! merges epistemically identical points, a path here may stand for many
 //! concrete executions; what it preserves is everything formulas can see.
+//!
+//! On systems generated through the fused step+quotient path (see
+//! [`SystemBuilder::set_gen_quotient_min_worlds`]), each node is further a
+//! *bisimulation representative* carrying a multiplicity, so a path is a
+//! representative run: it stands for every explicit run threading through
+//! the corresponding bisimulation classes. Counts and enumerations below
+//! are therefore over representatives — the distinctions formulas can
+//! observe — not over explicit-equivalent executions.
+//!
+//! [`SystemBuilder::set_gen_quotient_min_worlds`]: crate::SystemBuilder::set_gen_quotient_min_worlds
 
 use crate::system::{InterpretedSystem, Point};
 use std::fmt;
@@ -57,7 +67,10 @@ impl InterpretedSystem {
     /// The number of distinct root-to-horizon paths.
     ///
     /// Counted over deduplicated child edges, so this is the number of
-    /// epistemically distinct executions, not raw scheduler choices.
+    /// epistemically distinct executions, not raw scheduler choices. On a
+    /// system with quotient-generated layers the paths are representative
+    /// runs (one per chain of bisimulation classes); multiplicities are
+    /// not expanded.
     #[must_use]
     pub fn run_count(&self) -> u128 {
         let last = self.layer_count() - 1;

@@ -16,8 +16,12 @@
 use crate::context::{ActionId, Context, ContextError, JointAction};
 use crate::protocol::{LocalView, ProtocolFn};
 use crate::state::{GlobalState, LocalId, LocalTable, Obs, StateId, StateTable};
-use kbp_kripke::{S5Builder, S5Model};
+use kbp_kripke::{
+    env_gen_quotient_min_worlds, Partition, S5Builder, S5Model, ThreadConfigError, UnionFind,
+    DEFAULT_GEN_QUOTIENT_MIN_WORLDS,
+};
 use kbp_logic::{Agent, PropId};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -106,11 +110,81 @@ impl Node {
     }
 }
 
+/// The bisimulation-class structure of a layer held (or stepped) as
+/// representatives: one representative point per class, an exact count of
+/// the explicit points the class stands for, and the per-agent local
+/// states those explicit points carry (the class-level
+/// indistinguishability structure).
+///
+/// Produced by the fused step+quotient generation path gated by
+/// [`KBP_GEN_QUOTIENT_MIN_WORLDS`](kbp_kripke::GEN_QUOTIENT_MIN_WORLDS_ENV);
+/// see DESIGN.md §17.
+#[derive(Debug, Clone)]
+pub struct QuotientFrontier {
+    /// Node index of each class's representative within the layer.
+    reps: Vec<u32>,
+    /// Exact number of explicit points each class stands for.
+    multiplicity: Vec<u64>,
+    /// `members[agent][class]`: sorted, deduplicated local states held by
+    /// the explicit points of the class. Always contains the
+    /// representative's own local state.
+    members: Vec<Vec<Vec<LocalId>>>,
+    /// Sum of all multiplicities: the explicit-equivalent layer width.
+    explicit_points: u64,
+}
+
+impl QuotientFrontier {
+    /// Number of bisimulation classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Node index (within the layer) of the representative of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn representative(&self, class: usize) -> usize {
+        self.reps[class] as usize
+    }
+
+    /// Exact number of explicit points `class` stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn multiplicity(&self, class: usize) -> u64 {
+        self.multiplicity[class]
+    }
+
+    /// The explicit-equivalent width of the layer: the number of points
+    /// an explicit unrolling would hold at this time step.
+    #[must_use]
+    pub fn explicit_points(&self) -> u64 {
+        self.explicit_points
+    }
+
+    /// The local states of `agent` across the explicit points of
+    /// `class`, sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent or class is out of range.
+    #[must_use]
+    pub fn members(&self, agent: Agent, class: usize) -> &[LocalId] {
+        &self.members[agent.index()][class]
+    }
+}
+
 /// The points at one time step, together with their S5 knowledge model.
 #[derive(Debug, Clone)]
 pub struct Layer {
     nodes: Vec<Node>,
     model: S5Model,
+    quotient: Option<QuotientFrontier>,
 }
 
 impl Layer {
@@ -120,7 +194,10 @@ impl Layer {
         &self.nodes
     }
 
-    /// Number of points.
+    /// Number of points materialized in this layer. On a layer generated
+    /// by the fused step+quotient path these are bisimulation
+    /// representatives; use [`explicit_len`](Self::explicit_len) for the
+    /// width an explicit unrolling would have.
     #[must_use]
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -132,9 +209,41 @@ impl Layer {
         self.nodes.is_empty()
     }
 
+    /// The explicit-equivalent width: the number of points an explicit
+    /// unrolling would hold at this time step. Equals
+    /// [`len`](Self::len) for explicitly generated layers.
+    #[must_use]
+    pub fn explicit_len(&self) -> u64 {
+        match &self.quotient {
+            Some(q) => q.explicit_points(),
+            None => self.nodes.len() as u64,
+        }
+    }
+
+    /// The bisimulation-class structure, when this layer is held as (or
+    /// has been folded to) quotient representatives.
+    #[must_use]
+    pub fn quotient(&self) -> Option<&QuotientFrontier> {
+        self.quotient.as_ref()
+    }
+
+    /// Whether the layer's nodes *are* its class representatives (one
+    /// node per class). True for every layer produced by the fused
+    /// generation path; an explicit frontier that was folded in place
+    /// before stepping keeps its explicit nodes and reports false unless
+    /// the fold was lossless.
+    #[must_use]
+    pub fn is_reduced(&self) -> bool {
+        self.quotient
+            .as_ref()
+            .is_some_and(|q| q.class_count() == self.nodes.len())
+    }
+
     /// The S5 model of this time slice: world `k` is node `k`, each
-    /// agent's partition groups nodes with equal local state, and the
-    /// valuation is the context's valuation of the nodes' global states.
+    /// agent's partition groups nodes with equal local state — or, on a
+    /// reduced layer, links classes sharing any member local state — and
+    /// the valuation is the context's valuation of the nodes' global
+    /// states.
     #[must_use]
     pub fn model(&self) -> &S5Model {
         &self.model
@@ -174,6 +283,27 @@ pub enum GenerateError {
         /// The configured limit.
         limit: usize,
     },
+    /// A generation-gate environment variable held an unusable value.
+    Config(ThreadConfigError),
+    /// Action choices disagreed across a bisimulation class: two points
+    /// the fused generation path holds as one class were given different
+    /// action sets. Protocols derived from subjective (knowledge-based)
+    /// guards cannot trigger this — guard truth is constant on a class —
+    /// so it flags externally supplied choices that are not functions of
+    /// the knowledge state.
+    QuotientChoiceMismatch {
+        /// The agent whose choices disagree.
+        agent: Agent,
+        /// A member local state whose choice differs from its class
+        /// representative's.
+        local: LocalId,
+    },
+    /// Internal quotient bookkeeping failed. Defensive: the conditions
+    /// (valuation mismatch, cross-class successor collisions under
+    /// perfect recall) are unreachable for frontiers the builder agrees
+    /// to fold, and surface as typed errors rather than wrong counts if
+    /// an invariant is ever violated.
+    Quotient(String),
 }
 
 impl fmt::Display for GenerateError {
@@ -201,6 +331,15 @@ impl fmt::Display for GenerateError {
             GenerateError::NodeLimit { limit } => {
                 write!(f, "unrolling exceeded the node budget of {limit}")
             }
+            GenerateError::Config(e) => write!(f, "generation gate misconfigured: {e}"),
+            GenerateError::QuotientChoiceMismatch { agent, local } => {
+                write!(
+                    f,
+                    "choices disagree within a bisimulation class: agent {agent} at \
+                     local state {local} differs from its class representative"
+                )
+            }
+            GenerateError::Quotient(msg) => write!(f, "quotient generation failed: {msg}"),
         }
     }
 }
@@ -209,6 +348,7 @@ impl Error for GenerateError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             GenerateError::Context(e) => Some(e),
+            GenerateError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -265,6 +405,7 @@ pub struct SystemBuilder<'c> {
     layers: Vec<Layer>,
     node_limit: usize,
     nodes_created: usize,
+    gen_quotient_min_worlds: usize,
 }
 
 impl Clone for SystemBuilder<'_> {
@@ -279,6 +420,7 @@ impl Clone for SystemBuilder<'_> {
             layers: self.layers.clone(),
             node_limit: self.node_limit,
             nodes_created: self.nodes_created,
+            gen_quotient_min_worlds: self.gen_quotient_min_worlds,
         }
     }
 }
@@ -301,6 +443,9 @@ impl<'c> SystemBuilder<'c> {
     /// Returns [`GenerateError::Context`] if the context is malformed.
     pub fn new(ctx: &'c dyn Context, recall: Recall) -> Result<Self, GenerateError> {
         ctx.validate()?;
+        let gen_quotient_min_worlds = env_gen_quotient_min_worlds()
+            .map_err(GenerateError::Config)?
+            .unwrap_or(DEFAULT_GEN_QUOTIENT_MIN_WORLDS);
         let agents = ctx.agent_count();
         let mut b = SystemBuilder {
             ctx,
@@ -310,6 +455,7 @@ impl<'c> SystemBuilder<'c> {
             layers: Vec::new(),
             node_limit: 2_000_000,
             nodes_created: 0,
+            gen_quotient_min_worlds,
         };
         let mut dedup: HashMap<(StateId, Vec<LocalId>), u32> = HashMap::new();
         let mut nodes: Vec<Node> = Vec::new();
@@ -334,7 +480,11 @@ impl<'c> SystemBuilder<'c> {
         }
         b.nodes_created = nodes.len();
         let model = b.layer_model(&nodes);
-        b.layers.push(Layer { nodes, model });
+        b.layers.push(Layer {
+            nodes,
+            model,
+            quotient: None,
+        });
         Ok(b)
     }
 
@@ -342,6 +492,21 @@ impl<'c> SystemBuilder<'c> {
     /// (default: two million).
     pub fn set_node_limit(&mut self, limit: usize) {
         self.node_limit = limit;
+    }
+
+    /// Sets the fused-generation gate: frontiers at least this wide are
+    /// folded to bisimulation representatives (with multiplicities)
+    /// before stepping, so the explicit next layer is never resident.
+    /// `0` fuses from layer 0, `usize::MAX` keeps generation explicit.
+    /// Overrides `KBP_GEN_QUOTIENT_MIN_WORLDS` (default 4096).
+    pub fn set_gen_quotient_min_worlds(&mut self, worlds: usize) {
+        self.gen_quotient_min_worlds = worlds;
+    }
+
+    /// The fused-generation gate in force.
+    #[must_use]
+    pub fn gen_quotient_min_worlds(&self) -> usize {
+        self.gen_quotient_min_worlds
     }
 
     /// The context being unrolled.
@@ -406,15 +571,36 @@ impl<'c> SystemBuilder<'c> {
 
     /// The distinct `(agent, local state)` pairs of the frontier layer —
     /// exactly the pairs a [`StepChoices`] for the next
-    /// [`step`](Self::step) must cover.
+    /// [`step`](Self::step) must cover. On a reduced frontier this
+    /// includes every *member* local state of every class, not just the
+    /// representatives': the explicit points a class stands for are real
+    /// run prefixes and a protocol must act at each of them.
     #[must_use]
     pub fn frontier_locals(&self) -> Vec<(Agent, LocalId)> {
         let mut seen: Vec<(Agent, LocalId)> = Vec::new();
-        for node in self.current().nodes() {
-            for (i, &l) in node.locals.iter().enumerate() {
-                let key = (Agent::new(i), l);
-                if !seen.contains(&key) {
-                    seen.push(key);
+        let layer = self.current();
+        match layer.quotient() {
+            Some(q) => {
+                for i in 0..self.ctx.agent_count() {
+                    let agent = Agent::new(i);
+                    for c in 0..q.class_count() {
+                        for &l in q.members(agent, c) {
+                            let key = (agent, l);
+                            if !seen.contains(&key) {
+                                seen.push(key);
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for node in layer.nodes() {
+                    for (i, &l) in node.locals.iter().enumerate() {
+                        let key = (Agent::new(i), l);
+                        if !seen.contains(&key) {
+                            seen.push(key);
+                        }
+                    }
                 }
             }
         }
@@ -439,12 +625,28 @@ impl<'c> SystemBuilder<'c> {
 
     /// Extends the unrolling by one time step using the given choices.
     ///
+    /// When the frontier is at least
+    /// [`gen_quotient_min_worlds`](Self::gen_quotient_min_worlds) wide
+    /// (or is already reduced), the fused step+quotient path engages: the
+    /// frontier is folded to bisimulation representatives with exact
+    /// multiplicities, successors are computed for representatives only,
+    /// and the new layer is canonicalized before anything explicit is
+    /// materialized (DESIGN.md §17). Solutions induced from the layers
+    /// are bit-identical to explicit generation.
+    ///
     /// # Errors
     ///
     /// Returns a [`GenerateError`] if a choice is missing, empty or out of
     /// range, if the environment protocol is stuck, or if the node budget
-    /// is exceeded (in which case the builder is left unchanged).
+    /// is exceeded (in which case the builder's layers are left
+    /// unchanged).
     pub fn step(&mut self, choices: &StepChoices) -> Result<(), GenerateError> {
+        if self.current().quotient.is_some() {
+            return self.step_quotient(choices);
+        }
+        if self.current().len() >= self.gen_quotient_min_worlds && self.quotient_frontier()? {
+            return self.step_quotient(choices);
+        }
         let agents = self.ctx.agent_count();
         let t = self.time();
         // Resolve and validate all action sets up front.
@@ -542,8 +744,441 @@ impl<'c> SystemBuilder<'c> {
             self.layers[t].nodes[ni].edges = edges;
         }
         let model = self.layer_model(&nodes);
-        self.layers.push(Layer { nodes, model });
+        self.layers.push(Layer {
+            nodes,
+            model,
+            quotient: None,
+        });
         Ok(())
+    }
+
+    /// Tries to fold the explicit frontier into a [`QuotientFrontier`]
+    /// in place (nodes stay; the class structure is recorded alongside).
+    /// Returns `false` — leaving generation explicit — when the layer is
+    /// not eligible: under perfect recall a frontier holding *twins*
+    /// (distinct points that agree on every agent's local state and
+    /// differ only in global state) cannot be folded, because twin
+    /// points may sit in classes whose explicit fibers overlap without
+    /// coinciding, making exact multiplicities unrecoverable from
+    /// per-agent member sets.
+    ///
+    /// **Fiber invariant.** Folding a twin-free layer yields classes with
+    /// pairwise *disjoint* fibers and pairwise distinct representative
+    /// local tuples. One fused step preserves a weaker shape that is
+    /// still exactly countable: any two classes have either disjoint
+    /// fibers (distinct local tuples) or *identical* fibers (twin
+    /// classes, born when one class branches to different global states
+    /// under equal observations — both heirs chain the same parent
+    /// fiber). A successor tuple shared across classes therefore always
+    /// comes from twin parents, and its multiplicity is their common
+    /// fiber size counted once ([`step_quotient`](Self::step_quotient)
+    /// verifies twinhood defensively).
+    fn quotient_frontier(&mut self) -> Result<bool, GenerateError> {
+        let t = self.time();
+        let n = self.layers[t].len();
+        let agents = self.ctx.agent_count();
+        if self.recall == Recall::Perfect {
+            let mut seen: HashMap<&[LocalId], StateId> = HashMap::new();
+            for node in self.layers[t].nodes() {
+                match seen.entry(node.locals()) {
+                    Entry::Occupied(e) => {
+                        if *e.get() != node.state {
+                            return Ok(false);
+                        }
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(node.state);
+                    }
+                }
+            }
+        }
+        // Classes = bisimilarity of the layer's own S5 model, further
+        // split by interned global state: members of a class must share
+        // a transition function, not just a valuation.
+        let state_split = {
+            let nodes = self.layers[t].nodes();
+            Partition::from_keys(n, |w| nodes[w].state)
+        };
+        let props: Vec<PropId> = (0..self.ctx.vocabulary().prop_count())
+            .map(|p| PropId::new(p as u32))
+            .collect();
+        let classes = self.layers[t]
+            .model
+            .bisimilarity_within(&props, &[], &[&state_split], &[])
+            .map_err(|e| GenerateError::Quotient(e.to_string()))?;
+        let k = classes.block_count();
+        let mut reps = Vec::with_capacity(k);
+        let mut multiplicity = Vec::with_capacity(k);
+        let mut members: Vec<Vec<Vec<LocalId>>> = vec![Vec::with_capacity(k); agents];
+        for b in 0..k {
+            let block = classes.block(b);
+            reps.push(block.iter().copied().min().unwrap_or(0));
+            multiplicity.push(block.len() as u64);
+            for (i, per_agent) in members.iter_mut().enumerate() {
+                let mut ls: Vec<LocalId> = block
+                    .iter()
+                    .map(|&w| self.layers[t].nodes[w as usize].locals[i])
+                    .collect();
+                ls.sort_unstable_by_key(|l| l.index());
+                ls.dedup();
+                per_agent.push(ls);
+            }
+        }
+        self.layers[t].quotient = Some(QuotientFrontier {
+            reps,
+            multiplicity,
+            members,
+            explicit_points: n as u64,
+        });
+        Ok(true)
+    }
+
+    /// The fused step: advances from the frontier's class representatives
+    /// and multiplicities. Successors are computed for representatives
+    /// only; the member locals of each successor class are interned (so
+    /// protocols keep acting at every explicit run prefix) but the
+    /// explicit successor points themselves are never materialized.
+    fn step_quotient(&mut self, choices: &StepChoices) -> Result<(), GenerateError> {
+        let ctx = self.ctx;
+        let agents = ctx.agent_count();
+        let t = self.time();
+        let recall = self.recall;
+
+        // Resolve and validate action sets per class, checking that
+        // every member local of the class received the representative's
+        // action set — the defining property of a knowledge-based
+        // protocol, violated only by externally crafted choices.
+        let qf = match self.layers[t].quotient.as_ref() {
+            Some(q) => q,
+            None => return Err(GenerateError::Quotient("frontier is not reduced".into())),
+        };
+        let k = qf.class_count();
+        let mut action_sets: Vec<Vec<&[ActionId]>> = Vec::with_capacity(k);
+        for c in 0..k {
+            let node = &self.layers[t].nodes[qf.reps[c] as usize];
+            let mut per_agent = Vec::with_capacity(agents);
+            for i in 0..agents {
+                let agent = Agent::new(i);
+                let local = node.locals[i];
+                let set = choices
+                    .get(agent, local)
+                    .ok_or(GenerateError::MissingChoice { agent, local })?;
+                if set.is_empty() {
+                    return Err(GenerateError::EmptyChoice { agent, local });
+                }
+                for &a in set {
+                    if a.index() >= ctx.action_count(agent) {
+                        return Err(GenerateError::ActionOutOfRange { agent, action: a });
+                    }
+                }
+                for &ml in &qf.members[i][c] {
+                    if ml == local {
+                        continue;
+                    }
+                    let mset = choices
+                        .get(agent, ml)
+                        .ok_or(GenerateError::MissingChoice { agent, local: ml })?;
+                    if mset != set {
+                        return Err(GenerateError::QuotientChoiceMismatch { agent, local: ml });
+                    }
+                }
+                per_agent.push(set);
+            }
+            action_sets.push(per_agent);
+        }
+
+        // Successors of representatives only.
+        struct ChildBuf {
+            state: StateId,
+            locals: Vec<LocalId>,
+            obs: Vec<Obs>,
+            parents: Vec<u32>,
+            parent_classes: Vec<u32>,
+            multiplicity: u64,
+        }
+        let mut dedup: HashMap<(StateId, Vec<LocalId>), u32> = HashMap::new();
+        let mut children: Vec<ChildBuf> = Vec::new();
+        let mut new_edges: Vec<Vec<(u32, JointAction)>> = vec![Vec::new(); self.layers[t].len()];
+        for (c, rep_sets) in action_sets.iter().enumerate() {
+            let rep = qf.reps[c];
+            let rep_locals = self.layers[t].nodes[rep as usize].locals.clone();
+            let state = self
+                .states
+                .state(self.layers[t].nodes[rep as usize].state)
+                .clone();
+            let env_moves = ctx.env_actions(&state);
+            if env_moves.is_empty() {
+                return Err(GenerateError::EnvStuck(state));
+            }
+            let mut combo: Vec<usize> = vec![0; agents];
+            loop {
+                let acts: Vec<ActionId> = (0..agents).map(|i| rep_sets[i][combo[i]]).collect();
+                for &env in &env_moves {
+                    let joint = JointAction::new(env, acts.clone());
+                    let next = ctx.transition(&state, &joint);
+                    let sid = self.states.intern(next.clone());
+                    let obs: Vec<Obs> = (0..agents)
+                        .map(|i| ctx.observe(Agent::new(i), &next))
+                        .collect();
+                    let locals: Vec<LocalId> = (0..agents)
+                        .map(|i| match recall {
+                            Recall::Perfect => self.locals[i].intern_child(rep_locals[i], obs[i]),
+                            Recall::Observational => self.locals[i].intern_root(obs[i]),
+                        })
+                        .collect();
+                    let key = (sid, locals.clone());
+                    let child = match dedup.entry(key) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(v) => {
+                            children.push(ChildBuf {
+                                state: sid,
+                                locals,
+                                obs,
+                                parents: Vec::new(),
+                                parent_classes: Vec::new(),
+                                // Observational child tuples are explicit
+                                // points themselves (locals carry no parent
+                                // memory): each stands for exactly one
+                                // explicit point. Perfect-recall fibers
+                                // accumulate per parent class below.
+                                multiplicity: match recall {
+                                    Recall::Perfect => 0,
+                                    Recall::Observational => 1,
+                                },
+                            });
+                            *v.insert((children.len() - 1) as u32)
+                        }
+                    };
+                    let ch = &mut children[child as usize];
+                    if !ch.parent_classes.contains(&(c as u32)) {
+                        if recall == Recall::Perfect {
+                            if let Some(&first) = ch.parent_classes.first() {
+                                // A successor tuple shared by two classes
+                                // forces equal parent local tuples — the
+                                // classes are *twins*, and twins carry
+                                // identical explicit fibers (see the fiber
+                                // invariant on `quotient_frontier`), so the
+                                // child's fiber is counted once, not summed.
+                                let fl = &self.layers[t].nodes[qf.reps[first as usize] as usize];
+                                if fl.locals != rep_locals
+                                    || qf.multiplicity[first as usize] != qf.multiplicity[c]
+                                {
+                                    return Err(GenerateError::Quotient(
+                                        "cross-class successor collision between non-twin \
+                                         classes under perfect recall"
+                                            .into(),
+                                    ));
+                                }
+                            } else {
+                                ch.multiplicity = qf.multiplicity[c];
+                            }
+                        }
+                        ch.parent_classes.push(c as u32);
+                    }
+                    if !ch.parents.contains(&rep) {
+                        ch.parents.push(rep);
+                    }
+                    new_edges[rep as usize].push((child, joint));
+                }
+                let mut adv = 0;
+                loop {
+                    if adv == agents {
+                        break;
+                    }
+                    combo[adv] += 1;
+                    if combo[adv] < rep_sets[adv].len() {
+                        break;
+                    }
+                    combo[adv] = 0;
+                    adv += 1;
+                }
+                if adv == agents {
+                    break;
+                }
+            }
+        }
+
+        if self.nodes_created + children.len() > self.node_limit {
+            return Err(GenerateError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+
+        // Member locals of each successor: the chain images of the
+        // parent class's member locals under the successor's observation
+        // (perfect recall), or the successor's own root locals
+        // (observational). This is what keeps the local-state forest —
+        // and with it every protocol history — explicit-complete while
+        // the point tuples stay folded.
+        let mut child_members: Vec<Vec<Vec<LocalId>>> = Vec::with_capacity(children.len());
+        match recall {
+            Recall::Perfect => {
+                let mut chain_cache: HashMap<(u32, usize, Obs), Vec<LocalId>> = HashMap::new();
+                for ch in &children {
+                    let c = ch.parent_classes[0];
+                    let mut per_agent = Vec::with_capacity(agents);
+                    for i in 0..agents {
+                        let key = (c, i, ch.obs[i]);
+                        let locals = match chain_cache.entry(key) {
+                            Entry::Occupied(e) => e.get().clone(),
+                            Entry::Vacant(v) => {
+                                let mut ls: Vec<LocalId> = qf.members[i][c as usize]
+                                    .iter()
+                                    .map(|&l| self.locals[i].intern_child(l, ch.obs[i]))
+                                    .collect();
+                                ls.sort_unstable_by_key(|l| l.index());
+                                ls.dedup();
+                                v.insert(ls).clone()
+                            }
+                        };
+                        per_agent.push(locals);
+                    }
+                    child_members.push(per_agent);
+                }
+            }
+            Recall::Observational => {
+                for ch in &children {
+                    child_members.push((0..agents).map(|i| vec![ch.locals[i]]).collect());
+                }
+            }
+        }
+
+        // Canonicalize: bisimilarity over the successor set, with the
+        // class-level indistinguishability structure (classes sharing a
+        // member local are linked), seeded by global state only: futures
+        // depend on the state, but not on which lineage produced a point.
+        // Merging across parent classes is where perfect-recall history
+        // compression comes from — distinct observation histories over
+        // the same state whose knowledge content coincides fold into one
+        // representative. The fold below unions the member locals of
+        // every merged child, so the folded class's fiber is exactly the
+        // union of the (pairwise disjoint) child fibers and the
+        // multiplicity sum stays an exact explicit-point count.
+        let n_new = children.len();
+        let prop_count = ctx.vocabulary().prop_count();
+        let mut mb = S5Builder::new(agents, prop_count);
+        for ch in &children {
+            let state = self.states.state(ch.state);
+            let props = (0..prop_count)
+                .map(|p| PropId::new(p as u32))
+                .filter(|&p| ctx.prop_holds(p, state));
+            mb.add_world(props);
+        }
+        let agent_roots = Self::member_link_roots(agents, n_new, |w, i| &child_members[w][i]);
+        for (i, roots) in agent_roots.iter().enumerate() {
+            mb.partition_by_key(Agent::new(i), |w| roots[w.index()]);
+        }
+        let cmodel = mb.build();
+        let state_split = Partition::from_keys(n_new, |w| children[w].state);
+        let props: Vec<PropId> = (0..prop_count).map(|p| PropId::new(p as u32)).collect();
+        let classes = cmodel
+            .bisimilarity_within(&props, &[], &[&state_split], &[])
+            .map_err(|e| GenerateError::Quotient(e.to_string()))?;
+
+        // Fold duplicates by multiplicity: one node per class.
+        let kn = classes.block_count();
+        let labels = classes.block_ids();
+        let mut nodes: Vec<Node> = Vec::with_capacity(kn);
+        let mut multiplicity = vec![0u64; kn];
+        let mut members: Vec<Vec<Vec<LocalId>>> = vec![Vec::with_capacity(kn); agents];
+        for (b, mult) in multiplicity.iter_mut().enumerate() {
+            let block = classes.block(b);
+            let rep = block.iter().copied().min().unwrap_or(0) as usize;
+            let mut parents: Vec<u32> = Vec::new();
+            for &w in block {
+                *mult += children[w as usize].multiplicity;
+                for &p in &children[w as usize].parents {
+                    if !parents.contains(&p) {
+                        parents.push(p);
+                    }
+                }
+            }
+            parents.sort_unstable();
+            nodes.push(Node {
+                state: children[rep].state,
+                locals: children[rep].locals.clone(),
+                parents,
+                edges: Vec::new(),
+            });
+            for (i, per_agent) in members.iter_mut().enumerate() {
+                let mut ls: Vec<LocalId> = block
+                    .iter()
+                    .flat_map(|&w| child_members[w as usize][i].iter().copied())
+                    .collect();
+                ls.sort_unstable_by_key(|l| l.index());
+                ls.dedup();
+                per_agent.push(ls);
+            }
+        }
+        let explicit_points: u64 = multiplicity.iter().sum();
+
+        // Commit: remap edges onto class indices and build the reduced
+        // layer's model (classes linked iff they share a member local).
+        self.nodes_created += n_new;
+        for (ni, mut edges) in new_edges.into_iter().enumerate() {
+            if edges.is_empty() {
+                continue;
+            }
+            for e in &mut edges {
+                e.0 = labels[e.0 as usize];
+            }
+            self.layers[t].nodes[ni].edges = edges;
+        }
+        let mut mb = S5Builder::new(agents, prop_count);
+        for node in &nodes {
+            let state = self.states.state(node.state);
+            let props = (0..prop_count)
+                .map(|p| PropId::new(p as u32))
+                .filter(|&p| ctx.prop_holds(p, state));
+            mb.add_world(props);
+        }
+        let class_roots = Self::member_link_roots(agents, kn, |cidx, i| &members[i][cidx]);
+        for (i, roots) in class_roots.iter().enumerate() {
+            mb.partition_by_key(Agent::new(i), |w| roots[w.index()]);
+        }
+        let model = mb.build();
+        self.layers.push(Layer {
+            nodes,
+            model,
+            quotient: Some(QuotientFrontier {
+                reps: (0..kn as u32).collect(),
+                multiplicity,
+                members,
+                explicit_points,
+            }),
+        });
+        Ok(())
+    }
+
+    /// Union-find roots linking elements that share any member local for
+    /// an agent: `get(element, agent)` yields the element's member local
+    /// set. Returns, per agent, a dense root label per element — the
+    /// transitive closure of "shares a local", which is exactly the
+    /// equivalence an S5 partition can carry.
+    fn member_link_roots<'m>(
+        agents: usize,
+        n: usize,
+        get: impl Fn(usize, usize) -> &'m [LocalId],
+    ) -> Vec<Vec<usize>> {
+        let mut out = Vec::with_capacity(agents);
+        for i in 0..agents {
+            let mut uf = UnionFind::new(n);
+            let mut first: HashMap<LocalId, usize> = HashMap::new();
+            for w in 0..n {
+                for &l in get(w, i) {
+                    match first.entry(l) {
+                        Entry::Occupied(e) => {
+                            uf.union(*e.get(), w);
+                        }
+                        Entry::Vacant(v) => {
+                            v.insert(w);
+                        }
+                    }
+                }
+            }
+            out.push((0..n).map(|w| uf.find(w)).collect());
+        }
+        out
     }
 
     /// Extends the unrolling by one step, deriving choices from a
@@ -636,10 +1271,20 @@ impl InterpretedSystem {
             .flat_map(|(t, layer)| (0..layer.len()).map(move |node| Point { time: t, node }))
     }
 
-    /// Total number of points.
+    /// Total number of points materialized (bisimulation representatives
+    /// on layers generated by the fused step+quotient path).
     #[must_use]
     pub fn point_count(&self) -> usize {
         self.layers.iter().map(Layer::len).sum()
+    }
+
+    /// Total number of explicit-equivalent points: the point count an
+    /// explicit unrolling of the same context and protocol would have.
+    /// Equals [`point_count`](Self::point_count) when no layer was
+    /// generated by the fused step+quotient path.
+    #[must_use]
+    pub fn explicit_point_count(&self) -> u64 {
+        self.layers.iter().map(Layer::explicit_len).sum()
     }
 
     /// The node behind a point.

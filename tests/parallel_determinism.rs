@@ -6,23 +6,29 @@
 //! split a single wide layer's kernels into world-range shards
 //! (`SyncSolver::shard_min_worlds` / `KBP_SHARD_MIN_WORLDS`), and may map
 //! satisfaction sets through a verified layer isomorphism instead of
-//! re-evaluating (`SyncSolver::carry_forward`), and may quotient a layer
+//! re-evaluating (`SyncSolver::carry_forward`), may quotient a layer
 //! by bisimulation before evaluating epistemic guards
-//! (`SyncSolver::quotient_min_worlds` / `KBP_QUOTIENT_MIN_WORLDS`). None
-//! of these knobs is allowed to change *anything* observable: on every
-//! scenario in `kbp-scenarios`, the solution — protocol, stabilization
-//! point, stats, per-layer breakdown — must be bit-identical at 1 thread,
-//! 2 threads, and whatever `std::thread::available_parallelism` reports,
-//! with sharding forced on or off, carry-forward on or off, and the
-//! quotient forced on or off (stats count clause lookups, not physical
-//! evaluations, precisely so budget semantics stay deterministic too).
-//! The only sanctioned exceptions are the scheduling diagnostics
-//! themselves — `LayerStats::{shards, quotient_worlds, quotient_ratio}`
-//! and `SolveStats::{layers_sharded, layers_quotiented}` — which are
-//! pinned against the configured *plan* (shards against the kernel
-//! planner at the recorded post-quotient width, the quotient counters
-//! against the per-layer breakdown and the gate) and then normalized out
-//! of the bit-for-bit comparison.
+//! (`SyncSolver::quotient_min_worlds` / `KBP_QUOTIENT_MIN_WORLDS`), and
+//! may *generate* layers directly on bisimulation representatives so the
+//! explicit frontier is never resident
+//! (`SyncSolver::gen_quotient_min_worlds` /
+//! `KBP_GEN_QUOTIENT_MIN_WORLDS`). None of these knobs is allowed to
+//! change *anything* observable: on every scenario in `kbp-scenarios`,
+//! the solution — protocol, stabilization point, stats, per-layer
+//! breakdown — must be bit-identical at 1 thread, 2 threads, and whatever
+//! `std::thread::available_parallelism` reports, with sharding forced on
+//! or off, carry-forward on or off, and both quotients forced on or off
+//! (stats count clause lookups and explicit-equivalent points, not
+//! physical evaluations or resident worlds, precisely so budget semantics
+//! stay deterministic too). The only sanctioned exceptions are the
+//! scheduling diagnostics themselves — `LayerStats::{shards,
+//! quotient_worlds, quotient_ratio, gen_quotient_worlds,
+//! gen_quotient_ratio}` and `SolveStats::{layers_sharded,
+//! layers_quotiented, layers_gen_quotiented}` — which are pinned against
+//! the configured *plan* (shards against the kernel planner at the
+//! recorded resident width, the quotient counters against the per-layer
+//! breakdown and the gates) and then normalized out of the bit-for-bit
+//! comparison.
 
 use kbp_core::{Kbp, LayerStats, SyncSolver};
 use kbp_kripke::EvalEngine;
@@ -96,6 +102,8 @@ fn without_schedule_diagnostics(per_layer: &[LayerStats]) -> Vec<LayerStats> {
             shards: 0,
             quotient_worlds: 0,
             quotient_ratio: 0,
+            gen_quotient_worlds: 0,
+            gen_quotient_ratio: 0,
             ..*l
         })
         .collect()
@@ -113,6 +121,7 @@ fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
             .recall(recall)
             .eval_threads(1)
             .carry_threshold(0)
+            .gen_quotient_min_worlds(usize::MAX)
             .solve()
             .unwrap_or_else(|e| panic!("{name}: reference solve failed: {e}"));
         assert!(
@@ -127,25 +136,31 @@ fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
         for threads in thread_counts() {
             for carry in [true, false] {
                 for min_worlds in [0usize, usize::MAX] {
-                    for min_quotient in [0usize, usize::MAX] {
+                    for (min_quotient, min_gen) in [
+                        (0usize, usize::MAX),
+                        (usize::MAX, usize::MAX),
+                        (usize::MAX, 0),
+                    ] {
                         let solution = SyncSolver::new(&ctx, &kbp)
                             .horizon(horizon)
                             .recall(recall)
                             .eval_threads(threads)
                             .shard_min_worlds(min_worlds)
                             .quotient_min_worlds(min_quotient)
+                            .gen_quotient_min_worlds(min_gen)
                             .carry_threshold(0)
                             .carry_forward(carry)
                             .solve()
                             .unwrap_or_else(|e| {
                                 panic!(
                                     "{name}: solve failed at {threads} threads, carry={carry}, \
-                                     min_worlds={min_worlds}, min_quotient={min_quotient}: {e}"
+                                     min_worlds={min_worlds}, min_quotient={min_quotient}, \
+                                     min_gen={min_gen}: {e}"
                                 )
                             });
                         let at = format!(
                             "{threads} threads, carry={carry}, min_worlds={min_worlds}, \
-                             min_quotient={min_quotient}"
+                             min_quotient={min_quotient}, min_gen={min_gen}"
                         );
                         assert_eq!(
                             reference.protocol(),
@@ -166,8 +181,14 @@ fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
                             .with_threads(threads)
                             .with_shard_min_worlds(min_worlds);
                         for layer in solution.per_layer() {
+                            // The kernels run at the resident width: the
+                            // generation quotient keeps only the
+                            // representatives resident, and the eval
+                            // quotient shrinks an explicit layer further.
                             let width = if layer.quotient_worlds > 0 {
                                 layer.quotient_worlds.min(layer.points)
+                            } else if layer.gen_quotient_worlds > 0 {
+                                layer.gen_quotient_worlds.min(layer.points)
                             } else {
                                 layer.points
                             };
@@ -185,6 +206,14 @@ fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
                                     layer.layer
                                 );
                             }
+                            if min_gen == usize::MAX {
+                                assert_eq!(
+                                    (layer.gen_quotient_worlds, layer.gen_quotient_ratio),
+                                    (0, 0),
+                                    "{name}: layer {} generation-quotiented while disabled at {at}",
+                                    layer.layer
+                                );
+                            }
                         }
                         let planned_sharded =
                             solution.per_layer().iter().filter(|l| l.shards > 1).count();
@@ -192,6 +221,13 @@ fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
                             .per_layer()
                             .iter()
                             .filter(|l| l.quotient_worlds > 0 && l.quotient_worlds < l.points)
+                            .count();
+                        let recorded_gen_quotiented = solution
+                            .per_layer()
+                            .iter()
+                            .filter(|l| {
+                                l.gen_quotient_worlds > 0 && l.gen_quotient_worlds < l.points
+                            })
                             .count();
                         // With the plan pinned, everything else must be
                         // bit-identical to the sequential reference.
@@ -216,11 +252,24 @@ fn solutions_are_identical_across_thread_counts_sharding_and_carry_forward() {
                             got.layers_quotiented, recorded_quotiented,
                             "{name}: layers_quotiented diverged from the breakdown at {at}"
                         );
+                        assert_eq!(
+                            got.layers_gen_quotiented, recorded_gen_quotiented,
+                            "{name}: layers_gen_quotiented diverged from the breakdown at {at}"
+                        );
                         expected.layers_sharded = planned_sharded;
                         expected.layers_quotiented = got.layers_quotiented;
+                        expected.layers_gen_quotiented = got.layers_gen_quotiented;
                         if !carry {
                             assert_eq!(got.layers_carried, 0, "{name}: carry disabled but counted");
                             expected.layers_carried = 0;
+                        }
+                        if min_gen == 0 {
+                            // Generation-side compression can make
+                            // consecutive reduced layers isomorphic where
+                            // the explicit layers keep growing, so the
+                            // fused leg may carry *more* layers — warmth
+                            // the diagnostics are allowed to show.
+                            expected.layers_carried = got.layers_carried;
                         }
                         assert_eq!(expected, got, "{name}: stats diverged at {at}");
                     }
@@ -299,6 +348,54 @@ fn forced_quotienting_actually_occurs_somewhere() {
     assert_eq!(quotiented.stabilized(), explicit.stabilized());
     assert_eq!(
         without_schedule_diagnostics(quotiented.per_layer()),
+        without_schedule_diagnostics(explicit.per_layer())
+    );
+}
+
+#[test]
+fn forced_gen_quotienting_actually_occurs_somewhere() {
+    // The fused step+quotient leg of the matrix above must be
+    // non-vacuous: with the generation gate at 0, the
+    // sequence-transmission unrolling must generate at least one layer
+    // with strictly fewer resident representatives than
+    // explicit-equivalent points — and still answer exactly what the
+    // explicit generation answers, with the same explicit-equivalent
+    // per-layer point counts.
+    let st = SequenceTransmission::new(2, Tagging::Alternating, Channel::Lossy);
+    let ctx = st.context();
+    let kbp = st.kbp();
+    let fused = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .gen_quotient_min_worlds(0)
+        .quotient_min_worlds(usize::MAX)
+        .solve()
+        .expect("sequence transmission solves");
+    assert!(
+        fused.stats().layers_gen_quotiented > 0,
+        "expected at least one generation-quotiented layer, got {:?}",
+        fused.per_layer()
+    );
+    let shrunk = fused
+        .per_layer()
+        .iter()
+        .find(|l| l.gen_quotient_worlds > 0 && l.gen_quotient_worlds < l.points)
+        .expect("a strictly compressing generated layer");
+    assert!(
+        (1..1000).contains(&shrunk.gen_quotient_ratio),
+        "per-mille ratio of a strictly compressing layer must be in (0, 1000), got {}",
+        shrunk.gen_quotient_ratio
+    );
+    let explicit = SyncSolver::new(&ctx, &kbp)
+        .horizon(6)
+        .gen_quotient_min_worlds(usize::MAX)
+        .quotient_min_worlds(usize::MAX)
+        .solve()
+        .expect("sequence transmission solves");
+    assert_eq!(fused.protocol(), explicit.protocol());
+    assert_eq!(fused.stabilized(), explicit.stabilized());
+    assert_eq!(fused.stats().points, explicit.stats().points);
+    assert_eq!(
+        without_schedule_diagnostics(fused.per_layer()),
         without_schedule_diagnostics(explicit.per_layer())
     );
 }

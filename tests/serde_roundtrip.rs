@@ -613,6 +613,8 @@ fn solve_diagnostics_roundtrip() {
         shards: 2,
         quotient_worlds: 6,
         quotient_ratio: 352,
+        gen_quotient_worlds: 5,
+        gen_quotient_ratio: 294,
     };
     let back: kbp_core::LayerStats = json_roundtrip(&layer);
     assert_eq!(layer, back);
